@@ -1,0 +1,54 @@
+//! CycleRank parameter ablation: runtime vs the maximum cycle length K
+//! (the demo exposes K as a user knob — this bench shows why small K is
+//! the practical regime), plus a scoring-function sweep (σ affects only
+//! the per-cycle weight, so its cost impact should be nil).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcore::cyclerank::{cyclerank, CycleRankConfig};
+use relcore::ScoringFunction;
+use reldata::wikilink::{generate, WikilinkConfig};
+use relgraph::NodeId;
+use std::hint::black_box;
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let cfg = WikilinkConfig::default().with_nodes(8_000);
+    let g = generate(&cfg, 11);
+    let r = NodeId::new(cfg.hubs + 5);
+
+    let mut group = c.benchmark_group("cyclerank_k");
+    group.sample_size(10);
+    for k in [2u32, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("k", k), &g, |b, g| {
+            b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(k)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cyclerank_sigma");
+    group.sample_size(10);
+    for sigma in ScoringFunction::ALL {
+        let cfg_cr = CycleRankConfig { max_cycle_len: 3, scoring: sigma, use_edge_weights: false };
+        group.bench_with_input(BenchmarkId::new("sigma", sigma.short_name()), &g, |b, g| {
+            b.iter(|| cyclerank(black_box(g), r, &cfg_cr).unwrap())
+        });
+    }
+    group.finish();
+
+    // The bottleneck-weight extension on the weighted Twitter stand-in:
+    // cost parity with the unweighted run (the DFS only tracks one extra
+    // float per level).
+    let tw = reldata::load_dataset("twitter-cop27").expect("registry dataset");
+    let r = NodeId::new(100); // an ordinary user
+    let mut group = c.benchmark_group("cyclerank_weighted");
+    group.sample_size(10);
+    group.bench_function("unweighted/twitter-cop27", |b| {
+        b.iter(|| cyclerank(black_box(&tw), r, &CycleRankConfig::with_k(3)).unwrap())
+    });
+    group.bench_function("bottleneck/twitter-cop27", |b| {
+        b.iter(|| cyclerank(black_box(&tw), r, &CycleRankConfig::with_k(3).weighted()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_k_sweep);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Engine bench (Fig. 1): end-to-end latency of one task through the
+//! submit → schedule → execute → store → fetch pipeline, and throughput of
+//! a Fig. 2-style three-row query set on a multi-worker pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relengine::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    // Single-task round trip (dataset cached after the first run).
+    let engine = Scheduler::builder().workers(1).build();
+    let warm = TaskBuilder::new("fixture-fakenews-it")
+        .algorithm(Algorithm::CycleRank)
+        .source("Fake news")
+        .top_k(5)
+        .build()
+        .unwrap();
+    let id = engine.submit(warm.clone());
+    engine.wait(&id, Duration::from_secs(60)).unwrap();
+
+    group.bench_function("single_task_roundtrip", |b| {
+        b.iter(|| {
+            let id = engine.submit(black_box(warm.clone()));
+            engine.wait(&id, Duration::from_secs(60)).unwrap()
+        })
+    });
+
+    // The Fig. 2 query set: three algorithms over one dataset, 3 workers.
+    let pool = Scheduler::builder().workers(3).build();
+    let mut qs = QuerySet::new();
+    qs.add(warm.clone());
+    qs.add(TaskBuilder::new("fixture-fakenews-it").top_k(5).build().unwrap());
+    qs.add(
+        TaskBuilder::new("fixture-fakenews-it")
+            .algorithm(Algorithm::PersonalizedPageRank)
+            .damping(0.3)
+            .source("Fake news")
+            .top_k(5)
+            .build()
+            .unwrap(),
+    );
+    // Warm the cache.
+    let ids = pool.submit_query_set(&qs);
+    pool.wait_all(&ids, Duration::from_secs(60)).unwrap();
+
+    group.bench_function("query_set_3rows_3workers", |b| {
+        b.iter(|| {
+            let ids = pool.submit_query_set(black_box(&qs));
+            pool.wait_all(&ids, Duration::from_secs(60)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! PageRank solver ablation: sequential power iteration vs Gauss–Seidel
+//! sweeps vs the multi-threaded pull solver, on Wikipedia-like graphs.
+//! Backs the §II remark that "more efficient algorithms are available" and
+//! the Fig. 1 claim that computational nodes scale with workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcore::gauss_seidel::pagerank_gs;
+use relcore::pagerank::{pagerank, PageRankConfig};
+use relcore::parallel::pagerank_par;
+use reldata::wikilink::{generate, WikilinkConfig};
+use std::hint::black_box;
+
+fn bench_pagerank_impls(c: &mut Criterion) {
+    let cfg = PageRankConfig { damping: 0.85, tolerance: 1e-10, max_iterations: 500 };
+    let mut group = c.benchmark_group("pagerank_impls");
+    group.sample_size(10);
+    for nodes in [4_000u32, 16_000, 64_000] {
+        let g = generate(&WikilinkConfig::default().with_nodes(nodes), 33);
+
+        group.bench_with_input(BenchmarkId::new("power", nodes), &g, |b, g| {
+            b.iter(|| pagerank(black_box(g.view()), &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gauss_seidel", nodes), &g, |b, g| {
+            b.iter(|| pagerank_gs(black_box(g.view()), &cfg).unwrap())
+        });
+        for threads in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_t{threads}"), nodes),
+                &g,
+                |b, g| b.iter(|| pagerank_par(black_box(g.view()), &cfg, threads).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank_impls);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! PPR solver ablation: exact power iteration vs Andersen–Chung–Lang
+//! forward push vs Monte-Carlo random walks — the "more efficient
+//! algorithms are available" remark of §II, quantified. Push should win by
+//! a growing factor as the graph grows, since it touches only the seed's
+//! neighbourhood.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcore::montecarlo::{ppr_monte_carlo, MonteCarloConfig};
+use relcore::pagerank::PageRankConfig;
+use relcore::ppr::personalized_pagerank;
+use relcore::push::{ppr_push, PushConfig};
+use reldata::wikilink::{generate, WikilinkConfig};
+use relgraph::NodeId;
+use std::hint::black_box;
+
+fn bench_ppr_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppr_methods");
+    group.sample_size(10);
+    for nodes in [2_000u32, 16_000, 64_000] {
+        let cfg = WikilinkConfig::default().with_nodes(nodes);
+        let g = generate(&cfg, 7);
+        let seed = NodeId::new(cfg.hubs + 3);
+
+        group.bench_with_input(BenchmarkId::new("power_iteration", nodes), &g, |b, g| {
+            b.iter(|| {
+                personalized_pagerank(black_box(g.view()), &PageRankConfig::default(), seed)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("forward_push_eps1e-6", nodes), &g, |b, g| {
+            b.iter(|| {
+                ppr_push(
+                    black_box(g.view()),
+                    &PushConfig { damping: 0.85, epsilon: 1e-6, max_pushes: usize::MAX },
+                    seed,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("monte_carlo_10k", nodes), &g, |b, g| {
+            b.iter(|| {
+                ppr_monte_carlo(
+                    black_box(g.view()),
+                    &MonteCarloConfig { damping: 0.85, walks: 10_000, rng_seed: 1 },
+                    seed,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppr_methods);
+criterion_main!(benches);

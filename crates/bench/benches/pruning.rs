@@ -1,0 +1,39 @@
+//! CycleRank pruning ablation.
+//!
+//! DESIGN.md calls out the distance prunings (bounded forward/backward BFS
+//! and the per-step admissibility check) as the implementation's key design
+//! choice. This bench quantifies them: the pruned enumerator vs the naive
+//! depth-bounded DFS (`cyclerank_unpruned`) on Wikipedia-like graphs of
+//! growing size. The gap widens with graph size because the pruned search
+//! space is bounded by the reference's K-neighbourhood, not the graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcore::cyclerank::{cyclerank, cyclerank_unpruned, CycleRankConfig};
+use reldata::wikilink::{generate, WikilinkConfig};
+use relgraph::NodeId;
+use std::hint::black_box;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(10);
+    for nodes in [1_000u32, 4_000, 16_000] {
+        let cfg = WikilinkConfig::default().with_nodes(nodes);
+        let g = generate(&cfg, 21);
+        let r = NodeId::new(cfg.hubs + 9);
+        // Sanity: both enumerate the same cycles.
+        let a = cyclerank(&g, r, &CycleRankConfig::with_k(3)).unwrap();
+        let b = cyclerank_unpruned(&g, r, &CycleRankConfig::with_k(3)).unwrap();
+        assert_eq!(a.cycles_found, b.cycles_found);
+
+        group.bench_with_input(BenchmarkId::new("pruned_k3", nodes), &g, |bch, g| {
+            bch.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("unpruned_k3", nodes), &g, |bch, g| {
+            bch.iter(|| cyclerank_unpruned(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Scaling bench: backs §II's claim that the showcased algorithms are
+//! "efficient": runtime of PageRank, PPR and CycleRank as the Wikipedia-
+//! like graph grows (|V| sweep), measured per edge count in the throughput
+//! report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relcore::cyclerank::{cyclerank, CycleRankConfig};
+use relcore::pagerank::{pagerank, PageRankConfig};
+use relcore::ppr::personalized_pagerank;
+use reldata::wikilink::{generate, WikilinkConfig};
+use relgraph::NodeId;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for nodes in [1_000u32, 4_000, 16_000, 64_000] {
+        let cfg = WikilinkConfig::default().with_nodes(nodes);
+        let g = generate(&cfg, 42);
+        let edges = g.edge_count() as u64;
+        // Reference: a mid-index community node (guaranteed non-hub).
+        let r = NodeId::new(cfg.hubs + 17);
+        group.throughput(Throughput::Elements(edges));
+
+        group.bench_with_input(BenchmarkId::new("pagerank", nodes), &g, |b, g| {
+            b.iter(|| pagerank(black_box(g.view()), &PageRankConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ppr_a085", nodes), &g, |b, g| {
+            b.iter(|| {
+                personalized_pagerank(black_box(g.view()), &PageRankConfig::default(), r).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cyclerank_k3", nodes), &g, |b, g| {
+            b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table I bench: times the three algorithms of the paper's Table I on the
+//! enwiki stand-in (PR α=0.85, CycleRank K=3 σ=exp, PPR α=0.3) for both
+//! reference articles, and prints the regenerated columns once up front.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcore::cyclerank::{cyclerank, CycleRankConfig};
+use relcore::pagerank::{pagerank, PageRankConfig};
+use relcore::ppr::personalized_pagerank;
+use reldata::fixtures;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once, so `cargo bench` output doubles as
+    // the reproduction record.
+    for block in relbench::tables::table1() {
+        println!("\nTable I, reference {}:\n{}", block.caption, relbench::render(&block.measured, 5));
+    }
+
+    let mut group = c.benchmark_group("table1");
+    for (name, sc) in [
+        ("freddie", fixtures::enwiki_2018()),
+        ("pasta", fixtures::enwiki_2018_pasta()),
+    ] {
+        let g = &sc.graph;
+        let r = sc.reference_node();
+        group.bench_with_input(BenchmarkId::new("pagerank_a085", name), &sc, |b, _| {
+            b.iter(|| pagerank(black_box(g.view()), &PageRankConfig::with_damping(0.85)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cyclerank_k3", name), &sc, |b, _| {
+            b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ppr_a03", name), &sc, |b, _| {
+            b.iter(|| {
+                personalized_pagerank(black_box(g.view()), &PageRankConfig::with_damping(0.3), r)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table II bench: the Amazon co-purchase comparison (PR α=0.85, CycleRank
+//! K=5 σ=exp, PPR α=0.85) for references "1984" and "The Fellowship of the
+//! Ring" — on the labelled fixture and on the full-size generated
+//! co-purchase graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcore::cyclerank::{cyclerank, CycleRankConfig};
+use relcore::pagerank::{pagerank, PageRankConfig};
+use relcore::ppr::personalized_pagerank;
+use reldata::fixtures;
+use relgraph::NodeId;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    for block in relbench::tables::table2() {
+        println!("\nTable II, reference {}:\n{}", block.caption, relbench::render(&block.measured, 5));
+    }
+
+    let mut group = c.benchmark_group("table2");
+    for (name, sc) in [
+        ("1984", fixtures::amazon_books()),
+        ("fellowship", fixtures::amazon_books_fellowship()),
+    ] {
+        let g = &sc.graph;
+        let r = sc.reference_node();
+        group.bench_with_input(BenchmarkId::new("pagerank_a085", name), &sc, |b, _| {
+            b.iter(|| pagerank(black_box(g.view()), &PageRankConfig::with_damping(0.85)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cyclerank_k5", name), &sc, |b, _| {
+            b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(5)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ppr_a085", name), &sc, |b, _| {
+            b.iter(|| {
+                personalized_pagerank(black_box(g.view()), &PageRankConfig::with_damping(0.85), r)
+                    .unwrap()
+            })
+        });
+    }
+
+    // Full-size generated co-purchase graph (~20k products).
+    let g = reldata::load_dataset("amazon-copurchase").expect("registry dataset");
+    let r = NodeId::new(100); // an ordinary product
+    group.bench_function("cyclerank_k5/amazon-20k", |b| {
+        b.iter(|| cyclerank(black_box(&g), r, &CycleRankConfig::with_k(5)).unwrap())
+    });
+    group.bench_function("ppr_a085/amazon-20k", |b| {
+        b.iter(|| {
+            personalized_pagerank(black_box(g.view()), &PageRankConfig::with_damping(0.85), r)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

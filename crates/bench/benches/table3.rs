@@ -1,0 +1,37 @@
+//! Table III bench: the dataset-comparison use case — CycleRank (K=3,
+//! σ=exp) for "Fake news" across the six language-edition stand-ins, both
+//! the fixtures and the full generated 2018 snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcore::cyclerank::{cyclerank, CycleRankConfig};
+use reldata::fixtures::{fakenews, Language};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let cols: Vec<relbench::Column> =
+        relbench::tables::table3().into_iter().map(|(_, c)| c).collect();
+    println!("\nTable III:\n{}", relbench::render(&cols, 5));
+
+    let mut group = c.benchmark_group("table3");
+    for lang in Language::ALL {
+        let sc = fakenews(lang);
+        let g = sc.graph.clone();
+        let r = sc.reference_node();
+        group.bench_with_input(BenchmarkId::new("cyclerank_k3_fixture", lang.code()), &g, |b, g| {
+            b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap())
+        });
+    }
+    // Full generated snapshots: the realistic workload per language.
+    for lang in [Language::En, Language::Pl] {
+        let id = format!("wiki-{}-2018", lang.code());
+        let g = reldata::load_dataset(&id).expect("registry dataset");
+        let r = g.node_by_label(lang.fake_news_title()).expect("embedded neighbourhood");
+        group.bench_with_input(BenchmarkId::new("cyclerank_k3_snapshot", lang.code()), &g, |b, g| {
+            b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

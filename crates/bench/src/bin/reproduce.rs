@@ -1,0 +1,56 @@
+//! Regenerates every table of the paper and prints paper-vs-measured
+//! comparisons.
+//!
+//! ```sh
+//! cargo run -p relbench --bin reproduce            # all tables
+//! cargo run -p relbench --bin reproduce -- table1  # one table
+//! ```
+
+use relbench::tables;
+use relbench::{diff_column, render};
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let want = |t: &str| which.is_empty() || which.iter().any(|w| w == t);
+
+    if want("table1") {
+        println!("==================================================================");
+        println!("TABLE I — enwiki 2018-03-01: PR (α=0.85), CR (K=3, σ=e⁻ⁿ), PPR (α=0.3)");
+        println!("==================================================================");
+        for block in tables::table1() {
+            println!("\nreference: {}", block.caption);
+            println!("{}", render(&block.measured, 5));
+            for (col, (name, paper)) in block.measured.iter().zip(&block.paper) {
+                println!("{}", diff_column(name, paper, &col.entries));
+            }
+        }
+    }
+
+    if want("table2") {
+        println!("==================================================================");
+        println!("TABLE II — Amazon co-purchase: PR (α=0.85), CR (K=5, σ=e⁻ⁿ), PPR (α=0.85)");
+        println!("==================================================================");
+        for block in tables::table2() {
+            println!("\nreference: {}", block.caption);
+            println!("{}", render(&block.measured, 5));
+            for (col, (name, paper)) in block.measured.iter().zip(&block.paper) {
+                println!("{}", diff_column(name, paper, &col.entries));
+            }
+        }
+    }
+
+    if want("table3") {
+        println!("==================================================================");
+        println!("TABLE III — Cyclerank (K=3, σ=e⁻ⁿ), reference \"Fake news\", 6 editions");
+        println!("==================================================================");
+        let cols = tables::table3();
+        let rendered: Vec<relbench::Column> = cols.iter().map(|(_, c)| c.clone()).collect();
+        println!("\n{}", render(&rendered, 5));
+        for (lang, col) in &cols {
+            println!(
+                "{}",
+                diff_column(&format!("Fake news ({lang})"), &tables::table3_paper(*lang), &col.entries)
+            );
+        }
+    }
+}

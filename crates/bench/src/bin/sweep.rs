@@ -1,0 +1,159 @@
+//! Parameter-sweep series generator: prints CSV rows (one measurement per
+//! line) for the scaling and ablation experiments, complementing the
+//! Criterion benches with data that plots directly.
+//!
+//! ```sh
+//! cargo run --release -p relbench --bin sweep            # all sweeps
+//! cargo run --release -p relbench --bin sweep -- size    # one sweep
+//! cargo run --release -p relbench --bin sweep -- k ppr
+//! ```
+//!
+//! Sweeps: `size` (runtime vs |V| for PR/PPR/CycleRank), `k` (CycleRank
+//! runtime and cycle counts vs K), `ppr` (exact vs push vs Monte-Carlo
+//! runtime and top-10 NDCG vs exact), `workers` (engine query-set
+//! throughput vs worker count).
+
+use relcore::compare::ndcg_at_k;
+use relcore::cyclerank::{cyclerank, CycleRankConfig};
+use relcore::montecarlo::{ppr_monte_carlo, MonteCarloConfig};
+use relcore::pagerank::{pagerank, PageRankConfig};
+use relcore::ppr::personalized_pagerank;
+use relcore::push::{ppr_push, PushConfig};
+use reldata::wikilink::{generate, WikilinkConfig};
+use relgraph::NodeId;
+use std::time::Instant;
+
+fn ms(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn sweep_size() {
+    println!("# sweep=size");
+    println!("nodes,edges,pagerank_ms,ppr_ms,cyclerank_k3_ms");
+    for nodes in [1_000u32, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000] {
+        let cfg = WikilinkConfig::default().with_nodes(nodes);
+        let g = generate(&cfg, 42);
+        let r = NodeId::new(cfg.hubs + 17);
+        let pr = ms(|| {
+            pagerank(g.view(), &PageRankConfig::default()).unwrap();
+        });
+        let ppr = ms(|| {
+            personalized_pagerank(g.view(), &PageRankConfig::default(), r).unwrap();
+        });
+        let cr = ms(|| {
+            cyclerank(&g, r, &CycleRankConfig::with_k(3)).unwrap();
+        });
+        println!("{},{},{pr:.3},{ppr:.3},{cr:.3}", g.node_count(), g.edge_count());
+    }
+}
+
+fn sweep_k() {
+    println!("# sweep=k (wikilink 8000 nodes)");
+    println!("k,cycles_found,candidates,cyclerank_ms");
+    let cfg = WikilinkConfig::default().with_nodes(8_000);
+    let g = generate(&cfg, 11);
+    let r = NodeId::new(cfg.hubs + 5);
+    for k in 2..=6u32 {
+        let mut out = None;
+        let t = ms(|| out = Some(cyclerank(&g, r, &CycleRankConfig::with_k(k)).unwrap()));
+        let out = out.unwrap();
+        println!("{k},{},{},{t:.3}", out.cycles_found, out.candidates);
+    }
+}
+
+fn sweep_ppr() {
+    println!("# sweep=ppr (solver ablation)");
+    println!("nodes,power_ms,push_ms,push_ndcg10,mc_ms,mc_ndcg10");
+    for nodes in [2_000u32, 8_000, 32_000] {
+        let cfg = WikilinkConfig::default().with_nodes(nodes);
+        let g = generate(&cfg, 7);
+        let seed = NodeId::new(cfg.hubs + 3);
+        let pr_cfg = PageRankConfig::default();
+
+        let mut exact = None;
+        let t_power = ms(|| {
+            exact = Some(personalized_pagerank(g.view(), &pr_cfg, seed).unwrap().0);
+        });
+        let exact = exact.unwrap();
+        let gains = exact.as_slice();
+
+        let mut push = None;
+        let t_push = ms(|| {
+            push = Some(
+                ppr_push(
+                    g.view(),
+                    &PushConfig { damping: 0.85, epsilon: 1e-6, max_pushes: usize::MAX },
+                    seed,
+                )
+                .unwrap()
+                .0,
+            );
+        });
+        let push_ndcg = ndcg_at_k(&push.unwrap().ranking(), gains, 10);
+
+        let mut mc = None;
+        let t_mc = ms(|| {
+            mc = Some(
+                ppr_monte_carlo(
+                    g.view(),
+                    &MonteCarloConfig { damping: 0.85, walks: 20_000, rng_seed: 1 },
+                    seed,
+                )
+                .unwrap(),
+            );
+        });
+        let mc_ndcg = ndcg_at_k(&mc.unwrap().ranking(), gains, 10);
+
+        println!(
+            "{},{t_power:.3},{t_push:.3},{push_ndcg:.4},{t_mc:.3},{mc_ndcg:.4}",
+            g.node_count()
+        );
+    }
+}
+
+fn sweep_workers() {
+    println!("# sweep=workers (12 PPR tasks on amazon-copurchase, 20k nodes)");
+    println!("workers,total_ms");
+    use relengine::prelude::*;
+    for workers in [1usize, 2, 4, 8] {
+        let engine = Scheduler::builder().workers(workers).build();
+        let mut qs = QuerySet::new();
+        for i in 0..12 {
+            qs.add(
+                TaskBuilder::new("amazon-copurchase")
+                    .algorithm(Algorithm::PersonalizedPageRank)
+                    .source(format!("{}", 100 + i)) // ordinary product ids
+                    .top_k(5)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        // Warm the dataset cache so we time scheduling, not generation.
+        let warm = engine.submit(qs.tasks()[0].clone());
+        engine.wait(&warm, std::time::Duration::from_secs(60)).unwrap();
+        let t = ms(|| {
+            let ids = engine.submit_query_set(&qs);
+            engine.wait_all(&ids, std::time::Duration::from_secs(120)).unwrap();
+        });
+        println!("{workers},{t:.3}");
+    }
+}
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let want = |t: &str| which.is_empty() || which.iter().any(|w| w == t);
+    if want("size") {
+        sweep_size();
+    }
+    if want("k") {
+        sweep_k();
+    }
+    if want("ppr") {
+        sweep_ppr();
+    }
+    if want("workers") {
+        sweep_workers();
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared harness for the reproduction benches and the `reproduce` binary.
+//!
+//! Each of the paper's tables has (a) a Criterion bench timing the
+//! algorithms that produce it (`benches/tableN.rs`) and (b) a row-by-row
+//! regeneration in the [`tables`] module, used by `cargo run -p relbench
+//! --bin reproduce` to print paper-vs-measured columns.
+
+pub mod tables;
+
+use relcore::result::ScoreVector;
+use relgraph::DirectedGraph;
+
+/// A reproduced table column: algorithm label + ranked entry labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column header (e.g. `Cyclerank (K=3, σ=e⁻ⁿ)`).
+    pub header: String,
+    /// Entries, best first.
+    pub entries: Vec<String>,
+}
+
+impl Column {
+    /// Builds a column from scores.
+    pub fn from_scores(header: impl Into<String>, g: &DirectedGraph, s: &ScoreVector, k: usize) -> Self {
+        Column {
+            header: header.into(),
+            entries: s.top_k_labeled(g, k).into_iter().map(|(l, _)| l).collect(),
+        }
+    }
+}
+
+/// Renders columns side by side as a fixed-width text table.
+pub fn render(columns: &[Column], rows: usize) -> String {
+    const W: usize = 30;
+    let mut out = String::new();
+    out.push_str(&format!("{:<4}", "#"));
+    for c in columns {
+        out.push_str(&format!("{:<W$}", truncate(&c.header, W - 2)));
+    }
+    out.push('\n');
+    for r in 0..rows {
+        out.push_str(&format!("{:<4}", r + 1));
+        for c in columns {
+            let cell = c.entries.get(r).map(String::as_str).unwrap_or("-");
+            out.push_str(&format!("{:<W$}", truncate(cell, W - 2)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a paper-vs-measured diff for one column.
+pub fn diff_column(name: &str, paper: &[&str], measured: &[String]) -> String {
+    let mut out = format!("{name}\n  {:<34} {:<34} match\n", "paper", "measured");
+    let rows = paper.len().max(measured.len());
+    let mut agree = 0;
+    for i in 0..rows {
+        let p = paper.get(i).copied().unwrap_or("-");
+        let m = measured.get(i).map(String::as_str).unwrap_or("-");
+        let ok = p == m;
+        if ok {
+            agree += 1;
+        }
+        out.push_str(&format!("  {:<34} {:<34} {}\n", truncate(p, 32), truncate(m, 32), if ok { "✓" } else { "✗" }));
+    }
+    let set_paper: std::collections::HashSet<&str> = paper.iter().copied().collect();
+    let set_measured: std::collections::HashSet<&str> =
+        measured.iter().map(String::as_str).collect();
+    let set_overlap = set_paper.intersection(&set_measured).count();
+    out.push_str(&format!(
+        "  exact-position agreement: {agree}/{rows}; set overlap: {set_overlap}/{}\n",
+        set_paper.len()
+    ));
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let mut t: String = s.chars().take(max.saturating_sub(1)).collect();
+        t.push('…');
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shapes() {
+        let cols = vec![
+            Column { header: "A".into(), entries: vec!["x".into(), "y".into()] },
+            Column { header: "B".into(), entries: vec!["z".into()] },
+        ];
+        let s = render(&cols, 2);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('x'));
+        assert!(s.lines().last().unwrap().contains('-')); // B column padded
+    }
+
+    #[test]
+    fn diff_counts_agreement() {
+        let d = diff_column("t", &["a", "b"], &["a".into(), "c".into()]);
+        assert!(d.contains("1/2"));
+        assert!(d.contains("set overlap: 1/2"));
+    }
+
+    #[test]
+    fn truncate_unicode_safe() {
+        assert_eq!(truncate("Ère post-vérité", 6), "Ère p…");
+        assert_eq!(truncate("short", 10), "short");
+    }
+}

@@ -1,0 +1,397 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// Parameters of a single `run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Dataset id (or a placeholder when `file` is given).
+    pub dataset: String,
+    /// Local graph file to upload-and-run instead of a registry dataset.
+    pub file: Option<String>,
+    /// Algorithm id (parsed by `relcore`).
+    pub algorithm: String,
+    /// Source label for personalized algorithms.
+    pub source: Option<String>,
+    /// Damping factor α.
+    pub alpha: Option<f64>,
+    /// Max cycle length K.
+    pub k: Option<u32>,
+    /// Scoring function name.
+    pub sigma: Option<String>,
+    /// PageRank-family solver name (power|gauss-seidel|push|monte-carlo).
+    pub solver: Option<String>,
+    /// Top-k to print.
+    pub top: usize,
+    /// Emit JSON instead of a table.
+    pub json: bool,
+}
+
+/// Parameters of `compare` (algorithm comparison use case).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareSpec {
+    /// Dataset id.
+    pub dataset: String,
+    /// Reference node label.
+    pub source: String,
+    /// Algorithms (comma-separated ids); default: pagerank,cyclerank,ppr
+    /// as in Table I.
+    pub algorithms: Vec<String>,
+    /// Top-k rows.
+    pub top: usize,
+}
+
+/// Parameters of `compare-datasets` (dataset comparison use case).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareDatasetsSpec {
+    /// Dataset ids.
+    pub datasets: Vec<String>,
+    /// Reference node label (same on each dataset, as in Table III).
+    pub source: String,
+    /// Max cycle length K.
+    pub k: u32,
+    /// Top-k rows.
+    pub top: usize,
+}
+
+/// All subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `list-datasets`.
+    ListDatasets {
+        /// Optional kind filter.
+        kind: Option<String>,
+    },
+    /// `algorithms`.
+    Algorithms,
+    /// `stats`.
+    Stats {
+        /// Dataset id.
+        dataset: String,
+    },
+    /// `run`.
+    Run(RunSpec),
+    /// `compare`.
+    Compare(CompareSpec),
+    /// `compare-datasets`.
+    CompareDatasets(CompareDatasetsSpec),
+    /// `convert`.
+    Convert {
+        /// Input path.
+        input: String,
+        /// Output path.
+        output: String,
+        /// Output format name.
+        format: Option<String>,
+    },
+    /// `visualize`.
+    Visualize {
+        /// Dataset id.
+        dataset: String,
+        /// Reference node label.
+        source: String,
+        /// Max cycle length K.
+        k: u32,
+        /// How many top nodes to include.
+        top: usize,
+        /// Output DOT path.
+        output: String,
+    },
+    /// `serve`.
+    Serve {
+        /// Bind address.
+        addr: String,
+        /// Worker count.
+        workers: usize,
+    },
+}
+
+/// Collects `--key value` pairs and bare flags from an argument list.
+struct Flags {
+    pairs: std::collections::HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = std::collections::HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument {a:?} (expected --flag)"))?;
+            // Bare switches take no value.
+            if key == "json" {
+                switches.push(key.to_string());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            pairs.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Flags { pairs, switches })
+    }
+
+    fn take(&mut self, key: &str) -> Option<String> {
+        self.pairs.remove(key)
+    }
+
+    fn require(&mut self, key: &str) -> Result<String, String> {
+        self.take(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn has_switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if let Some(k) = self.pairs.keys().next() {
+            return Err(format!("unknown flag --{k}"));
+        }
+        Ok(())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    let mut flags = Flags::parse(rest)?;
+    let command = match cmd.as_str() {
+        "list-datasets" => {
+            let kind = flags.take("kind");
+            flags.finish()?;
+            Command::ListDatasets { kind }
+        }
+        "algorithms" => {
+            flags.finish()?;
+            Command::Algorithms
+        }
+        "stats" => {
+            let dataset = flags.require("dataset")?;
+            flags.finish()?;
+            Command::Stats { dataset }
+        }
+        "run" => {
+            let file = flags.take("file");
+            let dataset = match (&file, flags.take("dataset")) {
+                (_, Some(d)) => d,
+                (Some(_), None) => "uploaded-file".to_string(),
+                (None, None) => return Err("missing required flag --dataset (or --file)".into()),
+            };
+            let spec = RunSpec {
+                dataset,
+                file,
+                algorithm: flags.require("algorithm")?,
+                source: flags.take("source"),
+                alpha: flags.take("alpha").map(|v| parse_num(&v, "alpha")).transpose()?,
+                k: flags.take("k").map(|v| parse_num(&v, "k")).transpose()?,
+                sigma: flags.take("sigma"),
+                solver: flags.take("solver"),
+                top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
+                json: flags.has_switch("json"),
+            };
+            flags.finish()?;
+            Command::Run(spec)
+        }
+        "compare" => {
+            let spec = CompareSpec {
+                dataset: flags.require("dataset")?,
+                source: flags.require("source")?,
+                algorithms: flags
+                    .take("algorithms")
+                    .map(|v| v.split(',').map(str::to_string).collect())
+                    .unwrap_or_else(|| {
+                        vec!["pagerank".into(), "cyclerank".into(), "ppr".into()]
+                    }),
+                top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
+            };
+            flags.finish()?;
+            Command::Compare(spec)
+        }
+        "compare-datasets" => {
+            let spec = CompareDatasetsSpec {
+                datasets: flags
+                    .require("datasets")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect(),
+                source: flags.require("source")?,
+                k: flags.take("k").map(|v| parse_num(&v, "k")).transpose()?.unwrap_or(3),
+                top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
+            };
+            flags.finish()?;
+            Command::CompareDatasets(spec)
+        }
+        "convert" => {
+            let input = flags.require("input")?;
+            let output = flags.require("output")?;
+            let format = flags.take("format");
+            flags.finish()?;
+            Command::Convert { input, output, format }
+        }
+        "visualize" => {
+            let cmd = Command::Visualize {
+                dataset: flags.require("dataset")?,
+                source: flags.require("source")?,
+                k: flags.take("k").map(|v| parse_num(&v, "k")).transpose()?.unwrap_or(3),
+                top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(15),
+                output: flags.take("output").unwrap_or_else(|| "relevance.dot".into()),
+            };
+            flags.finish()?;
+            cmd
+        }
+        "serve" => {
+            let addr = flags.take("addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+            let workers =
+                flags.take("workers").map(|v| parse_num(&v, "workers")).transpose()?.unwrap_or(4);
+            flags.finish()?;
+            Command::Serve { addr, workers }
+        }
+        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    Ok(Cli { command })
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "usage: relrank <command> [flags]\n\
+     commands: list-datasets, algorithms, stats, run, compare, compare-datasets, convert, visualize, serve\n\
+     see crate docs for per-command flags"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Cli, String> {
+        let args: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+        parse_args(&args)
+    }
+
+    #[test]
+    fn list_datasets_with_filter() {
+        let cli = parse("list-datasets --kind wikipedia").unwrap();
+        assert_eq!(cli.command, Command::ListDatasets { kind: Some("wikipedia".into()) });
+        let cli = parse("list-datasets").unwrap();
+        assert_eq!(cli.command, Command::ListDatasets { kind: None });
+    }
+
+    #[test]
+    fn run_full_flags() {
+        let cli =
+            parse("run --dataset wiki-en-2018 --algorithm cyclerank --source Pasta --k 4 --sigma exp --top 10 --json")
+                .unwrap();
+        match cli.command {
+            Command::Run(s) => {
+                assert_eq!(s.dataset, "wiki-en-2018");
+                assert_eq!(s.algorithm, "cyclerank");
+                assert_eq!(s.source.as_deref(), Some("Pasta"));
+                assert_eq!(s.k, Some(4));
+                assert_eq!(s.sigma.as_deref(), Some("exp"));
+                assert_eq!(s.top, 10);
+                assert!(s.json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_with_file() {
+        let cli = parse("run --file g.csv --algorithm pagerank").unwrap();
+        match cli.command {
+            Command::Run(s) => {
+                assert_eq!(s.file.as_deref(), Some("g.csv"));
+                assert_eq!(s.dataset, "uploaded-file");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_defaults() {
+        let cli = parse("run --dataset d --algorithm pagerank").unwrap();
+        match cli.command {
+            Command::Run(s) => {
+                assert_eq!(s.top, 5);
+                assert!(!s.json);
+                assert!(s.alpha.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_default_algorithms_match_table1() {
+        let cli = parse("compare --dataset d --source X").unwrap();
+        match cli.command {
+            Command::Compare(c) => {
+                assert_eq!(c.algorithms, vec!["pagerank", "cyclerank", "ppr"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_datasets_splits_ids() {
+        let cli = parse("compare-datasets --datasets a,b,c --source Fake-news --k 3").unwrap();
+        match cli.command {
+            Command::CompareDatasets(c) => {
+                assert_eq!(c.datasets, vec!["a", "b", "c"]);
+                assert_eq!(c.k, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn visualize_parses() {
+        let cli = parse("visualize --dataset d --source X --top 8 --output o.dot").unwrap();
+        match cli.command {
+            Command::Visualize { dataset, source, k, top, output } => {
+                assert_eq!(dataset, "d");
+                assert_eq!(source, "X");
+                assert_eq!(k, 3);
+                assert_eq!(top, 8);
+                assert_eq!(output, "o.dot");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("visualize --dataset d").is_err());
+    }
+
+    #[test]
+    fn serve_defaults() {
+        let cli = parse("serve").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve { addr: "127.0.0.1:8080".into(), workers: 4 }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("run --algorithm x").is_err()); // missing dataset
+        assert!(parse("run --dataset d --algorithm a --top nope").is_err());
+        assert!(parse("stats").is_err());
+        assert!(parse("stats --dataset d --bogus v").is_err());
+        assert!(parse("run --dataset").is_err()); // dangling value
+        assert!(parse("convert --input a").is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! Command implementations.
+//!
+//! Each command returns its human-readable output as a `String` (the
+//! binary prints it), which keeps everything unit-testable without
+//! capturing stdout.
+
+use crate::args::{CompareDatasetsSpec, CompareSpec, RunSpec};
+use relcore::runner::Algorithm;
+use relengine::prelude::*;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(600);
+
+/// `list-datasets`: the catalog, optionally filtered by kind.
+pub fn list_datasets(kind: Option<&str>) -> Result<String, String> {
+    let want = match kind {
+        None => None,
+        Some(k) => Some(match k.to_ascii_lowercase().as_str() {
+            "wikipedia" | "wiki" => reldata::DatasetKind::Wikipedia,
+            "amazon" => reldata::DatasetKind::Amazon,
+            "twitter" => reldata::DatasetKind::Twitter,
+            "fixture" => reldata::DatasetKind::Fixture,
+            "synthetic" => reldata::DatasetKind::Synthetic,
+            other => return Err(format!("unknown dataset kind {other:?}")),
+        }),
+    };
+    let mut out = format!("{:<24} {:>12} {}\n", "ID", "~NODES", "NAME");
+    let mut count = 0;
+    for spec in reldata::catalog() {
+        if want.map(|w| w == spec.kind).unwrap_or(true) {
+            out.push_str(&format!("{:<24} {:>12} {}\n", spec.id, spec.approx_nodes, spec.name));
+            count += 1;
+        }
+    }
+    out.push_str(&format!("{count} datasets\n"));
+    Ok(out)
+}
+
+/// `algorithms`: the seven algorithms with their metadata.
+pub fn algorithms() -> String {
+    let mut out = format!("{:<12} {:<18} {:<14} {}\n", "ID", "NAME", "PERSONALIZED", "OUTPUT");
+    for a in Algorithm::ALL {
+        out.push_str(&format!(
+            "{:<12} {:<18} {:<14} {}\n",
+            a.id(),
+            a.display_name(),
+            if a.is_personalized() { "yes" } else { "no" },
+            if a.produces_scores() { "scores" } else { "ranking only" }
+        ));
+    }
+    out
+}
+
+/// `stats`: structural summary of one dataset.
+pub fn stats(dataset: &str) -> Result<String, String> {
+    let g = reldata::load_dataset(dataset)
+        .ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let s = relgraph::GraphStats::compute(&g);
+    Ok(format!(
+        "dataset      {dataset}\n\
+         nodes        {}\n\
+         edges        {}\n\
+         density      {:.6}\n\
+         mean degree  {:.2}\n\
+         max out/in   {}/{}\n\
+         reciprocity  {:.3}\n\
+         self-loops   {}\n\
+         dangling     {}\n",
+        s.nodes,
+        s.edges,
+        s.density,
+        s.mean_degree,
+        s.max_out_degree,
+        s.max_in_degree,
+        s.reciprocity,
+        s.self_loops,
+        s.dangling
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_task(
+    dataset: &str,
+    algorithm: &str,
+    source: Option<&str>,
+    alpha: Option<f64>,
+    k: Option<u32>,
+    sigma: Option<&str>,
+    solver: Option<&str>,
+    top: usize,
+) -> Result<TaskSpec, String> {
+    let algo = Algorithm::from_str(algorithm)?;
+    let mut b = TaskBuilder::new(dataset).algorithm(algo).top_k(top);
+    if let Some(s) = solver {
+        b = b.solver(s.parse()?);
+    }
+    if let Some(a) = alpha {
+        b = b.damping(a);
+    }
+    if let Some(k) = k {
+        b = b.max_cycle_len(k);
+    }
+    if let Some(s) = sigma {
+        b = b.scoring(s.parse()?);
+    }
+    if let Some(s) = source {
+        b = b.source(s);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// `run`: execute one task and print its top-k. With `--file`, the graph
+/// is loaded from disk and registered as an ad-hoc uploaded dataset first.
+pub fn run_task(spec: RunSpec) -> Result<String, String> {
+    let task = build_task(
+        &spec.dataset,
+        &spec.algorithm,
+        spec.source.as_deref(),
+        spec.alpha,
+        spec.k,
+        spec.sigma.as_deref(),
+        spec.solver.as_deref(),
+        spec.top,
+    )?;
+    let engine = Scheduler::builder().workers(1).build();
+    if let Some(path) = &spec.file {
+        let graph = relformats::load_graph(path).map_err(|e| e.to_string())?;
+        engine.register_dataset(&spec.dataset, graph).map_err(|e| e.to_string())?;
+    }
+    let id = engine.submit(task);
+    let result = engine.wait(&id, WAIT).map_err(|e| e.to_string())?;
+
+    if spec.json {
+        return serde_json::to_string_pretty(&result).map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "task {id}\ndataset {} ({} nodes, {} edges)\nalgorithm {} [{}]  runtime {}ms\n",
+        result.dataset, result.nodes, result.edges, result.algorithm, result.parameters,
+        result.runtime_ms
+    );
+    if let Some(c) = result.cycles_found {
+        out.push_str(&format!("cycles found: {c}\n"));
+    }
+    if let Some(i) = result.iterations {
+        out.push_str(&format!("iterations: {i}\n"));
+    }
+    out.push('\n');
+    for (rank, (label, score)) in result.top.iter().enumerate() {
+        out.push_str(&format!("{:>3}  {:<40} {:.6}\n", rank + 1, label, score));
+    }
+    Ok(out)
+}
+
+/// `compare`: the paper's *algorithm comparison* use case — side-by-side
+/// top-k columns per algorithm over one dataset and reference (Tables
+/// I–II).
+pub fn compare(spec: CompareSpec) -> Result<String, String> {
+    let engine = Scheduler::builder().workers(spec.algorithms.len().max(1)).build();
+    let mut qs = QuerySet::new();
+    for name in &spec.algorithms {
+        let algo = Algorithm::from_str(name)?;
+        let source = algo.is_personalized().then_some(spec.source.as_str());
+        qs.add(build_task(&spec.dataset, name, source, None, None, None, None, spec.top)?);
+    }
+    let ids = engine.submit_query_set(&qs);
+    let results = engine.wait_all(&ids, WAIT).map_err(|e| e.to_string())?;
+
+    let width = 28;
+    let mut out = format!(
+        "Comparison id: {}\ndataset {} | reference {:?}\n\n",
+        qs.id, spec.dataset, spec.source
+    );
+    out.push_str("#   ");
+    for r in &results {
+        out.push_str(&format!("{:<width$}", r.algorithm));
+    }
+    out.push('\n');
+    for rank in 0..spec.top {
+        out.push_str(&format!("{:<4}", rank + 1));
+        for r in &results {
+            let cell = r.top.get(rank).map(|(l, _)| l.as_str()).unwrap_or("-");
+            out.push_str(&format!("{:<width$}", truncate(cell, width - 2)));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `compare-datasets`: the paper's *dataset comparison* use case — the same
+/// CycleRank query across several datasets (Table III).
+pub fn compare_datasets(spec: CompareDatasetsSpec) -> Result<String, String> {
+    let engine = Scheduler::builder().workers(spec.datasets.len().max(1)).build();
+    let mut qs = QuerySet::new();
+    for ds in &spec.datasets {
+        qs.add(build_task(
+            ds,
+            "cyclerank",
+            Some(&spec.source),
+            None,
+            Some(spec.k),
+            None,
+            None,
+            spec.top,
+        )?);
+    }
+    let ids = engine.submit_query_set(&qs);
+    let results = engine.wait_all(&ids, WAIT).map_err(|e| e.to_string())?;
+
+    let width = 28;
+    let mut out = format!(
+        "Comparison id: {}\nCyclerank (K = {}, σ = exp) | reference {:?}\n\n",
+        qs.id, spec.k, spec.source
+    );
+    out.push_str("#   ");
+    for ds in &spec.datasets {
+        out.push_str(&format!("{:<width$}", truncate(ds, width - 2)));
+    }
+    out.push('\n');
+    for rank in 0..spec.top {
+        out.push_str(&format!("{:<4}", rank + 1));
+        for r in &results {
+            let cell = r.top.get(rank).map(|(l, _)| l.as_str()).unwrap_or("-");
+            out.push_str(&format!("{:<width$}", truncate(cell, width - 2)));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+/// `convert`: read any supported graph format, write another.
+pub fn convert(input: &str, output: &str, format: Option<&str>) -> Result<String, String> {
+    let g = relformats::load_graph(input).map_err(|e| e.to_string())?;
+    let fmt = match format {
+        Some(f) => f.parse::<relformats::Format>()?,
+        None => {
+            // Infer from the output extension.
+            let ext = std::path::Path::new(output)
+                .extension()
+                .and_then(|e| e.to_str())
+                .unwrap_or("csv");
+            ext.parse::<relformats::Format>()?
+        }
+    };
+    relformats::save_graph(&g, output, fmt).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "converted {input} -> {output} ({fmt}): {} nodes, {} edges\n",
+        g.node_count(),
+        g.edge_count()
+    ))
+}
+
+/// `visualize`: run CycleRank, extract the induced subgraph of the top-k
+/// nodes, and write it as Graphviz DOT with score-colored nodes.
+pub fn visualize(
+    dataset: &str,
+    source: &str,
+    k: u32,
+    top: usize,
+    output: &str,
+) -> Result<String, String> {
+    let g = reldata::load_dataset(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let r = g
+        .node_by_label(source)
+        .ok_or_else(|| format!("no node labeled {source:?} in {dataset}"))?;
+    let out = relcore::cyclerank::cyclerank(&g, r, &relcore::CycleRankConfig::with_k(k))
+        .map_err(|e| e.to_string())?;
+    let keep: Vec<relgraph::NodeId> =
+        out.scores.top_k(top).into_iter().map(|(n, _)| n).collect();
+    let (sub, map) = relgraph::induced_subgraph(&g, keep.iter().copied());
+    // Scatter scores into the subgraph's index space.
+    let sub_scores: Vec<f64> =
+        (0..sub.node_count()).map(|i| out.scores.get(map.to_orig(relgraph::NodeId::new(i as u32)))).collect();
+    let dot = relformats::dot::write_scored(&sub, Some(&sub_scores));
+    std::fs::write(output, &dot).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {output}: {} nodes, {} edges (CycleRank K={k} around {source:?}); render with `dot -Tsvg {output}`
+",
+        sub.node_count(),
+        sub.edge_count()
+    ))
+}
+
+/// `serve`: run the API gateway until killed.
+pub fn serve(addr: &str, workers: usize) -> Result<String, String> {
+    let engine = Arc::new(Scheduler::builder().workers(workers).build());
+    let server = relserver::ApiServer::bind(addr, engine).map_err(|e| e.to_string())?;
+    let bound = server.local_addr();
+    eprintln!("relrank API gateway listening on http://{bound} ({workers} workers)");
+    server.run();
+    Ok(format!("server on {bound} stopped\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_datasets_all_and_filtered() {
+        let all = list_datasets(None).unwrap();
+        assert!(all.contains("50 datasets"));
+        let wiki = list_datasets(Some("wikipedia")).unwrap();
+        assert!(wiki.contains("36 datasets"));
+        let fx = list_datasets(Some("fixture")).unwrap();
+        assert!(fx.contains("8 datasets"));
+        assert!(list_datasets(Some("bogus")).is_err());
+    }
+
+    #[test]
+    fn algorithms_lists_seven() {
+        let out = algorithms();
+        assert_eq!(out.lines().count(), 8); // header + 7
+        assert!(out.contains("cyclerank"));
+        assert!(out.contains("ranking only"));
+    }
+
+    #[test]
+    fn stats_of_fixture() {
+        let out = stats("fixture-fakenews-pl").unwrap();
+        assert!(out.contains("nodes"));
+        assert!(out.contains("reciprocity"));
+        assert!(stats("nope").is_err());
+    }
+
+    #[test]
+    fn run_on_local_file() {
+        let dir = std::env::temp_dir().join("relcli-run-file-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mine.net");
+        std::fs::write(&path, "*Vertices 2\n1 \"me\"\n2 \"pal\"\n*Arcs\n1 2\n2 1\n").unwrap();
+        let spec = RunSpec {
+            dataset: "uploaded-file".into(),
+            file: Some(path.to_str().unwrap().to_string()),
+            algorithm: "cyclerank".into(),
+            source: Some("me".into()),
+            alpha: None,
+            k: Some(3),
+            sigma: None,
+            solver: None,
+            top: 2,
+            json: false,
+        };
+        let out = run_task(spec).unwrap();
+        assert!(out.contains("pal"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_cyclerank_table_output() {
+        let spec = RunSpec {
+            dataset: "fixture-fakenews-it".into(),
+            file: None,
+            algorithm: "cyclerank".into(),
+            source: Some("Fake news".into()),
+            alpha: None,
+            k: Some(3),
+            sigma: Some("exp".into()),
+            solver: None,
+            top: 5,
+            json: false,
+        };
+        let out = run_task(spec).unwrap();
+        assert!(out.contains("cycles found"));
+        assert!(out.contains("Fake news"));
+        assert!(out.contains("Disinformazione"));
+    }
+
+    #[test]
+    fn run_json_output() {
+        let spec = RunSpec {
+            dataset: "fixture-fakenews-pl".into(),
+            file: None,
+            algorithm: "pagerank".into(),
+            source: None,
+            alpha: Some(0.85),
+            k: None,
+            sigma: None,
+            solver: None,
+            top: 3,
+            json: true,
+        };
+        let out = run_task(spec).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["algorithm"], "pagerank");
+        assert_eq!(v["top"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn run_rejects_bad_algorithm() {
+        let spec = RunSpec {
+            dataset: "fixture-fakenews-pl".into(),
+            file: None,
+            algorithm: "zerank".into(),
+            source: None,
+            alpha: None,
+            k: None,
+            sigma: None,
+            solver: None,
+            top: 3,
+            json: false,
+        };
+        assert!(run_task(spec).is_err());
+    }
+
+    #[test]
+    fn compare_produces_side_by_side_columns() {
+        let out = compare(CompareSpec {
+            dataset: "fixture-enwiki-2018".into(),
+            source: "Freddie Mercury".into(),
+            algorithms: vec!["pagerank".into(), "cyclerank".into(), "ppr".into()],
+            top: 5,
+        })
+        .unwrap();
+        // Table I shape: PR column has the hub, CR column has the band.
+        assert!(out.contains("United States"));
+        assert!(out.contains("Queen (band)"));
+        assert!(out.contains("Comparison id"));
+        assert_eq!(out.lines().filter(|l| l.starts_with(char::is_numeric)).count(), 5);
+    }
+
+    #[test]
+    fn compare_datasets_table3_style() {
+        let out = compare_datasets(CompareDatasetsSpec {
+            datasets: vec!["fixture-fakenews-it".into(), "fixture-fakenews-pl".into()],
+            source: "Fake news".into(),
+            k: 3,
+            top: 4,
+        })
+        .unwrap();
+        assert!(out.contains("Disinformazione"));
+        assert!(out.contains("Dezinformacja"));
+        assert!(out.contains("K = 3"));
+    }
+
+    #[test]
+    fn visualize_writes_dot() {
+        let dir = std::env::temp_dir().join("relcli-viz-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("viz.dot");
+        let msg =
+            visualize("fixture-fakenews-it", "Fake news", 3, 6, out.to_str().unwrap()).unwrap();
+        assert!(msg.contains("6 nodes"), "{msg}");
+        let dot = std::fs::read_to_string(&out).unwrap();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("Disinformazione"));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(visualize("nope", "x", 3, 5, "/tmp/x.dot").is_err());
+        assert!(visualize("fixture-fakenews-it", "Nope", 3, 5, "/tmp/x.dot").is_err());
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        let dir = std::env::temp_dir().join("relcli-convert-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        let output = dir.join("out.net");
+        std::fs::write(&input, "0,1\n1,0\n").unwrap();
+        let msg = convert(input.to_str().unwrap(), output.to_str().unwrap(), None).unwrap();
+        assert!(msg.contains("2 nodes"));
+        let back = relformats::load_graph(&output).unwrap();
+        assert_eq!(back.edge_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

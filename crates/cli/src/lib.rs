@@ -1,0 +1,44 @@
+//! # relcli — command-line front-end for the CycleRank demo platform
+//!
+//! Stands in for the paper's Web UI: every interaction the browser
+//! performs (pick a dataset, pick an algorithm and parameters, submit,
+//! compare results side by side) has a subcommand here.
+//!
+//! ```text
+//! relrank list-datasets [--kind wikipedia|amazon|twitter|fixture|synthetic]
+//! relrank algorithms
+//! relrank stats --dataset <id>
+//! relrank run --dataset <id> --algorithm <algo> [--source <label>]
+//!             [--alpha <f>] [--k <n>] [--sigma exp|lin|quad|const]
+//!             [--top <n>] [--json]
+//! relrank compare --dataset <id> --source <label>
+//!                 [--algorithms pagerank,cyclerank,ppr] [--top <n>]
+//! relrank compare-datasets --datasets <id,id,...> --source <label>
+//!                          [--k <n>] [--top <n>]
+//! relrank convert --input <file> --output <file> --format csv|pajek|asd
+//! relrank serve [--addr 127.0.0.1:8080] [--workers <n>]
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Cli, Command};
+
+/// Runs a parsed command, writing human output to the returned string.
+pub fn run(cli: Cli) -> Result<String, String> {
+    match cli.command {
+        Command::ListDatasets { kind } => commands::list_datasets(kind.as_deref()),
+        Command::Algorithms => Ok(commands::algorithms()),
+        Command::Stats { dataset } => commands::stats(&dataset),
+        Command::Run(spec) => commands::run_task(spec),
+        Command::Compare(c) => commands::compare(c),
+        Command::CompareDatasets(c) => commands::compare_datasets(c),
+        Command::Convert { input, output, format } => {
+            commands::convert(&input, &output, format.as_deref())
+        }
+        Command::Visualize { dataset, source, k, top, output } => {
+            commands::visualize(&dataset, &source, k, top, &output)
+        }
+        Command::Serve { addr, workers } => commands::serve(&addr, workers),
+    }
+}

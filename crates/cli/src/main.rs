@@ -1,0 +1,19 @@
+//! `relrank` — the command-line front-end of the CycleRank demo platform.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match relcli::parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match relcli::run(cli) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

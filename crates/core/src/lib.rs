@@ -1,0 +1,66 @@
+//! # relcore — personalized relevance algorithms for directed graphs
+//!
+//! This crate implements the seven algorithms showcased by the CycleRank
+//! demo platform (*Comparing Personalized Relevance Algorithms for Directed
+//! Graphs*, ICDE 2024):
+//!
+//! | Algorithm | Module | Personalized? | Output |
+//! |-----------|--------|---------------|--------|
+//! | PageRank | [`mod@pagerank`] | no | scores |
+//! | Personalized PageRank | [`ppr`] | yes | scores |
+//! | CheiRank | [`mod@cheirank`] | no | scores |
+//! | Personalized CheiRank | [`mod@cheirank`] | yes | scores |
+//! | 2DRank | [`tworank`] | no | ranking only |
+//! | Personalized 2DRank | [`tworank`] | yes | ranking only |
+//! | **CycleRank** | [`cyclerank`] | yes | scores |
+//!
+//! plus two approximate Personalized-PageRank solvers used by the ablation
+//! benchmarks ([`push`] — Andersen–Chung–Lang forward push — and
+//! [`montecarlo`] — terminated random walks), ranking-comparison metrics
+//! ([`compare`]) and a uniform dispatch layer ([`runner`]) used by the
+//! execution engine.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use relgraph::GraphBuilder;
+//! use relcore::{cyclerank::cyclerank, CycleRankConfig};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_labeled_edge("Pasta", "Italy");
+//! b.add_labeled_edge("Italy", "Pasta");
+//! b.add_labeled_edge("Pasta", "United States"); // no link back
+//! let g = b.build();
+//! let r = g.node_by_label("Pasta").unwrap();
+//!
+//! let out = cyclerank(&g, r, &CycleRankConfig::default()).unwrap();
+//! let italy = g.node_by_label("Italy").unwrap();
+//! let us = g.node_by_label("United States").unwrap();
+//! assert!(out.scores.get(italy) > 0.0);   // mutually linked: relevant
+//! assert_eq!(out.scores.get(us), 0.0);    // one-way link: not relevant
+//! ```
+
+pub mod cheirank;
+pub mod compare;
+pub mod cyclerank;
+pub mod error;
+pub mod gauss_seidel;
+pub mod montecarlo;
+pub mod pagerank;
+pub mod parallel;
+pub mod ppr;
+pub mod push;
+pub mod result;
+pub mod runner;
+pub mod scoring;
+pub mod tworank;
+
+pub use cheirank::{cheirank, personalized_cheirank};
+pub use cyclerank::{CycleRankConfig, CycleRankOutput};
+pub use error::AlgoError;
+pub use pagerank::{pagerank, Convergence, PageRankConfig};
+pub use ppr::{personalized_pagerank, TeleportVector};
+pub use result::{RankedList, ScoreVector};
+pub use runner::{run, Algorithm, AlgorithmParams, RelevanceOutput};
+pub use scoring::ScoringFunction;
+pub use tworank::{personalized_two_d_rank, two_d_rank};

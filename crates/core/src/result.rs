@@ -1,0 +1,303 @@
+//! Score vectors and ranked result lists.
+//!
+//! Score-producing algorithms (PageRank family, CycleRank) return a
+//! [`ScoreVector`]; ranking-only algorithms (2DRank) return a [`RankedList`]
+//! directly. A `ScoreVector` converts into a `RankedList` by sorting scores
+//! descending with node-index tie-breaking, which makes every algorithm's
+//! output comparable through the metrics in [`crate::compare`].
+
+use relgraph::{DirectedGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A dense per-node score assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreVector {
+    values: Vec<f64>,
+}
+
+impl ScoreVector {
+    /// Wraps a dense score vector (index = node id).
+    pub fn new(values: Vec<f64>) -> Self {
+        ScoreVector { values }
+    }
+
+    /// All-zero scores for `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        ScoreVector { values: vec![0.0; n] }
+    }
+
+    /// Number of nodes scored.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no nodes are scored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Score of `u`.
+    #[inline]
+    pub fn get(&self, u: NodeId) -> f64 {
+        self.values[u.index()]
+    }
+
+    /// Mutable score of `u`.
+    #[inline]
+    pub fn get_mut(&mut self, u: NodeId) -> &mut f64 {
+        &mut self.values[u.index()]
+    }
+
+    /// Raw slice view.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes into the raw vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Sum of all scores.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// L1-normalizes in place so scores sum to 1 (no-op on an all-zero
+    /// vector).
+    pub fn normalize(&mut self) {
+        let s = self.sum();
+        if s > 0.0 {
+            for v in &mut self.values {
+                *v /= s;
+            }
+        }
+    }
+
+    /// Node with the maximum score (ties broken by lowest index); `None`
+    /// for an empty vector.
+    pub fn argmax(&self) -> Option<NodeId> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| NodeId::from_usize(i))
+    }
+
+    /// Top-`k` nodes by score (descending, ties by ascending node id).
+    ///
+    /// Uses a partial sort: O(n + k log n) via `select_nth_unstable`.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let n = self.values.len();
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let key = |i: &u32| {
+            // Descending score, ascending index.
+            (std::cmp::Reverse(ordered(self.values[*i as usize])), *i)
+        };
+        if k < n {
+            idx.select_nth_unstable_by_key(k - 1, key);
+            idx.truncate(k);
+        }
+        idx.sort_unstable_by_key(key);
+        idx.into_iter()
+            .map(|i| (NodeId::new(i), self.values[i as usize]))
+            .collect()
+    }
+
+    /// Full ranking of all nodes (descending score, ascending id ties).
+    pub fn ranking(&self) -> RankedList {
+        let pairs = self.top_k(self.values.len());
+        RankedList::new(pairs.into_iter().map(|(n, _)| n).collect())
+    }
+
+    /// Top-`k` as `(label, score)` pairs using the graph's label table.
+    pub fn top_k_labeled(&self, g: &DirectedGraph, k: usize) -> Vec<(String, f64)> {
+        self.top_k(k)
+            .into_iter()
+            .map(|(n, s)| (g.display_name(n), s))
+            .collect()
+    }
+}
+
+/// Total order over f64 (via `total_cmp`); scores produced by the
+/// algorithms are never NaN, this is belt-and-braces for sorting.
+#[inline]
+fn ordered(v: f64) -> OrderedF64 {
+    OrderedF64(v)
+}
+
+#[derive(PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// An ordered list of nodes, most relevant first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedList {
+    order: Vec<NodeId>,
+}
+
+impl RankedList {
+    /// Wraps an explicit ordering.
+    pub fn new(order: Vec<NodeId>) -> Self {
+        RankedList { order }
+    }
+
+    /// Number of ranked nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The ranked node ids, best first.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// First `k` entries.
+    pub fn top_k(&self, k: usize) -> &[NodeId] {
+        &self.order[..k.min(self.order.len())]
+    }
+
+    /// 0-based position of each node: `positions()[u] = rank of u`, or
+    /// `u32::MAX` for unranked nodes. `n` is the total node count.
+    pub fn positions(&self, n: usize) -> Vec<u32> {
+        let mut pos = vec![u32::MAX; n];
+        for (rank, u) in self.order.iter().enumerate() {
+            pos[u.index()] = rank as u32;
+        }
+        pos
+    }
+
+    /// 0-based rank of `u` in this list, if present.
+    pub fn rank_of(&self, u: NodeId) -> Option<usize> {
+        self.order.iter().position(|&x| x == u)
+    }
+
+    /// Labels of the first `k` entries.
+    pub fn top_k_labeled(&self, g: &DirectedGraph, k: usize) -> Vec<String> {
+        self.top_k(k).iter().map(|&n| g.display_name(n)).collect()
+    }
+
+    /// Consumes into the underlying vector.
+    pub fn into_vec(self) -> Vec<NodeId> {
+        self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph::GraphBuilder;
+
+    #[test]
+    fn top_k_descending_with_ties() {
+        let s = ScoreVector::new(vec![0.3, 0.9, 0.3, 0.5]);
+        let top = s.top_k(4);
+        let ids: Vec<u32> = top.iter().map(|(n, _)| n.raw()).collect();
+        assert_eq!(ids, vec![1, 3, 0, 2]); // ties 0,2 broken by index
+        assert_eq!(top[0].1, 0.9);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let s = ScoreVector::new(vec![0.1, 0.2, 0.3]);
+        assert_eq!(s.top_k(2).len(), 2);
+        assert_eq!(s.top_k(0).len(), 0);
+        assert_eq!(s.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn top_k_partial_sort_matches_full_sort() {
+        // Deterministic pseudo-random scores.
+        let mut x = 123456789u64;
+        let scores: Vec<f64> = (0..500)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let s = ScoreVector::new(scores.clone());
+        let top10 = s.top_k(10);
+        let mut full: Vec<(u32, f64)> = scores.iter().copied().enumerate().map(|(i, v)| (i as u32, v)).collect();
+        full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (got, want) in top10.iter().zip(full.iter()) {
+            assert_eq!(got.0.raw(), want.0);
+            assert_eq!(got.1, want.1);
+        }
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut s = ScoreVector::new(vec![1.0, 3.0]);
+        s.normalize();
+        assert!((s.sum() - 1.0).abs() < 1e-12);
+        assert_eq!(s.get(NodeId::new(1)), 0.75);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut s = ScoreVector::zeros(3);
+        s.normalize();
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn argmax() {
+        let s = ScoreVector::new(vec![0.1, 0.5, 0.5]);
+        assert_eq!(s.argmax(), Some(NodeId::new(1))); // tie -> lowest index
+        assert_eq!(ScoreVector::zeros(0).argmax(), None);
+    }
+
+    #[test]
+    fn ranking_positions() {
+        let s = ScoreVector::new(vec![0.2, 0.9, 0.5]);
+        let r = s.ranking();
+        assert_eq!(r.as_slice(), &[NodeId::new(1), NodeId::new(2), NodeId::new(0)]);
+        let pos = r.positions(3);
+        assert_eq!(pos, vec![2, 0, 1]);
+        assert_eq!(r.rank_of(NodeId::new(2)), Some(1));
+    }
+
+    #[test]
+    fn labeled_output() {
+        let mut b = GraphBuilder::new();
+        b.add_labeled_edge("A", "B");
+        let g = b.build();
+        let s = ScoreVector::new(vec![0.2, 0.8]);
+        let labeled = s.top_k_labeled(&g, 2);
+        assert_eq!(labeled[0].0, "B");
+        let rl = s.ranking();
+        assert_eq!(rl.top_k_labeled(&g, 1), vec!["B".to_string()]);
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut s = ScoreVector::zeros(2);
+        *s.get_mut(NodeId::new(1)) += 2.5;
+        assert_eq!(s.get(NodeId::new(1)), 2.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cycle scoring functions σ(n).
+//!
+//! CycleRank weights each cycle by a function of its length `n`:
+//! `CR_{r,K}(i) = Σ_{n=2..K} σ(n) · c_{r,n}(i)`. Short cycles represent a
+//! stronger relationship, so σ must be non-increasing in `n`. The demo paper
+//! uses the exponential damping `σ(n) = e^{−n}` (found experimentally best
+//! on Wikipedia); the CycleRank journal paper also evaluates the inverse
+//! (`1/n`), quadratic-inverse (`1/n²`) and constant variants, which we
+//! provide for the ablation benchmarks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The cycle-length weighting function σ(n) of CycleRank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ScoringFunction {
+    /// σ(n) = e^(−n) — the paper's default ("exp").
+    #[default]
+    Exponential,
+    /// σ(n) = 1/n ("lin").
+    Inverse,
+    /// σ(n) = 1/n² ("quad").
+    QuadraticInverse,
+    /// σ(n) = 1 — raw cycle counting ("const").
+    Constant,
+}
+
+impl ScoringFunction {
+    /// Evaluates σ at cycle length `n` (n ≥ 2 for any real cycle).
+    #[inline]
+    pub fn weight(self, n: u32) -> f64 {
+        let nf = n as f64;
+        match self {
+            ScoringFunction::Exponential => (-nf).exp(),
+            ScoringFunction::Inverse => 1.0 / nf,
+            ScoringFunction::QuadraticInverse => 1.0 / (nf * nf),
+            ScoringFunction::Constant => 1.0,
+        }
+    }
+
+    /// Short identifier as used in the demo UI (`exp`, `lin`, `quad`,
+    /// `const`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ScoringFunction::Exponential => "exp",
+            ScoringFunction::Inverse => "lin",
+            ScoringFunction::QuadraticInverse => "quad",
+            ScoringFunction::Constant => "const",
+        }
+    }
+
+    /// All variants, for sweeps.
+    pub const ALL: [ScoringFunction; 4] = [
+        ScoringFunction::Exponential,
+        ScoringFunction::Inverse,
+        ScoringFunction::QuadraticInverse,
+        ScoringFunction::Constant,
+    ];
+}
+
+impl fmt::Display for ScoringFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+impl FromStr for ScoringFunction {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "exp" | "exponential" => Ok(ScoringFunction::Exponential),
+            "lin" | "inverse" | "1/n" => Ok(ScoringFunction::Inverse),
+            "quad" | "quadratic" | "1/n2" | "1/n^2" => Ok(ScoringFunction::QuadraticInverse),
+            "const" | "constant" | "1" => Ok(ScoringFunction::Constant),
+            other => Err(format!("unknown scoring function {other:?} (expected exp|lin|quad|const)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_values() {
+        let s = ScoringFunction::Exponential;
+        assert!((s.weight(2) - (-2.0f64).exp()).abs() < 1e-15);
+        assert!((s.weight(3) - (-3.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_nonincreasing_in_n() {
+        for s in ScoringFunction::ALL {
+            for n in 2..10 {
+                assert!(s.weight(n) >= s.weight(n + 1), "{s} must be non-increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn all_positive() {
+        for s in ScoringFunction::ALL {
+            for n in 2..20 {
+                assert!(s.weight(n) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_and_quadratic() {
+        assert_eq!(ScoringFunction::Inverse.weight(4), 0.25);
+        assert_eq!(ScoringFunction::QuadraticInverse.weight(4), 1.0 / 16.0);
+        assert_eq!(ScoringFunction::Constant.weight(7), 1.0);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ScoringFunction::ALL {
+            let parsed: ScoringFunction = s.short_name().parse().unwrap();
+            assert_eq!(parsed, s);
+        }
+        assert!("bogus".parse::<ScoringFunction>().is_err());
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("Exponential".parse::<ScoringFunction>().unwrap(), ScoringFunction::Exponential);
+        assert_eq!("1/n".parse::<ScoringFunction>().unwrap(), ScoringFunction::Inverse);
+        assert_eq!("1/n^2".parse::<ScoringFunction>().unwrap(), ScoringFunction::QuadraticInverse);
+    }
+
+    #[test]
+    fn default_is_exponential() {
+        assert_eq!(ScoringFunction::default(), ScoringFunction::Exponential);
+    }
+
+    #[test]
+    fn display_matches_short_name() {
+        assert_eq!(ScoringFunction::Exponential.to_string(), "exp");
+    }
+}

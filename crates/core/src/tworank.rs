@@ -1,0 +1,145 @@
+//! 2DRank: the two-dimensional PageRank × CheiRank ranking.
+//!
+//! Zhirov, Zhirov & Shepelyansky (2010) combine the PageRank rank index
+//! `K(i)` and the CheiRank rank index `K*(i)` of each node into a single
+//! ordering. As the paper notes, **2DRank produces a ranking, not a score**:
+//! it sweeps a growing square over the (K, K*) plane and appends nodes in
+//! the order they enter the square.
+//!
+//! Concretely, with 1-based rank indices, node `i` enters the square at side
+//! length `k(i) = max(K(i), K*(i))`. Nodes are emitted by increasing `k`;
+//! within one `k`, following Zhirov et al., nodes on the horizontal side
+//! (`K*(i) = k`, `K(i) < k`) come first ordered by `K`, then the corner /
+//! vertical side (`K(i) = k`) ordered by `K*`. Equivalently: sort by
+//! `(max(K, K*), K* == k ? 0 : 1, min(K, K*))` — deterministic given the two
+//! input rankings.
+//!
+//! The personalized variant applies the same sweep to Personalized PageRank
+//! and Personalized CheiRank rankings for a reference node.
+
+use crate::error::AlgoError;
+use crate::pagerank::{pagerank, PageRankConfig};
+use crate::ppr::personalized_pagerank;
+use crate::result::{RankedList, ScoreVector};
+use relgraph::{DirectedGraph, NodeId};
+
+/// Combines two rankings with the 2DRank square sweep.
+///
+/// `pr_rank` and `chei_rank` are 0-based positions per node (as produced by
+/// [`RankedList::positions`]); both must cover the same node count.
+pub fn two_d_rank_from_positions(pr_rank: &[u32], chei_rank: &[u32]) -> RankedList {
+    debug_assert_eq!(pr_rank.len(), chei_rank.len());
+    let n = pr_rank.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| {
+        let k = pr_rank[i as usize];
+        let ks = chei_rank[i as usize];
+        let side = k.max(ks);
+        // Horizontal side (CheiRank attains the max) first, then vertical.
+        let on_vertical = u8::from(k >= ks);
+        (side, on_vertical, k.min(ks), i)
+    });
+    RankedList::new(order.into_iter().map(NodeId::new).collect())
+}
+
+/// Global 2DRank from PageRank and CheiRank scores.
+pub fn two_d_rank(g: &DirectedGraph, cfg: &PageRankConfig) -> Result<RankedList, AlgoError> {
+    let (pr, _) = pagerank(g.view(), cfg)?;
+    let (chei, _) = pagerank(g.transposed(), cfg)?;
+    Ok(combine(g.node_count(), &pr, &chei))
+}
+
+/// Personalized 2DRank: combines Personalized PageRank and Personalized
+/// CheiRank for `reference`.
+pub fn personalized_two_d_rank(
+    g: &DirectedGraph,
+    cfg: &PageRankConfig,
+    reference: NodeId,
+) -> Result<RankedList, AlgoError> {
+    let (pr, _) = personalized_pagerank(g.view(), cfg, reference)?;
+    let (chei, _) = personalized_pagerank(g.transposed(), cfg, reference)?;
+    Ok(combine(g.node_count(), &pr, &chei))
+}
+
+fn combine(n: usize, pr: &ScoreVector, chei: &ScoreVector) -> RankedList {
+    let pr_pos = pr.ranking().positions(n);
+    let chei_pos = chei.ranking().positions(n);
+    two_d_rank_from_positions(&pr_pos, &chei_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph::GraphBuilder;
+
+    #[test]
+    fn sweep_orders_by_square_entry() {
+        // Node: 0 1 2 3
+        // K   : 0 1 2 3   (PageRank positions)
+        // K*  : 3 2 1 0   (CheiRank positions)
+        // max : 3 2 2 3
+        // Order: side 2 first {1, 2}, then side 3 {0, 3}.
+        // Within side 2: node 1 (K=1 < K*=2 → horizontal) before node 2 (vertical).
+        // Within side 3: node 0 (K*=3 attains max → horizontal) before node 3.
+        let r = two_d_rank_from_positions(&[0, 1, 2, 3], &[3, 2, 1, 0]);
+        let ids: Vec<u32> = r.as_slice().iter().map(|n| n.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn identical_rankings_passthrough() {
+        let pos = [2u32, 0, 1];
+        let r = two_d_rank_from_positions(&pos, &pos);
+        let ids: Vec<u32> = r.as_slice().iter().map(|n| n.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ranking_is_permutation() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0), (0, 3), (3, 0)]);
+        let r = two_d_rank(&g, &PageRankConfig::default()).unwrap();
+        let mut ids: Vec<u32> = r.as_slice().iter().map(|n| n.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn balanced_node_wins() {
+        // Node 0: both receives from and links to everyone (balanced).
+        // Nodes 1..=4: in a ring, each also linked with 0 both ways.
+        let mut b = GraphBuilder::new();
+        for i in 1..=4 {
+            b.add_edge_indices(0, i);
+            b.add_edge_indices(i, 0);
+            b.add_edge_indices(i, (i % 4) + 1);
+        }
+        let g = b.build();
+        let r = two_d_rank(&g, &PageRankConfig::default()).unwrap();
+        assert_eq!(r.as_slice()[0], NodeId::new(0));
+    }
+
+    #[test]
+    fn personalized_puts_reference_first() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+        // Restart-heavy walk (low α): both PPR and personalized CheiRank put
+        // the reference first, so the square sweep must too. (With α = 0.85
+        // a central neighbor can legitimately outrank the reference.)
+        let cfg = PageRankConfig::with_damping(0.3);
+        for refn in 0..4u32 {
+            let r = personalized_two_d_rank(&g, &cfg, NodeId::new(refn)).unwrap();
+            assert_eq!(r.as_slice()[0], NodeId::new(refn), "reference {refn} should rank first");
+        }
+    }
+
+    #[test]
+    fn personalized_invalid_reference() {
+        let g = GraphBuilder::from_edge_indices([(0, 1)]);
+        assert!(personalized_two_d_rank(&g, &PageRankConfig::default(), NodeId::new(5)).is_err());
+    }
+
+    #[test]
+    fn empty_positions() {
+        let r = two_d_rank_from_positions(&[], &[]);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the relevance algorithms.
+
+use proptest::prelude::*;
+use relcore::cyclerank::{cyclerank, CycleRankConfig};
+use relcore::pagerank::{pagerank, PageRankConfig};
+use relcore::ppr::personalized_pagerank;
+use relcore::push::{ppr_push, PushConfig};
+use relcore::runner::{run, Algorithm, AlgorithmParams};
+use relcore::ScoringFunction;
+use relgraph::{GraphBuilder, NodeId};
+
+fn edge_list(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes), 1..max_edges)
+}
+
+proptest! {
+    /// PageRank is a probability distribution: non-negative and sums to 1.
+    #[test]
+    fn pagerank_is_distribution(edges in edge_list(30, 150), alpha in 0.05f64..0.95) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let (s, _) = pagerank(g.view(), &PageRankConfig::with_damping(alpha)).unwrap();
+        prop_assert!((s.sum() - 1.0).abs() < 1e-6);
+        prop_assert!(s.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    /// Every node's PageRank is at least the bare teleport mass (1−α)/n.
+    #[test]
+    fn pagerank_teleport_floor(edges in edge_list(25, 100), alpha in 0.1f64..0.9) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let (s, _) = pagerank(g.view(), &PageRankConfig::with_damping(alpha)).unwrap();
+        let floor = (1.0 - alpha) / g.node_count() as f64;
+        prop_assert!(s.as_slice().iter().all(|&v| v >= floor - 1e-9));
+    }
+
+    /// PPR: distribution, zero outside the seed's reachable set, and the
+    /// seed always has positive mass.
+    #[test]
+    fn ppr_support_is_reachable_set(edges in edge_list(25, 100), seed in 0u32..25) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let seed = NodeId::new(seed % g.node_count() as u32);
+        let (s, _) = personalized_pagerank(g.view(), &PageRankConfig::default(), seed).unwrap();
+        prop_assert!((s.sum() - 1.0).abs() < 1e-6);
+        prop_assert!(s.get(seed) > 0.0);
+        let dist = relgraph::bfs_distances(&g, seed);
+        for u in g.nodes() {
+            if dist[u.index()] == u32::MAX {
+                prop_assert_eq!(s.get(u), 0.0, "unreachable {:?} has mass", u);
+            }
+        }
+    }
+
+    /// Forward push approximates exact PPR within the ACL residual bound:
+    /// at termination every residual satisfies r[u] ≤ ε·deg(u), and the
+    /// error vector is Σ_u r[u]·ppr_u, so its **L1 norm** is at most
+    /// Σ_u ε·deg(u) ≤ ε·(|E| + |V|). (A pointwise per-node bound does NOT
+    /// hold on directed graphs — mass can funnel into one node.)
+    #[test]
+    fn push_error_bound_l1(edges in edge_list(20, 80), seed in 0u32..20) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let seed = NodeId::new(seed % g.node_count() as u32);
+        let eps = 1e-6;
+        let (approx, _) = ppr_push(
+            g.view(),
+            &PushConfig { damping: 0.85, epsilon: eps, max_pushes: usize::MAX },
+            seed,
+        ).unwrap();
+        let (exact, _) = personalized_pagerank(
+            g.view(),
+            &PageRankConfig { damping: 0.85, tolerance: 1e-13, max_iterations: 5000 },
+            seed,
+        ).unwrap();
+        let l1: f64 = g.nodes().map(|u| (approx.get(u) - exact.get(u)).abs()).sum();
+        let bound = eps * (g.edge_count() + g.node_count()) as f64 + 1e-8;
+        prop_assert!(l1 <= bound, "L1 error {l1} > bound {bound}");
+        // Push never overestimates total mass.
+        prop_assert!(approx.sum() <= 1.0 + 1e-12);
+    }
+
+    /// CycleRank invariants: non-negative, reference attains the max,
+    /// scores are zero iff the node lies on no qualifying cycle, and the
+    /// total score is monotone in K.
+    #[test]
+    fn cyclerank_invariants(edges in edge_list(15, 70), r in 0u32..15) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let r = NodeId::new(r % g.node_count() as u32);
+        let mut prev_total = -1.0;
+        for k in 2..=5u32 {
+            let out = cyclerank(&g, r, &CycleRankConfig::with_k(k)).unwrap();
+            let max = out.scores.as_slice().iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(out.scores.as_slice().iter().all(|&v| v >= 0.0));
+            prop_assert!(out.scores.get(r) >= max - 1e-12, "reference not maximal");
+            let total = out.scores.sum();
+            prop_assert!(total >= prev_total - 1e-12, "not monotone in K");
+            prev_total = total;
+            // cycles_found == 0 <=> all scores zero.
+            prop_assert_eq!(out.cycles_found == 0, total == 0.0);
+        }
+    }
+
+    /// CycleRank with the constant scoring function: the reference node's
+    /// score equals the total number of cycles found.
+    #[test]
+    fn cyclerank_constant_scoring_counts_cycles(edges in edge_list(12, 50), r in 0u32..12) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let r = NodeId::new(r % g.node_count() as u32);
+        let cfg = CycleRankConfig { max_cycle_len: 4, scoring: ScoringFunction::Constant, use_edge_weights: false };
+        let out = cyclerank(&g, r, &cfg).unwrap();
+        prop_assert!((out.scores.get(r) - out.cycles_found as f64).abs() < 1e-9);
+    }
+
+    /// CycleRank is insensitive to damping-style params and symmetric under
+    /// graph relabeling: permuting node ids permutes scores.
+    #[test]
+    fn cyclerank_permutation_equivariance(edges in edge_list(10, 40), shift in 1u32..9) {
+        let g = GraphBuilder::from_edge_indices(edges.clone());
+        let n = g.node_count() as u32;
+        if n < 2 { return Ok(()); }
+        let perm = |u: u32| (u + shift) % n;
+        let permuted: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (perm(u), perm(v))).collect();
+        let mut b = GraphBuilder::new();
+        for (u, v) in permuted { b.add_edge_indices(u, v); }
+        b.ensure_node(n - 1);
+        let g2 = b.build();
+        let r = NodeId::new(0);
+        let cfg = CycleRankConfig::with_k(4);
+        let out1 = cyclerank(&g, r, &cfg).unwrap();
+        let out2 = cyclerank(&g2, NodeId::new(perm(0)), &cfg).unwrap();
+        prop_assert_eq!(out1.cycles_found, out2.cycles_found);
+        for u in 0..n {
+            let a = out1.scores.get(NodeId::new(u));
+            let b = out2.scores.get(NodeId::new(perm(u)));
+            prop_assert!((a - b).abs() < 1e-12, "node {}: {} vs {}", u, a, b);
+        }
+    }
+
+    /// The runner produces a full permutation ranking for every algorithm.
+    #[test]
+    fn runner_rankings_are_permutations(edges in edge_list(12, 60), r in 0u32..12) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let r = NodeId::new(r % g.node_count() as u32);
+        for algo in Algorithm::ALL {
+            let out = run(&g, &AlgorithmParams::new(algo), Some(r)).unwrap();
+            let mut ids: Vec<u32> = out.ranking.as_slice().iter().map(|n| n.raw()).collect();
+            ids.sort_unstable();
+            let want: Vec<u32> = (0..g.node_count() as u32).collect();
+            prop_assert_eq!(ids, want, "{} ranking not a permutation", algo);
+        }
+    }
+
+    /// Ranking metrics: self-similarity axioms hold for arbitrary score
+    /// vectors.
+    #[test]
+    fn compare_metric_axioms(scores in prop::collection::vec(0.0f64..1.0, 2..40)) {
+        let s = relcore::ScoreVector::new(scores);
+        let r = s.ranking();
+        prop_assert_eq!(relcore::compare::kendall_tau(&r, &r), 1.0);
+        prop_assert!((relcore::compare::rank_biased_overlap(&r, &r, 0.9) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(relcore::compare::spearman_footrule(&r, &r), 1.0);
+        prop_assert_eq!(relcore::compare::jaccard_at_k(&r, &r, 5), 1.0);
+    }
+}

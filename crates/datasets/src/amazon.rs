@@ -1,0 +1,211 @@
+//! Amazon-co-purchase-like generator.
+//!
+//! The Amazon dataset (Leskovec et al., TWEB 2007) records "customers who
+//! bought X also bought Y" relations over ~548k products. Structurally:
+//!
+//! * products cluster by **genre/series** — co-purchases inside a cluster
+//!   are frequent and often mutual (buying either book of a pair suggests
+//!   the other);
+//! * a few **best-sellers** are co-purchased with *everything* — they
+//!   receive recommendation edges from all genres but their own outgoing
+//!   recommendations stay within their own franchise;
+//! * the recommendation list per product is short (Amazon shows a handful),
+//!   so out-degree is low and fairly uniform, unlike the web-like
+//!   [`crate::wikilink`] graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+
+/// Parameters of the co-purchase generator.
+#[derive(Debug, Clone)]
+pub struct AmazonConfig {
+    /// Total number of products (including best-sellers).
+    pub nodes: u32,
+    /// Number of best-seller products (node ids `0..best_sellers`).
+    pub best_sellers: u32,
+    /// Number of genre clusters partitioning the other products.
+    pub genres: u32,
+    /// Out-degree of every product (length of its recommendation list).
+    pub recommendations: u32,
+    /// Probability an intra-genre recommendation is mutual.
+    pub reciprocity: f64,
+    /// Fraction of recommendation slots pointing at best-sellers.
+    pub best_seller_fraction: f64,
+}
+
+impl Default for AmazonConfig {
+    fn default() -> Self {
+        AmazonConfig {
+            nodes: 20_000,
+            best_sellers: 8,
+            genres: 100,
+            recommendations: 5,
+            reciprocity: 0.5,
+            best_seller_fraction: 0.2,
+        }
+    }
+}
+
+impl AmazonConfig {
+    /// Scales node count (for sweeps).
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Genre of product `u` (best-sellers belong to none).
+    pub fn genre_of(&self, u: NodeId) -> Option<u32> {
+        if u.raw() < self.best_sellers {
+            None
+        } else {
+            Some((u.raw() - self.best_sellers) % self.genres.max(1))
+        }
+    }
+}
+
+/// Generates a co-purchase-like directed graph. Deterministic given `seed`.
+pub fn generate(cfg: &AmazonConfig, seed: u64) -> DirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.nodes;
+    let bs = cfg.best_sellers.min(n);
+    let genres = cfg.genres.max(1);
+    let mut b =
+        GraphBuilder::with_capacity(n as usize, (n * cfg.recommendations) as usize);
+    if n == 0 {
+        return b.build();
+    }
+    b.ensure_node(n - 1);
+
+    for u in bs..n {
+        let genre = (u - bs) % genres;
+        for _ in 0..cfg.recommendations {
+            if rng.gen::<f64>() < cfg.best_seller_fraction && bs > 0 {
+                // Everyone co-purchases best-sellers (popularity ∝ 1/(i+1)).
+                let total: f64 = (0..bs).map(|h| 1.0 / (h as f64 + 1.0)).sum();
+                let mut t = rng.gen::<f64>() * total;
+                let mut pick = bs - 1;
+                for h in 0..bs {
+                    let w = 1.0 / (h as f64 + 1.0);
+                    if t < w {
+                        pick = h;
+                        break;
+                    }
+                    t -= w;
+                }
+                b.add_edge_indices(u, pick);
+            } else {
+                // Same-genre recommendation, often mutual.
+                let size = (n - bs).div_ceil(genres);
+                if size <= 1 {
+                    continue;
+                }
+                let v = bs + rng.gen_range(0..size) * genres + genre;
+                if v < n && v != u {
+                    b.add_edge_indices(u, v);
+                    if rng.gen::<f64>() < cfg.reciprocity {
+                        b.add_edge_indices(v, u);
+                    }
+                }
+            }
+        }
+    }
+
+    // Best-sellers recommend only within their own franchise (each other).
+    for h in 0..bs {
+        for _ in 0..cfg.recommendations.min(bs.saturating_sub(1)) {
+            let other = rng.gen_range(0..bs);
+            if other != h {
+                b.add_edge_indices(h, other);
+            }
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph::GraphStats;
+
+    fn small() -> AmazonConfig {
+        AmazonConfig { nodes: 3000, best_sellers: 5, genres: 30, ..Default::default() }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small(), 10);
+        let b = generate(&small(), 10);
+        for u in a.nodes() {
+            assert_eq!(a.out_neighbors(u), b.out_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn best_sellers_have_extreme_in_degree() {
+        let cfg = small();
+        let g = generate(&cfg, 1);
+        let weakest_bs = (0..cfg.best_sellers).map(|h| g.in_degree(NodeId::new(h))).min().unwrap();
+        let mut others: Vec<usize> =
+            (cfg.best_sellers..cfg.nodes).map(|u| g.in_degree(NodeId::new(u))).collect();
+        others.sort_unstable();
+        let p99 = others[others.len() * 99 / 100];
+        assert!(weakest_bs > p99, "best-seller {weakest_bs} vs p99 {p99}");
+    }
+
+    #[test]
+    fn best_sellers_never_recommend_regular_products() {
+        let cfg = small();
+        let g = generate(&cfg, 2);
+        for h in 0..cfg.best_sellers {
+            for &v in g.out_neighbors(NodeId::new(h)) {
+                assert!(v.raw() < cfg.best_sellers, "best-seller {h} links out to {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_degree_bounded_by_recommendations() {
+        let cfg = small();
+        let g = generate(&cfg, 3);
+        for u in g.nodes() {
+            // Reciprocal edges add at most `recommendations` more.
+            assert!(
+                g.out_degree(u) <= 2 * cfg.recommendations as usize + cfg.best_sellers as usize,
+                "node {u:?} out-degree {}",
+                g.out_degree(u)
+            );
+        }
+    }
+
+    #[test]
+    fn reciprocity_higher_than_wikilink_default() {
+        let g = generate(&small(), 4);
+        let s = GraphStats::compute(&g);
+        assert!(s.reciprocity > 0.2, "reciprocity {}", s.reciprocity);
+    }
+
+    #[test]
+    fn genre_clustering() {
+        let cfg = small();
+        let g = generate(&cfg, 5);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            match (cfg.genre_of(u), cfg.genre_of(v)) {
+                (Some(a), Some(b)) if a == b => intra += 1,
+                (Some(_), Some(_)) => inter += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(inter, 0, "non-best-seller edges must stay in genre");
+        assert!(intra > 0);
+    }
+
+    #[test]
+    fn empty() {
+        let cfg = AmazonConfig { nodes: 0, ..Default::default() };
+        assert!(generate(&cfg, 1).is_empty());
+    }
+}

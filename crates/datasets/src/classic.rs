@@ -1,0 +1,246 @@
+//! Classic reference graph generators.
+//!
+//! Deterministic given the seed: every generator takes an explicit RNG seed
+//! and the output is reproducible across runs and platforms (we rely on
+//! `StdRng`'s documented stability for a fixed rand major version).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relgraph::{DirectedGraph, GraphBuilder};
+
+/// G(n, p): each ordered pair (u, v), u ≠ v, is an edge with probability
+/// `p`.
+pub fn erdos_renyi(n: u32, p: f64, seed: u64) -> DirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_node(n - 1);
+    }
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen::<f64>() < p {
+                b.add_edge_indices(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Directed preferential attachment: nodes arrive one at a time and attach
+/// `m` out-edges; each target is, with probability `pa_bias`, chosen
+/// proportionally to current in-degree + 1, else uniformly. Produces the
+/// heavy-tailed in-degree distributions of web-like graphs.
+pub fn preferential_attachment(n: u32, m: usize, pa_bias: f64, seed: u64) -> DirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    if n == 0 {
+        return b.build();
+    }
+    b.ensure_node(n - 1);
+    // Repeated-targets list for O(1) preferential sampling.
+    let mut targets: Vec<u32> = Vec::new();
+    for u in 0..n {
+        let picks = m.min(u as usize);
+        for _ in 0..picks {
+            let v = if !targets.is_empty() && rng.gen::<f64>() < pa_bias {
+                targets[rng.gen_range(0..targets.len())]
+            } else {
+                rng.gen_range(0..u) // uniform among existing nodes
+            };
+            if v != u {
+                b.add_edge_indices(u, v);
+                targets.push(v);
+            }
+        }
+        targets.push(u); // every node has baseline attractiveness 1
+    }
+    b.build()
+}
+
+/// Directed ring 0 → 1 → … → n−1 → 0.
+pub fn ring(n: u32) -> DirectedGraph {
+    let mut b = GraphBuilder::new();
+    if n == 0 {
+        return b.build();
+    }
+    if n == 1 {
+        b.ensure_node(0);
+        return b.build();
+    }
+    for i in 0..n {
+        b.add_edge_indices(i, (i + 1) % n);
+    }
+    b.build()
+}
+
+/// Bidirectional ring: i ↔ i+1 (mod n). Every adjacent pair forms a
+/// 2-cycle — CycleRank's best case.
+pub fn bidirectional_ring(n: u32) -> DirectedGraph {
+    let mut b = GraphBuilder::new();
+    if n == 0 {
+        return b.build();
+    }
+    if n == 1 {
+        b.ensure_node(0);
+        return b.build();
+    }
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.add_edge_indices(i, j);
+        b.add_edge_indices(j, i);
+    }
+    b.build()
+}
+
+/// Complete directed graph: all ordered pairs (u, v), u ≠ v.
+pub fn complete(n: u32) -> DirectedGraph {
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_node(n - 1);
+    }
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_edge_indices(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random DAG: edges only from lower to higher index, each with
+/// probability `p`. Contains no cycles at all — CycleRank's degenerate
+/// case.
+pub fn random_dag(n: u32, p: f64, seed: u64) -> DirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_node(n - 1);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge_indices(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Star: spokes 1..n−1 all link to center 0 and back.
+pub fn star(n: u32) -> DirectedGraph {
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_node(n - 1);
+    }
+    for i in 1..n {
+        b.add_edge_indices(i, 0);
+        b.add_edge_indices(0, i);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph::{tarjan_scc, GraphStats, NodeId};
+
+    #[test]
+    fn er_density_close_to_p() {
+        let g = erdos_renyi(100, 0.1, 1);
+        let s = GraphStats::compute(&g);
+        assert!((s.density - 0.1).abs() < 0.02, "density {}", s.density);
+        assert_eq!(s.nodes, 100);
+    }
+
+    #[test]
+    fn er_deterministic() {
+        let a = erdos_renyi(50, 0.2, 7);
+        let b = erdos_renyi(50, 0.2, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for u in a.nodes() {
+            assert_eq!(a.out_neighbors(u), b.out_neighbors(u));
+        }
+        let c = erdos_renyi(50, 0.2, 8);
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn pa_has_heavy_tail() {
+        let g = preferential_attachment(2000, 4, 0.9, 3);
+        assert_eq!(g.node_count(), 2000);
+        let max_in = g.nodes().map(|u| g.in_degree(u)).max().unwrap();
+        let mean_in = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            max_in as f64 > 10.0 * mean_in,
+            "expected hub: max {max_in}, mean {mean_in}"
+        );
+    }
+
+    #[test]
+    fn pa_early_nodes_attract_more() {
+        let g = preferential_attachment(1000, 3, 0.9, 5);
+        let early: usize = (0..10).map(|i| g.in_degree(NodeId::new(i))).sum();
+        let late: usize = (990..1000).map(|i| g.in_degree(NodeId::new(i))).sum();
+        assert!(early > late * 3, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(5);
+        assert_eq!(g.edge_count(), 5);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 1);
+        assert_eq!(ring(0).node_count(), 0);
+        assert_eq!(ring(1).node_count(), 1);
+        assert_eq!(ring(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn bidirectional_ring_reciprocity_one() {
+        let g = bidirectional_ring(8);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.reciprocity, 1.0);
+        assert_eq!(g.edge_count(), 16);
+        // n=2 degenerates to a single 2-cycle.
+        let g2 = bidirectional_ring(2);
+        assert_eq!(g2.edge_count(), 2);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 30);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.density, 1.0);
+        assert_eq!(s.reciprocity, 1.0);
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let g = random_dag(60, 0.2, 11);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 60, "every SCC must be a singleton in a DAG");
+    }
+
+    #[test]
+    fn star_center_degree() {
+        let g = star(11);
+        assert_eq!(g.out_degree(NodeId::new(0)), 10);
+        assert_eq!(g.in_degree(NodeId::new(0)), 10);
+        assert_eq!(g.out_degree(NodeId::new(5)), 1);
+    }
+
+    #[test]
+    fn empty_generators() {
+        assert!(erdos_renyi(0, 0.5, 1).is_empty());
+        assert!(preferential_attachment(0, 3, 0.9, 1).is_empty());
+        assert!(complete(0).is_empty());
+        assert!(star(0).is_empty());
+        assert!(random_dag(0, 0.5, 1).is_empty());
+    }
+}

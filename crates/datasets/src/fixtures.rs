@@ -1,0 +1,632 @@
+//! Labelled scenario fixtures reproducing the paper's example queries.
+//!
+//! These deterministic graphs embed the exact article/product
+//! neighbourhoods the paper's Tables I–III query, inside a synthetic
+//! "rest of the encyclopedia/store" filler. Each fixture engineers the
+//! three structural roles the comparison hinges on:
+//!
+//! * **global hubs** — pages receiving links from the whole filler in
+//!   strictly graded amounts, so global PageRank ranks them in a known
+//!   order (Table I/II "PageRank" columns);
+//! * **reciprocal topical clusters** — the query's true neighbours,
+//!   mutually linked with the reference in a staircase pattern that yields
+//!   a strict, known CycleRank order (the "Cyclerank" columns);
+//! * **popular one-way pages** — topical celebrities that the whole
+//!   cluster links *to* but that never link back; they collect
+//!   Personalized-PageRank mass (the "Pers. PageRank" columns) yet score
+//!   zero under CycleRank.
+//!
+//! Cluster in-edges come only from inside the cluster, so no cycle through
+//! the reference ever leaves it — CycleRank's output is exactly the
+//! engineered cluster, for any K.
+
+use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+
+/// A fixture: the graph plus the query metadata the benches need.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The labelled graph.
+    pub graph: DirectedGraph,
+    /// Label of the reference node for personalized queries.
+    pub reference: &'static str,
+    /// Expected CycleRank top entries (after the reference), best first.
+    pub expected_cyclerank: Vec<&'static str>,
+    /// Labels engineered as "popular one-way" pages: should appear high in
+    /// Personalized PageRank but score 0 under CycleRank.
+    pub popular_oneway: Vec<&'static str>,
+    /// Labels of the global hubs, in expected PageRank order.
+    pub hubs: Vec<&'static str>,
+}
+
+impl Scenario {
+    /// Resolves the reference node id.
+    pub fn reference_node(&self) -> NodeId {
+        self.graph
+            .node_by_label(self.reference)
+            .expect("fixture reference label must exist")
+    }
+}
+
+/// Helper assembling a scenario graph.
+struct ScenarioBuilder {
+    b: GraphBuilder,
+}
+
+impl ScenarioBuilder {
+    fn new() -> Self {
+        ScenarioBuilder { b: GraphBuilder::new() }
+    }
+
+    fn node(&mut self, label: &str) -> NodeId {
+        self.b.add_labeled_node(label)
+    }
+
+    fn one_way(&mut self, from: &str, to: &str) {
+        let u = self.node(from);
+        let v = self.node(to);
+        self.b.add_edge(u, v);
+    }
+
+    fn reciprocal(&mut self, a: &str, b: &str) {
+        let u = self.node(a);
+        let v = self.node(b);
+        self.b.add_edge(u, v);
+        self.b.add_edge(v, u);
+    }
+
+    /// Builds a reciprocal cluster around `reference` with a *staircase*
+    /// pattern over `members` (best first): every member is bidirectionally
+    /// linked with the reference, and members i < j (1-based) are
+    /// bidirectionally linked iff `i + j ≤ m + 1`. Member `i` then lies on
+    /// strictly more short cycles through the reference than member `i+1`
+    /// (ties between the two middle members break by insertion order),
+    /// producing the expected CycleRank ranking.
+    fn staircase_cluster(&mut self, reference: &str, members: &[&str]) {
+        // Create in order so id-based tie-breaking favors earlier members.
+        self.node(reference);
+        for m in members {
+            self.node(m);
+        }
+        for m in members {
+            self.reciprocal(reference, m);
+        }
+        let m = members.len();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                // 1-based staircase condition.
+                if (i + 1) + (j + 1) <= m + 1 {
+                    self.reciprocal(members[i], members[j]);
+                }
+            }
+        }
+    }
+
+    /// Declares `label` as a popular one-way page: every `sources` node
+    /// links to it; it links onward only to `sinks` (typically hubs), never
+    /// back.
+    fn popular_oneway(&mut self, label: &str, sources: &[&str], sinks: &[&str]) {
+        for s in sources {
+            self.one_way(s, label);
+        }
+        for s in sinks {
+            self.one_way(label, s);
+        }
+    }
+
+    /// Adds `hubs` (in decreasing popularity) and `filler_count` filler
+    /// pages.
+    ///
+    /// Filler page `i` links to hub `h` iff `i % (h + 1) == 0`, so hub
+    /// in-degrees are strictly graded (`count`, `count/2`, `count/3`, …)
+    /// and the global PageRank order over hubs is deterministic. Filler
+    /// pages also form reciprocal chains (`i ↔ i+1` for even `i`) to keep
+    /// PageRank mass circulating.
+    ///
+    /// Hubs get **no generic out-edges**: in the real corpora a hub links
+    /// to thousands of pages, none of which gains meaningful rank from
+    /// that single inbound link. PageRank's dangling-node redistribution
+    /// models exactly this "spread over everyone" behaviour without
+    /// concentrating mass on any page — and, crucially for the fixtures,
+    /// without creating any path through which a cycle could re-enter a
+    /// topical cluster. A hub that is *also* a cluster member (e.g. "The
+    /// Catcher in the Rye" in the 1984 cluster) participates in cycles
+    /// only through its explicit reciprocal cluster edges.
+    fn hubs_and_filler(&mut self, hubs: &[&str], filler_count: usize) {
+        let hub_ids: Vec<NodeId> = hubs.iter().map(|h| self.node(h)).collect();
+        let filler: Vec<NodeId> =
+            (0..filler_count).map(|i| self.node(&format!("page-{i}"))).collect();
+        for (i, &f) in filler.iter().enumerate() {
+            for (h, &hub) in hub_ids.iter().enumerate() {
+                if i % (h + 1) == 0 {
+                    self.b.add_edge(f, hub);
+                }
+            }
+            // Reciprocal filler chain.
+            if i + 1 < filler.len() && i % 2 == 0 {
+                self.b.add_edge(f, filler[i + 1]);
+                self.b.add_edge(filler[i + 1], f);
+            }
+        }
+    }
+
+    /// Dilutes a node's out-going mass by linking it to `count` fresh
+    /// **dangling** sink pages.
+    ///
+    /// Needed for nodes that are both a global hub and a cluster member
+    /// (e.g. "The Catcher in the Rye"): in the real corpus such a node has
+    /// an enormous out-degree, so each individual out-link (including the
+    /// back-link into the topical cluster) carries a tiny share of its
+    /// PageRank. Fresh dangling sinks — rather than existing filler —
+    /// guarantee the dilution edges lie on **no cycle whatsoever** (keeping
+    /// CycleRank's engineered staircase order intact for any K) and that
+    /// the diverted mass disperses via the dangling redistribution instead
+    /// of concentrating on any single page.
+    fn dilute(&mut self, label: &str, count: usize) {
+        let u = self.node(label);
+        for k in 0..count {
+            let sink = self.node(&format!("shelf-of-{label}-{k}"));
+            self.b.add_edge(u, sink);
+        }
+    }
+
+    fn build(self) -> DirectedGraph {
+        self.b.build()
+    }
+}
+
+/// English Wikipedia 2018-03-01 stand-in for Table I.
+///
+/// Contains the "Freddie Mercury" and "Pasta" neighbourhoods, the paper's
+/// five global hubs, and popular one-way pages ("The FM Tribute Concert",
+/// "HIV/AIDS", "Queen II", "Bolognese sauce", "Carbonara", "Durum").
+pub fn enwiki_2018() -> Scenario {
+    let mut s = ScenarioBuilder::new();
+
+    // Global hubs: the paper's Table I PageRank top-5, most popular first.
+    let hubs =
+        vec!["United States", "Animal", "Arthropod", "Association football", "Insect"];
+    s.hubs_and_filler(&hubs, 360);
+
+    // ---- Freddie Mercury neighbourhood -------------------------------
+    let fm_members = ["Queen (band)", "Brian May", "Roger Taylor", "John Deacon"];
+    s.staircase_cluster("Freddie Mercury", &fm_members);
+    // Songs funnel extra personalized mass into "Queen (band)": the
+    // reference links to its songs, the songs link to the band page. (They
+    // do create 3-cycles FM → song → Queen → FM; with σ = e⁻ⁿ those score
+    // far below the 2-cycle cluster members.)
+    s.one_way("Freddie Mercury", "Bohemian Rhapsody");
+    s.one_way("Bohemian Rhapsody", "Queen (band)");
+    s.one_way("Freddie Mercury", "We Will Rock You");
+    s.one_way("We Will Rock You", "Queen (band)");
+    // Popular one-way pages: graded cluster in-links engineer the paper's
+    // PPR ladder Queen > Tribute > HIV/AIDS > Queen II > band members,
+    // while none of them links back into the cluster: exact CycleRank 0.
+    s.popular_oneway(
+        "The FM Tribute Concert",
+        &["Freddie Mercury", "Queen (band)", "Brian May", "Roger Taylor", "John Deacon"],
+        &["United States"],
+    );
+    s.one_way("Freddie Mercury", "Live Aid");
+    s.one_way("Live Aid", "The FM Tribute Concert");
+    s.popular_oneway(
+        "HIV/AIDS",
+        &["Freddie Mercury", "Queen (band)", "Brian May", "Roger Taylor", "John Deacon"],
+        &["United States", "Animal"],
+    );
+    s.popular_oneway(
+        "Queen II",
+        &["Freddie Mercury", "Queen (band)", "Brian May", "Roger Taylor"],
+        &["United States"],
+    );
+
+    // ---- Pasta neighbourhood ------------------------------------------
+    let pasta_members = ["Italian cuisine", "Italy", "Spaghetti", "Flour"];
+    s.staircase_cluster("Pasta", &pasta_members);
+    // "Gnocchi": an extra reciprocal member tied to Italian cuisine, which
+    // keeps Italian cuisine strictly above Italy in CycleRank even though
+    // the sauce pages below grant Italy three extra 3-cycles.
+    s.reciprocal("Pasta", "Gnocchi");
+    s.reciprocal("Italian cuisine", "Gnocchi");
+    // Sauce pages: every cluster member links to each sauce; sauces link
+    // onward to Italy (creating Pasta → sauce → Italy → Pasta 3-cycles
+    // that keep Italy in PPR's top-5, as in the paper) and to hubs. A
+    // graded number of feeder pages (recipe articles the reference links
+    // to) engineers the PPR ladder Bolognese > Carbonara > Durum.
+    let sauce_sources =
+        ["Pasta", "Italian cuisine", "Italy", "Spaghetti", "Flour"];
+    let sauce_sinks =
+        ["Italy", "United States", "Animal", "Arthropod", "Association football"];
+    s.popular_oneway("Bolognese sauce", &sauce_sources, &sauce_sinks);
+    s.popular_oneway("Carbonara", &sauce_sources, &sauce_sinks);
+    s.popular_oneway("Durum", &sauce_sources, &sauce_sinks);
+    for (feeder, sauce) in [
+        ("Ragù", "Bolognese sauce"),
+        ("Tagliatelle", "Bolognese sauce"),
+        ("Tomato sauce", "Bolognese sauce"),
+        ("Guanciale", "Carbonara"),
+        ("Pecorino Romano", "Carbonara"),
+        ("Semolina", "Durum"),
+    ] {
+        s.one_way("Pasta", feeder);
+        s.one_way(feeder, sauce);
+    }
+
+    Scenario {
+        graph: s.build(),
+        reference: "Freddie Mercury",
+        expected_cyclerank: fm_members.to_vec(),
+        popular_oneway: vec!["The FM Tribute Concert", "HIV/AIDS", "Queen II"],
+        hubs,
+    }
+}
+
+/// The "Pasta" query over the same enwiki stand-in (Table I, right half).
+pub fn enwiki_2018_pasta() -> Scenario {
+    let mut sc = enwiki_2018();
+    sc.reference = "Pasta";
+    sc.expected_cyclerank = vec!["Italian cuisine", "Italy", "Spaghetti", "Flour"];
+    sc.popular_oneway = vec!["Bolognese sauce", "Carbonara", "Durum"];
+    sc
+}
+
+/// Amazon co-purchase stand-in for Table II, queried at "1984".
+pub fn amazon_books() -> Scenario {
+    let mut s = ScenarioBuilder::new();
+
+    // Global best-sellers: the paper's Table II PageRank top-5.
+    let hubs = vec![
+        "Good to Great",
+        "The Catcher in the Rye",
+        "DSM-IV",
+        "The Great Gatsby",
+        "Lord of the Flies",
+    ];
+    s.hubs_and_filler(&hubs, 320);
+
+    // ---- dystopian-novel cluster around "1984" ------------------------
+    // Note: "The Catcher in the Rye" and "Lord of the Flies" are both
+    // global best-sellers AND genuine genre neighbours (mutually
+    // co-purchased with 1984) — exactly why they appear in both the
+    // PageRank and Cyclerank columns of the paper.
+    let dystopia = [
+        "Animal Farm",
+        "Fahrenheit 451",
+        "The Catcher in the Rye",
+        "Brave New World",
+        "Lord of the Flies",
+    ];
+    s.staircase_cluster("1984", &dystopia);
+    // The two best-sellers inside the cluster are co-purchased with huge
+    // numbers of other products; without this dilution their global
+    // PageRank mass would funnel into the small cluster and push "1984"
+    // itself into the global top-5, which the paper's Table II contradicts.
+    s.dilute("The Catcher in the Rye", 40);
+    s.dilute("Lord of the Flies", 40);
+    // Popular adjacent classic: one-way from the cluster (PPR surfaces it,
+    // CycleRank does not).
+    // Single sink: TKM's recommendations reach back to the cluster only
+    // through best-seller shelves (length-5 cycles via filler), keeping its
+    // CycleRank strictly below every true cluster member yet boosting
+    // Catcher in the Rye (itself a best-seller) above Brave New World —
+    // the paper's observed order.
+    s.popular_oneway(
+        "To Kill a Mockingbird",
+        &["1984", "Animal Farm", "Fahrenheit 451", "Brave New World"],
+        &["The Great Gatsby"],
+    );
+
+    // ---- Tolkien cluster around "The Fellowship of the Ring" ----------
+    let tolkien = [
+        "The Hobbit",
+        "The Return of the King",
+        "The Silmarillion",
+        "The Two Towers",
+        "Unfinished Tales",
+    ];
+    s.staircase_cluster("The Fellowship of the Ring", &tolkien);
+    // Harry Potter: co-purchased with everything fantasy, one-way.
+    s.popular_oneway(
+        "Harry Potter (Book 1)",
+        &[
+            "The Fellowship of the Ring",
+            "The Hobbit",
+            "The Return of the King",
+            "The Silmarillion",
+            "The Two Towers",
+        ],
+        &["Good to Great"],
+    );
+    s.popular_oneway(
+        "Harry Potter (Book 2)",
+        &["The Fellowship of the Ring", "The Hobbit", "The Return of the King"],
+        &["Good to Great"],
+    );
+    // The two HP volumes recommend each other (a 2-cycle between them, but
+    // no path back into the Tolkien cluster).
+    s.reciprocal("Harry Potter (Book 1)", "Harry Potter (Book 2)");
+
+    Scenario {
+        graph: s.build(),
+        reference: "1984",
+        expected_cyclerank: dystopia.to_vec(),
+        popular_oneway: vec!["To Kill a Mockingbird"],
+        hubs,
+    }
+}
+
+/// The "Fellowship of the Ring" query over the Amazon stand-in (Table II,
+/// right half).
+pub fn amazon_books_fellowship() -> Scenario {
+    let mut sc = amazon_books();
+    sc.reference = "The Fellowship of the Ring";
+    sc.expected_cyclerank = vec![
+        "The Hobbit",
+        "The Return of the King",
+        "The Silmarillion",
+        "The Two Towers",
+        "Unfinished Tales",
+    ];
+    sc.popular_oneway = vec!["Harry Potter (Book 1)", "Harry Potter (Book 2)"];
+    sc
+}
+
+/// The six Wikipedia language editions of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// German.
+    De,
+    /// English.
+    En,
+    /// French.
+    Fr,
+    /// Italian.
+    It,
+    /// Dutch.
+    Nl,
+    /// Polish.
+    Pl,
+}
+
+impl Language {
+    /// All six editions, in the paper's column order.
+    pub const ALL: [Language; 6] =
+        [Language::De, Language::En, Language::Fr, Language::It, Language::Nl, Language::Pl];
+
+    /// ISO code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Language::De => "de",
+            Language::En => "en",
+            Language::Fr => "fr",
+            Language::It => "it",
+            Language::Nl => "nl",
+            Language::Pl => "pl",
+        }
+    }
+
+    /// The article title of "Fake news" in this edition.
+    pub fn fake_news_title(self) -> &'static str {
+        match self {
+            Language::De => "Fake News",
+            Language::Nl => "Nepnieuws",
+            _ => "Fake news",
+        }
+    }
+
+    /// The Table III column for this edition (top-5, best first; shorter
+    /// for editions whose local neighbourhood is smaller).
+    pub fn fake_news_neighbours(self) -> &'static [&'static str] {
+        match self {
+            Language::De => {
+                &["Barack Obama", "Tagesschau.de", "Desinformation", "Fake", "Donald Trump"]
+            }
+            Language::En => &[
+                "CNN",
+                "Facebook",
+                "US presidential election, 2016",
+                "Propaganda",
+                "Social media",
+            ],
+            Language::Fr => &[
+                "Ère post-vérité",
+                "Donald Trump",
+                "Facebook",
+                "Hoax",
+                "Alex Jones (complotiste)",
+            ],
+            Language::It => {
+                &["Disinformazione", "Post-verità", "Bufala", "Debunker", "Clickbait"]
+            }
+            Language::Nl => &["Facebook", "Journalistiek", "Hoax", "Donald Trump"],
+            Language::Pl => &["Dezinformacja", "Propaganda", "Media społecznościowe"],
+        }
+    }
+}
+
+impl std::fmt::Display for Language {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Wikipedia-language-edition stand-in for Table III: the local "Fake
+/// news" neighbourhood embedded in a language-sized filler.
+pub fn fakenews(lang: Language) -> Scenario {
+    let mut s = ScenarioBuilder::new();
+    // Language editions differ in size; grade the filler accordingly.
+    let filler = match lang {
+        Language::En => 400,
+        Language::De | Language::Fr => 300,
+        Language::It | Language::Nl | Language::Pl => 220,
+    };
+    let hubs = vec!["United States", "Internet", "Journalism"];
+    s.hubs_and_filler(&hubs, filler);
+
+    let members = lang.fake_news_neighbours();
+    s.staircase_cluster(lang.fake_news_title(), members);
+    // The fake-news page also cites mainstream topics one-way.
+    s.one_way(lang.fake_news_title(), "Internet");
+    s.one_way(lang.fake_news_title(), "Journalism");
+
+    Scenario {
+        graph: s.build(),
+        reference: lang.fake_news_title(),
+        expected_cyclerank: members.to_vec(),
+        popular_oneway: vec![],
+        hubs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enwiki_labels_resolve() {
+        let sc = enwiki_2018();
+        for l in ["Freddie Mercury", "Queen (band)", "Pasta", "United States", "HIV/AIDS"] {
+            assert!(sc.graph.node_by_label(l).is_some(), "{l} missing");
+        }
+        assert!(sc.graph.node_count() > 300);
+    }
+
+    #[test]
+    fn enwiki_cluster_is_reciprocal() {
+        let sc = enwiki_2018();
+        let g = &sc.graph;
+        let fm = sc.reference_node();
+        for m in &sc.expected_cyclerank {
+            let n = g.node_by_label(m).unwrap();
+            assert!(g.has_edge(fm, n) && g.has_edge(n, fm), "{m} not reciprocal");
+        }
+    }
+
+    #[test]
+    fn popular_oneway_never_links_back_to_reference() {
+        // Popular pages may cite other famous cluster members (the sauces
+        // cite Italy), but never the reference itself: any CycleRank score
+        // they get comes only from longer indirect cycles.
+        for sc in [enwiki_2018(), enwiki_2018_pasta(), amazon_books(), amazon_books_fellowship()]
+        {
+            let g = &sc.graph;
+            let r = sc.reference_node();
+            for p in &sc.popular_oneway {
+                let pn = g.node_by_label(p).unwrap();
+                assert!(!g.has_edge(pn, r), "{p} links back to the reference");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_in_edges_only_from_cluster_or_popular_sources() {
+        // No filler node may link into the Freddie cluster: cycles through
+        // the reference must stay inside the engineered neighbourhood.
+        let sc = enwiki_2018();
+        let g = &sc.graph;
+        let cluster: Vec<NodeId> = std::iter::once(sc.reference)
+            .chain(sc.expected_cyclerank.iter().copied())
+            .map(|l| g.node_by_label(l).unwrap())
+            .collect();
+        for &c in &cluster {
+            for &src in g.in_neighbors(c) {
+                let name = g.display_name(src);
+                assert!(
+                    !name.starts_with("page-"),
+                    "filler {name} links into cluster node {}",
+                    g.display_name(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staircase_gives_strict_cycle_gradation() {
+        // Member i must share at least as many 2-/3-cycles with the
+        // reference as member i+1.
+        let sc = enwiki_2018();
+        let g = &sc.graph;
+        let fm = sc.reference_node();
+        let mut counts = Vec::new();
+        for m in &sc.expected_cyclerank {
+            let n = g.node_by_label(m).unwrap();
+            // count 3-cycles fm -> n -> x -> fm plus fm -> x -> n -> fm
+            let mut c3 = 0;
+            for &x in g.out_neighbors(n) {
+                if x != fm && g.has_edge(fm, x) && g.has_edge(x, fm) && g.has_edge(n, x) {
+                    c3 += 1;
+                }
+            }
+            counts.push(c3);
+        }
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "gradation violated: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hub_in_degrees_strictly_graded() {
+        for sc in [enwiki_2018(), amazon_books(), fakenews(Language::En)] {
+            let g = &sc.graph;
+            let degs: Vec<usize> = sc
+                .hubs
+                .iter()
+                .map(|h| g.in_degree(g.node_by_label(h).unwrap()))
+                .collect();
+            for w in degs.windows(2) {
+                assert!(w[0] > w[1], "hub in-degrees not graded: {degs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_languages_have_expected_members() {
+        for lang in Language::ALL {
+            let sc = fakenews(lang);
+            assert_eq!(sc.reference, lang.fake_news_title());
+            for m in lang.fake_news_neighbours() {
+                assert!(sc.graph.node_by_label(m).is_some(), "{lang}: {m} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn language_metadata() {
+        assert_eq!(Language::ALL.len(), 6);
+        assert_eq!(Language::De.code(), "de");
+        assert_eq!(Language::Nl.fake_news_title(), "Nepnieuws");
+        assert_eq!(Language::Pl.fake_news_neighbours().len(), 3);
+        assert_eq!(Language::Nl.fake_news_neighbours().len(), 4);
+        assert_eq!(Language::En.to_string(), "en");
+    }
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = enwiki_2018();
+        let b = enwiki_2018();
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        for u in a.graph.nodes() {
+            assert_eq!(a.graph.out_neighbors(u), b.graph.out_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn only_hubs_dangle() {
+        // Hubs are deliberately dangling (see `hubs_and_filler`); every
+        // other named node must have at least one out-edge.
+        for sc in [enwiki_2018(), amazon_books(), fakenews(Language::It)] {
+            for (u, label) in sc.graph.labels().iter() {
+                let is_hub = sc.hubs.contains(&label);
+                let is_cluster_hub = sc.expected_cyclerank.contains(&label);
+                let is_shelf = label.starts_with("shelf-of-");
+                if !label.starts_with("page-") && !is_hub && !is_shelf {
+                    assert!(sc.graph.out_degree(u) > 0, "named node {label} dangles");
+                }
+                // Hubs that double as cluster members must still have their
+                // reciprocal edges.
+                if is_hub && is_cluster_hub {
+                    assert!(sc.graph.out_degree(u) > 0, "cluster hub {label} dangles");
+                }
+            }
+        }
+    }
+}

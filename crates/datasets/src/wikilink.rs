@@ -1,0 +1,267 @@
+//! Wikipedia-link-graph-like generator.
+//!
+//! WikiLinkGraphs snapshots (Consonni et al., ICWSM 2019) have three
+//! structural features the demo's comparisons rely on:
+//!
+//! 1. **topical communities** — articles about one subject link densely to
+//!    each other, and a substantial fraction of those links are
+//!    reciprocated (mutual "see also" relations);
+//! 2. **global hub pages** — a few articles ("United States", "Animal")
+//!    receive links from essentially every topic but link back only within
+//!    their own subject area;
+//! 3. **heavy-tailed degree distributions**.
+//!
+//! [`generate`] produces a graph with all three, parameterized by
+//! [`WikilinkConfig`]. Node 0..hubs-1 are the hubs; the remaining nodes are
+//! partitioned into communities round-robin by index, so tests can reason
+//! about membership without bookkeeping.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+
+/// Parameters of the Wikipedia-like generator.
+#[derive(Debug, Clone)]
+pub struct WikilinkConfig {
+    /// Total number of nodes (including hubs).
+    pub nodes: u32,
+    /// Number of globally popular hub pages (node ids `0..hubs`).
+    pub hubs: u32,
+    /// Number of topical communities the non-hub nodes partition into.
+    pub communities: u32,
+    /// Mean out-degree of a non-hub node.
+    pub mean_out_degree: f64,
+    /// Probability that an intra-community link is reciprocated.
+    pub reciprocity: f64,
+    /// Fraction of each node's links that point at hubs.
+    pub hub_link_fraction: f64,
+    /// Fraction of each node's links that stay inside its community
+    /// (the rest, after hubs, go to uniformly random nodes).
+    pub intra_community_fraction: f64,
+}
+
+impl Default for WikilinkConfig {
+    fn default() -> Self {
+        WikilinkConfig {
+            nodes: 10_000,
+            hubs: 10,
+            communities: 50,
+            mean_out_degree: 12.0,
+            reciprocity: 0.35,
+            hub_link_fraction: 0.15,
+            intra_community_fraction: 0.7,
+        }
+    }
+}
+
+impl WikilinkConfig {
+    /// Scales node count while keeping the rest of the shape (for sweeps).
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Community of node `u` under this config (hubs belong to none).
+    pub fn community_of(&self, u: NodeId) -> Option<u32> {
+        if u.raw() < self.hubs {
+            None
+        } else {
+            Some((u.raw() - self.hubs) % self.communities.max(1))
+        }
+    }
+}
+
+/// Generates a Wikipedia-like directed graph. Deterministic given `seed`.
+pub fn generate(cfg: &WikilinkConfig, seed: u64) -> DirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.nodes;
+    let hubs = cfg.hubs.min(n);
+    let communities = cfg.communities.max(1);
+    let mut b = GraphBuilder::with_capacity(n as usize, (n as f64 * cfg.mean_out_degree) as usize);
+    if n == 0 {
+        return b.build();
+    }
+    b.ensure_node(n - 1);
+
+    let community_members = |c: u32| -> (u32, u32, u32) {
+        // Members of community c are hubs + c, hubs + c + communities, ...
+        (hubs + c, communities, n)
+    };
+
+    for u in hubs..n {
+        let c = (u - hubs) % communities;
+        // Out-degree ~ geometric-ish heavy tail around the mean.
+        let deg = sample_degree(&mut rng, cfg.mean_out_degree);
+        for _ in 0..deg {
+            let roll: f64 = rng.gen();
+            if roll < cfg.hub_link_fraction && hubs > 0 {
+                // Link to a hub, biased toward low-index (most popular) hubs.
+                let h = biased_hub(&mut rng, hubs);
+                b.add_edge_indices(u, h);
+            } else if roll < cfg.hub_link_fraction + cfg.intra_community_fraction {
+                // Intra-community link, possibly reciprocated.
+                let (first, step, limit) = community_members(c);
+                let size = limit.saturating_sub(first).div_ceil(step);
+                if size <= 1 {
+                    continue;
+                }
+                let k = rng.gen_range(0..size);
+                let v = first + k * step;
+                if v != u && v < n {
+                    b.add_edge_indices(u, v);
+                    if rng.gen::<f64>() < cfg.reciprocity {
+                        b.add_edge_indices(v, u);
+                    }
+                }
+            } else {
+                // Long-range link to a uniformly random article.
+                let v = rng.gen_range(0..n);
+                if v != u {
+                    b.add_edge_indices(u, v);
+                }
+            }
+        }
+    }
+
+    // Hubs link back only within a small "own subject" set: a few random
+    // same-hub-tier pages and a handful of articles of one community.
+    for h in 0..hubs {
+        let own_community = h % communities;
+        let (first, step, _) = community_members(own_community);
+        for _ in 0..5 {
+            let v = first + rng.gen_range(0..20) * step;
+            if v < n && v != h {
+                b.add_edge_indices(h, v);
+            }
+        }
+        if hubs > 1 {
+            let other = (h + 1) % hubs;
+            b.add_edge_indices(h, other);
+        }
+    }
+
+    b.build()
+}
+
+/// Heavy-tailed degree sample with the given mean: mixture of a geometric
+/// bulk and an occasional large burst.
+fn sample_degree(rng: &mut StdRng, mean: f64) -> u32 {
+    let bulk = mean * 0.8;
+    let mut d = 1 + (rng.gen::<f64>() * 2.0 * bulk) as u32;
+    if rng.gen::<f64>() < 0.05 {
+        d += (rng.gen::<f64>() * mean * 8.0) as u32; // burst
+    }
+    d
+}
+
+/// Hub choice biased toward index 0 (Zipf-like popularity).
+fn biased_hub(rng: &mut StdRng, hubs: u32) -> u32 {
+    // P(h) ∝ 1/(h+1): inverse-CDF on the harmonic weights, cheap for the
+    // small hub counts used here.
+    let total: f64 = (0..hubs).map(|h| 1.0 / (h as f64 + 1.0)).sum();
+    let mut t = rng.gen::<f64>() * total;
+    for h in 0..hubs {
+        let w = 1.0 / (h as f64 + 1.0);
+        if t < w {
+            return h;
+        }
+        t -= w;
+    }
+    hubs - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph::GraphStats;
+
+    fn small() -> WikilinkConfig {
+        WikilinkConfig { nodes: 2000, hubs: 5, communities: 20, ..Default::default() }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small(), 42);
+        let b = generate(&small(), 42);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for u in a.nodes() {
+            assert_eq!(a.out_neighbors(u), b.out_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn hubs_dominate_in_degree() {
+        let cfg = small();
+        let g = generate(&cfg, 1);
+        let hub_min_in = (0..cfg.hubs).map(|h| g.in_degree(NodeId::new(h))).min().unwrap();
+        // Compare against the 99th-percentile non-hub in-degree.
+        let mut non_hub: Vec<usize> =
+            (cfg.hubs..cfg.nodes).map(|u| g.in_degree(NodeId::new(u))).collect();
+        non_hub.sort_unstable();
+        let p99 = non_hub[non_hub.len() * 99 / 100];
+        assert!(
+            hub_min_in > p99,
+            "weakest hub in-degree {hub_min_in} should exceed p99 non-hub {p99}"
+        );
+    }
+
+    #[test]
+    fn hub_popularity_ordered() {
+        let cfg = small();
+        let g = generate(&cfg, 2);
+        let d0 = g.in_degree(NodeId::new(0));
+        let d_last = g.in_degree(NodeId::new(cfg.hubs - 1));
+        assert!(d0 > d_last, "hub 0 ({d0}) should beat hub {} ({d_last})", cfg.hubs - 1);
+    }
+
+    #[test]
+    fn reciprocity_in_expected_range() {
+        let g = generate(&small(), 3);
+        let s = GraphStats::compute(&g);
+        // Communities reciprocate ~35% of intra links; global reciprocity
+        // lands lower because of hub and random links.
+        assert!(s.reciprocity > 0.05, "reciprocity {}", s.reciprocity);
+        assert!(s.reciprocity < 0.6, "reciprocity {}", s.reciprocity);
+    }
+
+    #[test]
+    fn community_structure_visible() {
+        let cfg = small();
+        let g = generate(&cfg, 4);
+        // Count intra vs inter community edges among non-hub endpoints.
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            match (cfg.community_of(u), cfg.community_of(v)) {
+                (Some(a), Some(b)) if a == b => intra += 1,
+                (Some(_), Some(_)) => inter += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            intra as f64 > inter as f64 * 2.0,
+            "intra {intra} should dominate inter {inter}"
+        );
+    }
+
+    #[test]
+    fn community_of_mapping() {
+        let cfg = small();
+        assert_eq!(cfg.community_of(NodeId::new(0)), None);
+        assert_eq!(cfg.community_of(NodeId::new(cfg.hubs)), Some(0));
+        assert_eq!(cfg.community_of(NodeId::new(cfg.hubs + 21)), Some(1));
+    }
+
+    #[test]
+    fn empty_config() {
+        let cfg = WikilinkConfig { nodes: 0, ..Default::default() };
+        assert!(generate(&cfg, 1).is_empty());
+    }
+
+    #[test]
+    fn scaling_helper() {
+        let cfg = WikilinkConfig::default().with_nodes(500);
+        let g = generate(&cfg, 9);
+        assert_eq!(g.node_count(), 500);
+    }
+}

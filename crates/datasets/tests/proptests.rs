@@ -1,0 +1,76 @@
+//! Property tests for the dataset generators.
+
+use proptest::prelude::*;
+use reldata::amazon::{self, AmazonConfig};
+use reldata::twitter::{self, TwitterConfig};
+use reldata::wikilink::{self, WikilinkConfig};
+use relgraph::GraphStats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The wikilink generator honors its node count, never emits
+    /// self-loops through the community path, and is seed-deterministic.
+    #[test]
+    fn wikilink_structural_invariants(nodes in 50u32..800, seed in 0u64..50) {
+        let cfg = WikilinkConfig { nodes, hubs: 5.min(nodes / 10), communities: 10, ..Default::default() };
+        let g = wikilink::generate(&cfg, seed);
+        prop_assert_eq!(g.node_count(), nodes as usize);
+        let s = GraphStats::compute(&g);
+        prop_assert_eq!(s.self_loops, 0);
+        // Determinism.
+        let g2 = wikilink::generate(&cfg, seed);
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+    }
+
+    /// The Amazon generator keeps non-best-seller recommendations inside
+    /// the genre and bounds out-degree.
+    #[test]
+    fn amazon_structural_invariants(nodes in 100u32..1000, seed in 0u64..50) {
+        let cfg = AmazonConfig {
+            nodes,
+            best_sellers: 4.min(nodes / 20),
+            genres: 8,
+            ..Default::default()
+        };
+        let g = amazon::generate(&cfg, seed);
+        prop_assert_eq!(g.node_count(), nodes as usize);
+        for (u, v) in g.edges() {
+            if let (Some(gu), Some(gv)) = (cfg.genre_of(u), cfg.genre_of(v)) {
+                prop_assert_eq!(gu, gv, "cross-genre edge {:?}->{:?}", u, v);
+            }
+        }
+    }
+
+    /// The Twitter generator produces weighted graphs whose total edge
+    /// weight never exceeds the simulated interaction count.
+    #[test]
+    fn twitter_weight_conservation(users in 50u32..500, seed in 0u64..50) {
+        let cfg = TwitterConfig {
+            users,
+            interactions: users as u64 * 8,
+            ..Default::default()
+        };
+        let g = twitter::generate(&cfg, seed);
+        if g.edge_count() > 0 {
+            prop_assert!(g.is_weighted());
+            let total: f64 = g.weighted_edges().map(|(_, _, w)| w).sum();
+            // Replies add at most one extra interaction per simulated one,
+            // and celebrity answers a third.
+            prop_assert!(total <= cfg.interactions as f64 * 3.0 + 1.0);
+            prop_assert!(total > 0.0);
+        }
+    }
+
+    /// Every classic generator with a size parameter honors it exactly.
+    #[test]
+    fn classic_generators_sizes(n in 1u32..200, seed in 0u64..20) {
+        use reldata::classic::*;
+        prop_assert_eq!(erdos_renyi(n, 0.05, seed).node_count(), n as usize);
+        prop_assert_eq!(ring(n).node_count(), n as usize);
+        prop_assert_eq!(bidirectional_ring(n).node_count(), n as usize);
+        prop_assert_eq!(complete(n.min(40)).node_count(), n.min(40) as usize);
+        prop_assert_eq!(random_dag(n, 0.1, seed).node_count(), n as usize);
+        prop_assert_eq!(star(n).node_count(), n as usize);
+    }
+}

@@ -1,0 +1,369 @@
+//! Result and log storage — the Datastore component of Fig. 1.
+//!
+//! Workers write results and per-task logs here; the Status/API side reads
+//! them. Two implementations:
+//!
+//! * [`MemoryStore`] — process-local, used by tests and the CLI;
+//! * [`FileStore`] — one JSON file per result and one `.log` per task
+//!   under a root directory, matching the container-volume layout a
+//!   deployed instance would use.
+
+use crate::error::EngineError;
+use crate::executor::TaskResult;
+use crate::task::TaskId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Storage interface for task results, logs and uploaded datasets.
+pub trait Datastore: Send + Sync {
+    /// Persists a result.
+    fn put_result(&self, result: &TaskResult) -> Result<(), EngineError>;
+
+    /// Fetches a result by task id.
+    fn get_result(&self, id: &TaskId) -> Result<Option<TaskResult>, EngineError>;
+
+    /// Appends a line to a task's log.
+    fn append_log(&self, id: &TaskId, line: &str) -> Result<(), EngineError>;
+
+    /// Reads a task's full log.
+    fn get_log(&self, id: &TaskId) -> Result<String, EngineError>;
+
+    /// Lists ids of all stored results.
+    fn list_results(&self) -> Result<Vec<TaskId>, EngineError>;
+
+    /// Persists an uploaded dataset (the Datastore "is responsible for
+    /// storing and managing datasets", Fig. 1).
+    fn put_dataset(&self, id: &str, graph: &relgraph::DirectedGraph) -> Result<(), EngineError>;
+
+    /// Loads a persisted dataset.
+    fn get_dataset(&self, id: &str) -> Result<Option<relgraph::DirectedGraph>, EngineError>;
+
+    /// Lists ids of persisted datasets.
+    fn list_datasets(&self) -> Result<Vec<String>, EngineError>;
+}
+
+/// Portable JSON encoding of a graph for dataset persistence: node count,
+/// sparse label map, and `[source, target, weight?]` edge triples.
+mod graph_codec {
+    use super::EngineError;
+    use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct GraphDoc {
+        nodes: u32,
+        labels: Vec<(u32, String)>,
+        edges: Vec<(u32, u32)>,
+        #[serde(default)]
+        weights: Option<Vec<f64>>,
+    }
+
+    pub fn encode(g: &DirectedGraph) -> Result<String, EngineError> {
+        let doc = GraphDoc {
+            nodes: g.node_count() as u32,
+            labels: g.labels().iter().map(|(n, l)| (n.raw(), l.to_string())).collect(),
+            edges: g.edges().map(|(u, v)| (u.raw(), v.raw())).collect(),
+            weights: g
+                .is_weighted()
+                .then(|| g.weighted_edges().map(|(_, _, w)| w).collect()),
+        };
+        serde_json::to_string(&doc).map_err(|e| EngineError::Storage(format!("encode: {e}")))
+    }
+
+    pub fn decode(s: &str) -> Result<DirectedGraph, EngineError> {
+        let doc: GraphDoc =
+            serde_json::from_str(s).map_err(|e| EngineError::Storage(format!("decode: {e}")))?;
+        let mut b = GraphBuilder::with_capacity(doc.nodes as usize, doc.edges.len());
+        if doc.nodes > 0 {
+            b.ensure_node(doc.nodes - 1);
+        }
+        match &doc.weights {
+            Some(ws) if ws.len() == doc.edges.len() => {
+                for (&(u, v), &w) in doc.edges.iter().zip(ws) {
+                    b.add_weighted_edge(NodeId::new(u), NodeId::new(v), w);
+                }
+            }
+            _ => {
+                for &(u, v) in &doc.edges {
+                    b.add_edge_indices(u, v);
+                }
+            }
+        }
+        for (n, l) in doc.labels {
+            b.set_label(NodeId::new(n), l);
+        }
+        b.try_build().map_err(|e| EngineError::Storage(format!("decode: {e}")))
+    }
+}
+
+/// In-memory datastore.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStore {
+    results: Arc<RwLock<HashMap<TaskId, TaskResult>>>,
+    logs: Arc<RwLock<HashMap<TaskId, String>>>,
+    datasets: Arc<RwLock<HashMap<String, String>>>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Datastore for MemoryStore {
+    fn put_result(&self, result: &TaskResult) -> Result<(), EngineError> {
+        self.results.write().insert(result.task_id.clone(), result.clone());
+        Ok(())
+    }
+
+    fn get_result(&self, id: &TaskId) -> Result<Option<TaskResult>, EngineError> {
+        Ok(self.results.read().get(id).cloned())
+    }
+
+    fn append_log(&self, id: &TaskId, line: &str) -> Result<(), EngineError> {
+        let mut logs = self.logs.write();
+        let entry = logs.entry(id.clone()).or_default();
+        entry.push_str(line);
+        entry.push('\n');
+        Ok(())
+    }
+
+    fn get_log(&self, id: &TaskId) -> Result<String, EngineError> {
+        Ok(self.logs.read().get(id).cloned().unwrap_or_default())
+    }
+
+    fn list_results(&self) -> Result<Vec<TaskId>, EngineError> {
+        Ok(self.results.read().keys().cloned().collect())
+    }
+
+    fn put_dataset(&self, id: &str, graph: &relgraph::DirectedGraph) -> Result<(), EngineError> {
+        let enc = graph_codec::encode(graph)?;
+        self.datasets.write().insert(id.to_string(), enc);
+        Ok(())
+    }
+
+    fn get_dataset(&self, id: &str) -> Result<Option<relgraph::DirectedGraph>, EngineError> {
+        match self.datasets.read().get(id) {
+            Some(enc) => Ok(Some(graph_codec::decode(enc)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn list_datasets(&self) -> Result<Vec<String>, EngineError> {
+        Ok(self.datasets.read().keys().cloned().collect())
+    }
+}
+
+/// File-backed datastore: `<root>/results/<id>.json`, `<root>/logs/<id>.log`,
+/// `<root>/datasets/<id>.json`.
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    root: PathBuf,
+}
+
+impl FileStore {
+    /// Opens (creating directories as needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        let root = root.into();
+        for sub in ["results", "logs", "datasets"] {
+            std::fs::create_dir_all(root.join(sub))
+                .map_err(|e| EngineError::Storage(format!("create {sub}: {e}")))?;
+        }
+        Ok(FileStore { root })
+    }
+
+    fn result_path(&self, id: &TaskId) -> PathBuf {
+        self.root.join("results").join(format!("{}.json", sanitize(id.as_str())))
+    }
+
+    fn log_path(&self, id: &TaskId) -> PathBuf {
+        self.root.join("logs").join(format!("{}.log", sanitize(id.as_str())))
+    }
+
+    fn dataset_path(&self, id: &str) -> PathBuf {
+        self.root.join("datasets").join(format!("{}.json", sanitize(id)))
+    }
+}
+
+/// Restricts ids to filesystem-safe characters.
+fn sanitize(id: &str) -> String {
+    id.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect()
+}
+
+impl Datastore for FileStore {
+    fn put_result(&self, result: &TaskResult) -> Result<(), EngineError> {
+        let json = serde_json::to_string_pretty(result)
+            .map_err(|e| EngineError::Storage(format!("serialize: {e}")))?;
+        std::fs::write(self.result_path(&result.task_id), json)
+            .map_err(|e| EngineError::Storage(format!("write result: {e}")))
+    }
+
+    fn get_result(&self, id: &TaskId) -> Result<Option<TaskResult>, EngineError> {
+        let path = self.result_path(id);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| EngineError::Storage(format!("read result: {e}")))?;
+        serde_json::from_str(&json)
+            .map(Some)
+            .map_err(|e| EngineError::Storage(format!("parse result: {e}")))
+    }
+
+    fn append_log(&self, id: &TaskId, line: &str) -> Result<(), EngineError> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.log_path(id))
+            .map_err(|e| EngineError::Storage(format!("open log: {e}")))?;
+        writeln!(f, "{line}").map_err(|e| EngineError::Storage(format!("write log: {e}")))
+    }
+
+    fn get_log(&self, id: &TaskId) -> Result<String, EngineError> {
+        let path = self.log_path(id);
+        if !path.exists() {
+            return Ok(String::new());
+        }
+        std::fs::read_to_string(&path).map_err(|e| EngineError::Storage(format!("read log: {e}")))
+    }
+
+    fn list_results(&self) -> Result<Vec<TaskId>, EngineError> {
+        Ok(list_json_ids(&self.root.join("results"))?.into_iter().map(TaskId).collect())
+    }
+
+    fn put_dataset(&self, id: &str, graph: &relgraph::DirectedGraph) -> Result<(), EngineError> {
+        let enc = graph_codec::encode(graph)?;
+        std::fs::write(self.dataset_path(id), enc)
+            .map_err(|e| EngineError::Storage(format!("write dataset: {e}")))
+    }
+
+    fn get_dataset(&self, id: &str) -> Result<Option<relgraph::DirectedGraph>, EngineError> {
+        let path = self.dataset_path(id);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let enc = std::fs::read_to_string(&path)
+            .map_err(|e| EngineError::Storage(format!("read dataset: {e}")))?;
+        graph_codec::decode(&enc).map(Some)
+    }
+
+    fn list_datasets(&self) -> Result<Vec<String>, EngineError> {
+        list_json_ids(&self.root.join("datasets"))
+    }
+}
+
+/// Lists the `<id>.json` stems of a directory.
+fn list_json_ids(dir: &std::path::Path) -> Result<Vec<String>, EngineError> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| EngineError::Storage(format!("list: {e}")))?;
+    for e in entries {
+        let e = e.map_err(|e| EngineError::Storage(e.to_string()))?;
+        if let Some(name) = e.file_name().to_str() {
+            if let Some(id) = name.strip_suffix(".json") {
+                out.push(id.to_string());
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(id: &TaskId) -> TaskResult {
+        TaskResult {
+            task_id: id.clone(),
+            dataset: "ds".into(),
+            algorithm: "cyclerank".into(),
+            parameters: "k = 3, σ = exp".into(),
+            source: Some("Fake news".into()),
+            top: vec![("Fake news".into(), 1.0), ("CNN".into(), 0.5)],
+            runtime_ms: 12,
+            nodes: 100,
+            edges: 500,
+            iterations: None,
+            cycles_found: Some(7),
+        }
+    }
+
+    fn exercise(store: &dyn Datastore) {
+        let id = TaskId::fresh();
+        assert!(store.get_result(&id).unwrap().is_none());
+        assert_eq!(store.get_log(&id).unwrap(), "");
+
+        let result = sample_result(&id);
+        store.put_result(&result).unwrap();
+        let back = store.get_result(&id).unwrap().unwrap();
+        assert_eq!(back.top, result.top);
+        assert_eq!(back.cycles_found, Some(7));
+
+        store.append_log(&id, "started").unwrap();
+        store.append_log(&id, "finished").unwrap();
+        let log = store.get_log(&id).unwrap();
+        assert_eq!(log, "started\nfinished\n");
+
+        let ids = store.list_results().unwrap();
+        assert!(ids.contains(&id));
+
+        // Dataset persistence.
+        assert!(store.get_dataset("mine").unwrap().is_none());
+        let mut b = relgraph::GraphBuilder::new();
+        let a = b.add_labeled_node("a");
+        let c = b.add_labeled_node("b");
+        b.add_weighted_edge(a, c, 2.5);
+        let g = b.build();
+        store.put_dataset("mine", &g).unwrap();
+        let back = store.get_dataset("mine").unwrap().unwrap();
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(back.edge_weight(a, c), Some(2.5));
+        assert_eq!(back.node_by_label("b"), Some(c));
+        assert!(store.list_datasets().unwrap().contains(&"mine".to_string()));
+    }
+
+    #[test]
+    fn memory_store_roundtrip() {
+        exercise(&MemoryStore::new());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("relengine-test-{}", crate::id::new_uuid()));
+        let store = FileStore::open(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("relengine-test-{}", crate::id::new_uuid()));
+        let id = TaskId::fresh();
+        {
+            let store = FileStore::open(&dir).unwrap();
+            store.put_result(&sample_result(&id)).unwrap();
+        }
+        let store = FileStore::open(&dir).unwrap();
+        assert!(store.get_result(&id).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sanitize_rejects_path_tricks() {
+        assert_eq!(sanitize("../../etc/passwd"), "______etc_passwd");
+        assert_eq!(sanitize("abc-123"), "abc-123");
+    }
+
+    #[test]
+    fn memory_store_shared_between_clones() {
+        let a = MemoryStore::new();
+        let b = a.clone();
+        let id = TaskId::fresh();
+        a.put_result(&sample_result(&id)).unwrap();
+        assert!(b.get_result(&id).unwrap().is_some());
+    }
+}

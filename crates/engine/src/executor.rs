@@ -1,0 +1,322 @@
+//! Task execution — the Executor / worker-node component of Fig. 1.
+//!
+//! An [`Executor`] owns a dataset cache (graphs are deterministic,
+//! generated on first use and shared via `Arc` thereafter) and turns a
+//! [`TaskSpec`] into a [`TaskResult`]: load dataset → resolve the source
+//! label → dispatch through `relcore::run` → package the labelled top-k.
+
+use crate::error::EngineError;
+use crate::task::{TaskId, TaskSpec};
+use parking_lot::Mutex;
+use relcore::runner;
+use relgraph::DirectedGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The stored outcome of a completed task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// Which task produced this.
+    pub task_id: TaskId,
+    /// Dataset id.
+    pub dataset: String,
+    /// Algorithm id (e.g. `cyclerank`).
+    pub algorithm: String,
+    /// Human-readable parameter summary (e.g. `k = 3, σ = exp`).
+    pub parameters: String,
+    /// Source label, for personalized runs.
+    pub source: Option<String>,
+    /// Top entries as `(label, score)`; score is 0 for ranking-only
+    /// algorithms (2DRank).
+    pub top: Vec<(String, f64)>,
+    /// Wall-clock runtime of the algorithm (not counting dataset load).
+    pub runtime_ms: u64,
+    /// Node count of the dataset.
+    pub nodes: usize,
+    /// Edge count of the dataset.
+    pub edges: usize,
+    /// Power iterations, for the PageRank family.
+    pub iterations: Option<usize>,
+    /// Cycles found, for CycleRank.
+    pub cycles_found: Option<u64>,
+}
+
+/// Resolves a task's source string to a node: by label first, then — for
+/// unlabeled datasets such as bare edge-list uploads — as a numeric node
+/// index.
+fn resolve_source(graph: &DirectedGraph, source: &str) -> Option<relgraph::NodeId> {
+    if let Some(n) = graph.node_by_label(source) {
+        return Some(n);
+    }
+    let idx: u32 = source.parse().ok()?;
+    ((idx as usize) < graph.node_count()).then_some(relgraph::NodeId::new(idx))
+}
+
+/// Dataset-caching task executor.
+#[derive(Default)]
+pub struct Executor {
+    cache: Mutex<HashMap<String, Arc<DirectedGraph>>>,
+}
+
+impl Executor {
+    /// Creates an executor with an empty dataset cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a user-uploaded graph under `id` (the demo's "upload your
+    /// own dataset" feature, §IV-B).
+    ///
+    /// Fails with [`EngineError::DatasetExists`] if the id collides with a
+    /// registry dataset or a previous upload.
+    pub fn register_graph(&self, id: &str, graph: DirectedGraph) -> Result<(), EngineError> {
+        if reldata::registry::spec(id).is_some() {
+            return Err(EngineError::DatasetExists(id.to_string()));
+        }
+        let mut cache = self.cache.lock();
+        if cache.contains_key(id) {
+            return Err(EngineError::DatasetExists(id.to_string()));
+        }
+        cache.insert(id.to_string(), Arc::new(graph));
+        Ok(())
+    }
+
+    /// Ids of user-uploaded datasets currently registered.
+    pub fn uploaded_ids(&self) -> Vec<String> {
+        self.cache
+            .lock()
+            .keys()
+            .filter(|id| reldata::registry::spec(id).is_none())
+            .cloned()
+            .collect()
+    }
+
+    /// Loads a dataset through the cache (registry datasets are generated
+    /// on first use; uploads were placed there by
+    /// [`Executor::register_graph`]).
+    pub fn dataset(&self, id: &str) -> Result<Arc<DirectedGraph>, EngineError> {
+        if let Some(g) = self.cache.lock().get(id) {
+            return Ok(Arc::clone(g));
+        }
+        // Generate outside the lock: generation can take a while and other
+        // datasets' lookups shouldn't block on it.
+        let g = reldata::load_dataset(id).ok_or_else(|| EngineError::UnknownDataset(id.into()))?;
+        let g = Arc::new(g);
+        self.cache.lock().entry(id.to_string()).or_insert_with(|| Arc::clone(&g));
+        Ok(g)
+    }
+
+    /// Number of cached datasets.
+    pub fn cached_count(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Executes a task spec to completion.
+    pub fn execute(&self, id: &TaskId, spec: &TaskSpec) -> Result<TaskResult, EngineError> {
+        let graph = self.dataset(&spec.dataset)?;
+
+        let reference = match &spec.source {
+            Some(label) => Some(resolve_source(&graph, label).ok_or_else(|| {
+                EngineError::UnknownSource { dataset: spec.dataset.clone(), source: label.clone() }
+            })?),
+            None => {
+                if spec.params.algorithm.is_personalized() {
+                    return Err(EngineError::MissingSource);
+                }
+                None
+            }
+        };
+
+        let started = Instant::now();
+        let output = runner::run(&graph, &spec.params, reference)?;
+        let runtime_ms = started.elapsed().as_millis() as u64;
+
+        Ok(TaskResult {
+            task_id: id.clone(),
+            dataset: spec.dataset.clone(),
+            algorithm: spec.params.algorithm.id().to_string(),
+            parameters: spec.params.summary(),
+            source: spec.source.clone(),
+            top: output.top_k_labeled(&graph, spec.top_k),
+            runtime_ms,
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            iterations: output.convergence.map(|c| c.iterations),
+            cycles_found: output.cycles_found,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskBuilder;
+    use relcore::runner::Algorithm;
+
+    fn exec(spec: TaskSpec) -> Result<TaskResult, EngineError> {
+        Executor::new().execute(&TaskId::fresh(), &spec)
+    }
+
+    #[test]
+    fn cyclerank_on_fixture() {
+        let spec = TaskBuilder::new("fixture-enwiki-2018")
+            .algorithm(Algorithm::CycleRank)
+            .source("Freddie Mercury")
+            .top_k(5)
+            .build()
+            .unwrap();
+        let r = exec(spec).unwrap();
+        assert_eq!(r.top.len(), 5);
+        assert_eq!(r.top[0].0, "Freddie Mercury");
+        assert_eq!(r.top[1].0, "Queen (band)");
+        assert!(r.cycles_found.unwrap() > 0);
+        assert!(r.iterations.is_none());
+        assert_eq!(r.algorithm, "cyclerank");
+    }
+
+    #[test]
+    fn pagerank_reports_iterations() {
+        let spec = TaskBuilder::new("fixture-enwiki-2018").top_k(3).build().unwrap();
+        let r = exec(spec).unwrap();
+        assert!(r.iterations.unwrap() > 1);
+        assert!(r.cycles_found.is_none());
+        assert_eq!(r.top[0].0, "United States");
+    }
+
+    #[test]
+    fn unknown_dataset_error() {
+        let spec = TaskBuilder::new("no-such-dataset").build().unwrap();
+        assert!(matches!(exec(spec), Err(EngineError::UnknownDataset(_))));
+    }
+
+    #[test]
+    fn unknown_source_error() {
+        let spec = TaskBuilder::new("fixture-enwiki-2018")
+            .algorithm(Algorithm::CycleRank)
+            .source("Nonexistent Article")
+            .build()
+            .unwrap();
+        match exec(spec) {
+            Err(EngineError::UnknownSource { source, .. }) => {
+                assert_eq!(source, "Nonexistent Article")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_cache_reuses_graphs() {
+        let ex = Executor::new();
+        let a = ex.dataset("fixture-fakenews-it").unwrap();
+        let b = ex.dataset("fixture-fakenews-it").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ex.cached_count(), 1);
+        ex.dataset("fixture-fakenews-pl").unwrap();
+        assert_eq!(ex.cached_count(), 2);
+    }
+
+    #[test]
+    fn all_seven_algorithms_execute() {
+        let ex = Executor::new();
+        for algo in Algorithm::ALL {
+            let mut b = TaskBuilder::new("fixture-fakenews-it").algorithm(algo).top_k(3);
+            if algo.is_personalized() {
+                b = b.source("Fake news");
+            }
+            let spec = b.build().unwrap();
+            let r = ex.execute(&TaskId::fresh(), &spec).unwrap();
+            assert_eq!(r.top.len(), 3, "{algo}");
+        }
+    }
+
+    #[test]
+    fn numeric_source_on_unlabeled_dataset() {
+        // amazon-copurchase carries no labels: the source falls back to a
+        // node index.
+        let spec = TaskBuilder::new("synthetic-ring")
+            .algorithm(Algorithm::CycleRank)
+            .source("42")
+            .top_k(3)
+            .build()
+            .unwrap();
+        let r = exec(spec).unwrap();
+        assert_eq!(r.top[0].0, "42");
+        // Out-of-range numeric sources still fail cleanly.
+        let spec = TaskBuilder::new("synthetic-ring")
+            .algorithm(Algorithm::CycleRank)
+            .source("99999999")
+            .build()
+            .unwrap();
+        assert!(matches!(exec(spec), Err(EngineError::UnknownSource { .. })));
+        // Labels win over indices when both could apply.
+        let ex = Executor::new();
+        let mut b = relgraph::GraphBuilder::new();
+        b.ensure_node(5);
+        b.add_edge_indices(3, 0);
+        b.add_edge_indices(0, 3);
+        let mut g = b.build();
+        g.labels_mut().set(relgraph::NodeId::new(3), "0"); // label "0" on node 3
+        ex.register_graph("tricky", g).unwrap();
+        let spec = TaskBuilder::new("tricky")
+            .algorithm(Algorithm::CycleRank)
+            .source("0")
+            .top_k(1)
+            .build()
+            .unwrap();
+        let r = ex.execute(&TaskId::fresh(), &spec).unwrap();
+        assert_eq!(r.top[0].0, "0", "label lookup must win");
+    }
+
+    #[test]
+    fn uploaded_graph_is_queryable() {
+        let ex = Executor::new();
+        let mut b = relgraph::GraphBuilder::new();
+        b.add_labeled_edge("me", "friend");
+        b.add_labeled_edge("friend", "me");
+        ex.register_graph("my-upload", b.build()).unwrap();
+        assert_eq!(ex.uploaded_ids(), vec!["my-upload".to_string()]);
+
+        let spec = TaskBuilder::new("my-upload")
+            .algorithm(Algorithm::CycleRank)
+            .source("me")
+            .top_k(2)
+            .build()
+            .unwrap();
+        let r = ex.execute(&TaskId::fresh(), &spec).unwrap();
+        assert_eq!(r.top[0].0, "me");
+        assert_eq!(r.top[1].0, "friend");
+    }
+
+    #[test]
+    fn upload_id_collisions_rejected() {
+        let ex = Executor::new();
+        let g = relgraph::GraphBuilder::from_edge_indices([(0, 1)]);
+        // Registry collision.
+        assert!(matches!(
+            ex.register_graph("wiki-en-2018", g.clone()),
+            Err(EngineError::DatasetExists(_))
+        ));
+        // Upload-upload collision.
+        ex.register_graph("mine", g.clone()).unwrap();
+        assert!(matches!(ex.register_graph("mine", g), Err(EngineError::DatasetExists(_))));
+        // Registry ids are not reported as uploads.
+        ex.dataset("fixture-fakenews-pl").unwrap();
+        assert_eq!(ex.uploaded_ids(), vec!["mine".to_string()]);
+    }
+
+    #[test]
+    fn result_serde_roundtrip() {
+        let spec = TaskBuilder::new("fixture-fakenews-pl")
+            .algorithm(Algorithm::CycleRank)
+            .source("Fake news")
+            .top_k(4)
+            .build()
+            .unwrap();
+        let r = exec(spec).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TaskResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,78 @@
+//! Task and query-set identifiers.
+//!
+//! The demo assigns each query set a UUID-style identifier that doubles as
+//! a permalink (§IV-C: "a unique identifier is assigned to it, serving as
+//! a permalink to retrieve its results"). We generate RFC-4122-shaped
+//! version-4 identifiers from the `rand` crate — no `uuid` dependency
+//! needed for the demo's purposes.
+
+use rand::RngCore;
+
+/// Generates a fresh UUID-v4-shaped identifier, e.g.
+/// `3a73ff34-8720-4ce8-859e-34e70f339907`.
+pub fn new_uuid() -> String {
+    let mut bytes = [0u8; 16];
+    rand::thread_rng().fill_bytes(&mut bytes);
+    format_uuid(bytes)
+}
+
+/// Formats 16 bytes as a version-4 UUID string.
+pub fn format_uuid(mut bytes: [u8; 16]) -> String {
+    // Set version (4) and variant (10xx) bits per RFC 4122.
+    bytes[6] = (bytes[6] & 0x0f) | 0x40;
+    bytes[8] = (bytes[8] & 0x3f) | 0x80;
+    let h = |b: &[u8]| b.iter().map(|x| format!("{x:02x}")).collect::<String>();
+    format!(
+        "{}-{}-{}-{}-{}",
+        h(&bytes[0..4]),
+        h(&bytes[4..6]),
+        h(&bytes[6..8]),
+        h(&bytes[8..10]),
+        h(&bytes[10..16])
+    )
+}
+
+/// Validates the UUID shape (lowercase hex, 8-4-4-4-12).
+pub fn looks_like_uuid(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 5 {
+        return false;
+    }
+    let lens = [8, 4, 4, 4, 12];
+    parts
+        .iter()
+        .zip(lens)
+        .all(|(p, l)| p.len() == l && p.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_is_rfc4122() {
+        let id = format_uuid([0u8; 16]);
+        assert_eq!(id, "00000000-0000-4000-8000-000000000000");
+        assert!(looks_like_uuid(&id));
+    }
+
+    #[test]
+    fn random_ids_are_valid_and_distinct() {
+        let a = new_uuid();
+        let b = new_uuid();
+        assert!(looks_like_uuid(&a), "{a}");
+        assert!(looks_like_uuid(&b));
+        assert_ne!(a, b);
+        // Version nibble is 4.
+        assert_eq!(a.as_bytes()[14], b'4');
+    }
+
+    #[test]
+    fn validator_rejects_junk() {
+        assert!(!looks_like_uuid("hello"));
+        assert!(!looks_like_uuid("00000000-0000-4000-8000-00000000000")); // short
+        assert!(!looks_like_uuid("00000000-0000-4000-8000-00000000000g")); // non-hex
+        assert!(!looks_like_uuid("00000000-0000:4000-8000-000000000000"));
+        assert!(looks_like_uuid("3a73ff34-8720-4ce8-859e-34e70f339907")); // from the paper's Fig. 2
+    }
+}

@@ -1,0 +1,525 @@
+//! The Scheduler: queueing, worker pool, and result collection (Fig. 1).
+//!
+//! Tasks submitted through [`Scheduler::submit`] are queued on a crossbeam
+//! channel; a pool of worker threads (the paper's "computational nodes",
+//! which "can be scaled up or down depending on the system's workload" —
+//! here via [`SchedulerBuilder::workers`]) pops tasks, executes them
+//! through a shared [`Executor`], and writes results and logs to the
+//! [`Datastore`]. The [`StatusBoard`] tracks every task's lifecycle for
+//! polling, and [`Scheduler::wait`] blocks until a task reaches a terminal
+//! state.
+
+use crate::datastore::{Datastore, MemoryStore};
+use crate::error::EngineError;
+use crate::executor::{Executor, TaskResult};
+use crate::status::{StatusBoard, TaskState};
+use crate::task::{QuerySet, TaskId, TaskSpec};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Job {
+    Run(TaskId, TaskSpec),
+    Shutdown,
+}
+
+/// Configures a [`Scheduler`].
+pub struct SchedulerBuilder {
+    workers: usize,
+    store: Arc<dyn Datastore>,
+}
+
+impl SchedulerBuilder {
+    /// Number of worker threads (default 2).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Datastore for results and logs (default: in-memory).
+    pub fn datastore(mut self, store: Arc<dyn Datastore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Starts the worker pool, restoring any datasets persisted in the
+    /// datastore into the executor's registry.
+    pub fn build(self) -> Scheduler {
+        let (tx, rx) = unbounded::<Job>();
+        let executor = Arc::new(Executor::new());
+        #[allow(clippy::redundant_clone)]
+        let rx = rx.clone();
+        if let Ok(ids) = self.store.list_datasets() {
+            for id in ids {
+                if let Ok(Some(g)) = self.store.get_dataset(&id) {
+                    let _ = executor.register_graph(&id, g);
+                }
+            }
+        }
+        let board = StatusBoard::new();
+        let mut handles = Vec::with_capacity(self.workers);
+        for worker_id in 0..self.workers {
+            let rx: Receiver<Job> = rx.clone();
+            let executor = Arc::clone(&executor);
+            let board = board.clone();
+            let store = Arc::clone(&self.store);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(worker_id, rx, executor, board, store)
+            }));
+        }
+        Scheduler { tx, rx, board, store: self.store, executor, handles }
+    }
+}
+
+fn worker_loop(
+    worker_id: usize,
+    rx: Receiver<Job>,
+    executor: Arc<Executor>,
+    board: StatusBoard,
+    store: Arc<dyn Datastore>,
+) {
+    while let Ok(job) = rx.recv() {
+        let (id, spec) = match job {
+            Job::Shutdown => break,
+            Job::Run(id, spec) => (id, spec),
+        };
+        if board.is_canceled(&id) {
+            let _ = store.append_log(&id, &format!("worker {worker_id}: skipped (canceled)"));
+            continue;
+        }
+        board.mark_running(&id);
+        let _ = store.append_log(
+            &id,
+            &format!("worker {worker_id}: running {}", spec.display_row()),
+        );
+        match executor.execute(&id, &spec) {
+            Ok(result) => {
+                let _ = store
+                    .append_log(&id, &format!("worker {worker_id}: done in {}ms", result.runtime_ms));
+                match store.put_result(&result) {
+                    Ok(()) => board.mark_completed(&id),
+                    Err(e) => board.mark_failed(&id, e.to_string()),
+                }
+            }
+            Err(e) => {
+                let _ = store.append_log(&id, &format!("worker {worker_id}: failed: {e}"));
+                board.mark_failed(&id, e.to_string());
+            }
+        }
+    }
+}
+
+/// The running engine: submit tasks, poll status, fetch results.
+///
+/// Dropping the scheduler shuts the worker pool down (in-flight tasks
+/// finish; queued tasks are abandoned only if the process exits).
+pub struct Scheduler {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    board: StatusBoard,
+    store: Arc<dyn Datastore>,
+    executor: Arc<Executor>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts building a scheduler.
+    pub fn builder() -> SchedulerBuilder {
+        SchedulerBuilder { workers: 2, store: Arc::new(MemoryStore::new()) }
+    }
+
+    /// Registers a user-uploaded graph so tasks can reference it by id.
+    ///
+    /// The graph is also persisted to the datastore, so a scheduler built
+    /// over the same store later (e.g. after a restart) restores it.
+    pub fn register_dataset(
+        &self,
+        id: &str,
+        graph: relgraph::DirectedGraph,
+    ) -> Result<(), EngineError> {
+        self.store.put_dataset(id, &graph)?;
+        self.executor.register_graph(id, graph)
+    }
+
+    /// Submits one task; returns its id immediately.
+    pub fn submit(&self, spec: TaskSpec) -> TaskId {
+        let id = TaskId::fresh();
+        self.board.enqueue(id.clone(), spec.clone());
+        // Send cannot fail while workers hold the receiver.
+        let _ = self.tx.send(Job::Run(id.clone(), spec));
+        id
+    }
+
+    /// Submits every task of a query set; returns ids in set order.
+    pub fn submit_query_set(&self, qs: &QuerySet) -> Vec<TaskId> {
+        qs.tasks().iter().map(|t| self.submit(t.clone())).collect()
+    }
+
+    /// Adds `n` more worker threads at runtime — the paper's computational
+    /// nodes "can be scaled up or down depending on the system's workload".
+    /// (Scaling *down* happens naturally when the scheduler is dropped;
+    /// individual workers are not reaped early.)
+    pub fn add_workers(&mut self, n: usize) {
+        let base = self.handles.len();
+        for i in 0..n {
+            let rx = self.rx.clone();
+            let executor = Arc::clone(&self.executor);
+            let board = self.board.clone();
+            let store = Arc::clone(&self.store);
+            let worker_id = base + i;
+            self.handles.push(std::thread::spawn(move || {
+                worker_loop(worker_id, rx, executor, board, store)
+            }));
+        }
+    }
+
+    /// Number of worker threads currently running.
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Cancels a queued task (no effect once a worker picked it up).
+    /// Returns whether the cancellation took effect.
+    pub fn cancel(&self, id: &TaskId) -> bool {
+        self.board.cancel_if_queued(id)
+    }
+
+    /// Aggregate task metrics.
+    pub fn metrics(&self) -> crate::status::BoardMetrics {
+        self.board.metrics()
+    }
+
+    /// Current status of a task.
+    pub fn status(&self, id: &TaskId) -> Result<TaskState, EngineError> {
+        self.board
+            .get(id)
+            .map(|r| r.state)
+            .ok_or_else(|| EngineError::UnknownTask(id.to_string()))
+    }
+
+    /// The status board (for UI polling).
+    pub fn board(&self) -> &StatusBoard {
+        &self.board
+    }
+
+    /// The datastore (results and logs).
+    pub fn store(&self) -> &Arc<dyn Datastore> {
+        &self.store
+    }
+
+    /// The shared executor (exposes the dataset cache).
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// Blocks until `id` reaches a terminal state, then returns its result.
+    ///
+    /// Returns [`EngineError::Timeout`] if the deadline passes,
+    /// [`EngineError::TaskFailed`] if the task failed.
+    pub fn wait(&self, id: &TaskId, timeout: Duration) -> Result<TaskResult, EngineError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.status(id)? {
+                TaskState::Completed => {
+                    return self
+                        .store
+                        .get_result(id)?
+                        .ok_or_else(|| EngineError::Storage("result missing".into()));
+                }
+                TaskState::Failed { error } => return Err(EngineError::TaskFailed(error)),
+                TaskState::Canceled => {
+                    return Err(EngineError::TaskFailed("canceled".into()))
+                }
+                _ if Instant::now() >= deadline => {
+                    return Err(EngineError::Timeout(id.to_string()))
+                }
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+
+    /// Waits for a batch of tasks (e.g. a submitted query set).
+    pub fn wait_all(
+        &self,
+        ids: &[TaskId],
+        timeout: Duration,
+    ) -> Result<Vec<TaskResult>, EngineError> {
+        let deadline = Instant::now() + timeout;
+        ids.iter()
+            .map(|id| {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                self.wait(id, remaining)
+            })
+            .collect()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        for _ in &self.handles {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskBuilder;
+    use relcore::runner::Algorithm;
+
+    const T: Duration = Duration::from_secs(60);
+
+    fn cyclerank_task(dataset: &str, source: &str) -> TaskSpec {
+        TaskBuilder::new(dataset)
+            .algorithm(Algorithm::CycleRank)
+            .source(source)
+            .top_k(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_single_task() {
+        let s = Scheduler::builder().workers(1).build();
+        let id = s.submit(cyclerank_task("fixture-fakenews-it", "Fake news"));
+        let r = s.wait(&id, T).unwrap();
+        assert_eq!(r.top[0].0, "Fake news");
+        assert_eq!(r.top[1].0, "Disinformazione");
+        assert_eq!(s.status(&id).unwrap(), TaskState::Completed);
+        // Logs were recorded.
+        let log = s.store().get_log(&id).unwrap();
+        assert!(log.contains("running"));
+        assert!(log.contains("done"));
+    }
+
+    #[test]
+    fn failed_task_reports_error() {
+        let s = Scheduler::builder().workers(1).build();
+        let id = s.submit(cyclerank_task("fixture-fakenews-it", "No Such Page"));
+        match s.wait(&id, T) {
+            Err(EngineError::TaskFailed(e)) => assert!(e.contains("No Such Page")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(s.status(&id).unwrap(), TaskState::Failed { .. }));
+    }
+
+    #[test]
+    fn unknown_task_status() {
+        let s = Scheduler::builder().workers(1).build();
+        assert!(matches!(
+            s.status(&TaskId::fresh()),
+            Err(EngineError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn query_set_runs_all_rows() {
+        // The Fig. 2 scenario: three algorithms over one dataset.
+        let s = Scheduler::builder().workers(3).build();
+        let mut qs = QuerySet::new();
+        qs.add(cyclerank_task("fixture-fakenews-pl", "Fake news"));
+        qs.add(TaskBuilder::new("fixture-fakenews-pl").top_k(5).build().unwrap());
+        qs.add(
+            TaskBuilder::new("fixture-fakenews-pl")
+                .algorithm(Algorithm::PersonalizedPageRank)
+                .damping(0.3)
+                .source("Fake news")
+                .top_k(5)
+                .build()
+                .unwrap(),
+        );
+        let ids = s.submit_query_set(&qs);
+        assert_eq!(ids.len(), 3);
+        let results = s.wait_all(&ids, T).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].algorithm, "cyclerank");
+        assert_eq!(results[1].algorithm, "pagerank");
+        assert_eq!(results[2].algorithm, "ppr");
+    }
+
+    #[test]
+    fn parallel_workers_share_dataset_cache() {
+        let s = Scheduler::builder().workers(4).build();
+        let ids: Vec<TaskId> = (0..8)
+            .map(|_| s.submit(cyclerank_task("fixture-fakenews-nl", "Nepnieuws")))
+            .collect();
+        let results = s.wait_all(&ids, T).unwrap();
+        assert!(results.iter().all(|r| r.top[0].0 == "Nepnieuws"));
+        // One dataset, cached once.
+        assert_eq!(s.executor().cached_count(), 1);
+    }
+
+    #[test]
+    fn timeout_on_zero_deadline() {
+        let s = Scheduler::builder().workers(1).build();
+        // Submit a task and wait with an already-expired deadline; whether
+        // the task happens to finish first is racy, so only assert that a
+        // Timeout error is possible shape-wise when returned.
+        let id = s.submit(cyclerank_task("fixture-fakenews-de", "Fake News"));
+        match s.wait(&id, Duration::ZERO) {
+            Ok(_) | Err(EngineError::Timeout(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canceled_queued_tasks_are_skipped() {
+        // One worker, many tasks: cancel the tail while the head runs.
+        let s = Scheduler::builder().workers(1).build();
+        let ids: Vec<TaskId> = (0..6)
+            .map(|_| s.submit(cyclerank_task("fixture-fakenews-de", "Fake News")))
+            .collect();
+        // Cancel whatever is still queued; at least the last task should
+        // usually be cancellable, but the assertion tolerates an empty set
+        // (if the worker raced through everything already).
+        let mut canceled = Vec::new();
+        for id in ids.iter().rev() {
+            if s.cancel(id) {
+                canceled.push(id.clone());
+            }
+        }
+        // Every non-canceled task completes; canceled ones never produce a
+        // result and report the canceled state.
+        for id in &ids {
+            if canceled.contains(id) {
+                assert!(matches!(s.status(id).unwrap(), TaskState::Canceled));
+                assert!(matches!(s.wait(id, T), Err(EngineError::TaskFailed(_))));
+                assert!(s.store().get_result(id).unwrap().is_none());
+            } else {
+                s.wait(id, T).unwrap();
+            }
+        }
+        let m = s.metrics();
+        assert_eq!(m.total, 6);
+        assert_eq!(m.canceled, canceled.len());
+        assert_eq!(m.completed, 6 - canceled.len());
+    }
+
+    #[test]
+    fn metrics_reflect_lifecycle() {
+        let s = Scheduler::builder().workers(2).build();
+        let ok = s.submit(cyclerank_task("fixture-fakenews-pl", "Fake news"));
+        let bad = s.submit(cyclerank_task("fixture-fakenews-pl", "No Such Page"));
+        s.wait(&ok, T).unwrap();
+        let _ = s.wait(&bad, T);
+        let m = s.metrics();
+        assert_eq!(m.total, 2);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.failed, 1);
+    }
+
+    /// A datastore whose writes fail after a trigger — exercises the
+    /// worker's storage-failure path (Fig. 1 step 4 going wrong).
+    struct FlakyStore {
+        inner: crate::datastore::MemoryStore,
+        fail_results: std::sync::atomic::AtomicBool,
+    }
+
+    impl crate::datastore::Datastore for FlakyStore {
+        fn put_result(&self, r: &crate::executor::TaskResult) -> Result<(), EngineError> {
+            if self.fail_results.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(EngineError::Storage("disk full".into()));
+            }
+            self.inner.put_result(r)
+        }
+        fn get_result(
+            &self,
+            id: &TaskId,
+        ) -> Result<Option<crate::executor::TaskResult>, EngineError> {
+            self.inner.get_result(id)
+        }
+        fn append_log(&self, id: &TaskId, line: &str) -> Result<(), EngineError> {
+            self.inner.append_log(id, line)
+        }
+        fn get_log(&self, id: &TaskId) -> Result<String, EngineError> {
+            self.inner.get_log(id)
+        }
+        fn list_results(&self) -> Result<Vec<TaskId>, EngineError> {
+            self.inner.list_results()
+        }
+        fn put_dataset(
+            &self,
+            id: &str,
+            g: &relgraph::DirectedGraph,
+        ) -> Result<(), EngineError> {
+            self.inner.put_dataset(id, g)
+        }
+        fn get_dataset(
+            &self,
+            id: &str,
+        ) -> Result<Option<relgraph::DirectedGraph>, EngineError> {
+            self.inner.get_dataset(id)
+        }
+        fn list_datasets(&self) -> Result<Vec<String>, EngineError> {
+            self.inner.list_datasets()
+        }
+    }
+
+    #[test]
+    fn workers_can_scale_up_at_runtime() {
+        let mut s = Scheduler::builder().workers(1).build();
+        assert_eq!(s.worker_count(), 1);
+        let ids: Vec<TaskId> = (0..4)
+            .map(|_| s.submit(cyclerank_task("fixture-fakenews-de", "Fake News")))
+            .collect();
+        s.add_workers(3);
+        assert_eq!(s.worker_count(), 4);
+        for id in &ids {
+            s.wait(id, T).unwrap();
+        }
+        // New tasks also complete on the grown pool.
+        let id = s.submit(cyclerank_task("fixture-fakenews-de", "Fake News"));
+        s.wait(&id, T).unwrap();
+    }
+
+    #[test]
+    fn storage_failure_marks_task_failed() {
+        let store = Arc::new(FlakyStore {
+            inner: crate::datastore::MemoryStore::new(),
+            fail_results: std::sync::atomic::AtomicBool::new(true),
+        });
+        let s = Scheduler::builder().workers(1).datastore(store.clone()).build();
+        let id = s.submit(cyclerank_task("fixture-fakenews-pl", "Fake news"));
+        match s.wait(&id, T) {
+            Err(EngineError::TaskFailed(e)) => assert!(e.contains("disk full"), "{e}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Recovery: once storage works again, new tasks complete.
+        store.fail_results.store(false, std::sync::atomic::Ordering::SeqCst);
+        let id = s.submit(cyclerank_task("fixture-fakenews-pl", "Fake news"));
+        s.wait(&id, T).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn uploads_survive_scheduler_restart() {
+        let store: Arc<dyn crate::datastore::Datastore> =
+            Arc::new(crate::datastore::MemoryStore::new());
+        {
+            let s = Scheduler::builder().workers(1).datastore(Arc::clone(&store)).build();
+            let mut b = relgraph::GraphBuilder::new();
+            b.add_labeled_edge("me", "pal");
+            b.add_labeled_edge("pal", "me");
+            s.register_dataset("persisted-net", b.build()).unwrap();
+        } // scheduler dropped
+        let s = Scheduler::builder().workers(1).datastore(store).build();
+        let id = s.submit(cyclerank_task("persisted-net", "me"));
+        let r = s.wait(&id, T).unwrap();
+        assert_eq!(r.top[1].0, "pal");
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let s = Scheduler::builder().workers(2).build();
+        let id = s.submit(cyclerank_task("fixture-fakenews-fr", "Fake news"));
+        s.wait(&id, T).unwrap();
+        drop(s); // must not hang
+    }
+}

@@ -1,0 +1,317 @@
+//! Task state tracking — the Status component of Fig. 1.
+//!
+//! The demo's Status component polls executors and answers UI requests for
+//! progress. [`StatusBoard`] is the shared-state equivalent: scheduler and
+//! workers update it, API handlers read it.
+
+use crate::task::{TaskId, TaskSpec};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "state", rename_all = "snake_case")]
+pub enum TaskState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Being executed by a worker.
+    Running,
+    /// Finished successfully; results are in the datastore.
+    Completed,
+    /// Finished with an error.
+    Failed {
+        /// The failure message.
+        error: String,
+    },
+    /// Canceled while still queued (the demo UI's per-row ✕ after submit).
+    Canceled,
+}
+
+impl TaskState {
+    /// True for `Completed`, `Failed` and `Canceled`.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            TaskState::Completed | TaskState::Failed { .. } | TaskState::Canceled
+        )
+    }
+}
+
+/// A task's full status record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task id.
+    pub id: TaskId,
+    /// What was submitted.
+    pub spec: TaskSpec,
+    /// Current state.
+    pub state: TaskState,
+    /// Submission time (ms since the Unix epoch).
+    pub submitted_at_ms: u64,
+    /// Completion time, when terminal.
+    pub finished_at_ms: Option<u64>,
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Thread-safe registry of task records.
+#[derive(Debug, Clone, Default)]
+pub struct StatusBoard {
+    inner: Arc<RwLock<HashMap<TaskId, TaskRecord>>>,
+}
+
+impl StatusBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly submitted task as queued.
+    pub fn enqueue(&self, id: TaskId, spec: TaskSpec) {
+        let record = TaskRecord {
+            id: id.clone(),
+            spec,
+            state: TaskState::Queued,
+            submitted_at_ms: now_ms(),
+            finished_at_ms: None,
+        };
+        self.inner.write().insert(id, record);
+    }
+
+    /// Marks a task running.
+    pub fn mark_running(&self, id: &TaskId) {
+        if let Some(r) = self.inner.write().get_mut(id) {
+            r.state = TaskState::Running;
+        }
+    }
+
+    /// Marks a task completed.
+    pub fn mark_completed(&self, id: &TaskId) {
+        if let Some(r) = self.inner.write().get_mut(id) {
+            r.state = TaskState::Completed;
+            r.finished_at_ms = Some(now_ms());
+        }
+    }
+
+    /// Cancels a task if (and only if) it is still queued; returns whether
+    /// the cancellation took effect.
+    pub fn cancel_if_queued(&self, id: &TaskId) -> bool {
+        let mut inner = self.inner.write();
+        match inner.get_mut(id) {
+            Some(r) if r.state == TaskState::Queued => {
+                r.state = TaskState::Canceled;
+                r.finished_at_ms = Some(now_ms());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when the task has been canceled.
+    pub fn is_canceled(&self, id: &TaskId) -> bool {
+        matches!(self.inner.read().get(id).map(|r| r.state.clone()), Some(TaskState::Canceled))
+    }
+
+    /// Marks a task failed with a message.
+    pub fn mark_failed(&self, id: &TaskId, error: impl Into<String>) {
+        if let Some(r) = self.inner.write().get_mut(id) {
+            r.state = TaskState::Failed { error: error.into() };
+            r.finished_at_ms = Some(now_ms());
+        }
+    }
+
+    /// Snapshot of one task's record.
+    pub fn get(&self, id: &TaskId) -> Option<TaskRecord> {
+        self.inner.read().get(id).cloned()
+    }
+
+    /// Snapshot of all records (unordered).
+    pub fn all(&self) -> Vec<TaskRecord> {
+        self.inner.read().values().cloned().collect()
+    }
+
+    /// Number of tracked tasks.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no tasks are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Count of tasks in a non-terminal state.
+    pub fn pending_count(&self) -> usize {
+        self.inner.read().values().filter(|r| !r.state.is_terminal()).count()
+    }
+
+    /// Aggregate lifecycle metrics across all tracked tasks.
+    pub fn metrics(&self) -> BoardMetrics {
+        let inner = self.inner.read();
+        let mut m = BoardMetrics::default();
+        for r in inner.values() {
+            m.total += 1;
+            match &r.state {
+                TaskState::Queued => m.queued += 1,
+                TaskState::Running => m.running += 1,
+                TaskState::Completed => m.completed += 1,
+                TaskState::Failed { .. } => m.failed += 1,
+                TaskState::Canceled => m.canceled += 1,
+            }
+            if let Some(f) = r.finished_at_ms {
+                m.total_turnaround_ms += f.saturating_sub(r.submitted_at_ms);
+            }
+        }
+        m
+    }
+}
+
+/// Aggregate task counts (the demo's admin/metrics view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoardMetrics {
+    /// All tracked tasks.
+    pub total: usize,
+    /// Waiting for a worker.
+    pub queued: usize,
+    /// Currently executing.
+    pub running: usize,
+    /// Finished successfully.
+    pub completed: usize,
+    /// Finished with an error.
+    pub failed: usize,
+    /// Canceled before running.
+    pub canceled: usize,
+    /// Sum of submit→terminal turnaround times.
+    pub total_turnaround_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcore::runner::{Algorithm, AlgorithmParams};
+
+    fn spec() -> TaskSpec {
+        TaskSpec {
+            dataset: "ds".into(),
+            params: AlgorithmParams::new(Algorithm::PageRank),
+            source: None,
+            top_k: 5,
+        }
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let board = StatusBoard::new();
+        let id = TaskId::fresh();
+        board.enqueue(id.clone(), spec());
+        assert_eq!(board.get(&id).unwrap().state, TaskState::Queued);
+        assert_eq!(board.pending_count(), 1);
+
+        board.mark_running(&id);
+        assert_eq!(board.get(&id).unwrap().state, TaskState::Running);
+
+        board.mark_completed(&id);
+        let r = board.get(&id).unwrap();
+        assert_eq!(r.state, TaskState::Completed);
+        assert!(r.state.is_terminal());
+        assert!(r.finished_at_ms.is_some());
+        assert!(r.finished_at_ms.unwrap() >= r.submitted_at_ms);
+        assert_eq!(board.pending_count(), 0);
+    }
+
+    #[test]
+    fn failure_records_message() {
+        let board = StatusBoard::new();
+        let id = TaskId::fresh();
+        board.enqueue(id.clone(), spec());
+        board.mark_failed(&id, "no such dataset");
+        match board.get(&id).unwrap().state {
+            TaskState::Failed { error } => assert!(error.contains("dataset")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_ids_are_noops() {
+        let board = StatusBoard::new();
+        let ghost = TaskId::fresh();
+        board.mark_running(&ghost);
+        board.mark_completed(&ghost);
+        board.mark_failed(&ghost, "x");
+        assert!(board.get(&ghost).is_none());
+        assert!(board.is_empty());
+    }
+
+    #[test]
+    fn all_snapshots() {
+        let board = StatusBoard::new();
+        for _ in 0..3 {
+            board.enqueue(TaskId::fresh(), spec());
+        }
+        assert_eq!(board.all().len(), 3);
+        assert_eq!(board.len(), 3);
+    }
+
+    #[test]
+    fn board_is_shared_between_clones() {
+        let a = StatusBoard::new();
+        let b = a.clone();
+        let id = TaskId::fresh();
+        a.enqueue(id.clone(), spec());
+        b.mark_completed(&id);
+        assert_eq!(a.get(&id).unwrap().state, TaskState::Completed);
+    }
+
+    #[test]
+    fn cancellation_only_while_queued() {
+        let board = StatusBoard::new();
+        let id = TaskId::fresh();
+        board.enqueue(id.clone(), spec());
+        assert!(board.cancel_if_queued(&id));
+        assert!(board.is_canceled(&id));
+        assert!(board.get(&id).unwrap().state.is_terminal());
+        // A second cancel is a no-op.
+        assert!(!board.cancel_if_queued(&id));
+
+        // Running tasks cannot be canceled.
+        let id2 = TaskId::fresh();
+        board.enqueue(id2.clone(), spec());
+        board.mark_running(&id2);
+        assert!(!board.cancel_if_queued(&id2));
+        assert!(!board.is_canceled(&id2));
+    }
+
+    #[test]
+    fn metrics_aggregate_counts() {
+        let board = StatusBoard::new();
+        let ids: Vec<TaskId> = (0..5).map(|_| TaskId::fresh()).collect();
+        for id in &ids {
+            board.enqueue(id.clone(), spec());
+        }
+        board.mark_running(&ids[0]);
+        board.mark_completed(&ids[1]);
+        board.mark_failed(&ids[2], "x");
+        board.cancel_if_queued(&ids[3]);
+        let m = board.metrics();
+        assert_eq!(m.total, 5);
+        assert_eq!(m.running, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.canceled, 1);
+        assert_eq!(m.queued, 1);
+    }
+
+    #[test]
+    fn state_serde() {
+        let s = TaskState::Failed { error: "e".into() };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("failed"));
+        let back: TaskState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

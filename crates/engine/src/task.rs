@@ -1,0 +1,220 @@
+//! Tasks and query sets.
+//!
+//! A **task** is the paper's triple: dataset × algorithm × parameters
+//! (plus the source node for personalized algorithms). A **query set**
+//! (Fig. 2) is an ordered collection of tasks under one permalink id; the
+//! demo UI lets users add rows, delete individual rows (the `✕` control)
+//! and empty the whole set (the trash-bin control) — all mirrored here.
+
+use crate::id;
+use relcore::runner::AlgorithmParams;
+use serde::{Deserialize, Serialize};
+
+/// Opaque task identifier (UUID-shaped).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TaskId(pub String);
+
+impl TaskId {
+    /// Generates a fresh id.
+    pub fn fresh() -> Self {
+        TaskId(id::new_uuid())
+    }
+
+    /// The string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The dataset × algorithm × parameters triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Dataset id from the registry (e.g. `wiki-en-2018`).
+    pub dataset: String,
+    /// Algorithm and its parameters.
+    pub params: AlgorithmParams,
+    /// Source (reference) node label for personalized algorithms.
+    pub source: Option<String>,
+    /// How many top entries the result should retain (default 100).
+    #[serde(default = "default_top_k")]
+    pub top_k: usize,
+}
+
+fn default_top_k() -> usize {
+    100
+}
+
+impl TaskSpec {
+    /// Renders the row as the task-builder interface shows it
+    /// (cf. Fig. 2: "enwiki 2018-03-01 | Cyclerank | Fake news | k = 3,
+    /// σ = exp").
+    pub fn display_row(&self) -> String {
+        format!(
+            "{} | {} | {} | {}",
+            self.dataset,
+            self.params.algorithm.display_name(),
+            self.source.as_deref().unwrap_or("-"),
+            self.params.summary()
+        )
+    }
+}
+
+/// An ordered set of tasks under a permalink id (Fig. 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuerySet {
+    /// Permalink identifier (the "Comparison id" of Fig. 2).
+    pub id: String,
+    tasks: Vec<TaskSpec>,
+}
+
+impl QuerySet {
+    /// Creates an empty query set with a fresh permalink id.
+    pub fn new() -> Self {
+        QuerySet { id: id::new_uuid(), tasks: Vec::new() }
+    }
+
+    /// Number of queries in the set.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no queries are present.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Appends a query; returns its index in the set.
+    pub fn add(&mut self, task: TaskSpec) -> usize {
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Removes the query at `index` (the per-row `✕` control); returns it.
+    pub fn remove(&mut self, index: usize) -> Option<TaskSpec> {
+        if index < self.tasks.len() {
+            Some(self.tasks.remove(index))
+        } else {
+            None
+        }
+    }
+
+    /// Empties the set (the trash-bin control). The permalink id is kept.
+    pub fn clear(&mut self) {
+        self.tasks.clear();
+    }
+
+    /// The queries, in insertion order.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Renders the full builder table (Fig. 2).
+    pub fn display_table(&self) -> String {
+        let mut out = format!("Comparison id: {}\n", self.id);
+        out.push_str("Id | Dataset | Algorithm | Source | Parameters\n");
+        for (i, t) in self.tasks.iter().enumerate() {
+            out.push_str(&format!("{i} | {}\n", t.display_row()));
+        }
+        out
+    }
+}
+
+impl Default for QuerySet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcore::runner::Algorithm;
+
+    fn spec(ds: &str, algo: Algorithm) -> TaskSpec {
+        TaskSpec {
+            dataset: ds.into(),
+            params: AlgorithmParams::new(algo),
+            source: Some("Fake news".into()),
+            top_k: 5,
+        }
+    }
+
+    #[test]
+    fn task_id_fresh_unique() {
+        assert_ne!(TaskId::fresh(), TaskId::fresh());
+        let t = TaskId::fresh();
+        assert_eq!(t.to_string(), t.as_str());
+    }
+
+    #[test]
+    fn display_row_matches_fig2_shape() {
+        let t = spec("wiki-en-2018", Algorithm::CycleRank);
+        let row = t.display_row();
+        assert!(row.contains("wiki-en-2018"));
+        assert!(row.contains("Cyclerank"));
+        assert!(row.contains("Fake news"));
+        assert!(row.contains("k = 3"));
+        // Global algorithm shows "-" as source.
+        let mut t = spec("wiki-en-2018", Algorithm::PageRank);
+        t.source = None;
+        assert!(t.display_row().contains(" - "));
+    }
+
+    #[test]
+    fn query_set_add_remove_clear() {
+        let mut qs = QuerySet::new();
+        assert!(qs.is_empty());
+        qs.add(spec("a", Algorithm::CycleRank));
+        qs.add(spec("b", Algorithm::PageRank));
+        qs.add(spec("c", Algorithm::PersonalizedPageRank));
+        assert_eq!(qs.len(), 3);
+
+        let removed = qs.remove(1).unwrap();
+        assert_eq!(removed.dataset, "b");
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs.tasks()[1].dataset, "c");
+        assert!(qs.remove(5).is_none());
+
+        let id_before = qs.id.clone();
+        qs.clear();
+        assert!(qs.is_empty());
+        assert_eq!(qs.id, id_before, "permalink survives clearing");
+    }
+
+    #[test]
+    fn display_table_lists_rows() {
+        let mut qs = QuerySet::new();
+        qs.add(spec("wiki-en-2018", Algorithm::CycleRank));
+        qs.add(spec("wiki-en-2018", Algorithm::PageRank));
+        let table = qs.display_table();
+        assert!(table.contains("Comparison id"));
+        assert!(table.lines().count() >= 4);
+        assert!(table.contains("0 | wiki-en-2018"));
+        assert!(table.contains("1 | wiki-en-2018"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut qs = QuerySet::new();
+        qs.add(spec("wiki-it-2018", Algorithm::CycleRank));
+        let json = serde_json::to_string(&qs).unwrap();
+        let back: QuerySet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, qs.id);
+        assert_eq!(back.tasks(), qs.tasks());
+    }
+
+    #[test]
+    fn default_top_k_from_json() {
+        let json = r#"{"dataset":"d","params":{"algorithm":"page_rank"},"source":null}"#;
+        let t: TaskSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(t.top_k, 100);
+        assert_eq!(t.params.damping, 0.85);
+    }
+}

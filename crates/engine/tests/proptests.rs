@@ -1,0 +1,146 @@
+//! Property tests for the execution engine.
+
+use proptest::prelude::*;
+use relcore::runner::{Algorithm, AlgorithmParams};
+use relengine::prelude::*;
+use relengine::EngineError;
+use std::time::Duration;
+
+fn arbitrary_spec(dataset: String, algo_idx: usize, top_k: usize) -> TaskSpec {
+    let algorithm = Algorithm::ALL[algo_idx % Algorithm::ALL.len()];
+    TaskSpec {
+        dataset,
+        params: AlgorithmParams::new(algorithm),
+        source: algorithm.is_personalized().then(|| "Fake news".to_string()),
+        top_k,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any mix of tasks over the small fixtures reaches a terminal state,
+    /// and completed tasks always have a stored result of the right size.
+    #[test]
+    fn every_submitted_task_terminates(
+        picks in prop::collection::vec((0usize..7, 1usize..8), 1..10),
+        workers in 1usize..5,
+    ) {
+        let engine = Scheduler::builder().workers(workers).build();
+        let ids: Vec<TaskId> = picks
+            .iter()
+            .map(|&(algo, k)| {
+                engine.submit(arbitrary_spec("fixture-fakenews-pl".into(), algo, k))
+            })
+            .collect();
+        for (id, &(_, k)) in ids.iter().zip(&picks) {
+            let result = engine.wait(id, Duration::from_secs(120)).unwrap();
+            prop_assert_eq!(result.top.len(), k.min(result.nodes));
+            prop_assert!(engine.store().get_result(id).unwrap().is_some());
+        }
+        let m = engine.metrics();
+        prop_assert_eq!(m.completed, picks.len());
+        prop_assert_eq!(m.failed + m.canceled + m.queued + m.running, 0);
+    }
+
+    /// Query-set editing keeps indices consistent under arbitrary
+    /// add/remove/clear sequences.
+    #[test]
+    fn query_set_operations_consistent(ops in prop::collection::vec(0u8..10, 0..60)) {
+        let mut qs = QuerySet::new();
+        let mut model: Vec<usize> = Vec::new(); // shadow list of tags
+        let mut next_tag = 0usize;
+        for op in ops {
+            match op {
+                0..=5 => {
+                    // add, tagged via top_k for identification
+                    let spec = arbitrary_spec("d".into(), 0, next_tag + 1);
+                    qs.add(spec);
+                    model.push(next_tag + 1);
+                    next_tag += 1;
+                }
+                6..=8 => {
+                    if !model.is_empty() {
+                        let idx = (op as usize * 7) % model.len();
+                        let removed = qs.remove(idx).unwrap();
+                        let expected = model.remove(idx);
+                        prop_assert_eq!(removed.top_k, expected);
+                    } else {
+                        prop_assert!(qs.remove(0).is_none());
+                    }
+                }
+                _ => {
+                    qs.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(qs.len(), model.len());
+            for (t, m) in qs.tasks().iter().zip(&model) {
+                prop_assert_eq!(t.top_k, *m);
+            }
+        }
+    }
+
+    /// The memory and file datastores behave identically under random
+    /// result/log operation sequences.
+    #[test]
+    fn datastores_equivalent(ops in prop::collection::vec((0u8..3, 0usize..4), 1..25)) {
+        let dir = std::env::temp_dir()
+            .join(format!("relengine-prop-{}", rand::random::<u64>()));
+        let mem = MemoryStore::new();
+        let file = FileStore::open(&dir).unwrap();
+        let ids: Vec<TaskId> = (0..4).map(|_| TaskId::fresh()).collect();
+
+        let sample = |id: &TaskId, tag: usize| TaskResult {
+            task_id: id.clone(),
+            dataset: format!("d{tag}"),
+            algorithm: "pagerank".into(),
+            parameters: "α = 0.85".into(),
+            source: None,
+            top: vec![(format!("n{tag}"), tag as f64)],
+            runtime_ms: tag as u64,
+            nodes: 1,
+            edges: 1,
+            iterations: Some(tag),
+            cycles_found: None,
+        };
+
+        for (op, slot) in ops {
+            let id = &ids[slot];
+            match op {
+                0 => {
+                    let r = sample(id, slot);
+                    mem.put_result(&r).unwrap();
+                    file.put_result(&r).unwrap();
+                }
+                1 => {
+                    mem.append_log(id, &format!("line-{slot}")).unwrap();
+                    file.append_log(id, &format!("line-{slot}")).unwrap();
+                }
+                _ => {
+                    prop_assert_eq!(
+                        mem.get_result(id).unwrap(),
+                        file.get_result(id).unwrap()
+                    );
+                    prop_assert_eq!(mem.get_log(id).unwrap(), file.get_log(id).unwrap());
+                }
+            }
+        }
+        for id in &ids {
+            prop_assert_eq!(mem.get_result(id).unwrap(), file.get_result(id).unwrap());
+            prop_assert_eq!(mem.get_log(id).unwrap(), file.get_log(id).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Waiting on a task unknown to the engine always errors, never hangs.
+    #[test]
+    fn unknown_tasks_error_immediately(_x in 0u8..3) {
+        let engine = Scheduler::builder().workers(1).build();
+        let ghost = TaskId::fresh();
+        prop_assert!(matches!(
+            engine.wait(&ghost, Duration::from_millis(50)),
+            Err(EngineError::UnknownTask(_))
+        ));
+    }
+}

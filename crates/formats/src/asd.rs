@@ -1,0 +1,160 @@
+//! ASD format — the demo platform's own minimal graph format.
+//!
+//! Reconstructed from the input format of the CycleRank reference
+//! implementation:
+//!
+//! ```text
+//! 4 5
+//! 0 1
+//! 1 0
+//! 1 2
+//! 2 3
+//! 3 0
+//! ```
+//!
+//! The header line declares `<node_count> <edge_count>`; each following
+//! non-comment line is one directed edge `source target`, 0-indexed.
+//! Lines starting with `#` are comments. The parser verifies the header
+//! counts against the actual content — the format's one advantage over a
+//! bare edge list is that truncated uploads are detected.
+
+use crate::error::FormatError;
+use relgraph::{DirectedGraph, GraphBuilder};
+
+/// Parses ASD content.
+pub fn parse(content: &str) -> Result<DirectedGraph, FormatError> {
+    let mut lines = content
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (hline, header) = lines.next().ok_or(FormatError::UnknownFormat)?;
+    let mut it = header.split_whitespace();
+    let n: u32 = it
+        .next()
+        .ok_or_else(|| FormatError::parse(hline, "missing node count"))?
+        .parse()
+        .map_err(|_| FormatError::parse(hline, "bad node count"))?;
+    let m: usize = it
+        .next()
+        .ok_or_else(|| FormatError::parse(hline, "missing edge count"))?
+        .parse()
+        .map_err(|_| FormatError::parse(hline, "bad edge count"))?;
+    if it.next().is_some() {
+        return Err(FormatError::parse(hline, "header has extra fields"));
+    }
+
+    let mut b = GraphBuilder::with_capacity(n as usize, m);
+    if n > 0 {
+        b.ensure_node(n - 1);
+    }
+    let mut count = 0usize;
+    for (ln, line) in lines {
+        let mut f = line.split_whitespace();
+        let (us, vs) = match (f.next(), f.next(), f.next()) {
+            (Some(u), Some(v), None) => (u, v),
+            _ => return Err(FormatError::parse(ln, format!("expected 'src dst', got {line:?}"))),
+        };
+        let u: u32 = us.parse().map_err(|_| FormatError::parse(ln, "bad source id"))?;
+        let v: u32 = vs.parse().map_err(|_| FormatError::parse(ln, "bad target id"))?;
+        if u >= n || v >= n {
+            return Err(FormatError::parse(
+                ln,
+                format!("edge {u}->{v} outside declared node range 0..{n}"),
+            ));
+        }
+        b.add_edge_indices(u, v);
+        count += 1;
+    }
+    if count != m {
+        return Err(FormatError::Inconsistent(format!(
+            "header declares {m} edges but file contains {count}"
+        )));
+    }
+
+    b.try_build().map_err(|e| FormatError::Inconsistent(e.to_string()))
+}
+
+/// Serializes a graph as ASD. Weights are not representable in ASD and are
+/// dropped; parallel edges were already merged at build time.
+pub fn write(g: &DirectedGraph) -> String {
+    let mut out = format!("{} {}\n", g.node_count(), g.edge_count());
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{} {}\n", u.raw(), v.raw()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph::NodeId;
+
+    #[test]
+    fn basic() {
+        let g = parse("3 3\n0 1\n1 2\n2 0\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(0)));
+    }
+
+    #[test]
+    fn isolated_nodes_from_header() {
+        let g = parse("5 1\n0 1\n").unwrap();
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let g = parse("# my graph\n2 1\n\n# the edge\n0 1\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_count_mismatch_detected() {
+        assert!(matches!(parse("2 2\n0 1\n"), Err(FormatError::Inconsistent(_))));
+        assert!(matches!(parse("2 0\n0 1\n"), Err(FormatError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn duplicate_edges_merge_breaks_count_check() {
+        // Duplicates are legal input; the declared count refers to lines.
+        let g = parse("2 2\n0 1\n0 1\n").unwrap();
+        assert_eq!(g.edge_count(), 1); // merged at build
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(parse("2 1\n0 5\n").is_err());
+        assert!(parse("2 1\n5 0\n").is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("x y\n").is_err());
+        assert!(parse("2\n").is_err());
+        assert!(parse("2 1 9\n0 1\n").is_err());
+        assert!(parse("2 1\n0\n").is_err());
+        assert!(parse("2 1\n0 1 2\n").is_err());
+        assert!(parse("2 1\na b\n").is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = parse("0 0\n").unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let g = relgraph::GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let back = parse(&write(&g)).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(back.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Format detection from filename and content.
+
+use crate::error::FormatError;
+
+/// The three upload formats of the demo platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// `source,target[,weight]` per line.
+    EdgeListCsv,
+    /// Pajek `.net`: `*Vertices` / `*Arcs` / `*Edges` sections.
+    Pajek,
+    /// ASD: `<nodes> <edges>` header, then `src dst` lines.
+    Asd,
+    /// GraphML XML (subset).
+    GraphMl,
+    /// JSON graph (`{"nodes": [...], "edges": [...]}`).
+    JsonGraph,
+}
+
+impl Format {
+    /// Canonical file extension.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Format::EdgeListCsv => "csv",
+            Format::Pajek => "net",
+            Format::Asd => "asd",
+            Format::GraphMl => "graphml",
+            Format::JsonGraph => "json",
+        }
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Format::EdgeListCsv => "edgelist-csv",
+            Format::Pajek => "pajek",
+            Format::Asd => "asd",
+            Format::GraphMl => "graphml",
+            Format::JsonGraph => "json-graph",
+        };
+        f.write_str(name)
+    }
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "csv" | "edgelist" | "edgelist-csv" | "edges" => Ok(Format::EdgeListCsv),
+            "net" | "pajek" => Ok(Format::Pajek),
+            "asd" => Ok(Format::Asd),
+            "graphml" | "xml" => Ok(Format::GraphMl),
+            "json" | "json-graph" | "jsongraph" => Ok(Format::JsonGraph),
+            other => Err(format!(
+                "unknown format {other:?} (expected csv|pajek|asd|graphml|json)"
+            )),
+        }
+    }
+}
+
+/// Guesses the format of `content`, optionally using `filename`'s
+/// extension as a strong hint.
+///
+/// Heuristics, in order:
+/// 1. extension `.net` → Pajek; `.asd` → ASD; `.csv`/`.edges` → edge list;
+/// 2. content starting with `*` (after comments) → Pajek;
+/// 3. a first data line of exactly two integers, where the remaining line
+///    count matches the second integer → ASD;
+/// 4. otherwise → edge-list CSV (the most permissive format).
+pub fn sniff_format(filename: Option<&str>, content: &str) -> Result<Format, FormatError> {
+    if let Some(name) = filename {
+        let lower = name.to_ascii_lowercase();
+        if lower.ends_with(".net") || lower.ends_with(".paj") {
+            return Ok(Format::Pajek);
+        }
+        if lower.ends_with(".asd") {
+            return Ok(Format::Asd);
+        }
+        if lower.ends_with(".csv") || lower.ends_with(".edges") || lower.ends_with(".edgelist") {
+            return Ok(Format::EdgeListCsv);
+        }
+        if lower.ends_with(".graphml") || lower.ends_with(".xml") {
+            return Ok(Format::GraphMl);
+        }
+        if lower.ends_with(".json") {
+            return Ok(Format::JsonGraph);
+        }
+    }
+
+    let mut data_lines = content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('%'));
+
+    let first = match data_lines.next() {
+        Some(l) => l,
+        None => return Err(FormatError::UnknownFormat),
+    };
+    if first.starts_with('*') {
+        return Ok(Format::Pajek);
+    }
+    if first.starts_with('<') {
+        return Ok(Format::GraphMl);
+    }
+    if first.starts_with('{') || first.starts_with('[') {
+        return Ok(Format::JsonGraph);
+    }
+
+    // ASD heuristic: "n m" header whose m matches the number of remaining
+    // data lines.
+    let fields: Vec<&str> = first.split_whitespace().collect();
+    if fields.len() == 2 && !first.contains(',') && !first.contains(';') {
+        if let (Ok(_n), Ok(m)) = (fields[0].parse::<u64>(), fields[1].parse::<u64>()) {
+            let remaining = data_lines.count() as u64;
+            if remaining == m {
+                return Ok(Format::Asd);
+            }
+        }
+    }
+
+    Ok(Format::EdgeListCsv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_wins() {
+        assert_eq!(sniff_format(Some("g.net"), "0,1").unwrap(), Format::Pajek);
+        assert_eq!(sniff_format(Some("g.asd"), "0,1").unwrap(), Format::Asd);
+        assert_eq!(sniff_format(Some("g.csv"), "*Vertices 2").unwrap(), Format::EdgeListCsv);
+        assert_eq!(sniff_format(Some("G.EDGES"), "0 1").unwrap(), Format::EdgeListCsv);
+    }
+
+    #[test]
+    fn pajek_star_detected() {
+        assert_eq!(sniff_format(None, "% c\n*Vertices 2\n*Arcs\n1 2\n").unwrap(), Format::Pajek);
+    }
+
+    #[test]
+    fn asd_header_detected() {
+        assert_eq!(sniff_format(None, "2 1\n0 1\n").unwrap(), Format::Asd);
+    }
+
+    #[test]
+    fn asd_like_but_count_mismatch_is_edgelist() {
+        // "0 1\n1 2\n2 0" — first line could be a header "0 1" but then 2
+        // lines remain, not 1, so it's a plain edge list.
+        assert_eq!(sniff_format(None, "0 1\n1 2\n2 0\n").unwrap(), Format::EdgeListCsv);
+    }
+
+    #[test]
+    fn csv_fallback() {
+        assert_eq!(sniff_format(None, "0,1\n1,2\n").unwrap(), Format::EdgeListCsv);
+        assert_eq!(sniff_format(None, "source,target\n0,1\n").unwrap(), Format::EdgeListCsv);
+    }
+
+    #[test]
+    fn empty_unknown() {
+        assert!(matches!(sniff_format(None, "\n# only comments\n"), Err(FormatError::UnknownFormat)));
+    }
+
+    #[test]
+    fn format_parse_and_display() {
+        for f in [
+            Format::EdgeListCsv,
+            Format::Pajek,
+            Format::Asd,
+            Format::GraphMl,
+            Format::JsonGraph,
+        ] {
+            let s = f.to_string();
+            assert_eq!(s.parse::<Format>().unwrap(), f);
+            assert!(!f.extension().is_empty());
+        }
+        assert!("doc".parse::<Format>().is_err());
+    }
+}

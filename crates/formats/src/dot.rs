@@ -1,0 +1,107 @@
+//! Graphviz DOT export (write-only).
+//!
+//! The demo's Web UI renders the neighbourhood of a query result as a
+//! picture; the library-side equivalent is exporting the relevant subgraph
+//! as DOT for `dot -Tsvg`. Only a writer is provided — DOT is an output
+//! format here, not an upload format.
+
+use relgraph::DirectedGraph;
+
+/// Escapes a DOT double-quoted string.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes the whole graph as a directed DOT graph. Node labels become
+/// DOT labels; edge weights (if any) become edge labels.
+pub fn write(g: &DirectedGraph) -> String {
+    write_scored(g, None)
+}
+
+/// Like [`write`], with an optional per-node score that is rendered into
+/// the node label and mapped onto a color ramp (higher score = darker).
+pub fn write_scored(g: &DirectedGraph, scores: Option<&[f64]>) -> String {
+    let mut out = String::from("digraph relevance {\n  rankdir=LR;\n  node [shape=box, style=filled, fillcolor=white];\n");
+    let max_score = scores
+        .map(|s| s.iter().cloned().fold(f64::MIN, f64::max))
+        .filter(|&m| m > 0.0);
+    for u in g.nodes() {
+        let name = g.display_name(u);
+        let mut attrs = format!("label=\"{}\"", escape(&name));
+        if let (Some(s), Some(max)) = (scores, max_score) {
+            let score = s.get(u.index()).copied().unwrap_or(0.0);
+            attrs = format!("label=\"{}\\n{:.4}\"", escape(&name), score);
+            // Light blue ramp: 0 → white, max → steel blue.
+            let t = (score / max).clamp(0.0, 1.0);
+            let shade = (255.0 - t * 120.0) as u8;
+            attrs.push_str(&format!(
+                ", fillcolor=\"#{:02x}{:02x}ff\"",
+                shade, shade
+            ));
+        }
+        out.push_str(&format!("  n{} [{}];\n", u.raw(), attrs));
+    }
+    if g.is_weighted() {
+        for (u, v, w) in g.weighted_edges() {
+            out.push_str(&format!("  n{} -> n{} [label=\"{w}\"];\n", u.raw(), v.raw()));
+        }
+    } else {
+        for (u, v) in g.edges() {
+            out.push_str(&format!("  n{} -> n{};\n", u.raw(), v.raw()));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph::GraphBuilder;
+
+    #[test]
+    fn basic_structure() {
+        let mut b = GraphBuilder::new();
+        b.add_labeled_edge("Pasta", "Italy");
+        let g = b.build();
+        let dot = write(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"Pasta\""));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn scores_rendered_with_colors() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0)]);
+        let dot = write_scored(&g, Some(&[1.0, 0.5]));
+        assert!(dot.contains("1.0000"));
+        assert!(dot.contains("0.5000"));
+        assert!(dot.contains("fillcolor=\"#"));
+    }
+
+    #[test]
+    fn weighted_edges_labeled() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(relgraph::NodeId::new(0), relgraph::NodeId::new(1), 2.5);
+        let g = b.build();
+        assert!(write(&g).contains("label=\"2.5\""));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_labeled_node("say \"hi\"");
+        let c = b.add_labeled_node("x");
+        b.add_edge(a, c);
+        let g = b.build();
+        assert!(write(&g).contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn all_zero_scores_no_color_crash() {
+        let g = GraphBuilder::from_edge_indices([(0, 1)]);
+        let dot = write_scored(&g, Some(&[0.0, 0.0]));
+        assert!(dot.contains("digraph"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Edge-list CSV format.
+//!
+//! One edge per line: `source,target` or `source,target,weight`, with
+//! integer node ids. Matching the Gephi CSV convention the demo references,
+//! the parser also accepts:
+//!
+//! * an optional header line (`source,target[,weight]`, case-insensitive),
+//! * `#`- and `%`-prefixed comment lines and blank lines,
+//! * semicolon, tab or whitespace separators (auto-detected per line),
+//!
+//! so SNAP-style `\t`-separated files load unchanged.
+
+use crate::error::FormatError;
+use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+
+/// Parsing options for edge lists.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct EdgeListOptions {
+    /// Drop self-loops while loading (default: false).
+    pub drop_self_loops: bool,
+}
+
+
+/// Splits a data line into fields on the first separator that matches.
+fn split_line(line: &str) -> Vec<&str> {
+    for sep in [',', ';', '\t'] {
+        if line.contains(sep) {
+            return line.split(sep).map(str::trim).filter(|s| !s.is_empty()).collect();
+        }
+    }
+    line.split_whitespace().collect()
+}
+
+fn is_header(fields: &[&str]) -> bool {
+    if fields.len() < 2 {
+        return false;
+    }
+    let a = fields[0].to_ascii_lowercase();
+    let b = fields[1].to_ascii_lowercase();
+    matches!(a.as_str(), "source" | "src" | "from") && matches!(b.as_str(), "target" | "dst" | "to")
+}
+
+/// Parses an edge-list CSV into a graph.
+pub fn parse(content: &str, opts: &EdgeListOptions) -> Result<DirectedGraph, FormatError> {
+    let mut b = GraphBuilder::new();
+    b.drop_self_loops(opts.drop_self_loops);
+    let mut weighted_seen = false;
+    let mut first_data_line = true;
+
+    for (lineno, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let fields = split_line(line);
+        if first_data_line && is_header(&fields) {
+            first_data_line = false;
+            continue;
+        }
+        first_data_line = false;
+
+        if fields.len() < 2 {
+            return Err(FormatError::parse(lineno + 1, format!("expected 2+ fields, got {line:?}")));
+        }
+        let u: u32 = fields[0]
+            .parse()
+            .map_err(|_| FormatError::parse(lineno + 1, format!("bad source id {:?}", fields[0])))?;
+        let v: u32 = fields[1]
+            .parse()
+            .map_err(|_| FormatError::parse(lineno + 1, format!("bad target id {:?}", fields[1])))?;
+        if fields.len() >= 3 {
+            let w: f64 = fields[2].parse().map_err(|_| {
+                FormatError::parse(lineno + 1, format!("bad weight {:?}", fields[2]))
+            })?;
+            weighted_seen = true;
+            b.add_weighted_edge(NodeId::new(u), NodeId::new(v), w);
+        } else if weighted_seen {
+            // Mixed weighted/unweighted: treat missing weight as 1.0.
+            b.add_weighted_edge(NodeId::new(u), NodeId::new(v), 1.0);
+        } else {
+            b.add_edge_indices(u, v);
+        }
+    }
+
+    b.try_build().map_err(|e| FormatError::Inconsistent(e.to_string()))
+}
+
+/// Serializes a graph as `source,target[,weight]` lines (comma-separated,
+/// with weights only when the graph is weighted).
+pub fn write(g: &DirectedGraph) -> String {
+    let mut out = String::with_capacity(g.edge_count() * 8);
+    if g.is_weighted() {
+        for (u, v, w) in g.weighted_edges() {
+            out.push_str(&format!("{},{},{}\n", u.raw(), v.raw(), w));
+        }
+    } else {
+        for (u, v) in g.edges() {
+            out.push_str(&format!("{},{}\n", u.raw(), v.raw()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> DirectedGraph {
+        parse(s, &EdgeListOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn basic_csv() {
+        let g = p("0,1\n1,2\n2,0\n");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(0)));
+    }
+
+    #[test]
+    fn header_skipped() {
+        let g = p("source,target\n0,1\n");
+        assert_eq!(g.edge_count(), 1);
+        let g = p("Src,Dst\n0,1\n");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        let g = p("# a comment\n\n% another\n0,1\n\n1,0\n");
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn tab_and_space_separated() {
+        let g = p("0\t1\n1\t2\n");
+        assert_eq!(g.edge_count(), 2);
+        let g = p("0 1\n1 2\n");
+        assert_eq!(g.edge_count(), 2);
+        let g = p("0;1\n");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn weighted_third_column() {
+        let g = p("0,1,2.5\n1,0,0.5\n");
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(2.5));
+    }
+
+    #[test]
+    fn mixed_weights_default_one() {
+        let g = p("0,1,2.0\n1,2\n");
+        assert_eq!(g.edge_weight(NodeId::new(1), NodeId::new(2)), Some(1.0));
+    }
+
+    #[test]
+    fn bad_lines_error_with_lineno() {
+        let err = parse("0,1\nxx,2\n", &EdgeListOptions::default()).unwrap_err();
+        match err {
+            FormatError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("0\n", &EdgeListOptions::default()).is_err());
+        assert!(parse("0,1,notaweight\n", &EdgeListOptions::default()).is_err());
+    }
+
+    #[test]
+    fn drop_self_loops_option() {
+        let opts = EdgeListOptions { drop_self_loops: true };
+        let g = parse("0,0\n0,1\n", &opts).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn write_parse_roundtrip_unweighted() {
+        let g = relgraph::GraphBuilder::from_edge_indices([(0, 3), (3, 1), (1, 0)]);
+        let s = write(&g);
+        let back = p(&s);
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(back.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn write_parse_roundtrip_weighted() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(NodeId::new(0), NodeId::new(1), 1.5);
+        b.add_weighted_edge(NodeId::new(1), NodeId::new(2), 3.25);
+        let g = b.build();
+        let back = p(&write(&g));
+        assert!(back.is_weighted());
+        assert_eq!(back.edge_weight(NodeId::new(1), NodeId::new(2)), Some(3.25));
+    }
+
+    #[test]
+    fn empty_content_gives_empty_graph() {
+        let g = p("# nothing here\n");
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Parse/IO errors for the graph formats.
+
+use std::fmt;
+
+/// Errors from reading or writing graph files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Underlying IO failure (message includes the path).
+    Io(String),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The content matched no known format.
+    UnknownFormat,
+    /// A structural inconsistency (e.g. ASD header count mismatch).
+    Inconsistent(String),
+}
+
+impl FormatError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        FormatError::Parse { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io(m) => write!(f, "io error: {m}"),
+            FormatError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            FormatError::UnknownFormat => write!(f, "could not detect graph format"),
+            FormatError::Inconsistent(m) => write!(f, "inconsistent file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(FormatError::parse(3, "bad token").to_string().contains("line 3"));
+        assert!(FormatError::UnknownFormat.to_string().contains("detect"));
+        assert!(FormatError::Io("x".into()).to_string().contains("io"));
+        assert!(FormatError::Inconsistent("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,358 @@
+//! GraphML format (subset).
+//!
+//! The demo's Instructions page promises more formats "in the future";
+//! GraphML is the most-requested one (Gephi's native exchange format).
+//! This module implements the subset Gephi and NetworkX emit for plain
+//! directed graphs:
+//!
+//! * one `<graph edgedefault="directed">` element;
+//! * `<node id="…">` with an optional `<data key="label">` child;
+//! * `<edge source="…" target="…">` with an optional `<data key="weight">`
+//!   child;
+//! * node ids may be arbitrary strings (`n0`, `42`, `article-7`); they are
+//!   mapped to dense indices in document order.
+//!
+//! The parser is a small hand-rolled tag scanner — not a general XML
+//! parser: processing instructions, comments and unknown elements are
+//! skipped, entity decoding covers the five XML built-ins, and anything
+//! structurally surprising is a [`FormatError::Parse`].
+
+use crate::error::FormatError;
+use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+use std::collections::HashMap;
+
+/// Decodes the five XML built-in entities.
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Encodes text for XML output.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// A scanned tag: name, attributes, self-closing flag, closing flag.
+struct Tag<'a> {
+    name: &'a str,
+    attrs: Vec<(&'a str, String)>,
+    closing: bool,
+    self_closing: bool,
+    /// Byte offset just past the `>`.
+    end: usize,
+}
+
+fn scan_tag(s: &str, from: usize) -> Option<Result<Tag<'_>, FormatError>> {
+    let open = s[from..].find('<')? + from;
+    let close = match s[open..].find('>') {
+        Some(c) => open + c,
+        None => return Some(Err(FormatError::Inconsistent("unterminated tag".into()))),
+    };
+    let inner = &s[open + 1..close];
+    // Skip declarations and comments.
+    if inner.starts_with('?') || inner.starts_with('!') {
+        return Some(Ok(Tag { name: "", attrs: Vec::new(), closing: false, self_closing: true, end: close + 1 }));
+    }
+    let closing = inner.starts_with('/');
+    let body = inner.trim_start_matches('/').trim_end_matches('/');
+    let self_closing = inner.ends_with('/');
+    let mut parts = body.splitn(2, char::is_whitespace);
+    let name = parts.next().unwrap_or("").trim();
+    let mut attrs = Vec::new();
+    if let Some(rest) = parts.next() {
+        let mut rest = rest.trim();
+        while !rest.is_empty() {
+            let eq = match rest.find('=') {
+                Some(e) => e,
+                None => break,
+            };
+            let key = rest[..eq].trim();
+            let after = rest[eq + 1..].trim_start();
+            if !after.starts_with('"') {
+                return Some(Err(FormatError::Inconsistent(format!(
+                    "attribute {key} not quoted"
+                ))));
+            }
+            let vend = match after[1..].find('"') {
+                Some(v) => v,
+                None => {
+                    return Some(Err(FormatError::Inconsistent(format!(
+                        "attribute {key} unterminated"
+                    ))))
+                }
+            };
+            attrs.push((key, unescape(&after[1..1 + vend])));
+            rest = after[vend + 2..].trim_start();
+        }
+    }
+    Some(Ok(Tag { name, attrs, closing, self_closing, end: close + 1 }))
+}
+
+/// Parses GraphML content.
+pub fn parse(content: &str) -> Result<DirectedGraph, FormatError> {
+    let mut b = GraphBuilder::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut pos = 0usize;
+    let mut weighted = false;
+    let mut saw_graph = false;
+
+    // Pending element state: inside a <node> or <edge>, collecting <data>.
+    enum Pending {
+        None,
+        Node(NodeId),
+        Edge { u: NodeId, v: NodeId, weight: Option<f64> },
+    }
+    let mut pending = Pending::None;
+
+    let resolve = |b: &mut GraphBuilder, ids: &mut HashMap<String, NodeId>, raw: &str| {
+        *ids.entry(raw.to_string()).or_insert_with(|| b.add_node())
+    };
+
+    while let Some(tag) = scan_tag(content, pos) {
+        let tag = tag?;
+        let content_start = tag.end;
+        pos = tag.end;
+        match (tag.name, tag.closing) {
+            ("graph", false) => {
+                saw_graph = true;
+                if let Some((_, v)) = tag.attrs.iter().find(|(k, _)| *k == "edgedefault") {
+                    if v != "directed" {
+                        return Err(FormatError::Inconsistent(format!(
+                            "only directed graphs supported, got edgedefault={v:?}"
+                        )));
+                    }
+                }
+            }
+            ("node", false) => {
+                let id = tag
+                    .attrs
+                    .iter()
+                    .find(|(k, _)| *k == "id")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| FormatError::Inconsistent("node without id".into()))?;
+                let n = resolve(&mut b, &mut ids, &id);
+                if tag.self_closing {
+                    pending = Pending::None;
+                } else {
+                    pending = Pending::Node(n);
+                }
+            }
+            ("edge", false) => {
+                let get = |key: &str| {
+                    tag.attrs
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, v)| v.clone())
+                        .ok_or_else(|| FormatError::Inconsistent(format!("edge without {key}")))
+                };
+                let u = resolve(&mut b, &mut ids, &get("source")?);
+                let v = resolve(&mut b, &mut ids, &get("target")?);
+                if tag.self_closing {
+                    b.add_edge(u, v);
+                    pending = Pending::None;
+                } else {
+                    pending = Pending::Edge { u, v, weight: None };
+                }
+            }
+            ("data", false) if !tag.self_closing => {
+                let key = tag
+                    .attrs
+                    .iter()
+                    .find(|(k, _)| *k == "key")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default();
+                // Text up to the closing </data>.
+                let rest = &content[content_start..];
+                let close = rest
+                    .find("</data>")
+                    .ok_or_else(|| FormatError::Inconsistent("unterminated <data>".into()))?;
+                let text = unescape(rest[..close].trim());
+                pos = content_start + close + "</data>".len();
+                match &mut pending {
+                    Pending::Node(n) if key == "label" || key == "name" => {
+                        b.set_label(*n, &text);
+                    }
+                    Pending::Edge { weight, .. } if key == "weight" => {
+                        let w: f64 = text.parse().map_err(|_| {
+                            FormatError::Inconsistent(format!("bad edge weight {text:?}"))
+                        })?;
+                        *weight = Some(w);
+                    }
+                    _ => {} // unknown data keys are ignored
+                }
+            }
+            ("node", true) => pending = Pending::None,
+            ("edge", true) => {
+                if let Pending::Edge { u, v, weight } = pending {
+                    match weight {
+                        Some(w) => {
+                            weighted = true;
+                            b.add_weighted_edge(u, v, w);
+                        }
+                        None if weighted => {
+                            b.add_weighted_edge(u, v, 1.0);
+                        }
+                        None => {
+                            b.add_edge(u, v);
+                        }
+                    }
+                }
+                pending = Pending::None;
+            }
+            _ => {}
+        }
+    }
+
+    if !saw_graph {
+        return Err(FormatError::Inconsistent("no <graph> element".into()));
+    }
+    b.try_build().map_err(|e| FormatError::Inconsistent(e.to_string()))
+}
+
+/// Serializes a graph as GraphML.
+pub fn write(g: &DirectedGraph) -> String {
+    let mut out = String::from(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n\
+         <key id=\"label\" for=\"node\" attr.name=\"label\" attr.type=\"string\"/>\n\
+         <key id=\"weight\" for=\"edge\" attr.name=\"weight\" attr.type=\"double\"/>\n\
+         <graph edgedefault=\"directed\">\n",
+    );
+    for u in g.nodes() {
+        match g.labels().get(u) {
+            Some(l) => out.push_str(&format!(
+                "  <node id=\"n{}\"><data key=\"label\">{}</data></node>\n",
+                u.raw(),
+                escape(l)
+            )),
+            None => out.push_str(&format!("  <node id=\"n{}\"/>\n", u.raw())),
+        }
+    }
+    if g.is_weighted() {
+        for (u, v, w) in g.weighted_edges() {
+            out.push_str(&format!(
+                "  <edge source=\"n{}\" target=\"n{}\"><data key=\"weight\">{w}</data></edge>\n",
+                u.raw(),
+                v.raw()
+            ));
+        }
+    } else {
+        for (u, v) in g.edges() {
+            out.push_str(&format!("  <edge source=\"n{}\" target=\"n{}\"/>\n", u.raw(), v.raw()));
+        }
+    }
+    out.push_str("</graph>\n</graphml>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_directed_graph() {
+        let g = parse(
+            r#"<graphml><graph edgedefault="directed">
+                 <node id="a"/><node id="b"/>
+                 <edge source="a" target="b"/>
+               </graph></graphml>"#,
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn labels_and_weights() {
+        let g = parse(
+            r#"<?xml version="1.0"?>
+               <graphml><graph edgedefault="directed">
+                 <node id="n0"><data key="label">Pasta &amp; more</data></node>
+                 <node id="n1"><data key="label">Italy</data></node>
+                 <edge source="n0" target="n1"><data key="weight">2.5</data></edge>
+               </graph></graphml>"#,
+        )
+        .unwrap();
+        let p = g.node_by_label("Pasta & more").unwrap();
+        let i = g.node_by_label("Italy").unwrap();
+        assert_eq!(g.edge_weight(p, i), Some(2.5));
+    }
+
+    #[test]
+    fn implicit_nodes_from_edges() {
+        let g = parse(
+            r#"<graphml><graph edgedefault="directed">
+                 <edge source="x" target="y"/><edge source="y" target="x"/>
+               </graph></graphml>"#,
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn unknown_data_keys_ignored() {
+        let g = parse(
+            r#"<graphml><graph edgedefault="directed">
+                 <node id="a"><data key="color">red</data></node>
+                 <node id="b"/>
+                 <edge source="a" target="b"><data key="note">hi</data></edge>
+               </graph></graphml>"#,
+        )
+        .unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_undirected_and_malformed() {
+        assert!(parse(r#"<graphml><graph edgedefault="undirected"></graph></graphml>"#).is_err());
+        assert!(parse("just text").is_err());
+        assert!(parse(r#"<graphml><graph edgedefault="directed"><node/></graph></graphml>"#)
+            .is_err()); // node without id
+        assert!(parse(
+            r#"<graphml><graph edgedefault="directed"><edge source="a"/></graph></graphml>"#
+        )
+        .is_err()); // edge without target
+        assert!(parse(
+            r#"<graphml><graph edgedefault="directed"><node id="a"><data key="label">x</node></graph></graphml>"#
+        )
+        .is_err()); // unterminated data
+        assert!(parse(r#"<graphml><graph edgedefault="directed"><node id=a/></graph></graphml>"#)
+            .is_err()); // unquoted attribute
+    }
+
+    #[test]
+    fn write_parse_roundtrip_with_labels_and_weights() {
+        let mut b = GraphBuilder::new();
+        let p = b.add_labeled_node("Pasta \"al dente\" <fresh>");
+        let i = b.add_labeled_node("Italy");
+        b.add_weighted_edge(p, i, 1.5);
+        b.add_weighted_edge(i, p, 2.5);
+        let g = b.build();
+        let xml = write(&g);
+        let back = parse(&xml).unwrap();
+        assert_eq!(back.node_count(), 2);
+        let bp = back.node_by_label("Pasta \"al dente\" <fresh>").unwrap();
+        let bi = back.node_by_label("Italy").unwrap();
+        assert_eq!(back.edge_weight(bp, bi), Some(1.5));
+        assert_eq!(back.edge_weight(bi, bp), Some(2.5));
+    }
+
+    #[test]
+    fn roundtrip_unweighted_unlabeled() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0)]);
+        let back = parse(&write(&g)).unwrap();
+        assert_eq!(back.node_count(), 3);
+        assert_eq!(back.edge_count(), 3);
+        for (u, v) in g.edges() {
+            assert!(back.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! JSON graph format.
+//!
+//! The second "future" format of the demo: a pragmatic JSON shape matching
+//! what the platform's own API emits and what d3/visjs-style front-ends
+//! consume:
+//!
+//! ```json
+//! {
+//!   "directed": true,
+//!   "nodes": [ {"id": 0, "label": "Pasta"}, {"id": 1} ],
+//!   "edges": [ {"source": 0, "target": 1, "weight": 2.0} ]
+//! }
+//! ```
+//!
+//! `nodes` is optional (ids may be declared implicitly by edges); `label`
+//! and `weight` are optional; `directed` defaults to true and `false` is
+//! rejected (the platform handles directed graphs only).
+
+use crate::error::FormatError;
+use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+use serde_json::Value;
+
+fn bad(msg: impl Into<String>) -> FormatError {
+    FormatError::Inconsistent(msg.into())
+}
+
+fn node_index(v: &Value, what: &str) -> Result<u32, FormatError> {
+    v.as_u64()
+        .and_then(|x| u32::try_from(x).ok())
+        .ok_or_else(|| bad(format!("{what} must be an unsigned 32-bit integer, got {v}")))
+}
+
+/// Parses JSON graph content.
+pub fn parse(content: &str) -> Result<DirectedGraph, FormatError> {
+    let root: Value =
+        serde_json::from_str(content).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    let obj = root.as_object().ok_or_else(|| bad("top level must be an object"))?;
+
+    if let Some(directed) = obj.get("directed") {
+        if directed != &Value::Bool(true) {
+            return Err(bad("only directed graphs are supported (\"directed\": true)"));
+        }
+    }
+
+    let mut b = GraphBuilder::new();
+
+    if let Some(nodes) = obj.get("nodes") {
+        let nodes = nodes.as_array().ok_or_else(|| bad("\"nodes\" must be an array"))?;
+        for n in nodes {
+            match n {
+                Value::Number(_) => {
+                    b.ensure_node(node_index(n, "node id")?);
+                }
+                Value::Object(fields) => {
+                    let id = fields.get("id").ok_or_else(|| bad("node without \"id\""))?;
+                    let id = node_index(id, "node id")?;
+                    b.ensure_node(id);
+                    if let Some(label) = fields.get("label") {
+                        let label =
+                            label.as_str().ok_or_else(|| bad("node label must be a string"))?;
+                        b.set_label(NodeId::new(id), label);
+                    }
+                }
+                other => return Err(bad(format!("node entry must be object or int, got {other}"))),
+            }
+        }
+    }
+
+    let edges = obj
+        .get("edges")
+        .or_else(|| obj.get("links"))
+        .ok_or_else(|| bad("missing \"edges\" array"))?
+        .as_array()
+        .ok_or_else(|| bad("\"edges\" must be an array"))?;
+
+    let mut weighted = false;
+    for (i, e) in edges.iter().enumerate() {
+        let fields = e.as_object().ok_or_else(|| bad(format!("edge {i} must be an object")))?;
+        let u = node_index(
+            fields.get("source").ok_or_else(|| bad(format!("edge {i} missing source")))?,
+            "source",
+        )?;
+        let v = node_index(
+            fields.get("target").ok_or_else(|| bad(format!("edge {i} missing target")))?,
+            "target",
+        )?;
+        match fields.get("weight") {
+            Some(w) => {
+                let w = w.as_f64().ok_or_else(|| bad(format!("edge {i} weight not a number")))?;
+                weighted = true;
+                b.add_weighted_edge(NodeId::new(u), NodeId::new(v), w);
+            }
+            None if weighted => {
+                b.add_weighted_edge(NodeId::new(u), NodeId::new(v), 1.0);
+            }
+            None => {
+                b.add_edge_indices(u, v);
+            }
+        }
+    }
+
+    b.try_build().map_err(|e| bad(e.to_string()))
+}
+
+/// Serializes a graph as JSON.
+pub fn write(g: &DirectedGraph) -> String {
+    let nodes: Vec<Value> = g
+        .nodes()
+        .map(|u| match g.labels().get(u) {
+            Some(l) => serde_json::json!({"id": u.raw(), "label": l}),
+            None => serde_json::json!({"id": u.raw()}),
+        })
+        .collect();
+    let edges: Vec<Value> = if g.is_weighted() {
+        g.weighted_edges()
+            .map(|(u, v, w)| serde_json::json!({"source": u.raw(), "target": v.raw(), "weight": w}))
+            .collect()
+    } else {
+        g.edges()
+            .map(|(u, v)| serde_json::json!({"source": u.raw(), "target": v.raw()}))
+            .collect()
+    };
+    let doc = serde_json::json!({"directed": true, "nodes": nodes, "edges": edges});
+    serde_json::to_string_pretty(&doc).expect("JSON serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal() {
+        let g = parse(r#"{"edges": [{"source": 0, "target": 1}]}"#).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn nodes_with_labels_and_weights() {
+        let g = parse(
+            r#"{
+              "directed": true,
+              "nodes": [{"id": 0, "label": "Pasta"}, {"id": 1, "label": "Italy"}, 2],
+              "edges": [{"source": 0, "target": 1, "weight": 2.5},
+                        {"source": 1, "target": 2}]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 3);
+        let p = g.node_by_label("Pasta").unwrap();
+        let i = g.node_by_label("Italy").unwrap();
+        assert_eq!(g.edge_weight(p, i), Some(2.5));
+        assert_eq!(g.edge_weight(i, NodeId::new(2)), Some(1.0)); // default
+    }
+
+    #[test]
+    fn links_alias_accepted() {
+        let g = parse(r#"{"links": [{"source": 0, "target": 1}]}"#).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(parse("[]").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"directed": false, "edges": []}"#).is_err());
+        assert!(parse(r#"{"nodes": [], "edges": [{"source": 0}]}"#).is_err());
+        assert!(parse(r#"{"edges": [{"source": -1, "target": 0}]}"#).is_err());
+        assert!(parse(r#"{"edges": [{"source": "a", "target": 0}]}"#).is_err());
+        assert!(parse(r#"{"edges": "no"}"#).is_err());
+        assert!(parse(r#"{"nodes": ["x"], "edges": []}"#).is_err());
+        assert!(parse(r#"{"nodes": [{"id": 0, "label": 5}], "edges": []}"#).is_err());
+        assert!(parse(r#"{"nodes": [{}], "edges": []}"#).is_err());
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let mut b = GraphBuilder::new();
+        let p = b.add_labeled_node("A");
+        let q = b.add_labeled_node("B");
+        b.add_weighted_edge(p, q, 3.0);
+        b.add_weighted_edge(q, p, 1.0);
+        let g = b.build();
+        let back = parse(&write(&g)).unwrap();
+        assert_eq!(back.node_count(), 2);
+        let bp = back.node_by_label("A").unwrap();
+        let bq = back.node_by_label("B").unwrap();
+        assert_eq!(back.edge_weight(bp, bq), Some(3.0));
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0)]);
+        let back = parse(&write(&g)).unwrap();
+        assert_eq!(back.edge_count(), 3);
+        assert!(!back.is_weighted());
+    }
+}

@@ -1,0 +1,283 @@
+//! Pajek NET format.
+//!
+//! The subset of Pajek the demo supports (and Gephi emits):
+//!
+//! ```text
+//! *Vertices 3
+//! 1 "Freddie Mercury"
+//! 2 "Queen (band)"
+//! 3 "Brian May"
+//! *Arcs
+//! 1 2
+//! 2 1 2.0
+//! *Edges
+//! 2 3
+//! ```
+//!
+//! `*Vertices n` declares `n` nodes (1-indexed); vertex lines may carry an
+//! optional quoted (or bare) label. `*Arcs` lists directed edges with an
+//! optional weight; `*Edges` lists undirected edges, loaded as one arc in
+//! each direction. Section keywords are case-insensitive. Lines starting
+//! with `%` are comments.
+
+use crate::error::FormatError;
+use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+
+#[derive(PartialEq, Clone, Copy)]
+enum Section {
+    Preamble,
+    Vertices,
+    Arcs,
+    Edges,
+}
+
+/// Parses Pajek NET content.
+pub fn parse(content: &str) -> Result<DirectedGraph, FormatError> {
+    let mut b = GraphBuilder::new();
+    let mut section = Section::Preamble;
+    let mut declared: Option<u64> = None;
+    let mut weighted = false;
+    let mut labels: Vec<(NodeId, String)> = Vec::new();
+
+    for (lineno, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        let ln = lineno + 1;
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix("*vertices") {
+            let n: u64 = rest
+                .split_whitespace()
+                .next()
+                .ok_or_else(|| FormatError::parse(ln, "*Vertices missing count"))?
+                .parse()
+                .map_err(|_| FormatError::parse(ln, "bad *Vertices count"))?;
+            declared = Some(n);
+            if n > 0 {
+                b.ensure_node(n as u32 - 1);
+            }
+            section = Section::Vertices;
+            continue;
+        }
+        if lower.starts_with("*arcs") {
+            section = Section::Arcs;
+            continue;
+        }
+        if lower.starts_with("*edges") {
+            section = Section::Edges;
+            continue;
+        }
+        if lower.starts_with('*') {
+            // Unknown section (e.g. *Matrix): unsupported.
+            return Err(FormatError::parse(ln, format!("unsupported section {line:?}")));
+        }
+
+        match section {
+            Section::Preamble => {
+                return Err(FormatError::parse(ln, "data before *Vertices section"));
+            }
+            Section::Vertices => {
+                // "<id> [label]" — label possibly quoted, possibly absent.
+                let mut it = line.splitn(2, char::is_whitespace);
+                let id: u64 = it
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| FormatError::parse(ln, "bad vertex id"))?;
+                let n = declared.unwrap_or(0);
+                if id == 0 || id > n {
+                    return Err(FormatError::parse(
+                        ln,
+                        format!("vertex id {id} outside 1..={n}"),
+                    ));
+                }
+                if let Some(rest) = it.next() {
+                    let rest = rest.trim();
+                    let label = if let Some(stripped) = rest.strip_prefix('"') {
+                        match stripped.find('"') {
+                            Some(end) => stripped[..end].to_string(),
+                            None => return Err(FormatError::parse(ln, "unterminated quote")),
+                        }
+                    } else {
+                        // Bare label: first token only (the rest are coords).
+                        rest.split_whitespace().next().unwrap_or("").to_string()
+                    };
+                    if !label.is_empty() {
+                        labels.push((NodeId::new(id as u32 - 1), label));
+                    }
+                }
+            }
+            Section::Arcs | Section::Edges => {
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                if fields.len() < 2 {
+                    return Err(FormatError::parse(ln, format!("expected edge, got {line:?}")));
+                }
+                let parse_id = |s: &str| -> Result<u32, FormatError> {
+                    let id: u64 =
+                        s.parse().map_err(|_| FormatError::parse(ln, "bad node id in edge"))?;
+                    let n = declared.unwrap_or(0);
+                    if id == 0 || id > n {
+                        return Err(FormatError::parse(
+                            ln,
+                            format!("edge endpoint {id} outside 1..={n}"),
+                        ));
+                    }
+                    Ok(id as u32 - 1)
+                };
+                let u = parse_id(fields[0])?;
+                let v = parse_id(fields[1])?;
+                let w: Option<f64> = if fields.len() >= 3 {
+                    Some(
+                        fields[2]
+                            .parse()
+                            .map_err(|_| FormatError::parse(ln, "bad edge weight"))?,
+                    )
+                } else {
+                    None
+                };
+                let mut add = |a: u32, c: u32| {
+                    if let Some(w) = w {
+                        weighted = true;
+                        b.add_weighted_edge(NodeId::new(a), NodeId::new(c), w);
+                    } else if weighted {
+                        b.add_weighted_edge(NodeId::new(a), NodeId::new(c), 1.0);
+                    } else {
+                        b.add_edge_indices(a, c);
+                    }
+                };
+                add(u, v);
+                if section == Section::Edges {
+                    add(v, u);
+                }
+            }
+        }
+    }
+
+    if declared.is_none() {
+        return Err(FormatError::Inconsistent("no *Vertices section".into()));
+    }
+
+    let mut g = b.try_build().map_err(|e| FormatError::Inconsistent(e.to_string()))?;
+    for (n, l) in labels {
+        g.labels_mut().set(n, l);
+    }
+    Ok(g)
+}
+
+/// Serializes a graph as Pajek NET (labels quoted, directed edges as
+/// `*Arcs`).
+pub fn write(g: &DirectedGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("*Vertices {}\n", g.node_count()));
+    for u in g.nodes() {
+        match g.labels().get(u) {
+            Some(l) => out.push_str(&format!("{} \"{}\"\n", u.raw() + 1, l.replace('"', "'"))),
+            None => out.push_str(&format!("{}\n", u.raw() + 1)),
+        }
+    }
+    out.push_str("*Arcs\n");
+    if g.is_weighted() {
+        for (u, v, w) in g.weighted_edges() {
+            out.push_str(&format!("{} {} {}\n", u.raw() + 1, v.raw() + 1, w));
+        }
+    } else {
+        for (u, v) in g.edges() {
+            out.push_str(&format!("{} {}\n", u.raw() + 1, v.raw() + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arcs() {
+        let g = parse("*Vertices 3\n1\n2\n3\n*Arcs\n1 2\n2 3\n3 1\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn labels_quoted_and_bare() {
+        let g = parse("*Vertices 2\n1 \"Freddie Mercury\"\n2 Queen\n*Arcs\n1 2\n").unwrap();
+        assert_eq!(g.node_by_label("Freddie Mercury"), Some(NodeId::new(0)));
+        assert_eq!(g.node_by_label("Queen"), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn edges_are_bidirectional() {
+        let g = parse("*Vertices 2\n*Edges\n1 2\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn weighted_arcs() {
+        let g = parse("*Vertices 2\n*Arcs\n1 2 2.5\n").unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(2.5));
+    }
+
+    #[test]
+    fn vertices_without_list_lines() {
+        // Pajek allows omitting vertex lines entirely.
+        let g = parse("*Vertices 4\n*Arcs\n1 4\n").unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let g = parse("% header comment\n*Vertices 2\n% mid\n*Arcs\n1 2\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_sections() {
+        let g = parse("*VERTICES 2\n*arcs\n1 2\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("1 2\n").is_err()); // data before *Vertices
+        assert!(parse("*Vertices x\n").is_err());
+        assert!(parse("*Vertices 2\n*Arcs\n1 5\n").is_err()); // out of range
+        assert!(parse("*Vertices 2\n*Arcs\n0 1\n").is_err()); // 0 not valid (1-indexed)
+        assert!(parse("*Vertices 2\n*Matrix\n").is_err()); // unsupported section
+        assert!(parse("*Vertices 2\n3 \"x\"\n").is_err()); // vertex id out of range
+        assert!(parse("*Vertices 1\n1 \"unterminated\n").is_err());
+        assert!(parse("").is_err()); // no vertices section at all
+    }
+
+    #[test]
+    fn write_parse_roundtrip_with_labels() {
+        let mut b = GraphBuilder::new();
+        b.add_labeled_edge("Pasta", "Italian cuisine");
+        b.add_labeled_edge("Italian cuisine", "Pasta");
+        let g = b.build();
+        let s = write(&g);
+        let back = parse(&s).unwrap();
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(back.edge_count(), 2);
+        let p = back.node_by_label("Pasta").unwrap();
+        let i = back.node_by_label("Italian cuisine").unwrap();
+        assert!(back.has_edge(p, i));
+    }
+
+    #[test]
+    fn quote_in_label_sanitized() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_labeled_node("say \"hi\"");
+        let m = b.add_labeled_node("other");
+        b.add_edge(n, m);
+        let g = b.build();
+        let back = parse(&write(&g)).unwrap();
+        assert_eq!(back.node_by_label("say 'hi'"), Some(NodeId::new(0)));
+    }
+}

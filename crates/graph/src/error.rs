@@ -1,0 +1,67 @@
+//! Error type for graph construction and access.
+
+use std::fmt;
+
+/// Errors produced while building or querying a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node index that was never declared.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A label lookup failed.
+    UnknownLabel(String),
+    /// The graph has no nodes, but the operation requires at least one.
+    EmptyGraph,
+    /// An edge weight was not finite and positive.
+    InvalidWeight {
+        /// Source of the offending edge.
+        source: u32,
+        /// Target of the offending edge.
+        target: u32,
+        /// The weight that was rejected.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node index {node} out of bounds for graph with {node_count} nodes")
+            }
+            GraphError::UnknownLabel(l) => write!(f, "no node with label {l:?}"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::InvalidWeight { source, target, weight } => {
+                write!(f, "edge {source}->{target} has invalid weight {weight} (must be finite and > 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfBounds { node: 7, node_count: 3 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3"));
+        assert!(GraphError::UnknownLabel("Pasta".into()).to_string().contains("Pasta"));
+        assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
+        let w = GraphError::InvalidWeight { source: 1, target: 2, weight: f64::NAN };
+        assert!(w.to_string().contains("1->2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GraphError>();
+    }
+}

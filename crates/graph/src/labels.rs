@@ -1,0 +1,197 @@
+//! Node label storage with string interning.
+//!
+//! The datasets the demo platform ships (Wikipedia article titles, Amazon
+//! product names, Twitter handles) all attach a human-readable label to each
+//! node, and the use cases in the paper are expressed in terms of labels
+//! ("Freddie Mercury", "Pasta", "Fake news"). [`LabelTable`] provides a
+//! bidirectional mapping between labels and [`NodeId`]s.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bidirectional label ↔ node-id mapping.
+///
+/// Labels are optional: a graph loaded from a bare edge list has an empty
+/// table and falls back to stringified indices via
+/// [`LabelTable::label_or_index`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelTable {
+    labels: Vec<Option<String>>,
+    index: HashMap<String, NodeId>,
+}
+
+impl LabelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table sized for `n` nodes, all initially unlabeled.
+    pub fn with_capacity(n: usize) -> Self {
+        LabelTable { labels: vec![None; n], index: HashMap::with_capacity(n) }
+    }
+
+    /// Number of node slots (labeled or not).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no node slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of nodes that actually carry a label.
+    pub fn labeled_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Assigns `label` to `node`, growing the table if needed.
+    ///
+    /// If the node already had a label, the old label is unregistered first.
+    /// If another node already uses `label`, that mapping is overwritten —
+    /// labels are expected to be unique per dataset and the last writer wins,
+    /// mirroring how the demo's dataset loader treats duplicate titles.
+    pub fn set(&mut self, node: NodeId, label: impl Into<String>) {
+        let label = label.into();
+        if node.index() >= self.labels.len() {
+            self.labels.resize(node.index() + 1, None);
+        }
+        if let Some(old) = self.labels[node.index()].take() {
+            self.index.remove(&old);
+        }
+        self.index.insert(label.clone(), node);
+        self.labels[node.index()] = Some(label);
+    }
+
+    /// Returns the label of `node`, if any.
+    pub fn get(&self, node: NodeId) -> Option<&str> {
+        self.labels.get(node.index()).and_then(|l| l.as_deref())
+    }
+
+    /// Returns the node carrying `label`, if any.
+    pub fn resolve(&self, label: &str) -> Option<NodeId> {
+        self.index.get(label).copied()
+    }
+
+    /// Returns the label of `node`, or its numeric index when unlabeled.
+    pub fn label_or_index(&self, node: NodeId) -> String {
+        match self.get(node) {
+            Some(l) => l.to_owned(),
+            None => node.raw().to_string(),
+        }
+    }
+
+    /// Iterates over `(node, label)` pairs for all labeled nodes,
+    /// in increasing node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &str)> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_deref().map(|l| (NodeId::from_usize(i), l)))
+    }
+
+    /// Builds a table that maps node `i` to `labels[i]` for every entry.
+    pub fn from_labels<S: Into<String>>(labels: impl IntoIterator<Item = S>) -> Self {
+        let mut t = LabelTable::new();
+        for (i, l) in labels.into_iter().enumerate() {
+            t.set(NodeId::from_usize(i), l);
+        }
+        t
+    }
+
+    /// Remaps this table through `old → new` node-id pairs, producing the
+    /// label table of an induced subgraph. Nodes absent from the mapping are
+    /// dropped.
+    pub fn remap(&self, pairs: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut t = LabelTable::new();
+        for (old, new) in pairs {
+            if let Some(l) = self.get(old) {
+                t.set(new, l.to_owned());
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut t = LabelTable::new();
+        t.set(NodeId::new(0), "Pasta");
+        t.set(NodeId::new(2), "Italy");
+        assert_eq!(t.get(NodeId::new(0)), Some("Pasta"));
+        assert_eq!(t.get(NodeId::new(1)), None);
+        assert_eq!(t.get(NodeId::new(2)), Some("Italy"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.labeled_count(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let t = LabelTable::from_labels(["A", "B", "C"]);
+        for (i, l) in ["A", "B", "C"].iter().enumerate() {
+            let n = t.resolve(l).unwrap();
+            assert_eq!(n, NodeId::from_usize(i));
+            assert_eq!(t.get(n), Some(*l));
+        }
+        assert_eq!(t.resolve("Z"), None);
+    }
+
+    #[test]
+    fn relabel_unregisters_old() {
+        let mut t = LabelTable::new();
+        t.set(NodeId::new(0), "Old");
+        t.set(NodeId::new(0), "New");
+        assert_eq!(t.resolve("Old"), None);
+        assert_eq!(t.resolve("New"), Some(NodeId::new(0)));
+        assert_eq!(t.labeled_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_label_last_writer_wins() {
+        let mut t = LabelTable::new();
+        t.set(NodeId::new(0), "X");
+        t.set(NodeId::new(1), "X");
+        assert_eq!(t.resolve("X"), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn label_or_index_fallback() {
+        let mut t = LabelTable::new();
+        t.set(NodeId::new(1), "B");
+        assert_eq!(t.label_or_index(NodeId::new(1)), "B");
+        assert_eq!(t.label_or_index(NodeId::new(0)), "0");
+        assert_eq!(t.label_or_index(NodeId::new(99)), "99");
+    }
+
+    #[test]
+    fn iter_in_node_order() {
+        let mut t = LabelTable::new();
+        t.set(NodeId::new(2), "c");
+        t.set(NodeId::new(0), "a");
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(got, vec![(NodeId::new(0), "a"), (NodeId::new(2), "c")]);
+    }
+
+    #[test]
+    fn remap_drops_missing() {
+        let t = LabelTable::from_labels(["a", "b", "c"]);
+        let r = t.remap([(NodeId::new(2), NodeId::new(0)), (NodeId::new(0), NodeId::new(1))]);
+        assert_eq!(r.get(NodeId::new(0)), Some("c"));
+        assert_eq!(r.get(NodeId::new(1)), Some("a"));
+        assert_eq!(r.resolve("b"), None);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = LabelTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.labeled_count(), 0);
+        assert_eq!(t.iter().count(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Compact node identifiers.
+//!
+//! Nodes are identified by dense `u32` indices. A `u32` halves the memory
+//! footprint of adjacency arrays compared to `usize` on 64-bit platforms,
+//! which matters for the multi-million-edge Wikipedia-scale graphs the demo
+//! platform targets, and 2^32 nodes is far above any dataset the paper uses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense node identifier inside a [`crate::DirectedGraph`].
+///
+/// `NodeId` is a newtype over `u32` so that node indices cannot be confused
+/// with arbitrary integers (edge counts, iteration counts, ...) at compile
+/// time. Construct one with [`NodeId::new`] or via `From<u32>`; extract the
+/// raw index with [`NodeId::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node id from a raw `u32` index.
+    #[inline]
+    pub const fn new(idx: u32) -> Self {
+        NodeId(idx)
+    }
+
+    /// Creates a node id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in a `u32`.
+    #[inline]
+    pub fn from_usize(idx: usize) -> Self {
+        debug_assert!(idx <= u32::MAX as usize, "node index overflows u32");
+        NodeId(idx as u32)
+    }
+
+    /// Returns the raw index as a `usize`, suitable for slice indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.index()
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let n = NodeId::new(42);
+        assert_eq!(n.raw(), 42);
+        assert_eq!(n.index(), 42usize);
+        assert_eq!(u32::from(n), 42);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn from_usize_small() {
+        assert_eq!(NodeId::from_usize(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn ordering_matches_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5).max(NodeId::new(3)), NodeId::new(5));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{}", NodeId::new(3)), "3");
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let n = NodeId::new(9);
+        let i: usize = n.into();
+        assert_eq!(i, 9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Descriptive graph statistics.
+//!
+//! The demo platform's dataset browser shows summary statistics per dataset
+//! (node/edge counts, degree distribution, reciprocity). Reciprocity — the
+//! fraction of edges whose reverse edge also exists — is the structural
+//! property CycleRank exploits: only reciprocated (directly or through longer
+//! cycles) relationships count as "mutual relevance".
+
+use crate::csr::DirectedGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges (after dedup).
+    pub edges: usize,
+    /// Edge density `m / (n·(n−1))`; 0 for graphs with < 2 nodes.
+    pub density: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Mean degree `m / n` (0 for the empty graph).
+    pub mean_degree: f64,
+    /// Fraction of edges `u→v` (u ≠ v) such that `v→u` also exists.
+    pub reciprocity: f64,
+    /// Number of self-loops.
+    pub self_loops: usize,
+    /// Number of dangling (zero out-degree) nodes.
+    pub dangling: usize,
+    /// Number of weakly connected components.
+    pub weak_components: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics in O(V + E log d).
+    pub fn compute(g: &DirectedGraph) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let mut max_out = 0;
+        let mut max_in = 0;
+        let mut self_loops = 0usize;
+        let mut reciprocated = 0usize;
+        let mut non_loop_edges = 0usize;
+        let mut dangling = 0usize;
+
+        for u in g.nodes() {
+            max_out = max_out.max(g.out_degree(u));
+            max_in = max_in.max(g.in_degree(u));
+            if g.out_degree(u) == 0 {
+                dangling += 1;
+            }
+            for &v in g.out_neighbors(u) {
+                if v == u {
+                    self_loops += 1;
+                } else {
+                    non_loop_edges += 1;
+                    if g.has_edge(v, u) {
+                        reciprocated += 1;
+                    }
+                }
+            }
+        }
+
+        let weak_components = crate::wcc::weakly_connected_components(g).count;
+        GraphStats {
+            nodes: n,
+            edges: m,
+            density: if n >= 2 { m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            mean_degree: if n > 0 { m as f64 / n as f64 } else { 0.0 },
+            reciprocity: if non_loop_edges > 0 {
+                reciprocated as f64 / non_loop_edges as f64
+            } else {
+                0.0
+            },
+            self_loops,
+            dangling,
+            weak_components,
+        }
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of nodes with out-degree `d`.
+pub fn out_degree_histogram(g: &DirectedGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for u in g.nodes() {
+        let d = g.out_degree(u);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// In-degree histogram: `hist[d]` = number of nodes with in-degree `d`.
+pub fn in_degree_histogram(g: &DirectedGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for u in g.nodes() {
+        let d = g.in_degree(u);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::node::NodeId;
+
+    #[test]
+    fn stats_on_two_cycle() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.reciprocity, 1.0);
+        assert_eq!(s.density, 1.0);
+        assert_eq!(s.self_loops, 0);
+        assert_eq!(s.dangling, 0);
+        assert_eq!(s.mean_degree, 1.0);
+        assert_eq!(s.weak_components, 1);
+    }
+
+    #[test]
+    fn stats_on_dag() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (0, 2), (1, 2)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.reciprocity, 0.0);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.dangling, 1); // node 2
+    }
+
+    #[test]
+    fn partial_reciprocity() {
+        // 3 non-loop edges, 2 of which (0<->1) are reciprocated.
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0), (1, 2)]);
+        let s = GraphStats::compute(&g);
+        assert!((s.reciprocity - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_counted_not_reciprocity() {
+        let g = GraphBuilder::from_edge_indices([(0, 0), (0, 1), (1, 0)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.self_loops, 1);
+        assert_eq!(s.reciprocity, 1.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.reciprocity, 0.0);
+    }
+
+    #[test]
+    fn degree_histograms() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_indices(0, 1);
+        b.add_edge_indices(0, 2);
+        b.add_edge_indices(1, 2);
+        let g = b.build();
+        let out = out_degree_histogram(&g);
+        // node 2 has out 0, node 1 has out 1, node 0 has out 2.
+        assert_eq!(out, vec![1, 1, 1]);
+        let inh = in_degree_histogram(&g);
+        // node 0 in 0, node 1 in 1, node 2 in 2.
+        assert_eq!(inh, vec![1, 1, 1]);
+        let _ = NodeId::new(0); // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn single_node_density_zero() {
+        let mut b = GraphBuilder::new();
+        b.ensure_node(0);
+        let g = b.build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.dangling, 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Induced subgraph extraction.
+//!
+//! CycleRank restricts cycle enumeration to a small neighbourhood around the
+//! reference node; extracting that neighbourhood as a compact subgraph (with
+//! dense renumbered ids) keeps the DFS working set cache-friendly. The
+//! [`SubgraphMap`] remembers the old ↔ new id correspondence so scores can be
+//! scattered back into the full graph's index space.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DirectedGraph;
+use crate::node::NodeId;
+
+/// Id correspondence between a graph and one of its induced subgraphs.
+#[derive(Debug, Clone)]
+pub struct SubgraphMap {
+    /// `to_sub[u]` is the subgraph id of original node `u`, or `None`.
+    to_sub: Vec<Option<NodeId>>,
+    /// `to_orig[s]` is the original id of subgraph node `s`.
+    to_orig: Vec<NodeId>,
+}
+
+impl SubgraphMap {
+    /// Subgraph id of original node `u`, if `u` was kept.
+    #[inline]
+    pub fn to_sub(&self, u: NodeId) -> Option<NodeId> {
+        self.to_sub.get(u.index()).copied().flatten()
+    }
+
+    /// Original id of subgraph node `s`.
+    #[inline]
+    pub fn to_orig(&self, s: NodeId) -> NodeId {
+        self.to_orig[s.index()]
+    }
+
+    /// Number of kept nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.to_orig.len()
+    }
+
+    /// True when no nodes were kept.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.to_orig.is_empty()
+    }
+
+    /// Iterates `(original, subgraph)` id pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.to_orig
+            .iter()
+            .enumerate()
+            .map(|(s, &o)| (o, NodeId::from_usize(s)))
+    }
+
+    /// Scatters dense subgraph scores back into a full-graph-sized vector,
+    /// filling dropped nodes with `fill`.
+    pub fn scatter(&self, sub_scores: &[f64], full_len: usize, fill: f64) -> Vec<f64> {
+        let mut out = vec![fill; full_len];
+        for (s, &orig) in self.to_orig.iter().enumerate() {
+            out[orig.index()] = sub_scores[s];
+        }
+        out
+    }
+}
+
+/// Extracts the subgraph induced by `keep` (an arbitrary iterator of node
+/// ids; duplicates are ignored). Node labels are carried over. Edge weights,
+/// if present, are preserved.
+///
+/// Returns the subgraph plus the id mapping. Subgraph ids are assigned in
+/// increasing original-id order, so extraction is deterministic.
+pub fn induced_subgraph(
+    g: &DirectedGraph,
+    keep: impl IntoIterator<Item = NodeId>,
+) -> (DirectedGraph, SubgraphMap) {
+    let n = g.node_count();
+    let mut mask = vec![false; n];
+    for u in keep {
+        if u.index() < n {
+            mask[u.index()] = true;
+        }
+    }
+
+    let mut to_sub: Vec<Option<NodeId>> = vec![None; n];
+    let mut to_orig: Vec<NodeId> = Vec::new();
+    for i in 0..n {
+        if mask[i] {
+            to_sub[i] = Some(NodeId::from_usize(to_orig.len()));
+            to_orig.push(NodeId::from_usize(i));
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(to_orig.len(), 0);
+    if !to_orig.is_empty() {
+        b.ensure_node(to_orig.len() as u32 - 1);
+    }
+    for (s, &orig) in to_orig.iter().enumerate() {
+        let su = NodeId::from_usize(s);
+        let ws = g.out_weights(orig);
+        for (i, &v) in g.out_neighbors(orig).iter().enumerate() {
+            if let Some(sv) = to_sub[v.index()] {
+                match ws {
+                    Some(w) => {
+                        b.add_weighted_edge(su, sv, w[i]);
+                    }
+                    None => {
+                        b.add_edge(su, sv);
+                    }
+                }
+            }
+        }
+    }
+    let mut sub = b.build();
+
+    // Carry labels across.
+    let map = SubgraphMap { to_sub, to_orig };
+    let relabeled = g.labels().remap(map.pairs());
+    *sub.labels_mut() = relabeled;
+
+    (sub, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled_square() -> DirectedGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_labeled_node("a");
+        let c = b.add_labeled_node("b");
+        let d = b.add_labeled_node("c");
+        let e = b.add_labeled_node("d");
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.add_edge(d, e);
+        b.add_edge(e, a);
+        b.add_edge(a, d); // diagonal
+        b.build()
+    }
+
+    #[test]
+    fn keep_subset_keeps_internal_edges_only() {
+        let g = labeled_square();
+        let (sub, map) = induced_subgraph(&g, [NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(sub.node_count(), 3);
+        // Kept edges: a->b, b->c, a->c. Dropped: c->d, d->a.
+        assert_eq!(sub.edge_count(), 3);
+        let a = map.to_sub(NodeId::new(0)).unwrap();
+        let c = map.to_sub(NodeId::new(2)).unwrap();
+        assert!(sub.has_edge(a, c));
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let g = labeled_square();
+        let (_, map) = induced_subgraph(&g, [NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(map.len(), 2);
+        for (orig, sub) in map.pairs() {
+            assert_eq!(map.to_orig(sub), orig);
+            assert_eq!(map.to_sub(orig), Some(sub));
+        }
+        assert_eq!(map.to_sub(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn labels_carried_over() {
+        let g = labeled_square();
+        let (sub, map) = induced_subgraph(&g, [NodeId::new(2), NodeId::new(3)]);
+        let c_sub = map.to_sub(NodeId::new(2)).unwrap();
+        assert_eq!(sub.labels().get(c_sub), Some("c"));
+        assert_eq!(sub.node_by_label("d"), map.to_sub(NodeId::new(3)));
+        assert_eq!(sub.node_by_label("a"), None);
+    }
+
+    #[test]
+    fn weights_preserved() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(NodeId::new(0), NodeId::new(1), 2.5);
+        b.add_weighted_edge(NodeId::new(1), NodeId::new(2), 4.0);
+        let g = b.build();
+        let (sub, map) = induced_subgraph(&g, [NodeId::new(0), NodeId::new(1)]);
+        let (s0, s1) = (map.to_sub(NodeId::new(0)).unwrap(), map.to_sub(NodeId::new(1)).unwrap());
+        assert_eq!(sub.edge_weight(s0, s1), Some(2.5));
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn duplicates_in_keep_ignored() {
+        let g = labeled_square();
+        let (sub, _) = induced_subgraph(&g, [NodeId::new(0), NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(sub.node_count(), 2);
+    }
+
+    #[test]
+    fn scatter_back() {
+        let g = labeled_square();
+        let (_, map) = induced_subgraph(&g, [NodeId::new(1), NodeId::new(3)]);
+        let full = map.scatter(&[0.7, 0.3], g.node_count(), 0.0);
+        assert_eq!(full, vec![0.0, 0.7, 0.0, 0.3]);
+    }
+
+    #[test]
+    fn empty_keep() {
+        let g = labeled_square();
+        let (sub, map) = induced_subgraph(&g, []);
+        assert!(sub.is_empty());
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_keep_ids_ignored() {
+        let g = labeled_square();
+        let (sub, _) = induced_subgraph(&g, [NodeId::new(0), NodeId::new(99)]);
+        assert_eq!(sub.node_count(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Breadth-first and depth-first traversal primitives.
+//!
+//! CycleRank's pruning strategy (see `relcore::cyclerank`) relies on bounded
+//! BFS in both edge directions: only nodes `u` with
+//! `dist(r → u) + dist(u → r) ≤ K` can lie on a cycle through the reference
+//! node `r` of length ≤ K. The bounded traversals here stop expanding at the
+//! distance limit, keeping the explored frontier small on large graphs.
+
+use crate::csr::DirectedGraph;
+use crate::node::NodeId;
+use crate::view::GraphView;
+use std::collections::VecDeque;
+
+/// Edge orientation selector for traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges source → target.
+    Forward,
+    /// Follow edges target → source (i.e. traverse the transposed graph).
+    Backward,
+}
+
+/// Distance value used by the BFS helpers to mark unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Full single-source BFS over `view`, returning the hop distance from
+/// `source` to every node ([`UNREACHABLE`] when not reachable).
+pub fn bfs_distances_view(view: GraphView<'_>, source: NodeId) -> Vec<u32> {
+    bfs_distances_bounded_view(view, source, u32::MAX)
+}
+
+/// Bounded single-source BFS: like [`bfs_distances_view`] but nodes at
+/// distance > `max_depth` are left [`UNREACHABLE`] and never enqueued.
+pub fn bfs_distances_bounded_view(view: GraphView<'_>, source: NodeId, max_depth: u32) -> Vec<u32> {
+    let n = view.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    if source.index() >= n {
+        return dist;
+    }
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_depth {
+            continue;
+        }
+        for &v in view.out_neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Forward BFS distances from `source` on `g`.
+pub fn bfs_distances(g: &DirectedGraph, source: NodeId) -> Vec<u32> {
+    bfs_distances_view(g.view(), source)
+}
+
+/// Forward BFS distances bounded by `max_depth`.
+pub fn bfs_distances_bounded(g: &DirectedGraph, source: NodeId, max_depth: u32) -> Vec<u32> {
+    bfs_distances_bounded_view(g.view(), source, max_depth)
+}
+
+/// Backward BFS distances bounded by `max_depth`: entry `u` holds the length
+/// of the shortest path `u → source` (not `source → u`).
+pub fn bfs_distances_bounded_rev(g: &DirectedGraph, source: NodeId, max_depth: u32) -> Vec<u32> {
+    bfs_distances_bounded_view(g.transposed(), source, max_depth)
+}
+
+/// Returns all nodes reachable from `source` (including `source`) following
+/// the given direction.
+pub fn reachable_set(g: &DirectedGraph, source: NodeId, dir: Direction) -> Vec<NodeId> {
+    let view = match dir {
+        Direction::Forward => g.view(),
+        Direction::Backward => g.transposed(),
+    };
+    let dist = bfs_distances_view(view, source);
+    dist.iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .map(|(i, _)| NodeId::from_usize(i))
+        .collect()
+}
+
+/// Iterative depth-first preorder starting at `source`.
+///
+/// Neighbors are visited in index order; already-seen nodes are skipped.
+pub fn dfs_preorder(g: &DirectedGraph, source: NodeId) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if seen[u.index()] {
+            continue;
+        }
+        seen[u.index()] = true;
+        order.push(u);
+        // Push in reverse so the smallest-index neighbor is visited first.
+        for &v in g.out_neighbors(u).iter().rev() {
+            if !seen[v.index()] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// True iff a directed path `from → to` exists.
+pub fn is_reachable(g: &DirectedGraph, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let dist = bfs_distances(g, from);
+    dist[to.index()] != UNREACHABLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0 → 1 → 2 → 3, plus 3 → 0 back edge and isolated node 4.
+    fn ring_plus_isolated() -> DirectedGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge_indices(0, 1);
+        b.add_edge_indices(1, 2);
+        b.add_edge_indices(2, 3);
+        b.add_edge_indices(3, 0);
+        b.ensure_node(4);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_full_distances() {
+        let g = ring_plus_isolated();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![0, 1, 2, 3, UNREACHABLE]);
+    }
+
+    #[test]
+    fn bfs_bounded_cuts_off() {
+        let g = ring_plus_isolated();
+        let d = bfs_distances_bounded(&g, NodeId::new(0), 2);
+        assert_eq!(d, vec![0, 1, 2, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn bfs_bound_zero_only_source() {
+        let g = ring_plus_isolated();
+        let d = bfs_distances_bounded(&g, NodeId::new(1), 0);
+        assert_eq!(d[1], 0);
+        assert_eq!(d.iter().filter(|&&x| x != UNREACHABLE).count(), 1);
+    }
+
+    #[test]
+    fn backward_bfs_measures_distance_to_source() {
+        let g = ring_plus_isolated();
+        // dist(u -> 0): node 1 needs 1->2->3->0 = 3 hops.
+        let d = bfs_distances_bounded_rev(&g, NodeId::new(0), 10);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 3);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], 1);
+        assert_eq!(d[4], UNREACHABLE);
+    }
+
+    #[test]
+    fn reachable_sets() {
+        let g = ring_plus_isolated();
+        let fwd = reachable_set(&g, NodeId::new(0), Direction::Forward);
+        assert_eq!(fwd.len(), 4);
+        assert!(!fwd.contains(&NodeId::new(4)));
+        let bwd = reachable_set(&g, NodeId::new(4), Direction::Backward);
+        assert_eq!(bwd, vec![NodeId::new(4)]);
+    }
+
+    #[test]
+    fn dfs_preorder_visits_smallest_first() {
+        // 0 -> {1, 2}, 1 -> 3, 2 -> 3
+        let g = GraphBuilder::from_edge_indices([(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = dfs_preorder(&g, NodeId::new(0));
+        assert_eq!(
+            order,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn reachability_predicate() {
+        let g = ring_plus_isolated();
+        assert!(is_reachable(&g, NodeId::new(0), NodeId::new(3)));
+        assert!(is_reachable(&g, NodeId::new(3), NodeId::new(2)));
+        assert!(!is_reachable(&g, NodeId::new(0), NodeId::new(4)));
+        assert!(is_reachable(&g, NodeId::new(4), NodeId::new(4)));
+    }
+
+    #[test]
+    fn bfs_on_empty_graph() {
+        let g = GraphBuilder::new().build();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert!(d.is_empty());
+    }
+}

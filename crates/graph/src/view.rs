@@ -1,0 +1,207 @@
+//! Zero-cost directional views over a [`DirectedGraph`].
+//!
+//! Several algorithms in the platform are defined as "algorithm X on the
+//! transposed graph" — most prominently CheiRank, which is PageRank on the
+//! edge-reversed graph. Because [`DirectedGraph`] stores both adjacency
+//! directions, reversing is free: [`GraphView`] just swaps which arrays the
+//! accessors read.
+//!
+//! All relevance algorithms in `relcore` take a [`GraphView`] so the same
+//! code path serves both orientations.
+
+use crate::csr::DirectedGraph;
+use crate::node::NodeId;
+
+/// A read-only, possibly edge-reversed view of a [`DirectedGraph`].
+///
+/// Copyable and zero-cost: holds a reference and an orientation flag.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphView<'a> {
+    graph: &'a DirectedGraph,
+    reversed: bool,
+}
+
+impl<'a> GraphView<'a> {
+    /// Identity view.
+    #[inline]
+    pub fn forward(graph: &'a DirectedGraph) -> Self {
+        GraphView { graph, reversed: false }
+    }
+
+    /// Edge-reversed view.
+    #[inline]
+    pub fn reversed(graph: &'a DirectedGraph) -> Self {
+        GraphView { graph, reversed: true }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'a DirectedGraph {
+        self.graph
+    }
+
+    /// Whether this view reverses edge direction.
+    #[inline]
+    pub fn is_reversed(&self) -> bool {
+        self.reversed
+    }
+
+    /// Returns the opposite orientation of this view.
+    #[inline]
+    pub fn flipped(&self) -> GraphView<'a> {
+        GraphView { graph: self.graph, reversed: !self.reversed }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Whether the underlying graph is weighted.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.graph.is_weighted()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + 'a {
+        self.graph.nodes()
+    }
+
+    /// Successors of `u` in this view's orientation.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &'a [NodeId] {
+        if self.reversed {
+            self.graph.in_neighbors(u)
+        } else {
+            self.graph.out_neighbors(u)
+        }
+    }
+
+    /// Predecessors of `u` in this view's orientation.
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> &'a [NodeId] {
+        if self.reversed {
+            self.graph.out_neighbors(u)
+        } else {
+            self.graph.in_neighbors(u)
+        }
+    }
+
+    /// Weights aligned with [`Self::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, u: NodeId) -> Option<&'a [f64]> {
+        if self.reversed {
+            self.graph.in_weights(u)
+        } else {
+            self.graph.out_weights(u)
+        }
+    }
+
+    /// Weights aligned with [`Self::in_neighbors`].
+    #[inline]
+    pub fn in_weights(&self, u: NodeId) -> Option<&'a [f64]> {
+        if self.reversed {
+            self.graph.out_weights(u)
+        } else {
+            self.graph.in_weights(u)
+        }
+    }
+
+    /// Out-degree in this orientation.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        if self.reversed {
+            self.graph.in_degree(u)
+        } else {
+            self.graph.out_degree(u)
+        }
+    }
+
+    /// In-degree in this orientation.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        if self.reversed {
+            self.graph.out_degree(u)
+        } else {
+            self.graph.in_degree(u)
+        }
+    }
+
+    /// Sum of out-edge weights in this orientation (out-degree when
+    /// unweighted).
+    pub fn out_weight_sum(&self, u: NodeId) -> f64 {
+        match self.out_weights(u) {
+            Some(w) => w.iter().sum(),
+            None => self.out_degree(u) as f64,
+        }
+    }
+
+    /// True iff edge `u → v` exists in this orientation.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path() -> DirectedGraph {
+        GraphBuilder::from_edge_indices([(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn forward_matches_graph() {
+        let g = path();
+        let v = g.view();
+        assert_eq!(v.out_neighbors(NodeId::new(0)), g.out_neighbors(NodeId::new(0)));
+        assert_eq!(v.in_neighbors(NodeId::new(2)), g.in_neighbors(NodeId::new(2)));
+        assert_eq!(v.node_count(), 3);
+        assert_eq!(v.edge_count(), 2);
+        assert!(!v.is_reversed());
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = path();
+        let t = g.transposed();
+        assert!(t.is_reversed());
+        assert_eq!(t.out_neighbors(NodeId::new(1)), &[NodeId::new(0)]);
+        assert_eq!(t.in_neighbors(NodeId::new(1)), &[NodeId::new(2)]);
+        assert_eq!(t.out_degree(NodeId::new(0)), 0);
+        assert_eq!(t.in_degree(NodeId::new(0)), 1);
+        assert!(t.has_edge(NodeId::new(2), NodeId::new(1)));
+        assert!(!t.has_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn flipped_is_involution() {
+        let g = path();
+        let v = g.view().flipped().flipped();
+        assert!(!v.is_reversed());
+        let t = g.transposed().flipped();
+        assert!(!t.is_reversed());
+    }
+
+    #[test]
+    fn weighted_view() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(NodeId::new(0), NodeId::new(1), 2.0);
+        b.add_weighted_edge(NodeId::new(1), NodeId::new(0), 3.0);
+        let g = b.build();
+        let t = g.transposed();
+        // In the reversed view, edge 1->0 (weight 3.0) becomes 0->1.
+        assert_eq!(t.out_weights(NodeId::new(0)), Some(&[3.0][..]));
+        assert_eq!(t.out_weight_sum(NodeId::new(0)), 3.0);
+        assert_eq!(g.view().out_weight_sum(NodeId::new(0)), 2.0);
+    }
+}

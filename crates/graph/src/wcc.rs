@@ -1,0 +1,136 @@
+//! Weakly connected components.
+//!
+//! The demo's dataset browser reports how fragmented a graph is; weak
+//! connectivity (ignoring edge direction) is the standard measure for
+//! directed corpora, where strong connectivity is dominated by the giant
+//! SCC but upload errors (e.g. truncated files) typically show up as many
+//! small weak components.
+
+use crate::csr::DirectedGraph;
+use crate::node::NodeId;
+
+/// Result of a weak-connectivity decomposition.
+#[derive(Debug, Clone)]
+pub struct WccResult {
+    /// `component[u]` is the component index of node `u` (0-based, in
+    /// order of first discovery by node id).
+    pub component: Vec<u32>,
+    /// Number of weak components.
+    pub count: usize,
+}
+
+impl WccResult {
+    /// Component of `u`.
+    pub fn component_of(&self, u: NodeId) -> u32 {
+        self.component[u.index()]
+    }
+
+    /// True iff `u` and `v` are weakly connected.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.component[u.index()] == self.component[v.index()]
+    }
+
+    /// Sizes per component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest weak component (0 for the empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Computes weakly connected components by BFS over the union of out- and
+/// in-adjacency. O(V + E).
+pub fn weakly_connected_components(g: &DirectedGraph) -> WccResult {
+    let n = g.node_count();
+    const UNSEEN: u32 = u32::MAX;
+    let mut component = vec![UNSEEN; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+
+    for start in g.nodes() {
+        if component[start.index()] != UNSEEN {
+            continue;
+        }
+        component[start.index()] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if component[v.index()] == UNSEEN {
+                    component[v.index()] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    WccResult { component, count: count as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn single_chain_is_one_component() {
+        // Directed chain: weakly connected even though not strongly.
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 3)]);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.count, 1);
+        assert!(wcc.same_component(NodeId::new(0), NodeId::new(3)));
+        assert_eq!(wcc.largest_size(), 4);
+    }
+
+    #[test]
+    fn islands_are_separate() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_indices(0, 1);
+        b.add_edge_indices(2, 3);
+        b.ensure_node(4); // isolated
+        let g = b.build();
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.count, 3);
+        assert!(!wcc.same_component(NodeId::new(0), NodeId::new(2)));
+        assert_eq!(wcc.sizes().iter().sum::<usize>(), 5);
+        assert_eq!(wcc.largest_size(), 2);
+    }
+
+    #[test]
+    fn direction_ignored() {
+        // 0 -> 1 <- 2: no directed path 0→2, but weakly one component.
+        let g = GraphBuilder::from_edge_indices([(0, 1), (2, 1)]);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.count, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.count, 0);
+        assert_eq!(wcc.largest_size(), 0);
+    }
+
+    #[test]
+    fn wcc_coarsens_scc() {
+        // Every SCC lies inside one WCC.
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0), (1, 2), (3, 4), (4, 3)]);
+        let wcc = weakly_connected_components(&g);
+        let scc = crate::scc::tarjan_scc(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if scc.same_component(u, v) {
+                    assert!(wcc.same_component(u, v));
+                }
+            }
+        }
+        assert_eq!(wcc.count, 2);
+    }
+}

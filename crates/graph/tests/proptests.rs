@@ -1,0 +1,142 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use relgraph::{
+    bfs_distances, induced_subgraph, tarjan_scc, GraphBuilder, GraphStats, NodeId,
+};
+
+/// Strategy: a random edge list over up to `n` nodes.
+fn edge_list(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes), 0..max_edges)
+}
+
+proptest! {
+    /// CSR invariants: neighbor lists sorted and deduplicated, in/out edge
+    /// counts agree, and every out-edge has a matching in-edge.
+    #[test]
+    fn csr_invariants(edges in edge_list(40, 200)) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let mut out_total = 0;
+        let mut in_total = 0;
+        for u in g.nodes() {
+            let outs = g.out_neighbors(u);
+            out_total += outs.len();
+            prop_assert!(outs.windows(2).all(|w| w[0] < w[1]), "out list sorted+dedup");
+            let ins = g.in_neighbors(u);
+            in_total += ins.len();
+            prop_assert!(ins.windows(2).all(|w| w[0] < w[1]), "in list sorted+dedup");
+            for &v in outs {
+                prop_assert!(g.in_neighbors(v).binary_search(&u).is_ok(),
+                    "in-adjacency mirrors out-adjacency");
+            }
+        }
+        prop_assert_eq!(out_total, g.edge_count());
+        prop_assert_eq!(in_total, g.edge_count());
+    }
+
+    /// Transposing twice is the identity on adjacency.
+    #[test]
+    fn double_transpose_identity(edges in edge_list(30, 120)) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let t = g.transposed();
+        for u in g.nodes() {
+            prop_assert_eq!(t.in_neighbors(u), g.out_neighbors(u));
+            prop_assert_eq!(t.out_neighbors(u), g.in_neighbors(u));
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges:
+    /// d(v) ≤ d(u) + 1 for every edge u→v with d(u) finite.
+    #[test]
+    fn bfs_edge_relaxation(edges in edge_list(30, 150)) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        if g.node_count() == 0 { return Ok(()); }
+        let d = bfs_distances(&g, NodeId::new(0));
+        prop_assert_eq!(d[0], 0);
+        for (u, v) in g.edges() {
+            let du = d[u.index()];
+            if du != u32::MAX {
+                prop_assert!(d[v.index()] <= du + 1);
+            }
+        }
+    }
+
+    /// Nodes in the same SCC are mutually reachable; nodes in different SCCs
+    /// are not mutually reachable.
+    #[test]
+    fn scc_matches_mutual_reachability(edges in edge_list(14, 60)) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        if g.node_count() == 0 { return Ok(()); }
+        let scc = tarjan_scc(&g);
+        // Oracle: mutual reachability via BFS both ways.
+        let dists: Vec<Vec<u32>> = g.nodes().map(|u| bfs_distances(&g, u)).collect();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let mutual = dists[u.index()][v.index()] != u32::MAX
+                    && dists[v.index()][u.index()] != u32::MAX;
+                prop_assert_eq!(scc.same_component(u, v), mutual,
+                    "u={:?} v={:?}", u, v);
+            }
+        }
+    }
+
+    /// The induced subgraph over ALL nodes is isomorphic to the original
+    /// (identical under the identity mapping).
+    #[test]
+    fn full_subgraph_is_identity(edges in edge_list(25, 100)) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let (sub, map) = induced_subgraph(&g, g.nodes());
+        prop_assert_eq!(sub.node_count(), g.node_count());
+        prop_assert_eq!(sub.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            prop_assert_eq!(map.to_sub(u), Some(u));
+            prop_assert_eq!(sub.out_neighbors(u), g.out_neighbors(u));
+        }
+    }
+
+    /// Subgraph edges are exactly the original edges with both endpoints kept.
+    #[test]
+    fn subgraph_edge_soundness(edges in edge_list(20, 80), keep_mask in prop::collection::vec(any::<bool>(), 20)) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let keep: Vec<NodeId> = g.nodes().filter(|u| keep_mask.get(u.index()).copied().unwrap_or(false)).collect();
+        let expected: usize = g.edges()
+            .filter(|(u, v)| keep.contains(u) && keep.contains(v))
+            .count();
+        let (sub, map) = induced_subgraph(&g, keep.iter().copied());
+        prop_assert_eq!(sub.edge_count(), expected);
+        for (su, sv) in sub.edges() {
+            prop_assert!(g.has_edge(map.to_orig(su), map.to_orig(sv)));
+        }
+    }
+
+    /// Stats invariants: reciprocity and density within [0,1]-ish bounds,
+    /// histogram sums to node count.
+    #[test]
+    fn stats_bounds(edges in edge_list(30, 150)) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let s = GraphStats::compute(&g);
+        prop_assert!(s.reciprocity >= 0.0 && s.reciprocity <= 1.0);
+        prop_assert!(s.density >= 0.0);
+        prop_assert_eq!(s.nodes, g.node_count());
+        prop_assert_eq!(s.edges, g.edge_count());
+        let hist = relgraph::stats::out_degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.node_count());
+    }
+
+    /// Weighted duplicate merging conserves total weight.
+    #[test]
+    fn duplicate_merge_conserves_weight(
+        pairs in prop::collection::vec((0u32..10, 0u32..10, 1u32..100), 1..60)
+    ) {
+        let mut b = GraphBuilder::new();
+        let mut total = 0.0;
+        for (u, v, w) in &pairs {
+            let w = *w as f64;
+            total += w;
+            b.add_weighted_edge(NodeId::new(*u), NodeId::new(*v), w);
+        }
+        let g = b.build();
+        let got: f64 = g.weighted_edges().map(|(_, _, w)| w).sum();
+        prop_assert!((got - total).abs() < 1e-6 * total.max(1.0));
+    }
+}

@@ -1,0 +1,273 @@
+//! Minimal HTTP/1.1 request parsing and response serialization.
+//!
+//! Supports exactly what the demo's API needs: GET/POST, path + query
+//! string, `Content-Length`-framed bodies, and JSON responses. Not a
+//! general-purpose HTTP implementation — requests the parser does not
+//! understand produce `400 Bad Request`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted body size (1 MiB) — uploads beyond this are rejected.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// HTTP method subset used by the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Decoded path, e.g. `/api/tasks`.
+    pub path: String,
+    /// Raw query string (without `?`), possibly empty.
+    pub query: String,
+    /// Lower-cased header map.
+    pub headers: HashMap<String, String>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads and parses one request from a stream.
+    pub fn read_from(stream: &mut impl Read) -> Result<Request, String> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("read request line: {e}"))?;
+        let mut parts = line.split_whitespace();
+        let method = match parts.next() {
+            Some("GET") => Method::Get,
+            Some("POST") => Method::Post,
+            Some(other) => return Err(format!("unsupported method {other}")),
+            None => return Err("empty request line".into()),
+        };
+        let target = parts.next().ok_or("missing request target")?;
+        if parts.next().map(|v| !v.starts_with("HTTP/1.")).unwrap_or(true) {
+            return Err("not HTTP/1.x".into());
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+
+        let mut headers = HashMap::new();
+        loop {
+            let mut h = String::new();
+            reader.read_line(&mut h).map_err(|e| format!("read header: {e}"))?;
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+            }
+        }
+
+        let len: usize = headers
+            .get("content-length")
+            .map(|v| v.parse().map_err(|_| "bad content-length".to_string()))
+            .transpose()?
+            .unwrap_or(0);
+        if len > MAX_BODY {
+            return Err(format!("body too large ({len} bytes)"));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+
+        Ok(Request { method, path: percent_decode(&path), query, headers, body })
+    }
+
+    /// Body as UTF-8.
+    pub fn body_str(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("body not UTF-8: {e}"))
+    }
+
+    /// Splits the path into non-empty segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Decodes `%xx` escapes (dataset/source labels contain spaces etc.).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = &s[i + 1..i + 3];
+            if let Ok(v) = u8::from_str_radix(hex, 16) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        if bytes[i] == b'+' {
+            out.push(b' ');
+        } else {
+            out.push(bytes[i]);
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Response status subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200.
+    Ok,
+    /// 202 (task accepted).
+    Accepted,
+    /// 400.
+    BadRequest,
+    /// 404.
+    NotFound,
+    /// 405.
+    MethodNotAllowed,
+    /// 500.
+    InternalError,
+}
+
+impl StatusCode {
+    fn line(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "200 OK",
+            StatusCode::Accepted => "202 Accepted",
+            StatusCode::BadRequest => "400 Bad Request",
+            StatusCode::NotFound => "404 Not Found",
+            StatusCode::MethodNotAllowed => "405 Method Not Allowed",
+            StatusCode::InternalError => "500 Internal Server Error",
+        }
+    }
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Content type.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// JSON response from a serializable value.
+    pub fn json(status: StatusCode, value: &impl serde::Serialize) -> Response {
+        let body = serde_json::to_vec(value).unwrap_or_else(|_| b"null".to_vec());
+        Response { status, content_type: "application/json", body }
+    }
+
+    /// JSON error payload `{"error": msg}`.
+    pub fn error(status: StatusCode, msg: impl Into<String>) -> Response {
+        #[derive(serde::Serialize)]
+        struct Err1 {
+            error: String,
+        }
+        Response::json(status, &Err1 { error: msg.into() })
+    }
+
+    /// Plain-text response.
+    pub fn text(status: StatusCode, body: impl Into<String>) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into().into_bytes() }
+    }
+
+    /// Serializes onto a stream.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status.line(),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, String> {
+        Request::read_from(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_get() {
+        let r = parse("GET /api/datasets?kind=wiki HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/api/datasets");
+        assert_eq!(r.query, "kind=wiki");
+        assert_eq!(r.segments(), vec!["api", "datasets"]);
+        assert_eq!(r.headers.get("host").map(String::as_str), Some("x"));
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let body = r#"{"a":1}"#;
+        let raw = format!("POST /api/tasks HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        let r = parse(&raw).unwrap();
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body_str().unwrap(), body);
+    }
+
+    #[test]
+    fn percent_decoding_in_path() {
+        let r = parse("GET /api/datasets/Fake%20news HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/api/datasets/Fake news");
+        assert_eq!(percent_decode("a+b%2Fc"), "a b/c");
+        assert_eq!(percent_decode("100%"), "100%");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("DELETE /x HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse("\r\n").is_err());
+        assert!(parse("GET /x\r\n\r\n").is_err());
+        assert!(parse("GET /x SMTP\r\n\r\n").is_err());
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(parse(raw).is_err());
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut buf = Vec::new();
+        Response::text(StatusCode::Ok, "hi").write_to(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("content-length: 2"));
+        assert!(s.ends_with("hi"));
+    }
+
+    #[test]
+    fn json_and_error_responses() {
+        let mut buf = Vec::new();
+        Response::error(StatusCode::NotFound, "nope").write_to(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 404"));
+        assert!(s.contains(r#"{"error":"nope"}"#));
+    }
+}

@@ -1,0 +1,37 @@
+//! # relserver — the API gateway of the CycleRank demo platform
+//!
+//! A dependency-free HTTP/1.1 server over `std::net` exposing the demo's
+//! REST surface. Per Fig. 1, the gateway "acts as entry point for all
+//! incoming requests from the Web UI and routes them to the relevant
+//! computational nodes" — here, to a [`relengine::Scheduler`].
+//!
+//! Endpoints:
+//!
+//! | Method | Path | Meaning |
+//! |--------|------|---------|
+//! | GET  | `/api/health` | liveness probe |
+//! | GET  | `/api/datasets` | the 50-dataset catalog |
+//! | GET  | `/api/datasets/{id}` | one catalog entry |
+//! | GET  | `/api/algorithms` | the seven algorithms with metadata |
+//! | POST | `/api/tasks` | submit a task (JSON [`relengine::TaskSpec`]) |
+//! | GET  | `/api/tasks/{id}` | poll a task's status |
+//! | GET  | `/api/tasks/{id}/result` | fetch a completed task's result |
+//! | GET  | `/api/tasks/{id}/log` | fetch a task's execution log |
+//! | POST | `/api/query-sets` | submit an array of tasks as one query set |
+//!
+//! ```no_run
+//! use relserver::ApiServer;
+//! use std::sync::Arc;
+//!
+//! let scheduler = Arc::new(relengine::Scheduler::builder().workers(2).build());
+//! let server = ApiServer::bind("127.0.0.1:0", scheduler).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.run(); // blocks
+//! ```
+
+pub mod http;
+pub mod routes;
+pub mod server;
+
+pub use http::{Request, Response, StatusCode};
+pub use server::ApiServer;

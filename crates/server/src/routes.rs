@@ -1,0 +1,481 @@
+//! Request routing: maps the REST surface onto the engine.
+
+use crate::http::{Method, Request, Response, StatusCode};
+use relengine::{Scheduler, TaskId, TaskSpec};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Routes one request to its handler.
+pub fn route(req: &Request, engine: &Arc<Scheduler>) -> Response {
+    let segments = req.segments();
+    match (req.method, segments.as_slice()) {
+        (Method::Get, []) => index(),
+        (Method::Get, ["api", "health"]) => health(),
+        (Method::Get, ["api", "metrics"]) => Response::json(StatusCode::Ok, &engine.metrics()),
+        (Method::Get, ["api", "datasets"]) => list_datasets(engine),
+        (Method::Post, ["api", "datasets"]) => upload_dataset(req, engine),
+        (Method::Get, ["api", "datasets", id]) => get_dataset(id),
+        (Method::Get, ["api", "datasets", id, "stats"]) => dataset_stats(id, engine),
+        (Method::Get, ["api", "algorithms"]) => list_algorithms(),
+        (Method::Post, ["api", "tasks"]) => submit_task(req, engine),
+        (Method::Get, ["api", "tasks", id]) => task_status(id, engine),
+        (Method::Get, ["api", "tasks", id, "result"]) => task_result(id, engine),
+        (Method::Get, ["api", "tasks", id, "log"]) => task_log(id, engine),
+        (Method::Post, ["api", "tasks", id, "cancel"]) => cancel_task(id, engine),
+        (Method::Post, ["api", "query-sets"]) => submit_query_set(req, engine),
+        (Method::Post, _) | (Method::Get, _) => {
+            Response::error(StatusCode::NotFound, format!("no route for {}", req.path))
+        }
+    }
+}
+
+/// A minimal landing page standing in for the demo's Web UI entry point.
+fn index() -> Response {
+    let html = "<!doctype html>\n<html><head><title>CycleRank demo platform</title></head>\n\
+        <body><h1>CycleRank demo platform</h1>\n\
+        <p>Reproduction of <em>Comparing Personalized Relevance Algorithms for \
+        Directed Graphs</em> (ICDE 2024).</p>\n\
+        <ul>\n\
+        <li>GET /api/health — liveness</li>\n\
+        <li>GET /api/metrics — task counts</li>\n\
+        <li>GET /api/datasets — the 50-dataset catalog (+ uploads)</li>\n\
+        <li>POST /api/datasets — upload a graph {name?, format?, content}</li>\n\
+        <li>GET /api/datasets/{id} — one catalog entry</li>\n\
+        <li>GET /api/datasets/{id}/stats — structural statistics</li>\n\
+        <li>GET /api/algorithms — the seven algorithms</li>\n\
+        <li>POST /api/tasks — submit a task</li>\n\
+        <li>GET /api/tasks/{id} — poll status</li>\n\
+        <li>GET /api/tasks/{id}/result — fetch result</li>\n\
+        <li>GET /api/tasks/{id}/log — fetch log</li>\n\
+        <li>POST /api/query-sets — submit a comparison</li>\n\
+        </ul></body></html>\n";
+    Response { status: StatusCode::Ok, content_type: "text/html; charset=utf-8", body: html.into() }
+}
+
+fn health() -> Response {
+    #[derive(Serialize)]
+    struct Health {
+        status: &'static str,
+    }
+    Response::json(StatusCode::Ok, &Health { status: "ok" })
+}
+
+fn list_datasets(engine: &Arc<Scheduler>) -> Response {
+    #[derive(Serialize)]
+    struct Catalog {
+        datasets: Vec<reldata::DatasetSpec>,
+        uploads: Vec<String>,
+    }
+    // Preserve backwards compatibility: a bare array when no uploads exist.
+    let uploads = engine.executor().uploaded_ids();
+    if uploads.is_empty() {
+        Response::json(StatusCode::Ok, &reldata::catalog())
+    } else {
+        Response::json(StatusCode::Ok, &Catalog { datasets: reldata::catalog(), uploads })
+    }
+}
+
+fn get_dataset(id: &str) -> Response {
+    match reldata::registry::spec(id) {
+        Some(s) => Response::json(StatusCode::Ok, &s),
+        None => Response::error(StatusCode::NotFound, format!("unknown dataset {id:?}")),
+    }
+}
+
+/// Uploads a user dataset: JSON `{name?, format?, content}`; the graph is
+/// parsed with `relformats` (sniffing when `format` is omitted) and
+/// registered under `upload-<uuid>` (or the requested `name`).
+fn upload_dataset(req: &Request, engine: &Arc<Scheduler>) -> Response {
+    #[derive(serde::Deserialize)]
+    struct Upload {
+        name: Option<String>,
+        format: Option<String>,
+        content: String,
+    }
+    #[derive(Serialize)]
+    struct Uploaded {
+        dataset_id: String,
+        nodes: usize,
+        edges: usize,
+    }
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(StatusCode::BadRequest, e),
+    };
+    let upload: Upload = match serde_json::from_str(body) {
+        Ok(u) => u,
+        Err(e) => return Response::error(StatusCode::BadRequest, format!("bad upload: {e}")),
+    };
+    let format = match upload.format.as_deref() {
+        Some(f) => match f.parse::<relformats::Format>() {
+            Ok(f) => Some(f),
+            Err(e) => return Response::error(StatusCode::BadRequest, e),
+        },
+        None => None,
+    };
+    let graph = match relformats::load_graph_from_str(&upload.content, format) {
+        Ok(g) => g,
+        Err(e) => return Response::error(StatusCode::BadRequest, format!("parse failed: {e}")),
+    };
+    let id = upload
+        .name
+        .unwrap_or_else(|| format!("upload-{}", relengine::task::TaskId::fresh()));
+    let (nodes, edges) = (graph.node_count(), graph.edge_count());
+    match engine.register_dataset(&id, graph) {
+        Ok(()) => Response::json(StatusCode::Ok, &Uploaded { dataset_id: id, nodes, edges }),
+        Err(e) => Response::error(StatusCode::BadRequest, e.to_string()),
+    }
+}
+
+/// Structural statistics of any loadable dataset (registry or upload).
+fn dataset_stats(id: &str, engine: &Arc<Scheduler>) -> Response {
+    match engine.executor().dataset(id) {
+        Ok(g) => Response::json(StatusCode::Ok, &relgraph::GraphStats::compute(&g)),
+        Err(e) => Response::error(StatusCode::NotFound, e.to_string()),
+    }
+}
+
+fn list_algorithms() -> Response {
+    #[derive(Serialize)]
+    struct AlgoInfo {
+        id: &'static str,
+        name: &'static str,
+        personalized: bool,
+        produces_scores: bool,
+    }
+    let algos: Vec<AlgoInfo> = relcore::runner::Algorithm::ALL
+        .into_iter()
+        .map(|a| AlgoInfo {
+            id: a.id(),
+            name: a.display_name(),
+            personalized: a.is_personalized(),
+            produces_scores: a.produces_scores(),
+        })
+        .collect();
+    Response::json(StatusCode::Ok, &algos)
+}
+
+#[derive(Serialize)]
+struct Submitted {
+    task_id: String,
+}
+
+fn submit_task(req: &Request, engine: &Arc<Scheduler>) -> Response {
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(StatusCode::BadRequest, e),
+    };
+    let spec: TaskSpec = match serde_json::from_str(body) {
+        Ok(s) => s,
+        Err(e) => return Response::error(StatusCode::BadRequest, format!("bad task spec: {e}")),
+    };
+    if spec.params.algorithm.is_personalized() && spec.source.is_none() {
+        return Response::error(
+            StatusCode::BadRequest,
+            "personalized algorithm requires a source",
+        );
+    }
+    let id = engine.submit(spec);
+    Response::json(StatusCode::Accepted, &Submitted { task_id: id.to_string() })
+}
+
+fn submit_query_set(req: &Request, engine: &Arc<Scheduler>) -> Response {
+    #[derive(Serialize)]
+    struct QuerySetSubmitted {
+        query_set_id: String,
+        task_ids: Vec<String>,
+    }
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(StatusCode::BadRequest, e),
+    };
+    let specs: Vec<TaskSpec> = match serde_json::from_str(body) {
+        Ok(s) => s,
+        Err(e) => return Response::error(StatusCode::BadRequest, format!("bad query set: {e}")),
+    };
+    if specs.is_empty() {
+        return Response::error(StatusCode::BadRequest, "query set is empty");
+    }
+    let mut qs = relengine::QuerySet::new();
+    for s in specs {
+        qs.add(s);
+    }
+    let ids = engine.submit_query_set(&qs);
+    Response::json(
+        StatusCode::Accepted,
+        &QuerySetSubmitted {
+            query_set_id: qs.id,
+            task_ids: ids.into_iter().map(|i| i.to_string()).collect(),
+        },
+    )
+}
+
+/// Cancels a queued task; running/terminal tasks report `canceled: false`.
+fn cancel_task(id: &str, engine: &Arc<Scheduler>) -> Response {
+    #[derive(Serialize)]
+    struct Canceled {
+        canceled: bool,
+    }
+    let tid = TaskId(id.to_string());
+    if engine.board().get(&tid).is_none() {
+        return Response::error(StatusCode::NotFound, format!("unknown task {id:?}"));
+    }
+    Response::json(StatusCode::Ok, &Canceled { canceled: engine.cancel(&tid) })
+}
+
+fn task_status(id: &str, engine: &Arc<Scheduler>) -> Response {
+    match engine.board().get(&TaskId(id.to_string())) {
+        Some(record) => Response::json(StatusCode::Ok, &record),
+        None => Response::error(StatusCode::NotFound, format!("unknown task {id:?}")),
+    }
+}
+
+fn task_result(id: &str, engine: &Arc<Scheduler>) -> Response {
+    let tid = TaskId(id.to_string());
+    if engine.board().get(&tid).is_none() {
+        return Response::error(StatusCode::NotFound, format!("unknown task {id:?}"));
+    }
+    match engine.store().get_result(&tid) {
+        Ok(Some(result)) => Response::json(StatusCode::Ok, &result),
+        Ok(None) => Response::error(StatusCode::NotFound, "result not ready"),
+        Err(e) => Response::error(StatusCode::InternalError, e.to_string()),
+    }
+}
+
+fn task_log(id: &str, engine: &Arc<Scheduler>) -> Response {
+    let tid = TaskId(id.to_string());
+    if engine.board().get(&tid).is_none() {
+        return Response::error(StatusCode::NotFound, format!("unknown task {id:?}"));
+    }
+    match engine.store().get_log(&tid) {
+        Ok(log) => Response::text(StatusCode::Ok, log),
+        Err(e) => Response::error(StatusCode::InternalError, e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn engine() -> Arc<Scheduler> {
+        Arc::new(Scheduler::builder().workers(1).build())
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: Method::Get,
+            path: path.to_string(),
+            query: String::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            path: path.to_string(),
+            query: String::new(),
+            headers: HashMap::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn body_str(r: &Response) -> String {
+        String::from_utf8(r.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn index_page_served() {
+        let r = route(&get("/"), &engine());
+        assert_eq!(r.status, StatusCode::Ok);
+        assert_eq!(r.content_type, "text/html; charset=utf-8");
+        assert!(body_str(&r).contains("CycleRank"));
+    }
+
+    #[test]
+    fn metrics_endpoint() {
+        let e = engine();
+        let r = route(&get("/api/metrics"), &e);
+        assert_eq!(r.status, StatusCode::Ok);
+        assert!(body_str(&r).contains("completed"));
+    }
+
+    #[test]
+    fn health_ok() {
+        let r = route(&get("/api/health"), &engine());
+        assert_eq!(r.status, StatusCode::Ok);
+        assert!(body_str(&r).contains("ok"));
+    }
+
+    #[test]
+    fn datasets_catalog_has_fifty() {
+        let r = route(&get("/api/datasets"), &engine());
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn dataset_lookup() {
+        let e = engine();
+        assert_eq!(route(&get("/api/datasets/wiki-en-2018"), &e).status, StatusCode::Ok);
+        assert_eq!(route(&get("/api/datasets/nope"), &e).status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn algorithms_listing() {
+        let r = route(&get("/api/algorithms"), &engine());
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 7);
+        assert!(body_str(&r).contains("cyclerank"));
+    }
+
+    #[test]
+    fn submit_and_poll_task() {
+        let e = engine();
+        let spec = r#"{
+            "dataset": "fixture-fakenews-it",
+            "params": {"algorithm": "cycle_rank", "max_cycle_len": 3},
+            "source": "Fake news",
+            "top_k": 5
+        }"#;
+        let r = route(&post("/api/tasks", spec), &e);
+        assert_eq!(r.status, StatusCode::Accepted);
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        let id = v["task_id"].as_str().unwrap().to_string();
+
+        // Wait for completion through the engine, then fetch over routes.
+        e.wait(&TaskId(id.clone()), std::time::Duration::from_secs(60)).unwrap();
+        let status = route(&get(&format!("/api/tasks/{id}")), &e);
+        assert!(body_str(&status).contains("completed"));
+        let result = route(&get(&format!("/api/tasks/{id}/result")), &e);
+        assert_eq!(result.status, StatusCode::Ok);
+        assert!(body_str(&result).contains("Disinformazione"));
+        let log = route(&get(&format!("/api/tasks/{id}/log")), &e);
+        assert!(body_str(&log).contains("done"));
+    }
+
+    #[test]
+    fn submit_rejects_bad_specs() {
+        let e = engine();
+        assert_eq!(route(&post("/api/tasks", "not json"), &e).status, StatusCode::BadRequest);
+        // Personalized without source.
+        let spec = r#"{"dataset": "x", "params": {"algorithm": "cycle_rank"}, "source": null}"#;
+        assert_eq!(route(&post("/api/tasks", spec), &e).status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn query_set_submission() {
+        let e = engine();
+        let body = r#"[
+            {"dataset": "fixture-fakenews-pl", "params": {"algorithm": "page_rank"}, "source": null, "top_k": 3},
+            {"dataset": "fixture-fakenews-pl", "params": {"algorithm": "cycle_rank"}, "source": "Fake news", "top_k": 3}
+        ]"#;
+        let r = route(&post("/api/query-sets", body), &e);
+        assert_eq!(r.status, StatusCode::Accepted);
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(v["task_ids"].as_array().unwrap().len(), 2);
+        assert!(v["query_set_id"].as_str().unwrap().len() > 10);
+
+        let empty = route(&post("/api/query-sets", "[]"), &e);
+        assert_eq!(empty.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn upload_then_query_roundtrip() {
+        let e = engine();
+        // Upload a Pajek graph with labels.
+        let content = "*Vertices 2\n1 \"me\"\n2 \"friend\"\n*Arcs\n1 2\n2 1\n";
+        let body = serde_json::json!({"name": "my-net", "content": content}).to_string();
+        let r = route(&post("/api/datasets", &body), &e);
+        assert_eq!(r.status, StatusCode::Ok, "{}", body_str(&r));
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(v["dataset_id"], "my-net");
+        assert_eq!(v["nodes"], 2);
+
+        // Uploads appear in the catalog listing.
+        let listing = route(&get("/api/datasets"), &e);
+        assert!(body_str(&listing).contains("my-net"));
+
+        // Stats endpoint works for the upload.
+        let stats = route(&get("/api/datasets/my-net/stats"), &e);
+        assert_eq!(stats.status, StatusCode::Ok);
+        assert!(body_str(&stats).contains("reciprocity"));
+
+        // And tasks can run against it.
+        let spec = r#"{
+            "dataset": "my-net",
+            "params": {"algorithm": "cycle_rank"},
+            "source": "me",
+            "top_k": 2
+        }"#;
+        let r = route(&post("/api/tasks", spec), &e);
+        assert_eq!(r.status, StatusCode::Accepted);
+        let id = serde_json::from_slice::<serde_json::Value>(&r.body).unwrap()["task_id"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        e.wait(&TaskId(id.clone()), std::time::Duration::from_secs(60)).unwrap();
+        let result = route(&get(&format!("/api/tasks/{id}/result")), &e);
+        assert!(body_str(&result).contains("friend"));
+    }
+
+    #[test]
+    fn upload_rejections() {
+        let e = engine();
+        assert_eq!(route(&post("/api/datasets", "nope"), &e).status, StatusCode::BadRequest);
+        // Unparseable graph content.
+        let body = serde_json::json!({"content": "*Vertices x"}).to_string();
+        assert_eq!(route(&post("/api/datasets", &body), &e).status, StatusCode::BadRequest);
+        // Bad format name.
+        let body = serde_json::json!({"format": "doc", "content": "0,1"}).to_string();
+        assert_eq!(route(&post("/api/datasets", &body), &e).status, StatusCode::BadRequest);
+        // Collision with a registry id.
+        let body = serde_json::json!({"name": "wiki-en-2018", "content": "0,1\n"}).to_string();
+        assert_eq!(route(&post("/api/datasets", &body), &e).status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn cancel_endpoint() {
+        let e = engine();
+        // Unknown task: 404.
+        assert_eq!(route(&post("/api/tasks/ghost/cancel", ""), &e).status, StatusCode::NotFound);
+        // Submit then cancel (may or may not win the race with the worker;
+        // the response is well-formed either way).
+        let spec = r#"{
+            "dataset": "fixture-fakenews-de",
+            "params": {"algorithm": "cycle_rank"},
+            "source": "Fake News",
+            "top_k": 3
+        }"#;
+        let r = route(&post("/api/tasks", spec), &e);
+        let id = serde_json::from_slice::<serde_json::Value>(&r.body).unwrap()["task_id"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        let r = route(&post(&format!("/api/tasks/{id}/cancel"), ""), &e);
+        assert_eq!(r.status, StatusCode::Ok);
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(v["canceled"].is_boolean());
+    }
+
+    #[test]
+    fn dataset_stats_for_registry_entry() {
+        let e = engine();
+        let r = route(&get("/api/datasets/fixture-fakenews-pl/stats"), &e);
+        assert_eq!(r.status, StatusCode::Ok);
+        assert!(body_str(&r).contains("nodes"));
+        let r = route(&get("/api/datasets/ghost/stats"), &e);
+        assert_eq!(r.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn unknown_routes_and_tasks_404() {
+        let e = engine();
+        assert_eq!(route(&get("/nope"), &e).status, StatusCode::NotFound);
+        assert_eq!(route(&get("/api/tasks/ghost"), &e).status, StatusCode::NotFound);
+        assert_eq!(route(&get("/api/tasks/ghost/result"), &e).status, StatusCode::NotFound);
+        assert_eq!(route(&get("/api/tasks/ghost/log"), &e).status, StatusCode::NotFound);
+    }
+}

@@ -1,0 +1,67 @@
+//! # cyclerank-platform
+//!
+//! Reproduction of *Comparing Personalized Relevance Algorithms for
+//! Directed Graphs* (ICDE 2024): the CycleRank demonstration platform —
+//! seven relevance algorithms, the execution engine behind the demo's web
+//! UI, synthetic stand-ins for its 50 datasets, and a benchmark harness
+//! regenerating every table in the paper.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] (`relgraph`) — CSR directed graphs, traversal, SCCs;
+//! * [`formats`] (`relformats`) — edgelist CSV / Pajek / ASD readers and
+//!   writers;
+//! * [`algorithms`] (`relcore`) — PageRank, Personalized PageRank,
+//!   CheiRank, 2DRank, their personalized variants, and CycleRank;
+//! * [`datasets`] (`reldata`) — generators, labelled fixtures, the
+//!   50-dataset registry;
+//! * [`engine`] (`relengine`) — task builder, query sets, scheduler,
+//!   executor pool, status board, datastores;
+//! * [`server`] (`relserver`) — the HTTP API gateway.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cyclerank_platform::prelude::*;
+//!
+//! // Build a graph, ask CycleRank who is relevant to "Pasta".
+//! let mut b = GraphBuilder::new();
+//! b.add_labeled_edge("Pasta", "Italy");
+//! b.add_labeled_edge("Italy", "Pasta");
+//! b.add_labeled_edge("Pasta", "United States");
+//! let g = b.build();
+//! let r = g.node_by_label("Pasta").unwrap();
+//! let out = cyclerank(&g, r, &CycleRankConfig::default()).unwrap();
+//! assert!(out.scores.get(g.node_by_label("Italy").unwrap()) > 0.0);
+//! ```
+
+pub use relcore as algorithms;
+pub use reldata as datasets;
+pub use relengine as engine;
+pub use relformats as formats;
+pub use relgraph as graph;
+pub use relserver as server;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use relcore::cyclerank::cyclerank;
+    pub use relcore::pagerank::pagerank;
+    pub use relcore::ppr::personalized_pagerank;
+    pub use relcore::runner::{run, Algorithm, AlgorithmParams};
+    pub use relcore::{CycleRankConfig, PageRankConfig, ScoringFunction};
+    pub use reldata::{catalog, load_dataset};
+    pub use relengine::prelude::*;
+    pub use relgraph::{DirectedGraph, GraphBuilder, GraphStats, NodeId};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        use crate::prelude::*;
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0)]);
+        let (s, _) = pagerank(g.view(), &PageRankConfig::default()).unwrap();
+        assert!((s.sum() - 1.0).abs() < 1e-9);
+        assert_eq!(catalog().len(), 50);
+    }
+}

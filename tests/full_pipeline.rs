@@ -1,0 +1,125 @@
+//! Cross-crate integration: file formats → graph substrate → algorithms →
+//! engine → datastore, end to end.
+
+use cyclerank_platform::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A user uploads a graph file (as the demo supports), the platform parses
+/// it, runs every algorithm on it, and the rankings are consistent across
+/// the format round-trip.
+#[test]
+fn uploaded_graph_roundtrips_through_all_formats_and_algorithms() {
+    // Build a small labelled community graph and serialize it as Pajek
+    // (the only format carrying labels).
+    let mut b = GraphBuilder::new();
+    b.add_labeled_edge("center", "a");
+    b.add_labeled_edge("a", "center");
+    b.add_labeled_edge("center", "b");
+    b.add_labeled_edge("b", "center");
+    b.add_labeled_edge("a", "b");
+    b.add_labeled_edge("b", "a");
+    b.add_labeled_edge("center", "popular");
+    b.add_labeled_edge("a", "popular");
+    b.add_labeled_edge("b", "popular");
+    b.add_labeled_edge("popular", "elsewhere");
+    b.add_labeled_edge("elsewhere", "popular");
+    let original = b.build();
+
+    let pajek = cyclerank_platform::formats::write_graph_to_string(
+        &original,
+        cyclerank_platform::formats::Format::Pajek,
+    );
+    let loaded = cyclerank_platform::formats::load_graph_from_str(
+        &pajek,
+        Some(cyclerank_platform::formats::Format::Pajek),
+    )
+    .expect("parse own output");
+
+    let r_orig = original.node_by_label("center").unwrap();
+    let r_load = loaded.node_by_label("center").unwrap();
+
+    for algo in Algorithm::ALL {
+        let params = AlgorithmParams::new(algo);
+        let a = run(&original, &params, Some(r_orig)).expect("algorithm on original");
+        let b = run(&loaded, &params, Some(r_load)).expect("algorithm on loaded");
+        // Same labels in the same ranked order.
+        let la: Vec<String> = a.ranking.top_k_labeled(&original, 5);
+        let lb: Vec<String> = b.ranking.top_k_labeled(&loaded, 5);
+        assert_eq!(la, lb, "{algo} ranking differs across format round-trip");
+    }
+}
+
+/// The engine pipeline against a file-backed datastore: results survive on
+/// disk and can be re-read by a fresh store instance (the "permalink"
+/// behaviour of the demo).
+#[test]
+fn engine_persists_results_to_file_datastore() {
+    let dir = std::env::temp_dir().join(format!("cyclerank-e2e-{}", std::process::id()));
+    let store = Arc::new(FileStore::open(&dir).unwrap());
+
+    let task_id = {
+        let engine = Scheduler::builder().workers(2).datastore(store.clone()).build();
+        let id = engine.submit(
+            TaskBuilder::new("fixture-fakenews-fr")
+                .algorithm(Algorithm::CycleRank)
+                .source("Fake news")
+                .top_k(6)
+                .build()
+                .unwrap(),
+        );
+        let result = engine.wait(&id, Duration::from_secs(60)).unwrap();
+        assert_eq!(result.top[1].0, "Ère post-vérité");
+        id
+    }; // engine dropped: workers joined
+
+    // A fresh store over the same directory still serves the result.
+    let reopened = FileStore::open(&dir).unwrap();
+    let persisted = reopened.get_result(&task_id).unwrap().expect("persisted result");
+    assert_eq!(persisted.algorithm, "cyclerank");
+    assert!(persisted.top.iter().any(|(l, _)| l == "Donald Trump"));
+    let log = reopened.get_log(&task_id).unwrap();
+    assert!(log.contains("done"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Registry datasets work through the whole stack, including the weighted
+/// Twitter graphs.
+#[test]
+fn weighted_twitter_dataset_through_engine() {
+    let engine = Scheduler::builder().workers(1).build();
+    let id = engine.submit(
+        TaskBuilder::new("twitter-cop27")
+            .algorithm(Algorithm::PageRank)
+            .top_k(10)
+            .build()
+            .unwrap(),
+    );
+    let r = engine.wait(&id, Duration::from_secs(120)).unwrap();
+    assert_eq!(r.top.len(), 10);
+    // Celebrities (ids 0..5) dominate PageRank on the interaction network.
+    let top_ids: Vec<u32> = r.top.iter().filter_map(|(l, _)| l.parse().ok()).collect();
+    assert!(
+        top_ids.iter().filter(|&&i| i < 5).count() >= 3,
+        "expected celebrity accounts in the top-10, got {top_ids:?}"
+    );
+}
+
+/// The dataset-comparison use case across snapshots of the same language
+/// (the "compare a graph at different points in time" functionality).
+#[test]
+fn temporal_snapshots_differ_but_both_answer() {
+    let engine = Scheduler::builder().workers(2).build();
+    let sizes: Vec<usize> = ["wiki-sv-2003", "wiki-sv-2018"]
+        .iter()
+        .map(|ds| {
+            let id = engine.submit(
+                TaskBuilder::new(*ds).algorithm(Algorithm::PageRank).top_k(5).build().unwrap(),
+            );
+            let r = engine.wait(&id, Duration::from_secs(120)).unwrap();
+            assert_eq!(r.top.len(), 5, "{ds}");
+            r.nodes
+        })
+        .collect();
+    assert!(sizes[1] > sizes[0] * 3, "2018 snapshot should dwarf 2003: {sizes:?}");
+}

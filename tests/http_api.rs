@@ -1,0 +1,140 @@
+//! End-to-end test of the HTTP API gateway: a TCP client exercising the
+//! full Web-UI workflow of §III (browse datasets → submit query set →
+//! poll status → fetch results and logs).
+
+use cyclerank_platform::prelude::*;
+use cyclerank_platform::server::ApiServer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn http(addr: SocketAddr, raw: String) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(raw.as_bytes()).expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    let status = out.split_whitespace().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0);
+    let body = out.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        format!("POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}", body.len()),
+    )
+}
+
+fn start() -> (cyclerank_platform::server::server::ServerHandle, SocketAddr) {
+    let engine = Arc::new(Scheduler::builder().workers(2).build());
+    let server = ApiServer::bind("127.0.0.1:0", engine).unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+#[test]
+fn full_web_ui_workflow() {
+    let (handle, addr) = start();
+
+    // Browse.
+    let (status, body) = get(addr, "/api/datasets");
+    assert_eq!(status, 200);
+    let catalog: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(catalog.as_array().unwrap().len(), 50);
+
+    let (status, body) = get(addr, "/api/algorithms");
+    assert_eq!(status, 200);
+    assert!(body.contains("cyclerank"));
+
+    // Submit the Fig. 2 query set (three rows).
+    let qs = r#"[
+        {"dataset": "fixture-fakenews-en", "params": {"algorithm": "cycle_rank", "max_cycle_len": 3},
+         "source": "Fake news", "top_k": 6},
+        {"dataset": "fixture-fakenews-en", "params": {"algorithm": "page_rank", "damping": 0.3},
+         "source": null, "top_k": 6},
+        {"dataset": "fixture-fakenews-en", "params": {"algorithm": "personalized_page_rank", "damping": 0.3},
+         "source": "Fake news", "top_k": 6}
+    ]"#;
+    let (status, body) = post(addr, "/api/query-sets", qs);
+    assert_eq!(status, 202, "{body}");
+    let submitted: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let ids: Vec<String> = submitted["task_ids"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(ids.len(), 3);
+
+    // Poll all tasks to terminal state.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for id in &ids {
+        loop {
+            let (status, body) = get(addr, &format!("/api/tasks/{id}"));
+            assert_eq!(status, 200);
+            let record: serde_json::Value = serde_json::from_str(&body).unwrap();
+            match record["state"]["state"].as_str() {
+                Some("completed") => break,
+                Some("failed") => panic!("task failed: {body}"),
+                _ if Instant::now() > deadline => panic!("timeout polling {id}"),
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    // Fetch the CycleRank result: it must match the Table III en column.
+    let (status, body) = get(addr, &format!("/api/tasks/{}/result", ids[0]));
+    assert_eq!(status, 200);
+    let result: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let labels: Vec<&str> =
+        result["top"].as_array().unwrap().iter().map(|e| e[0].as_str().unwrap()).collect();
+    assert_eq!(labels[0], "Fake news");
+    assert_eq!(labels[1], "CNN");
+    assert_eq!(labels[2], "Facebook");
+
+    // Logs are served as text.
+    let (status, log) = get(addr, &format!("/api/tasks/{}/log", ids[0]));
+    assert_eq!(status, 200);
+    assert!(log.contains("done"));
+
+    handle.stop();
+}
+
+#[test]
+fn gateway_rejects_invalid_input() {
+    let (handle, addr) = start();
+    assert_eq!(post(addr, "/api/tasks", "{malformed").0, 400);
+    assert_eq!(post(addr, "/api/query-sets", "[]").0, 400);
+    assert_eq!(get(addr, "/api/tasks/no-such-task").0, 404);
+    assert_eq!(get(addr, "/api/datasets/no-such-dataset").0, 404);
+    assert_eq!(get(addr, "/definitely/not/a/route").0, 404);
+    // A task for a dataset that does not exist fails (visible via status).
+    let (status, body) = post(
+        addr,
+        "/api/tasks",
+        r#"{"dataset": "ghost", "params": {"algorithm": "page_rank"}, "source": null}"#,
+    );
+    assert_eq!(status, 202); // accepted, then fails asynchronously
+    let id = serde_json::from_str::<serde_json::Value>(&body).unwrap()["task_id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = get(addr, &format!("/api/tasks/{id}"));
+        let record: serde_json::Value = serde_json::from_str(&body).unwrap();
+        if record["state"]["state"] == "failed" {
+            assert!(record["state"]["error"].as_str().unwrap().contains("ghost"));
+            break;
+        }
+        assert!(Instant::now() < deadline, "task never failed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.stop();
+}

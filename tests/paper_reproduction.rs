@@ -1,0 +1,66 @@
+//! The headline reproduction assertions: the regenerated tables agree with
+//! the paper at the documented level (see EXPERIMENTS.md).
+
+use relbench::tables;
+
+fn positions(paper: &[&str], measured: &[String]) -> usize {
+    paper.iter().zip(measured).filter(|(p, m)| **p == m.as_str()).count()
+}
+
+fn set_overlap(paper: &[&str], measured: &[String]) -> usize {
+    let p: std::collections::HashSet<&str> = paper.iter().copied().collect();
+    measured.iter().filter(|m| p.contains(m.as_str())).count()
+}
+
+/// Table I: every column reproduces exactly, position by position.
+#[test]
+fn table1_exact() {
+    for block in tables::table1() {
+        for (col, (name, paper)) in block.measured.iter().zip(&block.paper) {
+            assert_eq!(
+                positions(paper, &col.entries),
+                5,
+                "Table I {} / {name}: measured {:?}",
+                block.caption,
+                col.entries
+            );
+        }
+    }
+}
+
+/// Table II: PageRank and CycleRank columns exact; PPR columns agree at
+/// the set level on ≥ 3 of 5 (the qualitative claim — popular one-way
+/// items surface under PPR — is asserted separately in the datasets
+/// crate's shape tests).
+#[test]
+fn table2_pr_and_cr_exact_ppr_set_level() {
+    for block in tables::table2() {
+        let (pr_col, (_, pr_paper)) = (&block.measured[0], &block.paper[0]);
+        assert_eq!(positions(pr_paper, &pr_col.entries), 5, "Table II {} PR", block.caption);
+
+        let (cr_col, (_, cr_paper)) = (&block.measured[1], &block.paper[1]);
+        assert_eq!(positions(cr_paper, &cr_col.entries), 5, "Table II {} CR", block.caption);
+
+        let (ppr_col, (_, ppr_paper)) = (&block.measured[2], &block.paper[2]);
+        assert!(
+            set_overlap(ppr_paper, &ppr_col.entries) >= 3,
+            "Table II {} PPR set overlap too low: {:?}",
+            block.caption,
+            ppr_col.entries
+        );
+    }
+}
+
+/// Table III: all six language columns reproduce exactly.
+#[test]
+fn table3_exact() {
+    for (lang, col) in tables::table3() {
+        let paper = tables::table3_paper(lang);
+        assert_eq!(
+            positions(&paper, &col.entries),
+            paper.len(),
+            "Table III {lang}: measured {:?}",
+            col.entries
+        );
+    }
+}
