@@ -13,14 +13,17 @@ fn bench_table1(c: &mut Criterion) {
     // Print the regenerated table once, so `cargo bench` output doubles as
     // the reproduction record.
     for block in relbench::tables::table1() {
-        println!("\nTable I, reference {}:\n{}", block.caption, relbench::render(&block.measured, 5));
+        println!(
+            "\nTable I, reference {}:\n{}",
+            block.caption,
+            relbench::render(&block.measured, 5)
+        );
     }
 
     let mut group = c.benchmark_group("table1");
-    for (name, sc) in [
-        ("freddie", fixtures::enwiki_2018()),
-        ("pasta", fixtures::enwiki_2018_pasta()),
-    ] {
+    for (name, sc) in
+        [("freddie", fixtures::enwiki_2018()), ("pasta", fixtures::enwiki_2018_pasta())]
+    {
         let g = &sc.graph;
         let r = sc.reference_node();
         group.bench_with_input(BenchmarkId::new("pagerank_a085", name), &sc, |b, _| {

@@ -13,14 +13,17 @@ use std::hint::black_box;
 
 fn bench_table2(c: &mut Criterion) {
     for block in relbench::tables::table2() {
-        println!("\nTable II, reference {}:\n{}", block.caption, relbench::render(&block.measured, 5));
+        println!(
+            "\nTable II, reference {}:\n{}",
+            block.caption,
+            relbench::render(&block.measured, 5)
+        );
     }
 
     let mut group = c.benchmark_group("table2");
-    for (name, sc) in [
-        ("1984", fixtures::amazon_books()),
-        ("fellowship", fixtures::amazon_books_fellowship()),
-    ] {
+    for (name, sc) in
+        [("1984", fixtures::amazon_books()), ("fellowship", fixtures::amazon_books_fellowship())]
+    {
         let g = &sc.graph;
         let r = sc.reference_node();
         group.bench_with_input(BenchmarkId::new("pagerank_a085", name), &sc, |b, _| {

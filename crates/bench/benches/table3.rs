@@ -17,18 +17,22 @@ fn bench_table3(c: &mut Criterion) {
         let sc = fakenews(lang);
         let g = sc.graph.clone();
         let r = sc.reference_node();
-        group.bench_with_input(BenchmarkId::new("cyclerank_k3_fixture", lang.code()), &g, |b, g| {
-            b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cyclerank_k3_fixture", lang.code()),
+            &g,
+            |b, g| b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap()),
+        );
     }
     // Full generated snapshots: the realistic workload per language.
     for lang in [Language::En, Language::Pl] {
         let id = format!("wiki-{}-2018", lang.code());
         let g = reldata::load_dataset(&id).expect("registry dataset");
         let r = g.node_by_label(lang.fake_news_title()).expect("embedded neighbourhood");
-        group.bench_with_input(BenchmarkId::new("cyclerank_k3_snapshot", lang.code()), &g, |b, g| {
-            b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cyclerank_k3_snapshot", lang.code()),
+            &g,
+            |b, g| b.iter(|| cyclerank(black_box(g), r, &CycleRankConfig::with_k(3)).unwrap()),
+        );
     }
     group.finish();
 }

@@ -49,7 +49,11 @@ fn main() {
         for (lang, col) in &cols {
             println!(
                 "{}",
-                diff_column(&format!("Fake news ({lang})"), &tables::table3_paper(*lang), &col.entries)
+                diff_column(
+                    &format!("Fake news ({lang})"),
+                    &tables::table3_paper(*lang),
+                    &col.entries
+                )
             );
         }
     }

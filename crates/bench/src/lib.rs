@@ -21,7 +21,12 @@ pub struct Column {
 
 impl Column {
     /// Builds a column from scores.
-    pub fn from_scores(header: impl Into<String>, g: &DirectedGraph, s: &ScoreVector, k: usize) -> Self {
+    pub fn from_scores(
+        header: impl Into<String>,
+        g: &DirectedGraph,
+        s: &ScoreVector,
+        k: usize,
+    ) -> Self {
         Column {
             header: header.into(),
             entries: s.top_k_labeled(g, k).into_iter().map(|(l, _)| l).collect(),
@@ -61,7 +66,12 @@ pub fn diff_column(name: &str, paper: &[&str], measured: &[String]) -> String {
         if ok {
             agree += 1;
         }
-        out.push_str(&format!("  {:<34} {:<34} {}\n", truncate(p, 32), truncate(m, 32), if ok { "✓" } else { "✗" }));
+        out.push_str(&format!(
+            "  {:<34} {:<34} {}\n",
+            truncate(p, 32),
+            truncate(m, 32),
+            if ok { "✓" } else { "✗" }
+        ));
     }
     let set_paper: std::collections::HashSet<&str> = paper.iter().copied().collect();
     let set_measured: std::collections::HashSet<&str> =

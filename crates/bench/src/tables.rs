@@ -6,10 +6,9 @@
 //! target is the *shape*: which algorithm surfaces which kind of node.
 
 use crate::Column;
-use relcore::cyclerank::{cyclerank, CycleRankConfig};
-use relcore::pagerank::{pagerank, PageRankConfig};
-use relcore::ppr::personalized_pagerank;
+use relcore::Query;
 use reldata::fixtures::{self, Language, Scenario};
+use std::sync::Arc;
 
 /// One reproduced query: measured columns + the paper's rows per column.
 pub struct TableBlock {
@@ -31,13 +30,8 @@ pub const TABLE1_PAPER_CR_FREDDIE: [&str; 5] =
     ["Freddie Mercury", "Queen (band)", "Brian May", "Roger Taylor", "John Deacon"];
 
 /// Table I, "Freddie Mercury" PPR column.
-pub const TABLE1_PAPER_PPR_FREDDIE: [&str; 5] = [
-    "Freddie Mercury",
-    "Queen (band)",
-    "The FM Tribute Concert",
-    "HIV/AIDS",
-    "Queen II",
-];
+pub const TABLE1_PAPER_PPR_FREDDIE: [&str; 5] =
+    ["Freddie Mercury", "Queen (band)", "The FM Tribute Concert", "HIV/AIDS", "Queen II"];
 
 /// Table I, "Pasta" CycleRank column.
 pub const TABLE1_PAPER_CR_PASTA: [&str; 5] =
@@ -48,6 +42,8 @@ pub const TABLE1_PAPER_PPR_PASTA: [&str; 5] =
     ["Pasta", "Bolognese sauce", "Carbonara", "Durum", "Italy"];
 
 /// Reproduces one half of Table I (or Table II via different params).
+/// Every algorithm runs through the registry-backed [`Query`] front door —
+/// the same code path as the engine, server, and CLI.
 fn scenario_block(
     sc: &Scenario,
     k: u32,
@@ -56,20 +52,30 @@ fn scenario_block(
     cr_paper: &'static [&'static str],
     ppr_paper: &'static [&'static str],
 ) -> TableBlock {
-    let g = &sc.graph;
+    // Fixture scenarios are a few hundred nodes; cloning into an Arc once
+    // per block costs microseconds and keeps `Query` on the shared path.
+    let g = Arc::new(sc.graph.clone());
     let r = sc.reference_node();
-    let (pr, _) = pagerank(g.view(), &PageRankConfig::with_damping(0.85)).expect("pagerank");
-    let cr = cyclerank(g, r, &CycleRankConfig::with_k(k)).expect("cyclerank");
-    let (ppr, _) =
-        personalized_pagerank(g.view(), &PageRankConfig::with_damping(ppr_alpha), r)
-            .expect("ppr");
+    let pr = Query::on(&g).algorithm("pagerank").alpha(0.85).run().expect("pagerank");
+    let cr = Query::on(&g).algorithm("cyclerank").reference(r).k(k).run().expect("cyclerank");
+    let ppr = Query::on(&g).algorithm("ppr").alpha(ppr_alpha).reference(r).run().expect("ppr");
 
     TableBlock {
         caption: sc.reference.to_string(),
         measured: vec![
-            Column::from_scores("PageRank (α=0.85)", g, &pr, 5),
-            Column::from_scores(format!("Cyclerank (K={k}, σ=e⁻ⁿ)"), g, &cr.scores, 5),
-            Column::from_scores(format!("Pers.PageRank (α={ppr_alpha})"), g, &ppr, 5),
+            Column::from_scores("PageRank (α=0.85)", &g, pr.scores().expect("scores"), 5),
+            Column::from_scores(
+                format!("Cyclerank (K={k}, σ=e⁻ⁿ)"),
+                &g,
+                cr.scores().expect("scores"),
+                5,
+            ),
+            Column::from_scores(
+                format!("Pers.PageRank (α={ppr_alpha})"),
+                &g,
+                ppr.scores().expect("scores"),
+                5,
+            ),
         ],
         paper: vec![
             ("PageRank", pr_paper.to_vec()),
@@ -103,13 +109,8 @@ pub fn table1() -> Vec<TableBlock> {
 }
 
 /// The paper's Table II published rows.
-pub const TABLE2_PAPER_PR: [&str; 5] = [
-    "Good to Great",
-    "The Catcher in the Rye",
-    "DSM-IV",
-    "The Great Gatsby",
-    "Lord of the Flies",
-];
+pub const TABLE2_PAPER_PR: [&str; 5] =
+    ["Good to Great", "The Catcher in the Rye", "DSM-IV", "The Great Gatsby", "Lord of the Flies"];
 
 /// Table II, "1984" CycleRank column.
 pub const TABLE2_PAPER_CR_1984: [&str; 5] = [
@@ -194,16 +195,15 @@ fn refill(col: &mut Column, sc: &Scenario, reference: &str) {
         return;
     }
     // Recompute with a larger k and take the first 5 non-reference rows.
-    let g = &sc.graph;
+    let g = Arc::new(sc.graph.clone());
     let r = sc.reference_node();
-    let entries: Vec<String> = if col.header.starts_with("Cyclerank") {
-        let out = cyclerank(g, r, &CycleRankConfig::with_k(5)).unwrap();
-        out.scores.top_k_labeled(g, 6).into_iter().map(|(l, _)| l).collect()
+    let query = if col.header.starts_with("Cyclerank") {
+        Query::on(&g).algorithm("cyclerank").reference(r).k(5)
     } else {
-        let (s, _) =
-            personalized_pagerank(g.view(), &PageRankConfig::with_damping(0.85), r).unwrap();
-        s.top_k_labeled(g, 6).into_iter().map(|(l, _)| l).collect()
+        Query::on(&g).algorithm("ppr").alpha(0.85).reference(r)
     };
+    let entries: Vec<String> =
+        query.top(6).run().unwrap().top_entries().into_iter().map(|(l, _)| l).collect();
     col.entries = entries.into_iter().filter(|e| e != reference).take(5).collect();
 }
 
@@ -219,13 +219,17 @@ pub fn table3() -> Vec<(Language, Column)> {
         .into_iter()
         .map(|lang| {
             let sc = fixtures::fakenews(lang);
-            let out = cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(3))
+            let result = Query::on(&sc.graph)
+                .algorithm("cyclerank")
+                .reference(sc.reference_node())
+                .k(3)
+                .run()
                 .expect("cyclerank");
             // Drop the reference row; Table III lists neighbours only.
             let mut col = Column::from_scores(
                 format!("Fake news ({lang})"),
                 &sc.graph,
-                &out.scores,
+                result.scores().expect("scores"),
                 1 + lang.fake_news_neighbours().len(),
             );
             col.entries.retain(|e| e != sc.reference);
@@ -259,8 +263,7 @@ mod tests {
             assert_eq!(block.measured[0].entries, TABLE2_PAPER_PR.to_vec());
             // CycleRank column: same 5 items as the paper (order may differ
             // in the middle; see EXPERIMENTS.md).
-            let paper: std::collections::HashSet<&str> =
-                block.paper[1].1.iter().copied().collect();
+            let paper: std::collections::HashSet<&str> = block.paper[1].1.iter().copied().collect();
             let measured: std::collections::HashSet<&str> =
                 block.measured[1].entries.iter().map(String::as_str).collect();
             assert_eq!(measured, paper, "{} CR set", block.caption);

@@ -133,9 +133,7 @@ impl Flags {
                 i += 1;
                 continue;
             }
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            let value = args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
             pairs.insert(key.to_string(), value.clone());
             i += 2;
         }
@@ -214,9 +212,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 algorithms: flags
                     .take("algorithms")
                     .map(|v| v.split(',').map(str::to_string).collect())
-                    .unwrap_or_else(|| {
-                        vec!["pagerank".into(), "cyclerank".into(), "ppr".into()]
-                    }),
+                    .unwrap_or_else(|| vec!["pagerank".into(), "cyclerank".into(), "ppr".into()]),
                 top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
             };
             flags.finish()?;
@@ -224,11 +220,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         }
         "compare-datasets" => {
             let spec = CompareDatasetsSpec {
-                datasets: flags
-                    .require("datasets")?
-                    .split(',')
-                    .map(str::to_string)
-                    .collect(),
+                datasets: flags.require("datasets")?.split(',').map(str::to_string).collect(),
                 source: flags.require("source")?,
                 k: flags.take("k").map(|v| parse_num(&v, "k")).transpose()?.unwrap_or(3),
                 top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
@@ -377,10 +369,7 @@ mod tests {
     #[test]
     fn serve_defaults() {
         let cli = parse("serve").unwrap();
-        assert_eq!(
-            cli.command,
-            Command::Serve { addr: "127.0.0.1:8080".into(), workers: 4 }
-        );
+        assert_eq!(cli.command, Command::Serve { addr: "127.0.0.1:8080".into(), workers: 4 });
     }
 
     #[test]

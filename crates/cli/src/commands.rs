@@ -5,9 +5,8 @@
 //! capturing stdout.
 
 use crate::args::{CompareDatasetsSpec, CompareSpec, RunSpec};
-use relcore::runner::Algorithm;
+use relcore::{AlgorithmRegistry, Query};
 use relengine::prelude::*;
-use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,16 +37,16 @@ pub fn list_datasets(kind: Option<&str>) -> Result<String, String> {
     Ok(out)
 }
 
-/// `algorithms`: the seven algorithms with their metadata.
+/// `algorithms`: every algorithm in the registry with its metadata.
 pub fn algorithms() -> String {
     let mut out = format!("{:<12} {:<18} {:<14} {}\n", "ID", "NAME", "PERSONALIZED", "OUTPUT");
-    for a in Algorithm::ALL {
+    for d in AlgorithmRegistry::global().descriptors() {
         out.push_str(&format!(
             "{:<12} {:<18} {:<14} {}\n",
-            a.id(),
-            a.display_name(),
-            if a.is_personalized() { "yes" } else { "no" },
-            if a.produces_scores() { "scores" } else { "ranking only" }
+            d.id,
+            d.name,
+            if d.personalized { "yes" } else { "no" },
+            if d.produces_scores { "scores" } else { "ranking only" }
         ));
     }
     out
@@ -55,8 +54,7 @@ pub fn algorithms() -> String {
 
 /// `stats`: structural summary of one dataset.
 pub fn stats(dataset: &str) -> Result<String, String> {
-    let g = reldata::load_dataset(dataset)
-        .ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let g = reldata::load_dataset(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
     let s = relgraph::GraphStats::compute(&g);
     Ok(format!(
         "dataset      {dataset}\n\
@@ -80,9 +78,12 @@ pub fn stats(dataset: &str) -> Result<String, String> {
     ))
 }
 
+/// Builds a registry-backed [`Query`] from CLI flags. The algorithm name
+/// resolves through the [`AlgorithmRegistry`], so any registered id or
+/// alias works — not just the seven paper algorithms.
 #[allow(clippy::too_many_arguments)]
-fn build_task(
-    dataset: &str,
+fn build_query(
+    target: impl Into<relcore::QueryTarget>,
     algorithm: &str,
     source: Option<&str>,
     alpha: Option<f64>,
@@ -90,32 +91,45 @@ fn build_task(
     sigma: Option<&str>,
     solver: Option<&str>,
     top: usize,
-) -> Result<TaskSpec, String> {
-    let algo = Algorithm::from_str(algorithm)?;
-    let mut b = TaskBuilder::new(dataset).algorithm(algo).top_k(top);
+) -> Result<Query, String> {
+    // Fail fast on unknown names, with the registry as source of truth.
+    AlgorithmRegistry::global()
+        .get(algorithm)
+        .ok_or_else(|| format!("unknown algorithm {algorithm:?} (see `relrank algorithms`)"))?;
+    let mut q = Query::on(target).algorithm(algorithm).top(top);
     if let Some(s) = solver {
-        b = b.solver(s.parse()?);
+        q = q.solver(s.parse()?);
     }
     if let Some(a) = alpha {
-        b = b.damping(a);
+        q = q.alpha(a);
     }
     if let Some(k) = k {
-        b = b.max_cycle_len(k);
+        q = q.k(k);
     }
     if let Some(s) = sigma {
-        b = b.scoring(s.parse()?);
+        q = q.scoring(s.parse()?);
     }
     if let Some(s) = source {
-        b = b.source(s);
+        q = q.reference(s);
     }
-    b.build().map_err(|e| e.to_string())
+    Ok(q)
 }
 
-/// `run`: execute one task and print its top-k. With `--file`, the graph
-/// is loaded from disk and registered as an ad-hoc uploaded dataset first.
+/// `run`: execute one query and print its top-k. With `--file`, the graph
+/// is loaded from disk and queried directly.
 pub fn run_task(spec: RunSpec) -> Result<String, String> {
-    let task = build_task(
-        &spec.dataset,
+    let target: relcore::QueryTarget = match &spec.file {
+        Some(path) => {
+            let graph = relformats::load_graph(path).map_err(|e| e.to_string())?;
+            Arc::new(graph).into()
+        }
+        None => {
+            reldata::connect_query_api();
+            spec.dataset.as_str().into()
+        }
+    };
+    let query = build_query(
+        target,
         &spec.algorithm,
         spec.source.as_deref(),
         spec.alpha,
@@ -124,20 +138,32 @@ pub fn run_task(spec: RunSpec) -> Result<String, String> {
         spec.solver.as_deref(),
         spec.top,
     )?;
-    let engine = Scheduler::builder().workers(1).build();
-    if let Some(path) = &spec.file {
-        let graph = relformats::load_graph(path).map_err(|e| e.to_string())?;
-        engine.register_dataset(&spec.dataset, graph).map_err(|e| e.to_string())?;
-    }
-    let id = engine.submit(task);
-    let result = engine.wait(&id, WAIT).map_err(|e| e.to_string())?;
+    let r = query.run().map_err(|e| e.to_string())?;
+    let id = TaskId::fresh();
+    let result = TaskResult {
+        task_id: id.clone(),
+        dataset: spec.dataset.clone(),
+        algorithm: r.algorithm.clone(),
+        parameters: r.parameters.clone(),
+        source: spec.source.clone(),
+        top: r.top_entries(),
+        runtime_ms: r.runtime.as_millis() as u64,
+        nodes: r.graph.node_count(),
+        edges: r.graph.edge_count(),
+        iterations: r.output.convergence.map(|c| c.iterations),
+        cycles_found: r.output.cycles_found,
+    };
 
     if spec.json {
         return serde_json::to_string_pretty(&result).map_err(|e| e.to_string());
     }
     let mut out = format!(
         "task {id}\ndataset {} ({} nodes, {} edges)\nalgorithm {} [{}]  runtime {}ms\n",
-        result.dataset, result.nodes, result.edges, result.algorithm, result.parameters,
+        result.dataset,
+        result.nodes,
+        result.edges,
+        result.algorithm,
+        result.parameters,
         result.runtime_ms
     );
     if let Some(c) = result.cycles_found {
@@ -160,9 +186,13 @@ pub fn compare(spec: CompareSpec) -> Result<String, String> {
     let engine = Scheduler::builder().workers(spec.algorithms.len().max(1)).build();
     let mut qs = QuerySet::new();
     for name in &spec.algorithms {
-        let algo = Algorithm::from_str(name)?;
+        let algo = AlgorithmRegistry::global()
+            .get(name)
+            .ok_or_else(|| format!("unknown algorithm {name:?} (see `relrank algorithms`)"))?;
         let source = algo.is_personalized().then_some(spec.source.as_str());
-        qs.add(build_task(&spec.dataset, name, source, None, None, None, None, spec.top)?);
+        let query =
+            build_query(spec.dataset.as_str(), name, source, None, None, None, None, spec.top)?;
+        qs.add(TaskSpec::from_query(&query).map_err(|e| e.to_string())?);
     }
     let ids = engine.submit_query_set(&qs);
     let results = engine.wait_all(&ids, WAIT).map_err(|e| e.to_string())?;
@@ -194,8 +224,8 @@ pub fn compare_datasets(spec: CompareDatasetsSpec) -> Result<String, String> {
     let engine = Scheduler::builder().workers(spec.datasets.len().max(1)).build();
     let mut qs = QuerySet::new();
     for ds in &spec.datasets {
-        qs.add(build_task(
-            ds,
+        let query = build_query(
+            ds.as_str(),
             "cyclerank",
             Some(&spec.source),
             None,
@@ -203,7 +233,8 @@ pub fn compare_datasets(spec: CompareDatasetsSpec) -> Result<String, String> {
             None,
             None,
             spec.top,
-        )?);
+        )?;
+        qs.add(TaskSpec::from_query(&query).map_err(|e| e.to_string())?);
     }
     let ids = engine.submit_query_set(&qs);
     let results = engine.wait_all(&ids, WAIT).map_err(|e| e.to_string())?;
@@ -245,10 +276,8 @@ pub fn convert(input: &str, output: &str, format: Option<&str>) -> Result<String
         Some(f) => f.parse::<relformats::Format>()?,
         None => {
             // Infer from the output extension.
-            let ext = std::path::Path::new(output)
-                .extension()
-                .and_then(|e| e.to_str())
-                .unwrap_or("csv");
+            let ext =
+                std::path::Path::new(output).extension().and_then(|e| e.to_str()).unwrap_or("csv");
             ext.parse::<relformats::Format>()?
         }
     };
@@ -270,17 +299,21 @@ pub fn visualize(
     output: &str,
 ) -> Result<String, String> {
     let g = reldata::load_dataset(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
-    let r = g
-        .node_by_label(source)
-        .ok_or_else(|| format!("no node labeled {source:?} in {dataset}"))?;
-    let out = relcore::cyclerank::cyclerank(&g, r, &relcore::CycleRankConfig::with_k(k))
+    g.node_by_label(source).ok_or_else(|| format!("no node labeled {source:?} in {dataset}"))?;
+    let result = Query::on(Arc::new(g))
+        .algorithm("cyclerank")
+        .reference(source)
+        .k(k)
+        .run()
         .map_err(|e| e.to_string())?;
-    let keep: Vec<relgraph::NodeId> =
-        out.scores.top_k(top).into_iter().map(|(n, _)| n).collect();
-    let (sub, map) = relgraph::induced_subgraph(&g, keep.iter().copied());
+    let g = &result.graph;
+    let scores = result.scores().expect("cyclerank produces scores");
+    let keep: Vec<relgraph::NodeId> = scores.top_k(top).into_iter().map(|(n, _)| n).collect();
+    let (sub, map) = relgraph::induced_subgraph(g, keep.iter().copied());
     // Scatter scores into the subgraph's index space.
-    let sub_scores: Vec<f64> =
-        (0..sub.node_count()).map(|i| out.scores.get(map.to_orig(relgraph::NodeId::new(i as u32)))).collect();
+    let sub_scores: Vec<f64> = (0..sub.node_count())
+        .map(|i| scores.get(map.to_orig(relgraph::NodeId::new(i as u32))))
+        .collect();
     let dot = relformats::dot::write_scored(&sub, Some(&sub_scores));
     std::fs::write(output, &dot).map_err(|e| e.to_string())?;
     Ok(format!(

@@ -4,10 +4,7 @@
 use std::process::Command;
 
 fn relrank(args: &[&str]) -> (i32, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_relrank"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_relrank")).args(args).output().expect("binary runs");
     (
         out.status.code().unwrap_or(-1),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -82,13 +79,8 @@ fn run_json_output_parses() {
 
 #[test]
 fn runtime_error_exits_1() {
-    let (code, _, stderr) = relrank(&[
-        "run",
-        "--dataset",
-        "no-such-dataset",
-        "--algorithm",
-        "pagerank",
-    ]);
+    let (code, _, stderr) =
+        relrank(&["run", "--dataset", "no-such-dataset", "--algorithm", "pagerank"]);
     assert_eq!(code, 1);
     assert!(stderr.contains("error"), "{stderr}");
 }

@@ -1,0 +1,426 @@
+//! The seven paper algorithms as [`RelevanceAlgorithm`] implementations.
+//!
+//! This is where the body of the old `runner::run` mega-dispatcher lives
+//! now: one small type per algorithm, each owning its slice of the former
+//! `match`. The registry registers all seven at startup
+//! ([`crate::registry::AlgorithmRegistry::global`]); nothing else in the
+//! workspace dispatches on the `Algorithm` enum.
+
+use crate::algorithm::{ParamSpec, RelevanceAlgorithm};
+use crate::cyclerank::cyclerank;
+use crate::error::AlgoError;
+use crate::gauss_seidel::pagerank_gauss_seidel;
+use crate::montecarlo::{ppr_monte_carlo, MonteCarloConfig};
+use crate::pagerank::{pagerank_with_teleport, Convergence};
+use crate::ppr::TeleportVector;
+use crate::push::{ppr_push, PushConfig};
+use crate::result::ScoreVector;
+use crate::runner::{AlgorithmParams, RelevanceOutput, Solver};
+use relgraph::{DirectedGraph, NodeId};
+
+/// Runs the configured PageRank-family solver on one graph view.
+fn solve(
+    view: relgraph::GraphView<'_>,
+    params: &AlgorithmParams,
+    reference: Option<NodeId>,
+) -> Result<(ScoreVector, Option<Convergence>), AlgoError> {
+    let cfg = params.pagerank_config();
+    let teleport = match reference {
+        Some(r) => TeleportVector::single(view.node_count(), r)?,
+        None => TeleportVector::uniform(view.node_count())?,
+    };
+    match (params.solver, reference) {
+        (Solver::Power, _) => {
+            let (s, c) = pagerank_with_teleport(view, &cfg, &teleport)?;
+            Ok((s, Some(c)))
+        }
+        (Solver::GaussSeidel, _) => {
+            let (s, c) = pagerank_gauss_seidel(view, &cfg, &teleport)?;
+            Ok((s, Some(c)))
+        }
+        // The approximate local solvers are only defined for a single
+        // seed; global runs fall back to exact power iteration.
+        (Solver::Push, Some(r)) => {
+            let push_cfg = PushConfig {
+                damping: cfg.damping,
+                epsilon: (cfg.tolerance * 1e3).clamp(1e-12, 1e-4),
+                max_pushes: 100_000_000,
+            };
+            let (s, _) = ppr_push(view, &push_cfg, r)?;
+            Ok((s, None))
+        }
+        (Solver::MonteCarlo, Some(r)) => {
+            let mc_cfg = MonteCarloConfig { damping: cfg.damping, walks: 200_000, rng_seed: 42 };
+            let s = ppr_monte_carlo(view, &mc_cfg, r)?;
+            Ok((s, None))
+        }
+        (Solver::Push | Solver::MonteCarlo, None) => {
+            let (s, c) = pagerank_with_teleport(view, &cfg, &teleport)?;
+            Ok((s, Some(c)))
+        }
+    }
+}
+
+fn scored(id: &str, s: ScoreVector, c: Option<Convergence>) -> RelevanceOutput {
+    RelevanceOutput {
+        algorithm: id.to_string(),
+        ranking: s.ranking(),
+        scores: Some(s),
+        convergence: c,
+        cycles_found: None,
+    }
+}
+
+fn require_reference(reference: Option<NodeId>) -> Result<NodeId, AlgoError> {
+    reference.ok_or(AlgoError::MissingReference)
+}
+
+fn validate_damping(params: &AlgorithmParams) -> Result<(), AlgoError> {
+    if !(params.damping > 0.0 && params.damping < 1.0) {
+        return Err(AlgoError::InvalidDamping(params.damping));
+    }
+    Ok(())
+}
+
+fn pagerank_family_params() -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::new("damping", "float", "0.85", "damping factor α in (0, 1)"),
+        ParamSpec::new("tolerance", "float", "1e-10", "L1 convergence tolerance"),
+        ParamSpec::new("max_iterations", "int", "200", "power-iteration cap"),
+        ParamSpec::new(
+            "solver",
+            "enum",
+            "power",
+            "numerical solver: power | gauss_seidel | push | monte_carlo",
+        ),
+    ]
+}
+
+fn tworank_params() -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::new("damping", "float", "0.85", "damping factor α in (0, 1)"),
+        ParamSpec::new("tolerance", "float", "1e-10", "L1 convergence tolerance"),
+        ParamSpec::new("max_iterations", "int", "200", "power-iteration cap"),
+    ]
+}
+
+fn cyclerank_params() -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::new("max_cycle_len", "int", "3", "maximum cycle length K (≥ 2)"),
+        ParamSpec::new("scoring", "enum", "exp", "scoring σ(n): exp | lin | quad | const"),
+    ]
+}
+
+// ----------------------------------------------------------------- PageRank
+
+/// Global PageRank.
+pub struct PageRankAlgorithm;
+
+impl RelevanceAlgorithm for PageRankAlgorithm {
+    fn id(&self) -> &str {
+        "pagerank"
+    }
+
+    fn display_name(&self) -> &str {
+        "PageRank"
+    }
+
+    fn aliases(&self) -> &[&str] {
+        &["pr"]
+    }
+
+    fn is_personalized(&self) -> bool {
+        false
+    }
+
+    fn parameters(&self) -> Vec<ParamSpec> {
+        pagerank_family_params()
+    }
+
+    fn validate(&self, params: &AlgorithmParams) -> Result<(), AlgoError> {
+        validate_damping(params)
+    }
+
+    fn execute(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        _reference: Option<NodeId>,
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let (s, c) = solve(graph.view(), params, None)?;
+        Ok(scored(self.id(), s, c))
+    }
+}
+
+/// Personalized PageRank.
+pub struct PersonalizedPageRankAlgorithm;
+
+impl RelevanceAlgorithm for PersonalizedPageRankAlgorithm {
+    fn id(&self) -> &str {
+        "ppr"
+    }
+
+    fn display_name(&self) -> &str {
+        "Pers. PageRank"
+    }
+
+    fn aliases(&self) -> &[&str] {
+        &["personalizedpagerank", "pers.pagerank"]
+    }
+
+    fn is_personalized(&self) -> bool {
+        true
+    }
+
+    fn parameters(&self) -> Vec<ParamSpec> {
+        pagerank_family_params()
+    }
+
+    fn validate(&self, params: &AlgorithmParams) -> Result<(), AlgoError> {
+        validate_damping(params)
+    }
+
+    fn execute(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        reference: Option<NodeId>,
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let r = require_reference(reference)?;
+        let (s, c) = solve(graph.view(), params, Some(r))?;
+        Ok(scored(self.id(), s, c))
+    }
+}
+
+// ----------------------------------------------------------------- CheiRank
+
+/// CheiRank: PageRank on the transposed graph.
+pub struct CheiRankAlgorithm;
+
+impl RelevanceAlgorithm for CheiRankAlgorithm {
+    fn id(&self) -> &str {
+        "cheirank"
+    }
+
+    fn display_name(&self) -> &str {
+        "CheiRank"
+    }
+
+    fn is_personalized(&self) -> bool {
+        false
+    }
+
+    fn parameters(&self) -> Vec<ParamSpec> {
+        pagerank_family_params()
+    }
+
+    fn validate(&self, params: &AlgorithmParams) -> Result<(), AlgoError> {
+        validate_damping(params)
+    }
+
+    fn execute(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        _reference: Option<NodeId>,
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let (s, c) = solve(graph.transposed(), params, None)?;
+        Ok(scored(self.id(), s, c))
+    }
+}
+
+/// Personalized CheiRank.
+pub struct PersonalizedCheiRankAlgorithm;
+
+impl RelevanceAlgorithm for PersonalizedCheiRankAlgorithm {
+    fn id(&self) -> &str {
+        "pcheirank"
+    }
+
+    fn display_name(&self) -> &str {
+        "Pers. CheiRank"
+    }
+
+    fn aliases(&self) -> &[&str] {
+        &["personalizedcheirank"]
+    }
+
+    fn is_personalized(&self) -> bool {
+        true
+    }
+
+    fn parameters(&self) -> Vec<ParamSpec> {
+        pagerank_family_params()
+    }
+
+    fn validate(&self, params: &AlgorithmParams) -> Result<(), AlgoError> {
+        validate_damping(params)
+    }
+
+    fn execute(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        reference: Option<NodeId>,
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let r = require_reference(reference)?;
+        let (s, c) = solve(graph.transposed(), params, Some(r))?;
+        Ok(scored(self.id(), s, c))
+    }
+}
+
+// ------------------------------------------------------------------ 2DRank
+
+/// 2DRank: combined PageRank × CheiRank ranking (ranking only, no scores).
+pub struct TwoDRankAlgorithm;
+
+impl RelevanceAlgorithm for TwoDRankAlgorithm {
+    fn id(&self) -> &str {
+        "2drank"
+    }
+
+    fn display_name(&self) -> &str {
+        "2DRank"
+    }
+
+    fn aliases(&self) -> &[&str] {
+        &["twodrank"]
+    }
+
+    fn is_personalized(&self) -> bool {
+        false
+    }
+
+    fn produces_scores(&self) -> bool {
+        false
+    }
+
+    fn parameters(&self) -> Vec<ParamSpec> {
+        tworank_params()
+    }
+
+    fn validate(&self, params: &AlgorithmParams) -> Result<(), AlgoError> {
+        validate_damping(params)
+    }
+
+    fn execute(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        _reference: Option<NodeId>,
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let r = crate::tworank::two_d_rank(graph, &params.pagerank_config())?;
+        Ok(RelevanceOutput {
+            algorithm: self.id().to_string(),
+            ranking: r,
+            scores: None,
+            convergence: None,
+            cycles_found: None,
+        })
+    }
+}
+
+/// Personalized 2DRank.
+pub struct PersonalizedTwoDRankAlgorithm;
+
+impl RelevanceAlgorithm for PersonalizedTwoDRankAlgorithm {
+    fn id(&self) -> &str {
+        "p2drank"
+    }
+
+    fn display_name(&self) -> &str {
+        "Pers. 2DRank"
+    }
+
+    fn aliases(&self) -> &[&str] {
+        &["personalized2drank", "personalizedtwodrank"]
+    }
+
+    fn is_personalized(&self) -> bool {
+        true
+    }
+
+    fn produces_scores(&self) -> bool {
+        false
+    }
+
+    fn parameters(&self) -> Vec<ParamSpec> {
+        tworank_params()
+    }
+
+    fn validate(&self, params: &AlgorithmParams) -> Result<(), AlgoError> {
+        validate_damping(params)
+    }
+
+    fn execute(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        reference: Option<NodeId>,
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let r = require_reference(reference)?;
+        let ranking = crate::tworank::personalized_two_d_rank(graph, &params.pagerank_config(), r)?;
+        Ok(RelevanceOutput {
+            algorithm: self.id().to_string(),
+            ranking,
+            scores: None,
+            convergence: None,
+            cycles_found: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------- CycleRank
+
+/// CycleRank: relevance through simple cycles of bounded length.
+pub struct CycleRankAlgorithm;
+
+impl RelevanceAlgorithm for CycleRankAlgorithm {
+    fn id(&self) -> &str {
+        "cyclerank"
+    }
+
+    fn display_name(&self) -> &str {
+        "Cyclerank"
+    }
+
+    fn aliases(&self) -> &[&str] {
+        &["cr"]
+    }
+
+    fn is_personalized(&self) -> bool {
+        true
+    }
+
+    fn parameters(&self) -> Vec<ParamSpec> {
+        cyclerank_params()
+    }
+
+    fn validate(&self, params: &AlgorithmParams) -> Result<(), AlgoError> {
+        if params.max_cycle_len < 2 {
+            return Err(AlgoError::InvalidMaxCycleLength(params.max_cycle_len));
+        }
+        Ok(())
+    }
+
+    fn summarize(&self, params: &AlgorithmParams) -> String {
+        format!("k = {}, σ = {}", params.max_cycle_len, params.scoring)
+    }
+
+    fn execute(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        reference: Option<NodeId>,
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let r = require_reference(reference)?;
+        let out = cyclerank(graph, r, &params.cyclerank_config())?;
+        Ok(RelevanceOutput {
+            algorithm: self.id().to_string(),
+            ranking: out.scores.ranking(),
+            scores: Some(out.scores),
+            convergence: None,
+            cycles_found: Some(out.cycles_found),
+        })
+    }
+}

@@ -46,12 +46,8 @@ pub fn kendall_tau(a: &RankedList, b: &RankedList) -> f64 {
         return 1.0;
     }
     // Position of each common node in b's order.
-    let pos_b: std::collections::HashMap<NodeId, usize> = b
-        .as_slice()
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
+    let pos_b: std::collections::HashMap<NodeId, usize> =
+        b.as_slice().iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut concordant = 0i64;
     let mut discordant = 0i64;
     for i in 0..c {

@@ -206,8 +206,7 @@ pub fn cyclerank(
                     cycles_by_len[len as usize] += 1;
                     let mut w = sigma[len as usize];
                     if use_weights {
-                        let cycle_bottleneck =
-                            bottleneck[depth as usize].min(edge_w);
+                        let cycle_bottleneck = bottleneck[depth as usize].min(edge_w);
                         w *= cycle_bottleneck;
                     }
                     for &p in &path {
@@ -235,7 +234,12 @@ pub fn cyclerank(
             break;
         }
 
-        if !advanced && frames.last().map(|&(node, idx)| node == u && idx >= neighbors.len()).unwrap_or(false) {
+        if !advanced
+            && frames
+                .last()
+                .map(|&(node, idx)| node == u && idx >= neighbors.len())
+                .unwrap_or(false)
+        {
             // Exhausted u's neighbors: backtrack.
             frames.pop();
             let popped = path.pop().expect("path/frames in sync");
@@ -527,10 +531,18 @@ mod tests {
     #[test]
     fn scoring_function_changes_weights() {
         let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0)]);
-        let cfg = CycleRankConfig { max_cycle_len: 3, scoring: ScoringFunction::Constant, use_edge_weights: false };
+        let cfg = CycleRankConfig {
+            max_cycle_len: 3,
+            scoring: ScoringFunction::Constant,
+            use_edge_weights: false,
+        };
         let out = cyclerank(&g, NodeId::new(0), &cfg).unwrap();
         assert_eq!(out.scores.get(NodeId::new(1)), 1.0);
-        let cfg = CycleRankConfig { max_cycle_len: 3, scoring: ScoringFunction::Inverse, use_edge_weights: false };
+        let cfg = CycleRankConfig {
+            max_cycle_len: 3,
+            scoring: ScoringFunction::Inverse,
+            use_edge_weights: false,
+        };
         let out = cyclerank(&g, NodeId::new(0), &cfg).unwrap();
         assert_eq!(out.scores.get(NodeId::new(1)), 0.5);
     }

@@ -61,9 +61,7 @@ mod tests {
     #[test]
     fn display_all_variants() {
         assert!(AlgoError::EmptyGraph.to_string().contains("no nodes"));
-        assert!(AlgoError::InvalidReference { node: 9, node_count: 3 }
-            .to_string()
-            .contains("9"));
+        assert!(AlgoError::InvalidReference { node: 9, node_count: 3 }.to_string().contains("9"));
         assert!(AlgoError::MissingReference.to_string().contains("reference"));
         assert!(AlgoError::InvalidDamping(1.5).to_string().contains("1.5"));
         assert!(AlgoError::InvalidMaxCycleLength(1).to_string().contains("K"));

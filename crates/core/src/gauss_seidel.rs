@@ -80,7 +80,8 @@ pub fn pagerank_gauss_seidel(
                     }
                 }
             }
-            let new = (1.0 - alpha) * teleport_dense[i] + alpha * (pulled + dangling * teleport_dense[i]);
+            let new =
+                (1.0 - alpha) * teleport_dense[i] + alpha * (pulled + dangling * teleport_dense[i]);
             delta += (new - x[i]).abs();
             x[i] = new;
         }

@@ -16,9 +16,36 @@
 //!
 //! plus two approximate Personalized-PageRank solvers used by the ablation
 //! benchmarks ([`push`] — Andersen–Chung–Lang forward push — and
-//! [`montecarlo`] — terminated random walks), ranking-comparison metrics
-//! ([`compare`]) and a uniform dispatch layer ([`runner`]) used by the
-//! execution engine.
+//! [`montecarlo`] — terminated random walks) and ranking-comparison
+//! metrics ([`compare`]).
+//!
+//! ## The invocation API
+//!
+//! Algorithms are invoked through an open, registry-backed API:
+//!
+//! * [`algorithm::RelevanceAlgorithm`] — the object-safe trait every
+//!   algorithm (built-in or third-party) implements;
+//! * [`registry::AlgorithmRegistry`] — the id → implementation table; the
+//!   seven paper algorithms are registered at startup and custom ones can
+//!   be added at runtime;
+//! * [`query::Query`] — the fluent front door used by the engine, HTTP
+//!   routes, CLI, and bench harness:
+//!
+//! ```
+//! use relcore::Query;
+//! use relgraph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_labeled_edge("Pasta", "Italy");
+//! b.add_labeled_edge("Italy", "Pasta");
+//! let g = b.build();
+//! let top = Query::on(g).algorithm("cyclerank").reference("Pasta").k(3).top(2)
+//!     .run().unwrap().top_entries();
+//! assert_eq!(top[0].0, "Pasta");
+//! ```
+//!
+//! The pre-redesign entry point `runner::run` survives as a deprecated
+//! shim over the registry.
 //!
 //! ## Quick example
 //!
@@ -40,6 +67,8 @@
 //! assert_eq!(out.scores.get(us), 0.0);    // one-way link: not relevant
 //! ```
 
+pub mod algorithm;
+pub mod builtin;
 pub mod cheirank;
 pub mod compare;
 pub mod cyclerank;
@@ -50,17 +79,24 @@ pub mod pagerank;
 pub mod parallel;
 pub mod ppr;
 pub mod push;
+pub mod query;
+pub mod registry;
 pub mod result;
 pub mod runner;
 pub mod scoring;
 pub mod tworank;
 
+pub use algorithm::{AlgorithmDescriptor, ParamSpec, RelevanceAlgorithm};
 pub use cheirank::{cheirank, personalized_cheirank};
 pub use cyclerank::{CycleRankConfig, CycleRankOutput};
 pub use error::AlgoError;
 pub use pagerank::{pagerank, Convergence, PageRankConfig};
 pub use ppr::{personalized_pagerank, TeleportVector};
+pub use query::{Query, QueryError, QueryResult, QueryTarget, ReferenceSpec};
+pub use registry::{AlgorithmRegistry, RegistryError};
 pub use result::{RankedList, ScoreVector};
-pub use runner::{run, Algorithm, AlgorithmParams, RelevanceOutput};
+#[allow(deprecated)]
+pub use runner::run;
+pub use runner::{Algorithm, AlgorithmParams, RelevanceOutput, Solver};
 pub use scoring::ScoringFunction;
 pub use tworank::{personalized_two_d_rank, two_d_rank};

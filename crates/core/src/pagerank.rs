@@ -83,7 +83,10 @@ pub struct Convergence {
 }
 
 /// Classic (global) PageRank: uniform teleport over all nodes.
-pub fn pagerank(view: GraphView<'_>, cfg: &PageRankConfig) -> Result<(ScoreVector, Convergence), AlgoError> {
+pub fn pagerank(
+    view: GraphView<'_>,
+    cfg: &PageRankConfig,
+) -> Result<(ScoreVector, Convergence), AlgoError> {
     let teleport = TeleportVector::uniform(view.node_count())?;
     pagerank_with_teleport(view, cfg, &teleport)
 }

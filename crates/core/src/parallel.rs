@@ -160,10 +160,7 @@ mod tests {
             let (par, conv) = pagerank_par(g.view(), &cfg, threads).unwrap();
             assert!(conv.converged);
             for u in g.nodes() {
-                assert!(
-                    (seq.get(u) - par.get(u)).abs() < 1e-9,
-                    "threads={threads} node {u:?}"
-                );
+                assert!((seq.get(u) - par.get(u)).abs() < 1e-9, "threads={threads} node {u:?}");
             }
         }
     }

@@ -214,7 +214,8 @@ mod tests {
 
     #[test]
     fn teleport_seed_dedup() {
-        let t = TeleportVector::seeds(4, &[NodeId::new(2), NodeId::new(2), NodeId::new(0)]).unwrap();
+        let t =
+            TeleportVector::seeds(4, &[NodeId::new(2), NodeId::new(2), NodeId::new(0)]).unwrap();
         assert_eq!(t.dense(), vec![0.5, 0.0, 0.5, 0.0]);
     }
 

@@ -1,0 +1,537 @@
+//! The fluent [`Query`] builder: the single entry point for running any
+//! registered relevance algorithm.
+//!
+//! ```
+//! use relcore::Query;
+//! use relgraph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_labeled_edge("Pasta", "Italy");
+//! b.add_labeled_edge("Italy", "Pasta");
+//! b.add_labeled_edge("Pasta", "United States");
+//! let g = b.build();
+//!
+//! let result = Query::on(g)
+//!     .algorithm("cyclerank")
+//!     .reference("Pasta")
+//!     .k(3)
+//!     .top(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.top_entries()[0].0, "Pasta");
+//! assert_eq!(result.top_entries()[1].0, "Italy");
+//! ```
+//!
+//! A query targets either an in-memory graph or a *named dataset*. Named
+//! datasets resolve through a pluggable [`install_dataset_resolver`] hook
+//! so this crate stays independent of the dataset registry; linking
+//! `reldata` (or running inside the engine) installs the hook.
+
+use crate::error::AlgoError;
+use crate::registry::AlgorithmRegistry;
+use crate::result::{RankedList, ScoreVector};
+use crate::runner::{Algorithm, AlgorithmParams, RelevanceOutput, Solver};
+use crate::scoring::ScoringFunction;
+use relgraph::{DirectedGraph, NodeId};
+use std::fmt;
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+// -------------------------------------------------------- dataset resolving
+
+type Resolver = dyn Fn(&str) -> Option<Arc<DirectedGraph>> + Send + Sync;
+
+fn resolvers() -> &'static RwLock<Vec<Box<Resolver>>> {
+    static RESOLVERS: std::sync::OnceLock<RwLock<Vec<Box<Resolver>>>> = std::sync::OnceLock::new();
+    RESOLVERS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Installs a named-dataset resolver consulted (most recent first) by
+/// [`Query::run`] when the target is a dataset id. `reldata` installs the
+/// 50-dataset registry through this hook; uploads and caches can stack
+/// their own.
+pub fn install_dataset_resolver(
+    f: impl Fn(&str) -> Option<Arc<DirectedGraph>> + Send + Sync + 'static,
+) {
+    resolvers().write().unwrap_or_else(|e| e.into_inner()).push(Box::new(f));
+}
+
+fn resolve_dataset(id: &str) -> Result<Arc<DirectedGraph>, QueryError> {
+    let resolvers = resolvers().read().unwrap_or_else(|e| e.into_inner());
+    if resolvers.is_empty() {
+        return Err(QueryError::NoDatasetResolver(id.to_string()));
+    }
+    for resolver in resolvers.iter().rev() {
+        if let Some(g) = resolver(id) {
+            return Ok(g);
+        }
+    }
+    Err(QueryError::UnknownDataset(id.to_string()))
+}
+
+// ----------------------------------------------------------------- inputs
+
+/// What a query runs on.
+#[derive(Clone)]
+pub enum QueryTarget {
+    /// An in-memory graph.
+    Graph(Arc<DirectedGraph>),
+    /// A named dataset, resolved at [`Query::run`] time.
+    Dataset(String),
+}
+
+impl From<&str> for QueryTarget {
+    fn from(id: &str) -> Self {
+        QueryTarget::Dataset(id.to_string())
+    }
+}
+
+impl From<String> for QueryTarget {
+    fn from(id: String) -> Self {
+        QueryTarget::Dataset(id)
+    }
+}
+
+impl From<DirectedGraph> for QueryTarget {
+    fn from(g: DirectedGraph) -> Self {
+        QueryTarget::Graph(Arc::new(g))
+    }
+}
+
+impl From<Arc<DirectedGraph>> for QueryTarget {
+    fn from(g: Arc<DirectedGraph>) -> Self {
+        QueryTarget::Graph(g)
+    }
+}
+
+impl From<&Arc<DirectedGraph>> for QueryTarget {
+    fn from(g: &Arc<DirectedGraph>) -> Self {
+        QueryTarget::Graph(Arc::clone(g))
+    }
+}
+
+impl From<&DirectedGraph> for QueryTarget {
+    /// Clones the graph; prefer `Arc<DirectedGraph>` for repeated queries
+    /// on large graphs.
+    fn from(g: &DirectedGraph) -> Self {
+        QueryTarget::Graph(Arc::new(g.clone()))
+    }
+}
+
+/// How the reference node is specified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReferenceSpec {
+    /// By label, with numeric-index fallback for unlabeled graphs.
+    Label(String),
+    /// By node id.
+    Node(NodeId),
+}
+
+impl From<&str> for ReferenceSpec {
+    fn from(label: &str) -> Self {
+        ReferenceSpec::Label(label.to_string())
+    }
+}
+
+impl From<String> for ReferenceSpec {
+    fn from(label: String) -> Self {
+        ReferenceSpec::Label(label)
+    }
+}
+
+impl From<NodeId> for ReferenceSpec {
+    fn from(node: NodeId) -> Self {
+        ReferenceSpec::Node(node)
+    }
+}
+
+/// How the algorithm is selected: by registry name or legacy enum.
+pub struct AlgorithmSel(String);
+
+impl From<&str> for AlgorithmSel {
+    fn from(name: &str) -> Self {
+        AlgorithmSel(name.to_string())
+    }
+}
+
+impl From<String> for AlgorithmSel {
+    fn from(name: String) -> Self {
+        AlgorithmSel(name)
+    }
+}
+
+impl From<Algorithm> for AlgorithmSel {
+    fn from(algo: Algorithm) -> Self {
+        AlgorithmSel(algo.id().to_string())
+    }
+}
+
+// ----------------------------------------------------------------- errors
+
+/// Errors surfaced by [`Query::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The algorithm name resolved to nothing in the registry.
+    UnknownAlgorithm(String),
+    /// The dataset id resolved to nothing.
+    UnknownDataset(String),
+    /// A dataset id was given but no resolver is installed (link `reldata`
+    /// or run through the engine).
+    NoDatasetResolver(String),
+    /// The reference did not match a node label or index.
+    UnknownReference(String),
+    /// A personalized algorithm was queried without a reference.
+    MissingReference(String),
+    /// The algorithm itself failed (bad parameters, empty graph, ...).
+    Algorithm(AlgoError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownAlgorithm(name) => {
+                write!(f, "unknown algorithm {name:?} (see AlgorithmRegistry::global().list())")
+            }
+            QueryError::UnknownDataset(id) => write!(f, "unknown dataset {id:?}"),
+            QueryError::NoDatasetResolver(id) => write!(
+                f,
+                "cannot resolve dataset {id:?}: no dataset resolver installed \
+                 (call reldata::connect_query_api(), touch the dataset catalog, \
+                 build an engine, or pass a graph to Query::on)"
+            ),
+            QueryError::UnknownReference(r) => {
+                write!(f, "no node labeled {r:?} (and not a valid node index)")
+            }
+            QueryError::MissingReference(algo) => {
+                write!(f, "algorithm {algo:?} is personalized and needs .reference(...)")
+            }
+            QueryError::Algorithm(e) => write!(f, "algorithm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<AlgoError> for QueryError {
+    fn from(e: AlgoError) -> Self {
+        QueryError::Algorithm(e)
+    }
+}
+
+// ------------------------------------------------------------------ Query
+
+/// A fluent, registry-backed algorithm invocation.
+///
+/// Built with [`Query::on`], configured with chained setters, executed
+/// with [`Query::run`]. Every consumer in the workspace — engine executor,
+/// HTTP routes, CLI, bench harness — funnels through this type, so a newly
+/// registered algorithm is immediately available everywhere.
+pub struct Query {
+    target: QueryTarget,
+    algorithm: String,
+    params: AlgorithmParams,
+    reference: Option<ReferenceSpec>,
+    top: usize,
+}
+
+impl Query {
+    /// Starts a query on a graph or named dataset.
+    pub fn on(target: impl Into<QueryTarget>) -> Self {
+        Query {
+            target: target.into(),
+            algorithm: "pagerank".to_string(),
+            params: AlgorithmParams::new(Algorithm::PageRank),
+            reference: None,
+            top: 100,
+        }
+    }
+
+    /// Selects the algorithm by registry id, alias, or legacy enum.
+    pub fn algorithm(mut self, algo: impl Into<AlgorithmSel>) -> Self {
+        self.algorithm = algo.into().0;
+        // Keep the legacy enum tag in sync when the id maps to a built-in,
+        // so conversions to engine task specs stay lossless.
+        if let Ok(a) = self.algorithm.parse::<Algorithm>() {
+            self.params.algorithm = a;
+        }
+        self
+    }
+
+    /// Replaces the whole parameter payload (the task JSON shape).
+    pub fn params(mut self, params: AlgorithmParams) -> Self {
+        self.algorithm = params.algorithm.id().to_string();
+        self.params = params;
+        self
+    }
+
+    /// Sets the damping factor α (PageRank family).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.params.damping = alpha;
+        self
+    }
+
+    /// Sets the maximum cycle length K (CycleRank).
+    pub fn k(mut self, k: u32) -> Self {
+        self.params.max_cycle_len = k;
+        self
+    }
+
+    /// Sets the scoring function σ (CycleRank).
+    pub fn scoring(mut self, scoring: ScoringFunction) -> Self {
+        self.params.scoring = scoring;
+        self
+    }
+
+    /// Sets the PageRank-family solver.
+    pub fn solver(mut self, solver: Solver) -> Self {
+        self.params.solver = solver;
+        self
+    }
+
+    /// Sets the power-iteration tolerance.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.params.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the power-iteration cap.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.params.max_iterations = n;
+        self
+    }
+
+    /// Sets the reference node (label, with numeric fallback, or node id).
+    pub fn reference(mut self, r: impl Into<ReferenceSpec>) -> Self {
+        self.reference = Some(r.into());
+        self
+    }
+
+    /// How many top entries [`QueryResult::top_entries`] returns
+    /// (default 100).
+    pub fn top(mut self, n: usize) -> Self {
+        self.top = n;
+        self
+    }
+
+    // ------------------------------------------------------------- access
+
+    /// The target (dataset id or graph).
+    pub fn target(&self) -> &QueryTarget {
+        &self.target
+    }
+
+    /// The selected algorithm name (as given; resolved at run time).
+    pub fn algorithm_name(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// The parameter payload.
+    pub fn params_ref(&self) -> &AlgorithmParams {
+        &self.params
+    }
+
+    /// The reference spec, if set.
+    pub fn reference_ref(&self) -> Option<&ReferenceSpec> {
+        self.reference.as_ref()
+    }
+
+    /// The configured top-k.
+    pub fn top_k(&self) -> usize {
+        self.top
+    }
+
+    // ---------------------------------------------------------------- run
+
+    /// Resolves the algorithm, dataset, and reference, validates
+    /// parameters, and executes.
+    pub fn run(self) -> Result<QueryResult, QueryError> {
+        self.run_with(AlgorithmRegistry::global())
+    }
+
+    /// Like [`Query::run`], against an explicit registry (tests, embedders
+    /// with private registries).
+    pub fn run_with(self, registry: &AlgorithmRegistry) -> Result<QueryResult, QueryError> {
+        let algo = registry
+            .get(&self.algorithm)
+            .ok_or_else(|| QueryError::UnknownAlgorithm(self.algorithm.clone()))?;
+
+        let graph = match &self.target {
+            QueryTarget::Graph(g) => Arc::clone(g),
+            QueryTarget::Dataset(id) => resolve_dataset(id)?,
+        };
+
+        let reference = match &self.reference {
+            None => None,
+            Some(ReferenceSpec::Node(n)) => Some(*n),
+            Some(ReferenceSpec::Label(l)) => Some(
+                resolve_reference(&graph, l)
+                    .ok_or_else(|| QueryError::UnknownReference(l.clone()))?,
+            ),
+        };
+        if algo.is_personalized() && reference.is_none() {
+            return Err(QueryError::MissingReference(algo.id().to_string()));
+        }
+
+        algo.validate(&self.params)?;
+        let started = Instant::now();
+        let output = algo.execute(&graph, &self.params, reference)?;
+        let runtime = started.elapsed();
+
+        Ok(QueryResult {
+            algorithm: algo.id().to_string(),
+            parameters: algo.summarize(&self.params),
+            output,
+            graph,
+            reference,
+            runtime,
+            top: self.top,
+        })
+    }
+}
+
+/// Resolves a reference string to a node: by label first, then — for
+/// unlabeled datasets such as bare edge-list uploads — as a numeric node
+/// index. Labels win when both could apply.
+pub fn resolve_reference(graph: &DirectedGraph, reference: &str) -> Option<NodeId> {
+    if let Some(n) = graph.node_by_label(reference) {
+        return Some(n);
+    }
+    let idx: u32 = reference.parse().ok()?;
+    ((idx as usize) < graph.node_count()).then_some(NodeId::new(idx))
+}
+
+// ----------------------------------------------------------------- result
+
+/// The outcome of one [`Query::run`].
+pub struct QueryResult {
+    /// Resolved algorithm id (e.g. `cyclerank`).
+    pub algorithm: String,
+    /// Human-readable parameter summary (e.g. `k = 3, σ = exp`).
+    pub parameters: String,
+    /// The raw algorithm output (ranking, scores, diagnostics).
+    pub output: RelevanceOutput,
+    /// The graph the query ran on.
+    pub graph: Arc<DirectedGraph>,
+    /// The resolved reference node, for personalized runs.
+    pub reference: Option<NodeId>,
+    /// Wall-clock execution time (excludes dataset resolution).
+    pub runtime: Duration,
+    top: usize,
+}
+
+impl fmt::Debug for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryResult")
+            .field("algorithm", &self.algorithm)
+            .field("parameters", &self.parameters)
+            .field("nodes", &self.graph.node_count())
+            .field("reference", &self.reference)
+            .field("runtime", &self.runtime)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryResult {
+    /// Top entries as `(label, score)` pairs, at most the configured
+    /// `.top(n)` (ranking-only algorithms report scores of 0).
+    pub fn top_entries(&self) -> Vec<(String, f64)> {
+        self.output.top_k_labeled(&self.graph, self.top)
+    }
+
+    /// Per-node scores, when the algorithm produces them.
+    pub fn scores(&self) -> Option<&ScoreVector> {
+        self.output.scores.as_ref()
+    }
+
+    /// The full ranking, most relevant first.
+    pub fn ranking(&self) -> &RankedList {
+        &self.output.ranking
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph::GraphBuilder;
+
+    fn sample() -> DirectedGraph {
+        GraphBuilder::from_edge_indices([(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (3, 0)])
+    }
+
+    #[test]
+    fn query_runs_every_builtin() {
+        let g = Arc::new(sample());
+        for algo in Algorithm::ALL {
+            let result =
+                Query::on(&g).algorithm(algo).reference(NodeId::new(0)).top(3).run().unwrap();
+            assert_eq!(result.algorithm, algo.id());
+            assert_eq!(result.output.ranking.len(), g.node_count());
+            assert_eq!(result.scores().is_some(), algo.produces_scores());
+            assert_eq!(result.top_entries().len(), 3);
+        }
+    }
+
+    #[test]
+    fn personalized_without_reference_fails_fast() {
+        let result = Query::on(sample()).algorithm("cyclerank").run();
+        assert!(matches!(result, Err(QueryError::MissingReference(id)) if id == "cyclerank"));
+    }
+
+    #[test]
+    fn unknown_algorithm_and_reference_error() {
+        assert!(matches!(
+            Query::on(sample()).algorithm("zerank").run(),
+            Err(QueryError::UnknownAlgorithm(_))
+        ));
+        assert!(matches!(
+            Query::on(sample()).algorithm("cyclerank").reference("nope").run(),
+            Err(QueryError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn numeric_reference_fallback() {
+        let result =
+            Query::on(sample()).algorithm("cyclerank").reference("2").top(2).run().unwrap();
+        assert_eq!(result.reference, Some(NodeId::new(2)));
+        // Out-of-range indices are rejected.
+        assert!(matches!(
+            Query::on(sample()).algorithm("cyclerank").reference("99").run(),
+            Err(QueryError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn parameter_validation_fails_fast() {
+        assert!(matches!(
+            Query::on(sample()).algorithm("pagerank").alpha(1.5).run(),
+            Err(QueryError::Algorithm(AlgoError::InvalidDamping(_)))
+        ));
+        assert!(matches!(
+            Query::on(sample()).algorithm("cyclerank").reference(NodeId::new(0)).k(1).run(),
+            Err(QueryError::Algorithm(AlgoError::InvalidMaxCycleLength(1)))
+        ));
+    }
+
+    #[test]
+    fn named_dataset_without_resolver_reports_clearly() {
+        // Dataset resolution is exercised end-to-end in reldata/relengine;
+        // relcore alone reports an actionable error for unknown ids. (A
+        // resolver may already be installed by another test binary linking
+        // reldata, so accept either error shape.)
+        let err = Query::on("no-such-dataset-id").run().unwrap_err();
+        assert!(matches!(err, QueryError::NoDatasetResolver(_) | QueryError::UnknownDataset(_)));
+    }
+
+    #[test]
+    fn summary_and_runtime_populated() {
+        let result = Query::on(sample())
+            .algorithm("cyclerank")
+            .reference(NodeId::new(0))
+            .k(4)
+            .run()
+            .unwrap();
+        assert_eq!(result.parameters, "k = 4, σ = exp");
+        assert!(result.output.cycles_found.unwrap() > 0);
+    }
+}

@@ -106,9 +106,7 @@ impl ScoreVector {
             idx.truncate(k);
         }
         idx.sort_unstable_by_key(key);
-        idx.into_iter()
-            .map(|i| (NodeId::new(i), self.values[i as usize]))
-            .collect()
+        idx.into_iter().map(|i| (NodeId::new(i), self.values[i as usize])).collect()
     }
 
     /// Full ranking of all nodes (descending score, ascending id ties).
@@ -119,10 +117,7 @@ impl ScoreVector {
 
     /// Top-`k` as `(label, score)` pairs using the graph's label table.
     pub fn top_k_labeled(&self, g: &DirectedGraph, k: usize) -> Vec<(String, f64)> {
-        self.top_k(k)
-            .into_iter()
-            .map(|(n, s)| (g.display_name(n), s))
-            .collect()
+        self.top_k(k).into_iter().map(|(n, s)| (g.display_name(n), s)).collect()
     }
 }
 
@@ -242,7 +237,8 @@ mod tests {
             .collect();
         let s = ScoreVector::new(scores.clone());
         let top10 = s.top_k(10);
-        let mut full: Vec<(u32, f64)> = scores.iter().copied().enumerate().map(|(i, v)| (i as u32, v)).collect();
+        let mut full: Vec<(u32, f64)> =
+            scores.iter().copied().enumerate().map(|(i, v)| (i as u32, v)).collect();
         full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         for (got, want) in top10.iter().zip(full.iter()) {
             assert_eq!(got.0.raw(), want.0);

@@ -1,28 +1,32 @@
-//! Uniform algorithm dispatch.
+//! Legacy uniform dispatch layer (deprecated) and the shared parameter /
+//! output types.
 //!
-//! The demo platform's executor receives a *task* — a (dataset, algorithm,
-//! parameters) triple — and must run any of the seven algorithms behind one
-//! interface. [`AlgorithmParams`] is the serializable parameter payload
-//! (what the task builder's JSON carries), [`run`] dispatches to the right
-//! solver, and [`RelevanceOutput`] is the common result shape: a ranking,
-//! optional raw scores, and optional convergence/enumeration diagnostics.
+//! The platform's invocation API now lives in three sibling modules:
+//! [`crate::algorithm`] (the open `RelevanceAlgorithm` trait),
+//! [`crate::registry`] (the id → implementation table), and
+//! [`crate::query`] (the fluent `Query` front door). This module keeps the
+//! serializable types the task JSON carries — [`Algorithm`], [`Solver`],
+//! [`AlgorithmParams`], [`RelevanceOutput`] — plus [`run`], a deprecated
+//! shim that delegates to the registry so pre-redesign callers keep
+//! compiling.
 
-use crate::cyclerank::{cyclerank, CycleRankConfig};
+use crate::cyclerank::CycleRankConfig;
 use crate::error::AlgoError;
-use crate::gauss_seidel::pagerank_gauss_seidel;
-use crate::montecarlo::{ppr_monte_carlo, MonteCarloConfig};
-use crate::pagerank::{pagerank_with_teleport, Convergence, PageRankConfig};
-use crate::ppr::TeleportVector;
-use crate::push::{ppr_push, PushConfig};
+use crate::pagerank::{Convergence, PageRankConfig};
 use crate::result::{RankedList, ScoreVector};
 use crate::scoring::ScoringFunction;
-use crate::tworank::{personalized_two_d_rank, two_d_rank};
 use relgraph::{DirectedGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// The seven algorithms showcased by the demo platform.
+///
+/// This enum remains the *serialization* tag used in task JSON
+/// (`{"algorithm": "cycle_rank", ...}`) and a convenient way to iterate
+/// the paper's set ([`Algorithm::ALL`]). Dispatch goes through the
+/// [`crate::registry::AlgorithmRegistry`], which also accepts algorithms
+/// outside this enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Algorithm {
@@ -84,7 +88,8 @@ impl Algorithm {
         }
     }
 
-    /// Stable machine identifier (used in task JSON and the CLI).
+    /// Stable machine identifier (used in task JSON, the CLI, and the
+    /// registry).
     pub fn id(self) -> &'static str {
         match self {
             Algorithm::PageRank => "pagerank",
@@ -165,7 +170,9 @@ impl FromStr for Solver {
             "gaussseidel" | "gs" => Ok(Solver::GaussSeidel),
             "push" | "acl" | "forwardpush" => Ok(Solver::Push),
             "montecarlo" | "mc" => Ok(Solver::MonteCarlo),
-            other => Err(format!("unknown solver {other:?} (expected power|gauss-seidel|push|monte-carlo)")),
+            other => Err(format!(
+                "unknown solver {other:?} (expected power|gauss-seidel|push|monte-carlo)"
+            )),
         }
     }
 }
@@ -250,17 +257,17 @@ impl AlgorithmParams {
     }
 
     /// Human-readable parameter summary, as shown in the task builder
-    /// (e.g. `k = 3, σ = exp` or `α = 0.3`).
+    /// (e.g. `k = 3, σ = exp` or `α = 0.3`). Delegates to the algorithm's
+    /// registry entry so there is a single rendering to maintain.
     pub fn summary(&self) -> String {
-        match self.algorithm {
-            Algorithm::CycleRank => {
-                format!("k = {}, σ = {}", self.max_cycle_len, self.scoring)
-            }
-            _ => format!("α = {}", self.damping),
-        }
+        crate::registry::AlgorithmRegistry::global()
+            .get(self.algorithm.id())
+            .expect("built-in algorithms are always registered")
+            .summarize(self)
     }
 
-    fn pagerank_config(&self) -> PageRankConfig {
+    /// The PageRank-family solver configuration these parameters describe.
+    pub fn pagerank_config(&self) -> PageRankConfig {
         PageRankConfig {
             damping: self.damping,
             tolerance: self.tolerance,
@@ -268,16 +275,23 @@ impl AlgorithmParams {
         }
     }
 
-    fn cyclerank_config(&self) -> CycleRankConfig {
-        CycleRankConfig { max_cycle_len: self.max_cycle_len, scoring: self.scoring, use_edge_weights: false }
+    /// The CycleRank configuration these parameters describe.
+    pub fn cyclerank_config(&self) -> CycleRankConfig {
+        CycleRankConfig {
+            max_cycle_len: self.max_cycle_len,
+            scoring: self.scoring,
+            use_edge_weights: false,
+        }
     }
 }
 
-/// The uniform output of [`run`].
+/// The uniform output of every [`crate::algorithm::RelevanceAlgorithm`].
 #[derive(Debug, Clone)]
 pub struct RelevanceOutput {
-    /// Which algorithm produced this.
-    pub algorithm: Algorithm,
+    /// Id of the algorithm that produced this (e.g. `cyclerank`). A
+    /// `String` rather than the closed [`Algorithm`] enum, so registered
+    /// third-party algorithms use the same output type.
+    pub algorithm: String,
     /// Full ranking, most relevant first.
     pub ranking: RankedList,
     /// Raw scores, when the algorithm produces them (not for 2DRank).
@@ -294,12 +308,7 @@ impl RelevanceOutput {
     pub fn top_k_labeled(&self, g: &DirectedGraph, k: usize) -> Vec<(String, f64)> {
         match &self.scores {
             Some(s) => s.top_k_labeled(g, k),
-            None => self
-                .ranking
-                .top_k_labeled(g, k)
-                .into_iter()
-                .map(|l| (l, 0.0))
-                .collect(),
+            None => self.ranking.top_k_labeled(g, k).into_iter().map(|l| (l, 0.0)).collect(),
         }
     }
 }
@@ -309,123 +318,30 @@ impl RelevanceOutput {
 ///
 /// Returns [`AlgoError::MissingReference`] if a personalized algorithm is
 /// invoked without a reference node; global algorithms ignore `reference`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use relcore::Query (fluent, registry-backed, supports custom algorithms) \
+            or AlgorithmRegistry::global().get(id) directly"
+)]
 pub fn run(
     g: &DirectedGraph,
     params: &AlgorithmParams,
     reference: Option<NodeId>,
 ) -> Result<RelevanceOutput, AlgoError> {
-    let need_ref = params.algorithm.is_personalized();
-    let refn = match (need_ref, reference) {
-        (true, None) => return Err(AlgoError::MissingReference),
-        (true, Some(r)) => Some(r),
-        (false, _) => None,
+    let algo = crate::registry::AlgorithmRegistry::global()
+        .get(params.algorithm.id())
+        .expect("built-in algorithms are always registered");
+    let refn = if algo.is_personalized() {
+        Some(reference.ok_or(AlgoError::MissingReference)?)
+    } else {
+        None
     };
-
-    let out = match params.algorithm {
-        Algorithm::PageRank => {
-            let (s, c) = solve(g.view(), params, None)?;
-            scored(params.algorithm, s, c)
-        }
-        Algorithm::PersonalizedPageRank => {
-            let (s, c) = solve(g.view(), params, refn)?;
-            scored(params.algorithm, s, c)
-        }
-        Algorithm::CheiRank => {
-            let (s, c) = solve(g.transposed(), params, None)?;
-            scored(params.algorithm, s, c)
-        }
-        Algorithm::PersonalizedCheiRank => {
-            let (s, c) = solve(g.transposed(), params, refn)?;
-            scored(params.algorithm, s, c)
-        }
-        Algorithm::TwoDRank => {
-            let r = two_d_rank(g, &params.pagerank_config())?;
-            RelevanceOutput {
-                algorithm: params.algorithm,
-                ranking: r,
-                scores: None,
-                convergence: None,
-                cycles_found: None,
-            }
-        }
-        Algorithm::PersonalizedTwoDRank => {
-            let r = personalized_two_d_rank(g, &params.pagerank_config(), refn.unwrap())?;
-            RelevanceOutput {
-                algorithm: params.algorithm,
-                ranking: r,
-                scores: None,
-                convergence: None,
-                cycles_found: None,
-            }
-        }
-        Algorithm::CycleRank => {
-            let out = cyclerank(g, refn.unwrap(), &params.cyclerank_config())?;
-            RelevanceOutput {
-                algorithm: params.algorithm,
-                ranking: out.scores.ranking(),
-                scores: Some(out.scores),
-                convergence: None,
-                cycles_found: Some(out.cycles_found),
-            }
-        }
-    };
-    Ok(out)
-}
-
-/// Runs the configured PageRank-family solver on one graph view.
-fn solve(
-    view: relgraph::GraphView<'_>,
-    params: &AlgorithmParams,
-    reference: Option<NodeId>,
-) -> Result<(ScoreVector, Option<Convergence>), AlgoError> {
-    let cfg = params.pagerank_config();
-    let teleport = match reference {
-        Some(r) => TeleportVector::single(view.node_count(), r)?,
-        None => TeleportVector::uniform(view.node_count())?,
-    };
-    match (params.solver, reference) {
-        (Solver::Power, _) => {
-            let (s, c) = pagerank_with_teleport(view, &cfg, &teleport)?;
-            Ok((s, Some(c)))
-        }
-        (Solver::GaussSeidel, _) => {
-            let (s, c) = pagerank_gauss_seidel(view, &cfg, &teleport)?;
-            Ok((s, Some(c)))
-        }
-        // The approximate local solvers are only defined for a single
-        // seed; global runs fall back to exact power iteration.
-        (Solver::Push, Some(r)) => {
-            let push_cfg = PushConfig {
-                damping: cfg.damping,
-                epsilon: (cfg.tolerance * 1e3).clamp(1e-12, 1e-4),
-                max_pushes: 100_000_000,
-            };
-            let (s, _) = ppr_push(view, &push_cfg, r)?;
-            Ok((s, None))
-        }
-        (Solver::MonteCarlo, Some(r)) => {
-            let mc_cfg = MonteCarloConfig { damping: cfg.damping, walks: 200_000, rng_seed: 42 };
-            let s = ppr_monte_carlo(view, &mc_cfg, r)?;
-            Ok((s, None))
-        }
-        (Solver::Push | Solver::MonteCarlo, None) => {
-            let (s, c) = pagerank_with_teleport(view, &cfg, &teleport)?;
-            Ok((s, Some(c)))
-        }
-    }
-}
-
-fn scored(algorithm: Algorithm, s: ScoreVector, c: Option<Convergence>) -> RelevanceOutput {
-    RelevanceOutput {
-        algorithm,
-        ranking: s.ranking(),
-        scores: Some(s),
-        convergence: c,
-        cycles_found: None,
-    }
+    algo.validate(params)?;
+    algo.execute(g, params, refn)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use relgraph::GraphBuilder;
@@ -440,7 +356,7 @@ mod tests {
         for algo in Algorithm::ALL {
             let params = AlgorithmParams::new(algo);
             let out = run(&g, &params, Some(NodeId::new(0))).unwrap();
-            assert_eq!(out.algorithm, algo);
+            assert_eq!(out.algorithm, algo.id());
             assert_eq!(out.ranking.len(), g.node_count());
             assert_eq!(out.scores.is_some(), algo.produces_scores());
         }
@@ -560,8 +476,8 @@ mod tests {
     #[test]
     fn cyclerank_output_has_cycle_count() {
         let g = sample();
-        let out = run(&g, &AlgorithmParams::new(Algorithm::CycleRank), Some(NodeId::new(0)))
-            .unwrap();
+        let out =
+            run(&g, &AlgorithmParams::new(Algorithm::CycleRank), Some(NodeId::new(0))).unwrap();
         assert!(out.cycles_found.unwrap() > 0);
     }
 
@@ -581,16 +497,11 @@ mod tests {
     fn solvers_agree_on_exact_and_approximate() {
         let g = sample();
         let r = NodeId::new(0);
-        let exact = run(
-            &g,
-            &AlgorithmParams::new(Algorithm::PersonalizedPageRank),
-            Some(r),
-        )
-        .unwrap();
+        let exact =
+            run(&g, &AlgorithmParams::new(Algorithm::PersonalizedPageRank), Some(r)).unwrap();
         let exact_scores = exact.scores.as_ref().unwrap();
         for solver in [Solver::GaussSeidel, Solver::Push, Solver::MonteCarlo] {
-            let params =
-                AlgorithmParams::new(Algorithm::PersonalizedPageRank).with_solver(solver);
+            let params = AlgorithmParams::new(Algorithm::PersonalizedPageRank).with_solver(solver);
             let out = run(&g, &params, Some(r)).unwrap();
             let s = out.scores.as_ref().unwrap();
             // Exact solvers match tightly; approximate ones loosely.

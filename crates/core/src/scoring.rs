@@ -75,7 +75,9 @@ impl FromStr for ScoringFunction {
             "lin" | "inverse" | "1/n" => Ok(ScoringFunction::Inverse),
             "quad" | "quadratic" | "1/n2" | "1/n^2" => Ok(ScoringFunction::QuadraticInverse),
             "const" | "constant" | "1" => Ok(ScoringFunction::Constant),
-            other => Err(format!("unknown scoring function {other:?} (expected exp|lin|quad|const)")),
+            other => {
+                Err(format!("unknown scoring function {other:?} (expected exp|lin|quad|const)"))
+            }
         }
     }
 }

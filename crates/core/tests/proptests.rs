@@ -5,9 +5,11 @@ use relcore::cyclerank::{cyclerank, CycleRankConfig};
 use relcore::pagerank::{pagerank, PageRankConfig};
 use relcore::ppr::personalized_pagerank;
 use relcore::push::{ppr_push, PushConfig};
-use relcore::runner::{run, Algorithm, AlgorithmParams};
-use relcore::ScoringFunction;
+use relcore::runner::{Algorithm, AlgorithmParams};
+use relcore::{AlgorithmRegistry, Query, ScoringFunction};
 use relgraph::{GraphBuilder, NodeId};
+use std::str::FromStr;
+use std::sync::Arc;
 
 fn edge_list(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::vec((0..max_nodes, 0..max_nodes), 1..max_edges)
@@ -133,17 +135,52 @@ proptest! {
         }
     }
 
-    /// The runner produces a full permutation ranking for every algorithm.
+    /// The Query front door produces a full permutation ranking for every
+    /// algorithm.
     #[test]
-    fn runner_rankings_are_permutations(edges in edge_list(12, 60), r in 0u32..12) {
+    fn query_rankings_are_permutations(edges in edge_list(12, 60), r in 0u32..12) {
         let g = GraphBuilder::from_edge_indices(edges);
         let r = NodeId::new(r % g.node_count() as u32);
+        let g = Arc::new(g);
         for algo in Algorithm::ALL {
-            let out = run(&g, &AlgorithmParams::new(algo), Some(r)).unwrap();
-            let mut ids: Vec<u32> = out.ranking.as_slice().iter().map(|n| n.raw()).collect();
+            let out = Query::on(&g).algorithm(algo).reference(r).run().unwrap();
+            let mut ids: Vec<u32> = out.output.ranking.as_slice().iter().map(|n| n.raw()).collect();
             ids.sort_unstable();
             let want: Vec<u32> = (0..g.node_count() as u32).collect();
             prop_assert_eq!(ids, want, "{} ranking not a permutation", algo);
+        }
+    }
+
+    /// Registry/enum parity, part 3 of 3 (see the plain tests below for
+    /// parts 1–2): `Query` with default parameters matches the legacy
+    /// `run()` entry point **bit-for-bit** — identical rankings, identical
+    /// score vectors down to the last f64 bit — for every algorithm.
+    #[test]
+    fn query_matches_legacy_run_bit_for_bit(edges in edge_list(15, 70), r in 0u32..15) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let r = NodeId::new(r % g.node_count() as u32);
+        let g = Arc::new(g);
+        for algo in Algorithm::ALL {
+            let params = AlgorithmParams::new(algo);
+            #[allow(deprecated)]
+            let legacy = relcore::runner::run(&g, &params, Some(r)).unwrap();
+            let query = Query::on(&g).algorithm(algo).reference(r).run().unwrap();
+            prop_assert_eq!(&query.output.algorithm, &legacy.algorithm);
+            prop_assert_eq!(&query.output.ranking, &legacy.ranking,
+                "{} ranking differs", algo);
+            match (&query.output.scores, &legacy.scores) {
+                (None, None) => {}
+                (Some(qs), Some(ls)) => {
+                    for u in g.nodes() {
+                        let (a, b) = (qs.get(u), ls.get(u));
+                        prop_assert!(a.to_bits() == b.to_bits(),
+                            "{} score at {:?} differs: {} vs {}", algo, u, a, b);
+                    }
+                }
+                other => prop_assert!(false, "{} score presence differs: {:?}",
+                    algo, (other.0.is_some(), other.1.is_some())),
+            }
+            prop_assert_eq!(query.output.cycles_found, legacy.cycles_found);
         }
     }
 
@@ -157,5 +194,71 @@ proptest! {
         prop_assert!((relcore::compare::rank_biased_overlap(&r, &r, 0.9) - 1.0).abs() < 1e-9);
         prop_assert_eq!(relcore::compare::spearman_footrule(&r, &r), 1.0);
         prop_assert_eq!(relcore::compare::jaccard_at_k(&r, &r, 5), 1.0);
+    }
+}
+
+/// Registry/enum parity, part 1 of 3: every `Algorithm::ALL` id resolves
+/// in the global registry, to an entry whose metadata matches the enum's.
+#[test]
+fn every_enum_id_resolves_in_registry() {
+    let registry = AlgorithmRegistry::global();
+    for algo in Algorithm::ALL {
+        let entry =
+            registry.get(algo.id()).unwrap_or_else(|| panic!("{} not in registry", algo.id()));
+        assert_eq!(entry.id(), algo.id());
+        assert_eq!(entry.display_name(), algo.display_name());
+        assert_eq!(entry.is_personalized(), algo.is_personalized());
+        assert_eq!(entry.produces_scores(), algo.produces_scores());
+    }
+}
+
+/// Registry/enum parity, part 2 of 3: every spelling `Algorithm::from_str`
+/// accepts resolves in the registry to the same algorithm, and the
+/// resolved id round-trips back through `FromStr`.
+#[test]
+fn fromstr_aliases_roundtrip_through_registry() {
+    let registry = AlgorithmRegistry::global();
+    let aliases = [
+        "pagerank",
+        "pr",
+        "PageRank",
+        "ppr",
+        "personalizedpagerank",
+        "personalized-page-rank",
+        "Pers. PageRank",
+        "cheirank",
+        "CheiRank",
+        "pcheirank",
+        "personalizedcheirank",
+        "2drank",
+        "twodrank",
+        "2DRank",
+        "p2drank",
+        "personalized2drank",
+        "personalizedtwodrank",
+        "cyclerank",
+        "cr",
+        "Cyclerank",
+        "CYCLE_RANK",
+    ];
+    for alias in aliases {
+        let from_enum =
+            Algorithm::from_str(alias).unwrap_or_else(|e| panic!("enum rejects {alias:?}: {e}"));
+        let from_registry =
+            registry.get(alias).unwrap_or_else(|| panic!("registry rejects {alias:?}"));
+        assert_eq!(from_registry.id(), from_enum.id(), "alias {alias:?} diverges");
+        // Round trip: the registry id parses back to the same enum value.
+        assert_eq!(Algorithm::from_str(from_registry.id()).unwrap(), from_enum);
+    }
+    // The registry additionally resolves dotted display names the enum's
+    // FromStr never supported; the resolved ids still round-trip.
+    for (display, id) in [("Pers. CheiRank", "pcheirank"), ("Pers. 2DRank", "p2drank")] {
+        assert_eq!(registry.get(display).unwrap().id(), id);
+        assert_eq!(Algorithm::from_str(id).unwrap().id(), id);
+    }
+    // Negative parity: names neither accepts.
+    for bogus in ["zerank", "", "page rank x"] {
+        assert!(Algorithm::from_str(bogus).is_err());
+        assert!(registry.get(bogus).is_none(), "registry accepts bogus {bogus:?}");
     }
 }

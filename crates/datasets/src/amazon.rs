@@ -70,8 +70,7 @@ pub fn generate(cfg: &AmazonConfig, seed: u64) -> DirectedGraph {
     let n = cfg.nodes;
     let bs = cfg.best_sellers.min(n);
     let genres = cfg.genres.max(1);
-    let mut b =
-        GraphBuilder::with_capacity(n as usize, (n * cfg.recommendations) as usize);
+    let mut b = GraphBuilder::with_capacity(n as usize, (n * cfg.recommendations) as usize);
     if n == 0 {
         return b.build();
     }

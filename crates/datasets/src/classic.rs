@@ -175,10 +175,7 @@ mod tests {
         assert_eq!(g.node_count(), 2000);
         let max_in = g.nodes().map(|u| g.in_degree(u)).max().unwrap();
         let mean_in = g.edge_count() as f64 / g.node_count() as f64;
-        assert!(
-            max_in as f64 > 10.0 * mean_in,
-            "expected hub: max {max_in}, mean {mean_in}"
-        );
+        assert!(max_in as f64 > 10.0 * mean_in, "expected hub: max {max_in}, mean {mean_in}");
     }
 
     #[test]

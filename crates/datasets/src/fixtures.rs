@@ -41,9 +41,7 @@ pub struct Scenario {
 impl Scenario {
     /// Resolves the reference node id.
     pub fn reference_node(&self) -> NodeId {
-        self.graph
-            .node_by_label(self.reference)
-            .expect("fixture reference label must exist")
+        self.graph.node_by_label(self.reference).expect("fixture reference label must exist")
     }
 }
 
@@ -183,8 +181,7 @@ pub fn enwiki_2018() -> Scenario {
     let mut s = ScenarioBuilder::new();
 
     // Global hubs: the paper's Table I PageRank top-5, most popular first.
-    let hubs =
-        vec!["United States", "Animal", "Arthropod", "Association football", "Insect"];
+    let hubs = vec!["United States", "Animal", "Arthropod", "Association football", "Insect"];
     s.hubs_and_filler(&hubs, 360);
 
     // ---- Freddie Mercury neighbourhood -------------------------------
@@ -232,10 +229,8 @@ pub fn enwiki_2018() -> Scenario {
     // that keep Italy in PPR's top-5, as in the paper) and to hubs. A
     // graded number of feeder pages (recipe articles the reference links
     // to) engineers the PPR ladder Bolognese > Carbonara > Durum.
-    let sauce_sources =
-        ["Pasta", "Italian cuisine", "Italy", "Spaghetti", "Flour"];
-    let sauce_sinks =
-        ["Italy", "United States", "Animal", "Arthropod", "Association football"];
+    let sauce_sources = ["Pasta", "Italian cuisine", "Italy", "Spaghetti", "Flour"];
+    let sauce_sinks = ["Italy", "United States", "Animal", "Arthropod", "Association football"];
     s.popular_oneway("Bolognese sauce", &sauce_sources, &sauce_sinks);
     s.popular_oneway("Carbonara", &sauce_sources, &sauce_sinks);
     s.popular_oneway("Durum", &sauce_sources, &sauce_sinks);
@@ -420,23 +415,13 @@ impl Language {
             Language::De => {
                 &["Barack Obama", "Tagesschau.de", "Desinformation", "Fake", "Donald Trump"]
             }
-            Language::En => &[
-                "CNN",
-                "Facebook",
-                "US presidential election, 2016",
-                "Propaganda",
-                "Social media",
-            ],
-            Language::Fr => &[
-                "Ère post-vérité",
-                "Donald Trump",
-                "Facebook",
-                "Hoax",
-                "Alex Jones (complotiste)",
-            ],
-            Language::It => {
-                &["Disinformazione", "Post-verità", "Bufala", "Debunker", "Clickbait"]
+            Language::En => {
+                &["CNN", "Facebook", "US presidential election, 2016", "Propaganda", "Social media"]
             }
+            Language::Fr => {
+                &["Ère post-vérité", "Donald Trump", "Facebook", "Hoax", "Alex Jones (complotiste)"]
+            }
+            Language::It => &["Disinformazione", "Post-verità", "Bufala", "Debunker", "Clickbait"],
             Language::Nl => &["Facebook", "Journalistiek", "Hoax", "Donald Trump"],
             Language::Pl => &["Dezinformacja", "Propaganda", "Media społecznościowe"],
         }
@@ -506,8 +491,7 @@ mod tests {
         // Popular pages may cite other famous cluster members (the sauces
         // cite Italy), but never the reference itself: any CycleRank score
         // they get comes only from longer indirect cycles.
-        for sc in [enwiki_2018(), enwiki_2018_pasta(), amazon_books(), amazon_books_fellowship()]
-        {
+        for sc in [enwiki_2018(), enwiki_2018_pasta(), amazon_books(), amazon_books_fellowship()] {
             let g = &sc.graph;
             let r = sc.reference_node();
             for p in &sc.popular_oneway {
@@ -567,11 +551,8 @@ mod tests {
     fn hub_in_degrees_strictly_graded() {
         for sc in [enwiki_2018(), amazon_books(), fakenews(Language::En)] {
             let g = &sc.graph;
-            let degs: Vec<usize> = sc
-                .hubs
-                .iter()
-                .map(|h| g.in_degree(g.node_by_label(h).unwrap()))
-                .collect();
+            let degs: Vec<usize> =
+                sc.hubs.iter().map(|h| g.in_degree(g.node_by_label(h).unwrap())).collect();
             for w in degs.windows(2) {
                 assert!(w[0] > w[1], "hub in-degrees not graded: {degs:?}");
             }

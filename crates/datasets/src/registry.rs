@@ -111,6 +111,7 @@ fn seed_for(id: &str) -> u64 {
 
 /// The full 50-entry catalog, in display order.
 pub fn catalog() -> Vec<DatasetSpec> {
+    crate::connect_query_api();
     let mut out = Vec::with_capacity(50);
     for lang in LANGS {
         for year in YEARS {
@@ -168,12 +169,7 @@ pub fn catalog() -> Vec<DatasetSpec> {
         });
     }
     for (id, name, desc, nodes) in [
-        (
-            "synthetic-er",
-            "Erdős–Rényi G(2000, 0.005)",
-            "uniform random directed graph",
-            2000u32,
-        ),
+        ("synthetic-er", "Erdős–Rényi G(2000, 0.005)", "uniform random directed graph", 2000u32),
         (
             "synthetic-ba",
             "Preferential attachment (5000, m=5)",
@@ -205,6 +201,7 @@ pub fn spec(id: &str) -> Option<DatasetSpec> {
 
 /// Generates the graph for a dataset id. Returns `None` for unknown ids.
 pub fn load_dataset(id: &str) -> Option<DirectedGraph> {
+    crate::connect_query_api();
     let seed = seed_for(id);
     // Fixtures.
     match id {

@@ -147,10 +147,7 @@ mod tests {
         let g = generate(&small(), 1);
         assert!(g.is_weighted());
         // Some pair must have interacted more than once.
-        let max_w = g
-            .weighted_edges()
-            .map(|(_, _, w)| w)
-            .fold(0.0f64, f64::max);
+        let max_w = g.weighted_edges().map(|(_, _, w)| w).fold(0.0f64, f64::max);
         assert!(max_w > 1.0, "expected a collapsed multi-edge, max weight {max_w}");
     }
 
@@ -190,10 +187,7 @@ mod tests {
         outs.sort_by(f64::total_cmp);
         let top1pc: f64 = outs.iter().rev().take(outs.len() / 100).sum();
         let total: f64 = outs.iter().sum();
-        assert!(
-            top1pc > total * 0.04,
-            "top 1% should produce >4% of activity: {top1pc}/{total}"
-        );
+        assert!(top1pc > total * 0.04, "top 1% should produce >4% of activity: {top1pc}/{total}");
     }
 
     #[test]

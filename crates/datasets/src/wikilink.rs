@@ -238,10 +238,7 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(
-            intra as f64 > inter as f64 * 2.0,
-            "intra {intra} should dominate inter {inter}"
-        );
+        assert!(intra as f64 > inter as f64 * 2.0, "intra {intra} should dominate inter {inter}");
     }
 
     #[test]

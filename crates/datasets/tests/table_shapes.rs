@@ -61,12 +61,10 @@ fn cyclerank_pasta_matches_table1_column() {
 #[test]
 fn cyclerank_amazon_matches_table2_columns() {
     for sc in [amazon_books(), amazon_books_fellowship()] {
-        let out =
-            cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(5)).unwrap();
+        let out = cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(5)).unwrap();
         let top = top_labels(&sc, &out.scores, 1 + sc.expected_cyclerank.len());
         assert_eq!(top[0], sc.reference);
-        let expected: Vec<String> =
-            sc.expected_cyclerank.iter().map(|s| s.to_string()).collect();
+        let expected: Vec<String> = sc.expected_cyclerank.iter().map(|s| s.to_string()).collect();
         // With K=5 the longer cycles may permute the middle of the column;
         // the *set* must match exactly and the top entry must agree.
         let mut got_sorted = top[1..].to_vec();
@@ -88,8 +86,7 @@ fn cyclerank_amazon_matches_table2_columns() {
 fn popular_oneway_pages_stay_out_of_cyclerank_top() {
     // Exact-zero cases.
     for (sc, k) in [(enwiki_2018(), 3), (amazon_books_fellowship(), 5)] {
-        let out =
-            cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(k)).unwrap();
+        let out = cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(k)).unwrap();
         for p in &sc.popular_oneway {
             let n = sc.graph.node_by_label(p).unwrap();
             assert_eq!(
@@ -102,8 +99,7 @@ fn popular_oneway_pages_stay_out_of_cyclerank_top() {
     }
     // Below-cluster cases.
     for (sc, k) in [(enwiki_2018_pasta(), 3), (amazon_books(), 5)] {
-        let out =
-            cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(k)).unwrap();
+        let out = cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(k)).unwrap();
         let min_cluster = sc
             .expected_cyclerank
             .iter()
@@ -179,8 +175,7 @@ fn ppr_surfaces_popular_pages_table2() {
 fn cyclerank_fakenews_matches_table3_all_languages() {
     for lang in Language::ALL {
         let sc = fakenews(lang);
-        let out =
-            cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(3)).unwrap();
+        let out = cyclerank(&sc.graph, sc.reference_node(), &CycleRankConfig::with_k(3)).unwrap();
         let top = top_labels(&sc, &out.scores, 1 + sc.expected_cyclerank.len());
         assert_eq!(top[0], sc.reference, "{lang}");
         assert_eq!(
@@ -199,11 +194,12 @@ fn registry_wiki_2018_supports_fakenews_query() {
         let g = reldata::load_dataset(&format!("wiki-{}-2018", lang.code())).unwrap();
         let r = g.node_by_label(lang.fake_news_title()).unwrap();
         let out = cyclerank(&g, r, &CycleRankConfig::with_k(3)).unwrap();
-        let top: Vec<String> =
-            out.scores.top_k_labeled(&g, 1 + lang.fake_news_neighbours().len())
-                .into_iter()
-                .map(|(l, _)| l)
-                .collect();
+        let top: Vec<String> = out
+            .scores
+            .top_k_labeled(&g, 1 + lang.fake_news_neighbours().len())
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
         assert_eq!(top[0], lang.fake_news_title());
         assert_eq!(&top[1..], lang.fake_news_neighbours(), "{lang}");
     }

@@ -4,7 +4,7 @@
 use crate::error::EngineError;
 use crate::task::TaskSpec;
 use relcore::runner::{Algorithm, AlgorithmParams, Solver};
-use relcore::ScoringFunction;
+use relcore::{AlgorithmRegistry, Query, ScoringFunction};
 
 /// Builds a validated [`TaskSpec`].
 ///
@@ -91,10 +91,14 @@ impl TaskBuilder {
 
     /// Validates and produces the [`TaskSpec`].
     ///
-    /// Fails with [`EngineError::MissingSource`] when a personalized
-    /// algorithm has no source label.
+    /// Personalization requirements come from the algorithm's registry
+    /// entry; fails with [`EngineError::MissingSource`] when a
+    /// personalized algorithm has no source label.
     pub fn build(self) -> Result<TaskSpec, EngineError> {
-        if self.algorithm.is_personalized() && self.source.is_none() {
+        let registered = AlgorithmRegistry::global()
+            .get(self.algorithm.id())
+            .expect("built-in algorithms are always registered");
+        if registered.is_personalized() && self.source.is_none() {
             return Err(EngineError::MissingSource);
         }
         let mut params = AlgorithmParams::new(self.algorithm);
@@ -111,6 +115,18 @@ impl TaskBuilder {
             params = params.with_solver(s);
         }
         Ok(TaskSpec { dataset: self.dataset, params, source: self.source, top_k: self.top_k })
+    }
+
+    /// Builds the equivalent [`Query`] instead of a wire-format spec —
+    /// the same validation, but runnable directly (and open to any
+    /// registered algorithm via [`Query::algorithm`]).
+    pub fn into_query(self) -> Result<Query, EngineError> {
+        let spec = self.build()?;
+        let mut query = Query::on(spec.dataset.as_str()).params(spec.params).top(spec.top_k);
+        if let Some(source) = spec.source {
+            query = query.reference(source);
+        }
+        Ok(query)
     }
 }
 

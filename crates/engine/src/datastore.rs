@@ -65,9 +65,7 @@ mod graph_codec {
             nodes: g.node_count() as u32,
             labels: g.labels().iter().map(|(n, l)| (n.raw(), l.to_string())).collect(),
             edges: g.edges().map(|(u, v)| (u.raw(), v.raw())).collect(),
-            weights: g
-                .is_weighted()
-                .then(|| g.weighted_edges().map(|(_, _, w)| w).collect()),
+            weights: g.is_weighted().then(|| g.weighted_edges().map(|(_, _, w)| w).collect()),
         };
         serde_json::to_string(&doc).map_err(|e| EngineError::Storage(format!("encode: {e}")))
     }
@@ -259,8 +257,7 @@ impl Datastore for FileStore {
 /// Lists the `<id>.json` stems of a directory.
 fn list_json_ids(dir: &std::path::Path) -> Result<Vec<String>, EngineError> {
     let mut out = Vec::new();
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| EngineError::Storage(format!("list: {e}")))?;
+    let entries = std::fs::read_dir(dir).map_err(|e| EngineError::Storage(format!("list: {e}")))?;
     for e in entries {
         let e = e.map_err(|e| EngineError::Storage(e.to_string()))?;
         if let Some(name) = e.file_name().to_str() {

@@ -28,6 +28,8 @@ pub enum EngineError {
     TaskFailed(String),
     /// Datastore IO failure.
     Storage(String),
+    /// A `Query` cannot be expressed as a schedulable task spec.
+    UnsupportedQuery(String),
 }
 
 impl fmt::Display for EngineError {
@@ -46,6 +48,7 @@ impl fmt::Display for EngineError {
             EngineError::Timeout(t) => write!(f, "timed out waiting for task {t:?}"),
             EngineError::TaskFailed(e) => write!(f, "task failed: {e}"),
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::UnsupportedQuery(e) => write!(f, "unsupported query: {e}"),
         }
     }
 }
@@ -74,6 +77,9 @@ mod tests {
         assert!(EngineError::TaskFailed("boom".into()).to_string().contains("boom"));
         assert!(EngineError::Storage("io".into()).to_string().contains("io"));
         assert!(EngineError::UnknownTask("id".into()).to_string().contains("id"));
+        assert!(EngineError::UnsupportedQuery("graph target".into())
+            .to_string()
+            .contains("graph target"));
     }
 
     #[test]

@@ -2,18 +2,20 @@
 //!
 //! An [`Executor`] owns a dataset cache (graphs are deterministic,
 //! generated on first use and shared via `Arc` thereafter) and turns a
-//! [`TaskSpec`] into a [`TaskResult`]: load dataset → resolve the source
-//! label → dispatch through `relcore::run` → package the labelled top-k.
+//! [`TaskSpec`] into a [`TaskResult`]: load dataset → build a
+//! [`relcore::Query`] → package the labelled top-k. All algorithm
+//! dispatch, reference resolution, and parameter validation happen inside
+//! the registry-backed `Query` front door, so any algorithm registered in
+//! [`relcore::AlgorithmRegistry`] executes here without engine changes.
 
 use crate::error::EngineError;
 use crate::task::{TaskId, TaskSpec};
 use parking_lot::Mutex;
-use relcore::runner;
+use relcore::{Query, QueryError};
 use relgraph::DirectedGraph;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The stored outcome of a completed task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,17 +43,6 @@ pub struct TaskResult {
     pub iterations: Option<usize>,
     /// Cycles found, for CycleRank.
     pub cycles_found: Option<u64>,
-}
-
-/// Resolves a task's source string to a node: by label first, then — for
-/// unlabeled datasets such as bare edge-list uploads — as a numeric node
-/// index.
-fn resolve_source(graph: &DirectedGraph, source: &str) -> Option<relgraph::NodeId> {
-    if let Some(n) = graph.node_by_label(source) {
-        return Some(n);
-    }
-    let idx: u32 = source.parse().ok()?;
-    ((idx as usize) < graph.node_count()).then_some(relgraph::NodeId::new(idx))
 }
 
 /// Dataset-caching task executor.
@@ -113,38 +104,36 @@ impl Executor {
         self.cache.lock().len()
     }
 
-    /// Executes a task spec to completion.
+    /// Executes a task spec to completion through the registry-backed
+    /// [`Query`] front door.
     pub fn execute(&self, id: &TaskId, spec: &TaskSpec) -> Result<TaskResult, EngineError> {
         let graph = self.dataset(&spec.dataset)?;
 
-        let reference = match &spec.source {
-            Some(label) => Some(resolve_source(&graph, label).ok_or_else(|| {
-                EngineError::UnknownSource { dataset: spec.dataset.clone(), source: label.clone() }
-            })?),
-            None => {
-                if spec.params.algorithm.is_personalized() {
-                    return Err(EngineError::MissingSource);
-                }
-                None
+        let mut query = Query::on(Arc::clone(&graph)).params(spec.params).top(spec.top_k);
+        if let Some(source) = &spec.source {
+            query = query.reference(source.as_str());
+        }
+        let result = query.run().map_err(|e| match e {
+            QueryError::MissingReference(_) => EngineError::MissingSource,
+            QueryError::UnknownReference(source) => {
+                EngineError::UnknownSource { dataset: spec.dataset.clone(), source }
             }
-        };
-
-        let started = Instant::now();
-        let output = runner::run(&graph, &spec.params, reference)?;
-        let runtime_ms = started.elapsed().as_millis() as u64;
+            QueryError::Algorithm(e) => e.into(),
+            other => EngineError::Algorithm(other.to_string()),
+        })?;
 
         Ok(TaskResult {
             task_id: id.clone(),
             dataset: spec.dataset.clone(),
-            algorithm: spec.params.algorithm.id().to_string(),
-            parameters: spec.params.summary(),
+            algorithm: result.algorithm.clone(),
+            parameters: result.parameters.clone(),
             source: spec.source.clone(),
-            top: output.top_k_labeled(&graph, spec.top_k),
-            runtime_ms,
+            top: result.top_entries(),
+            runtime_ms: result.runtime.as_millis() as u64,
             nodes: graph.node_count(),
             edges: graph.edge_count(),
-            iterations: output.convergence.map(|c| c.iterations),
-            cycles_found: output.cycles_found,
+            iterations: result.output.convergence.map(|c| c.iterations),
+            cycles_found: result.output.cycles_found,
         })
     }
 }

@@ -39,10 +39,9 @@ pub fn looks_like_uuid(s: &str) -> bool {
         return false;
     }
     let lens = [8, 4, 4, 4, 12];
-    parts
-        .iter()
-        .zip(lens)
-        .all(|(p, l)| p.len() == l && p.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()))
+    parts.iter().zip(lens).all(|(p, l)| {
+        p.len() == l && p.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
+    })
 }
 
 #[cfg(test)]

@@ -46,6 +46,9 @@ impl SchedulerBuilder {
     /// Starts the worker pool, restoring any datasets persisted in the
     /// datastore into the executor's registry.
     pub fn build(self) -> Scheduler {
+        // Dataset-name queries (Query::on("wiki-en-2018")) resolve through
+        // the registry once any engine exists in the process.
+        reldata::connect_query_api();
         let (tx, rx) = unbounded::<Job>();
         let executor = Arc::new(Executor::new());
         #[allow(clippy::redundant_clone)]
@@ -89,14 +92,14 @@ fn worker_loop(
             continue;
         }
         board.mark_running(&id);
-        let _ = store.append_log(
-            &id,
-            &format!("worker {worker_id}: running {}", spec.display_row()),
-        );
+        let _ =
+            store.append_log(&id, &format!("worker {worker_id}: running {}", spec.display_row()));
         match executor.execute(&id, &spec) {
             Ok(result) => {
-                let _ = store
-                    .append_log(&id, &format!("worker {worker_id}: done in {}ms", result.runtime_ms));
+                let _ = store.append_log(
+                    &id,
+                    &format!("worker {worker_id}: done in {}ms", result.runtime_ms),
+                );
                 match store.put_result(&result) {
                     Ok(()) => board.mark_completed(&id),
                     Err(e) => board.mark_failed(&id, e.to_string()),
@@ -140,6 +143,20 @@ impl Scheduler {
     ) -> Result<(), EngineError> {
         self.store.put_dataset(id, &graph)?;
         self.executor.register_graph(id, graph)
+    }
+
+    /// Submits a [`relcore::Query`] against a named dataset; returns its
+    /// task id immediately.
+    ///
+    /// The fluent single-task front door for engine execution
+    /// (multi-query flows like the CLI's `compare` convert each query
+    /// with [`TaskSpec::from_query`] and submit them as a query set to
+    /// keep the shared permalink id). Fails with
+    /// [`EngineError::UnsupportedQuery`] for queries the task wire format
+    /// cannot express (graph targets, node-id references, non-task-JSON
+    /// algorithms); run those directly with [`relcore::Query::run`].
+    pub fn submit_query(&self, query: relcore::Query) -> Result<TaskId, EngineError> {
+        Ok(self.submit(TaskSpec::from_query(&query)?))
     }
 
     /// Submits one task; returns its id immediately.
@@ -192,10 +209,7 @@ impl Scheduler {
 
     /// Current status of a task.
     pub fn status(&self, id: &TaskId) -> Result<TaskState, EngineError> {
-        self.board
-            .get(id)
-            .map(|r| r.state)
-            .ok_or_else(|| EngineError::UnknownTask(id.to_string()))
+        self.board.get(id).map(|r| r.state).ok_or_else(|| EngineError::UnknownTask(id.to_string()))
     }
 
     /// The status board (for UI polling).
@@ -228,9 +242,7 @@ impl Scheduler {
                         .ok_or_else(|| EngineError::Storage("result missing".into()));
                 }
                 TaskState::Failed { error } => return Err(EngineError::TaskFailed(error)),
-                TaskState::Canceled => {
-                    return Err(EngineError::TaskFailed("canceled".into()))
-                }
+                TaskState::Canceled => return Err(EngineError::TaskFailed("canceled".into())),
                 _ if Instant::now() >= deadline => {
                     return Err(EngineError::Timeout(id.to_string()))
                 }
@@ -298,6 +310,60 @@ mod tests {
     }
 
     #[test]
+    fn submit_query_end_to_end() {
+        let s = Scheduler::builder().workers(1).build();
+        let id = s
+            .submit_query(
+                relcore::Query::on("fixture-fakenews-it")
+                    .algorithm("cyclerank")
+                    .reference("Fake news")
+                    .k(3)
+                    .top(5),
+            )
+            .unwrap();
+        let r = s.wait(&id, T).unwrap();
+        assert_eq!(r.algorithm, "cyclerank");
+        assert_eq!(r.top[0].0, "Fake news");
+        assert_eq!(r.top.len(), 5);
+    }
+
+    #[test]
+    fn submit_query_rejects_inexpressible_queries() {
+        let s = Scheduler::builder().workers(1).build();
+        // Graph targets cannot be queued by name.
+        let g = relgraph::GraphBuilder::from_edge_indices([(0, 1), (1, 0)]);
+        assert!(matches!(
+            s.submit_query(relcore::Query::on(g).algorithm("pagerank")),
+            Err(EngineError::UnsupportedQuery(_))
+        ));
+        // Node-id references would resolve label-first on the worker and
+        // could silently bind to the wrong node; refused up front.
+        assert!(matches!(
+            s.submit_query(
+                relcore::Query::on("fixture-fakenews-it")
+                    .algorithm("cyclerank")
+                    .reference(relgraph::NodeId::new(3)),
+            ),
+            Err(EngineError::UnsupportedQuery(_))
+        ));
+    }
+
+    #[test]
+    fn task_builder_into_query_runs_through_scheduler() {
+        let s = Scheduler::builder().workers(1).build();
+        let query = TaskBuilder::new("fixture-fakenews-pl")
+            .algorithm(Algorithm::CycleRank)
+            .source("Fake news")
+            .top_k(4)
+            .into_query()
+            .unwrap();
+        let id = s.submit_query(query).unwrap();
+        let r = s.wait(&id, T).unwrap();
+        assert_eq!(r.top[0].0, "Fake news");
+        assert_eq!(r.top.len(), 4);
+    }
+
+    #[test]
     fn failed_task_reports_error() {
         let s = Scheduler::builder().workers(1).build();
         let id = s.submit(cyclerank_task("fixture-fakenews-it", "No Such Page"));
@@ -311,10 +377,7 @@ mod tests {
     #[test]
     fn unknown_task_status() {
         let s = Scheduler::builder().workers(1).build();
-        assert!(matches!(
-            s.status(&TaskId::fresh()),
-            Err(EngineError::UnknownTask(_))
-        ));
+        assert!(matches!(s.status(&TaskId::fresh()), Err(EngineError::UnknownTask(_))));
     }
 
     #[test]
@@ -345,9 +408,8 @@ mod tests {
     #[test]
     fn parallel_workers_share_dataset_cache() {
         let s = Scheduler::builder().workers(4).build();
-        let ids: Vec<TaskId> = (0..8)
-            .map(|_| s.submit(cyclerank_task("fixture-fakenews-nl", "Nepnieuws")))
-            .collect();
+        let ids: Vec<TaskId> =
+            (0..8).map(|_| s.submit(cyclerank_task("fixture-fakenews-nl", "Nepnieuws"))).collect();
         let results = s.wait_all(&ids, T).unwrap();
         assert!(results.iter().all(|r| r.top[0].0 == "Nepnieuws"));
         // One dataset, cached once.
@@ -371,9 +433,8 @@ mod tests {
     fn canceled_queued_tasks_are_skipped() {
         // One worker, many tasks: cancel the tail while the head runs.
         let s = Scheduler::builder().workers(1).build();
-        let ids: Vec<TaskId> = (0..6)
-            .map(|_| s.submit(cyclerank_task("fixture-fakenews-de", "Fake News")))
-            .collect();
+        let ids: Vec<TaskId> =
+            (0..6).map(|_| s.submit(cyclerank_task("fixture-fakenews-de", "Fake News"))).collect();
         // Cancel whatever is still queued; at least the last task should
         // usually be cancellable, but the assertion tolerates an empty set
         // (if the worker raced through everything already).
@@ -442,17 +503,10 @@ mod tests {
         fn list_results(&self) -> Result<Vec<TaskId>, EngineError> {
             self.inner.list_results()
         }
-        fn put_dataset(
-            &self,
-            id: &str,
-            g: &relgraph::DirectedGraph,
-        ) -> Result<(), EngineError> {
+        fn put_dataset(&self, id: &str, g: &relgraph::DirectedGraph) -> Result<(), EngineError> {
             self.inner.put_dataset(id, g)
         }
-        fn get_dataset(
-            &self,
-            id: &str,
-        ) -> Result<Option<relgraph::DirectedGraph>, EngineError> {
+        fn get_dataset(&self, id: &str) -> Result<Option<relgraph::DirectedGraph>, EngineError> {
             self.inner.get_dataset(id)
         }
         fn list_datasets(&self) -> Result<Vec<String>, EngineError> {
@@ -464,9 +518,8 @@ mod tests {
     fn workers_can_scale_up_at_runtime() {
         let mut s = Scheduler::builder().workers(1).build();
         assert_eq!(s.worker_count(), 1);
-        let ids: Vec<TaskId> = (0..4)
-            .map(|_| s.submit(cyclerank_task("fixture-fakenews-de", "Fake News")))
-            .collect();
+        let ids: Vec<TaskId> =
+            (0..4).map(|_| s.submit(cyclerank_task("fixture-fakenews-de", "Fake News"))).collect();
         s.add_workers(3);
         assert_eq!(s.worker_count(), 4);
         for id in &ids {

@@ -33,10 +33,7 @@ pub enum TaskState {
 impl TaskState {
     /// True for `Completed`, `Failed` and `Canceled`.
     pub fn is_terminal(&self) -> bool {
-        matches!(
-            self,
-            TaskState::Completed | TaskState::Failed { .. } | TaskState::Canceled
-        )
+        matches!(self, TaskState::Completed | TaskState::Failed { .. } | TaskState::Canceled)
     }
 }
 

@@ -6,8 +6,10 @@
 //! demo UI lets users add rows, delete individual rows (the `✕` control)
 //! and empty the whole set (the trash-bin control) — all mirrored here.
 
+use crate::error::EngineError;
 use crate::id;
-use relcore::runner::AlgorithmParams;
+use relcore::runner::{Algorithm, AlgorithmParams};
+use relcore::{Query, QueryTarget, ReferenceSpec};
 use serde::{Deserialize, Serialize};
 
 /// Opaque task identifier (UUID-shaped).
@@ -52,6 +54,62 @@ fn default_top_k() -> usize {
 }
 
 impl TaskSpec {
+    /// Converts a [`Query`] against a *named dataset* into the
+    /// serializable spec the scheduler queues.
+    ///
+    /// Fails with [`EngineError::UnsupportedQuery`] for graph-target
+    /// queries (run those directly with [`Query::run`]) and for algorithm
+    /// ids outside the seven task-JSON algorithms (the spec's wire format
+    /// tags algorithms with the closed [`Algorithm`] enum; custom
+    /// registrations run through [`Query::run`]).
+    pub fn from_query(query: &Query) -> Result<TaskSpec, EngineError> {
+        let dataset = match query.target() {
+            QueryTarget::Dataset(id) => id.clone(),
+            QueryTarget::Graph(_) => {
+                return Err(EngineError::UnsupportedQuery(
+                    "the scheduler queues named-dataset queries; run graph-target \
+                     queries directly with Query::run()"
+                        .into(),
+                ))
+            }
+        };
+        // Resolve the name through the registry first, so every spelling
+        // the registry accepts (aliases, display names) works here exactly
+        // as it does in Query::run; only then map the canonical id onto
+        // the wire format's closed enum.
+        let canonical =
+            relcore::AlgorithmRegistry::global().get(query.algorithm_name()).ok_or_else(|| {
+                EngineError::UnsupportedQuery(format!(
+                    "unknown algorithm {:?}",
+                    query.algorithm_name()
+                ))
+            })?;
+        let algorithm: Algorithm = canonical.id().parse().map_err(|_| {
+            EngineError::UnsupportedQuery(format!(
+                "algorithm {:?} has no task-JSON tag; run it directly with Query::run()",
+                canonical.id()
+            ))
+        })?;
+        let mut params = *query.params_ref();
+        params.algorithm = algorithm;
+        let source = match query.reference_ref() {
+            None => None,
+            Some(ReferenceSpec::Label(l)) => Some(l.clone()),
+            // The wire format's `source` string resolves label-first, so a
+            // numeric rendering of a NodeId could silently bind to a node
+            // whose *label* is that number. Refuse rather than mis-target.
+            Some(ReferenceSpec::Node(n)) => {
+                return Err(EngineError::UnsupportedQuery(format!(
+                    "task specs identify references by label; node id {} cannot be \
+                     expressed unambiguously — use .reference(\"<label>\") or run the \
+                     query directly with Query::run()",
+                    n.raw()
+                )))
+            }
+        };
+        Ok(TaskSpec { dataset, params, source, top_k: query.top_k() })
+    }
+
     /// Renders the row as the task-builder interface shows it
     /// (cf. Fig. 2: "enwiki 2018-03-01 | Cyclerank | Fake news | k = 3,
     /// σ = exp").

@@ -53,9 +53,7 @@ impl std::str::FromStr for Format {
             "asd" => Ok(Format::Asd),
             "graphml" | "xml" => Ok(Format::GraphMl),
             "json" | "json-graph" | "jsongraph" => Ok(Format::JsonGraph),
-            other => Err(format!(
-                "unknown format {other:?} (expected csv|pajek|asd|graphml|json)"
-            )),
+            other => Err(format!("unknown format {other:?} (expected csv|pajek|asd|graphml|json)")),
         }
     }
 }
@@ -160,18 +158,17 @@ mod tests {
 
     #[test]
     fn empty_unknown() {
-        assert!(matches!(sniff_format(None, "\n# only comments\n"), Err(FormatError::UnknownFormat)));
+        assert!(matches!(
+            sniff_format(None, "\n# only comments\n"),
+            Err(FormatError::UnknownFormat)
+        ));
     }
 
     #[test]
     fn format_parse_and_display() {
-        for f in [
-            Format::EdgeListCsv,
-            Format::Pajek,
-            Format::Asd,
-            Format::GraphMl,
-            Format::JsonGraph,
-        ] {
+        for f in
+            [Format::EdgeListCsv, Format::Pajek, Format::Asd, Format::GraphMl, Format::JsonGraph]
+        {
             let s = f.to_string();
             assert_eq!(s.parse::<Format>().unwrap(), f);
             assert!(!f.extension().is_empty());

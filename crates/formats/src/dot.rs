@@ -21,10 +21,10 @@ pub fn write(g: &DirectedGraph) -> String {
 /// Like [`write`], with an optional per-node score that is rendered into
 /// the node label and mapped onto a color ramp (higher score = darker).
 pub fn write_scored(g: &DirectedGraph, scores: Option<&[f64]>) -> String {
-    let mut out = String::from("digraph relevance {\n  rankdir=LR;\n  node [shape=box, style=filled, fillcolor=white];\n");
-    let max_score = scores
-        .map(|s| s.iter().cloned().fold(f64::MIN, f64::max))
-        .filter(|&m| m > 0.0);
+    let mut out = String::from(
+        "digraph relevance {\n  rankdir=LR;\n  node [shape=box, style=filled, fillcolor=white];\n",
+    );
+    let max_score = scores.map(|s| s.iter().cloned().fold(f64::MIN, f64::max)).filter(|&m| m > 0.0);
     for u in g.nodes() {
         let name = g.display_name(u);
         let mut attrs = format!("label=\"{}\"", escape(&name));
@@ -34,10 +34,7 @@ pub fn write_scored(g: &DirectedGraph, scores: Option<&[f64]>) -> String {
             // Light blue ramp: 0 → white, max → steel blue.
             let t = (score / max).clamp(0.0, 1.0);
             let shade = (255.0 - t * 120.0) as u8;
-            attrs.push_str(&format!(
-                ", fillcolor=\"#{:02x}{:02x}ff\"",
-                shade, shade
-            ));
+            attrs.push_str(&format!(", fillcolor=\"#{:02x}{:02x}ff\"", shade, shade));
         }
         out.push_str(&format!("  n{} [{}];\n", u.raw(), attrs));
     }

@@ -14,13 +14,11 @@ use crate::error::FormatError;
 use relgraph::{DirectedGraph, GraphBuilder, NodeId};
 
 /// Parsing options for edge lists.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EdgeListOptions {
     /// Drop self-loops while loading (default: false).
     pub drop_self_loops: bool,
 }
-
 
 /// Splits a data line into fields on the first separator that matches.
 fn split_line(line: &str) -> Vec<&str> {
@@ -61,14 +59,17 @@ pub fn parse(content: &str, opts: &EdgeListOptions) -> Result<DirectedGraph, For
         first_data_line = false;
 
         if fields.len() < 2 {
-            return Err(FormatError::parse(lineno + 1, format!("expected 2+ fields, got {line:?}")));
+            return Err(FormatError::parse(
+                lineno + 1,
+                format!("expected 2+ fields, got {line:?}"),
+            ));
         }
-        let u: u32 = fields[0]
-            .parse()
-            .map_err(|_| FormatError::parse(lineno + 1, format!("bad source id {:?}", fields[0])))?;
-        let v: u32 = fields[1]
-            .parse()
-            .map_err(|_| FormatError::parse(lineno + 1, format!("bad target id {:?}", fields[1])))?;
+        let u: u32 = fields[0].parse().map_err(|_| {
+            FormatError::parse(lineno + 1, format!("bad source id {:?}", fields[0]))
+        })?;
+        let v: u32 = fields[1].parse().map_err(|_| {
+            FormatError::parse(lineno + 1, format!("bad target id {:?}", fields[1]))
+        })?;
         if fields.len() >= 3 {
             let w: f64 = fields[2].parse().map_err(|_| {
                 FormatError::parse(lineno + 1, format!("bad weight {:?}", fields[2]))

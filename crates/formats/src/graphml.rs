@@ -32,10 +32,7 @@ fn unescape(s: &str) -> String {
 
 /// Encodes text for XML output.
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
-        .replace('"', "&quot;")
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
 }
 
 /// A scanned tag: name, attributes, self-closing flag, closing flag.
@@ -57,7 +54,13 @@ fn scan_tag(s: &str, from: usize) -> Option<Result<Tag<'_>, FormatError>> {
     let inner = &s[open + 1..close];
     // Skip declarations and comments.
     if inner.starts_with('?') || inner.starts_with('!') {
-        return Some(Ok(Tag { name: "", attrs: Vec::new(), closing: false, self_closing: true, end: close + 1 }));
+        return Some(Ok(Tag {
+            name: "",
+            attrs: Vec::new(),
+            closing: false,
+            self_closing: true,
+            end: close + 1,
+        }));
     }
     let closing = inner.starts_with('/');
     let body = inner.trim_start_matches('/').trim_end_matches('/');
@@ -75,9 +78,7 @@ fn scan_tag(s: &str, from: usize) -> Option<Result<Tag<'_>, FormatError>> {
             let key = rest[..eq].trim();
             let after = rest[eq + 1..].trim_start();
             if !after.starts_with('"') {
-                return Some(Err(FormatError::Inconsistent(format!(
-                    "attribute {key} not quoted"
-                ))));
+                return Some(Err(FormatError::Inconsistent(format!("attribute {key} not quoted"))));
             }
             let vend = match after[1..].find('"') {
                 Some(v) => v,
@@ -314,8 +315,9 @@ mod tests {
     fn rejects_undirected_and_malformed() {
         assert!(parse(r#"<graphml><graph edgedefault="undirected"></graph></graphml>"#).is_err());
         assert!(parse("just text").is_err());
-        assert!(parse(r#"<graphml><graph edgedefault="directed"><node/></graph></graphml>"#)
-            .is_err()); // node without id
+        assert!(
+            parse(r#"<graphml><graph edgedefault="directed"><node/></graph></graphml>"#).is_err()
+        ); // node without id
         assert!(parse(
             r#"<graphml><graph edgedefault="directed"><edge source="a"/></graph></graphml>"#
         )

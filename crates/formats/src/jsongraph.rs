@@ -48,7 +48,7 @@ pub fn parse(content: &str) -> Result<DirectedGraph, FormatError> {
         let nodes = nodes.as_array().ok_or_else(|| bad("\"nodes\" must be an array"))?;
         for n in nodes {
             match n {
-                Value::Number(_) => {
+                n if n.is_number() => {
                     b.ensure_node(node_index(n, "node id")?);
                 }
                 Value::Object(fields) => {
@@ -116,9 +116,7 @@ pub fn write(g: &DirectedGraph) -> String {
             .map(|(u, v, w)| serde_json::json!({"source": u.raw(), "target": v.raw(), "weight": w}))
             .collect()
     } else {
-        g.edges()
-            .map(|(u, v)| serde_json::json!({"source": u.raw(), "target": v.raw()}))
-            .collect()
+        g.edges().map(|(u, v)| serde_json::json!({"source": u.raw(), "target": v.raw()})).collect()
     };
     let doc = serde_json::json!({"directed": true, "nodes": nodes, "edges": edges});
     serde_json::to_string_pretty(&doc).expect("JSON serialization cannot fail")

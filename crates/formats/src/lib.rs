@@ -97,13 +97,9 @@ mod tests {
     #[test]
     fn roundtrip_all_formats_via_facade() {
         let g = relgraph::GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0)]);
-        for f in [
-            Format::EdgeListCsv,
-            Format::Pajek,
-            Format::Asd,
-            Format::GraphMl,
-            Format::JsonGraph,
-        ] {
+        for f in
+            [Format::EdgeListCsv, Format::Pajek, Format::Asd, Format::GraphMl, Format::JsonGraph]
+        {
             let s = write_graph_to_string(&g, f);
             let back = load_graph_from_str(&s, Some(f)).unwrap();
             assert_eq!(back.node_count(), 3, "{f:?}");
@@ -125,9 +121,6 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            load_graph("/nonexistent/path/graph.csv"),
-            Err(FormatError::Io(_))
-        ));
+        assert!(matches!(load_graph("/nonexistent/path/graph.csv"), Err(FormatError::Io(_))));
     }
 }

@@ -87,10 +87,7 @@ pub fn parse(content: &str) -> Result<DirectedGraph, FormatError> {
                     .map_err(|_| FormatError::parse(ln, "bad vertex id"))?;
                 let n = declared.unwrap_or(0);
                 if id == 0 || id > n {
-                    return Err(FormatError::parse(
-                        ln,
-                        format!("vertex id {id} outside 1..={n}"),
-                    ));
+                    return Err(FormatError::parse(ln, format!("vertex id {id} outside 1..={n}")));
                 }
                 if let Some(rest) = it.next() {
                     let rest = rest.trim();
@@ -128,11 +125,7 @@ pub fn parse(content: &str) -> Result<DirectedGraph, FormatError> {
                 let u = parse_id(fields[0])?;
                 let v = parse_id(fields[1])?;
                 let w: Option<f64> = if fields.len() >= 3 {
-                    Some(
-                        fields[2]
-                            .parse()
-                            .map_err(|_| FormatError::parse(ln, "bad edge weight"))?,
-                    )
+                    Some(fields[2].parse().map_err(|_| FormatError::parse(ln, "bad edge weight"))?)
                 } else {
                     None
                 };

@@ -175,8 +175,7 @@ impl GraphBuilder {
         }
 
         // Sort by (source, target) then deduplicate parallel edges.
-        self.edges
-            .sort_by_key(|a| (a.0, a.1));
+        self.edges.sort_by_key(|a| (a.0, a.1));
         let mut deduped: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(self.edges.len());
         for (u, v, w) in self.edges.drain(..) {
             match deduped.last_mut() {

@@ -128,8 +128,7 @@ impl DirectedGraph {
 
     /// Iterator over all edges as `(source, target)` pairs, grouped by source.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes()
-            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+        self.nodes().flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Iterator over all edges with weights (1.0 when unweighted).

@@ -36,7 +36,10 @@ impl fmt::Display for GraphError {
             GraphError::UnknownLabel(l) => write!(f, "no node with label {l:?}"),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::InvalidWeight { source, target, weight } => {
-                write!(f, "edge {source}->{target} has invalid weight {weight} (must be finite and > 0)")
+                write!(
+                    f,
+                    "edge {source}->{target} has invalid weight {weight} (must be finite and > 0)"
+                )
             }
         }
     }

@@ -46,10 +46,7 @@ impl SubgraphMap {
 
     /// Iterates `(original, subgraph)` id pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.to_orig
-            .iter()
-            .enumerate()
-            .map(|(s, &o)| (o, NodeId::from_usize(s)))
+        self.to_orig.iter().enumerate().map(|(s, &o)| (o, NodeId::from_usize(s)))
     }
 
     /// Scatters dense subgraph scores back into a full-graph-sized vector,

@@ -184,10 +184,7 @@ mod tests {
         // 0 -> {1, 2}, 1 -> 3, 2 -> 3
         let g = GraphBuilder::from_edge_indices([(0, 1), (0, 2), (1, 3), (2, 3)]);
         let order = dfs_preorder(&g, NodeId::new(0));
-        assert_eq!(
-            order,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(2)]
-        );
+        assert_eq!(order, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(2)]);
     }
 
     #[test]

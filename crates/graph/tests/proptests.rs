@@ -1,9 +1,7 @@
 //! Property-based tests for the graph substrate.
 
 use proptest::prelude::*;
-use relgraph::{
-    bfs_distances, induced_subgraph, tarjan_scc, GraphBuilder, GraphStats, NodeId,
-};
+use relgraph::{bfs_distances, induced_subgraph, tarjan_scc, GraphBuilder, GraphStats, NodeId};
 
 /// Strategy: a random edge list over up to `n` nodes.
 fn edge_list(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {

@@ -178,7 +178,11 @@ impl Response {
 
     /// Plain-text response.
     pub fn text(status: StatusCode, body: impl Into<String>) -> Response {
-        Response { status, content_type: "text/plain; charset=utf-8", body: body.into().into_bytes() }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
     }
 
     /// Serializes onto a stream.
@@ -217,7 +221,8 @@ mod tests {
     #[test]
     fn parses_post_with_body() {
         let body = r#"{"a":1}"#;
-        let raw = format!("POST /api/tasks HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        let raw =
+            format!("POST /api/tasks HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
         let r = parse(&raw).unwrap();
         assert_eq!(r.method, Method::Post);
         assert_eq!(r.body_str().unwrap(), body);

@@ -12,7 +12,7 @@
 //! | GET  | `/api/health` | liveness probe |
 //! | GET  | `/api/datasets` | the 50-dataset catalog |
 //! | GET  | `/api/datasets/{id}` | one catalog entry |
-//! | GET  | `/api/algorithms` | the seven algorithms with metadata |
+//! | GET  | `/api/algorithms` | registry contents: ids, metadata, parameter schemas |
 //! | POST | `/api/tasks` | submit a task (JSON [`relengine::TaskSpec`]) |
 //! | GET  | `/api/tasks/{id}` | poll a task's status |
 //! | GET  | `/api/tasks/{id}/result` | fetch a completed task's result |

@@ -42,7 +42,7 @@ fn index() -> Response {
         <li>POST /api/datasets — upload a graph {name?, format?, content}</li>\n\
         <li>GET /api/datasets/{id} — one catalog entry</li>\n\
         <li>GET /api/datasets/{id}/stats — structural statistics</li>\n\
-        <li>GET /api/algorithms — the seven algorithms</li>\n\
+        <li>GET /api/algorithms — registered algorithms with parameter schemas</li>\n\
         <li>POST /api/tasks — submit a task</li>\n\
         <li>GET /api/tasks/{id} — poll status</li>\n\
         <li>GET /api/tasks/{id}/result — fetch result</li>\n\
@@ -117,9 +117,7 @@ fn upload_dataset(req: &Request, engine: &Arc<Scheduler>) -> Response {
         Ok(g) => g,
         Err(e) => return Response::error(StatusCode::BadRequest, format!("parse failed: {e}")),
     };
-    let id = upload
-        .name
-        .unwrap_or_else(|| format!("upload-{}", relengine::task::TaskId::fresh()));
+    let id = upload.name.unwrap_or_else(|| format!("upload-{}", relengine::task::TaskId::fresh()));
     let (nodes, edges) = (graph.node_count(), graph.edge_count());
     match engine.register_dataset(&id, graph) {
         Ok(()) => Response::json(StatusCode::Ok, &Uploaded { dataset_id: id, nodes, edges }),
@@ -135,24 +133,12 @@ fn dataset_stats(id: &str, engine: &Arc<Scheduler>) -> Response {
     }
 }
 
+/// `GET /api/algorithms`: every algorithm in the registry — the seven
+/// paper algorithms plus any runtime registrations — with id, display
+/// name, personalization requirement, score/ranking output kind, and the
+/// accepted parameters as a JSON schema-ish list.
 fn list_algorithms() -> Response {
-    #[derive(Serialize)]
-    struct AlgoInfo {
-        id: &'static str,
-        name: &'static str,
-        personalized: bool,
-        produces_scores: bool,
-    }
-    let algos: Vec<AlgoInfo> = relcore::runner::Algorithm::ALL
-        .into_iter()
-        .map(|a| AlgoInfo {
-            id: a.id(),
-            name: a.display_name(),
-            personalized: a.is_personalized(),
-            produces_scores: a.produces_scores(),
-        })
-        .collect();
-    Response::json(StatusCode::Ok, &algos)
+    Response::json(StatusCode::Ok, &relcore::AlgorithmRegistry::global().descriptors())
 }
 
 #[derive(Serialize)]
@@ -169,11 +155,14 @@ fn submit_task(req: &Request, engine: &Arc<Scheduler>) -> Response {
         Ok(s) => s,
         Err(e) => return Response::error(StatusCode::BadRequest, format!("bad task spec: {e}")),
     };
-    if spec.params.algorithm.is_personalized() && spec.source.is_none() {
-        return Response::error(
-            StatusCode::BadRequest,
-            "personalized algorithm requires a source",
-        );
+    // Personalization requirements come from the algorithm's registry
+    // entry, not from enum-matching in this crate.
+    let personalized = relcore::AlgorithmRegistry::global()
+        .get(spec.params.algorithm.id())
+        .map(|a| a.is_personalized())
+        .unwrap_or(false);
+    if personalized && spec.source.is_none() {
+        return Response::error(StatusCode::BadRequest, "personalized algorithm requires a source");
     }
     let id = engine.submit(spec);
     Response::json(StatusCode::Accepted, &Submitted { task_id: id.to_string() })
@@ -327,8 +316,16 @@ mod tests {
     fn algorithms_listing() {
         let r = route(&get("/api/algorithms"), &engine());
         let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
-        assert_eq!(v.as_array().unwrap().len(), 7);
+        let algos = v.as_array().unwrap();
+        assert!(algos.len() >= 7, "registry lists at least the paper's seven");
         assert!(body_str(&r).contains("cyclerank"));
+        // Registry-backed listing carries parameter schemas.
+        let cr = algos.iter().find(|a| a["id"] == "cyclerank").unwrap();
+        assert_eq!(cr["personalized"], true);
+        assert!(cr["parameters"].as_array().unwrap().iter().any(|p| p["name"] == "max_cycle_len"));
+        let pr = algos.iter().find(|a| a["id"] == "pagerank").unwrap();
+        assert_eq!(pr["produces_scores"], true);
+        assert!(pr["parameters"].as_array().unwrap().iter().any(|p| p["name"] == "damping"));
     }
 
     #[test]

@@ -120,9 +120,7 @@ mod tests {
         let addr = h.addr();
         let threads: Vec<_> = (0..8)
             .map(|_| {
-                std::thread::spawn(move || {
-                    request(addr, "GET /api/algorithms HTTP/1.1\r\n\r\n")
-                })
+                std::thread::spawn(move || request(addr, "GET /api/algorithms HTTP/1.1\r\n\r\n"))
             })
             .collect();
         for t in threads {

@@ -1,5 +1,6 @@
-//! Quickstart: load a pre-packaged dataset, run CycleRank and Personalized
-//! PageRank against the same reference node, and compare what they surface.
+//! Quickstart: load a pre-packaged dataset and run CycleRank and
+//! Personalized PageRank against the same reference node through the
+//! unified `Query` API, then compare what they surface.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -10,40 +11,54 @@ use cyclerank_platform::prelude::*;
 fn main() {
     // 1. Pick a dataset from the 50-entry registry (here: the labelled
     //    stand-in for the English Wikipedia snapshot behind Table I).
-    let graph = load_dataset("fixture-enwiki-2018").expect("dataset exists");
+    //    Browsing the catalog also wires dataset-name queries up.
+    let n = catalog().len();
+    println!("catalog holds {n} datasets");
+
+    // 2. CycleRank: relevance from bounded-length cycles (K = 3, σ = e⁻ⁿ).
+    //    `Query` resolves the dataset id and the reference label for us.
+    let cr = Query::on("fixture-enwiki-2018")
+        .algorithm("cyclerank")
+        .reference("Freddie Mercury")
+        .k(3)
+        .top(5)
+        .run()
+        .expect("cyclerank runs");
     println!(
-        "loaded fixture-enwiki-2018: {} nodes, {} edges",
-        graph.node_count(),
-        graph.edge_count()
+        "\nCycleRank found {} cycles through the reference ({} nodes, {} edges).",
+        cr.output.cycles_found.unwrap_or(0),
+        cr.graph.node_count(),
+        cr.graph.edge_count(),
     );
-
-    // 2. Resolve the query node by its article title.
-    let reference = graph.node_by_label("Freddie Mercury").expect("article exists");
-
-    // 3. CycleRank: relevance from bounded-length cycles (K = 3, σ = e⁻ⁿ).
-    let cr = cyclerank(&graph, reference, &CycleRankConfig::default()).expect("cyclerank runs");
-    println!("\nCycleRank found {} cycles through the reference.", cr.cycles_found);
     println!("Top-5 by CycleRank:");
-    for (label, score) in cr.scores.top_k_labeled(&graph, 5) {
+    for (label, score) in cr.top_entries() {
         println!("  {score:.5}  {label}");
     }
 
-    // 4. Personalized PageRank on the same query (α = 0.3, as in Table I).
-    let (ppr, conv) =
-        personalized_pagerank(graph.view(), &PageRankConfig::with_damping(0.3), reference)
-            .expect("ppr converges");
-    println!("\nTop-5 by Personalized PageRank ({} iterations):", conv.iterations);
-    for (label, score) in ppr.top_k_labeled(&graph, 5) {
+    // 3. Personalized PageRank on the same query (α = 0.3, as in Table I).
+    let ppr = Query::on("fixture-enwiki-2018")
+        .algorithm("ppr")
+        .reference("Freddie Mercury")
+        .alpha(0.3)
+        .top(5)
+        .run()
+        .expect("ppr converges");
+    println!(
+        "\nTop-5 by Personalized PageRank ({} iterations):",
+        ppr.output.convergence.map(|c| c.iterations).unwrap_or(0)
+    );
+    for (label, score) in ppr.top_entries() {
         println!("  {score:.5}  {label}");
     }
 
-    // 5. The contrast the paper demonstrates: PPR surfaces globally popular
+    // 4. The contrast the paper demonstrates: PPR surfaces globally popular
     //    pages the reference merely links to; CycleRank requires mutual
     //    (cyclic) linkage.
+    let graph = &cr.graph;
     let tribute = graph.node_by_label("The FM Tribute Concert").unwrap();
     println!(
         "\n'The FM Tribute Concert': PPR score {:.5}, CycleRank score {:.5}",
-        ppr.get(tribute),
-        cr.scores.get(tribute),
+        ppr.scores().map(|s| s.get(tribute)).unwrap_or(0.0),
+        cr.scores().map(|s| s.get(tribute)).unwrap_or(0.0),
     );
 }

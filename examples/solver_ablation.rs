@@ -20,8 +20,7 @@ fn main() {
     // Reference: exact scores computed directly for ranking-quality checks.
     let graph = engine.executor().dataset(dataset).expect("dataset loads");
     let seed = NodeId::new(100);
-    let (exact, _) =
-        personalized_pagerank(graph.view(), &PageRankConfig::default(), seed).unwrap();
+    let (exact, _) = personalized_pagerank(graph.view(), &PageRankConfig::default(), seed).unwrap();
     let exact_ranking = exact.ranking();
 
     println!("{:<14} {:>9} {:>10} {:>10}", "solver", "ms", "ndcg@10", "jacc@10");
@@ -38,11 +37,8 @@ fn main() {
 
         // Re-derive a RankedList from the labelled top (labels are numeric
         // ids on this unlabeled dataset).
-        let top_ids: Vec<NodeId> = result
-            .top
-            .iter()
-            .filter_map(|(l, _)| l.parse::<u32>().ok().map(NodeId::new))
-            .collect();
+        let top_ids: Vec<NodeId> =
+            result.top.iter().filter_map(|(l, _)| l.parse::<u32>().ok().map(NodeId::new)).collect();
         let approx = cyclerank_platform::algorithms::RankedList::new(top_ids);
         let ndcg = ndcg_at_k(&approx, exact.as_slice(), 10);
         let jacc = jaccard_at_k(&exact_ranking, &approx, 10);

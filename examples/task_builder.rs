@@ -40,12 +40,8 @@ fn main() {
             .unwrap(),
     );
     // A row added by mistake — and removed with the per-row ✕ control.
-    let extra = query_set.add(
-        TaskBuilder::new("synthetic-ring")
-            .algorithm(Algorithm::CheiRank)
-            .build()
-            .unwrap(),
-    );
+    let extra = query_set
+        .add(TaskBuilder::new("synthetic-ring").algorithm(Algorithm::CheiRank).build().unwrap());
     query_set.remove(extra);
 
     println!("{}", query_set.display_table());

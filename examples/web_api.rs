@@ -19,11 +19,8 @@ fn http(addr: std::net::SocketAddr, raw: String) -> (u16, String) {
     stream.write_all(raw.as_bytes()).expect("send");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("receive");
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status code");
+    let status: u16 =
+        response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status code");
     let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
     (status, body)
 }

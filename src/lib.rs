@@ -12,14 +12,20 @@
 //! * [`formats`] (`relformats`) — edgelist CSV / Pajek / ASD readers and
 //!   writers;
 //! * [`algorithms`] (`relcore`) — PageRank, Personalized PageRank,
-//!   CheiRank, 2DRank, their personalized variants, and CycleRank;
+//!   CheiRank, 2DRank, their personalized variants, CycleRank, and the
+//!   trait-based algorithm registry + `Query` API that serves them;
 //! * [`datasets`] (`reldata`) — generators, labelled fixtures, the
 //!   50-dataset registry;
 //! * [`engine`] (`relengine`) — task builder, query sets, scheduler,
 //!   executor pool, status board, datastores;
 //! * [`server`] (`relserver`) — the HTTP API gateway.
 //!
-//! ## Quickstart
+//! ## Quickstart: the `Query` API
+//!
+//! Every algorithm invocation goes through one fluent front door,
+//! [`Query`](relcore::Query): pick a target (an in-memory graph or a
+//! catalog dataset id), an algorithm by registry name, parameters, and
+//! run.
 //!
 //! ```
 //! use cyclerank_platform::prelude::*;
@@ -30,10 +36,53 @@
 //! b.add_labeled_edge("Italy", "Pasta");
 //! b.add_labeled_edge("Pasta", "United States");
 //! let g = b.build();
-//! let r = g.node_by_label("Pasta").unwrap();
-//! let out = cyclerank(&g, r, &CycleRankConfig::default()).unwrap();
-//! assert!(out.scores.get(g.node_by_label("Italy").unwrap()) > 0.0);
+//!
+//! let result = Query::on(g)
+//!     .algorithm("cyclerank")
+//!     .reference("Pasta")
+//!     .k(3)
+//!     .top(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.top_entries()[1].0, "Italy");
 //! ```
+//!
+//! Named datasets from the 50-entry catalog work the same way (the
+//! catalog installs its resolver on first touch):
+//!
+//! ```
+//! use cyclerank_platform::prelude::*;
+//!
+//! assert_eq!(catalog().len(), 50);
+//! let result = Query::on("fixture-enwiki-2018")
+//!     .algorithm("cyclerank")
+//!     .reference("Freddie Mercury")
+//!     .k(3)
+//!     .top(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.top_entries()[1].0, "Queen (band)");
+//! ```
+//!
+//! New algorithms register at runtime through
+//! [`AlgorithmRegistry`](relcore::AlgorithmRegistry) and are immediately
+//! available to `Query`, the engine, the HTTP API, and the CLI — see the
+//! registry docs for a complete out-of-tree example.
+//!
+//! ## Legacy API
+//!
+//! The pre-redesign entry point `relcore::runner::run(graph, &params,
+//! reference)` is deprecated; it survives as a thin shim over the
+//! registry so existing code keeps compiling. Migrate to [`Query`]:
+//!
+//! ```text
+//! // before
+//! let out = run(&g, &AlgorithmParams::new(Algorithm::CycleRank), Some(node))?;
+//! // after
+//! let out = Query::on(&g).algorithm("cyclerank").reference(node).run()?;
+//! ```
+//!
+//! [`Query`]: relcore::Query
 
 pub use relcore as algorithms;
 pub use reldata as datasets;
@@ -47,8 +96,13 @@ pub mod prelude {
     pub use relcore::cyclerank::cyclerank;
     pub use relcore::pagerank::pagerank;
     pub use relcore::ppr::personalized_pagerank;
-    pub use relcore::runner::{run, Algorithm, AlgorithmParams};
-    pub use relcore::{CycleRankConfig, PageRankConfig, ScoringFunction};
+    #[allow(deprecated)]
+    pub use relcore::runner::run;
+    pub use relcore::runner::{Algorithm, AlgorithmParams};
+    pub use relcore::{
+        AlgorithmDescriptor, AlgorithmRegistry, CycleRankConfig, PageRankConfig, ParamSpec, Query,
+        QueryResult, RelevanceAlgorithm, ScoringFunction,
+    };
     pub use reldata::{catalog, load_dataset};
     pub use relengine::prelude::*;
     pub use relgraph::{DirectedGraph, GraphBuilder, GraphStats, NodeId};
@@ -63,5 +117,15 @@ mod tests {
         let (s, _) = pagerank(g.view(), &PageRankConfig::default()).unwrap();
         assert!((s.sum() - 1.0).abs() < 1e-9);
         assert_eq!(catalog().len(), 50);
+    }
+
+    #[test]
+    fn query_api_through_facade() {
+        use crate::prelude::*;
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0), (1, 2)]);
+        let result = Query::on(g).algorithm("pagerank").top(3).run().unwrap();
+        assert_eq!(result.algorithm, "pagerank");
+        assert_eq!(result.top_entries().len(), 3);
+        assert!(AlgorithmRegistry::global().len() >= 7);
     }
 }

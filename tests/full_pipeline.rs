@@ -36,16 +36,22 @@ fn uploaded_graph_roundtrips_through_all_formats_and_algorithms() {
     )
     .expect("parse own output");
 
-    let r_orig = original.node_by_label("center").unwrap();
-    let r_load = loaded.node_by_label("center").unwrap();
-
+    let original = Arc::new(original);
+    let loaded = Arc::new(loaded);
     for algo in Algorithm::ALL {
-        let params = AlgorithmParams::new(algo);
-        let a = run(&original, &params, Some(r_orig)).expect("algorithm on original");
-        let b = run(&loaded, &params, Some(r_load)).expect("algorithm on loaded");
+        let a = Query::on(&original)
+            .algorithm(algo)
+            .reference("center")
+            .run()
+            .expect("algorithm on original");
+        let b = Query::on(&loaded)
+            .algorithm(algo)
+            .reference("center")
+            .run()
+            .expect("algorithm on loaded");
         // Same labels in the same ranked order.
-        let la: Vec<String> = a.ranking.top_k_labeled(&original, 5);
-        let lb: Vec<String> = b.ranking.top_k_labeled(&loaded, 5);
+        let la: Vec<String> = a.output.ranking.top_k_labeled(&original, 5);
+        let lb: Vec<String> = b.output.ranking.top_k_labeled(&loaded, 5);
         assert_eq!(la, lb, "{algo} ranking differs across format round-trip");
     }
 }
@@ -89,11 +95,7 @@ fn engine_persists_results_to_file_datastore() {
 fn weighted_twitter_dataset_through_engine() {
     let engine = Scheduler::builder().workers(1).build();
     let id = engine.submit(
-        TaskBuilder::new("twitter-cop27")
-            .algorithm(Algorithm::PageRank)
-            .top_k(10)
-            .build()
-            .unwrap(),
+        TaskBuilder::new("twitter-cop27").algorithm(Algorithm::PageRank).top_k(10).build().unwrap(),
     );
     let r = engine.wait(&id, Duration::from_secs(120)).unwrap();
     assert_eq!(r.top.len(), 10);

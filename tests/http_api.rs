@@ -48,9 +48,29 @@ fn full_web_ui_workflow() {
     let catalog: serde_json::Value = serde_json::from_str(&body).unwrap();
     assert_eq!(catalog.as_array().unwrap().len(), 50);
 
+    // The algorithms listing is registry-backed: ids, metadata, and the
+    // parameter schema each algorithm accepts.
     let (status, body) = get(addr, "/api/algorithms");
     assert_eq!(status, 200);
-    assert!(body.contains("cyclerank"));
+    let algos: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let algos = algos.as_array().unwrap();
+    assert!(algos.len() >= 7, "at least the paper's seven algorithms");
+    let cyclerank = algos.iter().find(|a| a["id"] == "cyclerank").expect("cyclerank listed");
+    assert_eq!(cyclerank["name"], "Cyclerank");
+    assert_eq!(cyclerank["personalized"], true);
+    assert_eq!(cyclerank["produces_scores"], true);
+    let params = cyclerank["parameters"].as_array().unwrap();
+    assert!(params.iter().any(|p| p["name"] == "max_cycle_len" && p["kind"] == "int"));
+    assert!(params.iter().any(|p| p["name"] == "scoring" && p["kind"] == "enum"));
+    let tworank = algos.iter().find(|a| a["id"] == "2drank").expect("2drank listed");
+    assert_eq!(tworank["produces_scores"], false);
+    let pagerank = algos.iter().find(|a| a["id"] == "pagerank").expect("pagerank listed");
+    assert_eq!(pagerank["personalized"], false);
+    assert!(pagerank["parameters"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|p| p["name"] == "damping" && p["kind"] == "float"));
 
     // Submit the Fig. 2 query set (three rows).
     let qs = r#"[

@@ -1,0 +1,24 @@
+//! Sampling strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Strategy that picks one element of a fixed list.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Debug + Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// Picks uniformly from `options` (which must be non-empty).
+pub fn select<T: Debug + Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}

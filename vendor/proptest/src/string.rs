@@ -1,0 +1,203 @@
+//! String strategies from a small regex subset.
+//!
+//! Supports what the workspace's property tests use: literal characters,
+//! character classes `[...]` with ranges and escapes, groups `(...)`, the
+//! `?` and `{m,n}` postfix repetitions, and `\PC` (any non-control
+//! character).
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<(Atom, Rep)>),
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rep {
+    min: usize,
+    max: usize, // inclusive
+}
+
+const ONE: Rep = Rep { min: 1, max: 1 };
+
+/// Sample pool for `\PC`: ASCII printables plus a few multibyte characters
+/// so parsers meet non-ASCII input.
+const PRINTABLE_EXTRA: [char; 8] = ['é', 'ß', 'λ', '中', '☃', '😀', '–', '\u{00a0}'];
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    atoms: Vec<(Atom, Rep)>,
+}
+
+impl StringPattern {
+    /// Compiles a pattern; panics on syntax outside the supported subset
+    /// (a test-authoring error, not a runtime condition).
+    pub fn compile(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (atoms, rest) = parse_sequence(&chars, 0, None);
+        assert_eq!(rest, chars.len(), "unsupported regex pattern: {pattern:?}");
+        StringPattern { atoms }
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_seq(&self.atoms, rng, &mut out);
+        out
+    }
+}
+
+fn parse_sequence(chars: &[char], mut i: usize, until: Option<char>) -> (Vec<(Atom, Rep)>, usize) {
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        if Some(chars[i]) == until {
+            return (atoms, i);
+        }
+        let (atom, next) = parse_atom(chars, i);
+        let (rep, next) = parse_rep(chars, next);
+        atoms.push((atom, rep));
+        i = next;
+    }
+    assert!(until.is_none(), "unterminated group in regex pattern");
+    (atoms, i)
+}
+
+fn parse_atom(chars: &[char], i: usize) -> (Atom, usize) {
+    match chars[i] {
+        '\\' => {
+            let next = chars.get(i + 1).copied().expect("dangling backslash");
+            if next == 'P' && chars.get(i + 2) == Some(&'C') {
+                (Atom::AnyPrintable, i + 3)
+            } else {
+                (Atom::Literal(next), i + 2)
+            }
+        }
+        '[' => parse_class(chars, i + 1),
+        '(' => {
+            let (inner, end) = parse_sequence(chars, i + 1, Some(')'));
+            (Atom::Group(inner), end + 1)
+        }
+        c => (Atom::Literal(c), i + 1),
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Atom, usize) {
+    let mut members = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // Range like a-z (a trailing '-' is a literal).
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).map(|&e| e != ']').unwrap_or(false) {
+            let hi = chars[i + 2];
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    members.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            members.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    (Atom::Class(members), i + 1)
+}
+
+fn parse_rep(chars: &[char], i: usize) -> (Rep, usize) {
+    match chars.get(i) {
+        Some('?') => (Rep { min: 0, max: 1 }, i + 1),
+        Some('{') => {
+            let close =
+                chars[i..].iter().position(|&c| c == '}').expect("unterminated {m,n} repetition")
+                    + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition bound"),
+                    hi.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            };
+            (Rep { min, max }, close + 1)
+        }
+        _ => (ONE, i),
+    }
+}
+
+fn generate_seq(atoms: &[(Atom, Rep)], rng: &mut TestRng, out: &mut String) {
+    for (atom, rep) in atoms {
+        let span = (rep.max - rep.min + 1) as u64;
+        let count = rep.min + rng.below(span) as usize;
+        for _ in 0..count {
+            generate_atom(atom, rng, out);
+        }
+    }
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(members) => {
+            out.push(members[rng.below(members.len() as u64) as usize]);
+        }
+        Atom::Group(inner) => generate_seq(inner, rng, out),
+        Atom::AnyPrintable => {
+            // Mostly ASCII printables, occasionally multibyte.
+            if rng.below(8) == 0 {
+                out.push(PRINTABLE_EXTRA[rng.below(PRINTABLE_EXTRA.len() as u64) as usize]);
+            } else {
+                out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_pattern_shape() {
+        let p = StringPattern::compile("[a-zA-Z<>&\"]([a-zA-Z<>&\" ]{0,10}[a-zA-Z<>&\"])?");
+        let mut rng = TestRng::for_test("label_pattern_shape");
+        for _ in 0..200 {
+            let s = p.generate(&mut rng);
+            assert!(!s.is_empty());
+            assert!(s.len() <= 12, "{s:?}");
+            assert!(!s.starts_with(' ') && !s.ends_with(' '), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern_bounds() {
+        let p = StringPattern::compile("\\PC{0,300}");
+        let mut rng = TestRng::for_test("printable_pattern_bounds");
+        for _ in 0..50 {
+            let s = p.generate(&mut rng);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let p = StringPattern::compile("a{3}b?");
+        let mut rng = TestRng::for_test("exact_repetition");
+        for _ in 0..20 {
+            let s = p.generate(&mut rng);
+            assert!(s == "aaa" || s == "aaab", "{s:?}");
+        }
+    }
+}

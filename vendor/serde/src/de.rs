@@ -1,0 +1,30 @@
+//! Deserialization error type.
+
+use std::fmt;
+
+/// Error produced while deserializing a [`crate::Value`] into a typed
+/// structure (or while parsing text into a `Value`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Creates a "missing field" error.
+    pub fn missing_field(name: &str) -> Self {
+        DeError { msg: format!("missing field `{name}`") }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds in an environment without crates.io access, so this
+//! crate implements the subset of serde's surface the platform actually
+//! uses: `Serialize`/`Deserialize` traits over a JSON-shaped [`Value`]
+//! model, derive macros (re-exported from `serde_derive`), and impls for
+//! the standard types that appear in the workspace's data structures.
+//!
+//! The data model is deliberately simpler than real serde's: serialization
+//! goes through an owned [`Value`] tree rather than a streaming
+//! `Serializer`. For the graph sizes the JSON endpoints handle this is
+//! plenty, and it keeps the stand-in auditable.
+
+pub mod de;
+pub mod value;
+
+mod impls;
+
+pub use de::DeError;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Value};
+
+/// A type that can render itself into the JSON-shaped [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from the JSON-shaped [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`] tree.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}

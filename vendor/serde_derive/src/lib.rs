@@ -1,0 +1,536 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the simplified trait pair in the in-tree `serde` stand-in (a JSON-shaped
+//! `Value` data model). The derive parses the item's token stream by hand —
+//! `syn`/`quote` are unavailable offline — and supports the attribute
+//! subset this workspace uses:
+//!
+//! * container: `#[serde(rename_all = "snake_case")]`,
+//!   `#[serde(transparent)]`, `#[serde(tag = "...")]`
+//! * field: `#[serde(default)]`, `#[serde(default = "path")]`
+//!
+//! Semantics follow real serde where it matters here: missing `Option`
+//! fields deserialize to `None`, unknown fields are ignored, unit enums
+//! (de)serialize as strings, and internally-tagged enums put the tag key
+//! alongside the variant's fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------------ model
+
+#[derive(Default, Clone)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+    transparent: bool,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    ty_head: String,
+    has_default: bool,
+    default_path: Option<String>,
+}
+
+impl Field {
+    fn is_option(&self) -> bool {
+        self.ty_head == "Option"
+    }
+}
+
+struct Variant {
+    name: String,
+    fields: Vec<Field>,
+    unit: bool,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// ----------------------------------------------------------------- parsing
+
+fn lit_string(t: &TokenTree) -> String {
+    let s = t.to_string();
+    s.trim_matches('"').to_string()
+}
+
+/// Parses the contents of one `#[serde(...)]` group into `container` /
+/// `field` attribute state.
+fn parse_serde_args(group: TokenStream, c: &mut ContainerAttrs, f: &mut Field) {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                let has_value =
+                    matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                let value = if has_value { toks.get(i + 2).map(lit_string) } else { None };
+                match (key.as_str(), value) {
+                    ("rename_all", Some(v)) => c.rename_all = Some(v),
+                    ("tag", Some(v)) => c.tag = Some(v),
+                    ("transparent", None) => c.transparent = true,
+                    ("default", Some(v)) => {
+                        f.has_default = true;
+                        f.default_path = Some(v);
+                    }
+                    ("default", None) => f.has_default = true,
+                    _ => {} // ignore unsupported knobs
+                }
+                i += if has_value { 3 } else { 1 };
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Consumes leading attributes starting at `i`, folding any `#[serde(...)]`
+/// contents into the supplied state. Returns the index past the attributes.
+fn skip_attrs(toks: &[TokenTree], mut i: usize, c: &mut ContainerAttrs, f: &mut Field) -> usize {
+    while let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        parse_serde_args(args.stream(), c, f);
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut fattrs = Field {
+            name: String::new(),
+            ty_head: String::new(),
+            has_default: false,
+            default_path: None,
+        };
+        let mut dummy = ContainerAttrs::default();
+        i = skip_attrs(&toks, i, &mut dummy, &mut fattrs);
+        i = skip_vis(&toks, i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1; // name
+        i += 1; // ':'
+                // Capture the head of the type (enough to recognize Option<...>),
+                // then skip to the field-separating comma at angle-bracket depth 0.
+        if let Some(t) = toks.get(i) {
+            fattrs.ty_head = t.to_string();
+        }
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fattrs.name = name;
+        fields.push(fattrs);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct's paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut count = 0;
+    let mut saw_any = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut dummy_c = ContainerAttrs::default();
+        let mut dummy_f = Field {
+            name: String::new(),
+            ty_head: String::new(),
+            has_default: false,
+            default_path: None,
+        };
+        i = skip_attrs(&toks, i, &mut dummy_c, &mut dummy_f);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let mut fields = Vec::new();
+        let mut unit = true;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Brace {
+                fields = parse_named_fields(g.stream());
+                unit = false;
+            }
+            i += 1;
+        }
+        // Skip to the variant-separating comma.
+        while let Some(t) = toks.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields, unit });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut dummy_f = Field {
+        name: String::new(),
+        ty_head: String::new(),
+        has_default: false,
+        default_path: None,
+    };
+    let mut i = skip_attrs(&toks, 0, &mut attrs, &mut dummy_f);
+    i = skip_vis(&toks, i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    // Generic parameters are not supported by the stand-in (none of the
+    // workspace's serde types are generic); skip them so the error surfaces
+    // as a normal compile failure rather than a parser panic.
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0;
+            while let Some(t) = toks.get(i) {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    let body = match (kind.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g.stream()))
+        }
+        other => panic!("serde derive: unsupported item body {:?}", other.1.map(|t| t.to_string())),
+    };
+    Input { name, attrs, body }
+}
+
+// ----------------------------------------------------------------- renames
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn rename(rule: &Option<String>, name: &str) -> String {
+    match rule.as_deref() {
+        Some("snake_case") => snake_case(name),
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        _ => name.to_string(),
+    }
+}
+
+// ----------------------------------------------------------------- codegen
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let mut inserts = String::new();
+            for f in fields {
+                let key = rename(&input.attrs.rename_all, &f.name);
+                inserts.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{key}\"), \
+                     ::serde::Serialize::serialize_value(&self.{field}));\n",
+                    field = f.name
+                ));
+            }
+            format!("let mut m = ::serde::Map::new();\n{inserts}::serde::Value::Object(m)")
+        }
+        Body::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = rename(&input.attrs.rename_all, &v.name);
+                match (&input.attrs.tag, v.unit) {
+                    (None, true) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),\n",
+                            v = v.name
+                        ));
+                    }
+                    (Some(tag), _) => {
+                        let binds: Vec<&str> = v.fields.iter().map(|f| f.name.as_str()).collect();
+                        let pattern = if v.unit {
+                            format!("{name}::{}", v.name)
+                        } else {
+                            format!("{name}::{} {{ {} }}", v.name, binds.join(", "))
+                        };
+                        let mut inserts = format!(
+                            "let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{tag}\"), \
+                             ::serde::Value::String(::std::string::String::from(\"{vname}\")));\n"
+                        );
+                        for f in &v.fields {
+                            inserts.push_str(&format!(
+                                "m.insert(::std::string::String::from(\"{key}\"), \
+                                 ::serde::Serialize::serialize_value({field}));\n",
+                                key = f.name,
+                                field = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{pattern} => {{ {inserts} ::serde::Value::Object(m) }}\n"
+                        ));
+                    }
+                    (None, false) => {
+                        // Externally tagged: {"Variant": {fields}}.
+                        let binds: Vec<&str> = v.fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inserts = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in &v.fields {
+                            inserts.push_str(&format!(
+                                "inner.insert(::std::string::String::from(\"{key}\"), \
+                                 ::serde::Serialize::serialize_value({field}));\n",
+                                key = f.name,
+                                field = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inserts}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(m) }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Emits the expression that produces a field's value from `__m` (an
+/// object map), honoring defaults and Option semantics.
+fn field_from_map(f: &Field, key: &str) -> String {
+    let missing = if let Some(path) = &f.default_path {
+        format!("{path}()")
+    } else if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else if f.is_option() {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!("return ::std::result::Result::Err(::serde::DeError::missing_field(\"{key}\"))")
+    };
+    format!(
+        "match __m.get(\"{key}\") {{\n\
+         ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+         ::std::option::Option::None => {missing},\n}}"
+    )
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let key = rename(&input.attrs.rename_all, &f.name);
+                inits.push_str(&format!("{}: {},\n", f.name, field_from_map(f, &key)));
+            }
+            format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            if let Some(tag) = &input.attrs.tag {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = rename(&input.attrs.rename_all, &v.name);
+                    if v.unit {
+                        arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                    } else {
+                        let mut inits = String::new();
+                        for f in &v.fields {
+                            inits.push_str(&format!(
+                                "{}: {},\n",
+                                f.name,
+                                field_from_map(f, &f.name)
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n",
+                            v = v.name
+                        ));
+                    }
+                }
+                format!(
+                    "let __m = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                     let __tag = __m.get(\"{tag}\").and_then(|t| t.as_str()).ok_or_else(|| \
+                     ::serde::DeError::custom(\"missing tag `{tag}` for {name}\"))?;\n\
+                     match __tag {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant {{other:?}}\"))),\n}}"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in variants.iter().filter(|v| v.unit) {
+                    let vname = rename(&input.attrs.rename_all, &v.name);
+                    arms.push_str(&format!(
+                        "::std::option::Option::Some(\"{vname}\") => \
+                         ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+                format!(
+                    "match __v.as_str() {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant {{other:?}}\"))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl must parse")
+}
