@@ -24,8 +24,16 @@ pub struct RunSpec {
     pub k: Option<u32>,
     /// Scoring function name.
     pub sigma: Option<String>,
-    /// PageRank-family solver name (power|gauss-seidel|push|monte-carlo).
+    /// PageRank-family solver name
+    /// (power|gauss-seidel|parallel|push|monte-carlo).
     pub solver: Option<String>,
+    /// Kernel update scheme (power|gauss-seidel|parallel); wins over
+    /// `--solver` when both are given.
+    pub scheme: Option<String>,
+    /// Worker threads for the parallel scheme (0 = all cores).
+    pub threads: Option<usize>,
+    /// Print the per-iteration residual trace.
+    pub trace: bool,
     /// Top-k to print.
     pub top: usize,
     /// Emit JSON instead of a table.
@@ -128,7 +136,7 @@ impl Flags {
                 .strip_prefix("--")
                 .ok_or_else(|| format!("unexpected argument {a:?} (expected --flag)"))?;
             // Bare switches take no value.
-            if key == "json" {
+            if key == "json" || key == "trace" {
                 switches.push(key.to_string());
                 i += 1;
                 continue;
@@ -199,6 +207,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 k: flags.take("k").map(|v| parse_num(&v, "k")).transpose()?,
                 sigma: flags.take("sigma"),
                 solver: flags.take("solver"),
+                scheme: flags.take("scheme"),
+                threads: flags.take("threads").map(|v| parse_num(&v, "threads")).transpose()?,
+                trace: flags.has_switch("trace"),
                 top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
                 json: flags.has_switch("json"),
             };
@@ -322,9 +333,28 @@ mod tests {
                 assert_eq!(s.top, 5);
                 assert!(!s.json);
                 assert!(s.alpha.is_none());
+                assert!(s.scheme.is_none());
+                assert!(s.threads.is_none());
+                assert!(!s.trace);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_scheme_and_threads() {
+        let cli =
+            parse("run --dataset d --algorithm cheirank --scheme gauss-seidel --threads 4 --trace")
+                .unwrap();
+        match cli.command {
+            Command::Run(s) => {
+                assert_eq!(s.scheme.as_deref(), Some("gauss-seidel"));
+                assert_eq!(s.threads, Some(4));
+                assert!(s.trace);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("run --dataset d --algorithm pr --threads many").is_err());
     }
 
     #[test]

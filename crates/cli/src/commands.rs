@@ -78,6 +78,19 @@ pub fn stats(dataset: &str) -> Result<String, String> {
     ))
 }
 
+/// Solver-related CLI flags, bundled so `build_query` stays readable.
+#[derive(Debug, Clone, Default)]
+struct SolverFlags<'a> {
+    /// `--solver`: full solver set, including approximate push/mc.
+    solver: Option<&'a str>,
+    /// `--scheme`: exact kernel scheme; wins over `--solver`.
+    scheme: Option<&'a str>,
+    /// `--threads`: worker threads for the parallel scheme.
+    threads: Option<usize>,
+    /// `--trace`: record per-iteration residuals.
+    trace: bool,
+}
+
 /// Builds a registry-backed [`Query`] from CLI flags. The algorithm name
 /// resolves through the [`AlgorithmRegistry`], so any registered id or
 /// alias works — not just the seven paper algorithms.
@@ -89,7 +102,7 @@ fn build_query(
     alpha: Option<f64>,
     k: Option<u32>,
     sigma: Option<&str>,
-    solver: Option<&str>,
+    solver: SolverFlags<'_>,
     top: usize,
 ) -> Result<Query, String> {
     // Fail fast on unknown names, with the registry as source of truth.
@@ -97,9 +110,16 @@ fn build_query(
         .get(algorithm)
         .ok_or_else(|| format!("unknown algorithm {algorithm:?} (see `relrank algorithms`)"))?;
     let mut q = Query::on(target).algorithm(algorithm).top(top);
-    if let Some(s) = solver {
+    if let Some(s) = solver.solver {
         q = q.solver(s.parse()?);
     }
+    if let Some(s) = solver.scheme {
+        q = q.scheme(s.parse::<relcore::Scheme>()?);
+    }
+    if let Some(n) = solver.threads {
+        q = q.threads(n);
+    }
+    q = q.trace(solver.trace);
     if let Some(a) = alpha {
         q = q.alpha(a);
     }
@@ -135,7 +155,12 @@ pub fn run_task(spec: RunSpec) -> Result<String, String> {
         spec.alpha,
         spec.k,
         spec.sigma.as_deref(),
-        spec.solver.as_deref(),
+        SolverFlags {
+            solver: spec.solver.as_deref(),
+            scheme: spec.scheme.as_deref(),
+            threads: spec.threads,
+            trace: spec.trace,
+        },
         spec.top,
     )?;
     let r = query.run().map_err(|e| e.to_string())?;
@@ -151,6 +176,9 @@ pub fn run_task(spec: RunSpec) -> Result<String, String> {
         nodes: r.graph.node_count(),
         edges: r.graph.edge_count(),
         iterations: r.output.convergence.map(|c| c.iterations),
+        residual: r.output.convergence.map(|c| c.residual),
+        converged: r.output.convergence.map(|c| c.converged),
+        residuals: r.output.trace.as_ref().map(|t| t.residuals.clone()),
         cycles_found: r.output.cycles_found,
     };
 
@@ -172,6 +200,24 @@ pub fn run_task(spec: RunSpec) -> Result<String, String> {
     if let Some(i) = result.iterations {
         out.push_str(&format!("iterations: {i}\n"));
     }
+    if let (Some(residual), Some(converged)) = (result.residual, result.converged) {
+        out.push_str(&format!(
+            "residual: {residual:.3e} ({})\n",
+            if converged { "converged" } else { "iteration cap reached" }
+        ));
+    }
+    if let Some(residuals) = &result.residuals {
+        out.push_str("residual trace:");
+        for (i, r) in residuals.iter().enumerate() {
+            out.push_str(&format!("{}{r:.3e}", if i % 8 == 0 { "\n  " } else { "  " }));
+        }
+        out.push('\n');
+    } else if spec.trace {
+        out.push_str(
+            "note: --trace has no effect here (approximate solvers and \
+             non-iterative algorithms produce no residual trace)\n",
+        );
+    }
     out.push('\n');
     for (rank, (label, score)) in result.top.iter().enumerate() {
         out.push_str(&format!("{:>3}  {:<40} {:.6}\n", rank + 1, label, score));
@@ -190,8 +236,16 @@ pub fn compare(spec: CompareSpec) -> Result<String, String> {
             .get(name)
             .ok_or_else(|| format!("unknown algorithm {name:?} (see `relrank algorithms`)"))?;
         let source = algo.is_personalized().then_some(spec.source.as_str());
-        let query =
-            build_query(spec.dataset.as_str(), name, source, None, None, None, None, spec.top)?;
+        let query = build_query(
+            spec.dataset.as_str(),
+            name,
+            source,
+            None,
+            None,
+            None,
+            SolverFlags::default(),
+            spec.top,
+        )?;
         qs.add(TaskSpec::from_query(&query).map_err(|e| e.to_string())?);
     }
     let ids = engine.submit_query_set(&qs);
@@ -231,7 +285,7 @@ pub fn compare_datasets(spec: CompareDatasetsSpec) -> Result<String, String> {
             None,
             Some(spec.k),
             None,
-            None,
+            SolverFlags::default(),
             spec.top,
         )?;
         qs.add(TaskSpec::from_query(&query).map_err(|e| e.to_string())?);
@@ -380,6 +434,9 @@ mod tests {
             k: Some(3),
             sigma: None,
             solver: None,
+            scheme: None,
+            threads: None,
+            trace: false,
             top: 2,
             json: false,
         };
@@ -399,6 +456,9 @@ mod tests {
             k: Some(3),
             sigma: Some("exp".into()),
             solver: None,
+            scheme: None,
+            threads: None,
+            trace: false,
             top: 5,
             json: false,
         };
@@ -419,6 +479,9 @@ mod tests {
             k: None,
             sigma: None,
             solver: None,
+            scheme: None,
+            threads: None,
+            trace: false,
             top: 3,
             json: true,
         };
@@ -426,6 +489,83 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["algorithm"], "pagerank");
         assert_eq!(v["top"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn run_any_scheme_for_every_stationary_algorithm() {
+        // The acceptance scenario: --scheme gauss-seidel --threads N works
+        // for the whole PageRank family, global and personalized.
+        for algorithm in ["pagerank", "ppr", "cheirank", "pcheirank", "2drank", "p2drank"] {
+            for scheme in ["power", "gauss-seidel", "parallel"] {
+                let personalized =
+                    AlgorithmRegistry::global().get(algorithm).unwrap().is_personalized();
+                let spec = RunSpec {
+                    dataset: "fixture-fakenews-it".into(),
+                    file: None,
+                    algorithm: algorithm.into(),
+                    source: personalized.then(|| "Fake news".into()),
+                    alpha: None,
+                    k: None,
+                    sigma: None,
+                    solver: None,
+                    scheme: Some(scheme.into()),
+                    threads: Some(2),
+                    trace: false,
+                    top: 3,
+                    json: false,
+                };
+                let out = run_task(spec).unwrap_or_else(|e| panic!("{algorithm}/{scheme}: {e}"));
+                assert!(out.contains("\n  1  "), "{algorithm}/{scheme}: {out}");
+                if personalized {
+                    assert!(out.contains("Fake news"), "{algorithm}/{scheme}: {out}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_trace_prints_residuals() {
+        let spec = RunSpec {
+            dataset: "fixture-fakenews-pl".into(),
+            file: None,
+            algorithm: "pagerank".into(),
+            source: None,
+            alpha: None,
+            k: None,
+            sigma: None,
+            solver: None,
+            scheme: None,
+            threads: None,
+            trace: true,
+            top: 3,
+            json: false,
+        };
+        let out = run_task(spec).unwrap();
+        assert!(out.contains("residual trace:"), "{out}");
+        assert!(out.contains("converged"), "{out}");
+        assert!(out.contains("e-"), "trace prints scientific notation: {out}");
+    }
+
+    #[test]
+    fn run_trace_with_approximate_solver_warns() {
+        let spec = RunSpec {
+            dataset: "fixture-fakenews-pl".into(),
+            file: None,
+            algorithm: "ppr".into(),
+            source: Some("Fake news".into()),
+            alpha: None,
+            k: None,
+            sigma: None,
+            solver: Some("push".into()),
+            scheme: None,
+            threads: None,
+            trace: true,
+            top: 3,
+            json: false,
+        };
+        let out = run_task(spec).unwrap();
+        assert!(!out.contains("residual trace:"), "{out}");
+        assert!(out.contains("--trace has no effect"), "{out}");
     }
 
     #[test]
@@ -439,6 +579,9 @@ mod tests {
             k: None,
             sigma: None,
             solver: None,
+            scheme: None,
+            threads: None,
+            trace: false,
             top: 3,
             json: false,
         };

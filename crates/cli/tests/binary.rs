@@ -78,6 +78,52 @@ fn run_json_output_parses() {
 }
 
 #[test]
+fn run_scheme_threads_and_trace_flags() {
+    // The solver-layer surface: pick a kernel scheme and thread count from
+    // the command line, and ask for the residual trace.
+    let (code, stdout, stderr) = relrank(&[
+        "run",
+        "--dataset",
+        "fixture-fakenews-pl",
+        "--algorithm",
+        "cheirank",
+        "--scheme",
+        "gauss-seidel",
+        "--threads",
+        "2",
+        "--trace",
+        "--top",
+        "3",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("residual trace:"), "{stdout}");
+    assert!(stdout.contains("converged"), "{stdout}");
+
+    // The JSON shape carries the convergence fields.
+    let (code, stdout, _) = relrank(&[
+        "run",
+        "--dataset",
+        "fixture-fakenews-pl",
+        "--algorithm",
+        "2drank",
+        "--scheme",
+        "parallel",
+        "--threads",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(code, 0);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["algorithm"], "2drank");
+
+    // Unknown schemes fail cleanly.
+    let (code, _, stderr) =
+        relrank(&["run", "--dataset", "d", "--algorithm", "pr", "--scheme", "quantum"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("unknown scheme"), "{stderr}");
+}
+
+#[test]
 fn runtime_error_exits_1() {
     let (code, _, stderr) =
         relrank(&["run", "--dataset", "no-such-dataset", "--algorithm", "pagerank"]);

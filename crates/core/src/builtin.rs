@@ -9,64 +9,64 @@
 use crate::algorithm::{ParamSpec, RelevanceAlgorithm};
 use crate::cyclerank::cyclerank;
 use crate::error::AlgoError;
-use crate::gauss_seidel::pagerank_gauss_seidel;
 use crate::montecarlo::{ppr_monte_carlo, MonteCarloConfig};
-use crate::pagerank::{pagerank_with_teleport, Convergence};
+use crate::pagerank::Convergence;
 use crate::ppr::TeleportVector;
 use crate::push::{ppr_push, PushConfig};
 use crate::result::ScoreVector;
 use crate::runner::{AlgorithmParams, RelevanceOutput, Solver};
+use crate::solver::{ConvergenceTrace, SweepKernel};
 use relgraph::{DirectedGraph, NodeId};
 
-/// Runs the configured PageRank-family solver on one graph view.
+/// One solved stationary distribution plus its diagnostics.
+type Solved = (ScoreVector, Option<Convergence>, Option<ConvergenceTrace>);
+
+/// Runs the configured PageRank-family solver on one graph view. Every
+/// exact scheme goes through the shared [`SweepKernel`]; the approximate
+/// local solvers (push, Monte Carlo) keep their own implementations and
+/// fall back to the kernel for global (no-reference) runs, where they are
+/// undefined.
 fn solve(
     view: relgraph::GraphView<'_>,
     params: &AlgorithmParams,
     reference: Option<NodeId>,
-) -> Result<(ScoreVector, Option<Convergence>), AlgoError> {
-    let cfg = params.pagerank_config();
-    let teleport = match reference {
-        Some(r) => TeleportVector::single(view.node_count(), r)?,
-        None => TeleportVector::uniform(view.node_count())?,
-    };
+) -> Result<Solved, AlgoError> {
     match (params.solver, reference) {
-        (Solver::Power, _) => {
-            let (s, c) = pagerank_with_teleport(view, &cfg, &teleport)?;
-            Ok((s, Some(c)))
-        }
-        (Solver::GaussSeidel, _) => {
-            let (s, c) = pagerank_gauss_seidel(view, &cfg, &teleport)?;
-            Ok((s, Some(c)))
-        }
-        // The approximate local solvers are only defined for a single
-        // seed; global runs fall back to exact power iteration.
         (Solver::Push, Some(r)) => {
             let push_cfg = PushConfig {
-                damping: cfg.damping,
-                epsilon: (cfg.tolerance * 1e3).clamp(1e-12, 1e-4),
+                damping: params.damping,
+                epsilon: (params.tolerance * 1e3).clamp(1e-12, 1e-4),
                 max_pushes: 100_000_000,
             };
             let (s, _) = ppr_push(view, &push_cfg, r)?;
-            Ok((s, None))
+            Ok((s, None, None))
         }
         (Solver::MonteCarlo, Some(r)) => {
-            let mc_cfg = MonteCarloConfig { damping: cfg.damping, walks: 200_000, rng_seed: 42 };
+            let mc_cfg = MonteCarloConfig { damping: params.damping, walks: 200_000, rng_seed: 42 };
             let s = ppr_monte_carlo(view, &mc_cfg, r)?;
-            Ok((s, None))
+            Ok((s, None, None))
         }
-        (Solver::Push | Solver::MonteCarlo, None) => {
-            let (s, c) = pagerank_with_teleport(view, &cfg, &teleport)?;
-            Ok((s, Some(c)))
+        _ => {
+            let teleport = TeleportVector::for_reference(view.node_count(), reference)?;
+            let kernel = SweepKernel::new(view)?;
+            let out = kernel.solve(&params.solver_config(), &teleport)?;
+            Ok((out.scores, Some(out.convergence), out.trace))
         }
     }
 }
 
-fn scored(id: &str, s: ScoreVector, c: Option<Convergence>) -> RelevanceOutput {
+fn scored(
+    id: &str,
+    s: ScoreVector,
+    c: Option<Convergence>,
+    trace: Option<ConvergenceTrace>,
+) -> RelevanceOutput {
     RelevanceOutput {
         algorithm: id.to_string(),
         ranking: s.ranking(),
         scores: Some(s),
         convergence: c,
+        trace,
         cycles_found: None,
     }
 }
@@ -82,26 +82,46 @@ fn validate_damping(params: &AlgorithmParams) -> Result<(), AlgoError> {
     Ok(())
 }
 
-fn pagerank_family_params() -> Vec<ParamSpec> {
+fn sweep_kernel_params() -> Vec<ParamSpec> {
     vec![
         ParamSpec::new("damping", "float", "0.85", "damping factor α in (0, 1)"),
         ParamSpec::new("tolerance", "float", "1e-10", "L1 convergence tolerance"),
-        ParamSpec::new("max_iterations", "int", "200", "power-iteration cap"),
+        ParamSpec::new("max_iterations", "int", "200", "sweep cap"),
         ParamSpec::new(
-            "solver",
-            "enum",
-            "power",
-            "numerical solver: power | gauss_seidel | push | monte_carlo",
+            "threads",
+            "int",
+            "0",
+            "worker threads for the parallel scheme (0 = all available cores)",
+        ),
+        ParamSpec::new(
+            "record_trace",
+            "bool",
+            "false",
+            "record per-iteration residuals in the result",
         ),
     ]
 }
 
+fn pagerank_family_params() -> Vec<ParamSpec> {
+    let mut ps = sweep_kernel_params();
+    ps.push(ParamSpec::new(
+        "solver",
+        "enum",
+        "parallel",
+        "numerical solver: power | gauss_seidel | parallel | push | monte_carlo",
+    ));
+    ps
+}
+
 fn tworank_params() -> Vec<ParamSpec> {
-    vec![
-        ParamSpec::new("damping", "float", "0.85", "damping factor α in (0, 1)"),
-        ParamSpec::new("tolerance", "float", "1e-10", "L1 convergence tolerance"),
-        ParamSpec::new("max_iterations", "int", "200", "power-iteration cap"),
-    ]
+    let mut ps = sweep_kernel_params();
+    ps.push(ParamSpec::new(
+        "solver",
+        "enum",
+        "parallel",
+        "kernel update scheme: power | gauss_seidel | parallel",
+    ));
+    ps
 }
 
 fn cyclerank_params() -> Vec<ParamSpec> {
@@ -147,8 +167,8 @@ impl RelevanceAlgorithm for PageRankAlgorithm {
         params: &AlgorithmParams,
         _reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
-        let (s, c) = solve(graph.view(), params, None)?;
-        Ok(scored(self.id(), s, c))
+        let (s, c, t) = solve(graph.view(), params, None)?;
+        Ok(scored(self.id(), s, c, t))
     }
 }
 
@@ -187,8 +207,8 @@ impl RelevanceAlgorithm for PersonalizedPageRankAlgorithm {
         reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
         let r = require_reference(reference)?;
-        let (s, c) = solve(graph.view(), params, Some(r))?;
-        Ok(scored(self.id(), s, c))
+        let (s, c, t) = solve(graph.view(), params, Some(r))?;
+        Ok(scored(self.id(), s, c, t))
     }
 }
 
@@ -224,8 +244,8 @@ impl RelevanceAlgorithm for CheiRankAlgorithm {
         params: &AlgorithmParams,
         _reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
-        let (s, c) = solve(graph.transposed(), params, None)?;
-        Ok(scored(self.id(), s, c))
+        let (s, c, t) = solve(graph.transposed(), params, None)?;
+        Ok(scored(self.id(), s, c, t))
     }
 }
 
@@ -264,8 +284,8 @@ impl RelevanceAlgorithm for PersonalizedCheiRankAlgorithm {
         reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
         let r = require_reference(reference)?;
-        let (s, c) = solve(graph.transposed(), params, Some(r))?;
-        Ok(scored(self.id(), s, c))
+        let (s, c, t) = solve(graph.transposed(), params, Some(r))?;
+        Ok(scored(self.id(), s, c, t))
     }
 }
 
@@ -309,12 +329,13 @@ impl RelevanceAlgorithm for TwoDRankAlgorithm {
         params: &AlgorithmParams,
         _reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
-        let r = crate::tworank::two_d_rank(graph, &params.pagerank_config())?;
+        let out = crate::tworank::two_d_rank_with(graph, &params.solver_config(), None)?;
         Ok(RelevanceOutput {
             algorithm: self.id().to_string(),
-            ranking: r,
+            ranking: out.ranking,
             scores: None,
-            convergence: None,
+            convergence: Some(out.convergence),
+            trace: out.trace,
             cycles_found: None,
         })
     }
@@ -359,12 +380,13 @@ impl RelevanceAlgorithm for PersonalizedTwoDRankAlgorithm {
         reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
         let r = require_reference(reference)?;
-        let ranking = crate::tworank::personalized_two_d_rank(graph, &params.pagerank_config(), r)?;
+        let out = crate::tworank::two_d_rank_with(graph, &params.solver_config(), Some(r))?;
         Ok(RelevanceOutput {
             algorithm: self.id().to_string(),
-            ranking,
+            ranking: out.ranking,
             scores: None,
-            convergence: None,
+            convergence: Some(out.convergence),
+            trace: out.trace,
             cycles_found: None,
         })
     }
@@ -420,6 +442,7 @@ impl RelevanceAlgorithm for CycleRankAlgorithm {
             ranking: out.scores.ranking(),
             scores: Some(out.scores),
             convergence: None,
+            trace: None,
             cycles_found: Some(out.cycles_found),
         })
     }

@@ -7,14 +7,17 @@
 //! platform exposes this as CheiRank, plus a personalized variant that
 //! restarts at a reference node, mirroring Personalized PageRank.
 //!
-//! Implementation-wise these are one-liners on top of the shared power
-//! iteration: the [`relgraph::GraphView`] transposition is O(1) because the
-//! CSR stores both adjacency directions.
+//! Implementation-wise these are one-liners on top of the shared
+//! [`crate::solver::SweepKernel`]: the [`relgraph::GraphView`]
+//! transposition is O(1) because the CSR stores both adjacency directions,
+//! so CheiRank is *exactly* the kernel run over the reversed view — and
+//! inherits every update scheme (power, Gauss–Seidel, parallel) for free.
 
 use crate::error::AlgoError;
 use crate::pagerank::{pagerank, Convergence, PageRankConfig};
-use crate::ppr::personalized_pagerank;
+use crate::ppr::{personalized_pagerank, TeleportVector};
 use crate::result::ScoreVector;
+use crate::solver::{SolverConfig, SweepKernel, SweepOutcome};
 use relgraph::{DirectedGraph, NodeId};
 
 /// CheiRank: PageRank computed on the edge-reversed graph.
@@ -35,10 +38,24 @@ pub fn personalized_cheirank(
     personalized_pagerank(g.transposed(), cfg, reference)
 }
 
+/// CheiRank under an explicit solver configuration (scheme, threads,
+/// tracing): the kernel over the transposed view with a uniform teleport —
+/// or a reference-node teleport for the personalized variant.
+pub fn cheirank_with(
+    g: &DirectedGraph,
+    cfg: &SolverConfig,
+    reference: Option<NodeId>,
+) -> Result<SweepOutcome, AlgoError> {
+    let kernel = SweepKernel::new(g.transposed())?;
+    let teleport = TeleportVector::for_reference(g.node_count(), reference)?;
+    kernel.solve(cfg, &teleport)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pagerank::pagerank as pr;
+    use crate::solver::Scheme;
     use relgraph::GraphBuilder;
 
     #[test]
@@ -77,6 +94,31 @@ mod tests {
     }
 
     #[test]
+    fn all_schemes_agree_on_cheirank() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0), (0, 2), (2, 1)]);
+        let base = cheirank_with(
+            &g,
+            &SolverConfig { tolerance: 1e-12, ..Default::default() }.with_scheme(Scheme::Power),
+            None,
+        )
+        .unwrap();
+        for scheme in [Scheme::GaussSeidel, Scheme::Parallel] {
+            let out = cheirank_with(
+                &g,
+                &SolverConfig { tolerance: 1e-12, ..Default::default() }.with_scheme(scheme),
+                None,
+            )
+            .unwrap();
+            for u in g.nodes() {
+                assert!(
+                    (base.scores.get(u) - out.scores.get(u)).abs() < 1e-9,
+                    "{scheme} node {u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn personalized_cheirank_localizes_upstream() {
         // Chain 0 -> 1 -> 2. From reference 2, personalized CheiRank walks
         // the reversed edges and reaches 1 and 0.
@@ -94,6 +136,7 @@ mod tests {
     fn personalized_cheirank_invalid_reference() {
         let g = GraphBuilder::from_edge_indices([(0, 1)]);
         assert!(personalized_cheirank(&g, &PageRankConfig::default(), NodeId::new(7)).is_err());
+        assert!(cheirank_with(&g, &SolverConfig::default(), Some(NodeId::new(7))).is_err());
     }
 
     #[test]

@@ -47,6 +47,31 @@
 //! The pre-redesign entry point `runner::run` survives as a deprecated
 //! shim over the registry.
 //!
+//! ## The solver layer
+//!
+//! Every stationary-distribution algorithm — PageRank, PPR, CheiRank, and
+//! 2DRank — is a thin parameterization (view orientation × teleport
+//! vector) of one shared edge-sweep engine, [`solver::SweepKernel`], with
+//! three interchangeable update schemes ([`solver::Scheme`]): sequential
+//! power iteration, hybrid Gauss–Seidel, and chunked multi-threaded pull
+//! (the default). Queries pick a scheme and thread count fluently:
+//!
+//! ```
+//! use relcore::{Query, Scheme};
+//! use relgraph::GraphBuilder;
+//!
+//! let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0), (1, 2), (2, 0)]);
+//! let r = Query::on(g)
+//!     .algorithm("cheirank")
+//!     .scheme(Scheme::GaussSeidel)
+//!     .threads(2)
+//!     .trace(true)
+//!     .run()
+//!     .unwrap();
+//! let trace = r.output.trace.as_ref().unwrap();
+//! assert_eq!(trace.len(), r.output.convergence.unwrap().iterations);
+//! ```
+//!
 //! ## Quick example
 //!
 //! ```
@@ -84,6 +109,7 @@ pub mod registry;
 pub mod result;
 pub mod runner;
 pub mod scoring;
+pub mod solver;
 pub mod tworank;
 
 pub use algorithm::{AlgorithmDescriptor, ParamSpec, RelevanceAlgorithm};
@@ -99,4 +125,5 @@ pub use result::{RankedList, ScoreVector};
 pub use runner::run;
 pub use runner::{Algorithm, AlgorithmParams, RelevanceOutput, Solver};
 pub use scoring::ScoringFunction;
+pub use solver::{ConvergenceTrace, Scheme, SolverConfig, SweepKernel, SweepOutcome};
 pub use tworank::{personalized_two_d_rank, two_d_rank};

@@ -1,31 +1,32 @@
-//! PageRank by power iteration.
+//! PageRank: the forward-view, uniform-teleport parameterization of the
+//! shared [`crate::solver::SweepKernel`].
 //!
 //! PageRank (Page et al., 1999) models a random surfer that, at each step,
 //! follows a uniformly random out-edge with probability α (the *damping
 //! factor*, conventionally 0.85) and teleports to a random node with
 //! probability 1−α. The stationary distribution of this process is the
 //! PageRank score. The same iteration with a non-uniform teleport
-//! distribution yields Personalized PageRank (see [`crate::ppr`]); this
-//! module contains the shared solver.
+//! distribution yields Personalized PageRank (see [`crate::ppr`]).
 //!
-//! Implementation notes:
-//! * **push formulation** — each iteration scatters `α·x[u]/W(u)` along the
-//!   out-edges of every `u` (`W(u)` = out-degree, or out-weight sum on
-//!   weighted graphs). One pass over the CSR per iteration, O(|E|).
-//! * **dangling nodes** — mass sitting on zero-out-degree nodes is
-//!   redistributed according to the teleport distribution, keeping the score
-//!   a proper probability vector (sums to 1).
-//! * **convergence** — iteration stops when the L1 change falls below
-//!   `tolerance` or after `max_iterations`; the outcome is reported in
-//!   [`Convergence`].
+//! The iteration itself lives in [`crate::solver`]; this module keeps the
+//! classic entry points ([`pagerank`], [`pagerank_with_teleport`]) as
+//! sequential power-iteration shims over the kernel, plus the
+//! [`PageRankConfig`] parameter struct the task JSON and benches use.
+//! Dangling-node mass is redistributed along the teleport distribution,
+//! keeping the score a proper probability vector (sums to 1); convergence
+//! stops when the L1 change falls below `tolerance` or after
+//! `max_iterations`, reported in [`Convergence`].
 
 use crate::error::AlgoError;
 use crate::ppr::TeleportVector;
 use crate::result::ScoreVector;
+use crate::solver::{Scheme, SolverConfig, SweepKernel};
 use relgraph::GraphView;
 use serde::{Deserialize, Serialize};
 
-/// Parameters of the PageRank power iteration.
+pub use crate::solver::Convergence;
+
+/// Parameters of the PageRank iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PageRankConfig {
     /// Damping factor α ∈ (0, 1): probability of following a link rather
@@ -52,37 +53,25 @@ impl PageRankConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), AlgoError> {
-        if !(self.damping > 0.0 && self.damping < 1.0) {
-            return Err(AlgoError::InvalidDamping(self.damping));
+        self.solver_config(Scheme::Power, 1).validate()
+    }
+
+    /// The kernel configuration these parameters describe, under a given
+    /// update scheme and thread count.
+    pub fn solver_config(&self, scheme: Scheme, threads: usize) -> SolverConfig {
+        SolverConfig {
+            damping: self.damping,
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations,
+            scheme,
+            threads,
+            record_trace: false,
         }
-        if self.tolerance <= 0.0 || self.tolerance.is_nan() {
-            return Err(AlgoError::InvalidParameter {
-                name: "tolerance",
-                message: format!("must be > 0, got {}", self.tolerance),
-            });
-        }
-        if self.max_iterations == 0 {
-            return Err(AlgoError::InvalidParameter {
-                name: "max_iterations",
-                message: "must be >= 1".into(),
-            });
-        }
-        Ok(())
     }
 }
 
-/// Outcome of a power iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Convergence {
-    /// Iterations actually performed.
-    pub iterations: usize,
-    /// Final L1 residual ‖x_{k+1} − x_k‖₁.
-    pub residual: f64,
-    /// Whether the residual dropped below the tolerance.
-    pub converged: bool,
-}
-
-/// Classic (global) PageRank: uniform teleport over all nodes.
+/// Classic (global) PageRank: uniform teleport over all nodes, sequential
+/// power iteration.
 pub fn pagerank(
     view: GraphView<'_>,
     cfg: &PageRankConfig,
@@ -91,91 +80,16 @@ pub fn pagerank(
     pagerank_with_teleport(view, cfg, &teleport)
 }
 
-/// The shared power-iteration solver; PageRank and Personalized PageRank
-/// differ only in `teleport`.
+/// PageRank with an arbitrary teleport vector (Personalized PageRank when
+/// concentrated on reference nodes), sequential power iteration.
 pub fn pagerank_with_teleport(
     view: GraphView<'_>,
     cfg: &PageRankConfig,
     teleport: &TeleportVector,
 ) -> Result<(ScoreVector, Convergence), AlgoError> {
-    cfg.validate()?;
-    let n = view.node_count();
-    if n == 0 {
-        return Err(AlgoError::EmptyGraph);
-    }
-    if teleport.len() != n {
-        return Err(AlgoError::InvalidParameter {
-            name: "teleport",
-            message: format!("teleport vector has {} entries for {} nodes", teleport.len(), n),
-        });
-    }
-
-    let alpha = cfg.damping;
-    // Pre-compute inverse out-weight sums; 0 marks dangling nodes.
-    let inv_wsum: Vec<f64> = (0..n)
-        .map(|i| {
-            let u = relgraph::NodeId::from_usize(i);
-            let w = view.out_weight_sum(u);
-            if w > 0.0 {
-                1.0 / w
-            } else {
-                0.0
-            }
-        })
-        .collect();
-
-    let mut x: Vec<f64> = teleport.dense();
-    let mut next = vec![0.0f64; n];
-    let mut iterations = 0;
-    let mut residual = f64::INFINITY;
-
-    while iterations < cfg.max_iterations {
-        iterations += 1;
-
-        // Dangling mass collected this round.
-        let mut dangling = 0.0;
-        next.iter_mut().for_each(|v| *v = 0.0);
-
-        for i in 0..n {
-            let u = relgraph::NodeId::from_usize(i);
-            let xi = x[i];
-            if xi == 0.0 {
-                continue;
-            }
-            let inv = inv_wsum[i];
-            if inv == 0.0 {
-                dangling += xi;
-                continue;
-            }
-            let share = alpha * xi * inv;
-            match view.out_weights(u) {
-                Some(ws) => {
-                    for (j, &v) in view.out_neighbors(u).iter().enumerate() {
-                        next[v.index()] += share * ws[j];
-                    }
-                }
-                None => {
-                    for &v in view.out_neighbors(u) {
-                        next[v.index()] += share;
-                    }
-                }
-            }
-        }
-
-        // Teleport + dangling redistribution, both along `teleport`.
-        let base = 1.0 - alpha + alpha * dangling;
-        teleport.for_each(|i, t| next[i] += base * t);
-
-        residual = x.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
-        std::mem::swap(&mut x, &mut next);
-
-        if residual < cfg.tolerance {
-            break;
-        }
-    }
-
-    let converged = residual < cfg.tolerance;
-    Ok((ScoreVector::new(x), Convergence { iterations, residual, converged }))
+    let kernel = SweepKernel::new(view)?;
+    let out = kernel.solve(&cfg.solver_config(Scheme::Power, 1), teleport)?;
+    Ok((out.scores, out.convergence))
 }
 
 #[cfg(test)]

@@ -1,121 +1,28 @@
-//! Multi-threaded PageRank power iteration.
+//! Multi-threaded PageRank: compatibility shims over the shared
+//! [`crate::solver::SweepKernel`] with [`Scheme::Parallel`].
 //!
-//! The demo platform's computational nodes "can be scaled up or down";
-//! within one node, the dominant cost is the per-iteration edge sweep.
-//! This module parallelizes it with crossbeam scoped threads in a
-//! *pull* formulation: the node range is split into contiguous chunks, and
-//! each thread computes the new scores of its chunk by reading the
-//! (immutable) previous vector over the in-adjacency — no locks, no atomic
-//! contention, deterministic results identical to the sequential solver up
-//! to floating-point addend order within a node (which is also identical,
-//! since each node's sum is accumulated by exactly one thread in in-
-//! neighbor order).
+//! The chunked pull sweep itself lives in [`crate::solver`]; this module
+//! keeps the pre-refactor entry points compiling. New code should
+//! construct a kernel (or go through [`crate::Query::threads`]).
 
 use crate::error::AlgoError;
 use crate::pagerank::{Convergence, PageRankConfig};
 use crate::ppr::TeleportVector;
 use crate::result::ScoreVector;
-use relgraph::{GraphView, NodeId};
+use crate::solver::{Scheme, SweepKernel};
+use relgraph::GraphView;
 
 /// Parallel PageRank with an arbitrary teleport vector over `threads`
-/// worker threads (clamped to ≥ 1).
+/// worker threads (clamped to available parallelism and node count).
 pub fn pagerank_parallel(
     view: GraphView<'_>,
     cfg: &PageRankConfig,
     teleport: &TeleportVector,
     threads: usize,
 ) -> Result<(ScoreVector, Convergence), AlgoError> {
-    cfg.validate()?;
-    let n = view.node_count();
-    if n == 0 {
-        return Err(AlgoError::EmptyGraph);
-    }
-    if teleport.len() != n {
-        return Err(AlgoError::InvalidParameter {
-            name: "teleport",
-            message: format!("teleport vector has {} entries for {} nodes", teleport.len(), n),
-        });
-    }
-    let threads = threads.max(1).min(n);
-
-    let alpha = cfg.damping;
-    let inv_wsum: Vec<f64> = (0..n)
-        .map(|i| {
-            let w = view.out_weight_sum(NodeId::from_usize(i));
-            if w > 0.0 {
-                1.0 / w
-            } else {
-                0.0
-            }
-        })
-        .collect();
-    let teleport_dense = teleport.dense();
-
-    let mut x: Vec<f64> = teleport_dense.clone();
-    let mut next = vec![0.0f64; n];
-    let mut iterations = 0;
-    let mut residual = f64::INFINITY;
-    let chunk = n.div_ceil(threads);
-
-    while iterations < cfg.max_iterations {
-        iterations += 1;
-        let dangling: f64 = (0..n).filter(|&i| inv_wsum[i] == 0.0).map(|i| x[i]).sum();
-        let base = 1.0 - alpha + alpha * dangling;
-
-        let x_ref = &x;
-        let inv_ref = &inv_wsum;
-        let tel_ref = &teleport_dense;
-        // Each thread owns a disjoint &mut chunk of `next` and a slot of
-        // the per-thread residual vector.
-        let mut partial_residuals = vec![0.0f64; threads];
-        crossbeam::thread::scope(|s| {
-            let mut rest: &mut [f64] = &mut next;
-            let mut start = 0usize;
-            for r_slot in partial_residuals.iter_mut() {
-                let take = chunk.min(rest.len());
-                let (mine, tail) = rest.split_at_mut(take);
-                rest = tail;
-                let lo = start;
-                start += take;
-                s.spawn(move |_| {
-                    let mut local_res = 0.0;
-                    for (off, out) in mine.iter_mut().enumerate() {
-                        let v = NodeId::from_usize(lo + off);
-                        let mut pulled = 0.0;
-                        match view.in_weights(v) {
-                            Some(ws) => {
-                                for (j, &u) in view.in_neighbors(v).iter().enumerate() {
-                                    pulled += x_ref[u.index()] * ws[j] * inv_ref[u.index()];
-                                }
-                            }
-                            None => {
-                                for &u in view.in_neighbors(v) {
-                                    pulled += x_ref[u.index()] * inv_ref[u.index()];
-                                }
-                            }
-                        }
-                        let new = alpha * pulled + base * tel_ref[lo + off];
-                        local_res += (new - x_ref[lo + off]).abs();
-                        *out = new;
-                    }
-                    *r_slot = local_res;
-                });
-                if rest.is_empty() {
-                    break;
-                }
-            }
-        })
-        .expect("worker thread panicked");
-
-        residual = partial_residuals.iter().sum();
-        std::mem::swap(&mut x, &mut next);
-        if residual < cfg.tolerance {
-            break;
-        }
-    }
-
-    let converged = residual < cfg.tolerance;
-    Ok((ScoreVector::new(x), Convergence { iterations, residual, converged }))
+    let kernel = SweepKernel::new(view)?;
+    let out = kernel.solve(&cfg.solver_config(Scheme::Parallel, threads.max(1)), teleport)?;
+    Ok((out.scores, out.convergence))
 }
 
 /// Global parallel PageRank (uniform teleport).
@@ -134,29 +41,25 @@ mod tests {
     use crate::pagerank::pagerank;
     use relgraph::GraphBuilder;
 
-    fn random_graph(nodes: u32, edges: usize, seed: u64) -> relgraph::DirectedGraph {
+    #[test]
+    fn shim_matches_sequential() {
         let mut b = GraphBuilder::new();
-        b.ensure_node(nodes - 1);
-        let mut x = seed | 1;
-        for _ in 0..edges {
+        b.ensure_node(99);
+        let mut x = 99u64 | 1;
+        for _ in 0..700 {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            let u = (x % nodes as u64) as u32;
-            let v = ((x >> 20) % nodes as u64) as u32;
+            let u = (x % 100) as u32;
+            let v = ((x >> 20) % 100) as u32;
             if u != v {
                 b.add_edge_indices(u, v);
             }
         }
-        b.build()
-    }
-
-    #[test]
-    fn matches_sequential_exactly_shaped() {
-        let g = random_graph(300, 2500, 99);
+        let g = b.build();
         let cfg = PageRankConfig { damping: 0.85, tolerance: 1e-12, max_iterations: 500 };
         let (seq, _) = pagerank(g.view(), &cfg).unwrap();
-        for threads in [1, 2, 4, 7] {
+        for threads in [1, 2, 4] {
             let (par, conv) = pagerank_par(g.view(), &cfg, threads).unwrap();
             assert!(conv.converged);
             for u in g.nodes() {
@@ -166,39 +69,16 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_across_runs() {
-        let g = random_graph(200, 1500, 5);
-        let cfg = PageRankConfig::default();
-        let (a, _) = pagerank_par(g.view(), &cfg, 4).unwrap();
-        let (b, _) = pagerank_par(g.view(), &cfg, 4).unwrap();
-        assert_eq!(a.as_slice(), b.as_slice());
-    }
-
-    #[test]
-    fn more_threads_than_nodes() {
-        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0)]);
-        let (s, _) = pagerank_par(g.view(), &PageRankConfig::default(), 64).unwrap();
-        assert!((s.sum() - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
     fn personalized_teleport_supported() {
-        let g = random_graph(100, 700, 3);
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0), (1, 2), (2, 1)]);
         let cfg = PageRankConfig { damping: 0.85, tolerance: 1e-12, max_iterations: 500 };
-        let seed = relgraph::NodeId::new(42);
+        let seed = relgraph::NodeId::new(0);
         let teleport = TeleportVector::single(g.node_count(), seed).unwrap();
-        let (par, _) = pagerank_parallel(g.view(), &cfg, &teleport, 3).unwrap();
+        let (par, _) = pagerank_parallel(g.view(), &cfg, &teleport, 2).unwrap();
         let (seq, _) = crate::ppr::personalized_pagerank(g.view(), &cfg, seed).unwrap();
         for u in g.nodes() {
             assert!((par.get(u) - seq.get(u)).abs() < 1e-9, "node {u:?}");
         }
-    }
-
-    #[test]
-    fn dangling_handled() {
-        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2)]); // 2 dangles
-        let (s, _) = pagerank_par(g.view(), &PageRankConfig::default(), 2).unwrap();
-        assert!((s.sum() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -41,6 +41,16 @@ impl TeleportVector {
         Self::seeds(n, &[node])
     }
 
+    /// The teleport distribution of a possibly-personalized run: all mass
+    /// on the reference when one is given, uniform otherwise. The single
+    /// construction rule every stationary-distribution algorithm shares.
+    pub fn for_reference(n: usize, reference: Option<NodeId>) -> Result<Self, AlgoError> {
+        match reference {
+            Some(r) => Self::single(n, r),
+            None => Self::uniform(n),
+        }
+    }
+
     /// Uniform over a seed set (the paper's "one or more nodes as query").
     pub fn seeds(n: usize, seeds: &[NodeId]) -> Result<Self, AlgoError> {
         if n == 0 {

@@ -288,6 +288,27 @@ impl Query {
         self
     }
 
+    /// Sets the kernel update scheme (the exact subset of [`Solver`]:
+    /// power, Gauss–Seidel, or chunked parallel pull).
+    pub fn scheme(mut self, scheme: crate::solver::Scheme) -> Self {
+        self.params.solver = scheme.into();
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel scheme (0 = all
+    /// available cores; clamped to available parallelism and node count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.params.threads = threads;
+        self
+    }
+
+    /// Requests a per-iteration residual trace
+    /// ([`crate::solver::ConvergenceTrace`]) in the result.
+    pub fn trace(mut self, yes: bool) -> Self {
+        self.params.record_trace = yes;
+        self
+    }
+
     /// Sets the power-iteration tolerance.
     pub fn tolerance(mut self, tolerance: f64) -> Self {
         self.params.tolerance = tolerance;

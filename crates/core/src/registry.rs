@@ -102,6 +102,7 @@ struct Inner {
 ///             ranking: scores.ranking(),
 ///             scores: Some(scores),
 ///             convergence: None,
+///             trace: None,
 ///             cycles_found: None,
 ///         })
 ///     }

@@ -15,6 +15,7 @@ use crate::error::AlgoError;
 use crate::pagerank::{Convergence, PageRankConfig};
 use crate::result::{RankedList, ScoreVector};
 use crate::scoring::ScoringFunction;
+use crate::solver::{ConvergenceTrace, Scheme, SolverConfig};
 use relgraph::{DirectedGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -132,20 +133,26 @@ impl FromStr for Algorithm {
 ///
 /// The demo's §II notes that "more efficient algorithms are available"
 /// than plain power iteration; the platform exposes the choice as a task
-/// parameter so the ablation benches can run through the same engine.
+/// parameter so the ablation benches can run through the same engine. The
+/// three exact variants map onto the shared kernel's update schemes
+/// ([`crate::solver::Scheme`]); the approximate local solvers keep their
+/// own implementations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Solver {
-    /// Exact power iteration (the default).
-    #[default]
+    /// Exact sequential power iteration.
     Power,
     /// Exact Gauss–Seidel sweeps (in-place updates).
     GaussSeidel,
+    /// Exact chunked multi-threaded pull iteration (the default:
+    /// stationary distributions are parallel by default).
+    #[default]
+    Parallel,
     /// Andersen–Chung–Lang forward push (approximate, local; personalized
-    /// algorithms only — global PageRank falls back to power iteration).
+    /// algorithms only — global PageRank falls back to the exact kernel).
     Push,
     /// Terminated random walks (approximate; personalized only, global
-    /// falls back to power iteration).
+    /// falls back to the exact kernel).
     MonteCarlo,
 }
 
@@ -155,8 +162,30 @@ impl Solver {
         match self {
             Solver::Power => "power",
             Solver::GaussSeidel => "gauss_seidel",
+            Solver::Parallel => "parallel",
             Solver::Push => "push",
             Solver::MonteCarlo => "monte_carlo",
+        }
+    }
+
+    /// The kernel update scheme this solver maps onto; `None` for the
+    /// approximate local solvers.
+    pub fn scheme(self) -> Option<Scheme> {
+        match self {
+            Solver::Power => Some(Scheme::Power),
+            Solver::GaussSeidel => Some(Scheme::GaussSeidel),
+            Solver::Parallel => Some(Scheme::Parallel),
+            Solver::Push | Solver::MonteCarlo => None,
+        }
+    }
+}
+
+impl From<Scheme> for Solver {
+    fn from(scheme: Scheme) -> Self {
+        match scheme {
+            Scheme::Power => Solver::Power,
+            Scheme::GaussSeidel => Solver::GaussSeidel,
+            Scheme::Parallel => Solver::Parallel,
         }
     }
 }
@@ -165,13 +194,16 @@ impl FromStr for Solver {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Exact-scheme spellings are owned by Scheme::from_str; only the
+        // approximate local solvers are parsed here.
+        if let Ok(scheme) = s.parse::<Scheme>() {
+            return Ok(scheme.into());
+        }
         match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
-            "power" | "poweriteration" => Ok(Solver::Power),
-            "gaussseidel" | "gs" => Ok(Solver::GaussSeidel),
             "push" | "acl" | "forwardpush" => Ok(Solver::Push),
             "montecarlo" | "mc" => Ok(Solver::MonteCarlo),
             other => Err(format!(
-                "unknown solver {other:?} (expected power|gauss-seidel|push|monte-carlo)"
+                "unknown solver {other:?} (expected power|gauss-seidel|parallel|push|monte-carlo)"
             )),
         }
     }
@@ -199,10 +231,19 @@ pub struct AlgorithmParams {
     /// Power-iteration cap for the PageRank family.
     #[serde(default = "default_max_iterations")]
     pub max_iterations: usize,
-    /// Numerical solver for the PageRank family (ignored by CycleRank and
-    /// 2DRank, which always use exact solutions).
+    /// Numerical solver for the PageRank family (CycleRank ignores it;
+    /// 2DRank honors the exact kernel schemes and falls back to the
+    /// default scheme for approximate solvers).
     #[serde(default)]
     pub solver: Solver,
+    /// Worker threads for the parallel kernel scheme; 0 = all available
+    /// cores (clamped to available parallelism and node count).
+    #[serde(default)]
+    pub threads: usize,
+    /// Record per-iteration residuals ([`ConvergenceTrace`]) in the
+    /// output.
+    #[serde(default)]
+    pub record_trace: bool,
 }
 
 fn default_damping() -> f64 {
@@ -229,6 +270,8 @@ impl AlgorithmParams {
             tolerance: default_tolerance(),
             max_iterations: default_max_iterations(),
             solver: Solver::default(),
+            threads: 0,
+            record_trace: false,
         }
     }
 
@@ -256,6 +299,25 @@ impl AlgorithmParams {
         self
     }
 
+    /// Sets the kernel update scheme (a [`Scheme`] is the exact subset of
+    /// [`Solver`]).
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.solver = scheme.into();
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel scheme (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Requests a per-iteration residual trace in the output.
+    pub fn with_trace(mut self, yes: bool) -> Self {
+        self.record_trace = yes;
+        self
+    }
+
     /// Human-readable parameter summary, as shown in the task builder
     /// (e.g. `k = 3, σ = exp` or `α = 0.3`). Delegates to the algorithm's
     /// registry entry so there is a single rendering to maintain.
@@ -272,6 +334,21 @@ impl AlgorithmParams {
             damping: self.damping,
             tolerance: self.tolerance,
             max_iterations: self.max_iterations,
+        }
+    }
+
+    /// The shared-kernel configuration these parameters describe.
+    /// Approximate solvers (push, Monte Carlo) have no kernel scheme and
+    /// map to the default scheme — used when a global run falls back to
+    /// the exact kernel.
+    pub fn solver_config(&self) -> SolverConfig {
+        SolverConfig {
+            damping: self.damping,
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations,
+            scheme: self.solver.scheme().unwrap_or_default(),
+            threads: self.threads,
+            record_trace: self.record_trace,
         }
     }
 
@@ -296,8 +373,11 @@ pub struct RelevanceOutput {
     pub ranking: RankedList,
     /// Raw scores, when the algorithm produces them (not for 2DRank).
     pub scores: Option<ScoreVector>,
-    /// Power-iteration diagnostics (PageRank family only).
+    /// Solver diagnostics (PageRank family only).
     pub convergence: Option<Convergence>,
+    /// Per-iteration residuals, when the query requested tracing
+    /// (PageRank family only).
+    pub trace: Option<ConvergenceTrace>,
     /// Number of cycles found (CycleRank only).
     pub cycles_found: Option<u64>,
 }
@@ -451,7 +531,9 @@ mod tests {
             },
             tolerance: get("tolerance").parse().unwrap(),
             max_iterations: get("max_iterations").parse().unwrap(),
-            solver: Solver::Power,
+            solver: Solver::default(),
+            threads: 0,
+            record_trace: false,
         }
     }
 
@@ -500,13 +582,13 @@ mod tests {
         let exact =
             run(&g, &AlgorithmParams::new(Algorithm::PersonalizedPageRank), Some(r)).unwrap();
         let exact_scores = exact.scores.as_ref().unwrap();
-        for solver in [Solver::GaussSeidel, Solver::Push, Solver::MonteCarlo] {
+        for solver in [Solver::Power, Solver::GaussSeidel, Solver::Push, Solver::MonteCarlo] {
             let params = AlgorithmParams::new(Algorithm::PersonalizedPageRank).with_solver(solver);
             let out = run(&g, &params, Some(r)).unwrap();
             let s = out.scores.as_ref().unwrap();
             // Exact solvers match tightly; approximate ones loosely.
             let tol = match solver {
-                Solver::GaussSeidel => 1e-7,
+                Solver::Power | Solver::GaussSeidel => 1e-7,
                 _ => 0.02,
             };
             for u in g.nodes() {
@@ -533,12 +615,23 @@ mod tests {
 
     #[test]
     fn solver_parse_roundtrip() {
-        for solver in [Solver::Power, Solver::GaussSeidel, Solver::Push, Solver::MonteCarlo] {
+        for solver in
+            [Solver::Power, Solver::GaussSeidel, Solver::Parallel, Solver::Push, Solver::MonteCarlo]
+        {
             assert_eq!(solver.id().parse::<Solver>().unwrap(), solver);
         }
         assert_eq!("gs".parse::<Solver>().unwrap(), Solver::GaussSeidel);
         assert_eq!("ACL".parse::<Solver>().unwrap(), Solver::Push);
+        assert_eq!("par".parse::<Solver>().unwrap(), Solver::Parallel);
         assert!("quantum".parse::<Solver>().is_err());
+        // Stationary distributions are parallel by default.
+        assert_eq!(Solver::default(), Solver::Parallel);
+        // Scheme <-> Solver round trip for the exact subset.
+        for scheme in Scheme::ALL {
+            assert_eq!(Solver::from(scheme).scheme(), Some(scheme));
+        }
+        assert_eq!(Solver::Push.scheme(), None);
+        assert_eq!(Solver::MonteCarlo.scheme(), None);
     }
 
     #[test]

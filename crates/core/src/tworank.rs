@@ -19,8 +19,9 @@
 
 use crate::error::AlgoError;
 use crate::pagerank::{pagerank, PageRankConfig};
-use crate::ppr::personalized_pagerank;
+use crate::ppr::{personalized_pagerank, TeleportVector};
 use crate::result::{RankedList, ScoreVector};
+use crate::solver::{SolverConfig, SweepKernel};
 use relgraph::{DirectedGraph, NodeId};
 
 /// Combines two rankings with the 2DRank square sweep.
@@ -59,6 +60,47 @@ pub fn personalized_two_d_rank(
     let (pr, _) = personalized_pagerank(g.view(), cfg, reference)?;
     let (chei, _) = personalized_pagerank(g.transposed(), cfg, reference)?;
     Ok(combine(g.node_count(), &pr, &chei))
+}
+
+/// Outcome of [`two_d_rank_with`]: the combined ranking plus the solver
+/// diagnostics of the two underlying kernel sweeps.
+#[derive(Debug, Clone)]
+pub struct TwoDRankOutcome {
+    /// The square-sweep combined ranking.
+    pub ranking: RankedList,
+    /// Diagnostics of the *binding* sweep — the one that failed to
+    /// converge, or needed the most iterations (largest final residual on
+    /// a tie) — except that `converged` requires both sweeps. Consistent
+    /// with `trace`: when tracing, `trace.last() == Some(residual)`.
+    pub convergence: crate::pagerank::Convergence,
+    /// Residual trace of the binding sweep, when the config requested
+    /// tracing.
+    pub trace: Option<crate::solver::ConvergenceTrace>,
+}
+
+/// 2DRank under an explicit solver configuration: the shared
+/// [`SweepKernel`] sweeps both view orientations with the chosen scheme
+/// and thread count, and the two rankings are combined with the square
+/// sweep. `reference` selects the personalized variant.
+pub fn two_d_rank_with(
+    g: &DirectedGraph,
+    cfg: &SolverConfig,
+    reference: Option<NodeId>,
+) -> Result<TwoDRankOutcome, AlgoError> {
+    let teleport = TeleportVector::for_reference(g.node_count(), reference)?;
+    let pr = SweepKernel::new(g.view())?.solve(cfg, &teleport)?;
+    let chei = SweepKernel::new(g.transposed())?.solve(cfg, &teleport)?;
+    let ranking = combine(g.node_count(), &pr.scores, &chei.scores);
+    // Pick the binding sweep wholesale (not field-wise maxima), so the
+    // reported residual always matches the reported trace's last entry.
+    let (pc, cc) = (pr.convergence, chei.convergence);
+    let pr_binds =
+        (!pc.converged, pc.iterations, pc.residual) >= (!cc.converged, cc.iterations, cc.residual);
+    let binding = if pr_binds { pc } else { cc };
+    let convergence =
+        crate::pagerank::Convergence { converged: pc.converged && cc.converged, ..binding };
+    let trace = if pr_binds { pr.trace } else { chei.trace };
+    Ok(TwoDRankOutcome { ranking, convergence, trace })
 }
 
 fn combine(n: usize, pr: &ScoreVector, chei: &ScoreVector) -> RankedList {
@@ -129,6 +171,39 @@ mod tests {
             let r = personalized_two_d_rank(&g, &cfg, NodeId::new(refn)).unwrap();
             assert_eq!(r.as_slice()[0], NodeId::new(refn), "reference {refn} should rank first");
         }
+    }
+
+    #[test]
+    fn schemes_agree_on_two_d_rank() {
+        use crate::solver::Scheme;
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0), (0, 3), (3, 0), (2, 1)]);
+        let tight = SolverConfig { tolerance: 1e-12, ..Default::default() };
+        let base = two_d_rank_with(&g, &tight.with_scheme(Scheme::Power), None).unwrap();
+        assert!(base.convergence.converged);
+        for scheme in [Scheme::GaussSeidel, Scheme::Parallel] {
+            let r = two_d_rank_with(&g, &tight.with_scheme(scheme), None).unwrap();
+            assert_eq!(r.ranking, base.ranking, "{scheme} ranking diverges");
+        }
+        // The default-config path is the same computation.
+        let legacy = two_d_rank(&g, &PageRankConfig::default()).unwrap();
+        let kernel = two_d_rank_with(&g, &SolverConfig::default(), None).unwrap();
+        assert_eq!(legacy, kernel.ranking);
+    }
+
+    #[test]
+    fn diagnostics_report_the_binding_sweep() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0), (0, 3), (3, 0), (2, 1)]);
+        let cfg = SolverConfig { record_trace: true, ..Default::default() };
+        let out = two_d_rank_with(&g, &cfg, None).unwrap();
+        assert!(out.convergence.converged);
+        let trace = out.trace.expect("trace requested");
+        // The reported trace belongs to the binding sweep, so the
+        // diagnostics are internally consistent.
+        assert_eq!(trace.len(), out.convergence.iterations);
+        assert_eq!(trace.last(), Some(out.convergence.residual));
+        // Without the flag, no trace.
+        let out = two_d_rank_with(&g, &SolverConfig::default(), None).unwrap();
+        assert!(out.trace.is_none());
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use proptest::prelude::*;
 use relcore::cyclerank::{cyclerank, CycleRankConfig};
 use relcore::pagerank::{pagerank, PageRankConfig};
-use relcore::ppr::personalized_pagerank;
+use relcore::ppr::{personalized_pagerank, TeleportVector};
 use relcore::push::{ppr_push, PushConfig};
 use relcore::runner::{Algorithm, AlgorithmParams};
+use relcore::solver::{Scheme, SolverConfig, SweepKernel};
 use relcore::{AlgorithmRegistry, Query, ScoringFunction};
 use relgraph::{GraphBuilder, NodeId};
 use std::str::FromStr;
@@ -13,6 +14,13 @@ use std::sync::Arc;
 
 fn edge_list(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::vec((0..max_nodes, 0..max_nodes), 1..max_edges)
+}
+
+fn weighted_edge_list(
+    max_nodes: u32,
+    max_edges: usize,
+) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes, 0.1f64..10.0), 1..max_edges)
 }
 
 proptest! {
@@ -181,6 +189,71 @@ proptest! {
                     algo, (other.0.is_some(), other.1.is_some())),
             }
             prop_assert_eq!(query.output.cycles_found, legacy.cycles_found);
+        }
+    }
+
+    /// Solver-layer contract: the three kernel update schemes — power
+    /// iteration, hybrid Gauss–Seidel, and chunked parallel pull — agree
+    /// within 10× the convergence tolerance on random *weighted* graphs,
+    /// for PageRank (forward view, uniform teleport), PPR (forward view,
+    /// reference teleport), and CheiRank (transposed view, uniform
+    /// teleport). Damping stays ≤ 0.7 so the tolerance→fixed-point error
+    /// bound `tol·α/(1−α)` keeps pairwise disagreement under the budget.
+    #[test]
+    fn kernel_schemes_agree_within_tolerance(
+        edges in weighted_edge_list(25, 120),
+        seed in 0u32..25,
+        alpha in 0.05f64..0.7,
+        threads in 1usize..5,
+    ) {
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &edges {
+            if u != v {
+                b.add_weighted_edge(NodeId::new(u), NodeId::new(v), w);
+            }
+        }
+        b.ensure_node(24);
+        let g = b.build();
+        let seed = NodeId::new(seed % g.node_count() as u32);
+        let tolerance = 1e-12;
+        let budget = 10.0 * tolerance;
+
+        let teleports = [
+            ("pagerank", TeleportVector::uniform(g.node_count()).unwrap(), false),
+            ("ppr", TeleportVector::single(g.node_count(), seed).unwrap(), false),
+            ("cheirank", TeleportVector::uniform(g.node_count()).unwrap(), true),
+            ("pcheirank", TeleportVector::single(g.node_count(), seed).unwrap(), true),
+        ];
+        for (name, teleport, transposed) in teleports {
+            let view = if transposed { g.transposed() } else { g.view() };
+            let kernel = SweepKernel::new(view).unwrap();
+            let mut solved = Vec::new();
+            for scheme in Scheme::ALL {
+                let cfg = SolverConfig {
+                    damping: alpha,
+                    tolerance,
+                    max_iterations: 3000,
+                    scheme,
+                    threads,
+                    record_trace: false,
+                };
+                let out = kernel.solve(&cfg, &teleport).unwrap();
+                prop_assert!(out.convergence.converged, "{name}/{scheme} did not converge");
+                prop_assert!((out.scores.sum() - 1.0).abs() < 1e-9, "{name}/{scheme} off simplex");
+                solved.push((scheme, out.scores));
+            }
+            for i in 0..solved.len() {
+                for j in i + 1..solved.len() {
+                    for u in g.nodes() {
+                        let (a, b) = (solved[i].1.get(u), solved[j].1.get(u));
+                        prop_assert!(
+                            (a - b).abs() < budget,
+                            "{name}: {} vs {} differ at {:?}: {} vs {}",
+                            solved[i].0, solved[j].0, u, a, b
+                        );
+                    }
+                }
+            }
         }
     }
 

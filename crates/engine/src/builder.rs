@@ -4,7 +4,7 @@
 use crate::error::EngineError;
 use crate::task::TaskSpec;
 use relcore::runner::{Algorithm, AlgorithmParams, Solver};
-use relcore::{AlgorithmRegistry, Query, ScoringFunction};
+use relcore::{AlgorithmRegistry, Query, Scheme, ScoringFunction};
 
 /// Builds a validated [`TaskSpec`].
 ///
@@ -30,6 +30,8 @@ pub struct TaskBuilder {
     source: Option<String>,
     top_k: usize,
     solver: Option<Solver>,
+    threads: Option<usize>,
+    record_trace: bool,
 }
 
 impl TaskBuilder {
@@ -44,6 +46,8 @@ impl TaskBuilder {
             source: None,
             top_k: 100,
             solver: None,
+            threads: None,
+            record_trace: false,
         }
     }
 
@@ -74,6 +78,23 @@ impl TaskBuilder {
     /// Selects the PageRank-family numerical solver.
     pub fn solver(mut self, s: Solver) -> Self {
         self.solver = Some(s);
+        self
+    }
+
+    /// Selects the kernel update scheme (exact subset of [`Solver`]).
+    pub fn scheme(self, s: Scheme) -> Self {
+        self.solver(s.into())
+    }
+
+    /// Sets the worker-thread count for the parallel scheme (0 = auto).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Requests a per-iteration residual trace in the result.
+    pub fn trace(mut self, yes: bool) -> Self {
+        self.record_trace = yes;
         self
     }
 
@@ -114,6 +135,10 @@ impl TaskBuilder {
         if let Some(s) = self.solver {
             params = params.with_solver(s);
         }
+        if let Some(n) = self.threads {
+            params = params.with_threads(n);
+        }
+        params = params.with_trace(self.record_trace);
         Ok(TaskSpec { dataset: self.dataset, params, source: self.source, top_k: self.top_k })
     }
 
@@ -180,8 +205,22 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(t.params.solver, Solver::Push);
+        // Parallel by default: the kernel's multi-threaded pull scheme.
         let t = TaskBuilder::new("ds").build().unwrap();
-        assert_eq!(t.params.solver, Solver::Power);
+        assert_eq!(t.params.solver, Solver::Parallel);
+    }
+
+    #[test]
+    fn scheme_threads_and_trace_flow_into_params() {
+        let t = TaskBuilder::new("ds")
+            .scheme(Scheme::GaussSeidel)
+            .threads(3)
+            .trace(true)
+            .build()
+            .unwrap();
+        assert_eq!(t.params.solver, Solver::GaussSeidel);
+        assert_eq!(t.params.threads, 3);
+        assert!(t.params.record_trace);
     }
 
     #[test]

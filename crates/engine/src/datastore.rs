@@ -285,6 +285,9 @@ mod tests {
             nodes: 100,
             edges: 500,
             iterations: None,
+            residual: None,
+            converged: None,
+            residuals: None,
             cycles_found: Some(7),
         }
     }

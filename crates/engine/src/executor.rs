@@ -39,8 +39,18 @@ pub struct TaskResult {
     pub nodes: usize,
     /// Edge count of the dataset.
     pub edges: usize,
-    /// Power iterations, for the PageRank family.
+    /// Solver iterations, for the PageRank family.
     pub iterations: Option<usize>,
+    /// Final L1 residual of the solve, for the PageRank family.
+    #[serde(default)]
+    pub residual: Option<f64>,
+    /// Whether the solver converged below its tolerance.
+    #[serde(default)]
+    pub converged: Option<bool>,
+    /// Per-iteration residuals, when the task requested a convergence
+    /// trace (`params.record_trace`).
+    #[serde(default)]
+    pub residuals: Option<Vec<f64>>,
     /// Cycles found, for CycleRank.
     pub cycles_found: Option<u64>,
 }
@@ -133,6 +143,9 @@ impl Executor {
             nodes: graph.node_count(),
             edges: graph.edge_count(),
             iterations: result.output.convergence.map(|c| c.iterations),
+            residual: result.output.convergence.map(|c| c.residual),
+            converged: result.output.convergence.map(|c| c.converged),
+            residuals: result.output.trace.as_ref().map(|t| t.residuals.clone()),
             cycles_found: result.output.cycles_found,
         })
     }
@@ -172,6 +185,49 @@ mod tests {
         assert!(r.iterations.unwrap() > 1);
         assert!(r.cycles_found.is_none());
         assert_eq!(r.top[0].0, "United States");
+        // Convergence diagnostics ride along in the result.
+        assert!(r.converged.unwrap());
+        assert!(r.residual.unwrap() < 1e-9);
+        // No trace unless the task asked for one.
+        assert!(r.residuals.is_none());
+    }
+
+    #[test]
+    fn residual_trace_on_request() {
+        let spec = TaskBuilder::new("fixture-enwiki-2018").top_k(3).trace(true).build().unwrap();
+        let r = exec(spec).unwrap();
+        let residuals = r.residuals.expect("trace requested");
+        assert_eq!(residuals.len(), r.iterations.unwrap());
+        assert_eq!(residuals.last().copied(), r.residual);
+        // Residuals decay toward the tolerance.
+        assert!(residuals.last().unwrap() < &1e-9);
+    }
+
+    #[test]
+    fn scheme_and_threads_flow_through_tasks() {
+        use relcore::Scheme;
+        let ex = Executor::new();
+        let mut tops = Vec::new();
+        for scheme in Scheme::ALL {
+            let spec = TaskBuilder::new("fixture-enwiki-2018")
+                .scheme(scheme)
+                .threads(2)
+                .top_k(5)
+                .build()
+                .unwrap();
+            let r = ex.execute(&TaskId::fresh(), &spec).unwrap();
+            assert!(r.converged.unwrap(), "{scheme}");
+            tops.push(r.top);
+        }
+        // All three schemes agree on the fixture's top-5.
+        assert_eq!(
+            tops[0].iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            tops[1].iter().map(|(l, _)| l).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            tops[0].iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            tops[2].iter().map(|(l, _)| l).collect::<Vec<_>>()
+        );
     }
 
     #[test]

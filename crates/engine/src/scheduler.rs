@@ -12,7 +12,7 @@
 use crate::datastore::{Datastore, MemoryStore};
 use crate::error::EngineError;
 use crate::executor::{Executor, TaskResult};
-use crate::status::{StatusBoard, TaskState};
+use crate::status::{SolveProgress, StatusBoard, TaskState};
 use crate::task::{QuerySet, TaskId, TaskSpec};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
@@ -96,6 +96,22 @@ fn worker_loop(
             store.append_log(&id, &format!("worker {worker_id}: running {}", spec.display_row()));
         match executor.execute(&id, &spec) {
             Ok(result) => {
+                // Surface the solve's residual progress on the status
+                // board before flipping the state, so pollers always see
+                // convergence data alongside `completed`.
+                if let (Some(iterations), Some(residual), Some(converged)) =
+                    (result.iterations, result.residual, result.converged)
+                {
+                    board.record_progress(&id, SolveProgress { iterations, residual, converged });
+                    let _ = store.append_log(
+                        &id,
+                        &format!(
+                            "worker {worker_id}: solver {} after {iterations} iterations \
+                             (residual {residual:.3e})",
+                            if converged { "converged" } else { "hit the iteration cap" },
+                        ),
+                    );
+                }
                 let _ = store.append_log(
                     &id,
                     &format!("worker {worker_id}: done in {}ms", result.runtime_ms),
@@ -307,6 +323,24 @@ mod tests {
         let log = s.store().get_log(&id).unwrap();
         assert!(log.contains("running"));
         assert!(log.contains("done"));
+    }
+
+    #[test]
+    fn status_carries_residual_progress() {
+        let s = Scheduler::builder().workers(1).build();
+        let id = s.submit(TaskBuilder::new("fixture-enwiki-2018").top_k(3).build().unwrap());
+        let r = s.wait(&id, T).unwrap();
+        let record = s.board().get(&id).unwrap();
+        let progress = record.progress.expect("pagerank task reports progress");
+        assert_eq!(Some(progress.iterations), r.iterations);
+        assert_eq!(Some(progress.residual), r.residual);
+        assert!(progress.converged);
+        let log = s.store().get_log(&id).unwrap();
+        assert!(log.contains("converged"), "{log}");
+        // CycleRank has no iterative solve: no progress recorded.
+        let id = s.submit(cyclerank_task("fixture-fakenews-it", "Fake news"));
+        s.wait(&id, T).unwrap();
+        assert!(s.board().get(&id).unwrap().progress.is_none());
     }
 
     #[test]

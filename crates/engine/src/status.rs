@@ -37,6 +37,18 @@ impl TaskState {
     }
 }
 
+/// Residual progress of a task's iterative solve, reported by workers as
+/// soon as the solver finishes (PageRank-family tasks only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveProgress {
+    /// Sweeps performed so far.
+    pub iterations: usize,
+    /// Latest L1 residual.
+    pub residual: f64,
+    /// Whether the residual dropped below the tolerance.
+    pub converged: bool,
+}
+
 /// A task's full status record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TaskRecord {
@@ -50,6 +62,10 @@ pub struct TaskRecord {
     pub submitted_at_ms: u64,
     /// Completion time, when terminal.
     pub finished_at_ms: Option<u64>,
+    /// Residual progress of the underlying solve, when the task runs a
+    /// PageRank-family algorithm.
+    #[serde(default)]
+    pub progress: Option<SolveProgress>,
 }
 
 fn now_ms() -> u64 {
@@ -76,8 +92,17 @@ impl StatusBoard {
             state: TaskState::Queued,
             submitted_at_ms: now_ms(),
             finished_at_ms: None,
+            progress: None,
         };
         self.inner.write().insert(id, record);
+    }
+
+    /// Records solver progress for a task (workers call this with the
+    /// convergence diagnostics of the underlying sweep).
+    pub fn record_progress(&self, id: &TaskId, progress: SolveProgress) {
+        if let Some(r) = self.inner.write().get_mut(id) {
+            r.progress = Some(progress);
+        }
     }
 
     /// Marks a task running.
@@ -219,6 +244,22 @@ mod tests {
         assert!(r.finished_at_ms.is_some());
         assert!(r.finished_at_ms.unwrap() >= r.submitted_at_ms);
         assert_eq!(board.pending_count(), 0);
+    }
+
+    #[test]
+    fn progress_recorded_and_visible() {
+        let board = StatusBoard::new();
+        let id = TaskId::fresh();
+        board.enqueue(id.clone(), spec());
+        assert!(board.get(&id).unwrap().progress.is_none());
+        board.mark_running(&id);
+        let p = SolveProgress { iterations: 17, residual: 3.2e-11, converged: true };
+        board.record_progress(&id, p);
+        board.mark_completed(&id);
+        let r = board.get(&id).unwrap();
+        assert_eq!(r.progress, Some(p));
+        // Progress on unknown tasks is a no-op.
+        board.record_progress(&TaskId::fresh(), p);
     }
 
     #[test]

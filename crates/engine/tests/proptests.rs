@@ -102,6 +102,9 @@ proptest! {
             nodes: 1,
             edges: 1,
             iterations: Some(tag),
+            residual: Some(tag as f64 * 1e-12),
+            converged: Some(true),
+            residuals: None,
             cycles_found: None,
         };
 

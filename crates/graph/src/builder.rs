@@ -208,6 +208,20 @@ impl GraphBuilder {
             }
         }
 
+        // Cache per-node weight sums so solver sweeps get W(u) in O(1)
+        // instead of re-summing adjacency slices on every call.
+        let (mut out_weight_sums, mut in_weight_sums) = if self.weighted {
+            (Some(vec![0.0f64; n]), Some(vec![0.0f64; n]))
+        } else {
+            (None, None)
+        };
+        if let (Some(outs), Some(ins)) = (out_weight_sums.as_mut(), in_weight_sums.as_mut()) {
+            for &(u, v, w) in &deduped {
+                outs[u.index()] += w;
+                ins[v.index()] += w;
+            }
+        }
+
         // Reverse CSR via counting sort on target.
         let mut in_offsets = vec![0usize; n + 1];
         for &(_, v, _) in &deduped {
@@ -237,6 +251,8 @@ impl GraphBuilder {
             in_offsets,
             in_sources,
             in_weights,
+            out_weight_sums,
+            in_weight_sums,
             labels: self.labels,
         })
     }

@@ -26,6 +26,13 @@ pub struct DirectedGraph {
     pub(crate) in_offsets: Vec<usize>,
     pub(crate) in_sources: Vec<NodeId>,
     pub(crate) in_weights: Option<Vec<f64>>,
+    /// Per-node Σ of out-edge weights, cached at build time so the solver
+    /// sweeps never re-walk the adjacency to normalize (`None` when
+    /// unweighted: the sum equals the out-degree, already O(1)).
+    pub(crate) out_weight_sums: Option<Vec<f64>>,
+    /// Per-node Σ of in-edge weights (the out-weight sums of the
+    /// transposed view, used by CheiRank-family sweeps).
+    pub(crate) in_weight_sums: Option<Vec<f64>>,
     pub(crate) labels: LabelTable,
 }
 
@@ -104,10 +111,22 @@ impl DirectedGraph {
     }
 
     /// Sum of out-edge weights of `u` (out-degree for unweighted graphs).
+    /// O(1): weighted sums are cached at build time.
+    #[inline]
     pub fn out_weight_sum(&self, u: NodeId) -> f64 {
-        match self.out_weights(u) {
-            Some(w) => w.iter().sum(),
+        match &self.out_weight_sums {
+            Some(sums) => sums[u.index()],
             None => self.out_degree(u) as f64,
+        }
+    }
+
+    /// Sum of in-edge weights of `u` (in-degree for unweighted graphs).
+    /// O(1): weighted sums are cached at build time.
+    #[inline]
+    pub fn in_weight_sum(&self, u: NodeId) -> f64 {
+        match &self.in_weight_sums {
+            Some(sums) => sums[u.index()],
+            None => self.in_degree(u) as f64,
         }
     }
 
@@ -196,6 +215,12 @@ impl DirectedGraph {
         if let Some(w) = &self.in_weights {
             b += w.len() * size_of::<f64>();
         }
+        if let Some(s) = &self.out_weight_sums {
+            b += s.len() * size_of::<f64>();
+        }
+        if let Some(s) = &self.in_weight_sums {
+            b += s.len() * size_of::<f64>();
+        }
         b
     }
 }
@@ -273,6 +298,26 @@ mod tests {
     fn out_weight_sum_unweighted() {
         let g = diamond();
         assert_eq!(g.out_weight_sum(NodeId::new(0)), 2.0);
+        assert_eq!(g.in_weight_sum(NodeId::new(3)), 2.0);
+    }
+
+    #[test]
+    fn weight_sums_cached_for_weighted_graphs() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(NodeId::new(0), NodeId::new(1), 2.5);
+        b.add_weighted_edge(NodeId::new(0), NodeId::new(2), 1.5);
+        b.add_weighted_edge(NodeId::new(2), NodeId::new(1), 3.0);
+        let g = b.build();
+        // Cached sums agree with walking the adjacency.
+        for u in g.nodes() {
+            let walked: f64 = g.out_weights(u).unwrap().iter().sum();
+            assert_eq!(g.out_weight_sum(u), walked);
+            let walked_in: f64 = g.in_weights(u).unwrap().iter().sum();
+            assert_eq!(g.in_weight_sum(u), walked_in);
+        }
+        assert_eq!(g.out_weight_sum(NodeId::new(0)), 4.0);
+        assert_eq!(g.in_weight_sum(NodeId::new(1)), 5.5);
+        assert_eq!(g.in_weight_sum(NodeId::new(0)), 0.0);
     }
 
     #[test]

@@ -136,11 +136,24 @@ impl<'a> GraphView<'a> {
     }
 
     /// Sum of out-edge weights in this orientation (out-degree when
-    /// unweighted).
+    /// unweighted). O(1): reads the build-time weight-sum cache.
+    #[inline]
     pub fn out_weight_sum(&self, u: NodeId) -> f64 {
-        match self.out_weights(u) {
-            Some(w) => w.iter().sum(),
-            None => self.out_degree(u) as f64,
+        if self.reversed {
+            self.graph.in_weight_sum(u)
+        } else {
+            self.graph.out_weight_sum(u)
+        }
+    }
+
+    /// Sum of in-edge weights in this orientation (in-degree when
+    /// unweighted). O(1): reads the build-time weight-sum cache.
+    #[inline]
+    pub fn in_weight_sum(&self, u: NodeId) -> f64 {
+        if self.reversed {
+            self.graph.out_weight_sum(u)
+        } else {
+            self.graph.in_weight_sum(u)
         }
     }
 

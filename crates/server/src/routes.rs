@@ -354,6 +354,41 @@ mod tests {
     }
 
     #[test]
+    fn result_payload_exposes_convergence_data() {
+        let e = engine();
+        // A PageRank-family task with a residual trace requested.
+        let spec = r#"{
+            "dataset": "fixture-fakenews-pl",
+            "params": {"algorithm": "page_rank", "record_trace": true, "threads": 2},
+            "source": null,
+            "top_k": 3
+        }"#;
+        let r = route(&post("/api/tasks", spec), &e);
+        assert_eq!(r.status, StatusCode::Accepted, "{}", body_str(&r));
+        let id = serde_json::from_slice::<serde_json::Value>(&r.body).unwrap()["task_id"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        e.wait(&TaskId(id.clone()), std::time::Duration::from_secs(60)).unwrap();
+
+        // The result payload carries residual, converged flag, and the
+        // requested per-iteration trace.
+        let result = route(&get(&format!("/api/tasks/{id}/result")), &e);
+        let v: serde_json::Value = serde_json::from_slice(&result.body).unwrap();
+        assert_eq!(v["converged"], true);
+        assert!(v["residual"].as_f64().unwrap() < 1e-9);
+        let residuals = v["residuals"].as_array().unwrap();
+        assert_eq!(residuals.len() as u64, v["iterations"].as_u64().unwrap());
+
+        // The status payload carries the solve's progress record.
+        let status = route(&get(&format!("/api/tasks/{id}")), &e);
+        let v: serde_json::Value = serde_json::from_slice(&status.body).unwrap();
+        assert_eq!(v["progress"]["converged"], true);
+        assert!(v["progress"]["residual"].as_f64().unwrap() < 1e-9);
+        assert!(v["progress"]["iterations"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
     fn submit_rejects_bad_specs() {
         let e = engine();
         assert_eq!(route(&post("/api/tasks", "not json"), &e).status, StatusCode::BadRequest);

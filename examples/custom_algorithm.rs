@@ -48,6 +48,7 @@ impl RelevanceAlgorithm for DegreeRank {
             ranking: scores.ranking(),
             scores: Some(scores),
             convergence: None,
+            trace: None,
             cycles_found: None,
         })
     }
