@@ -41,7 +41,7 @@ fn bench_ppr_methods(c: &mut Criterion) {
             b.iter(|| {
                 ppr_monte_carlo(
                     black_box(g.view()),
-                    &MonteCarloConfig { damping: 0.85, walks: 10_000, rng_seed: 1 },
+                    &MonteCarloConfig { damping: 0.85, walks: 10_000, rng_seed: 1, threads: 0 },
                     seed,
                 )
                 .unwrap()

@@ -98,7 +98,7 @@ fn sweep_ppr() {
             mc = Some(
                 ppr_monte_carlo(
                     g.view(),
-                    &MonteCarloConfig { damping: 0.85, walks: 20_000, rng_seed: 1 },
+                    &MonteCarloConfig { damping: 0.85, walks: 20_000, rng_seed: 1, threads: 0 },
                     seed,
                 )
                 .unwrap(),

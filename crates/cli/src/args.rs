@@ -40,6 +40,29 @@ pub struct RunSpec {
     pub json: bool,
 }
 
+/// Parameters of a `batch` run (one algorithm, many seeds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpecArgs {
+    /// Dataset id.
+    pub dataset: String,
+    /// Algorithm id (must be personalized); default `ppr`.
+    pub algorithm: String,
+    /// Seeds: a comma-separated list, or `@path` to a file with one seed
+    /// label per line. Labels containing commas require the `@path` form
+    /// (the list form splits on every comma).
+    pub seeds: String,
+    /// Damping factor α.
+    pub alpha: Option<f64>,
+    /// Kernel update scheme (power|gauss-seidel|parallel).
+    pub scheme: Option<String>,
+    /// Worker threads (0 = all cores).
+    pub threads: Option<usize>,
+    /// Top-k per seed.
+    pub top: usize,
+    /// Emit JSON instead of tables.
+    pub json: bool,
+}
+
 /// Parameters of `compare` (algorithm comparison use case).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompareSpec {
@@ -84,6 +107,8 @@ pub enum Command {
     },
     /// `run`.
     Run(RunSpec),
+    /// `batch`.
+    Batch(BatchSpecArgs),
     /// `compare`.
     Compare(CompareSpec),
     /// `compare-datasets`.
@@ -216,6 +241,20 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             flags.finish()?;
             Command::Run(spec)
         }
+        "batch" => {
+            let spec = BatchSpecArgs {
+                dataset: flags.require("dataset")?,
+                algorithm: flags.take("algorithm").unwrap_or_else(|| "ppr".into()),
+                seeds: flags.require("seeds")?,
+                alpha: flags.take("alpha").map(|v| parse_num(&v, "alpha")).transpose()?,
+                scheme: flags.take("scheme"),
+                threads: flags.take("threads").map(|v| parse_num(&v, "threads")).transpose()?,
+                top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
+                json: flags.has_switch("json"),
+            };
+            flags.finish()?;
+            Command::Batch(spec)
+        }
         "compare" => {
             let spec = CompareSpec {
                 dataset: flags.require("dataset")?,
@@ -272,7 +311,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
 /// Usage text.
 pub fn usage() -> String {
     "usage: relrank <command> [flags]\n\
-     commands: list-datasets, algorithms, stats, run, compare, compare-datasets, convert, visualize, serve\n\
+     commands: list-datasets, algorithms, stats, run, batch, compare, compare-datasets, convert, visualize, serve\n\
      see crate docs for per-command flags"
         .to_string()
 }
@@ -355,6 +394,38 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse("run --dataset d --algorithm pr --threads many").is_err());
+    }
+
+    #[test]
+    fn batch_parses_with_defaults() {
+        let cli = parse("batch --dataset d --seeds A,B,C").unwrap();
+        match cli.command {
+            Command::Batch(b) => {
+                assert_eq!(b.dataset, "d");
+                assert_eq!(b.algorithm, "ppr");
+                assert_eq!(b.seeds, "A,B,C");
+                assert_eq!(b.top, 5);
+                assert!(!b.json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cli = parse(
+            "batch --dataset d --algorithm pcheirank --seeds @seeds.txt --alpha 0.5 \
+             --scheme parallel --threads 4 --top 3 --json",
+        )
+        .unwrap();
+        match cli.command {
+            Command::Batch(b) => {
+                assert_eq!(b.algorithm, "pcheirank");
+                assert_eq!(b.seeds, "@seeds.txt");
+                assert_eq!(b.alpha, Some(0.5));
+                assert_eq!(b.threads, Some(4));
+                assert!(b.json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Seeds are required.
+        assert!(parse("batch --dataset d").is_err());
     }
 
     #[test]

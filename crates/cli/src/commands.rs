@@ -4,7 +4,7 @@
 //! binary prints it), which keeps everything unit-testable without
 //! capturing stdout.
 
-use crate::args::{CompareDatasetsSpec, CompareSpec, RunSpec};
+use crate::args::{BatchSpecArgs, CompareDatasetsSpec, CompareSpec, RunSpec};
 use relcore::{AlgorithmRegistry, Query};
 use relengine::prelude::*;
 use std::sync::Arc;
@@ -221,6 +221,93 @@ pub fn run_task(spec: RunSpec) -> Result<String, String> {
     out.push('\n');
     for (rank, (label, score)) in result.top.iter().enumerate() {
         out.push_str(&format!("{:>3}  {:<40} {:.6}\n", rank + 1, label, score));
+    }
+    Ok(out)
+}
+
+/// Expands the `--seeds` flag: `@path` reads one seed label per line
+/// (blank lines and `#` comments skipped); anything else splits on
+/// commas. Labels that themselves contain a comma (e.g. "Paris, France")
+/// cannot be written in list form — use the `@file` form for those.
+fn expand_seeds(arg: &str) -> Result<Vec<String>, String> {
+    let seeds: Vec<String> = match arg.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read seed file {path:?}: {e}"))?
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect(),
+        None => {
+            arg.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect()
+        }
+    };
+    if seeds.is_empty() {
+        return Err("no seeds given (use --seeds a,b,c or --seeds @file)".into());
+    }
+    Ok(seeds)
+}
+
+/// `batch`: one personalized algorithm over many seeds, solved in a single
+/// multi-vector sweep — the request-serving path for high-QPS
+/// personalization, on the command line.
+pub fn batch(spec: BatchSpecArgs) -> Result<String, String> {
+    let seeds = expand_seeds(&spec.seeds)?;
+    reldata::connect_query_api();
+    let mut q = Query::on(spec.dataset.as_str())
+        .algorithm(spec.algorithm.as_str())
+        .seeds(seeds.iter().map(String::as_str))
+        .top(spec.top);
+    if let Some(a) = spec.alpha {
+        q = q.alpha(a);
+    }
+    if let Some(s) = &spec.scheme {
+        q = q.scheme(s.parse::<relcore::Scheme>()?);
+    }
+    if let Some(n) = spec.threads {
+        q = q.threads(n);
+    }
+    let batch = q.run_batch().map_err(|e| e.to_string())?;
+
+    if spec.json {
+        let entries: Vec<serde_json::Value> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, seed)| {
+                serde_json::json!({
+                    "seed": seed,
+                    "top": batch.top_entries(i),
+                })
+            })
+            .collect();
+        return serde_json::to_string_pretty(&serde_json::json!({
+            "dataset": spec.dataset,
+            "algorithm": batch.algorithm,
+            "parameters": batch.parameters,
+            "seeds": seeds.len(),
+            "runtime_ms": batch.runtime.as_millis() as u64,
+            "amortized_ms_per_seed": batch.runtime_per_seed().as_millis() as u64,
+            "results": entries,
+        }))
+        .map_err(|e| e.to_string());
+    }
+
+    let mut out = format!(
+        "dataset {} ({} nodes, {} edges)\nalgorithm {} [{}]\n{} seeds in {}ms ({:.2}ms/seed amortized)\n",
+        spec.dataset,
+        batch.graph.node_count(),
+        batch.graph.edge_count(),
+        batch.algorithm,
+        batch.parameters,
+        seeds.len(),
+        batch.runtime.as_millis(),
+        batch.runtime.as_secs_f64() * 1e3 / seeds.len() as f64,
+    );
+    for (i, seed) in seeds.iter().enumerate() {
+        out.push_str(&format!("\nseed {seed}\n"));
+        for (rank, (label, score)) in batch.top_entries(i).iter().enumerate() {
+            out.push_str(&format!("{:>3}  {:<40} {:.6}\n", rank + 1, label, score));
+        }
     }
     Ok(out)
 }
@@ -586,6 +673,77 @@ mod tests {
             json: false,
         };
         assert!(run_task(spec).is_err());
+    }
+
+    #[test]
+    fn batch_over_seed_list() {
+        let out = batch(BatchSpecArgs {
+            dataset: "fixture-enwiki-2018".into(),
+            algorithm: "ppr".into(),
+            seeds: "Freddie Mercury, Queen (band)".into(),
+            alpha: None,
+            scheme: None,
+            threads: None,
+            top: 3,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("2 seeds"), "{out}");
+        assert!(out.contains("seed Freddie Mercury"), "{out}");
+        assert!(out.contains("seed Queen (band)"), "{out}");
+        assert!(out.contains("ms/seed amortized"), "{out}");
+    }
+
+    #[test]
+    fn batch_over_seed_file_json() {
+        let dir = std::env::temp_dir().join("relcli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seeds.txt");
+        std::fs::write(&path, "# seed labels\nFreddie Mercury\n\nBrian May\n").unwrap();
+        let out = batch(BatchSpecArgs {
+            dataset: "fixture-enwiki-2018".into(),
+            algorithm: "ppr".into(),
+            seeds: format!("@{}", path.display()),
+            alpha: None,
+            scheme: None,
+            threads: None,
+            top: 3,
+            json: true,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["seeds"], 2, "comments and blanks skipped");
+        assert_eq!(v["results"].as_array().unwrap().len(), 2);
+        assert_eq!(v["results"][1]["seed"], "Brian May");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_rejections() {
+        let base = BatchSpecArgs {
+            dataset: "fixture-enwiki-2018".into(),
+            algorithm: "ppr".into(),
+            seeds: ",".into(),
+            alpha: None,
+            scheme: None,
+            threads: None,
+            top: 3,
+            json: false,
+        };
+        // Empty seed expansion.
+        assert!(batch(base.clone()).is_err());
+        // Missing seed file.
+        assert!(batch(BatchSpecArgs { seeds: "@/no/such/file".into(), ..base.clone() }).is_err());
+        // Global algorithm.
+        let err = batch(BatchSpecArgs {
+            algorithm: "pagerank".into(),
+            seeds: "Freddie Mercury".into(),
+            ..base.clone()
+        })
+        .unwrap_err();
+        assert!(err.contains("global"), "{err}");
+        // Unknown seed.
+        assert!(batch(BatchSpecArgs { seeds: "No Such Page".into(), ..base }).is_err());
     }
 
     #[test]

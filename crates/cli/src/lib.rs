@@ -11,6 +11,9 @@
 //! relrank run --dataset <id> --algorithm <algo> [--source <label>]
 //!             [--alpha <f>] [--k <n>] [--sigma exp|lin|quad|const]
 //!             [--top <n>] [--json]
+//! relrank batch --dataset <id> --seeds <a,b,c | @file>
+//!               [--algorithm ppr] [--alpha <f>] [--scheme <s>]
+//!               [--threads <n>] [--top <n>] [--json]
 //! relrank compare --dataset <id> --source <label>
 //!                 [--algorithms pagerank,cyclerank,ppr] [--top <n>]
 //! relrank compare-datasets --datasets <id,id,...> --source <label>
@@ -31,6 +34,7 @@ pub fn run(cli: Cli) -> Result<String, String> {
         Command::Algorithms => Ok(commands::algorithms()),
         Command::Stats { dataset } => commands::stats(&dataset),
         Command::Run(spec) => commands::run_task(spec),
+        Command::Batch(spec) => commands::batch(spec),
         Command::Compare(c) => commands::compare(c),
         Command::CompareDatasets(c) => commands::compare_datasets(c),
         Command::Convert { input, output, format } => {

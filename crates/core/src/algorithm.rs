@@ -76,6 +76,24 @@ pub trait RelevanceAlgorithm: Send + Sync {
         params: &AlgorithmParams,
         reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError>;
+
+    /// Runs the algorithm for many reference nodes on one graph, returning
+    /// one output per reference in input order.
+    ///
+    /// The default implementation loops over [`Self::execute`]; algorithms
+    /// with a cheaper batched formulation (the stationary-distribution
+    /// family solves all seeds in one multi-vector sweep, see
+    /// [`crate::solver::SweepKernel::solve_batch`]) override it. Every
+    /// override must return exactly the outputs the sequential loop would
+    /// — batching is an execution strategy, not a semantic change.
+    fn execute_batch(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        references: &[NodeId],
+    ) -> Result<Vec<RelevanceOutput>, AlgoError> {
+        references.iter().map(|&r| self.execute(graph, params, Some(r))).collect()
+    }
 }
 
 /// One advertised parameter of an algorithm.

@@ -42,7 +42,12 @@ fn solve(
             Ok((s, None, None))
         }
         (Solver::MonteCarlo, Some(r)) => {
-            let mc_cfg = MonteCarloConfig { damping: params.damping, walks: 200_000, rng_seed: 42 };
+            let mc_cfg = MonteCarloConfig {
+                damping: params.damping,
+                walks: 200_000,
+                rng_seed: 42,
+                threads: params.threads,
+            };
             let s = ppr_monte_carlo(view, &mc_cfg, r)?;
             Ok((s, None, None))
         }
@@ -73,6 +78,33 @@ fn scored(
 
 fn require_reference(reference: Option<NodeId>) -> Result<NodeId, AlgoError> {
     reference.ok_or(AlgoError::MissingReference)
+}
+
+/// The batched personalized solve shared by PPR and Pers. CheiRank: one
+/// multi-vector kernel sweep over `view` for every exact scheme; the
+/// approximate local solvers (push, Monte Carlo) have no fused formulation
+/// and solve seed-by-seed through [`solve`].
+fn solve_batch_personalized(
+    id: &str,
+    view: relgraph::GraphView<'_>,
+    params: &AlgorithmParams,
+    references: &[NodeId],
+) -> Result<Vec<RelevanceOutput>, AlgoError> {
+    if matches!(params.solver, Solver::Push | Solver::MonteCarlo) {
+        return references
+            .iter()
+            .map(|&r| {
+                let (s, c, t) = solve(view, params, Some(r))?;
+                Ok(scored(id, s, c, t))
+            })
+            .collect();
+    }
+    let n = view.node_count();
+    let teleports =
+        references.iter().map(|&r| TeleportVector::single(n, r)).collect::<Result<Vec<_>, _>>()?;
+    let kernel = SweepKernel::new(view)?;
+    let outs = kernel.solve_batch(&params.solver_config(), &teleports)?;
+    Ok(outs.into_iter().map(|o| scored(id, o.scores, Some(o.convergence), o.trace)).collect())
 }
 
 fn validate_damping(params: &AlgorithmParams) -> Result<(), AlgoError> {
@@ -210,6 +242,15 @@ impl RelevanceAlgorithm for PersonalizedPageRankAlgorithm {
         let (s, c, t) = solve(graph.view(), params, Some(r))?;
         Ok(scored(self.id(), s, c, t))
     }
+
+    fn execute_batch(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        references: &[NodeId],
+    ) -> Result<Vec<RelevanceOutput>, AlgoError> {
+        solve_batch_personalized(self.id(), graph.view(), params, references)
+    }
 }
 
 // ----------------------------------------------------------------- CheiRank
@@ -286,6 +327,15 @@ impl RelevanceAlgorithm for PersonalizedCheiRankAlgorithm {
         let r = require_reference(reference)?;
         let (s, c, t) = solve(graph.transposed(), params, Some(r))?;
         Ok(scored(self.id(), s, c, t))
+    }
+
+    fn execute_batch(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        references: &[NodeId],
+    ) -> Result<Vec<RelevanceOutput>, AlgoError> {
+        solve_batch_personalized(self.id(), graph.transposed(), params, references)
     }
 }
 

@@ -118,7 +118,7 @@ pub use cyclerank::{CycleRankConfig, CycleRankOutput};
 pub use error::AlgoError;
 pub use pagerank::{pagerank, Convergence, PageRankConfig};
 pub use ppr::{personalized_pagerank, TeleportVector};
-pub use query::{Query, QueryError, QueryResult, QueryTarget, ReferenceSpec};
+pub use query::{BatchResult, Query, QueryError, QueryResult, QueryTarget, ReferenceSpec};
 pub use registry::{AlgorithmRegistry, RegistryError};
 pub use result::{RankedList, ScoreVector};
 #[allow(deprecated)]

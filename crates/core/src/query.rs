@@ -182,6 +182,9 @@ pub enum QueryError {
     UnknownReference(String),
     /// A personalized algorithm was queried without a reference.
     MissingReference(String),
+    /// A batch run ([`Query::run_batch`]) was requested for a global
+    /// algorithm (batches are per-seed by construction) or without seeds.
+    NotBatchable(String),
     /// The algorithm itself failed (bad parameters, empty graph, ...).
     Algorithm(AlgoError),
 }
@@ -205,6 +208,7 @@ impl fmt::Display for QueryError {
             QueryError::MissingReference(algo) => {
                 write!(f, "algorithm {algo:?} is personalized and needs .reference(...)")
             }
+            QueryError::NotBatchable(msg) => write!(f, "batch query rejected: {msg}"),
             QueryError::Algorithm(e) => write!(f, "algorithm error: {e}"),
         }
     }
@@ -231,6 +235,7 @@ pub struct Query {
     algorithm: String,
     params: AlgorithmParams,
     reference: Option<ReferenceSpec>,
+    seeds: Vec<ReferenceSpec>,
     top: usize,
 }
 
@@ -242,6 +247,7 @@ impl Query {
             algorithm: "pagerank".to_string(),
             params: AlgorithmParams::new(Algorithm::PageRank),
             reference: None,
+            seeds: Vec::new(),
             top: 100,
         }
     }
@@ -327,6 +333,15 @@ impl Query {
         self
     }
 
+    /// Sets the seed (reference) nodes of a batch query, one per requested
+    /// personalization; executed with [`Query::run_batch`]. The
+    /// stationary-distribution algorithms solve all seeds in one
+    /// multi-vector sweep over the graph.
+    pub fn seeds<S: Into<ReferenceSpec>>(mut self, seeds: impl IntoIterator<Item = S>) -> Self {
+        self.seeds = seeds.into_iter().map(Into::into).collect();
+        self
+    }
+
     /// How many top entries [`QueryResult::top_entries`] returns
     /// (default 100).
     pub fn top(mut self, n: usize) -> Self {
@@ -354,6 +369,11 @@ impl Query {
     /// The reference spec, if set.
     pub fn reference_ref(&self) -> Option<&ReferenceSpec> {
         self.reference.as_ref()
+    }
+
+    /// The batch seed specs (empty for single-shot queries).
+    pub fn seeds_ref(&self) -> &[ReferenceSpec] {
+        &self.seeds
     }
 
     /// The configured top-k.
@@ -404,6 +424,64 @@ impl Query {
             output,
             graph,
             reference,
+            runtime,
+            top: self.top,
+        })
+    }
+
+    /// Executes the query once per seed ([`Query::seeds`]), batched: the
+    /// stationary-distribution algorithms propagate every seed's score
+    /// vector in one multi-vector sweep over the edge arrays, so the
+    /// amortized per-seed cost is far below [`Query::run`] in a loop — the
+    /// request-serving path for high-QPS personalization. Outputs are
+    /// bitwise identical to per-seed sequential runs.
+    pub fn run_batch(self) -> Result<BatchResult, QueryError> {
+        self.run_batch_with(AlgorithmRegistry::global())
+    }
+
+    /// Like [`Query::run_batch`], against an explicit registry.
+    pub fn run_batch_with(self, registry: &AlgorithmRegistry) -> Result<BatchResult, QueryError> {
+        let algo = registry
+            .get(&self.algorithm)
+            .ok_or_else(|| QueryError::UnknownAlgorithm(self.algorithm.clone()))?;
+        if !algo.is_personalized() {
+            return Err(QueryError::NotBatchable(format!(
+                "algorithm {:?} is global; batch queries personalize per seed",
+                algo.id()
+            )));
+        }
+        if self.seeds.is_empty() {
+            return Err(QueryError::NotBatchable(format!(
+                "no seeds given; call .seeds([...]) before running {:?} batched",
+                algo.id()
+            )));
+        }
+
+        let graph = match &self.target {
+            QueryTarget::Graph(g) => Arc::clone(g),
+            QueryTarget::Dataset(id) => resolve_dataset(id)?,
+        };
+        let seeds = self
+            .seeds
+            .iter()
+            .map(|spec| match spec {
+                ReferenceSpec::Node(n) => Ok(*n),
+                ReferenceSpec::Label(l) => resolve_reference(&graph, l)
+                    .ok_or_else(|| QueryError::UnknownReference(l.clone())),
+            })
+            .collect::<Result<Vec<NodeId>, QueryError>>()?;
+
+        algo.validate(&self.params)?;
+        let started = Instant::now();
+        let outputs = algo.execute_batch(&graph, &self.params, &seeds)?;
+        let runtime = started.elapsed();
+
+        Ok(BatchResult {
+            algorithm: algo.id().to_string(),
+            parameters: algo.summarize(&self.params),
+            outputs,
+            graph,
+            seeds,
             runtime,
             top: self.top,
         })
@@ -467,6 +545,84 @@ impl QueryResult {
     /// The full ranking, most relevant first.
     pub fn ranking(&self) -> &RankedList {
         &self.output.ranking
+    }
+}
+
+/// The outcome of one [`Query::run_batch`]: one [`RelevanceOutput`] per
+/// seed, in seed order, plus the shared graph and the wall-clock time of
+/// the whole batch.
+pub struct BatchResult {
+    /// Resolved algorithm id (e.g. `ppr`).
+    pub algorithm: String,
+    /// Human-readable parameter summary (e.g. `α = 0.85`).
+    pub parameters: String,
+    /// Per-seed outputs, in the order the seeds were given.
+    pub outputs: Vec<RelevanceOutput>,
+    /// The graph the batch ran on.
+    pub graph: Arc<DirectedGraph>,
+    /// The resolved seed nodes, in input order.
+    pub seeds: Vec<NodeId>,
+    /// Wall-clock time of the whole batch (excludes dataset resolution).
+    pub runtime: Duration,
+    top: usize,
+}
+
+impl fmt::Debug for BatchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchResult")
+            .field("algorithm", &self.algorithm)
+            .field("seeds", &self.seeds.len())
+            .field("nodes", &self.graph.node_count())
+            .field("runtime", &self.runtime)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchResult {
+    /// Number of seeds solved.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when the batch had no seeds (never for a successful
+    /// [`Query::run_batch`], which rejects empty seed sets).
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Iterates `(seed, output)` pairs in seed order.
+    pub fn per_seed(&self) -> impl Iterator<Item = (NodeId, &RelevanceOutput)> {
+        self.seeds.iter().copied().zip(self.outputs.iter())
+    }
+
+    /// Top entries of seed `i` as `(label, score)` pairs, at most the
+    /// configured `.top(n)`.
+    pub fn top_entries(&self, i: usize) -> Vec<(String, f64)> {
+        self.outputs[i].top_k_labeled(&self.graph, self.top)
+    }
+
+    /// Amortized wall-clock time per seed.
+    pub fn runtime_per_seed(&self) -> Duration {
+        self.runtime / self.outputs.len().max(1) as u32
+    }
+
+    /// Splits the batch into per-seed [`QueryResult`]s (sharing the graph
+    /// `Arc`); `runtime` on each is the amortized per-seed time.
+    pub fn into_results(self) -> Vec<QueryResult> {
+        let per_seed = self.runtime_per_seed();
+        self.seeds
+            .into_iter()
+            .zip(self.outputs)
+            .map(|(seed, output)| QueryResult {
+                algorithm: self.algorithm.clone(),
+                parameters: self.parameters.clone(),
+                output,
+                graph: Arc::clone(&self.graph),
+                reference: Some(seed),
+                runtime: per_seed,
+                top: self.top,
+            })
+            .collect()
     }
 }
 
@@ -542,6 +698,89 @@ mod tests {
         // reldata, so accept either error shape.)
         let err = Query::on("no-such-dataset-id").run().unwrap_err();
         assert!(matches!(err, QueryError::NoDatasetResolver(_) | QueryError::UnknownDataset(_)));
+    }
+
+    #[test]
+    fn batch_query_matches_sequential_runs() {
+        let g = Arc::new(sample());
+        for algo in ["ppr", "pcheirank"] {
+            let batch = Query::on(&g)
+                .algorithm(algo)
+                .seeds([NodeId::new(0), NodeId::new(2), NodeId::new(3)])
+                .top(3)
+                .run_batch()
+                .unwrap();
+            assert_eq!(batch.len(), 3);
+            assert_eq!(batch.algorithm, algo);
+            for (i, seed) in [0u32, 2, 3].into_iter().enumerate() {
+                let single = Query::on(&g)
+                    .algorithm(algo)
+                    .reference(NodeId::new(seed))
+                    .top(3)
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    single.scores().unwrap().as_slice(),
+                    batch.outputs[i].scores.as_ref().unwrap().as_slice(),
+                    "{algo} seed {seed}"
+                );
+                assert_eq!(single.top_entries(), batch.top_entries(i));
+            }
+            let results = Query::on(&g)
+                .algorithm(algo)
+                .seeds([NodeId::new(0), NodeId::new(2), NodeId::new(3)])
+                .top(3)
+                .run_batch()
+                .unwrap()
+                .into_results();
+            assert_eq!(results.len(), 3);
+            assert_eq!(results[1].reference, Some(NodeId::new(2)));
+        }
+    }
+
+    #[test]
+    fn batch_query_label_seeds_and_fallback_algorithms() {
+        // Label seeds resolve like .reference(); cyclerank has no fused
+        // batch and falls back to the sequential default.
+        let mut b = GraphBuilder::new();
+        b.add_labeled_edge("A", "B");
+        b.add_labeled_edge("B", "A");
+        b.add_labeled_edge("B", "C");
+        b.add_labeled_edge("C", "B");
+        let g = Arc::new(b.build());
+        let batch =
+            Query::on(&g).algorithm("cyclerank").seeds(["A", "C"]).top(2).run_batch().unwrap();
+        assert_eq!(batch.top_entries(0)[0].0, "A");
+        // Seed "C": the C↔B 2-cycle scores both equally; ties break by
+        // node index, so assert membership rather than order.
+        let top: Vec<String> = batch.top_entries(1).into_iter().map(|(l, _)| l).collect();
+        assert!(top.contains(&"C".to_string()) && top.contains(&"B".to_string()), "{top:?}");
+        assert!(batch.per_seed().count() == 2 && !batch.is_empty());
+    }
+
+    #[test]
+    fn batch_query_rejections() {
+        let g = Arc::new(sample());
+        // Global algorithms are not batchable.
+        assert!(matches!(
+            Query::on(&g).algorithm("pagerank").seeds([NodeId::new(0)]).run_batch(),
+            Err(QueryError::NotBatchable(_))
+        ));
+        // Empty seed sets are rejected.
+        assert!(matches!(
+            Query::on(&g).algorithm("ppr").run_batch(),
+            Err(QueryError::NotBatchable(_))
+        ));
+        // Unknown seed labels fail like unknown references.
+        assert!(matches!(
+            Query::on(&g).algorithm("ppr").seeds(["nope"]).run_batch(),
+            Err(QueryError::UnknownReference(_))
+        ));
+        // Parameter validation still applies.
+        assert!(matches!(
+            Query::on(&g).algorithm("ppr").alpha(1.5).seeds([NodeId::new(0)]).run_batch(),
+            Err(QueryError::Algorithm(AlgoError::InvalidDamping(_)))
+        ));
     }
 
     #[test]

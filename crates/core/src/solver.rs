@@ -235,6 +235,14 @@ pub struct SweepOutcome {
 /// exceeds the sweep cost on small graphs.
 pub const PARALLEL_MIN_WORK: usize = 16_384;
 
+/// Widest lane group one fused batch sweep carries: wider batches split
+/// into groups of this size, so [`SweepKernel::solve_batch`] working
+/// memory stays `O(n · MAX_FUSED_LANES)` no matter how many seeds a
+/// caller submits (three interleaved `f64` buffers ≈ 0.75 MB per million
+/// nodes per lane). Traversal amortization has flattened well before this
+/// width.
+pub const MAX_FUSED_LANES: usize = 32;
+
 /// The number of worker threads actually usable: `requested` (0 = all
 /// cores), capped at available parallelism **and** the unit count, never
 /// below 1.
@@ -556,6 +564,299 @@ impl<'a> SweepKernel<'a> {
             *slot = alpha * pulled + base * teleport_dense[i];
         }
     }
+
+    // ------------------------------------------------------------- batched
+
+    /// Solves `B = teleports.len()` independent stationary distributions in
+    /// one multi-vector sweep: the edge arrays are traversed once per
+    /// iteration and every visit updates all `B` score vectors, amortizing
+    /// graph traversal and cache misses across seeds.
+    ///
+    /// The vectors are stored node-major (`x[i * B + b]`), so each edge
+    /// visit touches `B` consecutive lanes. Per-lane arithmetic keeps the
+    /// exact expression shape and accumulation order of the single-vector
+    /// pull, and each lane tracks its own convergence (a converged lane's
+    /// scores are snapshotted at the iteration where its residual crossed
+    /// the tolerance), so **every outcome is bitwise identical to the
+    /// corresponding independent [`SweepKernel::solve`] run** under
+    /// [`Scheme::Parallel`]. The [`Scheme::Power`] and
+    /// [`Scheme::GaussSeidel`] schemes have no fused formulation and fall
+    /// back to sequential per-teleport solves (trivially identical).
+    ///
+    /// Batches wider than [`MAX_FUSED_LANES`] are solved in groups of that
+    /// size, bounding working memory at `O(n · MAX_FUSED_LANES)` for any
+    /// seed count (lanes are independent, so grouping changes nothing but
+    /// wall-clock layout).
+    pub fn solve_batch(
+        &self,
+        cfg: &SolverConfig,
+        teleports: &[TeleportVector],
+    ) -> Result<Vec<SweepOutcome>, AlgoError> {
+        cfg.validate()?;
+        let n = self.node_count();
+        for t in teleports {
+            if t.len() != n {
+                return Err(AlgoError::InvalidParameter {
+                    name: "teleport",
+                    message: format!("teleport vector has {} entries for {} nodes", t.len(), n),
+                });
+            }
+        }
+        match (cfg.scheme, teleports.len()) {
+            (_, 0) => Ok(Vec::new()),
+            (Scheme::Power | Scheme::GaussSeidel, _) | (_, 1) => {
+                teleports.iter().map(|t| self.solve(cfg, t)).collect()
+            }
+            (Scheme::Parallel, _) => {
+                let mut out = Vec::with_capacity(teleports.len());
+                for group in teleports.chunks(MAX_FUSED_LANES) {
+                    out.extend(self.solve_parallel_batch(cfg, group)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// The fused multi-vector variant of [`SweepKernel::solve_parallel`].
+    ///
+    /// Seeds converge at different sweep counts (a hub seed settles in a
+    /// handful of iterations, a periphery seed in dozens), so converged
+    /// lanes are *compacted out* of the working buffers: their scores are
+    /// snapshotted at the sweep where their residual crossed the tolerance
+    /// — exactly the single-vector stopping point — and the remaining
+    /// lanes keep sweeping in a narrower interleave. Total lane-sweeps
+    /// thus equal the sum of the individual runs' iteration counts; the
+    /// fusion only amortizes traversal, it never adds work. Compaction is
+    /// bitwise-invisible because every lane's arithmetic is independent of
+    /// which other lanes share the buffer.
+    fn solve_parallel_batch(
+        &self,
+        cfg: &SolverConfig,
+        teleports: &[TeleportVector],
+    ) -> Result<Vec<SweepOutcome>, AlgoError> {
+        let n = self.node_count();
+        let lanes = teleports.len();
+        let alpha = cfg.damping;
+        // Same auto-threading cutover as the single-vector solve: the
+        // spawn/join cost is per *sweep*, and a batch sweep traverses the
+        // same node/edge arrays once — fusing lanes widens each visit but
+        // does not change where threading starts to pay.
+        let work = n + self.view.edge_count();
+        let threads = if cfg.threads == 0 && work < PARALLEL_MIN_WORK {
+            1
+        } else {
+            effective_threads(cfg.threads, n)
+        };
+        let chunk = n.div_ceil(threads);
+
+        // Node-major interleave of the dense teleport vectors; `active[c]`
+        // is the original lane index living in column `c`.
+        let mut active: Vec<usize> = (0..lanes).collect();
+        let mut tel = vec![0.0f64; n * lanes];
+        for (b, t) in teleports.iter().enumerate() {
+            for (i, v) in t.dense().into_iter().enumerate() {
+                tel[i * lanes + b] = v;
+            }
+        }
+        let mut x = tel.clone();
+        let mut next = vec![0.0f64; n * lanes];
+
+        struct Lane {
+            iterations: usize,
+            residual: f64,
+            converged: bool,
+            /// Scores frozen at the iteration the lane converged.
+            snapshot: Option<Vec<f64>>,
+            trace: Option<ConvergenceTrace>,
+        }
+        let mut lane_state: Vec<Lane> = (0..lanes)
+            .map(|_| Lane {
+                iterations: 0,
+                residual: f64::INFINITY,
+                converged: false,
+                snapshot: None,
+                trace: cfg.record_trace.then(ConvergenceTrace::default),
+            })
+            .collect();
+
+        let mut sweep = 0;
+        let mut bases = vec![0.0f64; lanes];
+        while sweep < cfg.max_iterations && !active.is_empty() {
+            sweep += 1;
+            let width = active.len();
+
+            // Per-lane dangling mass, accumulated in node-index order so
+            // each lane's sum reproduces the single-vector float sequence.
+            bases.truncate(width);
+            bases.iter_mut().for_each(|b| *b = 0.0);
+            for i in 0..n {
+                if self.inv_wsum[i] == 0.0 {
+                    let row = &x[i * width..i * width + width];
+                    for (base, &xv) in bases.iter_mut().zip(row) {
+                        *base += xv;
+                    }
+                }
+            }
+            for base in bases.iter_mut() {
+                *base = 1.0 - alpha + alpha * *base;
+            }
+
+            if threads == 1 {
+                if width == 1 {
+                    // Last live lane: the single-vector chunk pull computes
+                    // the identical per-lane expressions without the
+                    // interleave bookkeeping.
+                    self.pull_chunk(&x, &mut next[..n], 0, alpha, bases[0], &tel);
+                } else {
+                    self.pull_chunk_batch(
+                        &x,
+                        &mut next[..n * width],
+                        0,
+                        alpha,
+                        &bases,
+                        &tel,
+                        width,
+                    );
+                }
+            } else {
+                let (x_ref, tel_ref, bases_ref) = (&x, &tel, &bases);
+                crossbeam::thread::scope(|s| {
+                    let mut rest: &mut [f64] = &mut next[..n * width];
+                    let mut lo = 0usize;
+                    while !rest.is_empty() {
+                        let take = (chunk * width).min(rest.len());
+                        let (mine, tail) = rest.split_at_mut(take);
+                        rest = tail;
+                        s.spawn(move |_| {
+                            self.pull_chunk_batch(
+                                x_ref, mine, lo, alpha, bases_ref, tel_ref, width,
+                            );
+                        });
+                        lo += take / width;
+                    }
+                })
+                .expect("worker thread panicked");
+            }
+
+            // Per-lane residuals, each accumulated in node-index order
+            // (the same float sequence as the single-vector stopping
+            // decision), computed row-wise so the pass streams the
+            // interleaved buffers instead of striding per lane.
+            let mut residuals = vec![0.0f64; width];
+            for i in 0..n {
+                let xr = &x[i * width..i * width + width];
+                let nr = &next[i * width..i * width + width];
+                for ((r, &a), &b) in residuals.iter_mut().zip(xr).zip(nr) {
+                    *r += (a - b).abs();
+                }
+            }
+            for (c, &b) in active.iter().enumerate() {
+                let lane = &mut lane_state[b];
+                lane.residual = residuals[c];
+                lane.iterations = sweep;
+                if let Some(t) = lane.trace.as_mut() {
+                    t.residuals.push(residuals[c]);
+                }
+            }
+            std::mem::swap(&mut x, &mut next);
+
+            // Snapshot lanes that just converged, then compact them out of
+            // the interleave so later sweeps only touch live lanes.
+            let mut keep = Vec::with_capacity(width);
+            for (c, &b) in active.iter().enumerate() {
+                if lane_state[b].residual < cfg.tolerance {
+                    lane_state[b].converged = true;
+                    lane_state[b].snapshot = Some((0..n).map(|i| x[i * width + c]).collect());
+                } else {
+                    keep.push(c);
+                }
+            }
+            if keep.len() < width {
+                let new_width = keep.len();
+                for i in 0..n {
+                    for (new_c, &c) in keep.iter().enumerate() {
+                        x[i * new_width + new_c] = x[i * width + c];
+                        tel[i * new_width + new_c] = tel[i * width + c];
+                    }
+                }
+                active = keep.iter().map(|&c| active[c]).collect();
+                x.truncate(n * new_width);
+                tel.truncate(n * new_width);
+                next.truncate(n * new_width);
+            }
+        }
+
+        let width = active.len();
+        for (c, &b) in active.iter().enumerate() {
+            // Lanes that hit the iteration cap: scores as of the last swap.
+            lane_state[b].snapshot = Some((0..n).map(|i| x[i * width + c]).collect());
+        }
+
+        Ok(lane_state
+            .into_iter()
+            .map(|lane| SweepOutcome {
+                scores: ScoreVector::new(lane.snapshot.expect("every lane snapshotted")),
+                convergence: Convergence {
+                    iterations: lane.iterations,
+                    residual: lane.residual,
+                    converged: lane.converged,
+                },
+                trace: lane.trace,
+            })
+            .collect())
+    }
+
+    /// Pulls new scores for all lanes of the node chunk `out`, which covers
+    /// nodes `lo..lo + out.len() / lanes` in node-major interleaved layout.
+    /// Per-lane expressions mirror [`SweepKernel::pull`] /
+    /// [`SweepKernel::pull_chunk`] exactly (same association, same
+    /// accumulation order) so the results are bitwise identical to the
+    /// single-vector path.
+    #[allow(clippy::too_many_arguments)]
+    fn pull_chunk_batch(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        lo: usize,
+        alpha: f64,
+        bases: &[f64],
+        tel: &[f64],
+        lanes: usize,
+    ) {
+        for (off, slots) in out.chunks_exact_mut(lanes).enumerate() {
+            let i = lo + off;
+            let v = NodeId::from_usize(i);
+            // Accumulate the damped in-neighbor sums directly in the
+            // output row, then fold in teleport and dangling mass in
+            // place — per-lane expression shape and accumulation order
+            // match the single-vector `pull`/`pull_chunk` exactly.
+            slots.iter_mut().for_each(|s| *s = 0.0);
+            match self.view.in_weights(v) {
+                Some(ws) => {
+                    for (j, &u) in self.view.in_neighbors(v).iter().enumerate() {
+                        let (wj, inv) = (ws[j], self.inv_wsum[u.index()]);
+                        let row = &x[u.index() * lanes..u.index() * lanes + lanes];
+                        for (s, &xv) in slots.iter_mut().zip(row) {
+                            *s += xv * wj * inv;
+                        }
+                    }
+                }
+                None => {
+                    for &u in self.view.in_neighbors(v) {
+                        let inv = self.inv_wsum[u.index()];
+                        let row = &x[u.index() * lanes..u.index() * lanes + lanes];
+                        for (s, &xv) in slots.iter_mut().zip(row) {
+                            *s += xv * inv;
+                        }
+                    }
+                }
+            }
+            let tel_row = &tel[i * lanes..i * lanes + lanes];
+            for ((slot, &base), &t) in slots.iter_mut().zip(bases).zip(tel_row) {
+                *slot = alpha * *slot + base * t;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -683,6 +984,109 @@ mod tests {
             }
             assert_eq!(parts, whole, "{chunks} chunks diverge from one");
         }
+    }
+
+    #[test]
+    fn batch_solve_bitwise_matches_sequential() {
+        // Weighted + dangling graph, several seeds (with a duplicate and a
+        // uniform lane mixed in): every lane of the fused sweep must equal
+        // its independent solve bit for bit, including diagnostics.
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(relgraph::NodeId::new(0), relgraph::NodeId::new(1), 3.0);
+        b.add_weighted_edge(relgraph::NodeId::new(1), relgraph::NodeId::new(0), 1.0);
+        b.add_weighted_edge(relgraph::NodeId::new(1), relgraph::NodeId::new(2), 2.0);
+        b.add_weighted_edge(relgraph::NodeId::new(2), relgraph::NodeId::new(3), 0.5);
+        b.add_weighted_edge(relgraph::NodeId::new(4), relgraph::NodeId::new(0), 1.5);
+        let g = b.build(); // node 3 dangles
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let n = g.node_count();
+        let teleports: Vec<TeleportVector> = [0u32, 2, 0, 4]
+            .iter()
+            .map(|&s| TeleportVector::single(n, relgraph::NodeId::new(s)).unwrap())
+            .chain([TeleportVector::uniform(n).unwrap()])
+            .collect();
+        for threads in [1usize, 3] {
+            let cfg = SolverConfig::default().with_threads(threads).with_trace();
+            let batch = kernel.solve_batch(&cfg, &teleports).unwrap();
+            assert_eq!(batch.len(), teleports.len());
+            for (t, out) in teleports.iter().zip(&batch) {
+                let single = kernel.solve(&cfg, t).unwrap();
+                assert_eq!(single.scores.as_slice(), out.scores.as_slice());
+                assert_eq!(single.convergence, out.convergence);
+                assert_eq!(single.trace, out.trace);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_solve_heterogeneous_convergence() {
+        // Seeds that converge at different iteration counts: frozen lanes
+        // must keep their snapshot while slower lanes keep sweeping.
+        let g = random_graph(120, 900, 99);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let n = g.node_count();
+        let teleports: Vec<TeleportVector> =
+            (0..6).map(|s| TeleportVector::single(n, relgraph::NodeId::new(s)).unwrap()).collect();
+        let cfg = SolverConfig { tolerance: 1e-12, max_iterations: 2000, ..Default::default() };
+        let batch = kernel.solve_batch(&cfg, &teleports).unwrap();
+        let iteration_counts: Vec<usize> = batch.iter().map(|o| o.convergence.iterations).collect();
+        for (t, out) in teleports.iter().zip(&batch) {
+            let single = kernel.solve(&cfg, t).unwrap();
+            assert_eq!(single.scores.as_slice(), out.scores.as_slice());
+            assert_eq!(single.convergence.iterations, out.convergence.iterations);
+            assert!(out.convergence.converged);
+        }
+        // The point of the fixture: not all lanes stop on the same sweep.
+        assert!(
+            iteration_counts.iter().any(|&i| i != iteration_counts[0]),
+            "want heterogeneous convergence, got {iteration_counts:?}"
+        );
+    }
+
+    #[test]
+    fn batch_wider_than_fused_group_matches_sequential() {
+        // More teleports than MAX_FUSED_LANES: the group split is
+        // invisible in the results.
+        let g = random_graph(50, 260, 17);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let n = g.node_count();
+        let teleports: Vec<TeleportVector> = (0..MAX_FUSED_LANES as u32 + 7)
+            .map(|s| TeleportVector::single(n, relgraph::NodeId::new(s % 50)).unwrap())
+            .collect();
+        let cfg = SolverConfig::default();
+        let batch = kernel.solve_batch(&cfg, &teleports).unwrap();
+        assert_eq!(batch.len(), teleports.len());
+        for (t, out) in teleports.iter().zip(&batch) {
+            let single = kernel.solve(&cfg, t).unwrap();
+            assert_eq!(single.scores.as_slice(), out.scores.as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_solve_fallback_schemes_and_edges() {
+        let g = random_graph(60, 300, 21);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let n = g.node_count();
+        let t0 = TeleportVector::single(n, relgraph::NodeId::new(0)).unwrap();
+        let t1 = TeleportVector::single(n, relgraph::NodeId::new(5)).unwrap();
+        // Power / Gauss–Seidel batches run per-seed solves.
+        for scheme in [Scheme::Power, Scheme::GaussSeidel] {
+            let cfg = SolverConfig::default().with_scheme(scheme);
+            let batch = kernel.solve_batch(&cfg, &[t0.clone(), t1.clone()]).unwrap();
+            for (t, out) in [&t0, &t1].iter().zip(&batch) {
+                let single = kernel.solve(&cfg, t).unwrap();
+                assert_eq!(single.scores.as_slice(), out.scores.as_slice(), "{scheme}");
+            }
+        }
+        // Empty batch, singleton batch, dimension mismatch.
+        let cfg = SolverConfig::default();
+        assert!(kernel.solve_batch(&cfg, &[]).unwrap().is_empty());
+        let one = kernel.solve_batch(&cfg, std::slice::from_ref(&t0)).unwrap();
+        assert_eq!(one[0].scores.as_slice(), kernel.solve(&cfg, &t0).unwrap().scores.as_slice());
+        let wrong = TeleportVector::uniform(n + 3).unwrap();
+        assert!(kernel.solve_batch(&cfg, &[wrong]).is_err());
+        let bad = SolverConfig::with_damping(1.5);
+        assert!(kernel.solve_batch(&bad, std::slice::from_ref(&t0)).is_err());
     }
 
     #[test]

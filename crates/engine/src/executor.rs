@@ -1,17 +1,22 @@
 //! Task execution — the Executor / worker-node component of Fig. 1.
 //!
 //! An [`Executor`] owns a dataset cache (graphs are deterministic,
-//! generated on first use and shared via `Arc` thereafter) and turns a
-//! [`TaskSpec`] into a [`TaskResult`]: load dataset → build a
+//! generated on first use and shared via `Arc` thereafter) plus a bounded
+//! [`ResultCache`] of finished results, and turns a [`TaskSpec`] into a
+//! [`TaskResult`]: consult the result cache → load dataset → build a
 //! [`relcore::Query`] → package the labelled top-k. All algorithm
 //! dispatch, reference resolution, and parameter validation happen inside
 //! the registry-backed `Query` front door, so any algorithm registered in
 //! [`relcore::AlgorithmRegistry`] executes here without engine changes.
+//! Multi-seed [`BatchSpec`]s run through [`Executor::execute_batch`]: cache
+//! hits are served immediately and the remaining seeds share one
+//! multi-vector solve.
 
+use crate::cache::{cache_key, CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::error::EngineError;
-use crate::task::{TaskId, TaskSpec};
+use crate::task::{BatchSpec, TaskId, TaskSpec};
 use parking_lot::Mutex;
-use relcore::{Query, QueryError};
+use relcore::{Query, QueryError, QueryResult};
 use relgraph::DirectedGraph;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -55,16 +60,34 @@ pub struct TaskResult {
     pub cycles_found: Option<u64>,
 }
 
-/// Dataset-caching task executor.
-#[derive(Default)]
+/// Dataset- and result-caching task executor.
 pub struct Executor {
     cache: Mutex<HashMap<String, Arc<DirectedGraph>>>,
+    results: ResultCache,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Executor {
-    /// Creates an executor with an empty dataset cache.
+    /// Creates an executor with an empty dataset cache and a result cache
+    /// of [`DEFAULT_CACHE_CAPACITY`] entries.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates an executor whose result cache holds at most `capacity`
+    /// entries; `0` disables result caching entirely.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        Executor { cache: Mutex::new(HashMap::new()), results: ResultCache::new(capacity) }
+    }
+
+    /// Hit/miss/eviction counters of the result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.results.stats()
     }
 
     /// Registers a user-uploaded graph under `id` (the demo's "upload your
@@ -114,40 +137,96 @@ impl Executor {
         self.cache.lock().len()
     }
 
-    /// Executes a task spec to completion through the registry-backed
-    /// [`Query`] front door.
+    /// Executes a task spec to completion: served from the [`ResultCache`]
+    /// when an identical query already ran (see
+    /// [`crate::cache::cache_key`]), otherwise through the registry-backed
+    /// [`Query`] front door (and cached for the next identical request).
     pub fn execute(&self, id: &TaskId, spec: &TaskSpec) -> Result<TaskResult, EngineError> {
+        let key = cache_key(spec);
+        if let Some(cached) = self.results.get(&key, id) {
+            return Ok(cached);
+        }
         let graph = self.dataset(&spec.dataset)?;
 
         let mut query = Query::on(Arc::clone(&graph)).params(spec.params).top(spec.top_k);
         if let Some(source) = &spec.source {
             query = query.reference(source.as_str());
         }
-        let result = query.run().map_err(|e| match e {
-            QueryError::MissingReference(_) => EngineError::MissingSource,
-            QueryError::UnknownReference(source) => {
-                EngineError::UnknownSource { dataset: spec.dataset.clone(), source }
-            }
-            QueryError::Algorithm(e) => e.into(),
-            other => EngineError::Algorithm(other.to_string()),
-        })?;
+        let result = query.run().map_err(|e| map_query_error(e, &spec.dataset))?;
+        let result = package(id, &spec.dataset, spec.source.clone(), &result);
+        self.results.put(key, result.clone());
+        Ok(result)
+    }
 
-        Ok(TaskResult {
-            task_id: id.clone(),
-            dataset: spec.dataset.clone(),
-            algorithm: result.algorithm.clone(),
-            parameters: result.parameters.clone(),
-            source: spec.source.clone(),
-            top: result.top_entries(),
-            runtime_ms: result.runtime.as_millis() as u64,
-            nodes: graph.node_count(),
-            edges: graph.edge_count(),
-            iterations: result.output.convergence.map(|c| c.iterations),
-            residual: result.output.convergence.map(|c| c.residual),
-            converged: result.output.convergence.map(|c| c.converged),
-            residuals: result.output.trace.as_ref().map(|t| t.residuals.clone()),
-            cycles_found: result.output.cycles_found,
-        })
+    /// Executes a multi-seed batch: each seed's result is served from the
+    /// [`ResultCache`] when possible, and all remaining seeds share **one**
+    /// multi-vector solve ([`Query::run_batch`]). Returns one result per
+    /// seed, in seed order, addressed to the given task ids.
+    pub fn execute_batch(
+        &self,
+        ids: &[TaskId],
+        spec: &BatchSpec,
+    ) -> Result<Vec<TaskResult>, EngineError> {
+        assert_eq!(ids.len(), spec.sources.len(), "one task id per batch seed");
+        let mut slots: Vec<Option<TaskResult>> = Vec::with_capacity(ids.len());
+        let mut keys = Vec::with_capacity(ids.len());
+        let mut missed = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            let key = cache_key(&spec.task_for(i));
+            slots.push(self.results.get(&key, id));
+            if slots[i].is_none() {
+                missed.push(i);
+            }
+            keys.push(key);
+        }
+
+        if !missed.is_empty() {
+            let graph = self.dataset(&spec.dataset)?;
+            let batch = Query::on(Arc::clone(&graph))
+                .params(spec.params)
+                .top(spec.top_k)
+                .seeds(missed.iter().map(|&i| spec.sources[i].as_str()))
+                .run_batch()
+                .map_err(|e| map_query_error(e, &spec.dataset))?;
+            for (&i, result) in missed.iter().zip(batch.into_results()) {
+                let r = package(&ids[i], &spec.dataset, Some(spec.sources[i].clone()), &result);
+                self.results.put(keys[i].clone(), r.clone());
+                slots[i] = Some(r);
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+    }
+}
+
+/// Maps a front-door query failure onto the engine's error vocabulary.
+fn map_query_error(e: QueryError, dataset: &str) -> EngineError {
+    match e {
+        QueryError::MissingReference(_) => EngineError::MissingSource,
+        QueryError::UnknownReference(source) => {
+            EngineError::UnknownSource { dataset: dataset.to_string(), source }
+        }
+        QueryError::Algorithm(e) => e.into(),
+        other => EngineError::Algorithm(other.to_string()),
+    }
+}
+
+/// Packages a finished [`QueryResult`] as the engine's stored result type.
+fn package(id: &TaskId, dataset: &str, source: Option<String>, result: &QueryResult) -> TaskResult {
+    TaskResult {
+        task_id: id.clone(),
+        dataset: dataset.to_string(),
+        algorithm: result.algorithm.clone(),
+        parameters: result.parameters.clone(),
+        source,
+        top: result.top_entries(),
+        runtime_ms: result.runtime.as_millis() as u64,
+        nodes: result.graph.node_count(),
+        edges: result.graph.edge_count(),
+        iterations: result.output.convergence.map(|c| c.iterations),
+        residual: result.output.convergence.map(|c| c.residual),
+        converged: result.output.convergence.map(|c| c.converged),
+        residuals: result.output.trace.as_ref().map(|t| t.residuals.clone()),
+        cycles_found: result.output.cycles_found,
     }
 }
 
@@ -228,6 +307,141 @@ mod tests {
             tops[0].iter().map(|(l, _)| l).collect::<Vec<_>>(),
             tops[2].iter().map(|(l, _)| l).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn repeated_query_served_from_cache() {
+        let ex = Executor::new();
+        let spec = TaskBuilder::new("fixture-enwiki-2018")
+            .algorithm(Algorithm::PersonalizedPageRank)
+            .source("Freddie Mercury")
+            .top_k(5)
+            .build()
+            .unwrap();
+        let first = ex.execute(&TaskId::fresh(), &spec).unwrap();
+        assert_eq!(ex.cache_stats().hits, 0);
+        assert_eq!(ex.cache_stats().misses, 1);
+
+        let id2 = TaskId::fresh();
+        let second = ex.execute(&id2, &spec).unwrap();
+        let stats = ex.cache_stats();
+        assert_eq!(stats.hits, 1, "repeated identical query must hit");
+        assert_eq!(stats.misses, 1);
+        // Identical bytes once the per-request task id is normalized.
+        let mut renamed = second.clone();
+        renamed.task_id = first.task_id.clone();
+        assert_eq!(
+            serde_json::to_vec(&renamed).unwrap(),
+            serde_json::to_vec(&first).unwrap(),
+            "cached payload must be byte-identical"
+        );
+        assert_eq!(second.task_id, id2, "hit is re-addressed to the new task");
+
+        // A different seed is a different key: miss.
+        let other = TaskBuilder::new("fixture-enwiki-2018")
+            .algorithm(Algorithm::PersonalizedPageRank)
+            .source("Queen (band)")
+            .top_k(5)
+            .build()
+            .unwrap();
+        ex.execute(&TaskId::fresh(), &other).unwrap();
+        assert_eq!(ex.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_disabled_executor_never_hits() {
+        let ex = Executor::with_cache_capacity(0);
+        let spec = TaskBuilder::new("fixture-fakenews-it")
+            .algorithm(Algorithm::PersonalizedPageRank)
+            .source("Fake news")
+            .build()
+            .unwrap();
+        ex.execute(&TaskId::fresh(), &spec).unwrap();
+        ex.execute(&TaskId::fresh(), &spec).unwrap();
+        let stats = ex.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn cache_eviction_respects_capacity() {
+        let ex = Executor::with_cache_capacity(2);
+        for source in ["Fake news", "Disinformazione", "Bufala"] {
+            let spec = TaskBuilder::new("fixture-fakenews-it")
+                .algorithm(Algorithm::PersonalizedPageRank)
+                .source(source)
+                .build()
+                .unwrap();
+            ex.execute(&TaskId::fresh(), &spec).unwrap();
+        }
+        let stats = ex.cache_stats();
+        assert_eq!(stats.entries, 2, "capacity bound holds");
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn batch_execute_matches_singles_and_caches() {
+        let ex = Executor::new();
+        let sources = ["Freddie Mercury", "Queen (band)", "Brian May"];
+        let batch = BatchSpec {
+            dataset: "fixture-enwiki-2018".into(),
+            params: relcore::AlgorithmParams::new(Algorithm::PersonalizedPageRank),
+            sources: sources.iter().map(|s| s.to_string()).collect(),
+            top_k: 5,
+        };
+        let ids: Vec<TaskId> = (0..3).map(|_| TaskId::fresh()).collect();
+        let results = ex.execute_batch(&ids, &batch).unwrap();
+        assert_eq!(results.len(), 3);
+        for ((id, source), r) in ids.iter().zip(&sources).zip(&results) {
+            assert_eq!(&r.task_id, id);
+            assert_eq!(r.source.as_deref(), Some(*source));
+            // The batch member equals the individually executed task.
+            let single_spec = batch.task_for(sources.iter().position(|s| s == source).unwrap());
+            let single = Executor::new().execute(&TaskId::fresh(), &single_spec).unwrap();
+            assert_eq!(single.top, r.top, "{source}");
+            assert_eq!(single.iterations, r.iterations, "{source}");
+        }
+        // All three seeds were cached by the batch: re-running them as
+        // singles (or batched) hits.
+        let before = ex.cache_stats();
+        assert_eq!(before.entries, 3);
+        let again = ex.execute_batch(&ids, &batch).unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(ex.cache_stats().hits, before.hits + 3);
+
+        // Partial overlap: one cached seed, one new — only the new one
+        // misses.
+        let mixed = BatchSpec {
+            sources: vec!["Freddie Mercury".into(), "Roger Taylor".into()],
+            ..batch.clone()
+        };
+        let mixed_ids: Vec<TaskId> = (0..2).map(|_| TaskId::fresh()).collect();
+        let misses_before = ex.cache_stats().misses;
+        let mixed_results = ex.execute_batch(&mixed_ids, &mixed).unwrap();
+        assert_eq!(mixed_results[1].source.as_deref(), Some("Roger Taylor"));
+        assert_eq!(ex.cache_stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn batch_execute_propagates_errors() {
+        let ex = Executor::new();
+        let batch = BatchSpec {
+            dataset: "fixture-enwiki-2018".into(),
+            params: relcore::AlgorithmParams::new(Algorithm::PersonalizedPageRank),
+            sources: vec!["Freddie Mercury".into(), "No Such Page".into()],
+            top_k: 5,
+        };
+        let ids: Vec<TaskId> = (0..2).map(|_| TaskId::fresh()).collect();
+        match ex.execute_batch(&ids, &batch) {
+            Err(EngineError::UnknownSource { source, .. }) => assert_eq!(source, "No Such Page"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown datasets error before any solve.
+        let bad = BatchSpec { dataset: "no-such-dataset".into(), ..batch };
+        assert!(matches!(
+            ex.execute_batch(&ids, &bad),
+            Err(EngineError::UnknownDataset(_) | EngineError::UnknownSource { .. })
+        ));
     }
 
     #[test]

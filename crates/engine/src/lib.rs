@@ -36,6 +36,7 @@
 //! ```
 
 pub mod builder;
+pub mod cache;
 pub mod datastore;
 pub mod error;
 pub mod executor;
@@ -45,20 +46,22 @@ pub mod status;
 pub mod task;
 
 pub use builder::TaskBuilder;
+pub use cache::{CacheStats, ResultCache};
 pub use datastore::{Datastore, FileStore, MemoryStore};
 pub use error::EngineError;
 pub use executor::{Executor, TaskResult};
 pub use scheduler::Scheduler;
 pub use status::{StatusBoard, TaskRecord, TaskState};
-pub use task::{QuerySet, TaskId, TaskSpec};
+pub use task::{BatchSpec, QuerySet, TaskId, TaskSpec};
 
 /// Convenient glob import for engine users.
 pub mod prelude {
     pub use crate::builder::TaskBuilder;
+    pub use crate::cache::CacheStats;
     pub use crate::datastore::{Datastore, FileStore, MemoryStore};
     pub use crate::executor::{Executor, TaskResult};
     pub use crate::scheduler::Scheduler;
     pub use crate::status::{StatusBoard, TaskRecord, TaskState};
-    pub use crate::task::{QuerySet, TaskId, TaskSpec};
+    pub use crate::task::{BatchSpec, QuerySet, TaskId, TaskSpec};
     pub use relcore::runner::Algorithm;
 }

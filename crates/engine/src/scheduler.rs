@@ -9,11 +9,12 @@
 //! polling, and [`Scheduler::wait`] blocks until a task reaches a terminal
 //! state.
 
+use crate::cache::CacheStats;
 use crate::datastore::{Datastore, MemoryStore};
 use crate::error::EngineError;
 use crate::executor::{Executor, TaskResult};
 use crate::status::{SolveProgress, StatusBoard, TaskState};
-use crate::task::{QuerySet, TaskId, TaskSpec};
+use crate::task::{BatchSpec, QuerySet, TaskId, TaskSpec};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -21,6 +22,7 @@ use std::time::{Duration, Instant};
 
 enum Job {
     Run(TaskId, TaskSpec),
+    RunBatch(Vec<TaskId>, BatchSpec),
     Shutdown,
 }
 
@@ -28,6 +30,7 @@ enum Job {
 pub struct SchedulerBuilder {
     workers: usize,
     store: Arc<dyn Datastore>,
+    cache_capacity: usize,
 }
 
 impl SchedulerBuilder {
@@ -43,6 +46,14 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Entry capacity of the executor's result cache (default
+    /// [`crate::cache::DEFAULT_CACHE_CAPACITY`]); `0` disables result
+    /// caching.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
     /// Starts the worker pool, restoring any datasets persisted in the
     /// datastore into the executor's registry.
     pub fn build(self) -> Scheduler {
@@ -50,7 +61,7 @@ impl SchedulerBuilder {
         // the registry once any engine exists in the process.
         reldata::connect_query_api();
         let (tx, rx) = unbounded::<Job>();
-        let executor = Arc::new(Executor::new());
+        let executor = Arc::new(Executor::with_cache_capacity(self.cache_capacity));
         #[allow(clippy::redundant_clone)]
         let rx = rx.clone();
         if let Ok(ids) = self.store.list_datasets() {
@@ -83,49 +94,101 @@ fn worker_loop(
     store: Arc<dyn Datastore>,
 ) {
     while let Ok(job) = rx.recv() {
-        let (id, spec) = match job {
+        match job {
             Job::Shutdown => break,
-            Job::Run(id, spec) => (id, spec),
-        };
-        if board.is_canceled(&id) {
-            let _ = store.append_log(&id, &format!("worker {worker_id}: skipped (canceled)"));
-            continue;
-        }
-        board.mark_running(&id);
-        let _ =
-            store.append_log(&id, &format!("worker {worker_id}: running {}", spec.display_row()));
-        match executor.execute(&id, &spec) {
-            Ok(result) => {
-                // Surface the solve's residual progress on the status
-                // board before flipping the state, so pollers always see
-                // convergence data alongside `completed`.
-                if let (Some(iterations), Some(residual), Some(converged)) =
-                    (result.iterations, result.residual, result.converged)
-                {
-                    board.record_progress(&id, SolveProgress { iterations, residual, converged });
-                    let _ = store.append_log(
-                        &id,
-                        &format!(
-                            "worker {worker_id}: solver {} after {iterations} iterations \
-                             (residual {residual:.3e})",
-                            if converged { "converged" } else { "hit the iteration cap" },
-                        ),
-                    );
+            Job::Run(id, spec) => {
+                if board.is_canceled(&id) {
+                    let _ =
+                        store.append_log(&id, &format!("worker {worker_id}: skipped (canceled)"));
+                    continue;
                 }
+                board.mark_running(&id);
                 let _ = store.append_log(
                     &id,
-                    &format!("worker {worker_id}: done in {}ms", result.runtime_ms),
+                    &format!("worker {worker_id}: running {}", spec.display_row()),
                 );
-                match store.put_result(&result) {
-                    Ok(()) => board.mark_completed(&id),
-                    Err(e) => board.mark_failed(&id, e.to_string()),
+                match executor.execute(&id, &spec) {
+                    Ok(result) => finish_task(worker_id, &board, &store, &id, &result),
+                    Err(e) => {
+                        let _ = store.append_log(&id, &format!("worker {worker_id}: failed: {e}"));
+                        board.mark_failed(&id, e.to_string());
+                    }
                 }
             }
-            Err(e) => {
-                let _ = store.append_log(&id, &format!("worker {worker_id}: failed: {e}"));
-                board.mark_failed(&id, e.to_string());
+            Job::RunBatch(ids, spec) => {
+                // Canceled members are still solved (the batch is one fused
+                // sweep) but skipped at fan-out: no stored result, no state
+                // change past `canceled`.
+                let live: Vec<bool> = ids.iter().map(|id| !board.is_canceled(id)).collect();
+                for (id, &live) in ids.iter().zip(&live) {
+                    if live {
+                        board.mark_running(id);
+                        let _ = store.append_log(
+                            id,
+                            &format!(
+                                "worker {worker_id}: running in a {}-seed batch ({} | {})",
+                                ids.len(),
+                                spec.dataset,
+                                spec.params.algorithm.display_name(),
+                            ),
+                        );
+                    } else {
+                        let _ = store
+                            .append_log(id, &format!("worker {worker_id}: skipped (canceled)"));
+                    }
+                }
+                match executor.execute_batch(&ids, &spec) {
+                    Ok(results) => {
+                        for ((id, result), live) in ids.iter().zip(&results).zip(&live) {
+                            if *live {
+                                finish_task(worker_id, &board, &store, id, result);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        for (id, &live) in ids.iter().zip(&live) {
+                            if live {
+                                let _ = store
+                                    .append_log(id, &format!("worker {worker_id}: failed: {e}"));
+                                board.mark_failed(id, e.to_string());
+                            }
+                        }
+                    }
+                }
             }
         }
+    }
+}
+
+/// Records one finished task: progress on the status board, log lines, the
+/// stored result, and the terminal state flip.
+fn finish_task(
+    worker_id: usize,
+    board: &StatusBoard,
+    store: &Arc<dyn Datastore>,
+    id: &TaskId,
+    result: &TaskResult,
+) {
+    // Surface the solve's residual progress on the status board before
+    // flipping the state, so pollers always see convergence data alongside
+    // `completed`.
+    if let (Some(iterations), Some(residual), Some(converged)) =
+        (result.iterations, result.residual, result.converged)
+    {
+        board.record_progress(id, SolveProgress { iterations, residual, converged });
+        let _ = store.append_log(
+            id,
+            &format!(
+                "worker {worker_id}: solver {} after {iterations} iterations \
+                 (residual {residual:.3e})",
+                if converged { "converged" } else { "hit the iteration cap" },
+            ),
+        );
+    }
+    let _ = store.append_log(id, &format!("worker {worker_id}: done in {}ms", result.runtime_ms));
+    match store.put_result(result) {
+        Ok(()) => board.mark_completed(id),
+        Err(e) => board.mark_failed(id, e.to_string()),
     }
 }
 
@@ -145,7 +208,11 @@ pub struct Scheduler {
 impl Scheduler {
     /// Starts building a scheduler.
     pub fn builder() -> SchedulerBuilder {
-        SchedulerBuilder { workers: 2, store: Arc::new(MemoryStore::new()) }
+        SchedulerBuilder {
+            workers: 2,
+            store: Arc::new(MemoryStore::new()),
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+        }
     }
 
     /// Registers a user-uploaded graph so tasks can reference it by id.
@@ -187,6 +254,27 @@ impl Scheduler {
     /// Submits every task of a query set; returns ids in set order.
     pub fn submit_query_set(&self, qs: &QuerySet) -> Vec<TaskId> {
         qs.tasks().iter().map(|t| self.submit(t.clone())).collect()
+    }
+
+    /// Submits a multi-seed batch; returns one task id per seed, in seed
+    /// order, immediately.
+    ///
+    /// The batch is scheduled as a single job: seeds missing from the
+    /// result cache share one multi-vector solve, and every seed's result
+    /// fans back out to its own id — each polls, waits, and stores exactly
+    /// like an individually submitted task.
+    pub fn submit_batch(&self, spec: BatchSpec) -> Vec<TaskId> {
+        let ids: Vec<TaskId> = (0..spec.sources.len()).map(|_| TaskId::fresh()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            self.board.enqueue(id.clone(), spec.task_for(i));
+        }
+        let _ = self.tx.send(Job::RunBatch(ids.clone(), spec));
+        ids
+    }
+
+    /// Hit/miss/eviction counters of the executor's result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.executor.cache_stats()
     }
 
     /// Adds `n` more worker threads at runtime — the paper's computational
@@ -395,6 +483,82 @@ mod tests {
         let r = s.wait(&id, T).unwrap();
         assert_eq!(r.top[0].0, "Fake news");
         assert_eq!(r.top.len(), 4);
+    }
+
+    #[test]
+    fn batch_fans_out_to_individual_results() {
+        let s = Scheduler::builder().workers(2).build();
+        let sources = ["Freddie Mercury", "Queen (band)", "Brian May", "Roger Taylor"];
+        let batch = BatchSpec {
+            dataset: "fixture-enwiki-2018".into(),
+            params: relcore::AlgorithmParams::new(Algorithm::PersonalizedPageRank),
+            sources: sources.iter().map(|s| s.to_string()).collect(),
+            top_k: 5,
+        };
+        let ids = s.submit_batch(batch);
+        assert_eq!(ids.len(), 4);
+        let results = s.wait_all(&ids, T).unwrap();
+        for (r, source) in results.iter().zip(&sources) {
+            assert_eq!(r.source.as_deref(), Some(*source));
+            assert_eq!(r.top.len(), 5);
+            assert_eq!(r.top[0].0, *source, "PPR's top hit is the seed itself");
+            assert!(r.converged.unwrap());
+        }
+        // Every member polls like an ordinary task: status, result, log.
+        for id in &ids {
+            assert_eq!(s.status(id).unwrap(), TaskState::Completed);
+            assert!(s.store().get_log(id).unwrap().contains("batch"));
+        }
+        let m = s.metrics();
+        assert_eq!(m.completed, 4);
+
+        // Resubmitting the same seeds is served from the result cache.
+        let before = s.cache_stats();
+        let batch2 = BatchSpec {
+            dataset: "fixture-enwiki-2018".into(),
+            params: relcore::AlgorithmParams::new(Algorithm::PersonalizedPageRank),
+            sources: sources.iter().map(|s| s.to_string()).collect(),
+            top_k: 5,
+        };
+        let ids2 = s.submit_batch(batch2);
+        let again = s.wait_all(&ids2, T).unwrap();
+        assert_eq!(s.cache_stats().hits, before.hits + 4);
+        for (a, b) in results.iter().zip(&again) {
+            assert_eq!(a.top, b.top);
+        }
+    }
+
+    #[test]
+    fn batch_failure_marks_all_members() {
+        let s = Scheduler::builder().workers(1).build();
+        let batch = BatchSpec {
+            dataset: "fixture-enwiki-2018".into(),
+            params: relcore::AlgorithmParams::new(Algorithm::PersonalizedPageRank),
+            sources: vec!["Freddie Mercury".into(), "No Such Page".into()],
+            top_k: 3,
+        };
+        let ids = s.submit_batch(batch);
+        for id in &ids {
+            assert!(matches!(s.wait(id, T), Err(EngineError::TaskFailed(_))));
+        }
+        assert_eq!(s.metrics().failed, 2);
+    }
+
+    #[test]
+    fn cache_stats_observable_and_disableable() {
+        let s = Scheduler::builder().workers(1).cache_capacity(0).build();
+        let spec = TaskBuilder::new("fixture-fakenews-it")
+            .algorithm(Algorithm::PersonalizedPageRank)
+            .source("Fake news")
+            .build()
+            .unwrap();
+        let a = s.submit(spec.clone());
+        s.wait(&a, T).unwrap();
+        let b = s.submit(spec);
+        s.wait(&b, T).unwrap();
+        let stats = s.cache_stats();
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(stats.hits, 0, "capacity 0 disables the cache");
     }
 
     #[test]

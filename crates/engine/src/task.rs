@@ -124,6 +124,40 @@ impl TaskSpec {
     }
 }
 
+/// A multi-seed batch: one dataset, one algorithm + parameters, many
+/// source (seed) nodes — the high-QPS personalization shape where the
+/// same graph answers a seed-node query per user.
+///
+/// A batch executes as **one** multi-vector solve (seeds that miss the
+/// result cache share a single sweep over the edge arrays) but fans back
+/// out to one [`crate::executor::TaskResult`] per seed, each under its own
+/// [`TaskId`], so pollers and the datastore see ordinary per-task results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSpec {
+    /// Dataset id from the registry (e.g. `wiki-en-2018`).
+    pub dataset: String,
+    /// Algorithm and its parameters (must be a personalized algorithm).
+    pub params: AlgorithmParams,
+    /// Seed (source) node labels, one per requested personalization.
+    pub sources: Vec<String>,
+    /// How many top entries each per-seed result retains (default 100).
+    #[serde(default = "default_top_k")]
+    pub top_k: usize,
+}
+
+impl BatchSpec {
+    /// The single-task spec of seed `i` — the task whose result the batch
+    /// member is interchangeable with (also the result-cache identity).
+    pub fn task_for(&self, i: usize) -> TaskSpec {
+        TaskSpec {
+            dataset: self.dataset.clone(),
+            params: self.params,
+            source: Some(self.sources[i].clone()),
+            top_k: self.top_k,
+        }
+    }
+}
+
 /// An ordered set of tasks under a permalink id (Fig. 2).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QuerySet {

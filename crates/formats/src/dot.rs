@@ -18,7 +18,7 @@ pub fn write(g: &DirectedGraph) -> String {
     write_scored(g, None)
 }
 
-/// Like [`write`], with an optional per-node score that is rendered into
+/// Like [`write()`](fn@write), with an optional per-node score that is rendered into
 /// the node label and mapped onto a color ramp (higher score = darker).
 pub fn write_scored(g: &DirectedGraph, scores: Option<&[f64]>) -> String {
     let mut out = String::from(

@@ -1,7 +1,7 @@
 //! Request routing: maps the REST surface onto the engine.
 
 use crate::http::{Method, Request, Response, StatusCode};
-use relengine::{Scheduler, TaskId, TaskSpec};
+use relengine::{BatchSpec, Scheduler, TaskId, TaskSpec};
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -18,6 +18,10 @@ pub fn route(req: &Request, engine: &Arc<Scheduler>) -> Response {
         (Method::Get, ["api", "datasets", id, "stats"]) => dataset_stats(id, engine),
         (Method::Get, ["api", "algorithms"]) => list_algorithms(),
         (Method::Post, ["api", "tasks"]) => submit_task(req, engine),
+        (Method::Post, ["api", "batch"]) => submit_batch(req, engine),
+        (Method::Get, ["api", "cache", "stats"]) => {
+            Response::json(StatusCode::Ok, &engine.cache_stats())
+        }
         (Method::Get, ["api", "tasks", id]) => task_status(id, engine),
         (Method::Get, ["api", "tasks", id, "result"]) => task_result(id, engine),
         (Method::Get, ["api", "tasks", id, "log"]) => task_log(id, engine),
@@ -44,6 +48,8 @@ fn index() -> Response {
         <li>GET /api/datasets/{id}/stats — structural statistics</li>\n\
         <li>GET /api/algorithms — registered algorithms with parameter schemas</li>\n\
         <li>POST /api/tasks — submit a task</li>\n\
+        <li>POST /api/batch — submit one algorithm over many seeds (one fused solve)</li>\n\
+        <li>GET /api/cache/stats — result-cache hit/miss/eviction counters</li>\n\
         <li>GET /api/tasks/{id} — poll status</li>\n\
         <li>GET /api/tasks/{id}/result — fetch result</li>\n\
         <li>GET /api/tasks/{id}/log — fetch log</li>\n\
@@ -166,6 +172,58 @@ fn submit_task(req: &Request, engine: &Arc<Scheduler>) -> Response {
     }
     let id = engine.submit(spec);
     Response::json(StatusCode::Accepted, &Submitted { task_id: id.to_string() })
+}
+
+/// `POST /api/batch`: many seeds, one dataset, one (personalized)
+/// algorithm. Body is a [`BatchSpec`]: `{dataset, params, sources,
+/// top_k?}`. Seeds missing from the result cache share one multi-vector
+/// solve; each seed gets its own task id to poll.
+fn submit_batch(req: &Request, engine: &Arc<Scheduler>) -> Response {
+    #[derive(Serialize)]
+    struct BatchSubmitted {
+        task_ids: Vec<String>,
+    }
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(StatusCode::BadRequest, e),
+    };
+    let spec: BatchSpec = match serde_json::from_str(body) {
+        Ok(s) => s,
+        Err(e) => return Response::error(StatusCode::BadRequest, format!("bad batch spec: {e}")),
+    };
+    if spec.sources.is_empty() {
+        return Response::error(StatusCode::BadRequest, "batch has no sources");
+    }
+    // One request fans out to one task per seed; bound the fan-out so a
+    // single POST cannot flood the queue (split larger seed sets into
+    // several requests).
+    const MAX_BATCH_SOURCES: usize = 1024;
+    if spec.sources.len() > MAX_BATCH_SOURCES {
+        return Response::error(
+            StatusCode::BadRequest,
+            format!(
+                "batch has {} sources; the per-request limit is {MAX_BATCH_SOURCES}",
+                spec.sources.len()
+            ),
+        );
+    }
+    // Batches personalize per seed; global algorithms have nothing to
+    // batch over.
+    let personalized = relcore::AlgorithmRegistry::global()
+        .get(spec.params.algorithm.id())
+        .map(|a| a.is_personalized())
+        .unwrap_or(false);
+    if !personalized {
+        return Response::error(
+            StatusCode::BadRequest,
+            "batch queries require a personalized algorithm (each seed is one personalization)",
+        );
+    }
+    let ids = engine.submit_batch(spec);
+    Response::json(
+        StatusCode::Accepted,
+        &BatchSubmitted { task_ids: ids.into_iter().map(|i| i.to_string()).collect() },
+    )
 }
 
 fn submit_query_set(req: &Request, engine: &Arc<Scheduler>) -> Response {
@@ -395,6 +453,76 @@ mod tests {
         // Personalized without source.
         let spec = r#"{"dataset": "x", "params": {"algorithm": "cycle_rank"}, "source": null}"#;
         assert_eq!(route(&post("/api/tasks", spec), &e).status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn batch_submission_and_cache_stats() {
+        let e = engine();
+        let body = r#"{
+            "dataset": "fixture-enwiki-2018",
+            "params": {"algorithm": "personalized_page_rank"},
+            "sources": ["Freddie Mercury", "Queen (band)", "Brian May"],
+            "top_k": 5
+        }"#;
+        let r = route(&post("/api/batch", body), &e);
+        assert_eq!(r.status, StatusCode::Accepted, "{}", body_str(&r));
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        let ids: Vec<String> = v["task_ids"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|i| i.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(ids.len(), 3);
+        for id in &ids {
+            e.wait(&TaskId(id.clone()), std::time::Duration::from_secs(60)).unwrap();
+        }
+        // Per-seed results are ordinary task results.
+        let result = route(&get(&format!("/api/tasks/{}/result", ids[1])), &e);
+        assert_eq!(result.status, StatusCode::Ok);
+        assert!(body_str(&result).contains("Queen (band)"));
+
+        // A repeated batch is served from the result cache, observable via
+        // GET /api/cache/stats.
+        let before: serde_json::Value =
+            serde_json::from_slice(&route(&get("/api/cache/stats"), &e).body).unwrap();
+        let r = route(&post("/api/batch", body), &e);
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        for id in v["task_ids"].as_array().unwrap() {
+            e.wait(&TaskId(id.as_str().unwrap().to_string()), std::time::Duration::from_secs(60))
+                .unwrap();
+        }
+        let after: serde_json::Value =
+            serde_json::from_slice(&route(&get("/api/cache/stats"), &e).body).unwrap();
+        assert_eq!(
+            after["hits"].as_u64().unwrap(),
+            before["hits"].as_u64().unwrap() + 3,
+            "before {before}, after {after}"
+        );
+        assert!(after["capacity"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn batch_submission_rejections() {
+        let e = engine();
+        assert_eq!(route(&post("/api/batch", "nope"), &e).status, StatusCode::BadRequest);
+        // Empty seed list.
+        let body =
+            r#"{"dataset": "d", "params": {"algorithm": "personalized_page_rank"}, "sources": []}"#;
+        assert_eq!(route(&post("/api/batch", body), &e).status, StatusCode::BadRequest);
+        // Global algorithms are not batchable.
+        let body = r#"{"dataset": "d", "params": {"algorithm": "page_rank"}, "sources": ["x"]}"#;
+        let r = route(&post("/api/batch", body), &e);
+        assert_eq!(r.status, StatusCode::BadRequest);
+        assert!(body_str(&r).contains("personalized"));
+        // Oversized seed sets are rejected, not queued.
+        let sources = (0..1025).map(|i| format!("\"s{i}\"")).collect::<Vec<_>>().join(",");
+        let body = format!(
+            r#"{{"dataset": "d", "params": {{"algorithm": "personalized_page_rank"}}, "sources": [{sources}]}}"#
+        );
+        let r = route(&post("/api/batch", &body), &e);
+        assert_eq!(r.status, StatusCode::BadRequest);
+        assert!(body_str(&r).contains("limit"), "{}", body_str(&r));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Acceptable size arguments for [`vec`]: an exact length or a range.
+/// Acceptable size arguments for [`vec()`](fn@vec): an exact length or a range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
