@@ -10,6 +10,7 @@
 //! the `batched_multi_seed_bitwise_equals_sequential` proptest enforces).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use relbench::record::BenchReport;
 use relcore::Query;
 use relgraph::NodeId;
 use std::hint::black_box;
@@ -72,6 +73,14 @@ fn bench_batch_ppr(c: &mut Criterion) {
          batched {per_seed_batch:.1} µs/seed, speedup {:.2}x",
         per_seed_seq / per_seed_batch
     );
+
+    let mut report = BenchReport::new("batch_ppr", "fixture-enwiki-2018")
+        .param("seeds", BATCH)
+        .param("top", 5)
+        .param("amortized_speedup", format!("{:.2}", per_seed_seq / per_seed_batch));
+    report.case("sequential_per_seed", per_seed_seq * 1e3);
+    report.case("batched_per_seed", per_seed_batch * 1e3);
+    report.write();
 }
 
 criterion_group!(benches, bench_batch_ppr);

@@ -1,0 +1,84 @@
+//! `reorder_locality`: sweep wall-clock vs node ordering.
+//!
+//! Two subjects: the largest bundled fixture (`wiki-en-2018`, through the
+//! dataset registry's own reorder-at-load path) and a cache-busting
+//! 150k-node preferential-attachment graph from the same generator family
+//! whose score vector (~1.2 MB) plus adjacency (~10 MB) exceed L2, so the
+//! gather pattern of the pull sweep actually hits memory. Each ordering
+//! runs the identical kernel for a fixed number of sweeps — scores are
+//! bitwise equal across orderings up to the id permutation (enforced by
+//! the `reordered_graph_scores_invariant` proptest), so any wall-clock
+//! difference is pure locality.
+//!
+//! Results land in `BENCH_reorder_locality.json` (medians, per ordering,
+//! plus the mean-edge-span locality figure each ordering achieves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relbench::record::{measure, BenchReport};
+use relcore::{SolverConfig, SweepKernel, TeleportVector};
+use relgraph::{DirectedGraph, NodeOrdering};
+use std::hint::black_box;
+
+/// Fixed-sweep solve: loose cap, impossible tolerance, single-threaded so
+/// the measurement isolates the memory system rather than the scheduler.
+fn sweep_cost_cfg() -> SolverConfig {
+    SolverConfig { tolerance: 1e-300, max_iterations: 8, threads: 1, ..Default::default() }
+}
+
+fn run_sweeps(g: &DirectedGraph) -> f64 {
+    let kernel = SweepKernel::new(g.view()).expect("non-empty");
+    let teleport = TeleportVector::uniform(g.node_count()).unwrap();
+    let cfg = sweep_cost_cfg();
+    let out = kernel.solve(&cfg, &teleport).unwrap();
+    out.scores.sum()
+}
+
+fn bench_reorder_locality(c: &mut Criterion) {
+    // Cache-busting subject: heavy-tailed PA graph in generation order;
+    // all three orderings are measured head-to-head on it.
+    let big = reldata::classic::preferential_attachment(150_000, 8, 0.9, 0xC0FFEE);
+    // Largest bundled dataset, as the registry serves it (degree-
+    // reordered at load) — recorded as a single absolute trajectory
+    // datapoint, not a comparison.
+    let wiki = reldata::load_dataset("wiki-en-2018").expect("bundled dataset");
+
+    let mut group = c.benchmark_group("reorder_locality");
+    group.sample_size(10);
+    let mut report = BenchReport::new("reorder_locality", "pa-150k-m8 + wiki-en-2018")
+        .param("sweeps", sweep_cost_cfg().max_iterations)
+        .param("threads", 1);
+
+    let mut speedup_inputs = Vec::new();
+    for ordering in NodeOrdering::ALL {
+        let (rg, _inv) = big.reordered_by(ordering);
+        group.bench_with_input(BenchmarkId::new("pa-150k", ordering), &rg, |b, rg| {
+            b.iter(|| black_box(run_sweeps(rg)))
+        });
+        let median = measure(5, || black_box(run_sweeps(&rg)));
+        report.case(format!("pa-150k/{ordering}"), median);
+        report = report.param(format!("span_{ordering}"), format!("{:.1}", rg.mean_edge_span()));
+        speedup_inputs.push((ordering, median));
+    }
+    // The bundled dataset in its served (degree-reordered) form: tracks
+    // PR-over-PR sweep cost on a real catalog entry.
+    let wiki_median = measure(5, || black_box(run_sweeps(&wiki)));
+    report.case("wiki-en-2018/served", wiki_median);
+    group.finish();
+
+    let original = speedup_inputs
+        .iter()
+        .find(|(o, _)| *o == NodeOrdering::Original)
+        .map(|&(_, ns)| ns)
+        .unwrap();
+    for (ordering, ns) in &speedup_inputs {
+        println!(
+            "reorder_locality/pa-150k: {ordering} {:.2}ms/solve, speedup vs original {:.2}x",
+            ns / 1e6,
+            original / ns
+        );
+    }
+    report.write();
+}
+
+criterion_group!(benches, bench_reorder_locality);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! every push as a regression tripwire for the solver layer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relbench::record::{measure, BenchReport};
 use relcore::{Query, Scheme};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -43,6 +44,24 @@ fn bench_scheme_smoke(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Machine-readable medians for the perf trajectory.
+    let mut report =
+        BenchReport::new("scheme_smoke", "fixture-enwiki-2018").param("threads", 2).param("top", 5);
+    for algorithm in ["pagerank", "cheirank", "2drank", "ppr"] {
+        for scheme in Scheme::ALL {
+            let median = measure(5, || {
+                let mut q =
+                    Query::on(black_box(&g)).algorithm(algorithm).scheme(scheme).threads(2).top(5);
+                if algorithm == "ppr" {
+                    q = q.reference("Freddie Mercury");
+                }
+                q.run().unwrap()
+            });
+            report.case(format!("{algorithm}/{scheme}"), median);
+        }
+    }
+    report.write();
 }
 
 criterion_group!(benches, bench_scheme_smoke);

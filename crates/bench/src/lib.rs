@@ -5,6 +5,7 @@
 //! regeneration in the [`tables`] module, used by `cargo run -p relbench
 //! --bin reproduce` to print paper-vs-measured columns.
 
+pub mod record;
 pub mod tables;
 
 use relcore::result::ScoreVector;

@@ -1,0 +1,152 @@
+//! Bench results as data: `BENCH_<name>.json` files at the repo root.
+//!
+//! The criterion stand-in prints human-readable medians; this module
+//! writes the same measurements as machine-readable JSON so the perf
+//! trajectory is tracked PR-over-PR (CI uploads the files as artifacts).
+//! Each bench calls [`measure`] for its headline cases and
+//! [`BenchReport::write`] once at the end.
+
+use std::time::Instant;
+
+/// Median nanoseconds per call of `f`, over `samples` timed samples.
+/// Fast closures are batched so each sample spans at least ~5 ms.
+pub fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    // Warm-up + calibration.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once_ns = t0.elapsed().as_nanos().max(1);
+    let iters = (5_000_000 / once_ns).clamp(1, 10_000) as u32;
+    let mut medians: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    medians.sort_by(f64::total_cmp);
+    medians[medians.len() / 2]
+}
+
+/// One measured case of a bench.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Case label, e.g. `ppr/full_rank`.
+    pub case: String,
+    /// Median wall-clock nanoseconds per call.
+    pub median_ns: f64,
+}
+
+/// A bench's machine-readable report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Bench name; the file is written as `BENCH_<name>.json`.
+    pub name: String,
+    /// Graph the bench ran on (dataset id or generator description).
+    pub graph: String,
+    /// Free-form parameter pairs (k, seeds, scheme, …).
+    pub params: Vec<(String, String)>,
+    /// Measured cases.
+    pub cases: Vec<Case>,
+}
+
+impl BenchReport {
+    /// Starts an empty report.
+    pub fn new(name: impl Into<String>, graph: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            graph: graph.into(),
+            params: Vec::new(),
+            cases: Vec::new(),
+        }
+    }
+
+    /// Records a parameter.
+    pub fn param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Records a measured case.
+    pub fn case(&mut self, case: impl Into<String>, median_ns: f64) -> &mut Self {
+        self.cases.push(Case { case: case.into(), median_ns });
+        self
+    }
+
+    /// Serializes the report (stable field order, no external schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_str(&self.name)));
+        out.push_str(&format!("  \"graph\": {},\n", json_str(&self.graph)));
+        out.push_str("  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_str(k), json_str(v)));
+        }
+        out.push_str("},\n  \"results\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"case\": {}, \"median_ns\": {:.0}}}{}\n",
+                json_str(&c.case),
+                c.median_ns,
+                if i + 1 < self.cases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` at the repo root and echoes the path.
+    pub fn write(&self) {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let path = root.join(format!("BENCH_{}.json", self.name));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("bench-report {}", path.display()),
+            Err(e) => eprintln!("bench-report: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_median() {
+        let ns = measure(3, || std::hint::black_box((0..100).sum::<u64>()));
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn report_serializes_valid_shape() {
+        let mut r = BenchReport::new("demo", "fixture-enwiki-2018").param("k", 10);
+        r.case("a \"quoted\" case", 1234.7);
+        r.case("b", 7.0);
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"median_ns\": 1235"));
+        assert!(json.contains("\"k\": \"10\""));
+        // Exactly one trailing comma between the two cases.
+        assert_eq!(json.matches("median_ns").count(), 2);
+    }
+}

@@ -36,6 +36,10 @@ pub struct RunSpec {
     pub trace: bool,
     /// Top-k to print.
     pub top: usize,
+    /// Top-k-only serving mode (`--top-k k`): compute only the k best
+    /// entries (certified adaptive push / pruned heap-select) instead of
+    /// the full ranking. Implies `top = k`.
+    pub top_k: Option<usize>,
     /// Emit JSON instead of a table.
     pub json: bool,
 }
@@ -59,6 +63,8 @@ pub struct BatchSpecArgs {
     pub threads: Option<usize>,
     /// Top-k per seed.
     pub top: usize,
+    /// Top-k-only serving mode (`--top-k k`); implies `top = k`.
+    pub top_k: Option<usize>,
     /// Emit JSON instead of tables.
     pub json: bool,
 }
@@ -236,6 +242,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 threads: flags.take("threads").map(|v| parse_num(&v, "threads")).transpose()?,
                 trace: flags.has_switch("trace"),
                 top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
+                top_k: flags.take("top-k").map(|v| parse_num(&v, "top-k")).transpose()?,
                 json: flags.has_switch("json"),
             };
             flags.finish()?;
@@ -250,6 +257,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 scheme: flags.take("scheme"),
                 threads: flags.take("threads").map(|v| parse_num(&v, "threads")).transpose()?,
                 top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
+                top_k: flags.take("top-k").map(|v| parse_num(&v, "top-k")).transpose()?,
                 json: flags.has_switch("json"),
             };
             flags.finish()?;
@@ -374,6 +382,7 @@ mod tests {
                 assert!(s.alpha.is_none());
                 assert!(s.scheme.is_none());
                 assert!(s.threads.is_none());
+                assert!(s.top_k.is_none());
                 assert!(!s.trace);
             }
             other => panic!("unexpected {other:?}"),
@@ -394,6 +403,21 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse("run --dataset d --algorithm pr --threads many").is_err());
+    }
+
+    #[test]
+    fn top_k_serving_flag() {
+        let cli = parse("run --dataset d --algorithm ppr --source X --top-k 10").unwrap();
+        match cli.command {
+            Command::Run(s) => assert_eq!(s.top_k, Some(10)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cli = parse("batch --dataset d --seeds A,B --top-k 3").unwrap();
+        match cli.command {
+            Command::Batch(b) => assert_eq!(b.top_k, Some(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("run --dataset d --algorithm ppr --top-k lots").is_err());
     }
 
     #[test]

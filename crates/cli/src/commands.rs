@@ -52,10 +52,15 @@ pub fn algorithms() -> String {
     out
 }
 
-/// `stats`: structural summary of one dataset.
+/// `stats`: structural summary of one dataset, including the memory and
+/// locality footprint the reordering work targets.
 pub fn stats(dataset: &str) -> Result<String, String> {
     let g = reldata::load_dataset(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
     let s = relgraph::GraphStats::compute(&g);
+    let ordering = reldata::registry::spec(dataset)
+        .and_then(|s| s.reorder)
+        .map(|o| o.to_string())
+        .unwrap_or_else(|| "original".into());
     Ok(format!(
         "dataset      {dataset}\n\
          nodes        {}\n\
@@ -65,7 +70,9 @@ pub fn stats(dataset: &str) -> Result<String, String> {
          max out/in   {}/{}\n\
          reciprocity  {:.3}\n\
          self-loops   {}\n\
-         dangling     {}\n",
+         dangling     {}\n\
+         memory       {} bytes ({:.2} MiB adjacency)\n\
+         ordering     {ordering} (mean edge span {:.1})\n",
         s.nodes,
         s.edges,
         s.density,
@@ -74,7 +81,10 @@ pub fn stats(dataset: &str) -> Result<String, String> {
         s.max_in_degree,
         s.reciprocity,
         s.self_loops,
-        s.dangling
+        s.dangling,
+        g.memory_bytes(),
+        g.memory_bytes() as f64 / (1024.0 * 1024.0),
+        g.mean_edge_span(),
     ))
 }
 
@@ -89,6 +99,8 @@ struct SolverFlags<'a> {
     threads: Option<usize>,
     /// `--trace`: record per-iteration residuals.
     trace: bool,
+    /// `--top-k`: top-k-only serving mode.
+    top_k: Option<usize>,
 }
 
 /// Builds a registry-backed [`Query`] from CLI flags. The algorithm name
@@ -118,6 +130,9 @@ fn build_query(
     }
     if let Some(n) = solver.threads {
         q = q.threads(n);
+    }
+    if let Some(k) = solver.top_k {
+        q = q.top_k(k);
     }
     q = q.trace(solver.trace);
     if let Some(a) = alpha {
@@ -160,6 +175,7 @@ pub fn run_task(spec: RunSpec) -> Result<String, String> {
             scheme: spec.scheme.as_deref(),
             threads: spec.threads,
             trace: spec.trace,
+            top_k: spec.top_k,
         },
         spec.top,
     )?;
@@ -266,6 +282,9 @@ pub fn batch(spec: BatchSpecArgs) -> Result<String, String> {
     }
     if let Some(n) = spec.threads {
         q = q.threads(n);
+    }
+    if let Some(k) = spec.top_k {
+        q = q.top_k(k);
     }
     let batch = q.run_batch().map_err(|e| e.to_string())?;
 
@@ -524,6 +543,7 @@ mod tests {
             scheme: None,
             threads: None,
             trace: false,
+            top_k: None,
             top: 2,
             json: false,
         };
@@ -546,6 +566,7 @@ mod tests {
             scheme: None,
             threads: None,
             trace: false,
+            top_k: None,
             top: 5,
             json: false,
         };
@@ -569,6 +590,7 @@ mod tests {
             scheme: None,
             threads: None,
             trace: false,
+            top_k: None,
             top: 3,
             json: true,
         };
@@ -598,6 +620,7 @@ mod tests {
                     scheme: Some(scheme.into()),
                     threads: Some(2),
                     trace: false,
+                    top_k: None,
                     top: 3,
                     json: false,
                 };
@@ -624,6 +647,7 @@ mod tests {
             scheme: None,
             threads: None,
             trace: true,
+            top_k: None,
             top: 3,
             json: false,
         };
@@ -647,6 +671,7 @@ mod tests {
             scheme: None,
             threads: None,
             trace: true,
+            top_k: None,
             top: 3,
             json: false,
         };
@@ -669,6 +694,7 @@ mod tests {
             scheme: None,
             threads: None,
             trace: false,
+            top_k: None,
             top: 3,
             json: false,
         };
@@ -685,6 +711,7 @@ mod tests {
             scheme: None,
             threads: None,
             top: 3,
+            top_k: None,
             json: false,
         })
         .unwrap();
@@ -708,6 +735,7 @@ mod tests {
             scheme: None,
             threads: None,
             top: 3,
+            top_k: None,
             json: true,
         })
         .unwrap();
@@ -728,6 +756,7 @@ mod tests {
             scheme: None,
             threads: None,
             top: 3,
+            top_k: None,
             json: false,
         };
         // Empty seed expansion.

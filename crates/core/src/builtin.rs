@@ -13,9 +13,10 @@ use crate::montecarlo::{ppr_monte_carlo, MonteCarloConfig};
 use crate::pagerank::Convergence;
 use crate::ppr::TeleportVector;
 use crate::push::{ppr_push, PushConfig};
-use crate::result::ScoreVector;
+use crate::result::{RankedList, ScoreVector};
 use crate::runner::{AlgorithmParams, RelevanceOutput, Solver};
 use crate::solver::{ConvergenceTrace, SweepKernel};
+use crate::topk;
 use relgraph::{DirectedGraph, NodeId};
 
 /// One solved stationary distribution plus its diagnostics.
@@ -70,10 +71,69 @@ fn scored(
         algorithm: id.to_string(),
         ranking: s.ranking(),
         scores: Some(s),
+        top: None,
         convergence: c,
         trace,
         cycles_found: None,
     }
+}
+
+/// Packages top-k pairs as the top-k serving mode's output shape: a
+/// k-entry ranking plus the pairs themselves, no full score vector.
+fn scored_top_k(
+    id: &str,
+    top: Vec<(NodeId, f64)>,
+    c: Option<Convergence>,
+    trace: Option<ConvergenceTrace>,
+) -> RelevanceOutput {
+    RelevanceOutput {
+        algorithm: id.to_string(),
+        ranking: RankedList::new(top.iter().map(|&(n, _)| n).collect()),
+        scores: None,
+        top: Some(top),
+        convergence: c,
+        trace,
+        cycles_found: None,
+    }
+}
+
+/// The stationary-distribution execution shared by the PageRank family:
+/// full-rank solves go through [`solve`]; top-k serving mode
+/// (`params.top_k`) routes personalized exact runs through the certified
+/// adaptive-push path first and everything else through the kernel's
+/// pruned heap-select result path ([`SweepKernel::solve_top_k`]) — the
+/// full score vector never leaves the solver arena.
+fn execute_stationary(
+    id: &str,
+    view: relgraph::GraphView<'_>,
+    params: &AlgorithmParams,
+    reference: Option<NodeId>,
+) -> Result<RelevanceOutput, AlgoError> {
+    let Some(k) = params.top_k else {
+        let (s, c, t) = solve(view, params, reference)?;
+        return Ok(scored(id, s, c, t));
+    };
+    let exact = params.solver.scheme().is_some() || reference.is_none();
+    if !exact {
+        // Approximate local solvers (push, Monte Carlo) already produce
+        // their own estimates; trim their full output to the k best.
+        let (s, c, t) = solve(view, params, reference)?;
+        return Ok(scored_top_k(id, s.top_k(k), c, t));
+    }
+    // A requested residual trace is a kernel diagnostic push cannot
+    // produce — honor it by taking the exact path instead of returning
+    // a silently trace-less result.
+    if let Some(r) = reference.filter(|_| !params.record_trace) {
+        if let Some(push) = topk::push_top_k(view, params.damping, r, k)? {
+            return Ok(scored_top_k(id, push.top, None, None));
+        }
+        // Fall through: push could not separate rank k from k+1
+        // (or k >= n) — the exact kernel always can.
+    }
+    let teleport = TeleportVector::for_reference(view.node_count(), reference)?;
+    let kernel = SweepKernel::new(view)?;
+    let out = kernel.solve_top_k(&params.solver_config(), &teleport, k)?;
+    Ok(scored_top_k(id, out.top, Some(out.convergence), out.trace))
 }
 
 fn require_reference(reference: Option<NodeId>) -> Result<NodeId, AlgoError> {
@@ -91,20 +151,23 @@ fn solve_batch_personalized(
     references: &[NodeId],
 ) -> Result<Vec<RelevanceOutput>, AlgoError> {
     if matches!(params.solver, Solver::Push | Solver::MonteCarlo) {
-        return references
-            .iter()
-            .map(|&r| {
-                let (s, c, t) = solve(view, params, Some(r))?;
-                Ok(scored(id, s, c, t))
-            })
-            .collect();
+        return references.iter().map(|&r| execute_stationary(id, view, params, Some(r))).collect();
     }
     let n = view.node_count();
     let teleports =
         references.iter().map(|&r| TeleportVector::single(n, r)).collect::<Result<Vec<_>, _>>()?;
     let kernel = SweepKernel::new(view)?;
     let outs = kernel.solve_batch(&params.solver_config(), &teleports)?;
-    Ok(outs.into_iter().map(|o| scored(id, o.scores, Some(o.convergence), o.trace)).collect())
+    // Batches keep the fused multi-vector sweep even in top-k serving
+    // mode (the traversal amortization is the batch's whole point); top-k
+    // only trims the per-seed result path.
+    Ok(outs
+        .into_iter()
+        .map(|o| match params.top_k {
+            Some(k) => scored_top_k(id, o.scores.top_k(k), Some(o.convergence), o.trace),
+            None => scored(id, o.scores, Some(o.convergence), o.trace),
+        })
+        .collect())
 }
 
 fn validate_damping(params: &AlgorithmParams) -> Result<(), AlgoError> {
@@ -199,8 +262,7 @@ impl RelevanceAlgorithm for PageRankAlgorithm {
         params: &AlgorithmParams,
         _reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
-        let (s, c, t) = solve(graph.view(), params, None)?;
-        Ok(scored(self.id(), s, c, t))
+        execute_stationary(self.id(), graph.view(), params, None)
     }
 }
 
@@ -239,8 +301,7 @@ impl RelevanceAlgorithm for PersonalizedPageRankAlgorithm {
         reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
         let r = require_reference(reference)?;
-        let (s, c, t) = solve(graph.view(), params, Some(r))?;
-        Ok(scored(self.id(), s, c, t))
+        execute_stationary(self.id(), graph.view(), params, Some(r))
     }
 
     fn execute_batch(
@@ -285,8 +346,7 @@ impl RelevanceAlgorithm for CheiRankAlgorithm {
         params: &AlgorithmParams,
         _reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
-        let (s, c, t) = solve(graph.transposed(), params, None)?;
-        Ok(scored(self.id(), s, c, t))
+        execute_stationary(self.id(), graph.transposed(), params, None)
     }
 }
 
@@ -325,8 +385,7 @@ impl RelevanceAlgorithm for PersonalizedCheiRankAlgorithm {
         reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError> {
         let r = require_reference(reference)?;
-        let (s, c, t) = solve(graph.transposed(), params, Some(r))?;
-        Ok(scored(self.id(), s, c, t))
+        execute_stationary(self.id(), graph.transposed(), params, Some(r))
     }
 
     fn execute_batch(
@@ -384,6 +443,7 @@ impl RelevanceAlgorithm for TwoDRankAlgorithm {
             algorithm: self.id().to_string(),
             ranking: out.ranking,
             scores: None,
+            top: None,
             convergence: Some(out.convergence),
             trace: out.trace,
             cycles_found: None,
@@ -435,6 +495,7 @@ impl RelevanceAlgorithm for PersonalizedTwoDRankAlgorithm {
             algorithm: self.id().to_string(),
             ranking: out.ranking,
             scores: None,
+            top: None,
             convergence: Some(out.convergence),
             trace: out.trace,
             cycles_found: None,
@@ -491,6 +552,7 @@ impl RelevanceAlgorithm for CycleRankAlgorithm {
             algorithm: self.id().to_string(),
             ranking: out.scores.ranking(),
             scores: Some(out.scores),
+            top: None,
             convergence: None,
             trace: None,
             cycles_found: Some(out.cycles_found),

@@ -93,6 +93,7 @@
 //! ```
 
 pub mod algorithm;
+pub mod arena;
 pub mod builtin;
 pub mod cheirank;
 pub mod compare;
@@ -110,9 +111,11 @@ pub mod result;
 pub mod runner;
 pub mod scoring;
 pub mod solver;
+pub mod topk;
 pub mod tworank;
 
 pub use algorithm::{AlgorithmDescriptor, ParamSpec, RelevanceAlgorithm};
+pub use arena::{with_arena, SolverArena};
 pub use cheirank::{cheirank, personalized_cheirank};
 pub use cyclerank::{CycleRankConfig, CycleRankOutput};
 pub use error::AlgoError;
@@ -125,5 +128,5 @@ pub use result::{RankedList, ScoreVector};
 pub use runner::run;
 pub use runner::{Algorithm, AlgorithmParams, RelevanceOutput, Solver};
 pub use scoring::ScoringFunction;
-pub use solver::{ConvergenceTrace, Scheme, SolverConfig, SweepKernel, SweepOutcome};
+pub use solver::{ConvergenceTrace, Scheme, SolverConfig, SweepKernel, SweepOutcome, TopKOutcome};
 pub use tworank::{personalized_two_d_rank, two_d_rank};

@@ -145,14 +145,23 @@ impl TeleportVector {
 
     /// Materializes the dense probability vector.
     pub fn dense(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.n];
+        self.fill_dense(&mut v);
+        v
+    }
+
+    /// Writes the dense probability vector into `out` (which must have
+    /// exactly `len()` entries) without allocating — the solver arena's
+    /// checkout path.
+    pub fn fill_dense(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n, "teleport has {} entries, buffer {}", self.n, out.len());
         if self.entries.is_empty() {
-            vec![1.0 / self.n as f64; self.n]
+            out.fill(1.0 / self.n as f64);
         } else {
-            let mut v = vec![0.0; self.n];
+            out.fill(0.0);
             for &(s, w) in &self.entries {
-                v[s.index()] = w;
+                out[s.index()] = w;
             }
-            v
         }
     }
 

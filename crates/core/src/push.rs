@@ -15,8 +15,10 @@
 //! seed — sublinear for small ε on big graphs — at the price of
 //! approximation: every estimate is within `ε·deg` of the exact score.
 //!
-//! This module exists for the ablation benchmark (`ppr_methods`) comparing
-//! exact power iteration, push, and Monte-Carlo estimates.
+//! Originally this module existed for the ablation benchmark
+//! (`ppr_methods`); it is now also a first-class serving path — the top-k
+//! query layer ([`crate::topk`]) runs push adaptively and certifies its
+//! results against the residual mass exposed by [`ppr_push_full`].
 
 use crate::error::AlgoError;
 use crate::result::ScoreVector;
@@ -77,6 +79,19 @@ pub fn ppr_push(
     cfg: &PushConfig,
     seed: NodeId,
 ) -> Result<(ScoreVector, PushStats), AlgoError> {
+    ppr_push_full(view, cfg, seed).map(|(p, _, stats)| (p, stats))
+}
+
+/// Like [`ppr_push`], but additionally returns the **residual mass**
+/// `R = Σ_u r[u]` left at termination. By the push invariant
+/// `ppr = p + Σ_u r[u]·ppr(e_u)` and `ppr_v(u) ∈ [0, 1]`, every exact
+/// score lies in `[p[u], p[u] + R]` — the certificate the adaptive top-k
+/// path ([`crate::topk`]) separates ranks with.
+pub fn ppr_push_full(
+    view: GraphView<'_>,
+    cfg: &PushConfig,
+    seed: NodeId,
+) -> Result<(ScoreVector, f64, PushStats), AlgoError> {
     cfg.validate()?;
     let n = view.node_count();
     if n == 0 {
@@ -143,7 +158,8 @@ pub fn ppr_push(
     }
 
     let touched_count = touched.iter().filter(|&&t| t).count();
-    Ok((ScoreVector::new(p), PushStats { pushes, touched: touched_count }))
+    let residual_mass: f64 = r.iter().sum();
+    Ok((ScoreVector::new(p), residual_mass, PushStats { pushes, touched: touched_count }))
 }
 
 #[cfg(test)]

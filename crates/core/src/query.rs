@@ -343,9 +343,31 @@ impl Query {
     }
 
     /// How many top entries [`QueryResult::top_entries`] returns
-    /// (default 100).
+    /// (default 100). The algorithm still computes the full ranking; use
+    /// [`Query::top_k`] when only the top-k is needed at all.
     pub fn top(mut self, n: usize) -> Self {
         self.top = n;
+        self
+    }
+
+    /// Requests a **top-k-only** query: the stationary-distribution
+    /// algorithms skip the full-rank result path entirely — exact sweeps
+    /// rank through a pruned heap-select straight out of the solver arena
+    /// (zero `O(n)` result allocations), and personalized runs (PPR,
+    /// Pers. CheiRank) first try certified adaptive forward push
+    /// ([`crate::topk`]), which touches only the seed's neighbourhood and
+    /// falls back to the exact kernel when rank k and k+1 cannot be
+    /// separated. The returned node set always equals the full run's
+    /// top-k; on the push path, scores (and the order within the set) are
+    /// estimate-accurate within the certified residual mass.
+    ///
+    /// [`QueryResult::scores`] is `None` in this mode; consume
+    /// [`QueryResult::top_entries`] / [`QueryResult::ranking`] instead.
+    /// Algorithms without a score vector to prune (CycleRank, 2DRank)
+    /// treat this exactly like [`Query::top`].
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.params.top_k = Some(k);
+        self.top = k;
         self
     }
 
@@ -376,8 +398,8 @@ impl Query {
         &self.seeds
     }
 
-    /// The configured top-k.
-    pub fn top_k(&self) -> usize {
+    /// The configured display limit ([`Query::top`] / [`Query::top_k`]).
+    pub fn top_limit(&self) -> usize {
         self.top
     }
 
@@ -491,12 +513,24 @@ impl Query {
 /// Resolves a reference string to a node: by label first, then — for
 /// unlabeled datasets such as bare edge-list uploads — as a numeric node
 /// index. Labels win when both could apply.
+///
+/// The numeric fallback only binds to an **unlabeled** node: a node that
+/// carries a (different) label must be addressed by that label. This is
+/// what keeps raw-index references meaningful on datasets that were
+/// reordered for cache locality at load time (`DatasetSpec::reorder`):
+/// there, every originally-unlabeled node is labeled with its original
+/// index (so the label branch resolves it to the same conceptual node as
+/// before), while an index that used to denote a *labeled* node would
+/// now silently land on whatever node the permutation put at that id —
+/// rejecting it loudly beats computing plausible scores for the wrong
+/// seed.
 pub fn resolve_reference(graph: &DirectedGraph, reference: &str) -> Option<NodeId> {
     if let Some(n) = graph.node_by_label(reference) {
         return Some(n);
     }
     let idx: u32 = reference.parse().ok()?;
-    ((idx as usize) < graph.node_count()).then_some(NodeId::new(idx))
+    let node = NodeId::new(idx);
+    ((idx as usize) < graph.node_count() && graph.labels().get(node).is_none()).then_some(node)
 }
 
 // ----------------------------------------------------------------- result
@@ -676,6 +710,25 @@ mod tests {
             Query::on(sample()).algorithm("cyclerank").reference("99").run(),
             Err(QueryError::UnknownReference(_))
         ));
+    }
+
+    #[test]
+    fn numeric_fallback_never_binds_to_a_differently_labeled_node() {
+        // Node 1 carries a real label: addressing it as "1" is rejected
+        // (on reordered datasets that index would denote a different
+        // conceptual node), while unlabeled node 2 still resolves by
+        // index and the label itself always works.
+        let mut g = sample();
+        g.labels_mut().set(NodeId::new(1), "Hub");
+        let g = Arc::new(g);
+        assert!(matches!(
+            Query::on(&g).algorithm("cyclerank").reference("1").run(),
+            Err(QueryError::UnknownReference(_))
+        ));
+        let by_label = Query::on(&g).algorithm("cyclerank").reference("Hub").run().unwrap();
+        assert_eq!(by_label.reference, Some(NodeId::new(1)));
+        let by_index = Query::on(&g).algorithm("cyclerank").reference("2").run().unwrap();
+        assert_eq!(by_index.reference, Some(NodeId::new(2)));
     }
 
     #[test]

@@ -101,6 +101,7 @@ struct Inner {
 ///             algorithm: self.id().to_string(),
 ///             ranking: scores.ranking(),
 ///             scores: Some(scores),
+///             top: None,
 ///             convergence: None,
 ///             trace: None,
 ///             cycles_found: None,

@@ -89,24 +89,10 @@ impl ScoreVector {
 
     /// Top-`k` nodes by score (descending, ties by ascending node id).
     ///
-    /// Uses a partial sort: O(n + k log n) via `select_nth_unstable`.
+    /// Pruned heap-select: O(n log k) time, O(k) scratch (see
+    /// [`top_k_pairs`]).
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
-        let n = self.values.len();
-        let k = k.min(n);
-        if k == 0 {
-            return Vec::new();
-        }
-        let mut idx: Vec<u32> = (0..n as u32).collect();
-        let key = |i: &u32| {
-            // Descending score, ascending index.
-            (std::cmp::Reverse(ordered(self.values[*i as usize])), *i)
-        };
-        if k < n {
-            idx.select_nth_unstable_by_key(k - 1, key);
-            idx.truncate(k);
-        }
-        idx.sort_unstable_by_key(key);
-        idx.into_iter().map(|i| (NodeId::new(i), self.values[i as usize])).collect()
+        top_k_pairs(&self.values, k)
     }
 
     /// Full ranking of all nodes (descending score, ascending id ties).
@@ -119,6 +105,43 @@ impl ScoreVector {
     pub fn top_k_labeled(&self, g: &DirectedGraph, k: usize) -> Vec<(String, f64)> {
         self.top_k(k).into_iter().map(|(n, s)| (g.display_name(n), s)).collect()
     }
+}
+
+/// Top-`k` `(node, score)` pairs of a raw dense score slice — descending
+/// score, ties by ascending node id; the heap-select core behind
+/// [`ScoreVector::top_k`], exposed so the solver's top-k serving path can
+/// rank directly out of an arena buffer without materializing a
+/// `ScoreVector`.
+///
+/// Pruned heap-select: one pass over `values` maintaining a `k`-entry
+/// heap whose root is the weakest kept candidate, so most elements are
+/// rejected with a single comparison — O(n log k) worst case, O(n)
+/// typical, and only O(k) scratch (no O(n) index vector), which keeps the
+/// arena-backed top-k solve path allocation-free in `n`.
+pub fn top_k_pairs(values: &[f64], k: usize) -> Vec<(NodeId, f64)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = values.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    // Rank key: smaller = better (descending score, ascending id). The
+    // max-heap root is therefore the weakest of the kept candidates.
+    let mut heap: BinaryHeap<(Reverse<OrderedF64>, u32)> = BinaryHeap::with_capacity(k + 1);
+    for (i, &v) in values.iter().enumerate() {
+        let key = (Reverse(ordered(v)), i as u32);
+        if heap.len() < k {
+            heap.push(key);
+        } else if key < *heap.peek().expect("heap holds k > 0 entries") {
+            heap.pop();
+            heap.push(key);
+        }
+    }
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|(Reverse(OrderedF64(v)), i)| (NodeId::new(i), v))
+        .collect()
 }
 
 /// Total order over f64 (via `total_cmp`); scores produced by the

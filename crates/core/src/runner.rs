@@ -244,6 +244,15 @@ pub struct AlgorithmParams {
     /// output.
     #[serde(default)]
     pub record_trace: bool,
+    /// Top-k-only serving mode for the stationary-distribution family:
+    /// `Some(k)` makes the run produce only the `k` best `(node, score)`
+    /// pairs ([`RelevanceOutput::top`]) instead of a full score vector —
+    /// exact sweeps rank through a pruned heap-select straight out of the
+    /// solver arena, and personalized runs first try the certified
+    /// adaptive-push path ([`crate::topk`]). `None` (the default) keeps
+    /// the classic full-rank output. CycleRank and 2DRank ignore it.
+    #[serde(default)]
+    pub top_k: Option<usize>,
 }
 
 fn default_damping() -> f64 {
@@ -272,6 +281,7 @@ impl AlgorithmParams {
             solver: Solver::default(),
             threads: 0,
             record_trace: false,
+            top_k: None,
         }
     }
 
@@ -315,6 +325,12 @@ impl AlgorithmParams {
     /// Requests a per-iteration residual trace in the output.
     pub fn with_trace(mut self, yes: bool) -> Self {
         self.record_trace = yes;
+        self
+    }
+
+    /// Requests top-k-only serving mode (see [`AlgorithmParams::top_k`]).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
         self
     }
 
@@ -369,10 +385,16 @@ pub struct RelevanceOutput {
     /// `String` rather than the closed [`Algorithm`] enum, so registered
     /// third-party algorithms use the same output type.
     pub algorithm: String,
-    /// Full ranking, most relevant first.
+    /// The ranking, most relevant first — all nodes for full-rank runs,
+    /// exactly `k` entries in top-k serving mode.
     pub ranking: RankedList,
-    /// Raw scores, when the algorithm produces them (not for 2DRank).
+    /// Raw scores, when the algorithm produces them (not for 2DRank, and
+    /// not in top-k serving mode, where the full vector intentionally
+    /// never leaves the solver arena — see [`RelevanceOutput::top`]).
     pub scores: Option<ScoreVector>,
+    /// Top-k `(node, score)` pairs, present exactly in top-k serving mode
+    /// (`AlgorithmParams::top_k`).
+    pub top: Option<Vec<(NodeId, f64)>>,
     /// Solver diagnostics (PageRank family only).
     pub convergence: Option<Convergence>,
     /// Per-iteration residuals, when the query requested tracing
@@ -386,6 +408,9 @@ impl RelevanceOutput {
     /// Top-`k` entries as `(label, score)` pairs; ranking-only algorithms
     /// report `NaN`-free pseudo-scores of 0.
     pub fn top_k_labeled(&self, g: &DirectedGraph, k: usize) -> Vec<(String, f64)> {
+        if let Some(top) = &self.top {
+            return top.iter().take(k).map(|&(n, s)| (g.display_name(n), s)).collect();
+        }
         match &self.scores {
             Some(s) => s.top_k_labeled(g, k),
             None => self.ranking.top_k_labeled(g, k).into_iter().map(|l| (l, 0.0)).collect(),
@@ -534,6 +559,7 @@ mod tests {
             solver: Solver::default(),
             threads: 0,
             record_trace: false,
+            top_k: None,
         }
     }
 

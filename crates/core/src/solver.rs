@@ -29,9 +29,10 @@
 //! residuals, which the engine, server, and CLI surface as progress
 //! diagnostics.
 
+use crate::arena::{current_arena, ArenaBuf};
 use crate::error::AlgoError;
 use crate::ppr::TeleportVector;
-use crate::result::ScoreVector;
+use crate::result::{top_k_pairs, ScoreVector};
 use relgraph::{GraphView, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -228,6 +229,31 @@ pub struct SweepOutcome {
     pub trace: Option<ConvergenceTrace>,
 }
 
+/// The top-`k` slice of a stationary distribution, from
+/// [`SweepKernel::solve_top_k`]: only `k` `(node, score)` pairs escape the
+/// solve — the full score vector lives and dies in the solver arena, so
+/// steady-state top-k serving performs zero `O(n)` allocations.
+#[derive(Debug, Clone)]
+pub struct TopKOutcome {
+    /// The `k` highest-scoring nodes, descending (ties by ascending id),
+    /// with their exact stationary scores.
+    pub top: Vec<(NodeId, f64)>,
+    /// Iteration count, final residual, converged flag.
+    pub convergence: Convergence,
+    /// Per-iteration residuals, when requested.
+    pub trace: Option<ConvergenceTrace>,
+}
+
+/// A finished solve whose scores still live in the arena — the internal
+/// result every scheme produces; [`SweepKernel::solve`] detaches the
+/// buffer into a [`ScoreVector`], [`SweepKernel::solve_top_k`] ranks in
+/// place and returns the buffer to the pool.
+struct SolvedBuf {
+    scores: ArenaBuf,
+    convergence: Convergence,
+    trace: Option<ConvergenceTrace>,
+}
+
 // ----------------------------------------------------------------- kernel
 
 /// Below this many nodes + edges, the auto-threaded parallel scheme runs
@@ -304,11 +330,51 @@ impl<'a> SweepKernel<'a> {
     }
 
     /// Runs the configured scheme to a stationary distribution.
+    ///
+    /// Working buffers come from the thread's current [`crate::arena::SolverArena`]
+    /// (see [`crate::arena::with_arena`]); only the returned score vector
+    /// escapes the arena, so a steady-state full-rank solve performs
+    /// exactly one `O(n)` allocation. Use [`SweepKernel::solve_top_k`]
+    /// when the caller only consumes the top-`k` — that path performs
+    /// none.
     pub fn solve(
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
     ) -> Result<SweepOutcome, AlgoError> {
+        let out = self.solve_buf(cfg, teleport)?;
+        Ok(SweepOutcome {
+            scores: ScoreVector::new(out.scores.detach()),
+            convergence: out.convergence,
+            trace: out.trace,
+        })
+    }
+
+    /// Runs the configured scheme and returns only the top-`k`
+    /// `(node, score)` pairs (exact scores, descending, ties by ascending
+    /// id — identical to ranking the full [`SweepKernel::solve`] result
+    /// and truncating). The full score vector never leaves the solver
+    /// arena: after warm-up this path allocates no `O(n)` buffers, which
+    /// is what makes it the high-QPS serving shape.
+    pub fn solve_top_k(
+        &self,
+        cfg: &SolverConfig,
+        teleport: &TeleportVector,
+        k: usize,
+    ) -> Result<TopKOutcome, AlgoError> {
+        let out = self.solve_buf(cfg, teleport)?;
+        Ok(TopKOutcome {
+            top: top_k_pairs(&out.scores, k),
+            convergence: out.convergence,
+            trace: out.trace,
+        })
+    }
+
+    fn solve_buf(
+        &self,
+        cfg: &SolverConfig,
+        teleport: &TeleportVector,
+    ) -> Result<SolvedBuf, AlgoError> {
         cfg.validate()?;
         let n = self.node_count();
         if teleport.len() != n {
@@ -354,11 +420,13 @@ impl<'a> SweepKernel<'a> {
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
-    ) -> Result<SweepOutcome, AlgoError> {
+    ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
         let alpha = cfg.damping;
-        let mut x: Vec<f64> = teleport.dense();
-        let mut next = vec![0.0f64; n];
+        let arena = current_arena();
+        let mut x = arena.take(n);
+        teleport.fill_dense(&mut x);
+        let mut next = arena.take(n);
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut trace = cfg.record_trace.then(ConvergenceTrace::default);
@@ -408,8 +476,8 @@ impl<'a> SweepKernel<'a> {
         }
 
         let converged = residual < cfg.tolerance;
-        Ok(SweepOutcome {
-            scores: ScoreVector::new(x),
+        Ok(SolvedBuf {
+            scores: x,
             convergence: Convergence { iterations, residual, converged },
             trace,
         })
@@ -423,11 +491,14 @@ impl<'a> SweepKernel<'a> {
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
-    ) -> Result<SweepOutcome, AlgoError> {
+    ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
         let alpha = cfg.damping;
-        let teleport_dense = teleport.dense();
-        let mut x = teleport_dense.clone();
+        let arena = current_arena();
+        let mut teleport_dense = arena.take(n);
+        teleport.fill_dense(&mut teleport_dense);
+        let mut x = arena.take(n);
+        x.copy_from_slice(&teleport_dense);
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut trace = cfg.record_trace.then(ConvergenceTrace::default);
@@ -454,11 +525,15 @@ impl<'a> SweepKernel<'a> {
             }
         }
 
-        let mut scores = ScoreVector::new(x);
-        scores.normalize();
+        // Normalize in place (in the arena buffer) so both the full-rank
+        // and top-k result paths see scores on the simplex.
+        let sum: f64 = x.iter().sum();
+        if sum > 0.0 {
+            x.iter_mut().for_each(|v| *v /= sum);
+        }
         let converged = residual < cfg.tolerance;
-        Ok(SweepOutcome {
-            scores,
+        Ok(SolvedBuf {
+            scores: x,
             convergence: Convergence { iterations, residual, converged },
             trace,
         })
@@ -480,7 +555,7 @@ impl<'a> SweepKernel<'a> {
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
-    ) -> Result<SweepOutcome, AlgoError> {
+    ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
         let alpha = cfg.damping;
         let work = n + self.view.edge_count();
@@ -489,9 +564,12 @@ impl<'a> SweepKernel<'a> {
         } else {
             effective_threads(cfg.threads, n)
         };
-        let teleport_dense = teleport.dense();
-        let mut x = teleport_dense.clone();
-        let mut next = vec![0.0f64; n];
+        let arena = current_arena();
+        let mut teleport_dense = arena.take(n);
+        teleport.fill_dense(&mut teleport_dense);
+        let mut x = arena.take(n);
+        x.copy_from_slice(&teleport_dense);
+        let mut next = arena.take(n);
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut trace = cfg.record_trace.then(ConvergenceTrace::default);
@@ -505,8 +583,8 @@ impl<'a> SweepKernel<'a> {
             if threads == 1 {
                 self.pull_chunk(&x, &mut next, 0, alpha, base, &teleport_dense);
             } else {
-                let x_ref = &x;
-                let tel_ref = &teleport_dense;
+                let x_ref: &[f64] = &x;
+                let tel_ref: &[f64] = &teleport_dense;
                 crossbeam::thread::scope(|s| {
                     let mut rest: &mut [f64] = &mut next;
                     let mut lo = 0usize;
@@ -540,8 +618,8 @@ impl<'a> SweepKernel<'a> {
         }
 
         let converged = residual < cfg.tolerance;
-        Ok(SweepOutcome {
-            scores: ScoreVector::new(x),
+        Ok(SolvedBuf {
+            scores: x,
             convergence: Convergence { iterations, residual, converged },
             trace,
         })
@@ -650,16 +728,17 @@ impl<'a> SweepKernel<'a> {
         let chunk = n.div_ceil(threads);
 
         // Node-major interleave of the dense teleport vectors; `active[c]`
-        // is the original lane index living in column `c`.
+        // is the original lane index living in column `c`. All three
+        // interleaved buffers come from the solver arena.
+        let arena = current_arena();
         let mut active: Vec<usize> = (0..lanes).collect();
-        let mut tel = vec![0.0f64; n * lanes];
+        let mut tel = arena.take(n * lanes);
         for (b, t) in teleports.iter().enumerate() {
-            for (i, v) in t.dense().into_iter().enumerate() {
-                tel[i * lanes + b] = v;
-            }
+            t.for_each(|i, v| tel[i * lanes + b] = v);
         }
-        let mut x = tel.clone();
-        let mut next = vec![0.0f64; n * lanes];
+        let mut x = arena.take(n * lanes);
+        x.copy_from_slice(&tel);
+        let mut next = arena.take(n * lanes);
 
         struct Lane {
             iterations: usize,
@@ -681,6 +760,7 @@ impl<'a> SweepKernel<'a> {
 
         let mut sweep = 0;
         let mut bases = vec![0.0f64; lanes];
+        let mut residuals = vec![0.0f64; lanes];
         while sweep < cfg.max_iterations && !active.is_empty() {
             sweep += 1;
             let width = active.len();
@@ -719,7 +799,8 @@ impl<'a> SweepKernel<'a> {
                     );
                 }
             } else {
-                let (x_ref, tel_ref, bases_ref) = (&x, &tel, &bases);
+                let (x_ref, tel_ref): (&[f64], &[f64]) = (&x, &tel);
+                let bases_ref = &bases;
                 crossbeam::thread::scope(|s| {
                     let mut rest: &mut [f64] = &mut next[..n * width];
                     let mut lo = 0usize;
@@ -742,7 +823,8 @@ impl<'a> SweepKernel<'a> {
             // (the same float sequence as the single-vector stopping
             // decision), computed row-wise so the pass streams the
             // interleaved buffers instead of striding per lane.
-            let mut residuals = vec![0.0f64; width];
+            residuals.truncate(width);
+            residuals.iter_mut().for_each(|r| *r = 0.0);
             for i in 0..n {
                 let xr = &x[i * width..i * width + width];
                 let nr = &next[i * width..i * width + width];
@@ -1191,6 +1273,71 @@ mod tests {
         assert_eq!("Jacobi".parse::<Scheme>().unwrap(), Scheme::Power);
         assert!("quantum".parse::<Scheme>().is_err());
         assert_eq!(Scheme::default(), Scheme::Parallel);
+    }
+
+    #[test]
+    fn solve_top_k_matches_full_solve_exactly() {
+        let g = random_graph(250, 2000, 13);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let n = g.node_count();
+        for teleport in [
+            TeleportVector::uniform(n).unwrap(),
+            TeleportVector::single(n, NodeId::new(3)).unwrap(),
+        ] {
+            for scheme in Scheme::ALL {
+                let cfg = SolverConfig::default().with_scheme(scheme).with_trace();
+                let full = kernel.solve(&cfg, &teleport).unwrap();
+                let topk = kernel.solve_top_k(&cfg, &teleport, 7).unwrap();
+                assert_eq!(topk.top, full.scores.top_k(7), "{scheme}");
+                assert_eq!(topk.convergence, full.convergence, "{scheme}");
+                assert_eq!(topk.trace, full.trace, "{scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_top_k_solves_are_allocation_free() {
+        use crate::arena::{with_arena, SolverArena};
+        use std::sync::Arc;
+        let g = random_graph(300, 2500, 9);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let teleport = TeleportVector::single(g.node_count(), NodeId::new(5)).unwrap();
+        let arena = Arc::new(SolverArena::new());
+        for scheme in Scheme::ALL {
+            let cfg = SolverConfig::default().with_scheme(scheme);
+            with_arena(&arena, || {
+                kernel.solve_top_k(&cfg, &teleport, 10).unwrap(); // warm-up
+                let warmed = arena.allocations();
+                for _ in 0..5 {
+                    kernel.solve_top_k(&cfg, &teleport, 10).unwrap();
+                }
+                assert_eq!(
+                    arena.allocations(),
+                    warmed,
+                    "{scheme}: steady-state top-k solves must not allocate score buffers"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn full_solve_detaches_exactly_one_buffer_per_call() {
+        use crate::arena::{with_arena, SolverArena};
+        use std::sync::Arc;
+        let g = random_graph(200, 1500, 3);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let teleport = TeleportVector::uniform(g.node_count()).unwrap();
+        let arena = Arc::new(SolverArena::new());
+        let cfg = SolverConfig::default();
+        with_arena(&arena, || {
+            kernel.solve(&cfg, &teleport).unwrap(); // warm-up
+            let warmed = arena.allocations();
+            for i in 1..=4u64 {
+                kernel.solve(&cfg, &teleport).unwrap();
+                // The escaping score vector is the only fresh buffer.
+                assert_eq!(arena.allocations(), warmed + i);
+            }
+        });
     }
 
     #[test]

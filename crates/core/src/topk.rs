@@ -1,0 +1,227 @@
+//! Top-k personalized serving: adaptive forward push with a separation
+//! certificate.
+//!
+//! A top-k query (`Query::top_k(k)`) only consumes `k` entries, which is
+//! exactly the situation where Andersen–Chung–Lang forward push
+//! ([`crate::push`]) beats a full stationary solve: it touches the seed's
+//! neighbourhood instead of sweeping every edge. The catch is that push is
+//! an *approximation*, so this module only serves a push result when it
+//! can **prove** the approximate top-k set equals the exact one.
+//!
+//! The proof uses the push invariant `ppr = p + Σ_v r[v]·ppr_v`: since
+//! every `ppr_v(u) ∈ [0, 1]`, the exact score of any node lies in
+//! `[p[u], p[u] + R]` where `R = Σ_v r[v]` is the residual mass left at
+//! termination. Sorting the estimates descending, the top-k set is
+//! certified exact as soon as
+//!
+//! ```text
+//! p_(k) − p_(k+1) > R
+//! ```
+//!
+//! (the k-th estimate's lower bound clears the (k+1)-th — and with it every
+//! lower-ranked node's — upper bound). [`push_top_k`] runs push with an ε
+//! derived from `k` and the graph size, then *refines* adaptively:
+//! whenever the certificate fails, ε shrinks by [`EPS_REFINE_FACTOR`] and
+//! push reruns, up to [`MAX_REFINE_ROUNDS`] rounds. If rank k and k+1
+//! still cannot be separated (e.g. they are exactly tied), it returns
+//! `None` and the caller falls back to the exact kernel — so the returned
+//! set is always exactly the full run's top-k. Scores and the order
+//! *within* the set are estimate-accurate (each within `R` of exact,
+//! under-approximating), which is the documented contract of the top-k
+//! serving path.
+//!
+//! Refinement is **work-bounded** so a near-tied seed cannot make the
+//! serving path slower than the kernel it is trying to beat: each round's
+//! push count is capped at a small multiple of `|V| + |E|` (comparable to
+//! a handful of exact sweeps), and the loop gives up immediately — rather
+//! than tightening ε further — once a round hits that cap or stops being
+//! local (residual mass reached every node). The worst case is therefore
+//! a bounded constant factor over the exact fallback, not the unbounded
+//! `1/ε` cost of uncapped push.
+
+use crate::error::AlgoError;
+use crate::push::{ppr_push_full, PushConfig, PushStats};
+use crate::result::top_k_pairs;
+use relgraph::{GraphView, NodeId};
+
+/// Refinement rounds before giving up on a certificate.
+pub const MAX_REFINE_ROUNDS: usize = 4;
+
+/// ε shrink factor between refinement rounds.
+pub const EPS_REFINE_FACTOR: f64 = 100.0;
+
+/// A certified top-k push result.
+#[derive(Debug, Clone)]
+pub struct PushTopK {
+    /// The exact top-`k` node set, ordered by push estimate (descending,
+    /// ties by ascending id); each score under-approximates the exact
+    /// stationary score by at most `residual_mass`.
+    pub top: Vec<(NodeId, f64)>,
+    /// Push-operation counts of the final (certifying) round.
+    pub stats: PushStats,
+    /// The ε the certifying round ran at.
+    pub epsilon: f64,
+    /// Residual mass `R` left by the certifying round — the per-node
+    /// score error bound.
+    pub residual_mass: f64,
+    /// Rounds of adaptive refinement used (1 = first ε sufficed).
+    pub rounds: usize,
+}
+
+/// Attempts to answer a top-`k` personalized query by adaptive forward
+/// push. Returns `Ok(None)` when no certificate could be established
+/// within [`MAX_REFINE_ROUNDS`] (caller falls back to the exact kernel),
+/// or when pruning cannot help (`k ≥ n`).
+pub fn push_top_k(
+    view: GraphView<'_>,
+    damping: f64,
+    seed: NodeId,
+    k: usize,
+) -> Result<Option<PushTopK>, AlgoError> {
+    let n = view.node_count();
+    if n == 0 {
+        return Err(AlgoError::EmptyGraph);
+    }
+    if k == 0 {
+        return Ok(Some(PushTopK {
+            top: Vec::new(),
+            stats: PushStats { pushes: 0, touched: 0 },
+            epsilon: 0.0,
+            residual_mass: 1.0,
+            rounds: 0,
+        }));
+    }
+    if k >= n {
+        // Nothing to prune away; the exact kernel is the right tool.
+        return Ok(None);
+    }
+
+    // First-round ε: the k-th PPR score is at most 1/k, so aim the
+    // worst-case residual mass ε·(|E|+|V|) two orders of magnitude below
+    // that; refinement shrinks from there when the actual gap is tighter.
+    let size = (view.edge_count() + n) as f64;
+    let mut epsilon = (0.01 / (k as f64 * size)).min(1e-4);
+    // Per-round work cap: ~a few exact sweeps' worth of push operations.
+    // A round that exhausts it cannot certify affordably, so the caller's
+    // exact kernel is the cheaper tool.
+    let push_budget = (8 * (n + view.edge_count())).max(4096);
+
+    for round in 1..=MAX_REFINE_ROUNDS {
+        let cfg = PushConfig { damping, epsilon, max_pushes: push_budget };
+        let (p, residual_mass, stats) = ppr_push_full(view, &cfg, seed)?;
+        let mut pairs = top_k_pairs(p.as_slice(), k + 1);
+        let gap = pairs[k - 1].1 - pairs[k].1;
+        if gap > residual_mass {
+            pairs.truncate(k);
+            return Ok(Some(PushTopK { top: pairs, stats, epsilon, residual_mass, rounds: round }));
+        }
+        if stats.pushes >= push_budget || stats.touched >= n {
+            // Out of budget, or no locality left to exploit: a tighter ε
+            // would only cost more than the exact fallback.
+            return Ok(None);
+        }
+        epsilon /= EPS_REFINE_FACTOR;
+        if epsilon < 1e-15 {
+            break;
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::PageRankConfig;
+    use crate::ppr::personalized_pagerank;
+    use relgraph::GraphBuilder;
+
+    fn exact_top(g: &relgraph::DirectedGraph, seed: u32, k: usize) -> Vec<NodeId> {
+        let (s, _) = personalized_pagerank(
+            g.view(),
+            &PageRankConfig { damping: 0.85, tolerance: 1e-14, max_iterations: 5000 },
+            NodeId::new(seed),
+        )
+        .unwrap();
+        s.top_k(k).into_iter().map(|(n, _)| n).collect()
+    }
+
+    fn community_graph() -> relgraph::DirectedGraph {
+        // Two communities bridged by one edge; no exact ties near any
+        // small k when seeded inside a community.
+        let mut b = GraphBuilder::new();
+        for i in 0..8u32 {
+            b.add_edge_indices(i, (i + 1) % 8);
+            b.add_edge_indices((i + 1) % 8, i);
+            b.add_edge_indices(0, i); // seed-side hub asymmetry
+        }
+        b.add_edge_indices(7, 8);
+        for i in 8..20u32 {
+            b.add_edge_indices(i, 8 + (i + 1) % 12);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn certified_set_matches_exact_top_k() {
+        let g = community_graph();
+        for k in [1usize, 3, 5] {
+            let out = push_top_k(g.view(), 0.85, NodeId::new(1), k).unwrap();
+            let Some(out) = out else { panic!("no certificate for k={k}") };
+            let mut got: Vec<NodeId> = out.top.iter().map(|&(n, _)| n).collect();
+            let mut want = exact_top(&g, 1, k);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "k={k}");
+            assert!(out.residual_mass < 1.0);
+            assert!(out.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn scores_within_residual_mass_of_exact() {
+        let g = community_graph();
+        let out = push_top_k(g.view(), 0.85, NodeId::new(2), 4).unwrap().unwrap();
+        let (exact, _) = personalized_pagerank(
+            g.view(),
+            &PageRankConfig { damping: 0.85, tolerance: 1e-14, max_iterations: 5000 },
+            NodeId::new(2),
+        )
+        .unwrap();
+        for &(u, score) in &out.top {
+            let e = exact.get(u);
+            assert!(score <= e + 1e-12, "push over-estimated {u:?}");
+            assert!(e - score <= out.residual_mass + 1e-12, "error exceeds R at {u:?}");
+        }
+    }
+
+    #[test]
+    fn exact_ties_yield_no_certificate() {
+        // A perfectly symmetric star: every leaf has the same exact score,
+        // so rank k and k+1 tie and no ε can separate them.
+        let mut b = GraphBuilder::new();
+        for i in 1..=6u32 {
+            b.add_edge_indices(0, i);
+            b.add_edge_indices(i, 0);
+        }
+        let g = b.build();
+        let out = push_top_k(g.view(), 0.85, NodeId::new(0), 3).unwrap();
+        assert!(out.is_none(), "tied ranks must fall back to the exact kernel");
+    }
+
+    #[test]
+    fn degenerate_ks() {
+        let g = community_graph();
+        let empty = push_top_k(g.view(), 0.85, NodeId::new(0), 0).unwrap().unwrap();
+        assert!(empty.top.is_empty());
+        // k >= n: pruning can't help.
+        assert!(push_top_k(g.view(), 0.85, NodeId::new(0), g.node_count()).unwrap().is_none());
+    }
+
+    #[test]
+    fn invalid_inputs_propagate() {
+        let g = GraphBuilder::from_edge_indices([(0, 1)]);
+        assert!(push_top_k(g.view(), 1.5, NodeId::new(0), 1).is_err());
+        let empty = GraphBuilder::new().build();
+        assert!(push_top_k(empty.view(), 0.85, NodeId::new(0), 1).is_err());
+    }
+}

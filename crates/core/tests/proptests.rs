@@ -389,3 +389,99 @@ fn fromstr_aliases_roundtrip_through_registry() {
         assert!(registry.get(bogus).is_none(), "registry accepts bogus {bogus:?}");
     }
 }
+
+// ------------------------------------------------------------------
+// Cache-locality layer: reordering invariance and top-k serving mode.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A reordered graph is computationally invisible: PageRank, PPR, and
+    /// CheiRank scores on the reordered graph equal the original's up to
+    /// the id permutation, for every update scheme, within solver
+    /// tolerance.
+    #[test]
+    fn reordered_graph_scores_invariant(edges in edge_list(25, 100), raw_seed in 0u32..25) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let seed = NodeId::new(raw_seed % g.node_count() as u32);
+        let g = Arc::new(g);
+        for ordering in [relgraph::NodeOrdering::DegreeDescending, relgraph::NodeOrdering::Bfs] {
+            let (rg, inverse) = g.reordered_by(ordering);
+            let forward = inverse.inverse();
+            let rg = Arc::new(rg);
+            for algorithm in ["pagerank", "ppr", "cheirank"] {
+                for scheme in Scheme::ALL {
+                    let mut q = Query::on(&g).algorithm(algorithm).scheme(scheme);
+                    let mut rq = Query::on(&rg).algorithm(algorithm).scheme(scheme);
+                    if algorithm == "ppr" {
+                        q = q.reference(seed);
+                        rq = rq.reference(forward.map(seed));
+                    }
+                    let s = q.run().unwrap();
+                    let rs = rq.run().unwrap();
+                    let (s, rs) = (s.scores().unwrap(), rs.scores().unwrap());
+                    for u in g.nodes() {
+                        let (a, b) = (s.get(u), rs.get(forward.map(u)));
+                        prop_assert!(
+                            (a - b).abs() < 1e-9,
+                            "{ordering}/{algorithm}/{scheme} node {:?}: {} vs {}", u, a, b
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Query::top_k(k)` returns exactly the top-k node set of the full
+    /// run for the whole stationary family — on the exact kernel path
+    /// (global algorithms) bitwise including order and scores, on the
+    /// certified-push path (personalized) as a set with scores within the
+    /// adaptive policy's worst-case residual mass.
+    #[test]
+    fn query_top_k_matches_full_run(
+        edges in edge_list(25, 100),
+        raw_seed in 0u32..25,
+        k in 1usize..8,
+    ) {
+        let g = GraphBuilder::from_edge_indices(edges);
+        let seed = NodeId::new(raw_seed % g.node_count() as u32);
+        let g = Arc::new(g);
+        for algorithm in ["pagerank", "cheirank", "ppr", "pcheirank"] {
+            let personalized = matches!(algorithm, "ppr" | "pcheirank");
+            let mut full = Query::on(&g).algorithm(algorithm).top(k);
+            let mut topk = Query::on(&g).algorithm(algorithm).top_k(k);
+            if personalized {
+                full = full.reference(seed);
+                topk = topk.reference(seed);
+            }
+            let full = full.run().unwrap();
+            let topk = topk.run().unwrap();
+            let want = full.scores().unwrap().top_k(k);
+            let got = topk.output.top.as_ref().expect("top-k mode returns pairs");
+            prop_assert_eq!(got.len(), want.len(), "{}", algorithm);
+            prop_assert!(topk.scores().is_none(), "{}: no full vector in top-k mode", algorithm);
+            prop_assert_eq!(topk.ranking().len(), k.min(g.node_count()), "{}", algorithm);
+
+            let mut want_nodes: Vec<NodeId> = want.iter().map(|&(n, _)| n).collect();
+            let mut got_nodes: Vec<NodeId> = got.iter().map(|&(n, _)| n).collect();
+            if personalized {
+                // Certified push guarantees the set; order within the set
+                // follows the estimates. Scores under-approximate by at
+                // most the certified residual mass (≤ first-round ε·(m+n)
+                // ≤ 0.01/k by the adaptive policy).
+                want_nodes.sort_unstable();
+                got_nodes.sort_unstable();
+                prop_assert_eq!(want_nodes, got_nodes, "{} top-k set diverges", algorithm);
+                let exact: std::collections::HashMap<NodeId, f64> = want.iter().copied().collect();
+                for &(n, s) in got {
+                    let e = exact[&n];
+                    prop_assert!(s <= e + 1e-9, "{}: over-estimate at {:?}", algorithm, n);
+                    prop_assert!(e - s <= 0.011, "{}: error beyond policy bound at {:?}", algorithm, n);
+                }
+            } else {
+                // Exact kernel path: bitwise identical pairs.
+                prop_assert_eq!(got.clone(), want, "{} exact top-k diverges", algorithm);
+            }
+        }
+    }
+}

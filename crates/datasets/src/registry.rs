@@ -22,7 +22,7 @@
 
 use crate::fixtures::{self, Language};
 use crate::{amazon, classic, twitter, wikilink};
-use relgraph::{DirectedGraph, GraphBuilder};
+use relgraph::{DirectedGraph, GraphBuilder, NodeOrdering};
 use serde::{Deserialize, Serialize};
 
 /// Dataset family, mirroring the demo's three sources plus internals.
@@ -54,6 +54,17 @@ pub struct DatasetSpec {
     pub description: String,
     /// Approximate node count (informational).
     pub approx_nodes: u32,
+    /// Cache-locality node ordering applied at load time (`None` keeps
+    /// generation order). Invisible to consumers addressing nodes the
+    /// supported ways: labeled nodes keep their labels, and **unlabeled**
+    /// nodes are labeled with their original index before reordering, so
+    /// numeric-string references to them resolve unchanged. The one
+    /// unsupported addressing mode is referring to a *labeled* node by
+    /// its raw generation-order index — a node can carry only one label,
+    /// so that spelling falls through to the post-reorder id space;
+    /// address labeled nodes by label (see [`apply_reorder`]).
+    #[serde(default)]
+    pub reorder: Option<NodeOrdering>,
 }
 
 const LANGS: [&str; 9] = ["de", "en", "es", "fr", "it", "nl", "pl", "ru", "sv"];
@@ -123,6 +134,9 @@ pub fn catalog() -> Vec<DatasetSpec> {
                     "WikiLinkGraphs-like snapshot of the {lang} Wikipedia as of {year}"
                 ),
                 approx_nodes: wiki_nodes(lang, year),
+                // Web-like degree distribution: hubs-first keeps the hot
+                // score entries of every pull sweep cache-resident.
+                reorder: Some(NodeOrdering::DegreeDescending),
             });
         }
     }
@@ -132,6 +146,9 @@ pub fn catalog() -> Vec<DatasetSpec> {
         kind: DatasetKind::Amazon,
         description: "co-purchased products (books, music CDs, DVDs)".into(),
         approx_nodes: 20_000,
+        // Clustered genres: BFS/RCM numbering keeps each cluster's ids
+        // contiguous, shrinking the gather span of every adjacency row.
+        reorder: Some(NodeOrdering::Bfs),
     });
     for (id, name, users) in
         [("twitter-cop27", "Twitter cop27", 5000u32), ("twitter-8m", "Twitter 8m", 4000)]
@@ -142,6 +159,7 @@ pub fn catalog() -> Vec<DatasetSpec> {
             kind: DatasetKind::Twitter,
             description: "users interacting via retweet/reply/quote/mention".into(),
             approx_nodes: users,
+            reorder: Some(NodeOrdering::DegreeDescending),
         });
     }
     out.push(DatasetSpec {
@@ -150,6 +168,7 @@ pub fn catalog() -> Vec<DatasetSpec> {
         kind: DatasetKind::Fixture,
         description: "labelled Freddie Mercury / Pasta neighbourhoods (paper Table I)".into(),
         approx_nodes: 400,
+        reorder: None,
     });
     out.push(DatasetSpec {
         id: "fixture-amazon-books".into(),
@@ -158,6 +177,7 @@ pub fn catalog() -> Vec<DatasetSpec> {
         description: "labelled 1984 / Fellowship of the Ring neighbourhoods (paper Table II)"
             .into(),
         approx_nodes: 350,
+        reorder: None,
     });
     for lang in Language::ALL {
         out.push(DatasetSpec {
@@ -166,21 +186,31 @@ pub fn catalog() -> Vec<DatasetSpec> {
             kind: DatasetKind::Fixture,
             description: format!("labelled Fake-news neighbourhood, {lang} edition (Table III)"),
             approx_nodes: 300,
+            reorder: None,
         });
     }
-    for (id, name, desc, nodes) in [
-        ("synthetic-er", "Erdős–Rényi G(2000, 0.005)", "uniform random directed graph", 2000u32),
+    for (id, name, desc, nodes, reorder) in [
+        (
+            "synthetic-er",
+            "Erdős–Rényi G(2000, 0.005)",
+            "uniform random directed graph",
+            2000u32,
+            Some(NodeOrdering::Bfs),
+        ),
         (
             "synthetic-ba",
             "Preferential attachment (5000, m=5)",
             "heavy-tailed scale-free-like directed graph",
             5000,
+            Some(NodeOrdering::DegreeDescending),
         ),
         (
             "synthetic-ring",
             "Bidirectional ring (1000)",
             "every adjacent pair mutually linked: CycleRank's best case",
             1000,
+            // Already the optimal (banded) numbering.
+            None,
         ),
     ] {
         out.push(DatasetSpec {
@@ -189,6 +219,7 @@ pub fn catalog() -> Vec<DatasetSpec> {
             kind: DatasetKind::Synthetic,
             description: desc.into(),
             approx_nodes: nodes,
+            reorder,
         });
     }
     out
@@ -200,8 +231,43 @@ pub fn spec(id: &str) -> Option<DatasetSpec> {
 }
 
 /// Generates the graph for a dataset id. Returns `None` for unknown ids.
+///
+/// Datasets whose catalog entry sets [`DatasetSpec::reorder`] are
+/// relabeled for cache locality at load time, with node identity pinned
+/// by labels (see [`apply_reorder`]).
 pub fn load_dataset(id: &str) -> Option<DirectedGraph> {
     crate::connect_query_api();
+    let g = load_raw(id)?;
+    match spec(id).and_then(|s| s.reorder) {
+        Some(ordering) => Some(apply_reorder(g, ordering)),
+        None => Some(g),
+    }
+}
+
+/// Reorders a freshly generated dataset for serving, making the
+/// permutation invisible to label-based and numeric-string references:
+/// before relabeling, any node without a label is labeled with its
+/// **original index** (unless that string already names another node,
+/// whose label-first resolution wins today anyway), so both label
+/// references and numeric-string references to unlabeled nodes keep
+/// resolving to the same conceptual node after the ids move. Nodes that
+/// already carry a label keep only that label (one label per node), so
+/// they must be addressed by it — see [`DatasetSpec::reorder`].
+pub fn apply_reorder(mut g: DirectedGraph, ordering: NodeOrdering) -> DirectedGraph {
+    let unlabeled: Vec<relgraph::NodeId> =
+        g.nodes().filter(|&u| g.labels().get(u).is_none()).collect();
+    for u in unlabeled {
+        let idx = u.raw().to_string();
+        if g.node_by_label(&idx).is_none() {
+            g.labels_mut().set(u, idx);
+        }
+    }
+    let (g, _inverse) = g.reordered_by(ordering);
+    g
+}
+
+/// Generates the graph for a dataset id in raw generation order.
+fn load_raw(id: &str) -> Option<DirectedGraph> {
     let seed = seed_for(id);
     // Fixtures.
     match id {
@@ -364,6 +430,66 @@ mod tests {
         // Non-Table-III language: no embedding.
         let g = load_dataset("wiki-es-2018").unwrap();
         assert!(g.node_by_label("Fake news").is_none());
+    }
+
+    #[test]
+    fn reordered_dataset_is_invisible_through_references() {
+        // synthetic-er opts into BFS reordering; node identity must
+        // survive through original-index labels.
+        assert_eq!(spec("synthetic-er").unwrap().reorder, Some(NodeOrdering::Bfs));
+        let raw = load_raw("synthetic-er").unwrap();
+        let served = load_dataset("synthetic-er").unwrap();
+        assert_eq!(served.node_count(), raw.node_count());
+        assert_eq!(served.edge_count(), raw.edge_count());
+        // Every original index resolves as a label on the served graph,
+        // and the resolved node has exactly the original adjacency.
+        for u in [0u32, 1, 42, 1999] {
+            let s = served.node_by_label(&u.to_string()).unwrap_or_else(|| panic!("{u} lost"));
+            let raw_u = relgraph::NodeId::new(u);
+            assert_eq!(served.out_degree(s), raw.out_degree(raw_u), "node {u}");
+            for &v in raw.out_neighbors(raw_u) {
+                let sv = served.node_by_label(&v.raw().to_string()).unwrap();
+                assert!(served.has_edge(s, sv), "{u}->{} lost", v.raw());
+            }
+        }
+    }
+
+    #[test]
+    fn partially_labeled_reordered_dataset_keeps_both_reference_kinds() {
+        // wiki-it-2018 merges the labeled Fake-news fixture into an
+        // otherwise unlabeled snapshot, then reorders degree-first.
+        let raw = load_raw("wiki-it-2018").unwrap();
+        let served = load_dataset("wiki-it-2018").unwrap();
+        // Labeled nodes: addressed by label, adjacency intact.
+        let r = served.node_by_label("Fake news").unwrap();
+        let first = served.node_by_label("Disinformazione").unwrap();
+        assert!(served.has_edge(r, first) && served.has_edge(first, r));
+        // Unlabeled nodes: numeric-string references stay pinned to the
+        // original generation-order node via the auto index label.
+        for u in [0u32, 7, 123] {
+            if raw.labels().get(relgraph::NodeId::new(u)).is_some() {
+                continue;
+            }
+            let s = served.node_by_label(&u.to_string()).unwrap();
+            assert_eq!(served.out_degree(s), raw.out_degree(relgraph::NodeId::new(u)), "{u}");
+        }
+    }
+
+    #[test]
+    fn degree_reordered_dataset_puts_hubs_first() {
+        let g = load_dataset("synthetic-ba").unwrap();
+        let first = relgraph::NodeId::new(0);
+        let max_deg = g.nodes().map(|u| g.out_degree(u) + g.in_degree(u)).max().unwrap();
+        assert_eq!(g.out_degree(first) + g.in_degree(first), max_deg, "node 0 must be the hub");
+    }
+
+    #[test]
+    fn fixtures_keep_generation_order() {
+        for s in catalog() {
+            if s.kind == DatasetKind::Fixture {
+                assert_eq!(s.reorder, None, "{}", s.id);
+            }
+        }
     }
 
     #[test]

@@ -31,12 +31,15 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 /// The canonical cache key of a task: every result-determining field of
 /// the spec, rendered in a fixed order. `threads` is omitted (results are
 /// thread-count invariant); `record_trace` and `top_k` are included
-/// because they change the payload shape.
+/// because they change the payload shape, and the top-k-only serving mode
+/// (`params.top_k`, rendered as `ktop`) is included because its result
+/// path (certified adaptive push / pruned heap-select) produces
+/// estimate-accurate scores a full-rank run would not.
 pub fn cache_key(spec: &TaskSpec) -> String {
     let p = &spec.params;
     format!(
         "dataset={};algo={};damping={};k={};scoring={};tolerance={};max_iterations={};\
-         solver={};trace={};source={};top_k={}",
+         solver={};trace={};source={};top_k={};ktop={}",
         spec.dataset,
         p.algorithm.id(),
         p.damping,
@@ -48,6 +51,7 @@ pub fn cache_key(spec: &TaskSpec) -> String {
         p.record_trace,
         spec.source.as_deref().unwrap_or(""),
         spec.top_k,
+        p.top_k.map(|k| k.to_string()).unwrap_or_default(),
     )
 }
 
@@ -250,6 +254,13 @@ mod tests {
         let mut with_threads = spec("d", Some("s"));
         with_threads.params.threads = 8;
         assert_eq!(a, cache_key(&with_threads));
+        // Top-k-only serving mode is a distinct result shape.
+        let mut with_ktop = spec("d", Some("s"));
+        with_ktop.params.top_k = Some(5);
+        assert_ne!(a, cache_key(&with_ktop));
+        let mut with_other_ktop = spec("d", Some("s"));
+        with_other_ktop.params.top_k = Some(7);
+        assert_ne!(cache_key(&with_ktop), cache_key(&with_other_ktop));
     }
 
     #[test]

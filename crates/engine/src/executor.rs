@@ -16,7 +16,7 @@ use crate::cache::{cache_key, CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::error::EngineError;
 use crate::task::{BatchSpec, TaskId, TaskSpec};
 use parking_lot::Mutex;
-use relcore::{Query, QueryError, QueryResult};
+use relcore::{with_arena, Query, QueryError, QueryResult, SolverArena};
 use relgraph::DirectedGraph;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -64,6 +64,12 @@ pub struct TaskResult {
 pub struct Executor {
     cache: Mutex<HashMap<String, Arc<DirectedGraph>>>,
     results: ResultCache,
+    /// Per-dataset solver arenas: every task or batch on a dataset draws
+    /// its solver working buffers from that dataset's arena, so
+    /// steady-state traffic re-sweeps warm buffers sized for that graph
+    /// instead of allocating per request. Shared across worker threads
+    /// and batches (the arena itself is `Sync`).
+    arenas: Mutex<HashMap<String, Arc<SolverArena>>>,
 }
 
 impl Default for Executor {
@@ -82,7 +88,21 @@ impl Executor {
     /// Creates an executor whose result cache holds at most `capacity`
     /// entries; `0` disables result caching entirely.
     pub fn with_cache_capacity(capacity: usize) -> Self {
-        Executor { cache: Mutex::new(HashMap::new()), results: ResultCache::new(capacity) }
+        Executor {
+            cache: Mutex::new(HashMap::new()),
+            results: ResultCache::new(capacity),
+            arenas: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The solver arena owned by `dataset` (created on first use).
+    pub fn arena_for(&self, dataset: &str) -> Arc<SolverArena> {
+        Arc::clone(
+            self.arenas
+                .lock()
+                .entry(dataset.to_string())
+                .or_insert_with(|| Arc::new(SolverArena::new())),
+        )
     }
 
     /// Hit/miss/eviction counters of the result cache.
@@ -132,6 +152,14 @@ impl Executor {
         Ok(g)
     }
 
+    /// The cached graph for `id`, if one is already loaded (uploads, or
+    /// registry datasets some task has touched). Unlike
+    /// [`Executor::dataset`] this never generates — metadata endpoints
+    /// use it to avoid pinning every dataset a client merely *inspects*.
+    pub fn dataset_if_cached(&self, id: &str) -> Option<Arc<DirectedGraph>> {
+        self.cache.lock().get(id).map(Arc::clone)
+    }
+
     /// Number of cached datasets.
     pub fn cached_count(&self) -> usize {
         self.cache.lock().len()
@@ -152,7 +180,9 @@ impl Executor {
         if let Some(source) = &spec.source {
             query = query.reference(source.as_str());
         }
-        let result = query.run().map_err(|e| map_query_error(e, &spec.dataset))?;
+        let arena = self.arena_for(&spec.dataset);
+        let result =
+            with_arena(&arena, || query.run()).map_err(|e| map_query_error(e, &spec.dataset))?;
         let result = package(id, &spec.dataset, spec.source.clone(), &result);
         self.results.put(key, result.clone());
         Ok(result)
@@ -182,11 +212,12 @@ impl Executor {
 
         if !missed.is_empty() {
             let graph = self.dataset(&spec.dataset)?;
-            let batch = Query::on(Arc::clone(&graph))
+            let arena = self.arena_for(&spec.dataset);
+            let query = Query::on(Arc::clone(&graph))
                 .params(spec.params)
                 .top(spec.top_k)
-                .seeds(missed.iter().map(|&i| spec.sources[i].as_str()))
-                .run_batch()
+                .seeds(missed.iter().map(|&i| spec.sources[i].as_str()));
+            let batch = with_arena(&arena, || query.run_batch())
                 .map_err(|e| map_query_error(e, &spec.dataset))?;
             for (&i, result) in missed.iter().zip(batch.into_results()) {
                 let r = package(&ids[i], &spec.dataset, Some(spec.sources[i].clone()), &result);
@@ -307,6 +338,45 @@ mod tests {
             tops[0].iter().map(|(l, _)| l).collect::<Vec<_>>(),
             tops[2].iter().map(|(l, _)| l).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn top_k_serving_mode_matches_full_rank_set() {
+        let ex = Executor::new();
+        let full_spec = TaskBuilder::new("fixture-enwiki-2018")
+            .algorithm(Algorithm::PersonalizedPageRank)
+            .source("Freddie Mercury")
+            .top_k(5)
+            .build()
+            .unwrap();
+        let mut serving_spec = full_spec.clone();
+        serving_spec.params.top_k = Some(5);
+        let full = ex.execute(&TaskId::fresh(), &full_spec).unwrap();
+        let served = ex.execute(&TaskId::fresh(), &serving_spec).unwrap();
+        assert_eq!(served.top.len(), 5);
+        let mut full_labels: Vec<&String> = full.top.iter().map(|(l, _)| l).collect();
+        let mut served_labels: Vec<&String> = served.top.iter().map(|(l, _)| l).collect();
+        full_labels.sort();
+        served_labels.sort();
+        assert_eq!(full_labels, served_labels, "top-k serving must return the exact top-k set");
+        // The two modes are distinct cache entries.
+        assert_ne!(cache_key(&full_spec), cache_key(&serving_spec));
+    }
+
+    #[test]
+    fn arena_pool_is_per_dataset_and_warm() {
+        let ex = Executor::new();
+        let a = ex.arena_for("d1");
+        assert!(Arc::ptr_eq(&a, &ex.arena_for("d1")));
+        assert!(!Arc::ptr_eq(&a, &ex.arena_for("d2")));
+
+        // Executing tasks draws from (and warms) the dataset's arena.
+        let spec = TaskBuilder::new("fixture-fakenews-it").top_k(3).build().unwrap();
+        ex.execute(&TaskId::fresh(), &spec).unwrap();
+        let arena = ex.arena_for("fixture-fakenews-it");
+        let warmed = arena.allocations();
+        assert!(warmed > 0, "solve must have drawn from the dataset arena");
+        assert!(arena.pooled() > 0, "buffers must return to the pool after the solve");
     }
 
     #[test]

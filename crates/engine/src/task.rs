@@ -107,7 +107,7 @@ impl TaskSpec {
                 )))
             }
         };
-        Ok(TaskSpec { dataset, params, source, top_k: query.top_k() })
+        Ok(TaskSpec { dataset, params, source, top_k: query.top_limit() })
     }
 
     /// Renders the row as the task-builder interface shows it

@@ -174,8 +174,16 @@ impl GraphBuilder {
             self.edges.retain(|&(u, v, _)| u != v);
         }
 
-        // Sort by (source, target) then deduplicate parallel edges.
-        self.edges.sort_by_key(|a| (a.0, a.1));
+        // Sort by (source, target) then deduplicate parallel edges. The
+        // unstable sort avoids the stable sort's O(m/2) temp allocation;
+        // Merge sums duplicate weights commutatively, so order among equal
+        // keys is irrelevant. KeepFirst must see duplicates in arrival
+        // order and keeps the stable sort.
+        if self.duplicate_policy == DuplicatePolicy::KeepFirst {
+            self.edges.sort_by_key(|a| (a.0, a.1));
+        } else {
+            self.edges.sort_unstable_by_key(|a| (a.0, a.1));
+        }
         let mut deduped: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(self.edges.len());
         for (u, v, w) in self.edges.drain(..) {
             match deduped.last_mut() {

@@ -25,6 +25,13 @@ pub enum GraphError {
         /// The weight that was rejected.
         weight: f64,
     },
+    /// A node-id mapping was not a bijection on `0..len`.
+    InvalidPermutation {
+        /// The out-of-range or repeated image.
+        index: u32,
+        /// Expected domain size.
+        len: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -40,6 +47,9 @@ impl fmt::Display for GraphError {
                     f,
                     "edge {source}->{target} has invalid weight {weight} (must be finite and > 0)"
                 )
+            }
+            GraphError::InvalidPermutation { index, len } => {
+                write!(f, "permutation is not a bijection on 0..{len}: image {index} out of range or repeated")
             }
         }
     }

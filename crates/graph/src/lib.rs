@@ -39,6 +39,7 @@ pub mod csr;
 pub mod error;
 pub mod labels;
 pub mod node;
+pub mod reorder;
 pub mod scc;
 pub mod stats;
 pub mod subgraph;
@@ -51,6 +52,7 @@ pub use csr::DirectedGraph;
 pub use error::GraphError;
 pub use labels::LabelTable;
 pub use node::NodeId;
+pub use reorder::{NodeOrdering, Permutation};
 pub use scc::{condensation, tarjan_scc, SccResult};
 pub use stats::GraphStats;
 pub use subgraph::{induced_subgraph, SubgraphMap};

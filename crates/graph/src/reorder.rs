@@ -1,0 +1,437 @@
+//! Node-id permutations for cache locality.
+//!
+//! The solver layer's pull sweeps walk `in_sources` and gather scores at
+//! `x[u]` for every in-neighbor `u` — a random-access pattern whose cache
+//! behaviour is entirely determined by how node ids were assigned when the
+//! dataset was loaded. Real-world loaders assign ids in discovery order
+//! (article creation date, crawl order, …), which is close to adversarial:
+//! the hub nodes that appear in almost every adjacency list are scattered
+//! across the whole score vector.
+//!
+//! This module computes *locality-improving* permutations of the node ids:
+//!
+//! * [`NodeOrdering::DegreeDescending`] — hubs first. The nodes gathered
+//!   most often share the first few cache lines of the score vector, so the
+//!   hottest entries stay resident across the whole sweep.
+//! * [`NodeOrdering::Bfs`] — reverse Cuthill–McKee-style breadth-first
+//!   renumbering over the undirected skeleton: neighbours receive nearby
+//!   ids, shrinking the index spread of each adjacency list (bandwidth
+//!   reduction), so a sweep's gathers land in recently-touched lines.
+//!
+//! [`DirectedGraph::reordered`] rebuilds both CSR directions, the weight
+//! arrays, the weight-sum caches, and the label table under the new ids,
+//! and returns the **inverse** permutation so callers can map results back
+//! to the original id space. Because every consumer-facing surface in the
+//! platform addresses nodes by *label*, a reordered graph is
+//! indistinguishable from the original except in sweep wall-clock time;
+//! loaders that must also keep raw *indices* stable (bare edge-list
+//! datasets) label each node with its original index before reordering —
+//! see `reldata::registry`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DirectedGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A bijective relabeling of the node ids `0..n`.
+///
+/// Stored as the forward map `new_of_old[old] = new`; the reverse
+/// direction is materialized by [`Permutation::inverse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        Permutation { new_of_old: (0..n as u32).collect() }
+    }
+
+    /// Wraps an explicit `old → new` mapping, validating that it is a
+    /// bijection on `0..mapping.len()`.
+    pub fn new(mapping: Vec<u32>) -> Result<Self, GraphError> {
+        let n = mapping.len();
+        let mut seen = vec![false; n];
+        for &new in &mapping {
+            if (new as usize) >= n || seen[new as usize] {
+                return Err(GraphError::InvalidPermutation { index: new, len: n });
+            }
+            seen[new as usize] = true;
+        }
+        Ok(Permutation { new_of_old: mapping })
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// True for the zero-node permutation.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// True when every node keeps its id.
+    pub fn is_identity(&self) -> bool {
+        self.new_of_old.iter().enumerate().all(|(old, &new)| old as u32 == new)
+    }
+
+    /// The new id of `old`.
+    #[inline]
+    pub fn map(&self, old: NodeId) -> NodeId {
+        NodeId::new(self.new_of_old[old.index()])
+    }
+
+    /// The raw `old → new` slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.new_of_old
+    }
+
+    /// The inverse permutation (`new → old`).
+    pub fn inverse(&self) -> Permutation {
+        let mut old_of_new = vec![0u32; self.new_of_old.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            old_of_new[new as usize] = old as u32;
+        }
+        Permutation { new_of_old: old_of_new }
+    }
+
+    /// Permutes a dense per-node vector from the *old* index space into
+    /// the *new* one (`out[map(u)] = values[u]`).
+    pub fn permute<T: Copy + Default>(&self, values: &[T]) -> Vec<T> {
+        debug_assert_eq!(values.len(), self.len());
+        let mut out = vec![T::default(); values.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out[new as usize] = values[old];
+        }
+        out
+    }
+}
+
+/// A locality-improving node-id ordering strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum NodeOrdering {
+    /// Keep the ids the dataset assigned (the identity permutation).
+    #[default]
+    Original,
+    /// Hubs first: nodes sorted by total (in + out) degree, descending,
+    /// ties broken by original id. Keeps the most-gathered score entries
+    /// in the first cache lines of the vector.
+    DegreeDescending,
+    /// Reverse Cuthill–McKee-style BFS renumbering over the undirected
+    /// skeleton: neighbours get nearby ids, shrinking per-row index
+    /// spread (bandwidth) so pull gathers hit recently-touched lines.
+    Bfs,
+}
+
+impl NodeOrdering {
+    /// All orderings, identity first.
+    pub const ALL: [NodeOrdering; 3] =
+        [NodeOrdering::Original, NodeOrdering::DegreeDescending, NodeOrdering::Bfs];
+
+    /// Stable machine identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            NodeOrdering::Original => "original",
+            NodeOrdering::DegreeDescending => "degree",
+            NodeOrdering::Bfs => "bfs",
+        }
+    }
+
+    /// Computes this ordering's permutation for `g`.
+    pub fn permutation(self, g: &DirectedGraph) -> Permutation {
+        match self {
+            NodeOrdering::Original => Permutation::identity(g.node_count()),
+            NodeOrdering::DegreeDescending => degree_descending(g),
+            NodeOrdering::Bfs => rcm_like(g),
+        }
+    }
+}
+
+impl fmt::Display for NodeOrdering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl FromStr for NodeOrdering {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "original" | "identity" | "none" => Ok(NodeOrdering::Original),
+            "degree" | "degreedescending" | "hubsfirst" => Ok(NodeOrdering::DegreeDescending),
+            "bfs" | "rcm" | "cuthillmckee" => Ok(NodeOrdering::Bfs),
+            other => Err(format!("unknown ordering {other:?} (expected original|degree|bfs)")),
+        }
+    }
+}
+
+fn total_degree(g: &DirectedGraph, u: NodeId) -> usize {
+    g.out_degree(u) + g.in_degree(u)
+}
+
+/// Hubs-first: position in the degree-descending sort becomes the new id.
+fn degree_descending(g: &DirectedGraph) -> Permutation {
+    let n = g.node_count();
+    let mut by_degree: Vec<u32> = (0..n as u32).collect();
+    // Descending degree, ascending original id on ties — deterministic.
+    by_degree.sort_unstable_by_key(|&u| (std::cmp::Reverse(total_degree(g, NodeId::new(u))), u));
+    let mut new_of_old = vec![0u32; n];
+    for (new, &old) in by_degree.iter().enumerate() {
+        new_of_old[old as usize] = new as u32;
+    }
+    Permutation { new_of_old }
+}
+
+/// Reverse Cuthill–McKee-style BFS over the undirected skeleton: roots are
+/// the minimum-degree node of each unvisited component, frontier children
+/// are visited in increasing-degree order, and the final visit sequence is
+/// reversed (the "R" of RCM, which empirically tightens the profile
+/// further).
+fn rcm_like(g: &DirectedGraph) -> Permutation {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    let mut neighbors: Vec<u32> = Vec::new();
+
+    // Candidate roots, minimum degree first, so each component starts at a
+    // peripheral node (the classic Cuthill–McKee heuristic).
+    let mut roots: Vec<u32> = (0..n as u32).collect();
+    roots.sort_unstable_by_key(|&u| (total_degree(g, NodeId::new(u)), u));
+
+    for root in roots {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let u = NodeId::new(u);
+            // Undirected skeleton: successors and predecessors alike.
+            neighbors.clear();
+            neighbors.extend(g.out_neighbors(u).iter().map(|v| v.raw()));
+            neighbors.extend(g.in_neighbors(u).iter().map(|v| v.raw()));
+            neighbors.sort_unstable_by_key(|&v| (total_degree(g, NodeId::new(v)), v));
+            for &v in &neighbors {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    order.reverse();
+    let mut new_of_old = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_of_old[old as usize] = new as u32;
+    }
+    Permutation { new_of_old }
+}
+
+impl DirectedGraph {
+    /// Rebuilds the graph with node ids relabeled through `perm`
+    /// (`new_id = perm.map(old_id)`): both CSR directions, edge weights,
+    /// the weight-sum caches, and the label table all move to the new id
+    /// space. Returns the rebuilt graph together with the **inverse**
+    /// permutation (`new → old`), which callers use to report scores and
+    /// rankings in original ids.
+    ///
+    /// # Panics
+    /// Panics if `perm.len() != self.node_count()` (permutations come from
+    /// [`NodeOrdering::permutation`] on the same graph, or from
+    /// [`Permutation::new`], which validates bijectivity).
+    pub fn reordered(&self, perm: &Permutation) -> (DirectedGraph, Permutation) {
+        assert_eq!(
+            perm.len(),
+            self.node_count(),
+            "permutation covers {} nodes, graph has {}",
+            perm.len(),
+            self.node_count()
+        );
+        let mut b = GraphBuilder::with_capacity(self.node_count(), self.edge_count());
+        if self.node_count() > 0 {
+            b.ensure_node(self.node_count() as u32 - 1);
+        }
+        if self.is_weighted() {
+            for (u, v, w) in self.weighted_edges() {
+                b.add_weighted_edge(perm.map(u), perm.map(v), w);
+            }
+        } else {
+            for (u, v) in self.edges() {
+                b.add_edge(perm.map(u), perm.map(v));
+            }
+        }
+        let mut g = b.build();
+        for (old, label) in self.labels().iter() {
+            g.labels_mut().set(perm.map(old), label.to_owned());
+        }
+        (g, perm.inverse())
+    }
+
+    /// Convenience: computes `ordering`'s permutation and reorders.
+    pub fn reordered_by(&self, ordering: NodeOrdering) -> (DirectedGraph, Permutation) {
+        let perm = ordering.permutation(self);
+        self.reordered(&perm)
+    }
+
+    /// Mean index distance |u − v| over all edges — the locality figure a
+    /// reordering is meant to shrink (diagnostic, used by the
+    /// `reorder_locality` bench and `relrank stats`).
+    pub fn mean_edge_span(&self) -> f64 {
+        if self.edge_count() == 0 {
+            return 0.0;
+        }
+        let total: u64 =
+            self.edges().map(|(u, v)| (u.raw() as i64 - v.raw() as i64).unsigned_abs()).sum();
+        total as f64 / self.edge_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrambled_path(n: u32) -> DirectedGraph {
+        // A path 0→1→…→n−1 whose ids are bit-reversed-ish scrambled, so
+        // every ordering has something to improve.
+        let mut b = GraphBuilder::new();
+        let scramble = |i: u32| (i.wrapping_mul(7919)) % n;
+        for i in 0..n - 1 {
+            b.add_edge_indices(scramble(i), scramble(i + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn permutation_validates_bijection() {
+        assert!(Permutation::new(vec![2, 0, 1]).is_ok());
+        assert!(Permutation::new(vec![0, 0, 1]).is_err());
+        assert!(Permutation::new(vec![0, 3, 1]).is_err());
+        assert!(Permutation::identity(4).is_identity());
+        assert!(!Permutation::new(vec![1, 0]).unwrap().is_identity());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = Permutation::new(vec![2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        for i in 0..4u32 {
+            assert_eq!(inv.map(p.map(NodeId::new(i))), NodeId::new(i));
+        }
+        assert!(p.inverse().inverse() == p);
+    }
+
+    #[test]
+    fn permute_moves_values() {
+        let p = Permutation::new(vec![1, 2, 0]).unwrap();
+        assert_eq!(p.permute(&[10, 20, 30]), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn reordered_preserves_structure() {
+        let mut b = GraphBuilder::new();
+        b.add_labeled_edge("A", "B");
+        b.add_labeled_edge("B", "C");
+        b.add_labeled_edge("C", "A");
+        b.add_labeled_edge("Hub", "A");
+        b.add_labeled_edge("A", "Hub");
+        b.add_labeled_edge("B", "Hub");
+        let g = b.build();
+        for ordering in NodeOrdering::ALL {
+            let (r, inv) = g.reordered_by(ordering);
+            assert_eq!(r.node_count(), g.node_count(), "{ordering}");
+            assert_eq!(r.edge_count(), g.edge_count(), "{ordering}");
+            // Every labeled edge survives, by label.
+            for (u, v) in g.edges() {
+                let ru = r.node_by_label(g.labels().get(u).unwrap()).unwrap();
+                let rv = r.node_by_label(g.labels().get(v).unwrap()).unwrap();
+                assert!(r.has_edge(ru, rv), "{ordering}: {u:?}->{v:?}");
+            }
+            // The inverse maps new ids back to nodes with the same label.
+            for u in r.nodes() {
+                assert_eq!(r.labels().get(u), g.labels().get(inv.map(u)), "{ordering}");
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_preserves_weights_and_sums() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(NodeId::new(0), NodeId::new(1), 2.5);
+        b.add_weighted_edge(NodeId::new(1), NodeId::new(2), 1.5);
+        b.add_weighted_edge(NodeId::new(2), NodeId::new(0), 4.0);
+        let g = b.build();
+        let (r, inv) = g.reordered_by(NodeOrdering::DegreeDescending);
+        assert!(r.is_weighted());
+        for u in r.nodes() {
+            let old = inv.map(u);
+            assert_eq!(r.out_weight_sum(u), g.out_weight_sum(old));
+            assert_eq!(r.in_weight_sum(u), g.in_weight_sum(old));
+            for (j, &v) in r.out_neighbors(u).iter().enumerate() {
+                let w = r.out_weights(u).unwrap()[j];
+                assert_eq!(g.edge_weight(old, inv.map(v)), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_descending_puts_hubs_first() {
+        let mut b = GraphBuilder::new();
+        // Node 7 is the hub.
+        for i in 0..7 {
+            b.add_edge_indices(i, 7);
+            b.add_edge_indices(7, i);
+        }
+        let g = b.build();
+        let p = NodeOrdering::DegreeDescending.permutation(&g);
+        assert_eq!(p.map(NodeId::new(7)), NodeId::new(0), "hub gets id 0");
+    }
+
+    #[test]
+    fn bfs_reduces_edge_span_on_scrambled_path() {
+        let g = scrambled_path(503); // prime so the scramble is a bijection
+        let before = g.mean_edge_span();
+        let (r, _) = g.reordered_by(NodeOrdering::Bfs);
+        let after = r.mean_edge_span();
+        assert!(after < before / 10.0, "span {before:.1} -> {after:.1}");
+    }
+
+    #[test]
+    fn identity_ordering_is_noop() {
+        let g = scrambled_path(101);
+        let (r, inv) = g.reordered_by(NodeOrdering::Original);
+        assert!(inv.is_identity());
+        for u in g.nodes() {
+            assert_eq!(r.out_neighbors(u), g.out_neighbors(u));
+            assert_eq!(r.in_neighbors(u), g.in_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn ordering_parse_roundtrip() {
+        for o in NodeOrdering::ALL {
+            assert_eq!(o.id().parse::<NodeOrdering>().unwrap(), o);
+        }
+        assert_eq!("rcm".parse::<NodeOrdering>().unwrap(), NodeOrdering::Bfs);
+        assert_eq!("hubs-first".parse::<NodeOrdering>().unwrap(), NodeOrdering::DegreeDescending);
+        assert_eq!("none".parse::<NodeOrdering>().unwrap(), NodeOrdering::Original);
+        assert!("zorder".parse::<NodeOrdering>().is_err());
+    }
+
+    #[test]
+    fn empty_graph_reorders() {
+        let g = GraphBuilder::new().build();
+        let (r, inv) = g.reordered_by(NodeOrdering::Bfs);
+        assert!(r.is_empty());
+        assert!(inv.is_empty());
+    }
+}

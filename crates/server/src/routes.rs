@@ -14,7 +14,7 @@ pub fn route(req: &Request, engine: &Arc<Scheduler>) -> Response {
         (Method::Get, ["api", "metrics"]) => Response::json(StatusCode::Ok, &engine.metrics()),
         (Method::Get, ["api", "datasets"]) => list_datasets(engine),
         (Method::Post, ["api", "datasets"]) => upload_dataset(req, engine),
-        (Method::Get, ["api", "datasets", id]) => get_dataset(id),
+        (Method::Get, ["api", "datasets", id]) => get_dataset(id, engine),
         (Method::Get, ["api", "datasets", id, "stats"]) => dataset_stats(id, engine),
         (Method::Get, ["api", "algorithms"]) => list_algorithms(),
         (Method::Post, ["api", "tasks"]) => submit_task(req, engine),
@@ -44,11 +44,11 @@ fn index() -> Response {
         <li>GET /api/metrics — task counts</li>\n\
         <li>GET /api/datasets — the 50-dataset catalog (+ uploads)</li>\n\
         <li>POST /api/datasets — upload a graph {name?, format?, content}</li>\n\
-        <li>GET /api/datasets/{id} — one catalog entry</li>\n\
+        <li>GET /api/datasets/{id} — one catalog entry + memory/locality footprint</li>\n\
         <li>GET /api/datasets/{id}/stats — structural statistics</li>\n\
         <li>GET /api/algorithms — registered algorithms with parameter schemas</li>\n\
-        <li>POST /api/tasks — submit a task</li>\n\
-        <li>POST /api/batch — submit one algorithm over many seeds (one fused solve)</li>\n\
+        <li>POST /api/tasks — submit a task (?top_k=k for top-k-only serving)</li>\n\
+        <li>POST /api/batch — submit one algorithm over many seeds (one fused solve; ?top_k=k)</li>\n\
         <li>GET /api/cache/stats — result-cache hit/miss/eviction counters</li>\n\
         <li>GET /api/tasks/{id} — poll status</li>\n\
         <li>GET /api/tasks/{id}/result — fetch result</li>\n\
@@ -81,10 +81,75 @@ fn list_datasets(engine: &Arc<Scheduler>) -> Response {
     }
 }
 
-fn get_dataset(id: &str) -> Response {
-    match reldata::registry::spec(id) {
-        Some(s) => Response::json(StatusCode::Ok, &s),
-        None => Response::error(StatusCode::NotFound, format!("unknown dataset {id:?}")),
+/// One catalog entry, enriched with the loaded graph's footprint
+/// diagnostics (node/edge counts, adjacency bytes, mean edge span) so
+/// reordering and memory work is observable over the API.
+fn get_dataset(id: &str, engine: &Arc<Scheduler>) -> Response {
+    #[derive(Serialize)]
+    struct DatasetDetail {
+        id: String,
+        name: String,
+        kind: reldata::DatasetKind,
+        description: String,
+        approx_nodes: u32,
+        reorder: Option<relgraph::NodeOrdering>,
+        nodes: usize,
+        edges: usize,
+        /// Bytes used by the CSR adjacency structure.
+        memory_bytes: usize,
+        /// Mean |u − v| over edges — the locality figure reordering
+        /// shrinks.
+        mean_edge_span: f64,
+    }
+    let Some(s) = reldata::registry::spec(id) else {
+        return Response::error(StatusCode::NotFound, format!("unknown dataset {id:?}"));
+    };
+    // Registry datasets are deterministic, so the footprint figures are
+    // computed once per process and memoized. Reuse an already-loaded
+    // graph when the executor has one, but never *pin* one for a metadata
+    // read: a client sweeping the catalog would otherwise force-load and
+    // permanently cache all 50 datasets. Uncached entries are measured
+    // from a temporary load that is dropped after measuring.
+    type Footprint = (usize, usize, usize, f64);
+    static FOOTPRINTS: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::HashMap<String, Footprint>>,
+    > = std::sync::OnceLock::new();
+    let footprints = FOOTPRINTS.get_or_init(Default::default);
+    let cached = footprints.lock().unwrap_or_else(|e| e.into_inner()).get(id).copied();
+    let footprint = match cached {
+        Some(f) => Ok(f),
+        None => {
+            let loaded = match engine.executor().dataset_if_cached(id) {
+                Some(g) => Some(g),
+                None => reldata::load_dataset(id).map(Arc::new),
+            };
+            match loaded {
+                Some(g) => {
+                    let f = (g.node_count(), g.edge_count(), g.memory_bytes(), g.mean_edge_span());
+                    footprints.lock().unwrap_or_else(|e| e.into_inner()).insert(id.to_string(), f);
+                    Ok(f)
+                }
+                None => Err(format!("dataset {id:?} failed to load")),
+            }
+        }
+    };
+    match footprint {
+        Ok((nodes, edges, memory_bytes, mean_edge_span)) => Response::json(
+            StatusCode::Ok,
+            &DatasetDetail {
+                id: s.id,
+                name: s.name,
+                kind: s.kind,
+                description: s.description,
+                approx_nodes: s.approx_nodes,
+                reorder: s.reorder,
+                nodes,
+                edges,
+                memory_bytes,
+                mean_edge_span,
+            },
+        ),
+        Err(e) => Response::error(StatusCode::InternalError, e),
     }
 }
 
@@ -152,15 +217,50 @@ struct Submitted {
     task_id: String,
 }
 
+/// The value of query parameter `name`, if present (`?a=1&b=2` form;
+/// values are not percent-decoded — the parameters we read are numeric).
+fn query_param<'a>(req: &'a Request, name: &str) -> Option<&'a str> {
+    req.query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then_some(v)
+    })
+}
+
+/// Parses the `?top_k=` query parameter shared by `POST /api/tasks` and
+/// `POST /api/batch`: `Ok(Some(k))` enables top-k-only serving mode with
+/// `k` entries, `Ok(None)` means the parameter is absent.
+fn top_k_param(req: &Request) -> Result<Option<usize>, Response> {
+    match query_param(req, "top_k") {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) => Ok(Some(k)),
+            Err(_) => Err(Response::error(
+                StatusCode::BadRequest,
+                format!("bad top_k query parameter {raw:?} (expected a non-negative integer)"),
+            )),
+        },
+    }
+}
+
 fn submit_task(req: &Request, engine: &Arc<Scheduler>) -> Response {
     let body = match req.body_str() {
         Ok(b) => b,
         Err(e) => return Response::error(StatusCode::BadRequest, e),
     };
-    let spec: TaskSpec = match serde_json::from_str(body) {
+    let mut spec: TaskSpec = match serde_json::from_str(body) {
         Ok(s) => s,
         Err(e) => return Response::error(StatusCode::BadRequest, format!("bad task spec: {e}")),
     };
+    // `?top_k=k` switches the task into top-k-only serving mode (pruned /
+    // certified-push result paths) and trims the stored result to k.
+    match top_k_param(req) {
+        Ok(Some(k)) => {
+            spec.top_k = k;
+            spec.params.top_k = Some(k);
+        }
+        Ok(None) => {}
+        Err(resp) => return resp,
+    }
     // Personalization requirements come from the algorithm's registry
     // entry, not from enum-matching in this crate.
     let personalized = relcore::AlgorithmRegistry::global()
@@ -187,10 +287,18 @@ fn submit_batch(req: &Request, engine: &Arc<Scheduler>) -> Response {
         Ok(b) => b,
         Err(e) => return Response::error(StatusCode::BadRequest, e),
     };
-    let spec: BatchSpec = match serde_json::from_str(body) {
+    let mut spec: BatchSpec = match serde_json::from_str(body) {
         Ok(s) => s,
         Err(e) => return Response::error(StatusCode::BadRequest, format!("bad batch spec: {e}")),
     };
+    match top_k_param(req) {
+        Ok(Some(k)) => {
+            spec.top_k = k;
+            spec.params.top_k = Some(k);
+        }
+        Ok(None) => {}
+        Err(resp) => return resp,
+    }
     if spec.sources.is_empty() {
         return Response::error(StatusCode::BadRequest, "batch has no sources");
     }
@@ -366,8 +474,54 @@ mod tests {
     #[test]
     fn dataset_lookup() {
         let e = engine();
-        assert_eq!(route(&get("/api/datasets/wiki-en-2018"), &e).status, StatusCode::Ok);
+        let r = route(&get("/api/datasets/fixture-fakenews-pl"), &e);
+        assert_eq!(r.status, StatusCode::Ok);
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(v["id"], "fixture-fakenews-pl");
+        assert!(v["memory_bytes"].as_u64().unwrap() > 0, "{v}");
+        assert!(v["nodes"].as_u64().unwrap() > 0);
+        assert!(v["edges"].as_u64().unwrap() > 0);
+        assert!(v["mean_edge_span"].as_f64().unwrap() > 0.0);
+        assert!(v["reorder"].is_null(), "fixtures keep generation order");
         assert_eq!(route(&get("/api/datasets/nope"), &e).status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn top_k_query_param_switches_serving_mode() {
+        let e = engine();
+        let spec = r#"{
+            "dataset": "fixture-enwiki-2018",
+            "params": {"algorithm": "personalized_page_rank"},
+            "source": "Freddie Mercury",
+            "top_k": 100
+        }"#;
+        let req = Request {
+            method: Method::Post,
+            path: "/api/tasks".into(),
+            query: "top_k=4".into(),
+            headers: HashMap::new(),
+            body: spec.as_bytes().to_vec(),
+        };
+        let r = route(&req, &e);
+        assert_eq!(r.status, StatusCode::Accepted, "{}", body_str(&r));
+        let id = serde_json::from_slice::<serde_json::Value>(&r.body).unwrap()["task_id"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        e.wait(&TaskId(id.clone()), std::time::Duration::from_secs(60)).unwrap();
+        let result = route(&get(&format!("/api/tasks/{id}/result")), &e);
+        let v: serde_json::Value = serde_json::from_slice(&result.body).unwrap();
+        assert_eq!(v["top"].as_array().unwrap().len(), 4, "?top_k=4 trims the result");
+
+        // Malformed top_k is rejected up front.
+        let bad = Request {
+            method: Method::Post,
+            path: "/api/tasks".into(),
+            query: "top_k=lots".into(),
+            headers: HashMap::new(),
+            body: spec.as_bytes().to_vec(),
+        };
+        assert_eq!(route(&bad, &e).status, StatusCode::BadRequest);
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl RelevanceAlgorithm for DegreeRank {
             algorithm: self.id().to_string(),
             ranking: scores.ranking(),
             scores: Some(scores),
+            top: None,
             convergence: None,
             trace: None,
             cycles_found: None,
