@@ -1,0 +1,164 @@
+//! `dynamic_update`: edge event → refreshed top-k latency, vs a cold
+//! full re-solve.
+//!
+//! The dynamic-graph acceptance scenario on the classic
+//! `fixture-enwiki-2018` fixture: a PPR query for one seed is already
+//! solved; then a single edge lands. Three ways to produce the
+//! post-mutation top-10:
+//!
+//! * **cold** — forget everything, run the exact kernel from the teleport
+//!   vector on the mutated graph (what the engine does for a
+//!   cache-missing query after invalidation);
+//! * **warm** — seed the kernel's iterate from the pre-mutation fixed
+//!   point ([`relcore::SweepKernel::solve_warm`]): the sweep count scales
+//!   with how far the fixed point actually moved;
+//! * **incremental** — residual-push refresh ([`relcore::refresh_ppr`]):
+//!   compute the signed correction residual of the changed transition
+//!   column in `O(deg)` and drain it locally.
+//!
+//! Two event positions are measured, because they are different physics:
+//! an edge **near** the seed (source holds real probability mass — the
+//! worst case: the fixed point genuinely moves) and an edge **far** from
+//! it (source holds ~no mass — the common case in a real edge stream,
+//! where almost every event is irrelevant to any given personalization).
+//! All strategies must agree on the refreshed top-10 set (asserted).
+//! Results land in `BENCH_dynamic_update.json`; CI's bench-guard compares
+//! them against the committed baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relbench::record::{measure, BenchReport};
+use relcore::ppr::TeleportVector;
+use relcore::push::PushConfig;
+use relcore::result::top_k_pairs;
+use relcore::solver::{SolverConfig, SweepKernel};
+use relcore::topk::refresh_ppr;
+use relgraph::{DirectedGraph, DynamicGraph, NodeId};
+use std::hint::black_box;
+
+const K: usize = 10;
+const SEED: &str = "Brian May";
+/// Event adjacent to the seed's neighbourhood (its source carries real
+/// PPR mass: the fixed point moves — warm starting's worst case).
+const NEAR_EDGE: (&str, &str) = ("Brian May", "Pasta");
+/// Event in a different neighbourhood (its source carries ~no mass under
+/// this seed: the typical edge-stream case).
+const FAR_EDGE: (&str, &str) = ("Pasta", "Queen (band)");
+
+struct Measured {
+    cold_ns: f64,
+    warm_ns: f64,
+    incr_ns: f64,
+}
+
+fn measure_event(
+    c: &mut Criterion,
+    base: &DirectedGraph,
+    seed: NodeId,
+    edge: (&str, &str),
+    tag: &str,
+) -> Measured {
+    let (src, dst) = (base.node_by_label(edge.0).unwrap(), base.node_by_label(edge.1).unwrap());
+    assert!(!base.has_edge(src, dst), "{tag}: event edge must be new");
+
+    // Pre-mutation fixed point (what a serving layer already holds).
+    let cfg = SolverConfig::default();
+    let teleport = TeleportVector::single(base.node_count(), seed).unwrap();
+    let prev = SweepKernel::new(base.view()).unwrap().solve(&cfg, &teleport).unwrap().scores;
+
+    // The edge event.
+    let mut dynamic = DynamicGraph::new(base.clone());
+    let event = dynamic.insert_edge(src, dst, 1.0).unwrap().expect("edge is new");
+    let mutated = dynamic.snapshot();
+    let kernel = SweepKernel::new(mutated.view()).unwrap();
+    let push_cfg = PushConfig { damping: 0.85, epsilon: 1e-9, max_pushes: usize::MAX };
+
+    let cold = || {
+        let out = kernel.solve(black_box(&cfg), black_box(&teleport)).unwrap();
+        top_k_pairs(out.scores.as_slice(), K)
+    };
+    let warm = || {
+        let out = kernel
+            .solve_warm(black_box(&cfg), black_box(&teleport), black_box(prev.as_slice()))
+            .unwrap();
+        top_k_pairs(out.scores.as_slice(), K)
+    };
+    let incremental = || {
+        let refreshed = refresh_ppr(
+            mutated.view(),
+            black_box(&push_cfg),
+            seed,
+            black_box(prev.as_slice()),
+            &event,
+        )
+        .unwrap();
+        top_k_pairs(refreshed.scores.as_slice(), K)
+    };
+
+    // All three refresh strategies must serve the same post-mutation set.
+    let want: Vec<NodeId> = cold().into_iter().map(|(n, _)| n).collect();
+    for (name, got) in [("warm", warm()), ("incremental", incremental())] {
+        let got: Vec<NodeId> = got.into_iter().map(|(n, _)| n).collect();
+        let (mut a, mut b) = (want.clone(), got);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "{tag}/{name} disagrees with the cold solve's top-{K}");
+    }
+
+    let mut group = c.benchmark_group(format!("dynamic_update/{tag}"));
+    group.sample_size(10);
+    group.bench_function("cold_full_solve", |b| b.iter(cold));
+    group.bench_function("warm_start", |b| b.iter(warm));
+    group.bench_function("incremental_push", |b| b.iter(incremental));
+    group.finish();
+
+    Measured {
+        cold_ns: measure(7, cold),
+        warm_ns: measure(7, warm),
+        incr_ns: measure(7, incremental),
+    }
+}
+
+fn bench_dynamic_update(c: &mut Criterion) {
+    let base = reldata::load_dataset("fixture-enwiki-2018").expect("classic fixture");
+    let seed = base.node_by_label(SEED).expect("seed exists");
+
+    let near = measure_event(c, &base, seed, NEAR_EDGE, "near_seed");
+    let far = measure_event(c, &base, seed, FAR_EDGE, "far_event");
+
+    let near_incr = near.cold_ns / near.incr_ns;
+    let far_incr = far.cold_ns / far.incr_ns;
+    let far_warm = far.cold_ns / far.warm_ns;
+    println!(
+        "dynamic_update near-seed: cold {:.1}µs, warm {:.1}µs, incremental {:.1}µs \
+         ({near_incr:.1}x); far-event: cold {:.1}µs, warm {:.1}µs ({far_warm:.1}x), \
+         incremental {:.1}µs ({far_incr:.1}x)",
+        near.cold_ns / 1e3,
+        near.warm_ns / 1e3,
+        near.incr_ns / 1e3,
+        far.cold_ns / 1e3,
+        far.warm_ns / 1e3,
+        far.incr_ns / 1e3,
+    );
+    if near_incr < 1.0 || far_incr < 1.0 {
+        eprintln!("dynamic_update: WARNING — incremental refresh did not beat the cold solve");
+    }
+
+    let mut report = BenchReport::new("dynamic_update", "fixture-enwiki-2018")
+        .param("k", K)
+        .param("seed", SEED)
+        .param("near_event", format!("{}->{}", NEAR_EDGE.0, NEAR_EDGE.1))
+        .param("far_event", format!("{}->{}", FAR_EDGE.0, FAR_EDGE.1))
+        .param("near_incremental_speedup", format!("{near_incr:.2}"))
+        .param("far_incremental_speedup", format!("{far_incr:.2}"))
+        .param("far_warm_speedup", format!("{far_warm:.2}"));
+    report.case("near_seed/cold_full_solve", near.cold_ns);
+    report.case("near_seed/warm_start", near.warm_ns);
+    report.case("near_seed/incremental_push", near.incr_ns);
+    report.case("far_event/cold_full_solve", far.cold_ns);
+    report.case("far_event/warm_start", far.warm_ns);
+    report.case("far_event/incremental_push", far.incr_ns);
+    report.write();
+}
+
+criterion_group!(benches, bench_dynamic_update);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ fn bench_reorder_locality(c: &mut Criterion) {
 
     let mut speedup_inputs = Vec::new();
     for ordering in NodeOrdering::ALL {
-        let (rg, _inv) = big.reordered_by(ordering);
+        let (rg, _inv) = big.reordered_by(ordering).unwrap();
         group.bench_with_input(BenchmarkId::new("pa-150k", ordering), &rg, |b, rg| {
             b.iter(|| black_box(run_sweeps(rg)))
         });

@@ -1,0 +1,148 @@
+//! `bench_guard`: fail CI when a bench median regresses past a threshold.
+//!
+//! ```text
+//! bench_guard <baseline_dir> [current_dir] [--threshold <factor>]
+//! ```
+//!
+//! Compares every `BENCH_<name>.json` in `baseline_dir` (the committed
+//! medians, snapshotted before the bench run) against the freshly written
+//! file of the same name in `current_dir` (default `.`). A case whose
+//! current median exceeds `baseline × threshold` (default 1.25, i.e. a
+//! regression past 25 %) fails the run with exit code 1. Missing files
+//! or cases — renamed benches, new benches — are reported but never
+//! fail: the guard polices *regressions*, not coverage.
+//!
+//! Absolute wall-clock medians compared across machines are inherently
+//! noisy (committed baselines come from whatever host last regenerated
+//! them); if a shared CI runner proves too jittery for the micro-scale
+//! cases, widen `--threshold` in the workflow rather than deleting the
+//! gate.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default regression threshold: current > baseline × 1.25 fails.
+const DEFAULT_THRESHOLD: f64 = 1.25;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("bench_guard: --threshold needs a numeric factor");
+                    return ExitCode::FAILURE;
+                };
+                threshold = v;
+                i += 2;
+            }
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(baseline_dir) = positional.first().map(PathBuf::from) else {
+        eprintln!("usage: bench_guard <baseline_dir> [current_dir] [--threshold <factor>]");
+        return ExitCode::FAILURE;
+    };
+    let current_dir = positional.get(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+
+    let baselines = match bench_files(&baseline_dir) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("bench_guard: cannot list {}: {e}", baseline_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if baselines.is_empty() {
+        eprintln!("bench_guard: no BENCH_*.json baselines in {}", baseline_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for name in baselines {
+        let base = match load_cases(&baseline_dir.join(&name)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bench_guard: skipping {name}: bad baseline ({e})");
+                continue;
+            }
+        };
+        let current_path = current_dir.join(&name);
+        let current = match load_cases(&current_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bench_guard: {name}: no comparable current run ({e}) — skipped");
+                continue;
+            }
+        };
+        for (case, base_ns) in &base {
+            let Some(&current_ns) = current.iter().find(|(c, _)| c == case).map(|(_, ns)| ns)
+            else {
+                eprintln!("bench_guard: {name}: case {case:?} gone from current run — skipped");
+                continue;
+            };
+            compared += 1;
+            let ratio = current_ns / base_ns;
+            let verdict = if ratio > threshold {
+                regressions += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "{name} :: {case}: baseline {:.0}ns, current {:.0}ns ({ratio:.2}x) {verdict}",
+                base_ns, current_ns
+            );
+        }
+    }
+
+    println!(
+        "bench_guard: {compared} case(s) compared, {regressions} regression(s) \
+         past the {threshold:.2}x threshold"
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `BENCH_*.json` file names in `dir`, sorted.
+fn bench_files(dir: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(name.to_string());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Parses one report's `(case, median_ns)` pairs.
+fn load_cases(path: &Path) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = serde_json::parse_value(&text).map_err(|e| format!("{e:?}"))?;
+    let results = value["results"].as_array().ok_or("missing results array")?;
+    let mut out = Vec::with_capacity(results.len());
+    for entry in results {
+        let case = entry["case"].as_str().ok_or("case is not a string")?.to_string();
+        let median = entry["median_ns"].as_f64().ok_or("median_ns is not a number")?;
+        if median <= 0.0 {
+            return Err(format!("case {case:?} has non-positive median"));
+        }
+        out.push((case, median));
+    }
+    if out.is_empty() {
+        return Err("report has no cases".into());
+    }
+    Ok(out)
+}

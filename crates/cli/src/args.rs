@@ -96,6 +96,28 @@ pub struct CompareDatasetsSpec {
     pub top: usize,
 }
 
+/// Parameters of `mutate` (dynamic edge updates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutateSpec {
+    /// Dataset id.
+    pub dataset: String,
+    /// Edges to insert/update: `SRC->DST` or `SRC->DST:WEIGHT`,
+    /// comma-separated (labels containing commas are unsupported here,
+    /// as in `batch --seeds`).
+    pub add: Vec<String>,
+    /// Edges to remove: `SRC->DST`, comma-separated.
+    pub remove: Vec<String>,
+    /// Optional algorithm to run before and after the mutation (shows the
+    /// ranking impact of the edit).
+    pub algorithm: Option<String>,
+    /// Source label for the optional before/after query.
+    pub source: Option<String>,
+    /// Top-k rows of the before/after query.
+    pub top: usize,
+    /// Emit JSON instead of a table.
+    pub json: bool,
+}
+
 /// All subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -115,6 +137,8 @@ pub enum Command {
     Run(RunSpec),
     /// `batch`.
     Batch(BatchSpecArgs),
+    /// `mutate`.
+    Mutate(MutateSpec),
     /// `compare`.
     Compare(CompareSpec),
     /// `compare-datasets`.
@@ -263,6 +287,33 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             flags.finish()?;
             Command::Batch(spec)
         }
+        "mutate" => {
+            let split = |v: String| -> Vec<String> {
+                v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect()
+            };
+            let spec = MutateSpec {
+                dataset: flags.require("dataset")?,
+                add: flags.take("add").map(split).unwrap_or_default(),
+                remove: flags.take("remove").map(split).unwrap_or_default(),
+                algorithm: flags.take("algorithm"),
+                source: flags.take("source"),
+                top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
+                json: flags.has_switch("json"),
+            };
+            if spec.add.is_empty() && spec.remove.is_empty() {
+                return Err("mutate needs --add and/or --remove (e.g. --add \"A->B,B->C\")".into());
+            }
+            // A source without an algorithm would be silently ignored —
+            // reject instead so a forgotten --algorithm doesn't skip the
+            // requested before/after ranking.
+            if spec.algorithm.is_none() && spec.source.is_some() {
+                return Err(
+                    "mutate --source needs --algorithm (the before/after query to run)".into()
+                );
+            }
+            flags.finish()?;
+            Command::Mutate(spec)
+        }
         "compare" => {
             let spec = CompareSpec {
                 dataset: flags.require("dataset")?,
@@ -319,7 +370,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
 /// Usage text.
 pub fn usage() -> String {
     "usage: relrank <command> [flags]\n\
-     commands: list-datasets, algorithms, stats, run, batch, compare, compare-datasets, convert, visualize, serve\n\
+     commands: list-datasets, algorithms, stats, run, batch, mutate, compare, compare-datasets, convert, visualize, serve\n\
      see crate docs for per-command flags"
         .to_string()
 }
@@ -450,6 +501,35 @@ mod tests {
         }
         // Seeds are required.
         assert!(parse("batch --dataset d").is_err());
+    }
+
+    #[test]
+    fn mutate_parses_edge_lists() {
+        let cli = parse(
+            "mutate --dataset d --add A->B,B->C:2.5 --remove C->A --algorithm ppr --source A",
+        )
+        .unwrap();
+        match cli.command {
+            Command::Mutate(m) => {
+                assert_eq!(m.dataset, "d");
+                assert_eq!(m.add, vec!["A->B", "B->C:2.5"]);
+                assert_eq!(m.remove, vec!["C->A"]);
+                assert_eq!(m.algorithm.as_deref(), Some("ppr"));
+                assert_eq!(m.source.as_deref(), Some("A"));
+                assert_eq!(m.top, 5);
+                assert!(!m.json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Add-only and remove-only both parse; neither is an error.
+        assert!(parse("mutate --dataset d --add A->B").is_ok());
+        assert!(parse("mutate --dataset d --remove A->B --json").is_ok());
+        // No edges at all is rejected.
+        assert!(parse("mutate --dataset d").is_err());
+        assert!(parse("mutate --add A->B").is_err(), "dataset required");
+        // A source without an algorithm would silently skip the requested
+        // before/after ranking: rejected.
+        assert!(parse("mutate --dataset d --add A->B --source A").is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! binary prints it), which keeps everything unit-testable without
 //! capturing stdout.
 
-use crate::args::{BatchSpecArgs, CompareDatasetsSpec, CompareSpec, RunSpec};
+use crate::args::{BatchSpecArgs, CompareDatasetsSpec, CompareSpec, MutateSpec, RunSpec};
 use relcore::{AlgorithmRegistry, Query};
 use relengine::prelude::*;
 use std::sync::Arc;
@@ -326,6 +326,105 @@ pub fn batch(spec: BatchSpecArgs) -> Result<String, String> {
         out.push_str(&format!("\nseed {seed}\n"));
         for (rank, (label, score)) in batch.top_entries(i).iter().enumerate() {
             out.push_str(&format!("{:>3}  {:<40} {:.6}\n", rank + 1, label, score));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one `SRC->DST` / `SRC->DST:WEIGHT` edge spec. The weight suffix
+/// is recognized only when the text after the last `:` parses as a
+/// number, so labels containing colons still work un-weighted.
+fn parse_edge(text: &str, weighted: bool) -> Result<relengine::EdgeSpec, String> {
+    let (source, rest) = text
+        .split_once("->")
+        .ok_or_else(|| format!("bad edge {text:?} (expected SRC->DST or SRC->DST:WEIGHT)"))?;
+    let (target, weight) = match rest.rsplit_once(':') {
+        Some((t, w)) if weighted => match w.trim().parse::<f64>() {
+            Ok(w) => (t, Some(w)),
+            Err(_) => (rest, None),
+        },
+        _ => (rest, None),
+    };
+    let (source, target) = (source.trim(), target.trim());
+    if source.is_empty() || target.is_empty() {
+        return Err(format!("bad edge {text:?}: empty endpoint"));
+    }
+    Ok(relengine::EdgeSpec { source: source.to_string(), target: target.to_string(), weight })
+}
+
+/// `mutate`: apply dynamic edge updates to a dataset, optionally running
+/// one query before and after to show the ranking impact. Mutations go
+/// through the engine executor, so they exercise exactly the versioning
+/// and cache-invalidation path the server uses.
+pub fn mutate(spec: MutateSpec) -> Result<String, String> {
+    let mut ops = Vec::new();
+    for e in &spec.add {
+        ops.push(relengine::EdgeOp::Add(parse_edge(e, true)?));
+    }
+    for e in &spec.remove {
+        ops.push(relengine::EdgeOp::Remove(parse_edge(e, false)?));
+    }
+
+    let ex = Executor::new();
+    let task = match (&spec.algorithm, &spec.source) {
+        (Some(algo), source) => {
+            let algo: Algorithm = algo.parse()?;
+            let mut b = TaskBuilder::new(spec.dataset.as_str()).algorithm(algo).top_k(spec.top);
+            if let Some(s) = source {
+                b = b.source(s.as_str());
+            }
+            Some(b.build().map_err(|e| e.to_string())?)
+        }
+        (None, _) => None,
+    };
+    let before = match &task {
+        Some(t) => Some(ex.execute(&TaskId::fresh(), t).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let outcome = ex.mutate_dataset(&spec.dataset, &ops).map_err(|e| e.to_string())?;
+    let after = match &task {
+        Some(t) => Some(ex.execute(&TaskId::fresh(), t).map_err(|e| e.to_string())?),
+        None => None,
+    };
+
+    if spec.json {
+        let mut v = serde_json::json!({
+            "dataset": outcome.dataset,
+            "version": outcome.version,
+            "applied": outcome.applied,
+            "nodes": outcome.nodes,
+            "edges": outcome.edges,
+        });
+        if let (Some(b), Some(a)) = (&before, &after) {
+            if let serde_json::Value::Object(map) = &mut v {
+                map.insert("top_before".into(), serde_json::to_value(&b.top));
+                map.insert("top_after".into(), serde_json::to_value(&a.top));
+            }
+        }
+        return serde_json::to_string_pretty(&v).map_err(|e| e.to_string());
+    }
+
+    let mut out = format!(
+        "dataset {}\napplied {} of {} operation(s); graph version {} \
+         ({} nodes, {} edges)\nresult caches for this dataset are invalidated; \
+         identical queries will recompute\n",
+        outcome.dataset,
+        outcome.applied,
+        ops.len(),
+        outcome.version,
+        outcome.nodes,
+        outcome.edges,
+    );
+    if let (Some(b), Some(a)) = (&before, &after) {
+        out.push_str(&format!("\n{} [{}] — before | after\n", a.algorithm, a.parameters));
+        for rank in 0..spec.top {
+            let cell = |r: &TaskResult| {
+                r.top
+                    .get(rank)
+                    .map(|(l, s)| format!("{l} ({s:.6})"))
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            out.push_str(&format!("{:>3}  {:<40} {}\n", rank + 1, cell(b), cell(a)));
         }
     }
     Ok(out)
@@ -773,6 +872,80 @@ mod tests {
         assert!(err.contains("global"), "{err}");
         // Unknown seed.
         assert!(batch(BatchSpecArgs { seeds: "No Such Page".into(), ..base }).is_err());
+    }
+
+    #[test]
+    fn parse_edge_specs() {
+        let e = parse_edge("A->B", true).unwrap();
+        assert_eq!((e.source.as_str(), e.target.as_str(), e.weight), ("A", "B", None));
+        let e = parse_edge("A->B:2.5", true).unwrap();
+        assert_eq!(e.weight, Some(2.5));
+        // Colons that are not weights stay part of the label.
+        let e = parse_edge("A->re:invent", true).unwrap();
+        assert_eq!(e.target, "re:invent");
+        assert_eq!(e.weight, None);
+        // Removals never parse weights.
+        let e = parse_edge("A->B:2.5", false).unwrap();
+        assert_eq!(e.target, "B:2.5");
+        assert!(parse_edge("no-arrow", true).is_err());
+        assert!(parse_edge("->B", true).is_err());
+    }
+
+    #[test]
+    fn mutate_applies_and_reports_json() {
+        // Bidirectional ring: unlabeled nodes, so numeric endpoints
+        // resolve by index. +1 edge, -1 edge => edge count unchanged.
+        let out = mutate(MutateSpec {
+            dataset: "synthetic-ring".into(),
+            add: vec!["5->500".into()],
+            remove: vec!["0->1".into()],
+            algorithm: None,
+            source: None,
+            top: 5,
+            json: true,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["applied"], 2u64);
+        assert_eq!(v["version"], 2u64);
+        assert_eq!(v["nodes"], 1000u64);
+        assert_eq!(v["edges"], 2000u64);
+        assert!(v["top_before"].is_null(), "no query requested");
+    }
+
+    #[test]
+    fn mutate_shows_before_and_after_ranking() {
+        let out = mutate(MutateSpec {
+            dataset: "fixture-fakenews-it".into(),
+            add: vec!["Fake news->Brand New Page".into()],
+            remove: vec![],
+            algorithm: Some("ppr".into()),
+            source: Some("Fake news".into()),
+            top: 3,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("graph version 2"), "{out}"); // node creation + insert
+        assert!(out.contains("before | after"), "{out}");
+        assert!(out.contains("invalidated"), "{out}");
+        assert!(out.contains("Fake news"), "{out}");
+    }
+
+    #[test]
+    fn mutate_rejections() {
+        let base = MutateSpec {
+            dataset: "fixture-fakenews-it".into(),
+            add: vec![],
+            remove: vec!["No Such Node->Fake news".into()],
+            algorithm: None,
+            source: None,
+            top: 5,
+            json: false,
+        };
+        let err = mutate(base.clone()).unwrap_err();
+        assert!(err.contains("No Such Node"), "{err}");
+        assert!(mutate(MutateSpec { dataset: "ghost".into(), ..base.clone() }).is_err());
+        assert!(mutate(MutateSpec { add: vec!["broken".into()], ..base }).is_err());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! relrank batch --dataset <id> --seeds <a,b,c | @file>
 //!               [--algorithm ppr] [--alpha <f>] [--scheme <s>]
 //!               [--threads <n>] [--top <n>] [--json]
+//! relrank mutate --dataset <id> [--add "A->B,B->C:2.5"] [--remove "C->A"]
+//!                [--algorithm ppr --source <label> --top <n>] [--json]
 //! relrank compare --dataset <id> --source <label>
 //!                 [--algorithms pagerank,cyclerank,ppr] [--top <n>]
 //! relrank compare-datasets --datasets <id,id,...> --source <label>
@@ -35,6 +37,7 @@ pub fn run(cli: Cli) -> Result<String, String> {
         Command::Stats { dataset } => commands::stats(&dataset),
         Command::Run(spec) => commands::run_task(spec),
         Command::Batch(spec) => commands::batch(spec),
+        Command::Mutate(spec) => commands::mutate(spec),
         Command::Compare(c) => commands::compare(c),
         Command::CompareDatasets(c) => commands::compare_datasets(c),
         Command::Convert { input, output, format } => {

@@ -77,6 +77,26 @@ pub trait RelevanceAlgorithm: Send + Sync {
         reference: Option<NodeId>,
     ) -> Result<RelevanceOutput, AlgoError>;
 
+    /// Runs the algorithm **warm-started** from a previous score vector
+    /// (`prev`, one entry per node of a *prior* solve of a similar query —
+    /// typically the same query before a graph mutation).
+    ///
+    /// The default implementation ignores `prev` and runs cold, which is
+    /// always correct: warm starting is an execution strategy, never a
+    /// semantic change. The stationary-distribution algorithms override it
+    /// to seed the sweep kernel's iterate
+    /// ([`crate::solver::SweepKernel::solve_warm`]), collapsing the sweep
+    /// count when the fixed point moved only a little.
+    fn execute_warm(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        reference: Option<NodeId>,
+        _prev: &[f64],
+    ) -> Result<RelevanceOutput, AlgoError> {
+        self.execute(graph, params, reference)
+    }
+
     /// Runs the algorithm for many reference nodes on one graph, returning
     /// one output per reference in input order.
     ///

@@ -136,6 +136,35 @@ fn execute_stationary(
     Ok(scored_top_k(id, out.top, Some(out.convergence), out.trace))
 }
 
+/// The warm-started stationary execution: seeds the kernel iterate from
+/// `prev` (a prior solution of a similar query, e.g. the same query before
+/// a graph mutation). Only the exact kernel schemes have an iterate to
+/// seed — approximate local solvers (push, Monte Carlo) ignore the warm
+/// start and run their normal path, which is always correct.
+fn execute_stationary_warm(
+    id: &str,
+    view: relgraph::GraphView<'_>,
+    params: &AlgorithmParams,
+    reference: Option<NodeId>,
+    prev: &[f64],
+) -> Result<RelevanceOutput, AlgoError> {
+    if params.solver.scheme().is_none() && reference.is_some() {
+        return execute_stationary(id, view, params, reference);
+    }
+    let teleport = TeleportVector::for_reference(view.node_count(), reference)?;
+    let kernel = SweepKernel::new(view)?;
+    match params.top_k {
+        Some(k) => {
+            let out = kernel.solve_top_k_warm(&params.solver_config(), &teleport, prev, k)?;
+            Ok(scored_top_k(id, out.top, Some(out.convergence), out.trace))
+        }
+        None => {
+            let out = kernel.solve_warm(&params.solver_config(), &teleport, prev)?;
+            Ok(scored(id, out.scores, Some(out.convergence), out.trace))
+        }
+    }
+}
+
 fn require_reference(reference: Option<NodeId>) -> Result<NodeId, AlgoError> {
     reference.ok_or(AlgoError::MissingReference)
 }
@@ -264,6 +293,16 @@ impl RelevanceAlgorithm for PageRankAlgorithm {
     ) -> Result<RelevanceOutput, AlgoError> {
         execute_stationary(self.id(), graph.view(), params, None)
     }
+
+    fn execute_warm(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        _reference: Option<NodeId>,
+        prev: &[f64],
+    ) -> Result<RelevanceOutput, AlgoError> {
+        execute_stationary_warm(self.id(), graph.view(), params, None, prev)
+    }
 }
 
 /// Personalized PageRank.
@@ -302,6 +341,17 @@ impl RelevanceAlgorithm for PersonalizedPageRankAlgorithm {
     ) -> Result<RelevanceOutput, AlgoError> {
         let r = require_reference(reference)?;
         execute_stationary(self.id(), graph.view(), params, Some(r))
+    }
+
+    fn execute_warm(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        reference: Option<NodeId>,
+        prev: &[f64],
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let r = require_reference(reference)?;
+        execute_stationary_warm(self.id(), graph.view(), params, Some(r), prev)
     }
 
     fn execute_batch(
@@ -348,6 +398,16 @@ impl RelevanceAlgorithm for CheiRankAlgorithm {
     ) -> Result<RelevanceOutput, AlgoError> {
         execute_stationary(self.id(), graph.transposed(), params, None)
     }
+
+    fn execute_warm(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        _reference: Option<NodeId>,
+        prev: &[f64],
+    ) -> Result<RelevanceOutput, AlgoError> {
+        execute_stationary_warm(self.id(), graph.transposed(), params, None, prev)
+    }
 }
 
 /// Personalized CheiRank.
@@ -386,6 +446,17 @@ impl RelevanceAlgorithm for PersonalizedCheiRankAlgorithm {
     ) -> Result<RelevanceOutput, AlgoError> {
         let r = require_reference(reference)?;
         execute_stationary(self.id(), graph.transposed(), params, Some(r))
+    }
+
+    fn execute_warm(
+        &self,
+        graph: &DirectedGraph,
+        params: &AlgorithmParams,
+        reference: Option<NodeId>,
+        prev: &[f64],
+    ) -> Result<RelevanceOutput, AlgoError> {
+        let r = require_reference(reference)?;
+        execute_stationary_warm(self.id(), graph.transposed(), params, Some(r), prev)
     }
 
     fn execute_batch(

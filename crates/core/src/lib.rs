@@ -129,4 +129,5 @@ pub use runner::run;
 pub use runner::{Algorithm, AlgorithmParams, RelevanceOutput, Solver};
 pub use scoring::ScoringFunction;
 pub use solver::{ConvergenceTrace, Scheme, SolverConfig, SweepKernel, SweepOutcome, TopKOutcome};
+pub use topk::{refresh_ppr, PprRefresh};
 pub use tworank::{personalized_two_d_rank, two_d_rank};

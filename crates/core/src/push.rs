@@ -83,7 +83,7 @@ pub fn ppr_push(
 }
 
 /// Like [`ppr_push`], but additionally returns the **residual mass**
-/// `R = Σ_u r[u]` left at termination. By the push invariant
+/// `R = Σ_u |r[u]|` left at termination. By the push invariant
 /// `ppr = p + Σ_u r[u]·ppr(e_u)` and `ppr_v(u) ∈ [0, 1]`, every exact
 /// score lies in `[p[u], p[u] + R]` — the certificate the adaptive top-k
 /// path ([`crate::topk`]) separates ranks with.
@@ -100,18 +100,81 @@ pub fn ppr_push_full(
     if seed.index() >= n {
         return Err(AlgoError::InvalidReference { node: seed.raw(), node_count: n });
     }
-
-    let alpha = cfg.damping;
-    let mut p = vec![0.0f64; n];
     let mut r = vec![0.0f64; n];
+    r[seed.index()] = 1.0;
+    Ok(push_core(view, cfg, seed, vec![0.0f64; n], r))
+}
+
+/// Forward push seeded from an existing estimate vector and a **signed**
+/// sparse residual — the engine of incremental PPR refresh under graph
+/// mutation ([`crate::topk::refresh_ppr`]).
+///
+/// `estimates` is a previous (near-)solution and `residuals` the signed
+/// correction `r = (α/(1−α))·(P_new − P_old)·estimates` capturing how the
+/// linear system moved under an edge event; the invariant
+/// `ppr = p + Σ_u r[u]·ppr(e_u)` holds for signed `r` by linearity, so
+/// pushing `|r|` below threshold leaves every estimate within
+/// `Σ_u |r[u]|` (L1) of the exact new solution. Entries of `residuals`
+/// must be in bounds; duplicates accumulate.
+pub fn ppr_push_seeded(
+    view: GraphView<'_>,
+    cfg: &PushConfig,
+    seed: NodeId,
+    estimates: Vec<f64>,
+    residuals: &[(NodeId, f64)],
+) -> Result<(ScoreVector, f64, PushStats), AlgoError> {
+    cfg.validate()?;
+    let n = view.node_count();
+    if n == 0 {
+        return Err(AlgoError::EmptyGraph);
+    }
+    if seed.index() >= n {
+        return Err(AlgoError::InvalidReference { node: seed.raw(), node_count: n });
+    }
+    if estimates.len() != n {
+        return Err(AlgoError::InvalidParameter {
+            name: "estimates",
+            message: format!("estimate vector has {} entries for {n} nodes", estimates.len()),
+        });
+    }
+    let mut r = vec![0.0f64; n];
+    for &(u, ru) in residuals {
+        if u.index() >= n {
+            return Err(AlgoError::InvalidReference { node: u.raw(), node_count: n });
+        }
+        r[u.index()] += ru;
+    }
+    Ok(push_core(view, cfg, seed, estimates, r))
+}
+
+/// The shared push loop over **signed** residuals: pushes while some node
+/// holds `|r[u]| > ε·deg(u)`. For the classic all-positive start
+/// ([`ppr_push_full`]) this is exactly Andersen–Chung–Lang forward push;
+/// signed residuals (incremental refresh) move estimate mass down as well
+/// as up, with the same invariant and the same `Σ|r|` error bound.
+fn push_core(
+    view: GraphView<'_>,
+    cfg: &PushConfig,
+    seed: NodeId,
+    mut p: Vec<f64>,
+    mut r: Vec<f64>,
+) -> (ScoreVector, f64, PushStats) {
+    let n = view.node_count();
+    let alpha = cfg.damping;
     let mut in_queue = vec![false; n];
     let mut touched = vec![false; n];
     let mut queue: VecDeque<NodeId> = VecDeque::new();
 
-    r[seed.index()] = 1.0;
-    in_queue[seed.index()] = true;
-    touched[seed.index()] = true;
-    queue.push_back(seed);
+    for (i, &ri) in r.iter().enumerate() {
+        if ri != 0.0 {
+            touched[i] = true;
+            let deg = view.out_degree(NodeId::from_usize(i)).max(1);
+            if ri.abs() > cfg.epsilon * deg as f64 {
+                in_queue[i] = true;
+                queue.push_back(NodeId::from_usize(i));
+            }
+        }
+    }
 
     let mut pushes = 0usize;
 
@@ -119,7 +182,7 @@ pub fn ppr_push_full(
         in_queue[u.index()] = false;
         let deg = view.out_degree(u).max(1);
         let ru = r[u.index()];
-        if ru <= cfg.epsilon * deg as f64 {
+        if ru.abs() <= cfg.epsilon * deg as f64 {
             continue;
         }
         if pushes >= cfg.max_pushes {
@@ -136,7 +199,7 @@ pub fn ppr_push_full(
             let si = seed.index();
             r[si] += alpha * ru;
             touched[si] = true;
-            if !in_queue[si] && r[si] > cfg.epsilon * view.out_degree(seed).max(1) as f64 {
+            if !in_queue[si] && r[si].abs() > cfg.epsilon * view.out_degree(seed).max(1) as f64 {
                 in_queue[si] = true;
                 queue.push_back(seed);
             }
@@ -150,7 +213,7 @@ pub fn ppr_push_full(
             let vi = v.index();
             r[vi] += share * w;
             touched[vi] = true;
-            if !in_queue[vi] && r[vi] > cfg.epsilon * view.out_degree(v).max(1) as f64 {
+            if !in_queue[vi] && r[vi].abs() > cfg.epsilon * view.out_degree(v).max(1) as f64 {
                 in_queue[vi] = true;
                 queue.push_back(v);
             }
@@ -158,8 +221,8 @@ pub fn ppr_push_full(
     }
 
     let touched_count = touched.iter().filter(|&&t| t).count();
-    let residual_mass: f64 = r.iter().sum();
-    Ok((ScoreVector::new(p), residual_mass, PushStats { pushes, touched: touched_count }))
+    let residual_mass: f64 = r.iter().map(|v| v.abs()).sum();
+    (ScoreVector::new(p), residual_mass, PushStats { pushes, touched: touched_count })
 }
 
 #[cfg(test)]

@@ -237,6 +237,7 @@ pub struct Query {
     reference: Option<ReferenceSpec>,
     seeds: Vec<ReferenceSpec>,
     top: usize,
+    warm_start: Option<Arc<ScoreVector>>,
 }
 
 impl Query {
@@ -249,6 +250,7 @@ impl Query {
             reference: None,
             seeds: Vec::new(),
             top: 100,
+            warm_start: None,
         }
     }
 
@@ -371,6 +373,24 @@ impl Query {
         self
     }
 
+    /// Seeds the solve from a previous score vector (**warm start**):
+    /// the iterative kernel starts at `prev` instead of the teleport
+    /// distribution, so when `prev` is the fixed point of a similar query
+    /// — the same query before a few edge mutations, a neighbouring seed —
+    /// convergence takes a fraction of the cold sweep count.
+    ///
+    /// Warm starting is an execution strategy, not a semantic change: the
+    /// solve converges to the same fixed point within the configured
+    /// tolerance regardless of `prev`. Algorithms without an iterate to
+    /// seed (CycleRank, 2DRank, the approximate push/Monte-Carlo solvers)
+    /// ignore it. The vector's length must match the graph's node count.
+    /// For **single-edge** mutations, the residual-push refresh
+    /// ([`crate::topk::refresh_ppr`]) is cheaper still.
+    pub fn warm_start(mut self, prev: impl Into<Arc<ScoreVector>>) -> Self {
+        self.warm_start = Some(prev.into());
+        self
+    }
+
     // ------------------------------------------------------------- access
 
     /// The target (dataset id or graph).
@@ -437,7 +457,10 @@ impl Query {
 
         algo.validate(&self.params)?;
         let started = Instant::now();
-        let output = algo.execute(&graph, &self.params, reference)?;
+        let output = match &self.warm_start {
+            Some(prev) => algo.execute_warm(&graph, &self.params, reference, prev.as_slice())?,
+            None => algo.execute(&graph, &self.params, reference)?,
+        };
         let runtime = started.elapsed();
 
         Ok(QueryResult {

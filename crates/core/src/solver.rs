@@ -342,9 +342,55 @@ impl<'a> SweepKernel<'a> {
         cfg: &SolverConfig,
         teleport: &TeleportVector,
     ) -> Result<SweepOutcome, AlgoError> {
-        let out = self.solve_buf(cfg, teleport)?;
+        let out = self.solve_buf(cfg, teleport, None)?;
         Ok(SweepOutcome {
             scores: ScoreVector::new(out.scores.detach()),
+            convergence: out.convergence,
+            trace: out.trace,
+        })
+    }
+
+    /// Like [`SweepKernel::solve`], but **warm-started**: the iterate is
+    /// seeded from `prev` instead of the teleport vector. When `prev` is a
+    /// (near-)fixed point of a *similar* problem — the same query before a
+    /// handful of edge mutations, or a neighbouring seed — convergence
+    /// takes a fraction of the cold sweep count, because the initial
+    /// residual is the distance between the two fixed points rather than
+    /// the distance from the teleport distribution.
+    ///
+    /// The warm path changes only the starting iterate: seeding with the
+    /// dense teleport vector reproduces the cold solve **bitwise**
+    /// (identical scores, iteration count, residuals — asserted by a
+    /// proptest), and any start converges to the same fixed point within
+    /// the configured tolerance.
+    pub fn solve_warm(
+        &self,
+        cfg: &SolverConfig,
+        teleport: &TeleportVector,
+        prev: &[f64],
+    ) -> Result<SweepOutcome, AlgoError> {
+        let out = self.solve_buf(cfg, teleport, Some(prev))?;
+        Ok(SweepOutcome {
+            scores: ScoreVector::new(out.scores.detach()),
+            convergence: out.convergence,
+            trace: out.trace,
+        })
+    }
+
+    /// The warm-started variant of [`SweepKernel::solve_top_k`]: seeds the
+    /// iterate from `prev` (see [`SweepKernel::solve_warm`]) and returns
+    /// only the top-`k` pairs, with the full vector living and dying in
+    /// the solver arena.
+    pub fn solve_top_k_warm(
+        &self,
+        cfg: &SolverConfig,
+        teleport: &TeleportVector,
+        prev: &[f64],
+        k: usize,
+    ) -> Result<TopKOutcome, AlgoError> {
+        let out = self.solve_buf(cfg, teleport, Some(prev))?;
+        Ok(TopKOutcome {
+            top: top_k_pairs(&out.scores, k),
             convergence: out.convergence,
             trace: out.trace,
         })
@@ -362,7 +408,7 @@ impl<'a> SweepKernel<'a> {
         teleport: &TeleportVector,
         k: usize,
     ) -> Result<TopKOutcome, AlgoError> {
-        let out = self.solve_buf(cfg, teleport)?;
+        let out = self.solve_buf(cfg, teleport, None)?;
         Ok(TopKOutcome {
             top: top_k_pairs(&out.scores, k),
             convergence: out.convergence,
@@ -374,6 +420,7 @@ impl<'a> SweepKernel<'a> {
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
+        warm: Option<&[f64]>,
     ) -> Result<SolvedBuf, AlgoError> {
         cfg.validate()?;
         let n = self.node_count();
@@ -383,10 +430,18 @@ impl<'a> SweepKernel<'a> {
                 message: format!("teleport vector has {} entries for {} nodes", teleport.len(), n),
             });
         }
+        if let Some(prev) = warm {
+            if prev.len() != n {
+                return Err(AlgoError::InvalidParameter {
+                    name: "warm_start",
+                    message: format!("warm-start vector has {} entries for {n} nodes", prev.len()),
+                });
+            }
+        }
         match cfg.scheme {
-            Scheme::Power => self.solve_power(cfg, teleport),
-            Scheme::GaussSeidel => self.solve_gauss_seidel(cfg, teleport),
-            Scheme::Parallel => self.solve_parallel(cfg, teleport),
+            Scheme::Power => self.solve_power(cfg, teleport, warm),
+            Scheme::GaussSeidel => self.solve_gauss_seidel(cfg, teleport, warm),
+            Scheme::Parallel => self.solve_parallel(cfg, teleport, warm),
         }
     }
 
@@ -420,12 +475,16 @@ impl<'a> SweepKernel<'a> {
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
+        warm: Option<&[f64]>,
     ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
         let alpha = cfg.damping;
         let arena = current_arena();
         let mut x = arena.take(n);
-        teleport.fill_dense(&mut x);
+        match warm {
+            Some(prev) => x.copy_from_slice(prev),
+            None => teleport.fill_dense(&mut x),
+        }
         let mut next = arena.take(n);
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
@@ -491,6 +550,7 @@ impl<'a> SweepKernel<'a> {
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
+        warm: Option<&[f64]>,
     ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
         let alpha = cfg.damping;
@@ -498,7 +558,7 @@ impl<'a> SweepKernel<'a> {
         let mut teleport_dense = arena.take(n);
         teleport.fill_dense(&mut teleport_dense);
         let mut x = arena.take(n);
-        x.copy_from_slice(&teleport_dense);
+        x.copy_from_slice(warm.unwrap_or(&teleport_dense));
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut trace = cfg.record_trace.then(ConvergenceTrace::default);
@@ -555,6 +615,7 @@ impl<'a> SweepKernel<'a> {
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
+        warm: Option<&[f64]>,
     ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
         let alpha = cfg.damping;
@@ -568,7 +629,7 @@ impl<'a> SweepKernel<'a> {
         let mut teleport_dense = arena.take(n);
         teleport.fill_dense(&mut teleport_dense);
         let mut x = arena.take(n);
-        x.copy_from_slice(&teleport_dense);
+        x.copy_from_slice(warm.unwrap_or(&teleport_dense));
         let mut next = arena.take(n);
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
@@ -1338,6 +1399,79 @@ mod tests {
                 assert_eq!(arena.allocations(), warmed + i);
             }
         });
+    }
+
+    #[test]
+    fn warm_start_from_dense_teleport_is_bitwise_cold() {
+        // Seeding the warm path with the dense teleport vector is the
+        // exact cold iteration: identical scores, iteration counts, and
+        // residual traces for every scheme.
+        let g = random_graph(150, 1100, 23);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let n = g.node_count();
+        for teleport in [
+            TeleportVector::uniform(n).unwrap(),
+            TeleportVector::single(n, NodeId::new(7)).unwrap(),
+        ] {
+            let dense = teleport.dense();
+            for scheme in Scheme::ALL {
+                let cfg = SolverConfig::default().with_scheme(scheme).with_trace();
+                let cold = kernel.solve(&cfg, &teleport).unwrap();
+                let warm = kernel.solve_warm(&cfg, &teleport, &dense).unwrap();
+                assert_eq!(cold.scores.as_slice(), warm.scores.as_slice(), "{scheme}");
+                assert_eq!(cold.convergence, warm.convergence, "{scheme}");
+                assert_eq!(cold.trace, warm.trace, "{scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_from_fixed_point_converges_in_fewer_sweeps() {
+        let g = random_graph(200, 1500, 41);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let teleport = TeleportVector::single(g.node_count(), NodeId::new(3)).unwrap();
+        for scheme in Scheme::ALL {
+            let cfg = SolverConfig::default().with_scheme(scheme);
+            let cold = kernel.solve(&cfg, &teleport).unwrap();
+            let warm = kernel.solve_warm(&cfg, &teleport, cold.scores.as_slice()).unwrap();
+            assert!(warm.convergence.converged, "{scheme}");
+            // The cold start is ‖t − x*‖ from the fixed point, the warm
+            // start ~tolerance from it: the sweep count collapses.
+            assert!(
+                warm.convergence.iterations * 3 <= cold.convergence.iterations,
+                "{scheme}: warm {} sweeps vs cold {}",
+                warm.convergence.iterations,
+                cold.convergence.iterations
+            );
+            for u in g.nodes() {
+                assert!(
+                    (warm.scores.get(u) - cold.scores.get(u)).abs() < 10.0 * cfg.tolerance,
+                    "{scheme} node {u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_top_k_matches_warm_full_solve() {
+        let g = random_graph(120, 900, 77);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let teleport = TeleportVector::single(g.node_count(), NodeId::new(5)).unwrap();
+        let cfg = SolverConfig::default();
+        let prev = kernel.solve(&cfg, &teleport).unwrap().scores;
+        let full = kernel.solve_warm(&cfg, &teleport, prev.as_slice()).unwrap();
+        let topk = kernel.solve_top_k_warm(&cfg, &teleport, prev.as_slice(), 6).unwrap();
+        assert_eq!(topk.top, full.scores.top_k(6));
+        assert_eq!(topk.convergence, full.convergence);
+    }
+
+    #[test]
+    fn warm_start_dimension_mismatch_rejected() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 0)]);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let teleport = TeleportVector::uniform(2).unwrap();
+        let bad = vec![0.5; 5];
+        assert!(kernel.solve_warm(&SolverConfig::default(), &teleport, &bad).is_err());
     }
 
     #[test]

@@ -257,6 +257,71 @@ proptest! {
         }
     }
 
+    /// Warm starting is bitwise-safe plumbing: seeding the kernel's warm
+    /// path with the **dense teleport vector** must reproduce the cold
+    /// solve bit for bit (identical scores and convergence) for every
+    /// scheme — the warm path changes only the starting iterate, never
+    /// the arithmetic. Seeding with the cold solve's own fixed point must
+    /// converge to the same scores within solver tolerance, on the
+    /// probability simplex, in no more sweeps than the cold run.
+    #[test]
+    fn warm_start_agrees_with_cold(
+        edges in weighted_edge_list(25, 120),
+        raw_seed in 0u32..25,
+        threads in 1usize..4,
+    ) {
+        let mut b = GraphBuilder::new();
+        b.ensure_node(24);
+        for (u, v, w) in edges {
+            if u != v {
+                b.add_weighted_edge(NodeId::new(u), NodeId::new(v), w);
+            }
+        }
+        let g = b.build();
+        let seed = NodeId::new(raw_seed % g.node_count() as u32);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let teleports = [
+            TeleportVector::uniform(g.node_count()).unwrap(),
+            TeleportVector::single(g.node_count(), seed).unwrap(),
+        ];
+        for teleport in teleports {
+            let dense = teleport.dense();
+            for scheme in Scheme::ALL {
+                let cfg = SolverConfig {
+                    tolerance: 1e-12,
+                    max_iterations: 3000,
+                    scheme,
+                    threads,
+                    ..Default::default()
+                };
+                let cold = kernel.solve(&cfg, &teleport).unwrap();
+                // Bitwise: warm from the cold start point IS the cold run.
+                let bitwise = kernel.solve_warm(&cfg, &teleport, &dense).unwrap();
+                prop_assert_eq!(bitwise.scores.as_slice(), cold.scores.as_slice(),
+                    "{} warm-from-teleport diverged", scheme);
+                prop_assert_eq!(bitwise.convergence, cold.convergence);
+                // Genuine warm start: same fixed point, on the simplex,
+                // no slower than cold (all schemes, incl. Gauss–Seidel's
+                // renormalized iterate).
+                let warm = kernel.solve_warm(&cfg, &teleport, cold.scores.as_slice()).unwrap();
+                prop_assert!(warm.convergence.converged, "{scheme}");
+                prop_assert!((warm.scores.sum() - 1.0).abs() < 1e-9,
+                    "{} warm scores off the simplex: {}", scheme, warm.scores.sum());
+                prop_assert!((cold.scores.sum() - 1.0).abs() < 1e-9,
+                    "{} cold scores off the simplex: {}", scheme, cold.scores.sum());
+                prop_assert!(warm.convergence.iterations <= cold.convergence.iterations,
+                    "{}: warm {} sweeps > cold {}", scheme,
+                    warm.convergence.iterations, cold.convergence.iterations);
+                for u in g.nodes() {
+                    prop_assert!(
+                        (warm.scores.get(u) - cold.scores.get(u)).abs() < 1e-10,
+                        "{} node {:?}", scheme, u
+                    );
+                }
+            }
+        }
+    }
+
     /// Ranking metrics: self-similarity axioms hold for arbitrary score
     /// vectors.
     #[test]
@@ -313,6 +378,9 @@ proptest! {
             let batch_scores = batch.outputs[i].scores.as_ref().unwrap().as_slice();
             prop_assert_eq!(single_scores, batch_scores,
                 "{} seed {:?}: batched scores diverge", algorithm, seed);
+            let sum: f64 = batch_scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-8,
+                "{} seed {:?}: batched scores off the simplex: {}", algorithm, seed, sum);
             let sc = single.output.convergence.unwrap();
             let bc = batch.outputs[i].convergence.unwrap();
             prop_assert_eq!(sc.iterations, bc.iterations);
@@ -406,7 +474,7 @@ proptest! {
         let seed = NodeId::new(raw_seed % g.node_count() as u32);
         let g = Arc::new(g);
         for ordering in [relgraph::NodeOrdering::DegreeDescending, relgraph::NodeOrdering::Bfs] {
-            let (rg, inverse) = g.reordered_by(ordering);
+            let (rg, inverse) = g.reordered_by(ordering).unwrap();
             let forward = inverse.inverse();
             let rg = Arc::new(rg);
             for algorithm in ["pagerank", "ppr", "cheirank"] {
@@ -484,4 +552,135 @@ proptest! {
             }
         }
     }
+}
+
+// ------------------------------------------------------------------
+// Top-k serving edge cases and warm-started queries (plain tests).
+
+/// `Query::top_k` degenerate shapes: k = 0 (empty result, nothing
+/// solved into the payload), k ≥ n (full ranking, certified push
+/// correctly declines), and an exactly-tied rank boundary (push cannot
+/// certify; the exact-kernel fallback still returns the true set).
+#[test]
+fn query_top_k_degenerate_and_tied_ranks() {
+    // Symmetric star: every leaf's PPR score ties exactly.
+    let mut b = GraphBuilder::new();
+    for i in 1..=6u32 {
+        b.add_edge_indices(0, i);
+        b.add_edge_indices(i, 0);
+    }
+    let g = Arc::new(b.build());
+    let n = g.node_count();
+
+    for algorithm in ["pagerank", "ppr"] {
+        let q = |k: usize| {
+            let mut q = Query::on(&g).algorithm(algorithm).top_k(k);
+            if algorithm == "ppr" {
+                q = q.reference(NodeId::new(0));
+            }
+            q.run().unwrap()
+        };
+        // k = 0: empty everything, still a well-formed result.
+        let empty = q(0);
+        assert_eq!(empty.output.top.as_deref(), Some(&[][..]), "{algorithm}");
+        assert!(empty.ranking().is_empty(), "{algorithm}");
+        assert!(empty.top_entries().is_empty(), "{algorithm}");
+        assert!(empty.scores().is_none(), "{algorithm}: top-k mode has no full vector");
+
+        // k >= n (also k far beyond n): the whole ranking comes back,
+        // exactly matching the full run.
+        for k in [n, n + 5, 10 * n] {
+            let all = q(k);
+            let full = {
+                let mut f = Query::on(&g).algorithm(algorithm).top(n);
+                if algorithm == "ppr" {
+                    f = f.reference(NodeId::new(0));
+                }
+                f.run().unwrap()
+            };
+            let got = all.output.top.as_ref().unwrap();
+            assert_eq!(got.len(), n, "{algorithm} k={k}");
+            assert_eq!(got.clone(), full.scores().unwrap().top_k(n), "{algorithm} k={k}");
+        }
+    }
+
+    // Tied boundary: k = 3 cuts through the six tied leaves. Certified
+    // push must decline and the kernel fallback must return the exact
+    // top-k (hub + lowest-id leaves, by the deterministic tie-break).
+    let tied = Query::on(&g).algorithm("ppr").reference(NodeId::new(0)).top_k(3).run().unwrap();
+    let full = Query::on(&g).algorithm("ppr").reference(NodeId::new(0)).top(n).run().unwrap();
+    assert_eq!(tied.output.top.as_ref().unwrap().clone(), full.scores().unwrap().top_k(3));
+}
+
+/// `Query::warm_start` end to end: warm-started queries converge to the
+/// cold query's scores (within solver tolerance) in fewer sweeps, across
+/// the stationary family; non-iterative algorithms simply ignore the
+/// warm vector.
+#[test]
+fn query_warm_start_matches_cold() {
+    let g = Arc::new(GraphBuilder::from_edge_indices([
+        (0, 1),
+        (1, 0),
+        (1, 2),
+        (2, 1),
+        (2, 3),
+        (3, 0),
+        (0, 4),
+        (4, 2),
+    ]));
+    for algorithm in ["pagerank", "ppr", "cheirank", "pcheirank"] {
+        let personalized = matches!(algorithm, "ppr" | "pcheirank");
+        let run = |warm: Option<relcore::ScoreVector>| {
+            let mut q = Query::on(&g).algorithm(algorithm).top(5);
+            if personalized {
+                q = q.reference(NodeId::new(0));
+            }
+            if let Some(prev) = warm {
+                q = q.warm_start(prev);
+            }
+            q.run().unwrap()
+        };
+        let cold = run(None);
+        let warm = run(Some(cold.scores().unwrap().clone()));
+        for u in g.nodes() {
+            let (a, b) = (cold.scores().unwrap().get(u), warm.scores().unwrap().get(u));
+            assert!((a - b).abs() < 1e-8, "{algorithm} node {u:?}: {a} vs {b}");
+        }
+        assert!(
+            warm.output.convergence.unwrap().iterations
+                <= cold.output.convergence.unwrap().iterations,
+            "{algorithm}: warm start must not be slower"
+        );
+    }
+    // Mismatched warm vectors are rejected, not silently truncated.
+    let bad = relcore::ScoreVector::new(vec![0.1; 3]);
+    assert!(Query::on(&g).algorithm("pagerank").warm_start(bad).run().is_err());
+    // CycleRank has no iterate to seed: the warm vector is ignored.
+    let prev = relcore::ScoreVector::new(vec![0.2; 5]);
+    let r = Query::on(&g)
+        .algorithm("cyclerank")
+        .reference(NodeId::new(0))
+        .warm_start(prev)
+        .run()
+        .unwrap();
+    assert!(r.output.cycles_found.unwrap() > 0);
+}
+
+/// Warm start composes with top-k serving mode: the warm top-k equals
+/// the cold full run's top-k.
+#[test]
+fn query_warm_start_top_k_serving() {
+    let g =
+        Arc::new(GraphBuilder::from_edge_indices([(0, 1), (1, 0), (1, 2), (2, 0), (3, 2), (0, 3)]));
+    let cold = Query::on(&g).algorithm("ppr").reference(NodeId::new(0)).top(4).run().unwrap();
+    let warm = Query::on(&g)
+        .algorithm("ppr")
+        .reference(NodeId::new(0))
+        .warm_start(cold.scores().unwrap().clone())
+        .top_k(2)
+        .run()
+        .unwrap();
+    let got: Vec<NodeId> = warm.output.top.as_ref().unwrap().iter().map(|&(n, _)| n).collect();
+    let want: Vec<NodeId> = cold.scores().unwrap().top_k(2).into_iter().map(|(n, _)| n).collect();
+    assert_eq!(got, want);
 }

@@ -262,7 +262,8 @@ pub fn apply_reorder(mut g: DirectedGraph, ordering: NodeOrdering) -> DirectedGr
             g.labels_mut().set(u, idx);
         }
     }
-    let (g, _inverse) = g.reordered_by(ordering);
+    let (g, _inverse) =
+        g.reordered_by(ordering).expect("registry datasets fit the u32 node-id space");
     g
 }
 

@@ -29,18 +29,28 @@ use std::collections::{HashMap, VecDeque};
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
 /// The canonical cache key of a task: every result-determining field of
-/// the spec, rendered in a fixed order. `threads` is omitted (results are
-/// thread-count invariant); `record_trace` and `top_k` are included
-/// because they change the payload shape, and the top-k-only serving mode
-/// (`params.top_k`, rendered as `ktop`) is included because its result
-/// path (certified adaptive push / pruned heap-select) produces
-/// estimate-accurate scores a full-rank run would not.
-pub fn cache_key(spec: &TaskSpec) -> String {
+/// the spec, rendered in a fixed order, plus the dataset's **graph
+/// version** — `v` below — which the executor bumps on every mutation, so
+/// a result computed against one graph state can never answer a query
+/// against another (the stale-cache bug this field fixed). `threads` is
+/// omitted (results are thread-count invariant); `record_trace` and
+/// `top_k` are included because they change the payload shape, and the
+/// top-k-only serving mode (`params.top_k`, rendered as `ktop`) is
+/// included because its result path (certified adaptive push / pruned
+/// heap-select) produces estimate-accurate scores a full-rank run would
+/// not.
+pub fn cache_key(spec: &TaskSpec, graph_version: u64) -> String {
     let p = &spec.params;
+    // The dataset field is length-prefixed: upload names are arbitrary
+    // strings, so a bare `dataset={id};` rendering would let an id like
+    // `d;x` masquerade as (and get swept up with) dataset `d` by the
+    // prefix match in [`ResultCache::invalidate_dataset`].
     format!(
-        "dataset={};algo={};damping={};k={};scoring={};tolerance={};max_iterations={};\
+        "dataset={}:{};v={};algo={};damping={};k={};scoring={};tolerance={};max_iterations={};\
          solver={};trace={};source={};top_k={};ktop={}",
+        spec.dataset.len(),
         spec.dataset,
+        graph_version,
         p.algorithm.id(),
         p.damping,
         p.max_cycle_len,
@@ -69,6 +79,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Entries dropped by [`ResultCache::invalidate_dataset`] (dataset
+    /// mutations).
+    #[serde(default)]
+    pub invalidations: u64,
 }
 
 struct CacheInner {
@@ -81,6 +95,7 @@ struct CacheInner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    invalidations: u64,
 }
 
 /// A bounded, thread-safe LRU of completed task results.
@@ -102,6 +117,7 @@ impl ResultCache {
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                invalidations: 0,
             }),
         }
     }
@@ -177,7 +193,30 @@ impl ResultCache {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
+            invalidations: inner.invalidations,
         }
+    }
+
+    /// Drops every entry belonging to `dataset`, returning how many died.
+    ///
+    /// Fired by the executor whenever a dataset mutates. Strictly
+    /// speaking the graph version inside every key already makes stale
+    /// entries unreachable — invalidation additionally frees their memory
+    /// immediately (instead of waiting for LRU pressure) and is the
+    /// belt-and-braces layer: even a key that somehow omitted the version
+    /// could not survive a mutation.
+    pub fn invalidate_dataset(&self, dataset: &str) -> usize {
+        // Mirrors the length-prefixed dataset field of [`cache_key`], so
+        // an id that happens to extend `dataset` (e.g. `d;x` vs `d`) can
+        // never match the prefix.
+        let prefix = format!("dataset={}:{dataset};", dataset.len());
+        let inner = &mut *self.inner.lock();
+        let before = inner.map.len();
+        inner.map.retain(|key, _| !key.starts_with(&prefix));
+        inner.queue.retain(|(key, _)| !key.starts_with(&prefix));
+        let dropped = before - inner.map.len();
+        inner.invalidations += dropped as u64;
+        dropped
     }
 
     /// Drops every entry (counters are kept).
@@ -240,27 +279,64 @@ mod tests {
 
     #[test]
     fn key_separates_result_determining_fields() {
-        let a = cache_key(&spec("d", Some("s")));
-        assert_ne!(a, cache_key(&spec("d2", Some("s"))));
-        assert_ne!(a, cache_key(&spec("d", Some("s2"))));
-        assert_ne!(a, cache_key(&spec("d", None)));
+        let a = cache_key(&spec("d", Some("s")), 0);
+        assert_ne!(a, cache_key(&spec("d2", Some("s")), 0));
+        assert_ne!(a, cache_key(&spec("d", Some("s2")), 0));
+        assert_ne!(a, cache_key(&spec("d", None), 0));
+        // The graph version separates pre- and post-mutation states of the
+        // same spec — the headline stale-cache fix.
+        assert_ne!(a, cache_key(&spec("d", Some("s")), 1));
         let mut with_alpha = spec("d", Some("s"));
         with_alpha.params.damping = 0.3;
-        assert_ne!(a, cache_key(&with_alpha));
+        assert_ne!(a, cache_key(&with_alpha, 0));
         let mut with_top = spec("d", Some("s"));
         with_top.top_k = 9;
-        assert_ne!(a, cache_key(&with_top));
+        assert_ne!(a, cache_key(&with_top, 0));
         // threads is excluded: results are thread-count invariant.
         let mut with_threads = spec("d", Some("s"));
         with_threads.params.threads = 8;
-        assert_eq!(a, cache_key(&with_threads));
+        assert_eq!(a, cache_key(&with_threads, 0));
         // Top-k-only serving mode is a distinct result shape.
         let mut with_ktop = spec("d", Some("s"));
         with_ktop.params.top_k = Some(5);
-        assert_ne!(a, cache_key(&with_ktop));
+        assert_ne!(a, cache_key(&with_ktop, 0));
         let mut with_other_ktop = spec("d", Some("s"));
         with_other_ktop.params.top_k = Some(7);
-        assert_ne!(cache_key(&with_ktop), cache_key(&with_other_ktop));
+        assert_ne!(cache_key(&with_ktop, 0), cache_key(&with_other_ktop, 0));
+    }
+
+    #[test]
+    fn invalidate_dataset_drops_only_that_dataset() {
+        let cache = ResultCache::new(8);
+        for (ds, source) in [("d1", "a"), ("d1", "b"), ("d2", "a")] {
+            cache.put(cache_key(&spec(ds, Some(source)), 0), result(ds));
+        }
+        assert_eq!(cache.stats().entries, 3);
+        let dropped = cache.invalidate_dataset("d1");
+        assert_eq!(dropped, 2);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.invalidations, 2);
+        assert!(cache.get(&cache_key(&spec("d1", Some("a")), 0), &TaskId::fresh()).is_none());
+        assert!(cache.get(&cache_key(&spec("d2", Some("a")), 0), &TaskId::fresh()).is_some());
+        // Idempotent on an already-clean dataset.
+        assert_eq!(cache.invalidate_dataset("d1"), 0);
+    }
+
+    #[test]
+    fn invalidate_dataset_prefix_is_exact() {
+        // "d" must not sweep away "d2"'s entries, and — because upload
+        // names are arbitrary — an id like "d;v=0" that *textually*
+        // extends "d" past the field delimiter must not match either
+        // (the dataset field is length-prefixed for exactly this).
+        let cache = ResultCache::new(8);
+        cache.put(cache_key(&spec("d", Some("a")), 0), result("d"));
+        cache.put(cache_key(&spec("d2", Some("a")), 0), result("d2"));
+        cache.put(cache_key(&spec("d;v=0", Some("a")), 0), result("adversarial"));
+        assert_eq!(cache.invalidate_dataset("d"), 1);
+        assert!(cache.get(&cache_key(&spec("d2", Some("a")), 0), &TaskId::fresh()).is_some());
+        assert!(cache.get(&cache_key(&spec("d;v=0", Some("a")), 0), &TaskId::fresh()).is_some());
+        assert_eq!(cache.invalidate_dataset("d;v=0"), 1);
     }
 
     #[test]

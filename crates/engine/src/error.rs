@@ -30,6 +30,9 @@ pub enum EngineError {
     Storage(String),
     /// A `Query` cannot be expressed as a schedulable task spec.
     UnsupportedQuery(String),
+    /// A dataset edge mutation could not be applied (unresolvable
+    /// endpoint, invalid weight, out-of-range node).
+    InvalidMutation(String),
 }
 
 impl fmt::Display for EngineError {
@@ -49,6 +52,7 @@ impl fmt::Display for EngineError {
             EngineError::TaskFailed(e) => write!(f, "task failed: {e}"),
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::UnsupportedQuery(e) => write!(f, "unsupported query: {e}"),
+            EngineError::InvalidMutation(e) => write!(f, "invalid mutation: {e}"),
         }
     }
 }
@@ -80,6 +84,9 @@ mod tests {
         assert!(EngineError::UnsupportedQuery("graph target".into())
             .to_string()
             .contains("graph target"));
+        assert!(EngineError::InvalidMutation("bad endpoint".into())
+            .to_string()
+            .contains("bad endpoint"));
     }
 
     #[test]

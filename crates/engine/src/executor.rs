@@ -14,10 +14,11 @@
 
 use crate::cache::{cache_key, CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::error::EngineError;
+use crate::mutation::{EdgeOp, MutationOutcome};
 use crate::task::{BatchSpec, TaskId, TaskSpec};
 use parking_lot::Mutex;
 use relcore::{with_arena, Query, QueryError, QueryResult, SolverArena};
-use relgraph::DirectedGraph;
+use relgraph::{DirectedGraph, DynamicGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -62,7 +63,16 @@ pub struct TaskResult {
 
 /// Dataset- and result-caching task executor.
 pub struct Executor {
-    cache: Mutex<HashMap<String, Arc<DirectedGraph>>>,
+    /// Per-dataset dynamic graphs: registry datasets are generated on
+    /// first use and wrapped (version 0); uploads are wrapped at
+    /// registration. Queries run over the cached CSR snapshot
+    /// ([`relgraph::DynamicGraph::snapshot`]); edge mutations
+    /// ([`Executor::mutate_dataset`]) bump the version every cache key
+    /// embeds. Each slot carries its **own** lock so post-mutation
+    /// snapshot materialization (O(V + E)) and mutation batches block
+    /// only traffic on that dataset — the outer map lock is held just
+    /// long enough to clone the slot `Arc`.
+    datasets: Mutex<HashMap<String, Arc<Mutex<DynamicGraph>>>>,
     results: ResultCache,
     /// Per-dataset solver arenas: every task or batch on a dataset draws
     /// its solver working buffers from that dataset's arena, so
@@ -89,7 +99,7 @@ impl Executor {
     /// entries; `0` disables result caching entirely.
     pub fn with_cache_capacity(capacity: usize) -> Self {
         Executor {
-            cache: Mutex::new(HashMap::new()),
+            datasets: Mutex::new(HashMap::new()),
             results: ResultCache::new(capacity),
             arenas: Mutex::new(HashMap::new()),
         }
@@ -119,17 +129,17 @@ impl Executor {
         if reldata::registry::spec(id).is_some() {
             return Err(EngineError::DatasetExists(id.to_string()));
         }
-        let mut cache = self.cache.lock();
-        if cache.contains_key(id) {
+        let mut datasets = self.datasets.lock();
+        if datasets.contains_key(id) {
             return Err(EngineError::DatasetExists(id.to_string()));
         }
-        cache.insert(id.to_string(), Arc::new(graph));
+        datasets.insert(id.to_string(), Arc::new(Mutex::new(DynamicGraph::new(graph))));
         Ok(())
     }
 
     /// Ids of user-uploaded datasets currently registered.
     pub fn uploaded_ids(&self) -> Vec<String> {
-        self.cache
+        self.datasets
             .lock()
             .keys()
             .filter(|id| reldata::registry::spec(id).is_none())
@@ -141,28 +151,123 @@ impl Executor {
     /// on first use; uploads were placed there by
     /// [`Executor::register_graph`]).
     pub fn dataset(&self, id: &str) -> Result<Arc<DirectedGraph>, EngineError> {
-        if let Some(g) = self.cache.lock().get(id) {
-            return Ok(Arc::clone(g));
-        }
-        // Generate outside the lock: generation can take a while and other
-        // datasets' lookups shouldn't block on it.
-        let g = reldata::load_dataset(id).ok_or_else(|| EngineError::UnknownDataset(id.into()))?;
-        let g = Arc::new(g);
-        self.cache.lock().entry(id.to_string()).or_insert_with(|| Arc::clone(&g));
-        Ok(g)
+        self.dataset_versioned(id).map(|(g, _)| g)
+    }
+
+    /// Like [`Executor::dataset`], additionally returning the dataset's
+    /// current **graph version** (0 until the first mutation). Every
+    /// result-cache key embeds this version, so results computed against
+    /// one graph state can never answer queries against another.
+    pub fn dataset_versioned(&self, id: &str) -> Result<(Arc<DirectedGraph>, u64), EngineError> {
+        let slot = match self.slot_if_cached(id) {
+            Some(slot) => slot,
+            None => {
+                // Generate outside both locks: generation can take a while
+                // and other datasets' lookups shouldn't block on it.
+                let g = reldata::load_dataset(id)
+                    .ok_or_else(|| EngineError::UnknownDataset(id.into()))?;
+                let g = Arc::new(g);
+                Arc::clone(self.datasets.lock().entry(id.to_string()).or_insert_with(|| {
+                    Arc::new(Mutex::new(DynamicGraph::from_arc(Arc::clone(&g))))
+                }))
+            }
+        };
+        // Snapshot under the per-dataset lock only: a post-mutation
+        // materialization blocks this dataset's traffic, nobody else's.
+        let mut dynamic = slot.lock();
+        Ok((dynamic.snapshot(), dynamic.version()))
+    }
+
+    /// The slot `Arc` for `id`, if the dataset is loaded.
+    fn slot_if_cached(&self, id: &str) -> Option<Arc<Mutex<DynamicGraph>>> {
+        self.datasets.lock().get(id).map(Arc::clone)
+    }
+
+    /// The current graph version of `id`, if the dataset is loaded.
+    pub fn dataset_version(&self, id: &str) -> Option<u64> {
+        self.slot_if_cached(id).map(|slot| slot.lock().version())
     }
 
     /// The cached graph for `id`, if one is already loaded (uploads, or
     /// registry datasets some task has touched). Unlike
     /// [`Executor::dataset`] this never generates — metadata endpoints
     /// use it to avoid pinning every dataset a client merely *inspects*.
+    /// (It may still *materialize* a pending post-mutation snapshot, but
+    /// only under that dataset's own lock.)
     pub fn dataset_if_cached(&self, id: &str) -> Option<Arc<DirectedGraph>> {
-        self.cache.lock().get(id).map(Arc::clone)
+        self.slot_if_cached(id).map(|slot| slot.lock().snapshot())
     }
 
     /// Number of cached datasets.
     pub fn cached_count(&self) -> usize {
-        self.cache.lock().len()
+        self.datasets.lock().len()
+    }
+
+    /// Applies a batch of edge mutations to `id` **atomically**: either
+    /// every operation resolves and the batch lands as one version step
+    /// per applied change, or nothing is modified. On success every
+    /// cached result of the dataset is invalidated
+    /// ([`ResultCache::invalidate_dataset`]) — together with the graph
+    /// version inside every cache key, this makes serving a pre-mutation
+    /// result after the mutation impossible.
+    ///
+    /// Endpoints resolve label-first, then as numeric indices of
+    /// unlabeled nodes (the query convention); `Add` creates unresolved
+    /// endpoints as fresh labeled nodes, `Remove` rejects them.
+    pub fn mutate_dataset(&self, id: &str, ops: &[EdgeOp]) -> Result<MutationOutcome, EngineError> {
+        // Ensure the dataset is loaded (generating outside the map lock).
+        let _ = self.dataset_versioned(id)?;
+        let slot =
+            self.slot_if_cached(id).ok_or_else(|| EngineError::UnknownDataset(id.to_string()))?;
+        // Per-dataset lock: the batch (and its clone) stalls only this
+        // dataset's traffic. Work on a copy so a mid-batch failure leaves
+        // the dataset (and its version) untouched; deltas are small, so
+        // the copy is cheap.
+        let mut guard = slot.lock();
+        let mut staged = guard.clone();
+        let mut applied = 0usize;
+        for op in ops {
+            let changed = match op {
+                EdgeOp::Add(spec) => {
+                    let u = resolve_endpoint(&mut staged, &spec.source, true)
+                        .map_err(|e| mutation_error(id, &spec.source, e))?;
+                    let v = resolve_endpoint(&mut staged, &spec.target, true)
+                        .map_err(|e| mutation_error(id, &spec.target, e))?;
+                    let w = spec.weight.unwrap_or(1.0);
+                    staged
+                        .insert_edge(u, v, w)
+                        .map_err(|e| EngineError::InvalidMutation(e.to_string()))?
+                        .is_some()
+                }
+                EdgeOp::Remove(spec) => {
+                    let u = resolve_endpoint(&mut staged, &spec.source, false)
+                        .map_err(|e| mutation_error(id, &spec.source, e))?;
+                    let v = resolve_endpoint(&mut staged, &spec.target, false)
+                        .map_err(|e| mutation_error(id, &spec.target, e))?;
+                    staged
+                        .remove_edge(u, v)
+                        .map_err(|e| EngineError::InvalidMutation(e.to_string()))?
+                        .is_some()
+                }
+            };
+            if changed {
+                applied += 1;
+            }
+        }
+        let outcome = MutationOutcome {
+            dataset: id.to_string(),
+            version: staged.version(),
+            applied,
+            nodes: staged.node_count(),
+            edges: staged.edge_count(),
+        };
+        let mutated = applied > 0;
+        *guard = staged;
+        drop(guard);
+        if mutated {
+            self.results.invalidate_dataset(id);
+        }
+        Ok(outcome)
     }
 
     /// Executes a task spec to completion: served from the [`ResultCache`]
@@ -170,11 +275,11 @@ impl Executor {
     /// [`crate::cache::cache_key`]), otherwise through the registry-backed
     /// [`Query`] front door (and cached for the next identical request).
     pub fn execute(&self, id: &TaskId, spec: &TaskSpec) -> Result<TaskResult, EngineError> {
-        let key = cache_key(spec);
+        let (graph, version) = self.dataset_versioned(&spec.dataset)?;
+        let key = cache_key(spec, version);
         if let Some(cached) = self.results.get(&key, id) {
             return Ok(cached);
         }
-        let graph = self.dataset(&spec.dataset)?;
 
         let mut query = Query::on(Arc::clone(&graph)).params(spec.params).top(spec.top_k);
         if let Some(source) = &spec.source {
@@ -198,11 +303,12 @@ impl Executor {
         spec: &BatchSpec,
     ) -> Result<Vec<TaskResult>, EngineError> {
         assert_eq!(ids.len(), spec.sources.len(), "one task id per batch seed");
+        let (graph, version) = self.dataset_versioned(&spec.dataset)?;
         let mut slots: Vec<Option<TaskResult>> = Vec::with_capacity(ids.len());
         let mut keys = Vec::with_capacity(ids.len());
         let mut missed = Vec::new();
         for (i, id) in ids.iter().enumerate() {
-            let key = cache_key(&spec.task_for(i));
+            let key = cache_key(&spec.task_for(i), version);
             slots.push(self.results.get(&key, id));
             if slots[i].is_none() {
                 missed.push(i);
@@ -211,7 +317,6 @@ impl Executor {
         }
 
         if !missed.is_empty() {
-            let graph = self.dataset(&spec.dataset)?;
             let arena = self.arena_for(&spec.dataset);
             let query = Query::on(Arc::clone(&graph))
                 .params(spec.params)
@@ -227,6 +332,35 @@ impl Executor {
         }
         Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
     }
+}
+
+/// Resolves a mutation endpoint against a dynamic graph, following the
+/// query convention: label first, then — for **unlabeled** nodes only —
+/// a numeric node index. With `create`, an unresolved endpoint becomes a
+/// fresh labeled node (edge streams mention new entities constantly);
+/// without it (removals) resolution failure is an error.
+fn resolve_endpoint(
+    graph: &mut DynamicGraph,
+    endpoint: &str,
+    create: bool,
+) -> Result<NodeId, String> {
+    if let Some(n) = graph.node_by_label(endpoint) {
+        return Ok(n);
+    }
+    if let Ok(idx) = endpoint.parse::<u32>() {
+        let node = NodeId::new(idx);
+        if (idx as usize) < graph.node_count() && graph.label_of(node).is_none() {
+            return Ok(node);
+        }
+    }
+    if create {
+        return graph.add_labeled_node(endpoint).map_err(|e| e.to_string());
+    }
+    Err(format!("no node labeled {endpoint:?} (and not a valid unlabeled node index)"))
+}
+
+fn mutation_error(dataset: &str, endpoint: &str, detail: String) -> EngineError {
+    EngineError::InvalidMutation(format!("dataset {dataset:?}, endpoint {endpoint:?}: {detail}"))
 }
 
 /// Maps a front-door query failure onto the engine's error vocabulary.
@@ -360,7 +494,7 @@ mod tests {
         served_labels.sort();
         assert_eq!(full_labels, served_labels, "top-k serving must return the exact top-k set");
         // The two modes are distinct cache entries.
-        assert_ne!(cache_key(&full_spec), cache_key(&serving_spec));
+        assert_ne!(cache_key(&full_spec, 0), cache_key(&serving_spec, 0));
     }
 
     #[test]
@@ -377,6 +511,134 @@ mod tests {
         let warmed = arena.allocations();
         assert!(warmed > 0, "solve must have drawn from the dataset arena");
         assert!(arena.pooled() > 0, "buffers must return to the pool after the solve");
+    }
+
+    #[test]
+    fn mutated_dataset_never_serves_stale_results() {
+        // The headline stale-cache regression test: after a mutation, a
+        // repeated identical query must be recomputed (miss on the new
+        // graph version), never answered from the pre-mutation cache.
+        use crate::mutation::{EdgeOp, EdgeSpec};
+        let ex = Executor::new();
+        let mut b = relgraph::GraphBuilder::new();
+        b.add_labeled_edge("seed", "a");
+        b.add_labeled_edge("a", "seed");
+        b.add_labeled_edge("seed", "b");
+        ex.register_graph("dyn", b.build()).unwrap();
+
+        let spec = TaskBuilder::new("dyn")
+            .algorithm(Algorithm::PersonalizedPageRank)
+            .source("seed")
+            .top_k(3)
+            .build()
+            .unwrap();
+        let before = ex.execute(&TaskId::fresh(), &spec).unwrap();
+        assert_eq!(ex.cache_stats().misses, 1);
+        // Warm hit on the unmutated graph.
+        ex.execute(&TaskId::fresh(), &spec).unwrap();
+        assert_eq!(ex.cache_stats().hits, 1);
+
+        // Mutation: a -> b gives b a second inbound path, raising its
+        // score. (Note b -> seed would be invisible to PPR seeded at
+        // "seed": dangling mass already restarts there.)
+        let add = EdgeSpec { source: "a".into(), target: "b".into(), weight: None };
+        let outcome = ex.mutate_dataset("dyn", &[EdgeOp::Add(add)]).unwrap();
+        assert_eq!(outcome.version, 1);
+        assert_eq!(outcome.applied, 1);
+        assert_eq!(ex.cache_stats().invalidations, 1, "stale entry dropped eagerly");
+
+        let after = ex.execute(&TaskId::fresh(), &spec).unwrap();
+        let stats = ex.cache_stats();
+        assert_eq!(stats.hits, 1, "post-mutation query must NOT hit the stale entry");
+        assert_eq!(stats.misses, 2, "post-mutation query recomputes");
+        let score = |r: &TaskResult, label: &str| {
+            r.top.iter().find(|(l, _)| l == label).map(|&(_, s)| s).unwrap()
+        };
+        assert!(
+            score(&after, "b") > score(&before, "b"),
+            "recomputed scores must reflect the new edge: {:?} vs {:?}",
+            after.top,
+            before.top
+        );
+        // The post-mutation result is itself cached under the new version.
+        ex.execute(&TaskId::fresh(), &spec).unwrap();
+        assert_eq!(ex.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn mutation_is_atomic_and_resolves_endpoints() {
+        use crate::mutation::{EdgeOp, EdgeSpec};
+        let ex = Executor::new();
+        let mut b = relgraph::GraphBuilder::new();
+        b.add_labeled_edge("x", "y");
+        ex.register_graph("atom", b.build()).unwrap();
+
+        // A batch whose second op fails must leave nothing applied.
+        let good = EdgeSpec { source: "y".into(), target: "x".into(), weight: None };
+        let bad = EdgeSpec { source: "ghost".into(), target: "x".into(), weight: None };
+        let err = ex
+            .mutate_dataset("atom", &[EdgeOp::Add(good.clone()), EdgeOp::Remove(bad)])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidMutation(_)), "{err}");
+        assert_eq!(ex.dataset_version("atom"), Some(0), "failed batch must not land");
+        let (g, _) = ex.dataset_versioned("atom").unwrap();
+        assert_eq!(g.edge_count(), 1);
+
+        // Adds create unknown endpoints as fresh labeled nodes.
+        let grow = EdgeSpec { source: "x".into(), target: "newcomer".into(), weight: Some(2.0) };
+        let outcome = ex.mutate_dataset("atom", &[EdgeOp::Add(good), EdgeOp::Add(grow)]).unwrap();
+        assert_eq!(outcome.applied, 2);
+        assert_eq!(outcome.nodes, 3);
+        assert_eq!(outcome.edges, 3);
+        let (g, version) = ex.dataset_versioned("atom").unwrap();
+        assert_eq!(version, outcome.version);
+        let newcomer = g.node_by_label("newcomer").expect("created node is labeled");
+        assert_eq!(g.edge_weight(g.node_by_label("x").unwrap(), newcomer), Some(2.0));
+
+        // Idempotent re-application: accepted, nothing applied, version
+        // (and cache keys) unmoved.
+        let again = EdgeSpec { source: "y".into(), target: "x".into(), weight: None };
+        let o2 = ex.mutate_dataset("atom", &[EdgeOp::Add(again)]).unwrap();
+        assert_eq!(o2.applied, 0);
+        assert_eq!(o2.version, outcome.version);
+
+        // Invalid weights surface as InvalidMutation.
+        let nan = EdgeSpec { source: "x".into(), target: "y".into(), weight: Some(f64::NAN) };
+        assert!(matches!(
+            ex.mutate_dataset("atom", &[EdgeOp::Add(nan)]),
+            Err(EngineError::InvalidMutation(_))
+        ));
+        // Unknown datasets are rejected up front.
+        let some = EdgeSpec { source: "a".into(), target: "b".into(), weight: None };
+        assert!(matches!(
+            ex.mutate_dataset("no-such-dataset", &[EdgeOp::Add(some)]),
+            Err(EngineError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn registry_datasets_mutate_in_memory() {
+        use crate::mutation::{EdgeOp, EdgeSpec};
+        let ex = Executor::new();
+        let (g0, v0) = ex.dataset_versioned("fixture-fakenews-it").unwrap();
+        assert_eq!(v0, 0);
+        let spec =
+            EdgeSpec { source: "Fake news".into(), target: "Pizzagate".into(), weight: None };
+        // Whether or not the edge already exists, the call must succeed;
+        // pick the reverse direction of a known edge if needed.
+        let outcome = match ex.mutate_dataset("fixture-fakenews-it", &[EdgeOp::Add(spec)]) {
+            Ok(o) => o,
+            Err(e) => panic!("registry mutation failed: {e}"),
+        };
+        if outcome.applied == 1 {
+            // Creating the "Pizzagate" endpoint and inserting the edge are
+            // both version steps; the exact count is an implementation
+            // detail — what matters is that it moved and matches the slot.
+            assert!(outcome.version > 0);
+            assert_eq!(ex.dataset_version("fixture-fakenews-it"), Some(outcome.version));
+            let (g1, _) = ex.dataset_versioned("fixture-fakenews-it").unwrap();
+            assert_eq!(g1.edge_count(), g0.edge_count() + 1);
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod datastore;
 pub mod error;
 pub mod executor;
 pub mod id;
+pub mod mutation;
 pub mod scheduler;
 pub mod status;
 pub mod task;
@@ -50,6 +51,7 @@ pub use cache::{CacheStats, ResultCache};
 pub use datastore::{Datastore, FileStore, MemoryStore};
 pub use error::EngineError;
 pub use executor::{Executor, TaskResult};
+pub use mutation::{EdgeOp, EdgeSpec, MutationOutcome};
 pub use scheduler::Scheduler;
 pub use status::{StatusBoard, TaskRecord, TaskState};
 pub use task::{BatchSpec, QuerySet, TaskId, TaskSpec};

@@ -1,0 +1,97 @@
+//! Dataset mutation: the wire types of the dynamic-graph API.
+//!
+//! `POST /api/datasets/{id}/edges` and `DELETE /api/datasets/{id}/edges`
+//! (and `relrank mutate`) deserialize their bodies into [`EdgeSpec`]
+//! lists, which [`crate::executor::Executor::mutate_dataset`] applies
+//! atomically as [`EdgeOp`]s against the dataset's
+//! [`relgraph::DynamicGraph`]. Every applied batch bumps the dataset's
+//! graph version — which participates in every result-cache key — and
+//! fires [`crate::cache::ResultCache::invalidate_dataset`], so a result
+//! computed before the mutation can never be served after it.
+
+use serde::{Deserialize, Serialize};
+
+/// One edge of a mutation request, endpoints as reference strings.
+///
+/// Endpoints resolve like query references: by label first, then — for
+/// **unlabeled** nodes — as a numeric node index. For inserts, an
+/// endpoint that resolves to nothing creates a fresh node labeled with
+/// the given string (edge streams mention new entities all the time);
+/// removals never create nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// Source endpoint (label, or numeric index of an unlabeled node).
+    pub source: String,
+    /// Target endpoint (label, or numeric index of an unlabeled node).
+    pub target: String,
+    /// Edge weight for inserts (default 1.0; must be finite and > 0).
+    /// Ignored by removals.
+    #[serde(default)]
+    pub weight: Option<f64>,
+}
+
+/// One mutation operation: insert/update or remove an edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeOp {
+    /// Insert the edge (or update its weight when it already exists).
+    Add(EdgeSpec),
+    /// Remove the edge (a no-op when absent).
+    Remove(EdgeSpec),
+}
+
+impl EdgeOp {
+    /// The edge spec inside the operation.
+    pub fn spec(&self) -> &EdgeSpec {
+        match self {
+            EdgeOp::Add(s) | EdgeOp::Remove(s) => s,
+        }
+    }
+}
+
+/// The result of one applied mutation batch, reported by the HTTP routes
+/// and the CLI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MutationOutcome {
+    /// The mutated dataset.
+    pub dataset: String,
+    /// The dataset's graph version after the batch.
+    pub version: u64,
+    /// Operations that actually changed the graph (idempotent no-ops —
+    /// re-inserting an identical edge, removing an absent one — are
+    /// accepted but not counted).
+    pub applied: usize,
+    /// Node count after the batch.
+    pub nodes: usize,
+    /// Edge count after the batch.
+    pub edges: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_spec_weight_defaults_to_none() {
+        let s: EdgeSpec = serde_json::from_str(r#"{"source": "A", "target": "B"}"#).unwrap();
+        assert_eq!(s.weight, None);
+        let s: EdgeSpec =
+            serde_json::from_str(r#"{"source": "A", "target": "B", "weight": 2.5}"#).unwrap();
+        assert_eq!(s.weight, Some(2.5));
+    }
+
+    #[test]
+    fn outcome_serde_roundtrip() {
+        let o =
+            MutationOutcome { dataset: "d".into(), version: 3, applied: 2, nodes: 10, edges: 21 };
+        let json = serde_json::to_string(&o).unwrap();
+        let back: MutationOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn op_spec_accessor() {
+        let s = EdgeSpec { source: "a".into(), target: "b".into(), weight: None };
+        assert_eq!(EdgeOp::Add(s.clone()).spec(), &s);
+        assert_eq!(EdgeOp::Remove(s.clone()).spec(), &s);
+    }
+}

@@ -277,6 +277,27 @@ impl Scheduler {
         self.executor.cache_stats()
     }
 
+    /// Applies a batch of edge mutations to a dataset (see
+    /// [`Executor::mutate_dataset`]): atomic, version-bumping, and
+    /// cache-invalidating. Mutated *uploads* are re-persisted to the
+    /// datastore so a restart restores the post-mutation graph; registry
+    /// datasets mutate in-memory only (their generators stay pristine).
+    pub fn mutate_dataset(
+        &self,
+        id: &str,
+        ops: &[crate::mutation::EdgeOp],
+    ) -> Result<crate::mutation::MutationOutcome, EngineError> {
+        let outcome = self.executor.mutate_dataset(id, ops)?;
+        if outcome.applied > 0 && reldata::registry::spec(id).is_none() {
+            if let Ok(graph) = self.executor.dataset(id) {
+                // Best effort: a storage hiccup leaves the in-memory state
+                // authoritative; the next mutation retries the write.
+                let _ = self.store.put_dataset(id, &graph);
+            }
+        }
+        Ok(outcome)
+    }
+
     /// Adds `n` more worker threads at runtime — the paper's computational
     /// nodes "can be scaled up or down depending on the system's workload".
     /// (Scaling *down* happens naturally when the scheduler is dropped;

@@ -1,0 +1,670 @@
+//! Dynamic graphs: edge mutation over the immutable CSR.
+//!
+//! Every dataset in the platform was frozen at load until this module
+//! existed: [`crate::DirectedGraph`] is immutable by design, so "add an
+//! edge" meant "rebuild the whole CSR". Real relevance serving (wiki
+//! links, follows, purchases) is a *stream* of edge events, and the
+//! serving layers above need two things from the graph substrate to stay
+//! correct under that stream:
+//!
+//! 1. a **monotonically increasing [`DynamicGraph::version`]** that changes
+//!    exactly when the graph changes, so result caches can key on it and
+//!    stale entries become unreachable the moment an edge lands;
+//! 2. **amortized cost**: per-event work proportional to the delta, not to
+//!    the graph.
+//!
+//! [`DynamicGraph`] layers insert/delete deltas over an immutable base
+//! CSR. Structure queries ([`DynamicGraph::has_edge`],
+//! [`DynamicGraph::edge_weight`], the degree and weight-sum accessors)
+//! consult the overlay in `O(log delta)`; the per-node weight sums that
+//! the solver kernels normalize by are kept consistent incrementally on
+//! every mutation, never recomputed by walking adjacency.
+//!
+//! # Snapshots and compaction
+//!
+//! Solvers run over CSR ([`crate::GraphView`]), so query execution calls
+//! [`DynamicGraph::snapshot`], which materializes base + deltas into a
+//! fresh `DirectedGraph`. The snapshot is **cached** until the next
+//! mutation: an arbitrary number of queries between two edge events share
+//! one materialization (and one `Arc`). When the staged delta grows past
+//! the compaction threshold (default: `max(64, base_edges / 8)`,
+//! overridable via [`DynamicGraph::set_compact_threshold`]), the snapshot
+//! is *promoted*: it becomes the new base and the delta empties — so the
+//! overlay never degrades into a second adjacency structure, and the
+//! total materialization work over any event stream stays amortized
+//! `O(E)` per `E/8` events.
+//!
+//! # u32 node-id audit
+//!
+//! Node ids are `u32` end to end ([`NodeId`]). `DynamicGraph` accepts
+//! endpoints only as `NodeId`, grows its node count with `usize`
+//! arithmetic on `id + 1` (which cannot overflow from a `u32` id), and
+//! never casts a `usize` count down to `u32` unguarded: materialization
+//! calling `ensure_node(node_count - 1)` is safe because the count came
+//! from a `u32` id plus one, and [`DynamicGraph::add_labeled_node`] —
+//! the one operation that *mints* an id from the count — returns
+//! [`crate::GraphError::TooManyNodes`] when the id space is exhausted.
+//! This is the same hazard class [`crate::reorder::Permutation`] guards
+//! with the same error.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::csr::DirectedGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// One applied edge mutation, as reported by [`DynamicGraph::insert_edge`]
+/// and [`DynamicGraph::remove_edge`] and consumed by incremental solvers
+/// (the residual-push PPR refresh keys its correction off the changed
+/// source row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeMutation {
+    /// Source of the mutated edge.
+    pub source: NodeId,
+    /// Target of the mutated edge.
+    pub target: NodeId,
+    /// The weight the edge now carries (insert) or carried (remove).
+    pub weight: f64,
+    /// For inserts: the weight the edge carried *before* the mutation
+    /// (`None` when the edge is new). Always `None` for removals, whose
+    /// prior weight is `weight`. Incremental solvers need this to
+    /// reconstruct the pre-mutation transition column.
+    pub previous_weight: Option<f64>,
+    /// True for inserts/weight updates, false for removals.
+    pub inserted: bool,
+}
+
+/// A mutable graph: an immutable CSR base plus a bounded delta overlay.
+///
+/// See the [module docs](self) for the design; in short — mutations are
+/// `O(log delta)`, structure reads are overlay-aware, [`Self::snapshot`]
+/// materializes (cached per version), and large deltas compact back into
+/// the base CSR automatically.
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    base: Arc<DirectedGraph>,
+    /// Staged inserts / weight overrides, keyed `(source, target)`.
+    added: BTreeMap<(u32, u32), f64>,
+    /// Staged removals of edges present in the base.
+    removed: BTreeSet<(u32, u32)>,
+    /// Added keys that do not shadow a base edge (kept so
+    /// [`Self::edge_count`] is O(1)).
+    added_beyond_base: usize,
+    node_count: usize,
+    weighted: bool,
+    /// Per-node Σ out-weight adjustment relative to the base cache.
+    out_wsum_delta: HashMap<u32, f64>,
+    /// Per-node Σ in-weight adjustment relative to the base cache.
+    in_wsum_delta: HashMap<u32, f64>,
+    /// Labels of nodes created after the base was frozen.
+    extra_labels: HashMap<String, u32>,
+    extra_label_of: HashMap<u32, String>,
+    version: u64,
+    /// Explicit threshold override; `None` derives from the base size.
+    compact_threshold: Option<usize>,
+    /// Cached materialization of the current version.
+    snapshot: Option<Arc<DirectedGraph>>,
+}
+
+impl DynamicGraph {
+    /// Wraps an immutable graph as the version-0 base of a dynamic one.
+    pub fn new(base: DirectedGraph) -> Self {
+        Self::from_arc(Arc::new(base))
+    }
+
+    /// Like [`DynamicGraph::new`], sharing an already-`Arc`ed base (the
+    /// base doubles as the version-0 snapshot, so wrapping is free).
+    pub fn from_arc(base: Arc<DirectedGraph>) -> Self {
+        DynamicGraph {
+            node_count: base.node_count(),
+            weighted: base.is_weighted(),
+            snapshot: Some(Arc::clone(&base)),
+            base,
+            added: BTreeMap::new(),
+            removed: BTreeSet::new(),
+            added_beyond_base: 0,
+            out_wsum_delta: HashMap::new(),
+            in_wsum_delta: HashMap::new(),
+            extra_labels: HashMap::new(),
+            extra_label_of: HashMap::new(),
+            version: 0,
+            compact_threshold: None,
+        }
+    }
+
+    /// The mutation counter: starts at 0, increases by exactly 1 for every
+    /// applied mutation (no-ops — inserting an identical edge, removing an
+    /// absent one — do **not** bump it). Cache keys derived from
+    /// `(dataset, version)` can therefore never alias two distinct graph
+    /// states.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of nodes (base nodes plus any created by mutation).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges, overlay-aware, O(1).
+    pub fn edge_count(&self) -> usize {
+        self.base.edge_count() - self.removed.len() + self.added_beyond_base
+    }
+
+    /// True when any staged or base edge carries a non-unit weight.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Number of staged delta entries (inserts + removals) since the last
+    /// compaction.
+    pub fn delta_len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// The compaction threshold currently in effect.
+    pub fn compact_threshold(&self) -> usize {
+        self.compact_threshold.unwrap_or_else(|| (self.base.edge_count() / 8).max(64))
+    }
+
+    /// Overrides the derived compaction threshold (`max(64, base_edges/8)`).
+    pub fn set_compact_threshold(&mut self, threshold: usize) {
+        self.compact_threshold = Some(threshold.max(1));
+    }
+
+    /// Weight of the edge in the *base* CSR only (ignoring the overlay).
+    fn base_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if u.index() >= self.base.node_count() || v.index() >= self.base.node_count() {
+            return None;
+        }
+        self.base.edge_weight(u, v)
+    }
+
+    /// True iff `u → v` exists in the mutated graph.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Weight of `u → v` in the mutated graph (1.0 for unweighted edges),
+    /// or `None` when absent.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let key = (u.raw(), v.raw());
+        if let Some(&w) = self.added.get(&key) {
+            return Some(w);
+        }
+        if self.removed.contains(&key) {
+            return None;
+        }
+        self.base_weight(u, v)
+    }
+
+    /// Σ of out-edge weights of `u`, kept consistent through mutation
+    /// (base cache + incrementally maintained delta; never re-walks the
+    /// adjacency).
+    pub fn out_weight_sum(&self, u: NodeId) -> f64 {
+        let base =
+            if u.index() < self.base.node_count() { self.base.out_weight_sum(u) } else { 0.0 };
+        base + self.out_wsum_delta.get(&u.raw()).copied().unwrap_or(0.0)
+    }
+
+    /// Σ of in-edge weights of `u`, kept consistent through mutation.
+    pub fn in_weight_sum(&self, u: NodeId) -> f64 {
+        let base =
+            if u.index() < self.base.node_count() { self.base.in_weight_sum(u) } else { 0.0 };
+        base + self.in_wsum_delta.get(&u.raw()).copied().unwrap_or(0.0)
+    }
+
+    /// Resolves a label against the base table and mutation-created nodes.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.base
+            .node_by_label(label)
+            .or_else(|| self.extra_labels.get(label).copied().map(NodeId::new))
+    }
+
+    /// The label of `u`, if it has one.
+    pub fn label_of(&self, u: NodeId) -> Option<&str> {
+        if u.index() < self.base.node_count() {
+            self.base.labels().get(u)
+        } else {
+            self.extra_label_of.get(&u.raw()).map(String::as_str)
+        }
+    }
+
+    /// Returns the node labeled `label`, creating it (as a fresh isolated
+    /// node) when absent. Creation is a mutation: it bumps the version.
+    ///
+    /// Fails with [`GraphError::TooManyNodes`] when the next id would not
+    /// fit the `u32` id space (instead of silently truncating
+    /// `node_count as u32` onto an existing node).
+    pub fn add_labeled_node(&mut self, label: &str) -> Result<NodeId, GraphError> {
+        if let Some(n) = self.node_by_label(label) {
+            return Ok(n);
+        }
+        if self.node_count > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes { count: self.node_count + 1 });
+        }
+        let id = self.node_count as u32;
+        self.node_count += 1;
+        self.extra_labels.insert(label.to_string(), id);
+        self.extra_label_of.insert(id, label.to_string());
+        self.touch();
+        Ok(NodeId::new(id))
+    }
+
+    /// Ensures node indices `0..=idx` exist; bumps the version when the
+    /// node count grows.
+    pub fn ensure_node(&mut self, idx: NodeId) {
+        let needed = idx.index() + 1;
+        if needed > self.node_count {
+            self.node_count = needed;
+            self.touch();
+        }
+    }
+
+    /// Inserts edge `u → v` with weight `w` (use `1.0` on unweighted
+    /// graphs), creating missing endpoint nodes. Inserting over an
+    /// existing edge **updates its weight** (upsert). Returns the applied
+    /// mutation, or `None` when the edge already existed with exactly this
+    /// weight (a no-op: the version does not move).
+    ///
+    /// Fails with [`GraphError::InvalidWeight`] for non-finite or
+    /// non-positive weights.
+    pub fn insert_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        w: f64,
+    ) -> Result<Option<EdgeMutation>, GraphError> {
+        if !w.is_finite() || w <= 0.0 {
+            return Err(GraphError::InvalidWeight { source: u.raw(), target: v.raw(), weight: w });
+        }
+        let needed = u.index().max(v.index()) + 1;
+        self.node_count = self.node_count.max(needed);
+        let existing = self.edge_weight(u, v);
+        if existing == Some(w) {
+            return Ok(None);
+        }
+        if w != 1.0 {
+            self.weighted = true;
+        }
+        let key = (u.raw(), v.raw());
+        let delta = w - existing.unwrap_or(0.0);
+        *self.out_wsum_delta.entry(u.raw()).or_insert(0.0) += delta;
+        *self.in_wsum_delta.entry(v.raw()).or_insert(0.0) += delta;
+        self.removed.remove(&key);
+        match self.base_weight(u, v) {
+            // The base row already carries exactly this edge: un-removing
+            // it (and dropping any weight override) restores the state —
+            // no delta entry needed.
+            Some(bw) if bw == w => {
+                self.added.remove(&key);
+            }
+            base_w => {
+                if self.added.insert(key, w).is_none() && base_w.is_none() {
+                    self.added_beyond_base += 1;
+                }
+            }
+        }
+        self.touch();
+        Ok(Some(EdgeMutation {
+            source: u,
+            target: v,
+            weight: w,
+            previous_weight: existing,
+            inserted: true,
+        }))
+    }
+
+    /// Removes edge `u → v`. Returns the applied mutation (carrying the
+    /// weight the edge had), or `None` when the edge was not present (a
+    /// no-op: the version does not move).
+    ///
+    /// Fails with [`GraphError::NodeOutOfBounds`] when either endpoint
+    /// does not exist.
+    pub fn remove_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<Option<EdgeMutation>, GraphError> {
+        for n in [u, v] {
+            if n.index() >= self.node_count {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: n.raw(),
+                    node_count: self.node_count,
+                });
+            }
+        }
+        let Some(w) = self.edge_weight(u, v) else { return Ok(None) };
+        let key = (u.raw(), v.raw());
+        *self.out_wsum_delta.entry(u.raw()).or_insert(0.0) -= w;
+        *self.in_wsum_delta.entry(v.raw()).or_insert(0.0) -= w;
+        if self.added.remove(&key).is_some() {
+            if self.base_weight(u, v).is_none() {
+                self.added_beyond_base -= 1;
+            } else {
+                // The override is gone but the base edge underneath must
+                // still die.
+                self.removed.insert(key);
+            }
+        } else {
+            self.removed.insert(key);
+        }
+        self.touch();
+        Ok(Some(EdgeMutation {
+            source: u,
+            target: v,
+            weight: w,
+            previous_weight: None,
+            inserted: false,
+        }))
+    }
+
+    fn touch(&mut self) {
+        self.version += 1;
+        self.snapshot = None;
+    }
+
+    /// The immutable CSR of the current version: cached until the next
+    /// mutation, so any number of solves between two edge events share one
+    /// materialization. Triggers [`DynamicGraph::compact`] automatically
+    /// once the staged delta reaches the compaction threshold.
+    pub fn snapshot(&mut self) -> Arc<DirectedGraph> {
+        if let Some(s) = &self.snapshot {
+            return Arc::clone(s);
+        }
+        let g = Arc::new(self.materialize());
+        self.snapshot = Some(Arc::clone(&g));
+        if self.delta_len() >= self.compact_threshold() {
+            self.promote(Arc::clone(&g));
+        }
+        g
+    }
+
+    /// Folds the staged delta into the base CSR immediately (the
+    /// amortized path does this automatically past the threshold).
+    pub fn compact(&mut self) {
+        let g = self.snapshot();
+        self.promote(g);
+    }
+
+    /// Makes `g` (a materialization of the current version) the new base
+    /// and empties every delta structure.
+    fn promote(&mut self, g: Arc<DirectedGraph>) {
+        self.base = g;
+        self.added.clear();
+        self.removed.clear();
+        self.added_beyond_base = 0;
+        self.out_wsum_delta.clear();
+        self.in_wsum_delta.clear();
+        // Materialization wrote the extra labels into the new base table.
+        self.extra_labels.clear();
+        self.extra_label_of.clear();
+    }
+
+    /// Rebuilds a CSR for base + delta. `O(V + E log E)`; callers go
+    /// through the cached [`DynamicGraph::snapshot`].
+    fn materialize(&self) -> DirectedGraph {
+        let mut b = GraphBuilder::with_capacity(self.node_count, self.edge_count());
+        // Added entries are emitted before base rows; KeepFirst makes an
+        // override win over the base edge it shadows.
+        b.duplicate_policy(DuplicatePolicy::KeepFirst);
+        if self.node_count > 0 {
+            // Safe down-cast: node_count grew only from u32 ids + 1 (see
+            // the module-level u32 audit), so node_count - 1 fits u32.
+            debug_assert!(self.node_count - 1 <= u32::MAX as usize);
+            b.ensure_node((self.node_count - 1) as u32);
+        }
+        if self.weighted {
+            for (&(u, v), &w) in &self.added {
+                b.add_weighted_edge(NodeId::new(u), NodeId::new(v), w);
+            }
+            for (u, v, w) in self.base.weighted_edges() {
+                if !self.removed.contains(&(u.raw(), v.raw())) {
+                    b.add_weighted_edge(u, v, w);
+                }
+            }
+        } else {
+            for &(u, v) in self.added.keys() {
+                b.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+            for (u, v) in self.base.edges() {
+                if !self.removed.contains(&(u.raw(), v.raw())) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let mut g = b.build();
+        for (u, l) in self.base.labels().iter() {
+            g.labels_mut().set(u, l.to_owned());
+        }
+        for (&u, l) in &self.extra_label_of {
+            g.labels_mut().set(NodeId::new(u), l.clone());
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn diamond() -> DynamicGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 0
+        DynamicGraph::new(GraphBuilder::from_edge_indices([(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]))
+    }
+
+    #[test]
+    fn version_moves_only_on_real_mutations() {
+        let mut g = diamond();
+        assert_eq!(g.version(), 0);
+        assert!(g.insert_edge(n(1), n(2), 1.0).unwrap().is_some());
+        assert_eq!(g.version(), 1);
+        // Identical re-insert: no-op.
+        assert!(g.insert_edge(n(1), n(2), 1.0).unwrap().is_none());
+        assert_eq!(g.version(), 1);
+        // Removing an absent edge: no-op.
+        assert!(g.remove_edge(n(2), n(1)).unwrap().is_none());
+        assert_eq!(g.version(), 1);
+        assert!(g.remove_edge(n(1), n(2)).unwrap().is_some());
+        assert_eq!(g.version(), 2);
+    }
+
+    #[test]
+    fn overlay_reads_insert_and_remove() {
+        let mut g = diamond();
+        assert!(g.has_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 5);
+
+        g.insert_edge(n(1), n(0), 1.0).unwrap();
+        assert!(g.has_edge(n(1), n(0)));
+        assert_eq!(g.edge_count(), 6);
+
+        g.remove_edge(n(0), n(1)).unwrap();
+        assert!(!g.has_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 5);
+
+        // Re-adding a removed base edge restores it without growth.
+        g.insert_edge(n(0), n(1), 1.0).unwrap();
+        assert!(g.has_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 6);
+        let mutation = g.remove_edge(n(1), n(0)).unwrap().unwrap();
+        assert_eq!((mutation.source, mutation.target), (n(1), n(0)));
+        assert!(!mutation.inserted);
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn snapshot_matches_overlay_and_caches() {
+        let mut g = diamond();
+        g.insert_edge(n(3), n(1), 1.0).unwrap();
+        g.remove_edge(n(0), n(2)).unwrap();
+        let s1 = g.snapshot();
+        assert_eq!(s1.edge_count(), g.edge_count());
+        assert!(s1.has_edge(n(3), n(1)));
+        assert!(!s1.has_edge(n(0), n(2)));
+        // Cached: the same Arc until the next mutation.
+        let s2 = g.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        g.insert_edge(n(0), n(2), 1.0).unwrap();
+        let s3 = g.snapshot();
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        assert!(s3.has_edge(n(0), n(2)));
+    }
+
+    #[test]
+    fn version_zero_snapshot_is_the_base_arc() {
+        let base = Arc::new(GraphBuilder::from_edge_indices([(0, 1)]));
+        let mut g = DynamicGraph::from_arc(Arc::clone(&base));
+        assert!(Arc::ptr_eq(&g.snapshot(), &base), "wrapping must not copy");
+    }
+
+    #[test]
+    fn weight_sums_stay_consistent_through_mutation() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(n(0), n(1), 2.5);
+        b.add_weighted_edge(n(0), n(2), 1.5);
+        b.add_weighted_edge(n(2), n(1), 3.0);
+        let mut g = DynamicGraph::new(b.build());
+        assert_eq!(g.out_weight_sum(n(0)), 4.0);
+
+        g.insert_edge(n(0), n(3), 2.0).unwrap(); // new edge
+        g.insert_edge(n(0), n(1), 1.0).unwrap(); // weight update 2.5 -> 1.0
+        g.remove_edge(n(0), n(2)).unwrap();
+        assert!((g.out_weight_sum(n(0)) - 3.0).abs() < 1e-12);
+        assert!((g.in_weight_sum(n(1)) - 4.0).abs() < 1e-12);
+        assert!((g.in_weight_sum(n(2)) - 0.0).abs() < 1e-12);
+        assert_eq!(g.edge_weight(n(0), n(1)), Some(1.0));
+
+        // The snapshot's build-time caches agree with the incremental ones.
+        let s = g.snapshot();
+        for i in 0..g.node_count() as u32 {
+            assert!((s.out_weight_sum(n(i)) - g.out_weight_sum(n(i))).abs() < 1e-12, "out {i}");
+            assert!((s.in_weight_sum(n(i)) - g.in_weight_sum(n(i))).abs() < 1e-12, "in {i}");
+        }
+    }
+
+    #[test]
+    fn unweighted_base_with_unit_inserts_stays_unweighted() {
+        let mut g = diamond();
+        g.insert_edge(n(1), n(0), 1.0).unwrap();
+        assert!(!g.is_weighted());
+        assert!(!g.snapshot().is_weighted());
+        // A non-unit weight flips the graph weighted.
+        g.insert_edge(n(2), n(0), 2.0).unwrap();
+        assert!(g.is_weighted());
+        let s = g.snapshot();
+        assert!(s.is_weighted());
+        assert_eq!(s.edge_weight(n(2), n(0)), Some(2.0));
+        assert_eq!(s.edge_weight(n(0), n(1)), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut g = diamond();
+        assert!(matches!(
+            g.insert_edge(n(0), n(1), f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(g.insert_edge(n(0), n(1), 0.0), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(g.insert_edge(n(0), n(1), -1.0), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(g.remove_edge(n(0), n(99)), Err(GraphError::NodeOutOfBounds { .. })));
+        assert_eq!(g.version(), 0, "failed mutations must not move the version");
+    }
+
+    #[test]
+    fn inserts_create_nodes_and_labels_survive() {
+        let mut b = GraphBuilder::new();
+        b.add_labeled_edge("A", "B");
+        let mut g = DynamicGraph::new(b.build());
+        assert_eq!(g.node_count(), 2);
+
+        // Label-addressed growth.
+        let c = g.add_labeled_node("C").unwrap();
+        assert_eq!(g.node_by_label("C"), Some(c));
+        assert_eq!(g.label_of(c), Some("C"));
+        g.insert_edge(g.node_by_label("A").unwrap(), c, 1.0).unwrap();
+        // Index-addressed growth.
+        g.insert_edge(c, n(5), 1.0).unwrap();
+        assert_eq!(g.node_count(), 6);
+
+        let s = g.snapshot();
+        assert_eq!(s.node_count(), 6);
+        assert_eq!(s.node_by_label("C"), Some(c));
+        assert!(s.has_edge(s.node_by_label("A").unwrap(), c));
+        assert!(s.has_edge(c, n(5)));
+    }
+
+    #[test]
+    fn compaction_folds_delta_into_base() {
+        let mut g = diamond();
+        g.set_compact_threshold(3);
+        g.insert_edge(n(1), n(0), 1.0).unwrap();
+        g.insert_edge(n(2), n(0), 1.0).unwrap();
+        assert_eq!(g.delta_len(), 2);
+        g.snapshot();
+        assert_eq!(g.delta_len(), 2, "below threshold: delta stays");
+
+        g.insert_edge(n(3), n(2), 1.0).unwrap();
+        assert_eq!(g.delta_len(), 3);
+        let s = g.snapshot();
+        assert_eq!(g.delta_len(), 0, "threshold reached: delta compacted");
+        assert_eq!(g.version(), 3, "compaction is invisible to the version");
+        assert_eq!(g.edge_count(), s.edge_count());
+        // The compacted base answers overlay queries directly.
+        assert!(g.has_edge(n(3), n(2)));
+        // And further mutation keeps working on the promoted base.
+        g.remove_edge(n(3), n(2)).unwrap();
+        assert!(!g.has_edge(n(3), n(2)));
+        assert!(!g.snapshot().has_edge(n(3), n(2)));
+    }
+
+    #[test]
+    fn explicit_compact_and_labels_after_promotion() {
+        let mut b = GraphBuilder::new();
+        b.add_labeled_edge("A", "B");
+        let mut g = DynamicGraph::new(b.build());
+        let c = g.add_labeled_node("C").unwrap();
+        g.insert_edge(c, g.node_by_label("A").unwrap(), 1.0).unwrap();
+        g.compact();
+        assert_eq!(g.delta_len(), 0);
+        assert_eq!(g.node_by_label("C"), Some(c), "extra labels survive promotion");
+        assert_eq!(g.snapshot().node_by_label("C"), Some(c));
+    }
+
+    #[test]
+    fn weight_update_roundtrip_back_to_base_weight() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(n(0), n(1), 2.0);
+        let mut g = DynamicGraph::new(b.build());
+        g.insert_edge(n(0), n(1), 5.0).unwrap();
+        assert_eq!(g.edge_weight(n(0), n(1)), Some(5.0));
+        // Back to the base weight: the override entry disappears.
+        g.insert_edge(n(0), n(1), 2.0).unwrap();
+        assert_eq!(g.edge_weight(n(0), n(1)), Some(2.0));
+        assert_eq!(g.delta_len(), 0);
+        assert!((g.out_weight_sum(n(0)) - 2.0).abs() < 1e-12);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_weight_overridden_base_edge_removes_entirely() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(n(0), n(1), 2.0);
+        b.add_weighted_edge(n(1), n(0), 1.0);
+        let mut g = DynamicGraph::new(b.build());
+        g.insert_edge(n(0), n(1), 5.0).unwrap(); // override
+        g.remove_edge(n(0), n(1)).unwrap(); // must also kill the base edge
+        assert!(!g.has_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.snapshot().has_edge(n(0), n(1)));
+        assert!((g.out_weight_sum(n(0)) - 0.0).abs() < 1e-12);
+    }
+}

@@ -32,6 +32,13 @@ pub enum GraphError {
         /// Expected domain size.
         len: usize,
     },
+    /// A node count does not fit the `u32` id space (ids are `u32`
+    /// end-to-end; rather than silently truncating `n as u32`, operations
+    /// that mint ids for `n` nodes report this).
+    TooManyNodes {
+        /// The node count that exceeded `u32::MAX`.
+        count: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -50,6 +57,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidPermutation { index, len } => {
                 write!(f, "permutation is not a bijection on 0..{len}: image {index} out of range or repeated")
+            }
+            GraphError::TooManyNodes { count } => {
+                write!(f, "{count} nodes exceed the u32 node-id space (max {})", u32::MAX)
             }
         }
     }
@@ -70,6 +80,8 @@ mod tests {
         assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
         let w = GraphError::InvalidWeight { source: 1, target: 2, weight: f64::NAN };
         assert!(w.to_string().contains("1->2"));
+        let t = GraphError::TooManyNodes { count: usize::MAX };
+        assert!(t.to_string().contains("u32"));
     }
 
     #[test]

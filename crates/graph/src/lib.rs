@@ -36,6 +36,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod dynamic;
 pub mod error;
 pub mod labels;
 pub mod node;
@@ -49,6 +50,7 @@ pub mod wcc;
 
 pub use builder::GraphBuilder;
 pub use csr::DirectedGraph;
+pub use dynamic::{DynamicGraph, EdgeMutation};
 pub use error::GraphError;
 pub use labels::LabelTable;
 pub use node::NodeId;

@@ -45,15 +45,31 @@ pub struct Permutation {
     new_of_old: Vec<u32>,
 }
 
+/// Guards the `usize → u32` boundary every id-minting builder crosses:
+/// counts beyond `u32::MAX` would silently truncate in `n as u32` casts,
+/// so they are rejected as [`GraphError::TooManyNodes`] instead.
+fn check_id_space(n: usize) -> Result<(), GraphError> {
+    if n > u32::MAX as usize {
+        return Err(GraphError::TooManyNodes { count: n });
+    }
+    Ok(())
+}
+
 impl Permutation {
     /// The identity permutation on `n` nodes.
-    pub fn identity(n: usize) -> Self {
-        Permutation { new_of_old: (0..n as u32).collect() }
+    ///
+    /// Fails with [`GraphError::TooManyNodes`] when `n` exceeds the `u32`
+    /// id space (the former signature silently truncated `n as u32`,
+    /// producing an *empty* permutation for `n = 2^32`).
+    pub fn identity(n: usize) -> Result<Self, GraphError> {
+        check_id_space(n)?;
+        Ok(Permutation { new_of_old: (0..n as u32).collect() })
     }
 
     /// Wraps an explicit `old → new` mapping, validating that it is a
     /// bijection on `0..mapping.len()`.
     pub fn new(mapping: Vec<u32>) -> Result<Self, GraphError> {
+        check_id_space(mapping.len())?;
         let n = mapping.len();
         let mut seen = vec![false; n];
         for &new in &mapping {
@@ -144,12 +160,17 @@ impl NodeOrdering {
     }
 
     /// Computes this ordering's permutation for `g`.
-    pub fn permutation(self, g: &DirectedGraph) -> Permutation {
-        match self {
-            NodeOrdering::Original => Permutation::identity(g.node_count()),
+    ///
+    /// Fails with [`GraphError::TooManyNodes`] when the node count
+    /// exceeds the `u32` id space (instead of silently truncating the
+    /// `usize → u32` id casts the builders perform).
+    pub fn permutation(self, g: &DirectedGraph) -> Result<Permutation, GraphError> {
+        check_id_space(g.node_count())?;
+        Ok(match self {
+            NodeOrdering::Original => Permutation::identity(g.node_count())?,
             NodeOrdering::DegreeDescending => degree_descending(g),
             NodeOrdering::Bfs => rcm_like(g),
-        }
+        })
     }
 }
 
@@ -278,9 +299,15 @@ impl DirectedGraph {
     }
 
     /// Convenience: computes `ordering`'s permutation and reorders.
-    pub fn reordered_by(&self, ordering: NodeOrdering) -> (DirectedGraph, Permutation) {
-        let perm = ordering.permutation(self);
-        self.reordered(&perm)
+    ///
+    /// Fails with [`GraphError::TooManyNodes`] when the node count
+    /// exceeds the `u32` id space (see [`NodeOrdering::permutation`]).
+    pub fn reordered_by(
+        &self,
+        ordering: NodeOrdering,
+    ) -> Result<(DirectedGraph, Permutation), GraphError> {
+        let perm = ordering.permutation(self)?;
+        Ok(self.reordered(&perm))
     }
 
     /// Mean index distance |u − v| over all edges — the locality figure a
@@ -316,8 +343,21 @@ mod tests {
         assert!(Permutation::new(vec![2, 0, 1]).is_ok());
         assert!(Permutation::new(vec![0, 0, 1]).is_err());
         assert!(Permutation::new(vec![0, 3, 1]).is_err());
-        assert!(Permutation::identity(4).is_identity());
+        assert!(Permutation::identity(4).unwrap().is_identity());
         assert!(!Permutation::new(vec![1, 0]).unwrap().is_identity());
+    }
+
+    #[test]
+    fn oversized_node_counts_error_instead_of_truncating() {
+        // Anything past the u32 id space is a structured error, checked
+        // *before* allocation (the old code silently truncated `n as u32`).
+        let too_many = u32::MAX as usize + 1;
+        assert!(matches!(
+            Permutation::identity(too_many),
+            Err(GraphError::TooManyNodes { count }) if count == too_many
+        ));
+        // The boundary itself is fine.
+        assert!(Permutation::identity(0).is_ok());
     }
 
     #[test]
@@ -347,7 +387,7 @@ mod tests {
         b.add_labeled_edge("B", "Hub");
         let g = b.build();
         for ordering in NodeOrdering::ALL {
-            let (r, inv) = g.reordered_by(ordering);
+            let (r, inv) = g.reordered_by(ordering).unwrap();
             assert_eq!(r.node_count(), g.node_count(), "{ordering}");
             assert_eq!(r.edge_count(), g.edge_count(), "{ordering}");
             // Every labeled edge survives, by label.
@@ -370,7 +410,7 @@ mod tests {
         b.add_weighted_edge(NodeId::new(1), NodeId::new(2), 1.5);
         b.add_weighted_edge(NodeId::new(2), NodeId::new(0), 4.0);
         let g = b.build();
-        let (r, inv) = g.reordered_by(NodeOrdering::DegreeDescending);
+        let (r, inv) = g.reordered_by(NodeOrdering::DegreeDescending).unwrap();
         assert!(r.is_weighted());
         for u in r.nodes() {
             let old = inv.map(u);
@@ -392,7 +432,7 @@ mod tests {
             b.add_edge_indices(7, i);
         }
         let g = b.build();
-        let p = NodeOrdering::DegreeDescending.permutation(&g);
+        let p = NodeOrdering::DegreeDescending.permutation(&g).unwrap();
         assert_eq!(p.map(NodeId::new(7)), NodeId::new(0), "hub gets id 0");
     }
 
@@ -400,7 +440,7 @@ mod tests {
     fn bfs_reduces_edge_span_on_scrambled_path() {
         let g = scrambled_path(503); // prime so the scramble is a bijection
         let before = g.mean_edge_span();
-        let (r, _) = g.reordered_by(NodeOrdering::Bfs);
+        let (r, _) = g.reordered_by(NodeOrdering::Bfs).unwrap();
         let after = r.mean_edge_span();
         assert!(after < before / 10.0, "span {before:.1} -> {after:.1}");
     }
@@ -408,7 +448,7 @@ mod tests {
     #[test]
     fn identity_ordering_is_noop() {
         let g = scrambled_path(101);
-        let (r, inv) = g.reordered_by(NodeOrdering::Original);
+        let (r, inv) = g.reordered_by(NodeOrdering::Original).unwrap();
         assert!(inv.is_identity());
         for u in g.nodes() {
             assert_eq!(r.out_neighbors(u), g.out_neighbors(u));
@@ -430,7 +470,7 @@ mod tests {
     #[test]
     fn empty_graph_reorders() {
         let g = GraphBuilder::new().build();
-        let (r, inv) = g.reordered_by(NodeOrdering::Bfs);
+        let (r, inv) = g.reordered_by(NodeOrdering::Bfs).unwrap();
         assert!(r.is_empty());
         assert!(inv.is_empty());
     }

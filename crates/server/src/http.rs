@@ -1,8 +1,8 @@
 //! Minimal HTTP/1.1 request parsing and response serialization.
 //!
-//! Supports exactly what the demo's API needs: GET/POST, path + query
-//! string, `Content-Length`-framed bodies, and JSON responses. Not a
-//! general-purpose HTTP implementation — requests the parser does not
+//! Supports exactly what the demo's API needs: GET/POST/DELETE, path +
+//! query string, `Content-Length`-framed bodies, and JSON responses. Not
+//! a general-purpose HTTP implementation — requests the parser does not
 //! understand produce `400 Bad Request`.
 
 use std::collections::HashMap;
@@ -18,6 +18,8 @@ pub enum Method {
     Get,
     /// POST.
     Post,
+    /// DELETE (dataset edge removal).
+    Delete,
 }
 
 /// A parsed request.
@@ -45,6 +47,7 @@ impl Request {
         let method = match parts.next() {
             Some("GET") => Method::Get,
             Some("POST") => Method::Post,
+            Some("DELETE") => Method::Delete,
             Some(other) => return Err(format!("unsupported method {other}")),
             None => return Err("empty request line".into()),
         };
@@ -237,8 +240,15 @@ mod tests {
     }
 
     #[test]
+    fn parses_delete() {
+        let r = parse("DELETE /api/datasets/d/edges HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Delete);
+        assert_eq!(r.segments(), vec!["api", "datasets", "d", "edges"]);
+    }
+
+    #[test]
     fn rejects_garbage() {
-        assert!(parse("DELETE /x HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse("PATCH /x HTTP/1.1\r\n\r\n").is_err());
         assert!(parse("\r\n").is_err());
         assert!(parse("GET /x\r\n\r\n").is_err());
         assert!(parse("GET /x SMTP\r\n\r\n").is_err());

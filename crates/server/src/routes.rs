@@ -16,6 +16,8 @@ pub fn route(req: &Request, engine: &Arc<Scheduler>) -> Response {
         (Method::Post, ["api", "datasets"]) => upload_dataset(req, engine),
         (Method::Get, ["api", "datasets", id]) => get_dataset(id, engine),
         (Method::Get, ["api", "datasets", id, "stats"]) => dataset_stats(id, engine),
+        (Method::Post, ["api", "datasets", id, "edges"]) => mutate_edges(id, req, engine, true),
+        (Method::Delete, ["api", "datasets", id, "edges"]) => mutate_edges(id, req, engine, false),
         (Method::Get, ["api", "algorithms"]) => list_algorithms(),
         (Method::Post, ["api", "tasks"]) => submit_task(req, engine),
         (Method::Post, ["api", "batch"]) => submit_batch(req, engine),
@@ -27,9 +29,7 @@ pub fn route(req: &Request, engine: &Arc<Scheduler>) -> Response {
         (Method::Get, ["api", "tasks", id, "log"]) => task_log(id, engine),
         (Method::Post, ["api", "tasks", id, "cancel"]) => cancel_task(id, engine),
         (Method::Post, ["api", "query-sets"]) => submit_query_set(req, engine),
-        (Method::Post, _) | (Method::Get, _) => {
-            Response::error(StatusCode::NotFound, format!("no route for {}", req.path))
-        }
+        _ => Response::error(StatusCode::NotFound, format!("no route for {}", req.path)),
     }
 }
 
@@ -45,7 +45,9 @@ fn index() -> Response {
         <li>GET /api/datasets — the 50-dataset catalog (+ uploads)</li>\n\
         <li>POST /api/datasets — upload a graph {name?, format?, content}</li>\n\
         <li>GET /api/datasets/{id} — one catalog entry + memory/locality footprint</li>\n\
-        <li>GET /api/datasets/{id}/stats — structural statistics</li>\n\
+        <li>GET /api/datasets/{id}/stats — structural statistics + graph version</li>\n\
+        <li>POST /api/datasets/{id}/edges — insert/update edges {edges: [{source, target, weight?}]}</li>\n\
+        <li>DELETE /api/datasets/{id}/edges — remove edges (same body; bumps the graph version)</li>\n\
         <li>GET /api/algorithms — registered algorithms with parameter schemas</li>\n\
         <li>POST /api/tasks — submit a task (?top_k=k for top-k-only serving)</li>\n\
         <li>POST /api/batch — submit one algorithm over many seeds (one fused solve; ?top_k=k)</li>\n\
@@ -196,11 +198,68 @@ fn upload_dataset(req: &Request, engine: &Arc<Scheduler>) -> Response {
     }
 }
 
-/// Structural statistics of any loadable dataset (registry or upload).
+/// Structural statistics of any loadable dataset (registry or upload),
+/// plus the dataset's current graph **version** (0 until the first edge
+/// mutation) so clients can detect concurrent mutation between reads.
 fn dataset_stats(id: &str, engine: &Arc<Scheduler>) -> Response {
-    match engine.executor().dataset(id) {
-        Ok(g) => Response::json(StatusCode::Ok, &relgraph::GraphStats::compute(&g)),
+    match engine.executor().dataset_versioned(id) {
+        Ok((g, version)) => {
+            let mut value = serde_json::to_value(&relgraph::GraphStats::compute(&g));
+            if let serde_json::Value::Object(map) = &mut value {
+                map.insert("version".to_string(), serde_json::Value::U64(version));
+            }
+            Response::json(StatusCode::Ok, &value)
+        }
         Err(e) => Response::error(StatusCode::NotFound, e.to_string()),
+    }
+}
+
+/// `POST /api/datasets/{id}/edges` (insert/update) and
+/// `DELETE /api/datasets/{id}/edges` (remove): body
+/// `{"edges": [{"source", "target", "weight"?}, ...]}`. The batch applies
+/// atomically, bumps the dataset's graph version, and invalidates every
+/// cached result of the dataset — a repeated identical query after a 200
+/// from here is always recomputed against the new graph.
+fn mutate_edges(id: &str, req: &Request, engine: &Arc<Scheduler>, insert: bool) -> Response {
+    #[derive(serde::Deserialize)]
+    struct Edges {
+        edges: Vec<relengine::EdgeSpec>,
+    }
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(StatusCode::BadRequest, e),
+    };
+    let edges: Edges = match serde_json::from_str(body) {
+        Ok(e) => e,
+        Err(e) => return Response::error(StatusCode::BadRequest, format!("bad edge batch: {e}")),
+    };
+    if edges.edges.is_empty() {
+        return Response::error(StatusCode::BadRequest, "edge batch is empty");
+    }
+    const MAX_BATCH_EDGES: usize = 10_000;
+    if edges.edges.len() > MAX_BATCH_EDGES {
+        return Response::error(
+            StatusCode::BadRequest,
+            format!(
+                "edge batch has {} entries; the per-request limit is {MAX_BATCH_EDGES}",
+                edges.edges.len()
+            ),
+        );
+    }
+    let ops: Vec<relengine::EdgeOp> = edges
+        .edges
+        .into_iter()
+        .map(|s| if insert { relengine::EdgeOp::Add(s) } else { relengine::EdgeOp::Remove(s) })
+        .collect();
+    match engine.mutate_dataset(id, &ops) {
+        Ok(outcome) => Response::json(StatusCode::Ok, &outcome),
+        Err(e @ relengine::EngineError::UnknownDataset(_)) => {
+            Response::error(StatusCode::NotFound, e.to_string())
+        }
+        Err(e @ relengine::EngineError::InvalidMutation(_)) => {
+            Response::error(StatusCode::BadRequest, e.to_string())
+        }
+        Err(e) => Response::error(StatusCode::InternalError, e.to_string()),
     }
 }
 
@@ -748,6 +807,144 @@ mod tests {
         // Collision with a registry id.
         let body = serde_json::json!({"name": "wiki-en-2018", "content": "0,1\n"}).to_string();
         assert_eq!(route(&post("/api/datasets", &body), &e).status, StatusCode::BadRequest);
+    }
+
+    fn delete(path: &str, body: &str) -> Request {
+        Request {
+            method: Method::Delete,
+            path: path.to_string(),
+            query: String::new(),
+            headers: HashMap::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// The acceptance scenario: after `POST /api/datasets/{id}/edges`, a
+    /// repeated identical query is recomputed (cache miss on the new
+    /// graph version) and reflects the mutated graph.
+    #[test]
+    fn edge_mutation_invalidates_cached_results() {
+        let e = engine();
+        let content = "*Vertices 3\n1 \"seed\"\n2 \"a\"\n3 \"b\"\n*Arcs\n1 2\n2 1\n1 3\n";
+        let body = serde_json::json!({"name": "dyn-net", "content": content}).to_string();
+        assert_eq!(route(&post("/api/datasets", &body), &e).status, StatusCode::Ok);
+
+        let spec = r#"{
+            "dataset": "dyn-net",
+            "params": {"algorithm": "personalized_page_rank"},
+            "source": "seed",
+            "top_k": 3
+        }"#;
+        let run = |e: &Arc<Scheduler>| -> serde_json::Value {
+            let r = route(&post("/api/tasks", spec), e);
+            assert_eq!(r.status, StatusCode::Accepted, "{}", body_str(&r));
+            let id = serde_json::from_slice::<serde_json::Value>(&r.body).unwrap()["task_id"]
+                .as_str()
+                .unwrap()
+                .to_string();
+            e.wait(&TaskId(id.clone()), std::time::Duration::from_secs(60)).unwrap();
+            serde_json::from_slice(&route(&get(&format!("/api/tasks/{id}/result")), e).body)
+                .unwrap()
+        };
+        let score = |v: &serde_json::Value, label: &str| -> f64 {
+            v["top"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .find(|pair| pair[0] == *label)
+                .map(|pair| pair[1].as_f64().unwrap())
+                .unwrap()
+        };
+        let before = run(&e);
+        run(&e); // warm the cache
+        let hits_before = e.cache_stats().hits;
+        assert!(hits_before >= 1, "second identical task must hit the cache");
+
+        // Stats report version 0 pre-mutation.
+        let stats: serde_json::Value =
+            serde_json::from_slice(&route(&get("/api/datasets/dyn-net/stats"), &e).body).unwrap();
+        assert_eq!(stats["version"].as_u64(), Some(0));
+        assert!(stats["nodes"].as_u64().unwrap() > 0);
+
+        // Mutate: a -> b raises b's score.
+        let batch = r#"{"edges": [{"source": "a", "target": "b"}]}"#;
+        let r = route(&post("/api/datasets/dyn-net/edges", batch), &e);
+        assert_eq!(r.status, StatusCode::Ok, "{}", body_str(&r));
+        let outcome: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(outcome["version"].as_u64(), Some(1));
+        assert_eq!(outcome["applied"].as_u64(), Some(1));
+
+        let stats: serde_json::Value =
+            serde_json::from_slice(&route(&get("/api/datasets/dyn-net/stats"), &e).body).unwrap();
+        assert_eq!(stats["version"].as_u64(), Some(1), "stats must report the new version");
+
+        // Recomputed, not served stale.
+        let after = run(&e);
+        assert_eq!(e.cache_stats().hits, hits_before, "mutated dataset must not hit stale cache");
+        assert!(
+            score(&after, "b") > score(&before, "b"),
+            "recomputed result must reflect the new edge: {after} vs {before}"
+        );
+
+        // DELETE reverts the edge; the next run is recomputed again and
+        // matches the original scores.
+        let r = route(&delete("/api/datasets/dyn-net/edges", batch), &e);
+        assert_eq!(r.status, StatusCode::Ok, "{}", body_str(&r));
+        let outcome: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(outcome["version"].as_u64(), Some(2));
+        let reverted = run(&e);
+        assert!((score(&reverted, "b") - score(&before, "b")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_mutation_rejections() {
+        let e = engine();
+        // Unknown dataset: 404.
+        let batch = r#"{"edges": [{"source": "a", "target": "b"}]}"#;
+        assert_eq!(
+            route(&post("/api/datasets/ghost/edges", batch), &e).status,
+            StatusCode::NotFound
+        );
+        // Bad JSON / empty batch: 400.
+        assert_eq!(
+            route(&post("/api/datasets/fixture-fakenews-it/edges", "nope"), &e).status,
+            StatusCode::BadRequest
+        );
+        assert_eq!(
+            route(&post("/api/datasets/fixture-fakenews-it/edges", r#"{"edges": []}"#), &e).status,
+            StatusCode::BadRequest
+        );
+        // Removal of an unresolvable endpoint: 400 (removals never create).
+        let r = route(
+            &delete(
+                "/api/datasets/fixture-fakenews-it/edges",
+                r#"{"edges": [{"source": "No Such Node", "target": "Fake news"}]}"#,
+            ),
+            &e,
+        );
+        assert_eq!(r.status, StatusCode::BadRequest, "{}", body_str(&r));
+        // Removing an absent (but resolvable) edge is an accepted no-op:
+        // nothing applied, version unmoved.
+        let r = route(
+            &delete(
+                "/api/datasets/fixture-fakenews-it/edges",
+                r#"{"edges": [{"source": "Pizzagate", "target": "Pizzagate"}]}"#,
+            ),
+            &e,
+        );
+        if r.status == StatusCode::Ok {
+            let outcome: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+            assert_eq!(outcome["applied"].as_u64(), Some(0));
+            assert_eq!(outcome["version"].as_u64(), Some(0));
+        }
+        // Oversized batches are rejected.
+        let edges: Vec<String> =
+            (0..10_001).map(|i| format!(r#"{{"source": "s{i}", "target": "t{i}"}}"#)).collect();
+        let body = format!(r#"{{"edges": [{}]}}"#, edges.join(","));
+        assert_eq!(
+            route(&post("/api/datasets/fixture-fakenews-it/edges", &body), &e).status,
+            StatusCode::BadRequest
+        );
     }
 
     #[test]
