@@ -114,6 +114,10 @@ pub struct MutateSpec {
     pub source: Option<String>,
     /// Top-k rows of the before/after query.
     pub top: usize,
+    /// Top-k-only serving mode for the before/after query (`--top-k k`):
+    /// compute only the k best entries through the certified top-k path
+    /// instead of the full ranking. Implies `top = k`.
+    pub top_k: Option<usize>,
     /// Emit JSON instead of a table.
     pub json: bool,
 }
@@ -171,6 +175,25 @@ pub enum Command {
         addr: String,
         /// Worker count.
         workers: usize,
+        /// Durable data directory (`--data-dir`): recover persisted
+        /// datasets on boot and journal every mutation while serving.
+        data_dir: Option<String>,
+    },
+    /// `replay <dir>`: rebuild every dataset from its snapshot + journal
+    /// and print per-dataset version/node/edge counts and a state digest.
+    Replay {
+        /// Data directory to replay.
+        dir: String,
+        /// Emit JSON instead of a table.
+        json: bool,
+    },
+    /// `journal verify <dir>`: CRC + version-monotonicity check over
+    /// every dataset's durable files; exits non-zero on any damage.
+    JournalVerify {
+        /// Data directory to verify.
+        dir: String,
+        /// Emit JSON instead of a table.
+        json: bool,
     },
 }
 
@@ -229,9 +252,31 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 
 /// Parses a full argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Cli, String> {
-    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    let (cmd, mut rest) = args.split_first().ok_or_else(usage)?;
+    let mut cmd = cmd.as_str();
+    // `journal` is a command group: fold `journal verify` into one name.
+    if cmd == "journal" {
+        match rest.split_first() {
+            Some((sub, tail)) if sub == "verify" => {
+                cmd = "journal-verify";
+                rest = tail;
+            }
+            _ => return Err("journal needs a subcommand: journal verify <dir>".into()),
+        }
+    }
+    // `replay <dir>` / `journal verify <dir>` take a positional path; peel
+    // it off before flag parsing (which accepts only `--flag` tokens).
+    let mut positional = None;
+    if matches!(cmd, "replay" | "journal-verify") {
+        if let Some((first, tail)) = rest.split_first() {
+            if !first.starts_with("--") {
+                positional = Some(first.clone());
+                rest = tail;
+            }
+        }
+    }
     let mut flags = Flags::parse(rest)?;
-    let command = match cmd.as_str() {
+    let command = match cmd {
         "list-datasets" => {
             let kind = flags.take("kind");
             flags.finish()?;
@@ -298,6 +343,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 algorithm: flags.take("algorithm"),
                 source: flags.take("source"),
                 top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
+                top_k: flags.take("top-k").map(|v| parse_num(&v, "top-k")).transpose()?,
                 json: flags.has_switch("json"),
             };
             if spec.add.is_empty() && spec.remove.is_empty() {
@@ -309,6 +355,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             if spec.algorithm.is_none() && spec.source.is_some() {
                 return Err(
                     "mutate --source needs --algorithm (the before/after query to run)".into()
+                );
+            }
+            // Same deal for --top-k: it shapes the before/after query.
+            if spec.algorithm.is_none() && spec.top_k.is_some() {
+                return Err(
+                    "mutate --top-k needs --algorithm (the before/after query to run)".into()
                 );
             }
             flags.finish()?;
@@ -359,8 +411,29 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let addr = flags.take("addr").unwrap_or_else(|| "127.0.0.1:8080".into());
             let workers =
                 flags.take("workers").map(|v| parse_num(&v, "workers")).transpose()?.unwrap_or(4);
+            let data_dir = flags.take("data-dir");
             flags.finish()?;
-            Command::Serve { addr, workers }
+            Command::Serve { addr, workers, data_dir }
+        }
+        "replay" => {
+            let dir = match positional.or_else(|| flags.take("dir")) {
+                Some(d) => d,
+                None => return Err("replay needs a data directory: replay <dir>".into()),
+            };
+            let json = flags.has_switch("json");
+            flags.finish()?;
+            Command::Replay { dir, json }
+        }
+        "journal-verify" => {
+            let dir = match positional.or_else(|| flags.take("dir")) {
+                Some(d) => d,
+                None => {
+                    return Err("journal verify needs a data directory: journal verify <dir>".into())
+                }
+            };
+            let json = flags.has_switch("json");
+            flags.finish()?;
+            Command::JournalVerify { dir, json }
         }
         other => return Err(format!("unknown command {other:?}\n{}", usage())),
     };
@@ -370,7 +443,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
 /// Usage text.
 pub fn usage() -> String {
     "usage: relrank <command> [flags]\n\
-     commands: list-datasets, algorithms, stats, run, batch, mutate, compare, compare-datasets, convert, visualize, serve\n\
+     commands: list-datasets, algorithms, stats, run, batch, mutate, compare, compare-datasets, convert, visualize, serve, replay, journal verify\n\
      see crate docs for per-command flags"
         .to_string()
 }
@@ -574,7 +647,52 @@ mod tests {
     #[test]
     fn serve_defaults() {
         let cli = parse("serve").unwrap();
-        assert_eq!(cli.command, Command::Serve { addr: "127.0.0.1:8080".into(), workers: 4 });
+        assert_eq!(
+            cli.command,
+            Command::Serve { addr: "127.0.0.1:8080".into(), workers: 4, data_dir: None }
+        );
+        let cli = parse("serve --data-dir /tmp/relrank-data").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                workers: 4,
+                data_dir: Some("/tmp/relrank-data".into())
+            }
+        );
+    }
+
+    #[test]
+    fn replay_takes_positional_dir() {
+        let cli = parse("replay /tmp/data").unwrap();
+        assert_eq!(cli.command, Command::Replay { dir: "/tmp/data".into(), json: false });
+        let cli = parse("replay --dir /tmp/data --json").unwrap();
+        assert_eq!(cli.command, Command::Replay { dir: "/tmp/data".into(), json: true });
+        assert!(parse("replay").is_err());
+        assert!(parse("replay /tmp/data --bogus v").is_err());
+    }
+
+    #[test]
+    fn journal_verify_is_a_subcommand() {
+        let cli = parse("journal verify /tmp/data").unwrap();
+        assert_eq!(cli.command, Command::JournalVerify { dir: "/tmp/data".into(), json: false });
+        let cli = parse("journal verify --dir /tmp/data --json").unwrap();
+        assert_eq!(cli.command, Command::JournalVerify { dir: "/tmp/data".into(), json: true });
+        assert!(parse("journal").is_err());
+        assert!(parse("journal frobnicate /tmp/data").is_err());
+        assert!(parse("journal verify").is_err());
+    }
+
+    #[test]
+    fn mutate_top_k_serving_flag() {
+        let cli =
+            parse("mutate --dataset d --add A->B --algorithm ppr --source A --top-k 3").unwrap();
+        match cli.command {
+            Command::Mutate(m) => assert_eq!(m.top_k, Some(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // --top-k without the before/after query would be dead weight.
+        assert!(parse("mutate --dataset d --add A->B --top-k 3").is_err());
     }
 
     #[test]

@@ -365,15 +365,22 @@ pub fn mutate(spec: MutateSpec) -> Result<String, String> {
         ops.push(relengine::EdgeOp::Remove(parse_edge(e, false)?));
     }
 
+    // --top-k routes the before/after query through the certified top-k
+    // serving path (and caps the printout at k rows).
+    let top = spec.top_k.unwrap_or(spec.top);
     let ex = Executor::new();
     let task = match (&spec.algorithm, &spec.source) {
         (Some(algo), source) => {
             let algo: Algorithm = algo.parse()?;
-            let mut b = TaskBuilder::new(spec.dataset.as_str()).algorithm(algo).top_k(spec.top);
+            let mut b = TaskBuilder::new(spec.dataset.as_str()).algorithm(algo).top_k(top);
             if let Some(s) = source {
                 b = b.source(s.as_str());
             }
-            Some(b.build().map_err(|e| e.to_string())?)
+            let mut task = b.build().map_err(|e| e.to_string())?;
+            if let Some(k) = spec.top_k {
+                task.params.top_k = Some(k);
+            }
+            Some(task)
         }
         (None, _) => None,
     };
@@ -417,7 +424,7 @@ pub fn mutate(spec: MutateSpec) -> Result<String, String> {
     );
     if let (Some(b), Some(a)) = (&before, &after) {
         out.push_str(&format!("\n{} [{}] — before | after\n", a.algorithm, a.parameters));
-        for rank in 0..spec.top {
+        for rank in 0..top {
             let cell = |r: &TaskResult| {
                 r.top
                     .get(rank)
@@ -583,14 +590,135 @@ pub fn visualize(
     ))
 }
 
-/// `serve`: run the API gateway until killed.
-pub fn serve(addr: &str, workers: usize) -> Result<String, String> {
-    let engine = Arc::new(Scheduler::builder().workers(workers).build());
+/// `serve`: run the API gateway until killed. With `--data-dir` the
+/// engine recovers persisted datasets on boot and journals every edge
+/// mutation while serving.
+pub fn serve(addr: &str, workers: usize, data_dir: Option<&str>) -> Result<String, String> {
+    let mut builder = Scheduler::builder().workers(workers);
+    if let Some(dir) = data_dir {
+        builder = builder.data_dir(dir);
+    }
+    let engine = Arc::new(builder.try_build().map_err(|e| e.to_string())?);
+    if let Some(dir) = data_dir {
+        let recovered = engine
+            .executor()
+            .persistence()
+            .and_then(|p| p.dataset_ids().ok())
+            .map(|ids| ids.len())
+            .unwrap_or(0);
+        eprintln!("durable store at {dir}: {recovered} dataset(s) recovered");
+    }
     let server = relserver::ApiServer::bind(addr, engine).map_err(|e| e.to_string())?;
     let bound = server.local_addr();
     eprintln!("relrank API gateway listening on http://{bound} ({workers} workers)");
     server.run();
     Ok(format!("server on {bound} stopped\n"))
+}
+
+/// `replay <dir>`: rebuild every dataset in a durable data directory from
+/// its snapshot + journal (the exact boot-recovery path) and print each
+/// dataset's recovered version, node/edge counts, replay depth, and an
+/// FNV-1a state digest — two directories holding the same logical state
+/// print the same digests.
+pub fn replay(dir: &str, json: bool) -> Result<String, String> {
+    let persist = relengine::GraphPersistence::open(dir).map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for id in persist.dataset_ids().map_err(|e| e.to_string())? {
+        let mut r = persist
+            .recover(&id)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| format!("dataset {id:?} listed but not recoverable"))?;
+        let graph = r.graph.snapshot();
+        let version = r.graph.version();
+        rows.push((
+            id,
+            version,
+            graph.node_count(),
+            graph.edge_count(),
+            r.snapshot_version,
+            r.replayed,
+            relstore::graph_digest(&graph, version),
+        ));
+    }
+    if json {
+        let rows: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|(id, version, nodes, edges, snapshot_version, replayed, digest)| {
+                serde_json::json!({
+                    "dataset": id,
+                    "version": version,
+                    "nodes": nodes,
+                    "edges": edges,
+                    "snapshot_version": snapshot_version,
+                    "replayed_records": replayed,
+                    "digest": format!("{digest:016x}"),
+                })
+            })
+            .collect();
+        return serde_json::to_string_pretty(&rows).map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8}  {}\n",
+        "DATASET", "VERSION", "NODES", "EDGES", "SNAP@", "REPLAY", "DIGEST"
+    );
+    for (id, version, nodes, edges, snapshot_version, replayed, digest) in &rows {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8}  {:016x}\n",
+            id, version, nodes, edges, snapshot_version, replayed, digest
+        ));
+    }
+    out.push_str(&format!("{} dataset(s) replayed from {dir}\n", rows.len()));
+    Ok(out)
+}
+
+/// `journal verify <dir>`: integrity check (frame CRCs, snapshot
+/// decodability, version monotonicity, torn tails) over every dataset in
+/// a durable data directory. Returns `Err` — a non-zero exit — when any
+/// dataset fails, so it works as a CI / cron guard.
+pub fn journal_verify(dir: &str, json: bool) -> Result<String, String> {
+    let store = relstore::DatasetStore::open(dir).map_err(|e| e.to_string())?;
+    let reports = store.verify().map_err(|e| e.to_string())?;
+    let bad: Vec<&str> =
+        reports.iter().filter(|r| !r.is_ok()).map(|r| r.dataset.as_str()).collect();
+    let out = if json {
+        let rows: Vec<serde_json::Value> = reports
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "dataset": r.dataset,
+                    "snapshot_ok": r.snapshot_ok,
+                    "journal_records": r.journal_records,
+                    "monotonic": r.monotonic,
+                    "tail": format!("{:?}", r.tail),
+                    "ok": r.is_ok(),
+                })
+            })
+            .collect();
+        serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?
+    } else {
+        let mut out = format!(
+            "{:<24} {:>8} {:>8} {:>9} {:>10}  {}\n",
+            "DATASET", "SNAP", "RECORDS", "MONOTONE", "TAIL", "VERDICT"
+        );
+        for r in &reports {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>8} {:>9} {:>10}  {}\n",
+                r.dataset,
+                if r.snapshot_ok { "ok" } else { "BAD" },
+                r.journal_records,
+                if r.monotonic { "ok" } else { "BAD" },
+                format!("{:?}", r.tail),
+                if r.is_ok() { "ok" } else { "DAMAGED" },
+            ));
+        }
+        out.push_str(&format!("{} dataset(s) checked in {dir}\n", reports.len()));
+        out
+    };
+    if bad.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!("{out}journal verify failed for: {}", bad.join(", ")))
+    }
 }
 
 #[cfg(test)]
@@ -902,6 +1030,7 @@ mod tests {
             algorithm: None,
             source: None,
             top: 5,
+            top_k: None,
             json: true,
         })
         .unwrap();
@@ -922,6 +1051,7 @@ mod tests {
             algorithm: Some("ppr".into()),
             source: Some("Fake news".into()),
             top: 3,
+            top_k: Some(3),
             json: false,
         })
         .unwrap();
@@ -940,12 +1070,104 @@ mod tests {
             algorithm: None,
             source: None,
             top: 5,
+            top_k: None,
             json: false,
         };
         let err = mutate(base.clone()).unwrap_err();
         assert!(err.contains("No Such Node"), "{err}");
         assert!(mutate(MutateSpec { dataset: "ghost".into(), ..base.clone() }).is_err());
         assert!(mutate(MutateSpec { add: vec!["broken".into()], ..base }).is_err());
+    }
+
+    /// Builds a durable data directory holding one mutated upload, via
+    /// the same engine path the server uses.
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "relcli-store-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let mut ex = Executor::new();
+        ex.attach_persistence(std::sync::Arc::new(
+            relengine::GraphPersistence::open(&dir).unwrap(),
+        ));
+        let mut b = relgraph::GraphBuilder::new();
+        b.add_labeled_edge("a", "b");
+        b.add_labeled_edge("b", "a");
+        ex.register_graph("cli-net", b.build()).unwrap();
+        ex.mutate_dataset(
+            "cli-net",
+            &[relengine::EdgeOp::Add(relengine::EdgeSpec {
+                source: "b".into(),
+                target: "c".into(),
+                weight: Some(2.0),
+            })],
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn replay_prints_versions_and_digests() {
+        let dir = durable_dir("replay");
+        let out = replay(dir.to_str().unwrap(), false).unwrap();
+        assert!(out.contains("cli-net"), "{out}");
+        assert!(out.contains("DIGEST"), "{out}");
+        assert!(out.contains("1 dataset(s) replayed"), "{out}");
+        // Deterministic: a second replay prints the identical table.
+        assert_eq!(out, replay(dir.to_str().unwrap(), false).unwrap());
+        let json = replay(dir.to_str().unwrap(), true).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v[0]["dataset"], "cli-net");
+        assert_eq!(v[0]["version"].as_u64(), Some(2)); // node "c" + edge b->c
+        assert!(v[0]["digest"].as_str().unwrap().len() == 16);
+        // An empty store replays to an empty table, not an error.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let out = replay(dir.to_str().unwrap(), false).unwrap();
+        assert!(out.contains("0 dataset(s) replayed"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_verify_detects_corruption() {
+        let dir = durable_dir("verify");
+        let out = journal_verify(dir.to_str().unwrap(), false).unwrap();
+        assert!(out.contains("cli-net"), "{out}");
+        assert!(out.contains(" ok"), "{out}");
+        // Flip one payload byte: the CRC check must flag the dataset and
+        // the command must fail (non-zero exit in the binary).
+        let journal = dir.join("cli-net").join("journal.log");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        let mid = bytes.len() - 3;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&journal, &bytes).unwrap();
+        let err = journal_verify(dir.to_str().unwrap(), false).unwrap_err();
+        assert!(err.contains("journal verify failed for: cli-net"), "{err}");
+        assert!(err.contains("DAMAGED"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mutate_top_k_uses_certified_serving_path() {
+        let out = mutate(MutateSpec {
+            dataset: "fixture-fakenews-it".into(),
+            add: vec!["Fake news->Another Page".into()],
+            remove: vec![],
+            algorithm: Some("cyclerank".into()),
+            source: Some("Fake news".into()),
+            top: 5,
+            top_k: Some(2),
+            json: true,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        // --top-k 2 caps both printouts at the two certified entries.
+        assert_eq!(v["top_before"].as_array().unwrap().len(), 2, "{out}");
+        assert_eq!(v["top_after"].as_array().unwrap().len(), 2, "{out}");
+        assert_eq!(v["top_before"][0][0], "Fake news");
     }
 
     #[test]

@@ -15,13 +15,16 @@
 //!               [--algorithm ppr] [--alpha <f>] [--scheme <s>]
 //!               [--threads <n>] [--top <n>] [--json]
 //! relrank mutate --dataset <id> [--add "A->B,B->C:2.5"] [--remove "C->A"]
-//!                [--algorithm ppr --source <label> --top <n>] [--json]
+//!                [--algorithm ppr --source <label> --top <n> --top-k <k>]
+//!                [--json]
 //! relrank compare --dataset <id> --source <label>
 //!                 [--algorithms pagerank,cyclerank,ppr] [--top <n>]
 //! relrank compare-datasets --datasets <id,id,...> --source <label>
 //!                          [--k <n>] [--top <n>]
 //! relrank convert --input <file> --output <file> --format csv|pajek|asd
-//! relrank serve [--addr 127.0.0.1:8080] [--workers <n>]
+//! relrank serve [--addr 127.0.0.1:8080] [--workers <n>] [--data-dir <dir>]
+//! relrank replay <dir> [--json]
+//! relrank journal verify <dir> [--json]
 //! ```
 
 pub mod args;
@@ -46,6 +49,10 @@ pub fn run(cli: Cli) -> Result<String, String> {
         Command::Visualize { dataset, source, k, top, output } => {
             commands::visualize(&dataset, &source, k, top, &output)
         }
-        Command::Serve { addr, workers } => commands::serve(&addr, workers),
+        Command::Serve { addr, workers, data_dir } => {
+            commands::serve(&addr, workers, data_dir.as_deref())
+        }
+        Command::Replay { dir, json } => commands::replay(&dir, json),
+        Command::JournalVerify { dir, json } => commands::journal_verify(&dir, json),
     }
 }

@@ -132,6 +132,55 @@ fn runtime_error_exits_1() {
 }
 
 #[test]
+fn mutate_replay_and_journal_verify_round_trip() {
+    let dir = std::env::temp_dir().join(format!("relrank-bin-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    // Seed durable state through the library (the binary has no offline
+    // command that journals a registry dataset — mutate is in-process).
+    {
+        let mut ex = relengine::Executor::new();
+        ex.attach_persistence(std::sync::Arc::new(
+            relengine::GraphPersistence::open(&dir).unwrap(),
+        ));
+        ex.mutate_dataset(
+            "fixture-fakenews-it",
+            &[relengine::EdgeOp::Add(relengine::EdgeSpec {
+                source: "Fake news".into(),
+                target: "Fresh Page".into(),
+                weight: Some(1.5),
+            })],
+        )
+        .unwrap();
+    }
+
+    // `relrank replay <dir>` prints the recovered state, deterministically.
+    let (code, first, stderr) = relrank(&["replay", dir_s]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(first.contains("fixture-fakenews-it"), "{first}");
+    let (code, second, _) = relrank(&["replay", dir_s]);
+    assert_eq!(code, 0);
+    assert_eq!(first, second, "replay must be deterministic");
+
+    // `relrank journal verify <dir>` passes on intact files...
+    let (code, stdout, _) = relrank(&["journal", "verify", dir_s]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("ok"), "{stdout}");
+
+    // ...and exits non-zero once a journal byte is flipped.
+    let journal = dir.join("fixture-fakenews-it").join("journal.log");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x01;
+    std::fs::write(&journal, &bytes).unwrap();
+    let (code, _, stderr) = relrank(&["journal", "verify", dir_s]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("journal verify failed"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn compare_datasets_table3_columns() {
     let (code, stdout, _) = relrank(&[
         "compare-datasets",

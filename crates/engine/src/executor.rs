@@ -15,6 +15,7 @@
 use crate::cache::{cache_key, CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::error::EngineError;
 use crate::mutation::{EdgeOp, MutationOutcome};
+use crate::persist::GraphPersistence;
 use crate::task::{BatchSpec, TaskId, TaskSpec};
 use parking_lot::Mutex;
 use relcore::{with_arena, Query, QueryError, QueryResult, SolverArena};
@@ -74,6 +75,11 @@ pub struct Executor {
     /// long enough to clone the slot `Arc`.
     datasets: Mutex<HashMap<String, Arc<Mutex<DynamicGraph>>>>,
     results: ResultCache,
+    /// Optional durable store: when attached, uploads snapshot on
+    /// registration, every applied mutation batch is journaled (fsynced)
+    /// *before* its in-memory commit, and the journal rotates into a
+    /// fresh snapshot once it reaches the dataset's compaction threshold.
+    persist: Option<Arc<GraphPersistence>>,
     /// Per-dataset solver arenas: every task or batch on a dataset draws
     /// its solver working buffers from that dataset's arena, so
     /// steady-state traffic re-sweeps warm buffers sized for that graph
@@ -101,8 +107,46 @@ impl Executor {
         Executor {
             datasets: Mutex::new(HashMap::new()),
             results: ResultCache::new(capacity),
+            persist: None,
             arenas: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches a durable store. Call before the executor is shared (the
+    /// scheduler builder does this when configured with a data dir), then
+    /// [`Executor::recover_persisted`] to load what's on disk.
+    pub fn attach_persistence(&mut self, persist: Arc<GraphPersistence>) {
+        self.persist = Some(persist);
+    }
+
+    /// The attached durable store, if any.
+    pub fn persistence(&self) -> Option<&Arc<GraphPersistence>> {
+        self.persist.as_ref()
+    }
+
+    /// Journal/snapshot counters for `id`, when a durable store is
+    /// attached and the dataset has durable state.
+    pub fn persistence_stats(&self, id: &str) -> Option<relstore::StoreStats> {
+        self.persist.as_ref()?.stats(id).ok().flatten()
+    }
+
+    /// Recovers every dataset in the attached durable store: latest valid
+    /// snapshot plus deterministic journal-tail replay (see
+    /// [`GraphPersistence::recover`]). Returns the recovered ids, sorted.
+    /// Without an attached store this is a no-op.
+    pub fn recover_persisted(&self) -> Result<Vec<String>, EngineError> {
+        let Some(persist) = self.persist.clone() else {
+            return Ok(Vec::new());
+        };
+        let mut recovered = Vec::new();
+        for id in persist.dataset_ids()? {
+            if let Some(r) = persist.recover(&id)? {
+                self.datasets.lock().insert(r.dataset.clone(), Arc::new(Mutex::new(r.graph)));
+                recovered.push(r.dataset);
+            }
+        }
+        recovered.sort();
+        Ok(recovered)
     }
 
     /// The solver arena owned by `dataset` (created on first use).
@@ -132,6 +176,13 @@ impl Executor {
         let mut datasets = self.datasets.lock();
         if datasets.contains_key(id) {
             return Err(EngineError::DatasetExists(id.to_string()));
+        }
+        // Initial snapshot before the registration is visible: the journal
+        // needs a base state on disk before its first record can land.
+        // (Held under the map lock so a concurrent registration can never
+        // interleave; uploads are rare enough that this doesn't matter.)
+        if let Some(persist) = &self.persist {
+            persist.write_snapshot(id, &graph, 0)?;
         }
         datasets.insert(id.to_string(), Arc::new(Mutex::new(DynamicGraph::new(graph))));
         Ok(())
@@ -225,35 +276,7 @@ impl Executor {
         // the copy is cheap.
         let mut guard = slot.lock();
         let mut staged = guard.clone();
-        let mut applied = 0usize;
-        for op in ops {
-            let changed = match op {
-                EdgeOp::Add(spec) => {
-                    let u = resolve_endpoint(&mut staged, &spec.source, true)
-                        .map_err(|e| mutation_error(id, &spec.source, e))?;
-                    let v = resolve_endpoint(&mut staged, &spec.target, true)
-                        .map_err(|e| mutation_error(id, &spec.target, e))?;
-                    let w = spec.weight.unwrap_or(1.0);
-                    staged
-                        .insert_edge(u, v, w)
-                        .map_err(|e| EngineError::InvalidMutation(e.to_string()))?
-                        .is_some()
-                }
-                EdgeOp::Remove(spec) => {
-                    let u = resolve_endpoint(&mut staged, &spec.source, false)
-                        .map_err(|e| mutation_error(id, &spec.source, e))?;
-                    let v = resolve_endpoint(&mut staged, &spec.target, false)
-                        .map_err(|e| mutation_error(id, &spec.target, e))?;
-                    staged
-                        .remove_edge(u, v)
-                        .map_err(|e| EngineError::InvalidMutation(e.to_string()))?
-                        .is_some()
-                }
-            };
-            if changed {
-                applied += 1;
-            }
-        }
+        let applied = apply_ops(&mut staged, id, ops)?;
         let outcome = MutationOutcome {
             dataset: id.to_string(),
             version: staged.version(),
@@ -262,7 +285,31 @@ impl Executor {
             edges: staged.edge_count(),
         };
         let mutated = applied > 0;
+        // Write-ahead: the batch reaches the fsynced journal before it
+        // becomes visible in memory. A failure here aborts the batch with
+        // the dataset untouched — the engine never acknowledges a version
+        // that isn't durable.
+        let mut journal_records = 0;
+        if mutated {
+            if let Some(persist) = &self.persist {
+                persist.ensure_snapshot(id, &mut guard)?;
+                journal_records = persist.append(id, staged.version(), ops)?;
+            }
+        }
         *guard = staged;
+        if mutated {
+            if let Some(persist) = &self.persist {
+                // Rotation mirrors the graph's own compaction threshold:
+                // once the journal accumulates that many batches, fold
+                // them into a fresh snapshot. Best-effort — the journal
+                // stays authoritative if the snapshot write fails.
+                if journal_records >= guard.compact_threshold() as u64 {
+                    let version = guard.version();
+                    let snap = guard.snapshot();
+                    let _ = persist.write_snapshot(id, &snap, version);
+                }
+            }
+        }
         drop(guard);
         if mutated {
             self.results.invalidate_dataset(id);
@@ -332,6 +379,48 @@ impl Executor {
         }
         Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
     }
+}
+
+/// Applies a batch of edge operations to `graph` in order, resolving
+/// endpoints exactly as [`Executor::mutate_dataset`] does. Returns the
+/// number of operations that changed the graph. Shared between the live
+/// mutation path and journal replay ([`crate::persist`]) so recovery is
+/// bit-deterministic by construction.
+pub(crate) fn apply_ops(
+    graph: &mut DynamicGraph,
+    dataset: &str,
+    ops: &[EdgeOp],
+) -> Result<usize, EngineError> {
+    let mut applied = 0usize;
+    for op in ops {
+        let changed = match op {
+            EdgeOp::Add(spec) => {
+                let u = resolve_endpoint(graph, &spec.source, true)
+                    .map_err(|e| mutation_error(dataset, &spec.source, e))?;
+                let v = resolve_endpoint(graph, &spec.target, true)
+                    .map_err(|e| mutation_error(dataset, &spec.target, e))?;
+                let w = spec.weight.unwrap_or(1.0);
+                graph
+                    .insert_edge(u, v, w)
+                    .map_err(|e| EngineError::InvalidMutation(e.to_string()))?
+                    .is_some()
+            }
+            EdgeOp::Remove(spec) => {
+                let u = resolve_endpoint(graph, &spec.source, false)
+                    .map_err(|e| mutation_error(dataset, &spec.source, e))?;
+                let v = resolve_endpoint(graph, &spec.target, false)
+                    .map_err(|e| mutation_error(dataset, &spec.target, e))?;
+                graph
+                    .remove_edge(u, v)
+                    .map_err(|e| EngineError::InvalidMutation(e.to_string()))?
+                    .is_some()
+            }
+        };
+        if changed {
+            applied += 1;
+        }
+    }
+    Ok(applied)
 }
 
 /// Resolves a mutation endpoint against a dynamic graph, following the

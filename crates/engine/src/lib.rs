@@ -42,6 +42,7 @@ pub mod error;
 pub mod executor;
 pub mod id;
 pub mod mutation;
+pub mod persist;
 pub mod scheduler;
 pub mod status;
 pub mod task;
@@ -52,6 +53,7 @@ pub use datastore::{Datastore, FileStore, MemoryStore};
 pub use error::EngineError;
 pub use executor::{Executor, TaskResult};
 pub use mutation::{EdgeOp, EdgeSpec, MutationOutcome};
+pub use persist::{GraphPersistence, RecoveredGraph};
 pub use scheduler::Scheduler;
 pub use status::{StatusBoard, TaskRecord, TaskState};
 pub use task::{BatchSpec, QuerySet, TaskId, TaskSpec};

@@ -13,9 +13,11 @@ use crate::cache::CacheStats;
 use crate::datastore::{Datastore, MemoryStore};
 use crate::error::EngineError;
 use crate::executor::{Executor, TaskResult};
+use crate::persist::GraphPersistence;
 use crate::status::{SolveProgress, StatusBoard, TaskState};
 use crate::task::{BatchSpec, QuerySet, TaskId, TaskSpec};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -31,6 +33,7 @@ pub struct SchedulerBuilder {
     workers: usize,
     store: Arc<dyn Datastore>,
     cache_capacity: usize,
+    data_dir: Option<PathBuf>,
 }
 
 impl SchedulerBuilder {
@@ -54,14 +57,42 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Roots a durable graph store at `dir`: boot recovers every dataset
+    /// from its snapshot + journal, and every mutation batch is journaled
+    /// (fsynced) before it commits. See [`crate::persist`].
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
     /// Starts the worker pool, restoring any datasets persisted in the
     /// datastore into the executor's registry.
+    ///
+    /// # Panics
+    /// Panics when a configured data dir cannot be opened or recovered
+    /// (corrupt journal, unreadable snapshot); use
+    /// [`SchedulerBuilder::try_build`] to handle that gracefully.
     pub fn build(self) -> Scheduler {
+        self.try_build().expect("scheduler build")
+    }
+
+    /// Like [`SchedulerBuilder::build`], surfacing durable-store errors
+    /// instead of panicking. Without a data dir this cannot fail.
+    pub fn try_build(self) -> Result<Scheduler, EngineError> {
         // Dataset-name queries (Query::on("wiki-en-2018")) resolve through
         // the registry once any engine exists in the process.
         reldata::connect_query_api();
         let (tx, rx) = unbounded::<Job>();
-        let executor = Arc::new(Executor::with_cache_capacity(self.cache_capacity));
+        let mut executor = Executor::with_cache_capacity(self.cache_capacity);
+        if let Some(dir) = &self.data_dir {
+            executor.attach_persistence(Arc::new(GraphPersistence::open(dir)?));
+        }
+        let executor = Arc::new(executor);
+        // Durable-store recovery first: a dataset rebuilt from snapshot +
+        // journal carries real version history and must win over the
+        // datastore's plain JSON copy (restored below as DatasetExists
+        // no-ops).
+        executor.recover_persisted()?;
         #[allow(clippy::redundant_clone)]
         let rx = rx.clone();
         if let Ok(ids) = self.store.list_datasets() {
@@ -82,7 +113,7 @@ impl SchedulerBuilder {
                 worker_loop(worker_id, rx, executor, board, store)
             }));
         }
-        Scheduler { tx, rx, board, store: self.store, executor, handles }
+        Ok(Scheduler { tx, rx, board, store: self.store, executor, handles })
     }
 }
 
@@ -212,6 +243,7 @@ impl Scheduler {
             workers: 2,
             store: Arc::new(MemoryStore::new()),
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            data_dir: None,
         }
     }
 

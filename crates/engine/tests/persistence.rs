@@ -1,0 +1,257 @@
+//! Durable-store integration tests: deterministic recovery, torn-write
+//! repair, journal rotation, and a proptest round-trip over random
+//! mutation batch sequences.
+
+use proptest::prelude::*;
+use relengine::{EdgeOp, EdgeSpec, Executor, GraphPersistence, Scheduler, TaskBuilder};
+use relgraph::DirectedGraph;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "relengine-it-{tag}-{}-{}",
+        std::process::id(),
+        rand::random::<u64>()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn persisted_executor(dir: &PathBuf) -> Executor {
+    let mut ex = Executor::new();
+    ex.attach_persistence(Arc::new(GraphPersistence::open(dir).unwrap()));
+    ex
+}
+
+fn add(source: &str, target: &str, weight: Option<f64>) -> EdgeOp {
+    EdgeOp::Add(EdgeSpec { source: source.into(), target: target.into(), weight })
+}
+
+fn remove(source: &str, target: &str) -> EdgeOp {
+    EdgeOp::Remove(EdgeSpec { source: source.into(), target: target.into(), weight: None })
+}
+
+fn seed_graph() -> DirectedGraph {
+    let mut b = relgraph::GraphBuilder::new();
+    b.add_labeled_edge("a", "b");
+    b.add_labeled_edge("b", "c");
+    b.add_labeled_edge("c", "a");
+    b.build()
+}
+
+/// Asserts two executor-held datasets are bit-for-bit identical: same
+/// version, same materialized CSR (edges, exact weight bits, weight-sum
+/// caches), same labels, same digest.
+fn assert_identical(a: &Executor, b: &Executor, id: &str) {
+    let (ga, va) = a.dataset_versioned(id).unwrap();
+    let (gb, vb) = b.dataset_versioned(id).unwrap();
+    assert_eq!(va, vb, "version must survive recovery");
+    assert_eq!(ga.node_count(), gb.node_count());
+    assert_eq!(ga.edge_count(), gb.edge_count());
+    let ea: Vec<_> = ga.weighted_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+    let eb: Vec<_> = gb.weighted_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+    assert_eq!(ea, eb, "CSR arrays must be bit-identical");
+    for u in ga.nodes() {
+        assert_eq!(ga.out_weight_sum(u).to_bits(), gb.out_weight_sum(u).to_bits());
+        assert_eq!(ga.in_weight_sum(u).to_bits(), gb.in_weight_sum(u).to_bits());
+        assert_eq!(ga.labels().get(u), gb.labels().get(u));
+    }
+    assert_eq!(relstore::graph_digest(&ga, va), relstore::graph_digest(&gb, vb));
+}
+
+#[test]
+fn recovery_reproduces_mutated_upload_bit_for_bit() {
+    let dir = temp_dir("recover");
+    let ex = persisted_executor(&dir);
+    ex.register_graph("net", seed_graph()).unwrap();
+    ex.mutate_dataset("net", &[add("c", "d", Some(2.5)), add("d", "a", None)]).unwrap();
+    ex.mutate_dataset("net", &[remove("a", "b"), add("b", "a", Some(0.25))]).unwrap();
+    // Idempotent no-op batch: accepted, not journaled (version unmoved).
+    ex.mutate_dataset("net", &[add("b", "a", Some(0.25))]).unwrap();
+
+    let recovered = persisted_executor(&dir);
+    assert_eq!(recovered.recover_persisted().unwrap(), vec!["net".to_string()]);
+    assert_identical(&ex, &recovered, "net");
+
+    // The recovered dataset keeps journaling: mutate it, recover again.
+    recovered.mutate_dataset("net", &[add("d", "b", Some(9.0))]).unwrap();
+    let third = persisted_executor(&dir);
+    third.recover_persisted().unwrap();
+    assert_identical(&recovered, &third, "net");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn registry_dataset_mutations_survive_via_lazy_snapshot() {
+    let dir = temp_dir("registry");
+    let ex = persisted_executor(&dir);
+    // First mutation of a registry dataset writes its base snapshot, then
+    // journals the batch.
+    let outcome = ex
+        .mutate_dataset("fixture-fakenews-it", &[add("Fake news", "Brand new page", None)])
+        .unwrap();
+    assert!(outcome.applied >= 1);
+
+    let recovered = persisted_executor(&dir);
+    assert_eq!(recovered.recover_persisted().unwrap(), vec!["fixture-fakenews-it".to_string()]);
+    assert_identical(&ex, &recovered, "fixture-fakenews-it");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_journal_tail_is_truncated_and_prefix_kept() {
+    let dir = temp_dir("torn");
+    let ex = persisted_executor(&dir);
+    ex.register_graph("net", seed_graph()).unwrap();
+    ex.mutate_dataset("net", &[add("a", "d", Some(1.5))]).unwrap();
+    let keep_version = ex.dataset_version("net").unwrap();
+    ex.mutate_dataset("net", &[add("d", "e", Some(2.0))]).unwrap();
+
+    // Tear the last journal record mid-payload, as a crash mid-append
+    // would: recovery must keep exactly the prefix.
+    let journal = dir.join("net").join("journal.log");
+    let scan = relstore::scan_journal(&journal).unwrap();
+    assert_eq!(scan.records.len(), 2);
+    let len = std::fs::metadata(&journal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&journal).unwrap();
+    f.set_len(len - 7).unwrap();
+    drop(f);
+
+    let recovered = persisted_executor(&dir);
+    recovered.recover_persisted().unwrap();
+    assert_eq!(recovered.dataset_version("net"), Some(keep_version));
+    let (g, _) = recovered.dataset_versioned("net").unwrap();
+    assert!(g.node_by_label("d").is_some(), "first batch survives");
+    assert!(g.node_by_label("e").is_none(), "torn batch is gone");
+    // The journal itself was repaired on disk: one clean record left.
+    let scan = relstore::scan_journal(&journal).unwrap();
+    assert_eq!(scan.records.len(), 1);
+    assert_eq!(scan.tail, relstore::TailState::Clean);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_journal_record_fails_recovery_loudly() {
+    let dir = temp_dir("corrupt");
+    let ex = persisted_executor(&dir);
+    ex.register_graph("net", seed_graph()).unwrap();
+    ex.mutate_dataset("net", &[add("a", "d", None)]).unwrap();
+    let journal = dir.join("net").join("journal.log");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let recovered = persisted_executor(&dir);
+    let err = recovered.recover_persisted().unwrap_err();
+    assert!(err.to_string().contains("corrupt"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn journal_rotates_into_snapshot_at_compaction_threshold() {
+    let dir = temp_dir("rotate");
+    let ex = persisted_executor(&dir);
+    ex.register_graph("net", seed_graph()).unwrap();
+    // The seed graph's threshold is max(64, edges/8) = 64: land 70
+    // single-op batches so the journal must rotate at least once.
+    for i in 0..70 {
+        ex.mutate_dataset("net", &[add("a", &format!("n{i}"), Some(1.0 + i as f64))]).unwrap();
+    }
+    let stats = ex.persistence_stats("net").expect("durable state exists");
+    assert!(stats.snapshot_version > 0, "rotation must have produced a newer snapshot");
+    assert!(
+        stats.journal_records < 70,
+        "journal must have been truncated (records = {})",
+        stats.journal_records
+    );
+    assert_eq!(stats.last_version, ex.dataset_version("net").unwrap());
+
+    let recovered = persisted_executor(&dir);
+    recovered.recover_persisted().unwrap();
+    assert_identical(&ex, &recovered, "net");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn scheduler_data_dir_recovers_on_boot() {
+    let dir = temp_dir("sched");
+    let (version, digest) = {
+        let s = Scheduler::builder().workers(1).data_dir(&dir).build();
+        let mut b = relgraph::GraphBuilder::new();
+        b.add_labeled_edge("me", "pal");
+        b.add_labeled_edge("pal", "me");
+        s.register_dataset("boot-net", b.build()).unwrap();
+        s.mutate_dataset("boot-net", &[add("pal", "stranger", Some(2.0))]).unwrap();
+        let (g, v) = s.executor().dataset_versioned("boot-net").unwrap();
+        (v, relstore::graph_digest(&g, v))
+    }; // scheduler dropped = process "crash" (journal is already fsynced)
+
+    let s = Scheduler::builder().workers(1).data_dir(&dir).build();
+    let (g, v) = s.executor().dataset_versioned("boot-net").unwrap();
+    assert_eq!(v, version);
+    assert_eq!(relstore::graph_digest(&g, v), digest);
+    // The recovered dataset serves queries.
+    let id = s.submit(
+        TaskBuilder::new("boot-net")
+            .algorithm(relcore::runner::Algorithm::CycleRank)
+            .source("me")
+            .top_k(2)
+            .build()
+            .unwrap(),
+    );
+    let r = s.wait(&id, std::time::Duration::from_secs(30)).unwrap();
+    assert_eq!(r.top[0].0, "me");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random `EdgeOp` batch sequences journaled then replayed yield a
+    /// graph with identical `version()`, CSR arrays, and weight-sum
+    /// caches.
+    #[test]
+    fn random_batches_replay_bit_for_bit(
+        batches in prop::collection::vec(
+            prop::collection::vec((0usize..3, 0usize..8, 0usize..8, 1usize..6), 1..6),
+            1..8,
+        )
+    ) {
+        let dir = temp_dir("prop");
+        let ex = persisted_executor(&dir);
+        ex.register_graph("net", seed_graph()).unwrap();
+        for batch in &batches {
+            let ops: Vec<EdgeOp> = batch
+                .iter()
+                .map(|&(kind, u, v, w)| {
+                    let (s, t) = (format!("p{u}"), format!("p{v}"));
+                    if kind == 2 {
+                        remove(&s, &t)
+                    } else {
+                        add(&s, &t, Some(w as f64 * 0.5))
+                    }
+                })
+                .collect();
+            // Removals of never-created endpoints reject the whole batch
+            // atomically — exactly the cases that must NOT be journaled.
+            let _ = ex.mutate_dataset("net", &ops);
+        }
+        let recovered = persisted_executor(&dir);
+        recovered.recover_persisted().unwrap();
+        let (ga, va) = ex.dataset_versioned("net").unwrap();
+        let (gb, vb) = recovered.dataset_versioned("net").unwrap();
+        prop_assert_eq!(va, vb);
+        let ea: Vec<_> = ga.weighted_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let eb: Vec<_> = gb.weighted_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        prop_assert_eq!(ea, eb);
+        for u in ga.nodes() {
+            prop_assert_eq!(ga.out_weight_sum(u).to_bits(), gb.out_weight_sum(u).to_bits());
+            prop_assert_eq!(ga.in_weight_sum(u).to_bits(), gb.in_weight_sum(u).to_bits());
+            prop_assert_eq!(ga.labels().get(u), gb.labels().get(u));
+        }
+        prop_assert_eq!(relstore::graph_digest(&ga, va), relstore::graph_digest(&gb, vb));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

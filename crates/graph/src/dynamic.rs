@@ -143,6 +143,23 @@ impl DynamicGraph {
         self.version
     }
 
+    /// Restores the mutation counter to `version` without mutating the
+    /// graph — for durable-store recovery, where a freshly wrapped
+    /// snapshot (version 0) must resume counting from the version the
+    /// snapshot captured so that replayed journal records land on the
+    /// exact versions they were committed at.
+    ///
+    /// Only meaningful on a pristine wrapper: panics if any mutation has
+    /// already been applied (the counter may never move backwards or
+    /// alias two distinct states).
+    pub fn restore_version(&mut self, version: u64) {
+        assert_eq!(
+            self.version, 0,
+            "restore_version on an already-mutated graph would alias cache keys"
+        );
+        self.version = version;
+    }
+
     /// Number of nodes (base nodes plus any created by mutation).
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -475,6 +492,23 @@ mod tests {
         assert_eq!(g.version(), 1);
         assert!(g.remove_edge(n(1), n(2)).unwrap().is_some());
         assert_eq!(g.version(), 2);
+    }
+
+    #[test]
+    fn restore_version_resumes_counting() {
+        let mut g = diamond();
+        g.restore_version(17);
+        assert_eq!(g.version(), 17);
+        g.insert_edge(n(1), n(2), 1.0).unwrap();
+        assert_eq!(g.version(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-mutated")]
+    fn restore_version_rejects_mutated_graphs() {
+        let mut g = diamond();
+        g.insert_edge(n(1), n(2), 1.0).unwrap();
+        g.restore_version(17);
     }
 
     #[test]

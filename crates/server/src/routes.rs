@@ -45,7 +45,8 @@ fn index() -> Response {
         <li>GET /api/datasets — the 50-dataset catalog (+ uploads)</li>\n\
         <li>POST /api/datasets — upload a graph {name?, format?, content}</li>\n\
         <li>GET /api/datasets/{id} — one catalog entry + memory/locality footprint</li>\n\
-        <li>GET /api/datasets/{id}/stats — structural statistics + graph version</li>\n\
+        <li>GET /api/datasets/{id}/stats — structural statistics + graph version \
+        (+ journal/snapshot footprint when running with --data-dir)</li>\n\
         <li>POST /api/datasets/{id}/edges — insert/update edges {edges: [{source, target, weight?}]}</li>\n\
         <li>DELETE /api/datasets/{id}/edges — remove edges (same body; bumps the graph version)</li>\n\
         <li>GET /api/algorithms — registered algorithms with parameter schemas</li>\n\
@@ -201,12 +202,18 @@ fn upload_dataset(req: &Request, engine: &Arc<Scheduler>) -> Response {
 /// Structural statistics of any loadable dataset (registry or upload),
 /// plus the dataset's current graph **version** (0 until the first edge
 /// mutation) so clients can detect concurrent mutation between reads.
+/// When the server runs with `--data-dir`, a `persistence` object reports
+/// the dataset's durable footprint: snapshot version/bytes and the
+/// journal's record count, byte size, and highest durable version.
 fn dataset_stats(id: &str, engine: &Arc<Scheduler>) -> Response {
     match engine.executor().dataset_versioned(id) {
         Ok((g, version)) => {
             let mut value = serde_json::to_value(&relgraph::GraphStats::compute(&g));
             if let serde_json::Value::Object(map) = &mut value {
                 map.insert("version".to_string(), serde_json::Value::U64(version));
+                if let Some(stats) = engine.executor().persistence_stats(id) {
+                    map.insert("persistence".to_string(), serde_json::to_value(&stats));
+                }
             }
             Response::json(StatusCode::Ok, &value)
         }
@@ -979,6 +986,51 @@ mod tests {
         assert!(body_str(&r).contains("nodes"));
         let r = route(&get("/api/datasets/ghost/stats"), &e);
         assert_eq!(r.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn dataset_stats_reports_persistence_footprint_with_data_dir() {
+        let dir = std::env::temp_dir().join(format!(
+            "relserver-stats-{}-{}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let e = Arc::new(Scheduler::builder().workers(1).data_dir(&dir).build());
+        let mut b = relgraph::GraphBuilder::new();
+        b.add_labeled_edge("x", "y");
+        e.register_dataset("durable-net", b.build()).unwrap();
+        // Without --data-dir the stats payload has no persistence object.
+        let plain = engine();
+        let mut b = relgraph::GraphBuilder::new();
+        b.add_labeled_edge("x", "y");
+        plain.register_dataset("durable-net", b.build()).unwrap();
+        let v: serde_json::Value =
+            serde_json::from_slice(&route(&get("/api/datasets/durable-net/stats"), &plain).body)
+                .unwrap();
+        assert!(v.get("persistence").is_none());
+
+        let body = r#"{"edges": [{"source": "y", "target": "z", "weight": 2.0}]}"#;
+        assert_eq!(
+            route(&post("/api/datasets/durable-net/edges", body), &e).status,
+            StatusCode::Ok
+        );
+        let v: serde_json::Value =
+            serde_json::from_slice(&route(&get("/api/datasets/durable-net/stats"), &e).body)
+                .unwrap();
+        let p = &v["persistence"];
+        assert_eq!(p["snapshot_version"].as_u64(), Some(0));
+        assert_eq!(p["journal_records"].as_u64(), Some(1));
+        // The batch created a node and an edge, so the durable version
+        // matches whatever the live graph reports.
+        assert_eq!(p["last_version"].as_u64(), v["version"].as_u64());
+        assert!(p["journal_bytes"].as_u64().unwrap() > 0);
+        assert!(p["snapshot_bytes"].as_u64().unwrap() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn rand_suffix() -> u64 {
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
+            as u64
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Length-prefixed, CRC-protected binary frames.
+//!
+//! Every record in a journal or snapshot file is one frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! Reading distinguishes three end states so recovery can act on each:
+//! a clean EOF (file ends exactly on a frame boundary), a *torn* frame
+//! (the file ends mid-header or mid-payload — the tail of an interrupted
+//! append, safe to truncate), and a *corrupt* frame (the bytes are all
+//! there but the CRC does not match — data damage that must be surfaced,
+//! never silently dropped).
+
+use crate::crc32::crc32;
+use std::io::{Read, Write};
+
+/// Frames larger than this are rejected as corrupt rather than allocated.
+/// The largest legitimate payload is a CSR snapshot section; 1 GiB is far
+/// beyond anything the demo platform stores while still catching a length
+/// word of garbage before it turns into a 4 GiB allocation.
+pub const MAX_FRAME: u32 = 1 << 30;
+
+/// Outcome of reading one frame.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame with a valid checksum.
+    Frame(Vec<u8>),
+    /// Clean end of file on a frame boundary.
+    Eof,
+    /// The file ends mid-frame: `valid_up_to` is the byte offset of the
+    /// start of the torn frame (i.e. the length of the valid prefix).
+    Torn { valid_up_to: u64 },
+    /// A complete frame whose checksum (or length word) is invalid.
+    /// `valid_up_to` is the offset where the bad frame starts.
+    Corrupt { valid_up_to: u64 },
+}
+
+/// Serializes one frame onto `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload exceeds u32")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame starting at byte offset `pos` of `r`.
+///
+/// The caller tracks `pos` (bytes consumed so far) so that torn/corrupt
+/// outcomes can report the exact length of the valid prefix.
+pub fn read_frame(r: &mut impl Read, pos: u64) -> std::io::Result<FrameRead> {
+    let mut header = [0u8; 8];
+    match read_exact_or_eof(r, &mut header)? {
+        0 => return Ok(FrameRead::Eof),
+        8 => {}
+        _ => return Ok(FrameRead::Torn { valid_up_to: pos }),
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME {
+        return Ok(FrameRead::Corrupt { valid_up_to: pos });
+    }
+    let mut payload = vec![0u8; len as usize];
+    if read_exact_or_eof(r, &mut payload)? != payload.len() {
+        return Ok(FrameRead::Torn { valid_up_to: pos });
+    }
+    if crc32(&payload) != crc {
+        return Ok(FrameRead::Corrupt { valid_up_to: pos });
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Encoded size of a frame carrying `payload_len` bytes.
+pub fn frame_len(payload_len: usize) -> u64 {
+    8 + payload_len as u64
+}
+
+/// Reads as many bytes as possible into `buf`, returning the count
+/// (short only at EOF).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frames(bytes: &[u8]) -> Vec<FrameRead> {
+        let mut cur = Cursor::new(bytes);
+        let mut out = Vec::new();
+        let mut pos = 0u64;
+        loop {
+            let f = read_frame(&mut cur, pos).unwrap();
+            match &f {
+                FrameRead::Frame(p) => pos += frame_len(p.len()),
+                _ => {
+                    out.push(f);
+                    return out;
+                }
+            }
+            out.push(f);
+        }
+    }
+
+    #[test]
+    fn round_trips_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xFFu8; 1000]).unwrap();
+        let read = frames(&buf);
+        assert_eq!(read.len(), 4);
+        assert!(matches!(&read[0], FrameRead::Frame(p) if p == b"alpha"));
+        assert!(matches!(&read[1], FrameRead::Frame(p) if p.is_empty()));
+        assert!(matches!(&read[2], FrameRead::Frame(p) if p.len() == 1000));
+        assert!(matches!(read[3], FrameRead::Eof));
+    }
+
+    #[test]
+    fn detects_torn_header_and_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"whole").unwrap();
+        let whole = buf.len() as u64;
+        // Torn mid-payload.
+        let mut torn = buf.clone();
+        write_frame(&mut torn, b"partial").unwrap();
+        torn.truncate(buf.len() + 8 + 3);
+        let read = frames(&torn);
+        assert!(matches!(read[1], FrameRead::Torn { valid_up_to } if valid_up_to == whole));
+        // Torn mid-header.
+        let mut torn = buf.clone();
+        torn.extend_from_slice(&[1, 2, 3]);
+        let read = frames(&torn);
+        assert!(matches!(read[1], FrameRead::Torn { valid_up_to } if valid_up_to == whole));
+    }
+
+    #[test]
+    fn detects_corrupt_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        let first = buf.len() as u64;
+        write_frame(&mut buf, b"second").unwrap();
+        let flip = buf.len() - 1;
+        buf[flip] ^= 0x40;
+        let read = frames(&buf);
+        assert!(matches!(&read[0], FrameRead::Frame(p) if p == b"first"));
+        assert!(matches!(read[1], FrameRead::Corrupt { valid_up_to } if valid_up_to == first));
+    }
+
+    #[test]
+    fn rejects_absurd_length_as_corrupt() {
+        let mut buf = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 12]);
+        let read = frames(&buf);
+        assert!(matches!(read[0], FrameRead::Corrupt { valid_up_to: 0 }));
+    }
+}

@@ -1,0 +1,340 @@
+//! The per-dataset write-ahead journal.
+//!
+//! A journal is an append-only file of [`frame`](crate::frame)-encoded
+//! records. Each record is the JSON serialization of one committed
+//! mutation batch together with the graph `version()` the batch produced.
+//! Appends are fsynced before the in-memory commit proceeds, so every
+//! version the engine has ever acknowledged is reconstructible.
+//!
+//! Versions are strictly monotonic across records; replay uses them both
+//! to skip records already folded into a snapshot and to assert that a
+//! replayed batch reproduced the original state transition exactly.
+
+use crate::frame::{frame_len, read_frame, write_frame, FrameRead};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// Operation kind tag for [`WireOp::kind`]: edge insert/upsert.
+pub const OP_ADD: &str = "add";
+/// Operation kind tag for [`WireOp::kind`]: edge removal.
+pub const OP_REMOVE: &str = "remove";
+
+/// One edge operation in wire form.
+///
+/// Endpoints are stored exactly as the engine received them (label or
+/// numeric index, undecoded) so that replay resolves them through the
+/// identical code path and reproduces node allocation order bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireOp {
+    /// [`OP_ADD`] or [`OP_REMOVE`].
+    pub kind: String,
+    /// Source endpoint (label or numeric index).
+    pub source: String,
+    /// Target endpoint (label or numeric index).
+    pub target: String,
+    /// Edge weight for adds (`None` = engine default).
+    pub weight: Option<f64>,
+}
+
+/// One journal record: an atomic mutation batch and the version it produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Graph `version()` after the batch was applied.
+    pub version: u64,
+    /// The batch, in application order.
+    pub ops: Vec<WireOp>,
+}
+
+/// State of the journal's tail after a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// File ends cleanly on a record boundary.
+    Clean,
+    /// File ends mid-record (interrupted append); `truncated_bytes` of
+    /// torn tail follow the valid prefix.
+    Torn {
+        /// Bytes of torn tail beyond the valid prefix.
+        truncated_bytes: u64,
+    },
+    /// A record failed its CRC (or carries an absurd length) — data
+    /// damage, not an interrupted write.
+    Corrupt {
+        /// Byte offset where the damaged record starts.
+        at_byte: u64,
+        /// Zero-based index of the damaged record.
+        at_record: u64,
+    },
+}
+
+/// Result of scanning a journal file.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// Decoded records of the valid prefix, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Length in bytes of the valid prefix.
+    pub valid_bytes: u64,
+    /// Tail condition.
+    pub tail: TailState,
+}
+
+impl JournalScan {
+    /// Highest version in the valid prefix.
+    pub fn last_version(&self) -> Option<u64> {
+        self.records.last().map(|r| r.version)
+    }
+
+    /// True when record versions are strictly increasing.
+    pub fn monotonic(&self) -> bool {
+        self.records.windows(2).all(|w| w[0].version < w[1].version)
+    }
+}
+
+/// Scans `path`, decoding records until EOF, a torn tail, or corruption.
+///
+/// A missing file scans as an empty, clean journal. A record whose CRC is
+/// valid but whose JSON payload fails to decode is reported as corrupt at
+/// that offset.
+pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(JournalScan { records: Vec::new(), valid_bytes: 0, tail: TailState::Clean })
+        }
+        Err(e) => return Err(e),
+    };
+    let total = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
+    let mut records = Vec::new();
+    let mut pos = 0u64;
+    loop {
+        match read_frame(&mut reader, pos)? {
+            FrameRead::Frame(payload) => {
+                match serde_json::from_slice::<JournalRecord>(&payload) {
+                    Ok(rec) => records.push(rec),
+                    Err(_) => {
+                        let at_record = records.len() as u64;
+                        return Ok(JournalScan {
+                            records,
+                            valid_bytes: pos,
+                            tail: TailState::Corrupt { at_byte: pos, at_record },
+                        });
+                    }
+                }
+                pos += frame_len(payload.len());
+            }
+            FrameRead::Eof => {
+                return Ok(JournalScan { records, valid_bytes: pos, tail: TailState::Clean })
+            }
+            FrameRead::Torn { valid_up_to } => {
+                return Ok(JournalScan {
+                    records,
+                    valid_bytes: valid_up_to,
+                    tail: TailState::Torn { truncated_bytes: total - valid_up_to },
+                })
+            }
+            FrameRead::Corrupt { valid_up_to } => {
+                let at_record = records.len() as u64;
+                return Ok(JournalScan {
+                    records,
+                    valid_bytes: valid_up_to,
+                    tail: TailState::Corrupt { at_byte: valid_up_to, at_record },
+                });
+            }
+        }
+    }
+}
+
+/// An open journal positioned for appending.
+///
+/// Opening scans the existing file: a torn tail (interrupted append) is
+/// truncated away, while CRC corruption refuses to open — appending after
+/// damaged records would bury them.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    records: u64,
+    bytes: u64,
+    last_version: Option<u64>,
+}
+
+impl JournalWriter {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    pub fn open(path: &Path) -> std::io::Result<JournalWriter> {
+        let scan = scan_journal(path)?;
+        match scan.tail {
+            TailState::Clean => {}
+            TailState::Torn { .. } => {
+                // Drop the interrupted append; its batch was never
+                // acknowledged, so the valid prefix is the true history.
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(scan.valid_bytes)?;
+                f.sync_data()?;
+            }
+            TailState::Corrupt { at_byte, at_record } => {
+                return Err(std::io::Error::other(format!(
+                    "journal {} corrupt at record {at_record} (byte {at_byte}); run `relrank journal verify`",
+                    path.display()
+                )));
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            records: scan.records.len() as u64,
+            bytes: scan.valid_bytes,
+            last_version: scan.last_version(),
+        })
+    }
+
+    /// Appends one record and fsyncs it (write-ahead durability point).
+    ///
+    /// Rejects versions that do not advance past the previous record.
+    pub fn append(&mut self, record: &JournalRecord) -> std::io::Result<()> {
+        if let Some(last) = self.last_version {
+            if record.version <= last {
+                return Err(std::io::Error::other(format!(
+                    "journal {}: version {} does not advance past {last}",
+                    self.path.display(),
+                    record.version
+                )));
+            }
+        }
+        let payload = serde_json::to_vec(record)
+            .map_err(|e| std::io::Error::other(format!("encode journal record: {e}")))?;
+        write_frame(&mut self.file, &payload)?;
+        self.file.sync_data()?;
+        self.records += 1;
+        self.bytes += frame_len(payload.len());
+        self.last_version = Some(record.version);
+        Ok(())
+    }
+
+    /// Records in the journal (valid prefix at open + appends since).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Journal size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Version of the most recent record, if any.
+    pub fn last_version(&self) -> Option<u64> {
+        self.last_version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("relstore-journal-{tag}-{}-{}", std::process::id(), rand_suffix()));
+        p
+    }
+
+    fn rand_suffix() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+    }
+
+    fn rec(version: u64, n: usize) -> JournalRecord {
+        JournalRecord {
+            version,
+            ops: (0..n)
+                .map(|i| WireOp {
+                    kind: OP_ADD.into(),
+                    source: format!("s{i}"),
+                    target: format!("t{i}"),
+                    weight: Some(1.0 + i as f64),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let path = temp_path("roundtrip");
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&rec(3, 2)).unwrap();
+        w.append(&rec(7, 1)).unwrap();
+        assert_eq!(w.records(), 2);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.tail, TailState::Clean);
+        assert_eq!(scan.records, vec![rec(3, 2), rec(7, 1)]);
+        assert!(scan.monotonic());
+        assert_eq!(scan.valid_bytes, w.bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_monotonic_versions() {
+        let path = temp_path("monotonic");
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&rec(5, 1)).unwrap();
+        assert!(w.append(&rec(5, 1)).is_err());
+        assert!(w.append(&rec(4, 1)).is_err());
+        w.append(&rec(6, 1)).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_resumes() {
+        let path = temp_path("torn");
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&rec(1, 1)).unwrap();
+        w.append(&rec(2, 3)).unwrap();
+        let keep = w.bytes();
+        w.append(&rec(3, 2)).unwrap();
+        drop(w);
+        // Tear the last record mid-payload.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(keep + 11).unwrap();
+        drop(f);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.tail, TailState::Torn { truncated_bytes: 11 });
+        assert_eq!(scan.records.len(), 2);
+        // Reopen repairs and appends continue from version 2.
+        let mut w = JournalWriter::open(&path).unwrap();
+        assert_eq!(w.records(), 2);
+        assert_eq!(w.last_version(), Some(2));
+        w.append(&rec(3, 1)).unwrap();
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.tail, TailState::Clean);
+        assert_eq!(scan.records.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_detected_and_blocks_append() {
+        let path = temp_path("corrupt");
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&rec(1, 1)).unwrap();
+        let first = w.bytes();
+        w.append(&rec(2, 1)).unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.tail, TailState::Corrupt { at_byte: first, at_record: 1 });
+        assert_eq!(scan.records.len(), 1);
+        assert!(JournalWriter::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let path = temp_path("missing");
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.records.len(), 0);
+        assert_eq!(scan.tail, TailState::Clean);
+    }
+}

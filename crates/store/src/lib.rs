@@ -1,0 +1,30 @@
+//! `relstore` — the durable datastore under the CycleRank demo platform.
+//!
+//! Everything the engine serves lives in memory; this crate makes it
+//! survive restarts. Each dataset gets a **write-ahead journal** of
+//! committed `EdgeOp` batches (one CRC-protected frame per batch, fsynced
+//! before the in-memory commit) plus periodic **compacted CSR snapshots**.
+//! Because mutation batches are atomic and graph versions strictly
+//! monotonic, recovery is deterministic: load the latest valid snapshot,
+//! truncate any torn journal tail, and replay the remaining records
+//! through the engine's own mutation path — the rebuilt `DynamicGraph`
+//! matches the pre-crash state bit-for-bit.
+//!
+//! The crate deliberately sits *below* the engine: it knows about
+//! [`relgraph`] graphs and wire-form edge operations
+//! ([`journal::WireOp`]), never about tasks or schedulers, so the engine
+//! depends on it and not vice versa.
+
+pub mod crc32;
+pub mod digest;
+pub mod frame;
+pub mod journal;
+pub mod snapshot;
+pub mod store;
+
+pub use digest::{graph_digest, Fnv64};
+pub use journal::{
+    scan_journal, JournalRecord, JournalScan, JournalWriter, TailState, WireOp, OP_ADD, OP_REMOVE,
+};
+pub use snapshot::{decode_snapshot, encode_snapshot, SnapshotError, SnapshotMeta};
+pub use store::{DatasetStore, DatasetVerify, RecoveredDataset, StoreError, StoreStats};

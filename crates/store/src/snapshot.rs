@@ -1,0 +1,233 @@
+//! Compacted CSR snapshots.
+//!
+//! A snapshot is the fully materialized graph at a known `version()`,
+//! stored as four CRC-protected frames:
+//!
+//! 1. JSON metadata ([`SnapshotMeta`]: format tag, dataset id, version,
+//!    node/edge counts, weighted flag),
+//! 2. edge endpoints as little-endian `u32` pairs in CSR order,
+//! 3. edge weights as little-endian `f64` bits (empty when unweighted),
+//! 4. node labels as JSON `[(index, label), ...]`.
+//!
+//! Because the endpoints are emitted in CSR order and the decoder rebuilds
+//! through the same [`GraphBuilder`] path the engine uses, decode(encode(g))
+//! reproduces the CSR arrays — including cached weight sums — bit-for-bit.
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+use relgraph::builder::DuplicatePolicy;
+use relgraph::{DirectedGraph, GraphBuilder, NodeId};
+use serde::{Deserialize, Serialize};
+use std::io::Cursor;
+
+/// Current snapshot format tag.
+pub const SNAPSHOT_FORMAT: u32 = 1;
+
+/// Snapshot metadata (frame 1 of the file).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// Format tag, [`SNAPSHOT_FORMAT`].
+    pub format: u32,
+    /// Dataset id the snapshot belongs to (directory names are sanitized,
+    /// so the authoritative id lives inside the file).
+    pub dataset: String,
+    /// Graph `version()` at snapshot time.
+    pub version: u64,
+    /// Node count.
+    pub nodes: u64,
+    /// Edge count.
+    pub edges: u64,
+    /// Whether per-edge weights are stored.
+    pub weighted: bool,
+}
+
+/// Errors decoding a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Structural damage: torn/corrupt frame or inconsistent sections.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::Invalid(m) => write!(f, "invalid snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Encodes `graph` at `version` into snapshot bytes.
+pub fn encode_snapshot(dataset: &str, graph: &DirectedGraph, version: u64) -> Vec<u8> {
+    let meta = SnapshotMeta {
+        format: SNAPSHOT_FORMAT,
+        dataset: dataset.to_string(),
+        version,
+        nodes: graph.node_count() as u64,
+        edges: graph.edge_count() as u64,
+        weighted: graph.is_weighted(),
+    };
+    let mut out = Vec::new();
+    let meta_json = serde_json::to_vec(&meta).expect("snapshot meta serializes");
+    write_frame(&mut out, &meta_json).expect("vec write");
+
+    let mut endpoints = Vec::with_capacity(graph.edge_count() * 8);
+    let mut weights = Vec::new();
+    if graph.is_weighted() {
+        weights.reserve(graph.edge_count() * 8);
+        for (u, v, w) in graph.weighted_edges() {
+            endpoints.extend_from_slice(&u.raw().to_le_bytes());
+            endpoints.extend_from_slice(&v.raw().to_le_bytes());
+            weights.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+    } else {
+        for (u, v) in graph.edges() {
+            endpoints.extend_from_slice(&u.raw().to_le_bytes());
+            endpoints.extend_from_slice(&v.raw().to_le_bytes());
+        }
+    }
+    write_frame(&mut out, &endpoints).expect("vec write");
+    write_frame(&mut out, &weights).expect("vec write");
+
+    let labels: Vec<(u32, String)> =
+        graph.labels().iter().map(|(n, l)| (n.raw(), l.to_string())).collect();
+    let labels_json = serde_json::to_vec(&labels).expect("labels serialize");
+    write_frame(&mut out, &labels_json).expect("vec write");
+    out
+}
+
+/// Decodes snapshot bytes back into metadata and a materialized graph.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(SnapshotMeta, DirectedGraph), SnapshotError> {
+    let mut cur = Cursor::new(bytes);
+    let mut pos = 0u64;
+    let mut next = |what: &str| -> Result<Vec<u8>, SnapshotError> {
+        match read_frame(&mut cur, pos)? {
+            FrameRead::Frame(p) => {
+                pos += crate::frame::frame_len(p.len());
+                Ok(p)
+            }
+            other => Err(SnapshotError::Invalid(format!("{what} frame unreadable: {other:?}"))),
+        }
+    };
+
+    let meta: SnapshotMeta = serde_json::from_slice(&next("meta")?)
+        .map_err(|e| SnapshotError::Invalid(format!("meta decode: {e}")))?;
+    if meta.format != SNAPSHOT_FORMAT {
+        return Err(SnapshotError::Invalid(format!("unknown format {}", meta.format)));
+    }
+    let endpoints = next("endpoints")?;
+    let weights = next("weights")?;
+    let labels_json = next("labels")?;
+
+    if endpoints.len() as u64 != meta.edges * 8 {
+        return Err(SnapshotError::Invalid(format!(
+            "endpoint section is {} bytes, expected {}",
+            endpoints.len(),
+            meta.edges * 8
+        )));
+    }
+    if meta.weighted && weights.len() as u64 != meta.edges * 8 {
+        return Err(SnapshotError::Invalid(format!(
+            "weight section is {} bytes, expected {}",
+            weights.len(),
+            meta.edges * 8
+        )));
+    }
+
+    let mut b = GraphBuilder::with_capacity(meta.nodes as usize, meta.edges as usize);
+    b.duplicate_policy(DuplicatePolicy::KeepFirst);
+    if meta.nodes > 0 {
+        b.ensure_node((meta.nodes - 1) as u32);
+    }
+    for i in 0..meta.edges as usize {
+        let u = u32::from_le_bytes(endpoints[i * 8..i * 8 + 4].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(endpoints[i * 8 + 4..i * 8 + 8].try_into().expect("4 bytes"));
+        if meta.weighted {
+            let w = f64::from_bits(u64::from_le_bytes(
+                weights[i * 8..i * 8 + 8].try_into().expect("8 bytes"),
+            ));
+            b.add_weighted_edge(NodeId::new(u), NodeId::new(v), w);
+        } else {
+            b.add_edge_indices(u, v);
+        }
+    }
+    let labels: Vec<(u32, String)> = serde_json::from_slice(&labels_json)
+        .map_err(|e| SnapshotError::Invalid(format!("labels decode: {e}")))?;
+    for (n, l) in labels {
+        b.set_label(NodeId::new(n), l);
+    }
+    let graph =
+        b.try_build().map_err(|e| SnapshotError::Invalid(format!("rebuild failed: {e}")))?;
+    Ok((meta, graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DirectedGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_labeled_node("alice");
+        let c = b.add_labeled_node("carol");
+        let d = b.add_node();
+        b.add_weighted_edge(a, c, 2.5);
+        b.add_weighted_edge(c, d, 0.125);
+        b.add_weighted_edge(d, a, 7.0);
+        b.add_weighted_edge(a, d, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn round_trips_weighted_labeled_graph() {
+        let g = sample();
+        let bytes = encode_snapshot("friends", &g, 42);
+        let (meta, back) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(meta.dataset, "friends");
+        assert_eq!(meta.version, 42);
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        let orig: Vec<_> = g.weighted_edges().collect();
+        let got: Vec<_> = back.weighted_edges().collect();
+        assert_eq!(orig, got);
+        for u in g.nodes() {
+            assert_eq!(g.labels().get(u), back.labels().get(u));
+            assert_eq!(g.out_weight_sum(u).to_bits(), back.out_weight_sum(u).to_bits());
+            assert_eq!(g.in_weight_sum(u).to_bits(), back.in_weight_sum(u).to_bits());
+        }
+    }
+
+    #[test]
+    fn round_trips_unweighted_and_empty() {
+        let g = GraphBuilder::from_edge_indices([(0, 1), (1, 2), (2, 0)]);
+        let bytes = encode_snapshot("ring", &g, 0);
+        let (_, back) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(g.edges().collect::<Vec<_>>(), back.edges().collect::<Vec<_>>());
+        assert!(!back.is_weighted());
+
+        let empty = GraphBuilder::new().build();
+        let bytes = encode_snapshot("empty", &empty, 0);
+        let (meta, back) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(meta.nodes, 0);
+        assert_eq!(back.node_count(), 0);
+    }
+
+    #[test]
+    fn rejects_damaged_bytes() {
+        let g = sample();
+        let mut bytes = encode_snapshot("friends", &g, 1);
+        let n = bytes.len();
+        bytes[n / 2] ^= 0x08;
+        assert!(decode_snapshot(&bytes).is_err());
+        assert!(decode_snapshot(&bytes[..n - 3]).is_err());
+        assert!(decode_snapshot(b"junk").is_err());
+    }
+}

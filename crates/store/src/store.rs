@@ -1,0 +1,489 @@
+//! The per-dataset durable store: snapshot + journal under one root.
+//!
+//! Layout on disk (`<root>` is the server's `--data-dir` graphs area):
+//!
+//! ```text
+//! <root>/<sanitized-id>/snapshot.bin   latest compacted CSR snapshot
+//! <root>/<sanitized-id>/journal.log    EdgeOp batches since that snapshot
+//! ```
+//!
+//! The write protocol keeps recovery trivially correct:
+//!
+//! - **Append**: a mutation batch is framed, appended, and fsynced
+//!   *before* the engine commits it in memory (write-ahead ordering).
+//! - **Rotate**: a new snapshot is written to a temp file, fsynced, and
+//!   atomically renamed over `snapshot.bin`; only then is the journal
+//!   truncated. A crash between the two steps is harmless because replay
+//!   skips journal records whose version is `<=` the snapshot version.
+//! - **Recover**: decode `snapshot.bin`, truncate any torn journal tail,
+//!   and hand back the records newer than the snapshot for replay.
+
+use crate::journal::{scan_journal, JournalRecord, JournalWriter, TailState};
+use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotError, SnapshotMeta};
+use relgraph::DirectedGraph;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const JOURNAL_FILE: &str = "journal.log";
+
+/// Errors surfaced by [`DatasetStore`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Snapshot bytes failed to decode.
+    Snapshot(SnapshotError),
+    /// A journal record failed its CRC (true data damage, not a torn tail).
+    CorruptJournal {
+        /// Dataset id (directory name when the real id is unknown).
+        dataset: String,
+        /// Zero-based index of the damaged record.
+        at_record: u64,
+        /// Byte offset where the damaged record starts.
+        at_byte: u64,
+    },
+    /// Journal record versions are not strictly increasing.
+    NonMonotonic {
+        /// Dataset id.
+        dataset: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io: {e}"),
+            StoreError::Snapshot(e) => write!(f, "{e}"),
+            StoreError::CorruptJournal { dataset, at_record, at_byte } => {
+                write!(f, "journal for {dataset:?} corrupt at record {at_record} (byte {at_byte})")
+            }
+            StoreError::NonMonotonic { dataset } => {
+                write!(f, "journal for {dataset:?} has non-monotonic versions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> Self {
+        StoreError::Snapshot(e)
+    }
+}
+
+/// Journal/snapshot counters for one dataset (served by the stats route).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StoreStats {
+    /// Dataset id.
+    pub dataset: String,
+    /// Version captured by the current snapshot.
+    pub snapshot_version: u64,
+    /// Snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// Records in the journal (valid prefix).
+    pub journal_records: u64,
+    /// Journal size in bytes (valid prefix).
+    pub journal_bytes: u64,
+    /// Highest durable version: last journal record, else the snapshot.
+    pub last_version: u64,
+}
+
+/// A dataset's recovered durable state, ready for replay.
+#[derive(Debug)]
+pub struct RecoveredDataset {
+    /// Dataset id (from the snapshot metadata).
+    pub dataset: String,
+    /// Materialized graph at `snapshot_version`.
+    pub base: DirectedGraph,
+    /// Graph `version()` the snapshot captured.
+    pub snapshot_version: u64,
+    /// Journal records newer than the snapshot, in commit order.
+    pub tail: Vec<JournalRecord>,
+    /// Torn-tail bytes dropped during recovery (0 on a clean shutdown).
+    pub truncated_bytes: u64,
+}
+
+/// Integrity summary for one dataset directory (`relrank journal verify`).
+#[derive(Debug)]
+pub struct DatasetVerify {
+    /// Dataset id (directory name if the snapshot is unreadable).
+    pub dataset: String,
+    /// Whether `snapshot.bin` exists and decodes with valid CRCs.
+    pub snapshot_ok: bool,
+    /// Version of the snapshot when readable.
+    pub snapshot_version: Option<u64>,
+    /// Records in the journal's valid prefix.
+    pub journal_records: u64,
+    /// Bytes in the journal's valid prefix.
+    pub journal_bytes: u64,
+    /// Journal tail condition.
+    pub tail: TailState,
+    /// Whether journal versions are strictly increasing.
+    pub monotonic: bool,
+}
+
+impl DatasetVerify {
+    /// True when the dataset's durable state is fully intact.
+    pub fn is_ok(&self) -> bool {
+        self.snapshot_ok && self.monotonic && self.tail == TailState::Clean
+    }
+}
+
+/// Maps a dataset id onto a filesystem-safe directory name.
+fn sanitize(id: &str) -> String {
+    id.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect()
+}
+
+/// The durable store rooted at one directory.
+///
+/// Thread-safe: journal writers are cached behind a mutex so concurrent
+/// engine commits serialize their fsyncs per store.
+#[derive(Debug)]
+pub struct DatasetStore {
+    root: PathBuf,
+    writers: Mutex<HashMap<String, JournalWriter>>,
+}
+
+impl DatasetStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<DatasetStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DatasetStore { root, writers: Mutex::new(HashMap::new()) })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn dir(&self, id: &str) -> PathBuf {
+        self.root.join(sanitize(id))
+    }
+
+    fn snapshot_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join(SNAPSHOT_FILE)
+    }
+
+    fn journal_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join(JOURNAL_FILE)
+    }
+
+    /// True when `id` already has a snapshot on disk.
+    pub fn has_snapshot(&self, id: &str) -> bool {
+        self.snapshot_path(id).is_file()
+    }
+
+    /// Dataset ids with durable state, sorted. Ids come from snapshot
+    /// metadata (directory names are sanitized and lossy).
+    pub fn dataset_ids(&self) -> std::io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if !path.is_dir() {
+                continue;
+            }
+            if let Ok(meta) = read_snapshot_meta(&path.join(SNAPSHOT_FILE)) {
+                ids.push(meta.dataset);
+            }
+        }
+        ids.sort();
+        ids.dedup();
+        Ok(ids)
+    }
+
+    /// Writes a compacted snapshot of `graph` at `version` and truncates
+    /// the journal (all its records are now `<=` the snapshot version).
+    pub fn write_snapshot(
+        &self,
+        id: &str,
+        graph: &DirectedGraph,
+        version: u64,
+    ) -> std::io::Result<()> {
+        let mut writers = self.writers.lock().expect("store writer lock");
+        let dir = self.dir(id);
+        std::fs::create_dir_all(&dir)?;
+        let bytes = encode_snapshot(id, graph, version);
+        let tmp = dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.snapshot_path(id))?;
+        // Rotation: the journal's history is folded into the snapshot.
+        writers.remove(id);
+        match OpenOptions::new().write(true).open(self.journal_path(id)) {
+            Ok(f) => {
+                f.set_len(0)?;
+                f.sync_data()?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    /// Appends one committed batch to `id`'s journal (fsynced before
+    /// returning). Returns the journal's record count after the append,
+    /// which the engine compares against its compaction threshold to
+    /// decide when to rotate.
+    pub fn append_batch(&self, id: &str, record: &JournalRecord) -> std::io::Result<u64> {
+        let mut writers = self.writers.lock().expect("store writer lock");
+        if !writers.contains_key(id) {
+            std::fs::create_dir_all(self.dir(id))?;
+            let w = JournalWriter::open(&self.journal_path(id))?;
+            writers.insert(id.to_string(), w);
+        }
+        let w = writers.get_mut(id).expect("writer just inserted");
+        w.append(record)?;
+        Ok(w.records())
+    }
+
+    /// Recovers `id`'s durable state: snapshot plus the journal tail.
+    ///
+    /// Returns `Ok(None)` when the dataset has no snapshot. A torn
+    /// trailing record is truncated off the journal on disk; CRC
+    /// corruption anywhere in the valid region is an error.
+    pub fn load(&self, id: &str) -> Result<Option<RecoveredDataset>, StoreError> {
+        let bytes = match std::fs::read(self.snapshot_path(id)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let (meta, base) = decode_snapshot(&bytes)?;
+        let journal = self.journal_path(id);
+        let scan = scan_journal(&journal)?;
+        let truncated_bytes = match scan.tail {
+            TailState::Clean => 0,
+            TailState::Torn { truncated_bytes } => {
+                let f = OpenOptions::new().write(true).open(&journal)?;
+                f.set_len(scan.valid_bytes)?;
+                f.sync_data()?;
+                truncated_bytes
+            }
+            TailState::Corrupt { at_byte, at_record } => {
+                return Err(StoreError::CorruptJournal {
+                    dataset: meta.dataset,
+                    at_record,
+                    at_byte,
+                })
+            }
+        };
+        if !scan.monotonic() {
+            return Err(StoreError::NonMonotonic { dataset: meta.dataset });
+        }
+        let tail: Vec<JournalRecord> =
+            scan.records.into_iter().filter(|r| r.version > meta.version).collect();
+        Ok(Some(RecoveredDataset {
+            dataset: meta.dataset,
+            base,
+            snapshot_version: meta.version,
+            tail,
+            truncated_bytes,
+        }))
+    }
+
+    /// Durability counters for `id`, or `None` without a snapshot.
+    pub fn stats(&self, id: &str) -> Result<Option<StoreStats>, StoreError> {
+        let snap_path = self.snapshot_path(id);
+        let meta = match read_snapshot_meta(&snap_path) {
+            Ok(m) => m,
+            Err(SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let snapshot_bytes = std::fs::metadata(&snap_path)?.len();
+        let scan = scan_journal(&self.journal_path(id))?;
+        Ok(Some(StoreStats {
+            dataset: meta.dataset,
+            snapshot_version: meta.version,
+            snapshot_bytes,
+            journal_records: scan.records.len() as u64,
+            journal_bytes: scan.valid_bytes,
+            last_version: scan.last_version().unwrap_or(meta.version).max(meta.version),
+        }))
+    }
+
+    /// Integrity check over every dataset directory under the root.
+    pub fn verify(&self) -> std::io::Result<Vec<DatasetVerify>> {
+        let mut out = Vec::new();
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&self.root)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let fallback =
+                dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            let (snapshot_ok, snapshot_version, dataset) =
+                match std::fs::read(dir.join(SNAPSHOT_FILE)) {
+                    Ok(bytes) => match decode_snapshot(&bytes) {
+                        Ok((meta, _)) => (true, Some(meta.version), meta.dataset),
+                        Err(_) => (false, None, fallback),
+                    },
+                    Err(_) => (false, None, fallback),
+                };
+            let scan = scan_journal(&dir.join(JOURNAL_FILE))?;
+            out.push(DatasetVerify {
+                dataset,
+                snapshot_ok,
+                snapshot_version,
+                journal_records: scan.records.len() as u64,
+                journal_bytes: scan.valid_bytes,
+                tail: scan.tail,
+                monotonic: scan.monotonic(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Reads just the metadata frame of a snapshot file.
+fn read_snapshot_meta(path: &Path) -> Result<SnapshotMeta, SnapshotError> {
+    let file = File::open(path).map_err(SnapshotError::Io)?;
+    let mut reader = BufReader::new(file.take(1 << 20));
+    match crate::frame::read_frame(&mut reader, 0)? {
+        crate::frame::FrameRead::Frame(payload) => serde_json::from_slice(&payload)
+            .map_err(|e| SnapshotError::Invalid(format!("meta decode: {e}"))),
+        other => Err(SnapshotError::Invalid(format!("meta frame unreadable: {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{WireOp, OP_ADD};
+    use relgraph::GraphBuilder;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos();
+        std::env::temp_dir().join(format!("relstore-{tag}-{}-{nanos}", std::process::id()))
+    }
+
+    fn graph() -> DirectedGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_labeled_node("a");
+        let c = b.add_labeled_node("b");
+        b.add_weighted_edge(a, c, 1.0);
+        b.build()
+    }
+
+    fn rec(version: u64) -> JournalRecord {
+        JournalRecord {
+            version,
+            ops: vec![WireOp {
+                kind: OP_ADD.into(),
+                source: "a".into(),
+                target: "b".into(),
+                weight: Some(2.0),
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_then_journal_then_load() {
+        let root = temp_root("load");
+        let store = DatasetStore::open(&root).unwrap();
+        assert!(store.load("ds").unwrap().is_none());
+        store.write_snapshot("ds", &graph(), 0).unwrap();
+        store.append_batch("ds", &rec(1)).unwrap();
+        store.append_batch("ds", &rec(2)).unwrap();
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert_eq!(loaded.dataset, "ds");
+        assert_eq!(loaded.snapshot_version, 0);
+        assert_eq!(loaded.tail.len(), 2);
+        assert_eq!(loaded.truncated_bytes, 0);
+        assert_eq!(store.dataset_ids().unwrap(), vec!["ds".to_string()]);
+        let stats = store.stats("ds").unwrap().unwrap();
+        assert_eq!(stats.journal_records, 2);
+        assert_eq!(stats.last_version, 2);
+        assert_eq!(stats.snapshot_version, 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rotation_truncates_journal_and_skips_stale_records() {
+        let root = temp_root("rotate");
+        let store = DatasetStore::open(&root).unwrap();
+        store.write_snapshot("ds", &graph(), 0).unwrap();
+        store.append_batch("ds", &rec(1)).unwrap();
+        store.write_snapshot("ds", &graph(), 1).unwrap();
+        let stats = store.stats("ds").unwrap().unwrap();
+        assert_eq!(stats.journal_records, 0);
+        assert_eq!(stats.last_version, 1);
+        // Writer reopens after rotation and appending resumes.
+        store.append_batch("ds", &rec(2)).unwrap();
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert_eq!(loaded.snapshot_version, 1);
+        assert_eq!(loaded.tail.len(), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_truncates_torn_tail() {
+        let root = temp_root("torn");
+        let store = DatasetStore::open(&root).unwrap();
+        store.write_snapshot("ds", &graph(), 0).unwrap();
+        store.append_batch("ds", &rec(1)).unwrap();
+        let keep = std::fs::metadata(store.journal_path("ds")).unwrap().len();
+        store.append_batch("ds", &rec(2)).unwrap();
+        let f = OpenOptions::new().write(true).open(store.journal_path("ds")).unwrap();
+        f.set_len(keep + 5).unwrap();
+        drop(f);
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert_eq!(loaded.tail.len(), 1);
+        assert_eq!(loaded.truncated_bytes, 5);
+        assert_eq!(std::fs::metadata(store.journal_path("ds")).unwrap().len(), keep);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn verify_flags_corruption() {
+        let root = temp_root("verify");
+        let store = DatasetStore::open(&root).unwrap();
+        store.write_snapshot("ds", &graph(), 0).unwrap();
+        store.append_batch("ds", &rec(1)).unwrap();
+        let ok = store.verify().unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(ok[0].is_ok(), "{:?}", ok[0]);
+        // Flip a byte in the journal record's payload.
+        let jp = store.journal_path("ds");
+        let mut bytes = std::fs::read(&jp).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x04;
+        std::fs::write(&jp, &bytes).unwrap();
+        let bad = store.verify().unwrap();
+        assert!(!bad[0].is_ok());
+        assert!(matches!(bad[0].tail, TailState::Corrupt { at_record: 0, .. }));
+        assert!(store.load("ds").is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sanitizes_hostile_dataset_ids() {
+        let root = temp_root("sanitize");
+        let store = DatasetStore::open(&root).unwrap();
+        let id = "../weird name/☂";
+        store.write_snapshot(id, &graph(), 0).unwrap();
+        assert!(store.dir(id).starts_with(&root));
+        assert_eq!(store.dataset_ids().unwrap(), vec![id.to_string()]);
+        assert_eq!(store.load(id).unwrap().unwrap().dataset, id);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -30,6 +30,16 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     )
 }
 
+fn delete(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        format!(
+            "DELETE {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
 fn start() -> (cyclerank_platform::server::server::ServerHandle, SocketAddr) {
     let engine = Arc::new(Scheduler::builder().workers(2).build());
     let server = ApiServer::bind("127.0.0.1:0", engine).unwrap();
@@ -134,6 +144,17 @@ fn gateway_rejects_invalid_input() {
     assert_eq!(get(addr, "/api/tasks/no-such-task").0, 404);
     assert_eq!(get(addr, "/api/datasets/no-such-dataset").0, 404);
     assert_eq!(get(addr, "/definitely/not/a/route").0, 404);
+    // Edge mutations on an unknown dataset are a client error (404 with a
+    // JSON error body), not a server fault.
+    let batch = r#"{"edges": [{"source": "a", "target": "b"}]}"#;
+    let (status, body) = post(addr, "/api/datasets/no-such-dataset/edges", batch);
+    assert_eq!(status, 404, "POST edges on unknown dataset: {body}");
+    let err: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(err["error"].as_str().unwrap().contains("no-such-dataset"));
+    let (status, body) = delete(addr, "/api/datasets/no-such-dataset/edges", batch);
+    assert_eq!(status, 404, "DELETE edges on unknown dataset: {body}");
+    let err: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(err["error"].as_str().unwrap().contains("no-such-dataset"));
     // A task for a dataset that does not exist fails (visible via status).
     let (status, body) = post(
         addr,
@@ -157,4 +178,48 @@ fn gateway_rejects_invalid_input() {
         std::thread::sleep(Duration::from_millis(10));
     }
     handle.stop();
+}
+
+/// Kill-and-recover over the wire: upload + mutate through one server
+/// bound to a `--data-dir`, stop it cold, boot a second server on the same
+/// directory, and demand the identical graph version and durable stats.
+#[test]
+fn mutations_survive_server_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "relserver-e2e-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
+    ));
+
+    let boot = |dir: &std::path::Path| {
+        let engine =
+            Arc::new(Scheduler::builder().workers(1).data_dir(dir).try_build().expect("boot"));
+        let server = ApiServer::bind("127.0.0.1:0", engine).unwrap();
+        let handle = server.spawn();
+        let addr = handle.addr();
+        (handle, addr)
+    };
+
+    let (handle, addr) = boot(&dir);
+    let content = "*Vertices 2\n1 \"me\"\n2 \"friend\"\n*Arcs\n1 2\n2 1\n";
+    let body = serde_json::json!({"name": "durable-net", "content": content}).to_string();
+    assert_eq!(post(addr, "/api/datasets", &body).0, 200);
+    let batch = r#"{"edges": [{"source": "friend", "target": "stranger", "weight": 2.5}]}"#;
+    assert_eq!(post(addr, "/api/datasets/durable-net/edges", batch).0, 200);
+    let (status, stats) = get(addr, "/api/datasets/durable-net/stats");
+    assert_eq!(status, 200);
+    let before: serde_json::Value = serde_json::from_str(&stats).unwrap();
+    assert!(before["persistence"]["journal_records"].as_u64().unwrap() >= 1);
+    handle.stop();
+
+    let (handle, addr) = boot(&dir);
+    let (status, stats) = get(addr, "/api/datasets/durable-net/stats");
+    assert_eq!(status, 200, "recovered dataset must be served: {stats}");
+    let after: serde_json::Value = serde_json::from_str(&stats).unwrap();
+    assert_eq!(after["version"], before["version"]);
+    assert_eq!(after["nodes"], before["nodes"]);
+    assert_eq!(after["edges"], before["edges"]);
+    assert_eq!(after["persistence"], before["persistence"]);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
 }
