@@ -16,7 +16,10 @@
 //! noisy (committed baselines come from whatever host last regenerated
 //! them); if a shared CI runner proves too jittery for the micro-scale
 //! cases, widen `--threshold` in the workflow rather than deleting the
-//! gate.
+//! gate. A baseline may also declare its own `"guard_threshold"` (see
+//! `BenchReport::guard_threshold`) when its cases are structurally
+//! noisier than solver medians — e.g. tail percentiles of a live-server
+//! load bench; the guard takes the max of that and the CLI threshold.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -66,21 +69,28 @@ fn main() -> ExitCode {
     let mut regressions = 0usize;
     let mut compared = 0usize;
     for name in baselines {
-        let base = match load_cases(&baseline_dir.join(&name)) {
-            Ok(c) => c,
+        let (base, declared) = match load_report(&baseline_dir.join(&name)) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("bench_guard: skipping {name}: bad baseline ({e})");
                 continue;
             }
         };
         let current_path = current_dir.join(&name);
-        let current = match load_cases(&current_path) {
-            Ok(c) => c,
+        let (current, _) = match load_report(&current_path) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("bench_guard: {name}: no comparable current run ({e}) — skipped");
                 continue;
             }
         };
+        // A committed baseline may declare a wider threshold for its own
+        // cases (tail percentiles are noisier than solver medians); the
+        // CLI threshold is the floor, never lowered.
+        let threshold = declared.map_or(threshold, |t| t.max(threshold));
+        if declared.is_some() {
+            println!("{name}: using declared guard threshold {threshold:.2}x");
+        }
         for (case, base_ns) in &base {
             let Some(&current_ns) = current.iter().find(|(c, _)| c == case).map(|(_, ns)| ns)
             else {
@@ -127,10 +137,13 @@ fn bench_files(dir: &Path) -> std::io::Result<Vec<String>> {
     Ok(out)
 }
 
-/// Parses one report's `(case, median_ns)` pairs.
-fn load_cases(path: &Path) -> Result<Vec<(String, f64)>, String> {
+/// Parses one report's `(case, median_ns)` pairs plus its optional
+/// declared `guard_threshold`.
+#[allow(clippy::type_complexity)]
+fn load_report(path: &Path) -> Result<(Vec<(String, f64)>, Option<f64>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let value = serde_json::parse_value(&text).map_err(|e| format!("{e:?}"))?;
+    let declared = value["guard_threshold"].as_f64().filter(|t| *t > 0.0);
     let results = value["results"].as_array().ok_or("missing results array")?;
     let mut out = Vec::with_capacity(results.len());
     for entry in results {
@@ -144,5 +157,5 @@ fn load_cases(path: &Path) -> Result<Vec<(String, f64)>, String> {
     if out.is_empty() {
         return Err("report has no cases".into());
     }
-    Ok(out)
+    Ok((out, declared))
 }

@@ -29,6 +29,16 @@ pub fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
     medians[medians.len() / 2]
 }
 
+/// Nearest-rank percentile of `samples` (sorted in place); `q` in
+/// `[0, 1]`, e.g. `0.999` for p999. Load benches record per-request
+/// latencies and report tail percentiles per traffic lane.
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of no samples");
+    samples.sort_by(f64::total_cmp);
+    let rank = (q * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
 /// One measured case of a bench.
 #[derive(Debug, Clone)]
 pub struct Case {
@@ -49,6 +59,11 @@ pub struct BenchReport {
     pub params: Vec<(String, String)>,
     /// Measured cases.
     pub cases: Vec<Case>,
+    /// Regression threshold this bench asks `bench_guard` for, when its
+    /// cases need more headroom than the default (tail percentiles of a
+    /// live-server load run are far noisier than solver medians). The
+    /// guard uses `max(cli_threshold, guard_threshold)`.
+    pub guard_threshold: Option<f64>,
 }
 
 impl BenchReport {
@@ -59,12 +74,20 @@ impl BenchReport {
             graph: graph.into(),
             params: Vec::new(),
             cases: Vec::new(),
+            guard_threshold: None,
         }
     }
 
     /// Records a parameter.
     pub fn param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
         self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Declares a wider `bench_guard` regression threshold for this
+    /// report's cases.
+    pub fn guard_threshold(mut self, factor: f64) -> Self {
+        self.guard_threshold = Some(factor);
         self
     }
 
@@ -86,7 +109,11 @@ impl BenchReport {
             }
             out.push_str(&format!("{}: {}", json_str(k), json_str(v)));
         }
-        out.push_str("},\n  \"results\": [\n");
+        out.push_str("},\n");
+        if let Some(t) = self.guard_threshold {
+            out.push_str(&format!("  \"guard_threshold\": {t},\n"));
+        }
+        out.push_str("  \"results\": [\n");
         for (i, c) in self.cases.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"case\": {}, \"median_ns\": {:.0}}}{}\n",
@@ -134,6 +161,27 @@ mod tests {
     fn measure_returns_positive_median() {
         let ns = measure(3, || std::hint::black_box((0..100).sum::<u64>()));
         assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&mut s, 0.5), 50.0);
+        assert_eq!(percentile(&mut s, 0.99), 99.0);
+        assert_eq!(percentile(&mut s, 0.999), 100.0);
+        assert_eq!(percentile(&mut s, 0.0), 1.0);
+        let mut one = vec![7.0];
+        assert_eq!(percentile(&mut one, 0.999), 7.0);
+    }
+
+    #[test]
+    fn guard_threshold_serialized_when_declared() {
+        let mut r = BenchReport::new("demo", "g");
+        r.case("a", 1.0);
+        assert!(!r.to_json().contains("guard_threshold"));
+        let mut r = BenchReport::new("demo", "g").guard_threshold(3.0);
+        r.case("a", 1.0);
+        assert!(r.to_json().contains("\"guard_threshold\": 3"));
     }
 
     #[test]

@@ -173,8 +173,17 @@ pub enum Command {
     Serve {
         /// Bind address.
         addr: String,
-        /// Worker count.
+        /// Engine solver worker count (also sizes the serving pool's
+        /// expensive-lane default).
         workers: usize,
+        /// Admission-queue depth override (`--queue-depth`): accepted
+        /// connections waiting for an HTTP worker before the acceptor
+        /// sheds with 429.
+        queue_depth: Option<usize>,
+        /// Expensive-lane concurrency override (`--max-expensive`):
+        /// simultaneous cold synchronous solves / mutations / uploads
+        /// before that lane sheds with 429.
+        max_expensive: Option<usize>,
         /// Durable data directory (`--data-dir`): recover persisted
         /// datasets on boot and journal every mutation while serving.
         data_dir: Option<String>,
@@ -411,9 +420,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let addr = flags.take("addr").unwrap_or_else(|| "127.0.0.1:8080".into());
             let workers =
                 flags.take("workers").map(|v| parse_num(&v, "workers")).transpose()?.unwrap_or(4);
+            let queue_depth =
+                flags.take("queue-depth").map(|v| parse_num(&v, "queue-depth")).transpose()?;
+            let max_expensive =
+                flags.take("max-expensive").map(|v| parse_num(&v, "max-expensive")).transpose()?;
             let data_dir = flags.take("data-dir");
             flags.finish()?;
-            Command::Serve { addr, workers, data_dir }
+            Command::Serve { addr, workers, queue_depth, max_expensive, data_dir }
         }
         "replay" => {
             let dir = match positional.or_else(|| flags.take("dir")) {
@@ -649,7 +662,13 @@ mod tests {
         let cli = parse("serve").unwrap();
         assert_eq!(
             cli.command,
-            Command::Serve { addr: "127.0.0.1:8080".into(), workers: 4, data_dir: None }
+            Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                workers: 4,
+                queue_depth: None,
+                max_expensive: None,
+                data_dir: None
+            }
         );
         let cli = parse("serve --data-dir /tmp/relrank-data").unwrap();
         assert_eq!(
@@ -657,9 +676,28 @@ mod tests {
             Command::Serve {
                 addr: "127.0.0.1:8080".into(),
                 workers: 4,
+                queue_depth: None,
+                max_expensive: None,
                 data_dir: Some("/tmp/relrank-data".into())
             }
         );
+    }
+
+    #[test]
+    fn serve_admission_flags() {
+        let cli = parse("serve --workers 2 --queue-depth 16 --max-expensive 1").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                workers: 2,
+                queue_depth: Some(16),
+                max_expensive: Some(1),
+                data_dir: None
+            }
+        );
+        assert!(parse("serve --queue-depth deep").is_err());
+        assert!(parse("serve --max-expensive all").is_err());
     }
 
     #[test]

@@ -590,10 +590,27 @@ pub fn visualize(
     ))
 }
 
-/// `serve`: run the API gateway until killed. With `--data-dir` the
+/// Admission-control overrides for `serve` (`--queue-depth`,
+/// `--max-expensive`); `None` keeps the auto-sized default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeLimits {
+    /// Admission-queue depth.
+    pub queue_depth: Option<usize>,
+    /// Expensive-lane concurrency.
+    pub max_expensive: Option<usize>,
+}
+
+/// `serve`: run the API gateway until killed. Serving uses a bounded
+/// worker pool sized from the host; `limits` overrides the admission
+/// queue depth and expensive-lane concurrency. With `--data-dir` the
 /// engine recovers persisted datasets on boot and journals every edge
 /// mutation while serving.
-pub fn serve(addr: &str, workers: usize, data_dir: Option<&str>) -> Result<String, String> {
+pub fn serve(
+    addr: &str,
+    workers: usize,
+    limits: ServeLimits,
+    data_dir: Option<&str>,
+) -> Result<String, String> {
     let mut builder = Scheduler::builder().workers(workers);
     if let Some(dir) = data_dir {
         builder = builder.data_dir(dir);
@@ -608,9 +625,21 @@ pub fn serve(addr: &str, workers: usize, data_dir: Option<&str>) -> Result<Strin
             .unwrap_or(0);
         eprintln!("durable store at {dir}: {recovered} dataset(s) recovered");
     }
-    let server = relserver::ApiServer::bind(addr, engine).map_err(|e| e.to_string())?;
+    let mut config = relserver::ServingConfig::auto(engine.worker_count());
+    if let Some(depth) = limits.queue_depth {
+        config.queue_depth = depth.max(1);
+    }
+    if let Some(max) = limits.max_expensive {
+        config.max_expensive = max.max(1);
+    }
+    let server =
+        relserver::ApiServer::bind_with(addr, engine, config.clone()).map_err(|e| e.to_string())?;
     let bound = server.local_addr();
-    eprintln!("relrank API gateway listening on http://{bound} ({workers} workers)");
+    eprintln!(
+        "relrank API gateway listening on http://{bound} \
+         ({} http workers, queue {}, {} expensive, {workers} solver workers)",
+        config.workers, config.queue_depth, config.max_expensive
+    );
     server.run();
     Ok(format!("server on {bound} stopped\n"))
 }

@@ -22,7 +22,8 @@
 //! relrank compare-datasets --datasets <id,id,...> --source <label>
 //!                          [--k <n>] [--top <n>]
 //! relrank convert --input <file> --output <file> --format csv|pajek|asd
-//! relrank serve [--addr 127.0.0.1:8080] [--workers <n>] [--data-dir <dir>]
+//! relrank serve [--addr 127.0.0.1:8080] [--workers <n>] [--queue-depth <n>]
+//!               [--max-expensive <n>] [--data-dir <dir>]
 //! relrank replay <dir> [--json]
 //! relrank journal verify <dir> [--json]
 //! ```
@@ -49,9 +50,12 @@ pub fn run(cli: Cli) -> Result<String, String> {
         Command::Visualize { dataset, source, k, top, output } => {
             commands::visualize(&dataset, &source, k, top, &output)
         }
-        Command::Serve { addr, workers, data_dir } => {
-            commands::serve(&addr, workers, data_dir.as_deref())
-        }
+        Command::Serve { addr, workers, queue_depth, max_expensive, data_dir } => commands::serve(
+            &addr,
+            workers,
+            commands::ServeLimits { queue_depth, max_expensive },
+            data_dir.as_deref(),
+        ),
         Command::Replay { dir, json } => commands::replay(&dir, json),
         Command::JournalVerify { dir, json } => commands::journal_verify(&dir, json),
     }

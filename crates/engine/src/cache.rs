@@ -146,6 +146,14 @@ impl ResultCache {
         }
     }
 
+    /// Whether `key` is currently cached, without touching recency or the
+    /// hit/miss counters — a *peek*, not a lookup. The serving layer uses
+    /// this to classify a request as cheap (cache-answerable) before
+    /// admitting it to a concurrency lane.
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
     /// Stores `result` under `key`, evicting the least-recently-used entry
     /// when full. No-op when the cache is disabled (capacity 0).
     pub fn put(&self, key: String, result: TaskResult) {

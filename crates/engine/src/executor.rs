@@ -24,6 +24,18 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Aggregate footprint of the executor's per-dataset solver-arena pools
+/// (see [`Executor::arena_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArenaPoolStats {
+    /// Datasets that own a solver arena.
+    pub datasets: usize,
+    /// O(n) working buffers currently pooled across all arenas.
+    pub pooled_buffers: usize,
+    /// Total buffer allocations ever made (steady state: stops growing).
+    pub allocations: u64,
+}
+
 /// The stored outcome of a completed task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskResult {
@@ -162,6 +174,33 @@ impl Executor {
     /// Hit/miss/eviction counters of the result cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.results.stats()
+    }
+
+    /// Whether executing `spec` right now would be answered from the
+    /// result cache. A *peek*: no dataset is loaded (an unloaded dataset
+    /// trivially has no cached results), no recency or hit/miss counter
+    /// moves. The serving layer uses this to route cache-answerable
+    /// requests into the cheap admission lane.
+    pub fn would_hit_cache(&self, spec: &TaskSpec) -> bool {
+        match self.dataset_version(&spec.dataset) {
+            Some(version) => self.results.contains(&cache_key(spec, version)),
+            None => false,
+        }
+    }
+
+    /// Aggregate footprint of the per-dataset solver-arena pools, for
+    /// serving-stats plumbing and pool sizing: how many datasets own an
+    /// arena, how many O(n) buffers are pooled across them, and the
+    /// total buffer allocations ever made.
+    pub fn arena_stats(&self) -> ArenaPoolStats {
+        let arenas = self.arenas.lock();
+        let mut stats =
+            ArenaPoolStats { datasets: arenas.len(), pooled_buffers: 0, allocations: 0 };
+        for arena in arenas.values() {
+            stats.pooled_buffers += arena.pooled();
+            stats.allocations += arena.allocations();
+        }
+        stats
     }
 
     /// Registers a user-uploaded graph under `id` (the demo's "upload your

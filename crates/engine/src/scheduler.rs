@@ -389,22 +389,22 @@ impl Scheduler {
     /// Returns [`EngineError::Timeout`] if the deadline passes,
     /// [`EngineError::TaskFailed`] if the task failed.
     pub fn wait(&self, id: &TaskId, timeout: Duration) -> Result<TaskResult, EngineError> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            match self.status(id)? {
-                TaskState::Completed => {
-                    return self
-                        .store
-                        .get_result(id)?
-                        .ok_or_else(|| EngineError::Storage("result missing".into()));
-                }
-                TaskState::Failed { error } => return Err(EngineError::TaskFailed(error)),
-                TaskState::Canceled => return Err(EngineError::TaskFailed("canceled".into())),
-                _ if Instant::now() >= deadline => {
-                    return Err(EngineError::Timeout(id.to_string()))
-                }
-                _ => std::thread::sleep(Duration::from_millis(2)),
-            }
+        // Event-driven: workers signal every terminal transition through
+        // the board, so the wait costs one wakeup instead of a poll loop
+        // (whose 2 ms floor used to dominate sub-millisecond solves on
+        // the synchronous serving path).
+        let record = self
+            .board
+            .wait_terminal(id, timeout)
+            .ok_or_else(|| EngineError::UnknownTask(id.to_string()))?;
+        match record.state {
+            TaskState::Completed => self
+                .store
+                .get_result(id)?
+                .ok_or_else(|| EngineError::Storage("result missing".into())),
+            TaskState::Failed { error } => Err(EngineError::TaskFailed(error)),
+            TaskState::Canceled => Err(EngineError::TaskFailed("canceled".into())),
+            TaskState::Queued | TaskState::Running => Err(EngineError::Timeout(id.to_string())),
         }
     }
 

@@ -8,8 +8,8 @@ use crate::task::{TaskId, TaskSpec};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Lifecycle state of a task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,10 +72,21 @@ fn now_ms() -> u64 {
     SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
 }
 
+/// Condvar-backed completion signal: every terminal transition bumps the
+/// generation and wakes all waiters, so synchronous callers block on the
+/// event instead of polling (the 2 ms poll floor used to dominate the
+/// served latency of sub-millisecond solves).
+#[derive(Debug, Default)]
+struct Completions {
+    generation: std::sync::Mutex<u64>,
+    signal: Condvar,
+}
+
 /// Thread-safe registry of task records.
 #[derive(Debug, Clone, Default)]
 pub struct StatusBoard {
     inner: Arc<RwLock<HashMap<TaskId, TaskRecord>>>,
+    completions: Arc<Completions>,
 }
 
 impl StatusBoard {
@@ -118,20 +129,27 @@ impl StatusBoard {
             r.state = TaskState::Completed;
             r.finished_at_ms = Some(now_ms());
         }
+        self.notify_terminal();
     }
 
     /// Cancels a task if (and only if) it is still queued; returns whether
     /// the cancellation took effect.
     pub fn cancel_if_queued(&self, id: &TaskId) -> bool {
-        let mut inner = self.inner.write();
-        match inner.get_mut(id) {
-            Some(r) if r.state == TaskState::Queued => {
-                r.state = TaskState::Canceled;
-                r.finished_at_ms = Some(now_ms());
-                true
+        let canceled = {
+            let mut inner = self.inner.write();
+            match inner.get_mut(id) {
+                Some(r) if r.state == TaskState::Queued => {
+                    r.state = TaskState::Canceled;
+                    r.finished_at_ms = Some(now_ms());
+                    true
+                }
+                _ => false,
             }
-            _ => false,
+        };
+        if canceled {
+            self.notify_terminal();
         }
+        canceled
     }
 
     /// True when the task has been canceled.
@@ -144,6 +162,47 @@ impl StatusBoard {
         if let Some(r) = self.inner.write().get_mut(id) {
             r.state = TaskState::Failed { error: error.into() };
             r.finished_at_ms = Some(now_ms());
+        }
+        self.notify_terminal();
+    }
+
+    /// Wakes every [`StatusBoard::wait_terminal`] caller. The record lock
+    /// is released by the callers above before this runs, so waiters can
+    /// re-check state without lock-order inversion.
+    fn notify_terminal(&self) {
+        let mut generation = self.completions.generation.lock().unwrap_or_else(|e| e.into_inner());
+        *generation = generation.wrapping_add(1);
+        self.completions.signal.notify_all();
+    }
+
+    /// Blocks until `id` reaches a terminal state or `timeout` passes;
+    /// returns the latest record (`None` for unknown ids — the caller is
+    /// responsible for not waiting on tasks it never submitted). Wakeups
+    /// are event-driven: workers signal every terminal transition, so the
+    /// wait adds no polling latency on top of the solve itself.
+    pub fn wait_terminal(&self, id: &TaskId, timeout: Duration) -> Option<TaskRecord> {
+        let deadline = Instant::now() + timeout;
+        let mut generation = self.completions.generation.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // State check under the generation lock: a transition racing
+            // with it must acquire the same lock to notify, so it cannot
+            // slip between this check and the wait below.
+            let record = self.get(id)?;
+            if record.state.is_terminal() {
+                return Some(record);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Some(record);
+            };
+            let (guard, result) = self
+                .completions
+                .signal
+                .wait_timeout(generation, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            generation = guard;
+            if result.timed_out() {
+                return self.get(id);
+            }
         }
     }
 
@@ -342,6 +401,66 @@ mod tests {
         assert_eq!(m.failed, 1);
         assert_eq!(m.canceled, 1);
         assert_eq!(m.queued, 1);
+    }
+
+    #[test]
+    fn wait_terminal_wakes_on_completion() {
+        let board = StatusBoard::new();
+        let id = TaskId::fresh();
+        board.enqueue(id.clone(), spec());
+        let finisher = {
+            let (board, id) = (board.clone(), id.clone());
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                board.mark_completed(&id);
+            })
+        };
+        let t = Instant::now();
+        let record = board.wait_terminal(&id, Duration::from_secs(10)).expect("known task");
+        assert_eq!(record.state, TaskState::Completed);
+        // Event-driven: woken by the completion, nowhere near the timeout.
+        assert!(t.elapsed() < Duration::from_secs(5));
+        finisher.join().unwrap();
+    }
+
+    #[test]
+    fn wait_terminal_times_out_with_latest_state() {
+        let board = StatusBoard::new();
+        let id = TaskId::fresh();
+        board.enqueue(id.clone(), spec());
+        board.mark_running(&id);
+        let record = board.wait_terminal(&id, Duration::from_millis(10)).expect("known task");
+        assert_eq!(record.state, TaskState::Running);
+        assert!(!record.state.is_terminal());
+    }
+
+    #[test]
+    fn wait_terminal_returns_immediately_when_already_terminal() {
+        let board = StatusBoard::new();
+        let id = TaskId::fresh();
+        board.enqueue(id.clone(), spec());
+        board.mark_failed(&id, "boom");
+        let record = board.wait_terminal(&id, Duration::from_secs(10)).expect("known task");
+        assert!(matches!(record.state, TaskState::Failed { .. }));
+        // Unknown ids don't block.
+        assert!(board.wait_terminal(&TaskId::fresh(), Duration::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn wait_terminal_sees_cancellation() {
+        let board = StatusBoard::new();
+        let id = TaskId::fresh();
+        board.enqueue(id.clone(), spec());
+        let canceler = {
+            let (board, id) = (board.clone(), id.clone());
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                assert!(board.cancel_if_queued(&id));
+            })
+        };
+        let record = board.wait_terminal(&id, Duration::from_secs(10)).expect("known task");
+        assert_eq!(record.state, TaskState::Canceled);
+        canceler.join().unwrap();
     }
 
     #[test]

@@ -1,15 +1,49 @@
 //! Minimal HTTP/1.1 request parsing and response serialization.
 //!
 //! Supports exactly what the demo's API needs: GET/POST/DELETE, path +
-//! query string, `Content-Length`-framed bodies, and JSON responses. Not
-//! a general-purpose HTTP implementation — requests the parser does not
-//! understand produce `400 Bad Request`.
+//! query string, `Content-Length`-framed bodies, keep-alive connection
+//! reuse, and JSON responses. Not a general-purpose HTTP implementation —
+//! requests the parser does not understand produce `400 Bad Request`, and
+//! oversized headers or bodies produce `413 Payload Too Large` before the
+//! payload is buffered (so one client cannot balloon a worker's memory).
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Maximum accepted body size (1 MiB) — uploads beyond this are rejected.
 pub const MAX_BODY: usize = 1 << 20;
+
+/// Maximum accepted size of the request line + headers (16 KiB). The
+/// reader never buffers more than this before giving up, so a client
+/// streaming an endless header line cannot grow worker memory.
+pub const MAX_HEADER_BYTES: usize = 16 << 10;
+
+/// A request-parsing failure, carrying the HTTP status the connection
+/// should answer with: `400` for malformed requests, `413` for requests
+/// that exceed [`MAX_HEADER_BYTES`] / [`MAX_BODY`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Status to respond with.
+    pub status: StatusCode,
+    /// Human-readable cause (returned in the JSON error body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> HttpError {
+        HttpError { status: StatusCode::BadRequest, message: message.into() }
+    }
+
+    fn too_large(message: impl Into<String>) -> HttpError {
+        HttpError { status: StatusCode::PayloadTooLarge, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
 
 /// HTTP method subset used by the API.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,19 +75,46 @@ impl Request {
     /// Reads and parses one request from a stream.
     pub fn read_from(stream: &mut impl Read) -> Result<Request, String> {
         let mut reader = BufReader::new(stream);
+        match Request::read_buffered(&mut reader) {
+            Ok(Some(req)) => Ok(req),
+            Ok(None) => Err("empty request line".into()),
+            Err(e) => Err(e.message),
+        }
+    }
+
+    /// Reads one request from an already-buffered stream — the keep-alive
+    /// entry point: the caller owns the `BufReader` across requests so
+    /// pipelined bytes survive between parses.
+    ///
+    /// Returns `Ok(None)` on a clean end-of-stream before any request
+    /// byte (the client closed an idle keep-alive connection).
+    pub fn read_buffered(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+        // The request line and headers are read through a hard cap so an
+        // endless header can never be buffered into memory.
+        let mut limited = reader.take(MAX_HEADER_BYTES as u64);
         let mut line = String::new();
-        reader.read_line(&mut line).map_err(|e| format!("read request line: {e}"))?;
+        limited
+            .read_line(&mut line)
+            .map_err(|e| HttpError::bad(format!("read request line: {e}")))?;
+        if line.is_empty() {
+            return Ok(None);
+        }
+        if !line.ends_with('\n') && limited.limit() == 0 {
+            return Err(HttpError::too_large(format!(
+                "request line exceeds the {MAX_HEADER_BYTES}-byte header limit"
+            )));
+        }
         let mut parts = line.split_whitespace();
         let method = match parts.next() {
             Some("GET") => Method::Get,
             Some("POST") => Method::Post,
             Some("DELETE") => Method::Delete,
-            Some(other) => return Err(format!("unsupported method {other}")),
-            None => return Err("empty request line".into()),
+            Some(other) => return Err(HttpError::bad(format!("unsupported method {other}"))),
+            None => return Err(HttpError::bad("empty request line")),
         };
-        let target = parts.next().ok_or("missing request target")?;
+        let target = parts.next().ok_or_else(|| HttpError::bad("missing request target"))?;
         if parts.next().map(|v| !v.starts_with("HTTP/1.")).unwrap_or(true) {
-            return Err("not HTTP/1.x".into());
+            return Err(HttpError::bad("not HTTP/1.x"));
         }
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p.to_string(), q.to_string()),
@@ -63,7 +124,16 @@ impl Request {
         let mut headers = HashMap::new();
         loop {
             let mut h = String::new();
-            reader.read_line(&mut h).map_err(|e| format!("read header: {e}"))?;
+            limited.read_line(&mut h).map_err(|e| HttpError::bad(format!("read header: {e}")))?;
+            if !h.ends_with('\n') {
+                return Err(if limited.limit() == 0 {
+                    HttpError::too_large(format!(
+                        "headers exceed the {MAX_HEADER_BYTES}-byte limit"
+                    ))
+                } else {
+                    HttpError::bad("truncated headers")
+                });
+            }
             let h = h.trim_end();
             if h.is_empty() {
                 break;
@@ -75,16 +145,18 @@ impl Request {
 
         let len: usize = headers
             .get("content-length")
-            .map(|v| v.parse().map_err(|_| "bad content-length".to_string()))
+            .map(|v| v.parse().map_err(|_| HttpError::bad("bad content-length")))
             .transpose()?
             .unwrap_or(0);
         if len > MAX_BODY {
-            return Err(format!("body too large ({len} bytes)"));
+            return Err(HttpError::too_large(format!(
+                "body of {len} bytes exceeds the {MAX_BODY}-byte limit"
+            )));
         }
         let mut body = vec![0u8; len];
-        reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+        reader.read_exact(&mut body).map_err(|e| HttpError::bad(format!("read body: {e}")))?;
 
-        Ok(Request { method, path: percent_decode(&path), query, headers, body })
+        Ok(Some(Request { method, path: percent_decode(&path), query, headers, body }))
     }
 
     /// Body as UTF-8.
@@ -95,6 +167,12 @@ impl Request {
     /// Splits the path into non-empty segments.
     pub fn segments(&self) -> Vec<&str> {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`). HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.headers.get("connection").map(|v| v.eq_ignore_ascii_case("close")).unwrap_or(false)
     }
 }
 
@@ -135,6 +213,10 @@ pub enum StatusCode {
     NotFound,
     /// 405.
     MethodNotAllowed,
+    /// 413 (request headers or body exceed the configured limits).
+    PayloadTooLarge,
+    /// 429 (admission queue or expensive lane full — retry later).
+    TooManyRequests,
     /// 500.
     InternalError,
 }
@@ -147,6 +229,8 @@ impl StatusCode {
             StatusCode::BadRequest => "400 Bad Request",
             StatusCode::NotFound => "404 Not Found",
             StatusCode::MethodNotAllowed => "405 Method Not Allowed",
+            StatusCode::PayloadTooLarge => "413 Payload Too Large",
+            StatusCode::TooManyRequests => "429 Too Many Requests",
             StatusCode::InternalError => "500 Internal Server Error",
         }
     }
@@ -161,13 +245,15 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Extra response headers (e.g. `Retry-After` on a 429).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
     /// JSON response from a serializable value.
     pub fn json(status: StatusCode, value: &impl serde::Serialize) -> Response {
         let body = serde_json::to_vec(value).unwrap_or_else(|_| b"null".to_vec());
-        Response { status, content_type: "application/json", body }
+        Response { status, content_type: "application/json", body, headers: Vec::new() }
     }
 
     /// JSON error payload `{"error": msg}`.
@@ -185,18 +271,43 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            headers: Vec::new(),
         }
     }
 
-    /// Serializes onto a stream.
+    /// Adds a response header.
+    pub fn header(mut self, name: &'static str, value: impl ToString) -> Response {
+        self.headers.push((name, value.to_string()));
+        self
+    }
+
+    /// The shed response: `429 Too Many Requests` with a `Retry-After`
+    /// hint (seconds), sent when the admission queue or a concurrency
+    /// lane is full.
+    pub fn overloaded(msg: impl Into<String>, retry_after_secs: u64) -> Response {
+        Response::error(StatusCode::TooManyRequests, msg).header("retry-after", retry_after_secs)
+    }
+
+    /// Serializes onto a stream, closing the connection after (the
+    /// one-shot path; keep-alive serving uses [`Response::write_conn`]).
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        self.write_conn(stream, false)
+    }
+
+    /// Serializes onto a stream with an explicit connection disposition:
+    /// `keep_alive` keeps the connection open for the next request.
+    pub fn write_conn(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status.line(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(stream, "connection: {}\r\n\r\n", if keep_alive { "keep-alive" } else { "close" })?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -259,6 +370,57 @@ mod tests {
     fn rejects_oversized_body() {
         let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
         assert!(parse(&raw).is_err());
+        // The typed path reports 413, before any body byte is buffered.
+        let mut reader = Cursor::new(raw.into_bytes());
+        let err = Request::read_buffered(&mut reader).unwrap_err();
+        assert_eq!(err.status, StatusCode::PayloadTooLarge);
+    }
+
+    #[test]
+    fn rejects_oversized_headers_without_buffering_them() {
+        // An endless header line: only MAX_HEADER_BYTES are ever read.
+        let mut raw = b"GET /x HTTP/1.1\r\nx-junk: ".to_vec();
+        raw.extend(vec![b'a'; MAX_HEADER_BYTES * 2]);
+        let mut reader = Cursor::new(raw);
+        let err = Request::read_buffered(&mut reader).unwrap_err();
+        assert_eq!(err.status, StatusCode::PayloadTooLarge);
+        // A single oversized request line is also refused.
+        let mut raw = b"GET /".to_vec();
+        raw.extend(vec![b'x'; MAX_HEADER_BYTES * 2]);
+        let mut reader = Cursor::new(raw);
+        let err = Request::read_buffered(&mut reader).unwrap_err();
+        assert_eq!(err.status, StatusCode::PayloadTooLarge);
+    }
+
+    #[test]
+    fn buffered_reads_parse_sequential_requests() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                   GET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = Cursor::new(raw.as_bytes().to_vec());
+        let a = Request::read_buffered(&mut reader).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        assert!(!a.wants_close());
+        let b = Request::read_buffered(&mut reader).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.body_str().unwrap(), "hi");
+        let c = Request::read_buffered(&mut reader).unwrap().unwrap();
+        assert_eq!(c.path, "/c");
+        assert!(c.wants_close());
+        // Clean end-of-stream: no request, no error.
+        assert!(Request::read_buffered(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn keep_alive_and_retry_after_serialization() {
+        let mut buf = Vec::new();
+        Response::overloaded("try later", 2).write_conn(&mut buf, true).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 429"));
+        assert!(s.contains("retry-after: 2\r\n"));
+        assert!(s.contains("connection: keep-alive\r\n"));
+        let mut buf = Vec::new();
+        Response::text(StatusCode::Ok, "x").write_conn(&mut buf, false).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("connection: close\r\n"));
     }
 
     #[test]

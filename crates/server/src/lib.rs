@@ -5,6 +5,12 @@
 //! incoming requests from the Web UI and routes them to the relevant
 //! computational nodes" — here, to a [`relengine::Scheduler`].
 //!
+//! Serving runs on a bounded worker pool with HTTP keep-alive, a bounded
+//! admission queue, and two concurrency lanes (cheap reads/cached serves
+//! vs. expensive cold solves and mutations); overload is shed explicitly
+//! with `429` + `Retry-After` rather than queued without bound — see the
+//! [`pool`] module.
+//!
 //! Endpoints:
 //!
 //! | Method | Path | Meaning |
@@ -13,11 +19,12 @@
 //! | GET  | `/api/datasets` | the 50-dataset catalog |
 //! | GET  | `/api/datasets/{id}` | one catalog entry |
 //! | GET  | `/api/algorithms` | registry contents: ids, metadata, parameter schemas |
-//! | POST | `/api/tasks` | submit a task (JSON [`relengine::TaskSpec`]) |
+//! | POST | `/api/tasks` | submit a task (JSON [`relengine::TaskSpec`]; `?sync=1` waits for the result) |
 //! | GET  | `/api/tasks/{id}` | poll a task's status |
 //! | GET  | `/api/tasks/{id}/result` | fetch a completed task's result |
 //! | GET  | `/api/tasks/{id}/log` | fetch a task's execution log |
 //! | POST | `/api/query-sets` | submit an array of tasks as one query set |
+//! | GET  | `/api/serving/stats` | worker pool, admission queue, and load-shed counters |
 //!
 //! ```no_run
 //! use relserver::ApiServer;
@@ -30,8 +37,10 @@
 //! ```
 
 pub mod http;
+pub mod pool;
 pub mod routes;
 pub mod server;
 
 pub use http::{Request, Response, StatusCode};
+pub use pool::{ServingConfig, ServingSnapshot, ServingState};
 pub use server::ApiServer;

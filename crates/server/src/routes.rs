@@ -50,15 +50,22 @@ fn index() -> Response {
         <li>POST /api/datasets/{id}/edges — insert/update edges {edges: [{source, target, weight?}]}</li>\n\
         <li>DELETE /api/datasets/{id}/edges — remove edges (same body; bumps the graph version)</li>\n\
         <li>GET /api/algorithms — registered algorithms with parameter schemas</li>\n\
-        <li>POST /api/tasks — submit a task (?top_k=k for top-k-only serving)</li>\n\
+        <li>POST /api/tasks — submit a task (?top_k=k for top-k-only serving; \
+        ?sync=1 to wait and return the result in this response)</li>\n\
         <li>POST /api/batch — submit one algorithm over many seeds (one fused solve; ?top_k=k)</li>\n\
         <li>GET /api/cache/stats — result-cache hit/miss/eviction counters</li>\n\
+        <li>GET /api/serving/stats — worker pool, admission queue, and load-shed counters</li>\n\
         <li>GET /api/tasks/{id} — poll status</li>\n\
         <li>GET /api/tasks/{id}/result — fetch result</li>\n\
         <li>GET /api/tasks/{id}/log — fetch log</li>\n\
         <li>POST /api/query-sets — submit a comparison</li>\n\
         </ul></body></html>\n";
-    Response { status: StatusCode::Ok, content_type: "text/html; charset=utf-8", body: html.into() }
+    Response {
+        status: StatusCode::Ok,
+        content_type: "text/html; charset=utf-8",
+        body: html.into(),
+        headers: Vec::new(),
+    }
 }
 
 fn health() -> Response {
@@ -308,6 +315,33 @@ fn top_k_param(req: &Request) -> Result<Option<usize>, Response> {
     }
 }
 
+/// Whether `?sync=1` (or `?sync=true`) requests synchronous serving:
+/// the response carries the finished task's result instead of a task id
+/// to poll. The serving pool uses this to route cold synchronous solves
+/// through the expensive admission lane.
+pub(crate) fn wants_sync(req: &Request) -> bool {
+    matches!(query_param(req, "sync"), Some("1") | Some("true"))
+}
+
+/// The task spec a `POST /api/tasks` request would execute, with the
+/// `?top_k=` override applied — what the serving pool's lane classifier
+/// inspects (cache-answerable or top-k ⇒ cheap). `None` when the body or
+/// query is malformed; the route answers 400 quickly in that case, so
+/// classification treats it as cheap.
+pub(crate) fn effective_task_spec(req: &Request) -> Option<TaskSpec> {
+    let mut spec: TaskSpec = serde_json::from_str(req.body_str().ok()?).ok()?;
+    if let Ok(Some(k)) = top_k_param(req) {
+        spec.top_k = k;
+        spec.params.top_k = Some(k);
+    }
+    Some(spec)
+}
+
+/// How long a `?sync=1` request may wait for its solve before answering
+/// 500 (the task keeps running; the id in the error lets the client fall
+/// back to polling).
+const SYNC_WAIT: std::time::Duration = std::time::Duration::from_secs(120);
+
 fn submit_task(req: &Request, engine: &Arc<Scheduler>) -> Response {
     let body = match req.body_str() {
         Ok(b) => b,
@@ -336,7 +370,19 @@ fn submit_task(req: &Request, engine: &Arc<Scheduler>) -> Response {
     if personalized && spec.source.is_none() {
         return Response::error(StatusCode::BadRequest, "personalized algorithm requires a source");
     }
+    let sync = wants_sync(req);
     let id = engine.submit(spec);
+    if sync {
+        return match engine.wait(&id, SYNC_WAIT) {
+            Ok(result) => Response::json(StatusCode::Ok, &result),
+            Err(e @ relengine::EngineError::TaskFailed(_)) => {
+                Response::error(StatusCode::BadRequest, e.to_string())
+            }
+            Err(e) => {
+                Response::error(StatusCode::InternalError, format!("sync wait for task {id}: {e}"))
+            }
+        };
+    }
     Response::json(StatusCode::Accepted, &Submitted { task_id: id.to_string() })
 }
 

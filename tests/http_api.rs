@@ -9,6 +9,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// One-shot request; `Connection: close` makes the keep-alive server
+/// close after the response so `read_to_string` terminates.
 fn http(addr: SocketAddr, raw: String) -> (u16, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.write_all(raw.as_bytes()).expect("send");
@@ -20,13 +22,16 @@ fn http(addr: SocketAddr, raw: String) -> (u16, String) {
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    http(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n"))
+    http(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"))
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     http(
         addr,
-        format!("POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}", body.len()),
+        format!(
+            "POST {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
     )
 }
 
@@ -34,7 +39,7 @@ fn delete(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     http(
         addr,
         format!(
-            "DELETE {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            "DELETE {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         ),
     )

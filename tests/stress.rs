@@ -9,6 +9,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// One-shot request; `Connection: close` makes the keep-alive server
+/// close after the response so `read_to_string` terminates.
 fn http(addr: SocketAddr, raw: String) -> (u16, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.write_all(raw.as_bytes()).expect("send");
@@ -39,7 +41,7 @@ fn many_concurrent_clients() {
                         r#"{{"dataset":"fixture-fakenews-{lang}","params":{{"algorithm":"{algo}"}},"source":"{title}","top_k":3}}"#
                     );
                     let req = format!(
-                        "POST /api/tasks HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                        "POST /api/tasks HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
                         body.len()
                     );
                     let (status, resp) = http(addr, req);
@@ -51,8 +53,10 @@ fn many_concurrent_clients() {
                 let deadline = Instant::now() + Duration::from_secs(120);
                 for id in ids {
                     loop {
-                        let (status, body) =
-                            http(addr, format!("GET /api/tasks/{id} HTTP/1.1\r\n\r\n"));
+                        let (status, body) = http(
+                            addr,
+                            format!("GET /api/tasks/{id} HTTP/1.1\r\nconnection: close\r\n\r\n"),
+                        );
                         assert_eq!(status, 200);
                         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
                         match v["state"]["state"].as_str() {

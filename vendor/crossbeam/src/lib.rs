@@ -75,7 +75,12 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Woken when a bounded queue frees a slot.
+        space: Condvar,
         senders: AtomicUsize,
+        receivers: AtomicUsize,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` queued messages.
+        cap: Option<usize>,
     }
 
     /// The sending half; cloneable.
@@ -110,24 +115,94 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    /// Error returned by [`Sender::try_send`] on a bounded channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity; the message is handed back.
+        Full(T),
+        /// Every receiver is gone; the message is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
             senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            cap,
         });
         (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` queued
+    /// messages. [`Sender::send`] blocks while full;
+    /// [`Sender::try_send`] refuses instead — the admission-control
+    /// primitive the serving layer's load shedding is built on.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues a message; never blocks.
+        /// Enqueues a message. Unbounded channels never block; bounded
+        /// channels wait for a free slot (erroring only when every
+        /// receiver is gone).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.inner.cap {
+                while q.len() >= cap {
+                    if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(value));
+                    }
+                    q = self.inner.space.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            }
             q.push_back(value);
             drop(q);
             self.inner.ready.notify_one();
             Ok(())
+        }
+
+        /// Enqueues a message only if the queue has room right now; a
+        /// full bounded queue refuses immediately with
+        /// [`TrySendError::Full`] instead of blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.inner.cap.is_some_and(|cap| q.len() >= cap) {
+                return Err(TrySendError::Full(value));
+            }
+            q.push_back(value);
+            drop(q);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -153,6 +228,8 @@ pub mod channel {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
@@ -164,13 +241,37 @@ pub mod channel {
 
         /// Pops a message if one is immediately available.
         pub fn try_recv(&self) -> Option<T> {
-            self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+            let v = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+            if v.is_some() {
+                self.inner.space.notify_one();
+            }
+            v
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
             Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver gone: wake senders blocked on a full queue.
+                self.inner.space.notify_all();
+            }
         }
     }
 
@@ -209,6 +310,43 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_try_send_refuses_when_full() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.len(), 2);
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            // Draining one slot re-admits.
+            assert_eq!(rx.try_recv(), Some(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_slot_frees() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let t = thread::spawn(move || tx.send(2).is_ok());
+            thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(t.join().unwrap(), "blocked send completes once a slot frees");
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn bounded_send_errors_when_receivers_gone() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let t = thread::spawn(move || tx.send(2));
+            thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(t.join().unwrap(), Err(SendError(2)));
         }
     }
 }
