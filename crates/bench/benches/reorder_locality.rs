@@ -11,13 +11,26 @@
 //! difference is pure locality.
 //!
 //! Results land in `BENCH_reorder_locality.json` (medians, per ordering,
-//! plus the mean-edge-span locality figure each ordering achieves).
+//! plus the mean-edge-span locality figure each ordering achieves). The
+//! PA subject's node count defaults to the committed-baseline CI scale
+//! (150k); set `RELBENCH_SCALE=<nodes>` to sweep other sizes locally —
+//! the case names embed the scale, so off-scale runs never alias the
+//! baseline in `bench_guard`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relbench::record::{measure, BenchReport};
 use relcore::{SolverConfig, SweepKernel, TeleportVector};
 use relgraph::{DirectedGraph, NodeOrdering};
 use std::hint::black_box;
+
+/// PA-subject node count. `RELBENCH_SCALE` overrides the default 150k —
+/// the committed-baseline CI scale — for local sweeps at other sizes.
+/// Case names embed the scale, so a non-default run never collides with
+/// the committed baseline's cases in `bench_guard` (they are simply
+/// reported as new/gone, which the guard never fails on).
+fn pa_scale() -> u32 {
+    std::env::var("RELBENCH_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(150_000)
+}
 
 /// Fixed-sweep solve: loose cap, impossible tolerance, single-threaded so
 /// the measurement isolates the memory system rather than the scheduler.
@@ -36,7 +49,9 @@ fn run_sweeps(g: &DirectedGraph) -> f64 {
 fn bench_reorder_locality(c: &mut Criterion) {
     // Cache-busting subject: heavy-tailed PA graph in generation order;
     // all three orderings are measured head-to-head on it.
-    let big = reldata::classic::preferential_attachment(150_000, 8, 0.9, 0xC0FFEE);
+    let scale = pa_scale();
+    let subject = format!("pa-{}k", scale / 1000);
+    let big = reldata::classic::preferential_attachment(scale, 8, 0.9, 0xC0FFEE);
     // Largest bundled dataset, as the registry serves it (degree-
     // reordered at load) — recorded as a single absolute trajectory
     // datapoint, not a comparison.
@@ -44,18 +59,19 @@ fn bench_reorder_locality(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("reorder_locality");
     group.sample_size(10);
-    let mut report = BenchReport::new("reorder_locality", "pa-150k-m8 + wiki-en-2018")
+    let mut report = BenchReport::new("reorder_locality", format!("{subject}-m8 + wiki-en-2018"))
         .param("sweeps", sweep_cost_cfg().max_iterations)
-        .param("threads", 1);
+        .param("threads", 1)
+        .param("scale", scale);
 
     let mut speedup_inputs = Vec::new();
     for ordering in NodeOrdering::ALL {
         let (rg, _inv) = big.reordered_by(ordering).unwrap();
-        group.bench_with_input(BenchmarkId::new("pa-150k", ordering), &rg, |b, rg| {
+        group.bench_with_input(BenchmarkId::new(subject.clone(), ordering), &rg, |b, rg| {
             b.iter(|| black_box(run_sweeps(rg)))
         });
         let median = measure(5, || black_box(run_sweeps(&rg)));
-        report.case(format!("pa-150k/{ordering}"), median);
+        report.case(format!("{subject}/{ordering}"), median);
         report = report.param(format!("span_{ordering}"), format!("{:.1}", rg.mean_edge_span()));
         speedup_inputs.push((ordering, median));
     }
@@ -72,7 +88,7 @@ fn bench_reorder_locality(c: &mut Criterion) {
         .unwrap();
     for (ordering, ns) in &speedup_inputs {
         println!(
-            "reorder_locality/pa-150k: {ordering} {:.2}ms/solve, speedup vs original {:.2}x",
+            "reorder_locality/{subject}: {ordering} {:.2}ms/solve, speedup vs original {:.2}x",
             ns / 1e6,
             original / ns
         );

@@ -32,6 +32,8 @@ pub struct RunSpec {
     pub scheme: Option<String>,
     /// Worker threads for the parallel scheme (0 = all cores).
     pub threads: Option<usize>,
+    /// Score-lane precision for the exact kernel schemes (f64|f32).
+    pub precision: Option<String>,
     /// Print the per-iteration residual trace.
     pub trace: bool,
     /// Top-k to print.
@@ -318,6 +320,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 solver: flags.take("solver"),
                 scheme: flags.take("scheme"),
                 threads: flags.take("threads").map(|v| parse_num(&v, "threads")).transpose()?,
+                precision: flags.take("precision"),
                 trace: flags.has_switch("trace"),
                 top: flags.take("top").map(|v| parse_num(&v, "top")).transpose()?.unwrap_or(5),
                 top_k: flags.take("top-k").map(|v| parse_num(&v, "top-k")).transpose()?,
@@ -540,6 +543,20 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse("run --dataset d --algorithm pr --threads many").is_err());
+    }
+
+    #[test]
+    fn precision_flag() {
+        let cli = parse("run --dataset d --algorithm pagerank --precision f32").unwrap();
+        match cli.command {
+            Command::Run(s) => assert_eq!(s.precision.as_deref(), Some("f32")),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cli = parse("run --dataset d --algorithm pagerank").unwrap();
+        match cli.command {
+            Command::Run(s) => assert!(s.precision.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

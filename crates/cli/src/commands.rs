@@ -53,7 +53,9 @@ pub fn algorithms() -> String {
 }
 
 /// `stats`: structural summary of one dataset, including the memory and
-/// locality footprint the reordering work targets.
+/// locality footprint the reordering work targets and the per-tier
+/// bytes/edge figures (standard CSR vs. the compact delta-varint
+/// representation the `compact` serving tier uses).
 pub fn stats(dataset: &str) -> Result<String, String> {
     let g = reldata::load_dataset(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
     let s = relgraph::GraphStats::compute(&g);
@@ -61,6 +63,15 @@ pub fn stats(dataset: &str) -> Result<String, String> {
         .and_then(|s| s.reorder)
         .map(|o| o.to_string())
         .unwrap_or_else(|| "original".into());
+    let compact = relgraph::CompactGraph::from_csr(&g);
+    let per_edge = |bytes: usize| {
+        if s.edges == 0 {
+            0.0
+        } else {
+            bytes as f64 / s.edges as f64
+        }
+    };
+    let lanes: Vec<&str> = relcore::Precision::ALL.iter().map(|p| p.id()).collect();
     Ok(format!(
         "dataset      {dataset}\n\
          nodes        {}\n\
@@ -72,6 +83,9 @@ pub fn stats(dataset: &str) -> Result<String, String> {
          self-loops   {}\n\
          dangling     {}\n\
          memory       {} bytes ({:.2} MiB adjacency)\n\
+         tier csr     {:.1} bytes/edge\n\
+         tier compact {:.1} bytes/edge ({:.0}% of csr)\n\
+         precision    {}\n\
          ordering     {ordering} (mean edge span {:.1})\n",
         s.nodes,
         s.edges,
@@ -84,6 +98,11 @@ pub fn stats(dataset: &str) -> Result<String, String> {
         s.dangling,
         g.memory_bytes(),
         g.memory_bytes() as f64 / (1024.0 * 1024.0),
+        per_edge(g.memory_bytes()),
+        per_edge(compact.memory_bytes()),
+        100.0 * per_edge(compact.memory_bytes())
+            / per_edge(g.memory_bytes()).max(f64::MIN_POSITIVE),
+        lanes.join(", "),
         g.mean_edge_span(),
     ))
 }
@@ -97,6 +116,8 @@ struct SolverFlags<'a> {
     scheme: Option<&'a str>,
     /// `--threads`: worker threads for the parallel scheme.
     threads: Option<usize>,
+    /// `--precision`: score-lane precision (f64|f32).
+    precision: Option<&'a str>,
     /// `--trace`: record per-iteration residuals.
     trace: bool,
     /// `--top-k`: top-k-only serving mode.
@@ -130,6 +151,9 @@ fn build_query(
     }
     if let Some(n) = solver.threads {
         q = q.threads(n);
+    }
+    if let Some(p) = solver.precision {
+        q = q.precision(p.parse()?);
     }
     if let Some(k) = solver.top_k {
         q = q.top_k(k);
@@ -174,6 +198,7 @@ pub fn run_task(spec: RunSpec) -> Result<String, String> {
             solver: spec.solver.as_deref(),
             scheme: spec.scheme.as_deref(),
             threads: spec.threads,
+            precision: spec.precision.as_deref(),
             trace: spec.trace,
             top_k: spec.top_k,
         },
@@ -778,6 +803,9 @@ mod tests {
         let out = stats("fixture-fakenews-pl").unwrap();
         assert!(out.contains("nodes"));
         assert!(out.contains("reciprocity"));
+        assert!(out.contains("tier csr"), "{out}");
+        assert!(out.contains("tier compact"), "{out}");
+        assert!(out.contains("precision    f64, f32"), "{out}");
         assert!(stats("nope").is_err());
     }
 
@@ -798,6 +826,7 @@ mod tests {
             solver: None,
             scheme: None,
             threads: None,
+            precision: None,
             trace: false,
             top_k: None,
             top: 2,
@@ -806,6 +835,50 @@ mod tests {
         let out = run_task(spec).unwrap();
         assert!(out.contains("pal"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_f32_precision_lane() {
+        let spec = RunSpec {
+            dataset: "fixture-fakenews-it".into(),
+            file: None,
+            algorithm: "pagerank".into(),
+            source: None,
+            alpha: None,
+            k: None,
+            sigma: None,
+            solver: None,
+            scheme: None,
+            threads: None,
+            precision: Some("f32".into()),
+            trace: false,
+            top_k: None,
+            top: 3,
+            json: false,
+        };
+        let out = run_task(spec).unwrap();
+        assert!(out.contains("converged"), "{out}");
+        // Unknown lanes fail fast with the parse error.
+        let mut bad = RunSpec {
+            dataset: "fixture-fakenews-it".into(),
+            file: None,
+            algorithm: "pagerank".into(),
+            source: None,
+            alpha: None,
+            k: None,
+            sigma: None,
+            solver: None,
+            scheme: None,
+            threads: None,
+            precision: Some("f16".into()),
+            trace: false,
+            top_k: None,
+            top: 3,
+            json: false,
+        };
+        assert!(run_task(bad.clone()).is_err());
+        bad.precision = None;
+        assert!(run_task(bad).is_ok());
     }
 
     #[test]
@@ -821,6 +894,7 @@ mod tests {
             solver: None,
             scheme: None,
             threads: None,
+            precision: None,
             trace: false,
             top_k: None,
             top: 5,
@@ -845,6 +919,7 @@ mod tests {
             solver: None,
             scheme: None,
             threads: None,
+            precision: None,
             trace: false,
             top_k: None,
             top: 3,
@@ -875,6 +950,7 @@ mod tests {
                     solver: None,
                     scheme: Some(scheme.into()),
                     threads: Some(2),
+                    precision: None,
                     trace: false,
                     top_k: None,
                     top: 3,
@@ -902,6 +978,7 @@ mod tests {
             solver: None,
             scheme: None,
             threads: None,
+            precision: None,
             trace: true,
             top_k: None,
             top: 3,
@@ -926,6 +1003,7 @@ mod tests {
             solver: Some("push".into()),
             scheme: None,
             threads: None,
+            precision: None,
             trace: true,
             top_k: None,
             top: 3,
@@ -949,6 +1027,7 @@ mod tests {
             solver: None,
             scheme: None,
             threads: None,
+            precision: None,
             trace: false,
             top_k: None,
             top: 3,

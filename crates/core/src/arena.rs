@@ -28,11 +28,11 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Buffers kept in the free list beyond this are dropped instead of
-/// pooled.
+/// Buffers kept in a free list beyond this are dropped instead of
+/// pooled (per element type).
 const MAX_POOLED: usize = 32;
 
-/// Total pooled capacity cap in `f64` entries (128 MiB): enough to keep
+/// Total pooled capacity cap in bytes per pool (128 MiB): enough to keep
 /// one full batch solve's working set (three `n × MAX_FUSED_LANES`
 /// interleaves) warm on graphs into the millions of nodes, while
 /// guaranteeing an idle arena never retains more than this — without it,
@@ -40,12 +40,47 @@ const MAX_POOLED: usize = 32;
 /// forever. When over budget the *largest* buffers go first: that is
 /// what actually frees memory (count-based eviction of small buffers
 /// would leave the jumbos resident).
-const MAX_POOLED_F64S: usize = 128 * 1024 * 1024 / std::mem::size_of::<f64>();
+const MAX_POOLED_BYTES: usize = 128 * 1024 * 1024;
 
-/// A bounded, thread-safe free list of `Vec<f64>` solver buffers.
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// Element types the arena pools buffers of: the solver's full-precision
+/// `f64` lane and the narrow `f32` lane. Each type has its own free list,
+/// so the two lanes never trade buffers.
+pub trait PoolItem: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// The value buffers are filled with on checkout.
+    const ZERO: Self;
+
+    #[doc(hidden)]
+    fn pool(arena: &SolverArena) -> &Mutex<Vec<Vec<Self>>>;
+}
+
+impl PoolItem for f64 {
+    const ZERO: Self = 0.0;
+
+    fn pool(arena: &SolverArena) -> &Mutex<Vec<Vec<f64>>> {
+        &arena.free_f64
+    }
+}
+
+impl PoolItem for f32 {
+    const ZERO: Self = 0.0;
+
+    fn pool(arena: &SolverArena) -> &Mutex<Vec<Vec<f32>>> {
+        &arena.free_f32
+    }
+}
+
+/// A bounded, thread-safe free list of solver buffers (one pool per
+/// score-lane element type).
 #[derive(Debug, Default)]
 pub struct SolverArena {
-    free: Mutex<Vec<Vec<f64>>>,
+    free_f64: Mutex<Vec<Vec<f64>>>,
+    free_f32: Mutex<Vec<Vec<f32>>>,
     allocations: AtomicU64,
 }
 
@@ -62,15 +97,27 @@ impl SolverArena {
         GLOBAL.get_or_init(|| Arc::new(SolverArena::new()))
     }
 
+    /// Checks out a zero-filled `f64` buffer of length `n` (see
+    /// [`SolverArena::take_buf`]).
+    pub fn take(self: &Arc<Self>, n: usize) -> ArenaBuf {
+        self.take_buf(n)
+    }
+
+    /// Checks out a zero-filled `f32` buffer of length `n` — the narrow
+    /// score lane's working storage.
+    pub fn take_f32(self: &Arc<Self>, n: usize) -> ArenaBuf<f32> {
+        self.take_buf(n)
+    }
+
     /// Checks out a zero-filled buffer of length `n`, reusing pooled
     /// capacity when possible (best fit: the smallest pooled buffer that
     /// holds `n`; too-small buffers stay pooled for smaller checkouts, so
     /// mixed-size traffic — single solves and wide batches sharing one
     /// per-dataset arena — reuses instead of churning). Counts an
     /// allocation only when nothing pooled fits.
-    pub fn take(self: &Arc<Self>, n: usize) -> ArenaBuf {
+    pub fn take_buf<T: PoolItem>(self: &Arc<Self>, n: usize) -> ArenaBuf<T> {
         let recycled = {
-            let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+            let mut free = T::pool(self).lock().unwrap_or_else(|e| e.into_inner());
             // The list is kept sorted by capacity (see `give`), so the
             // best fit is the first buffer at or past `n`.
             let pos = free.partition_point(|b| b.capacity() < n);
@@ -84,13 +131,14 @@ impl SolverArena {
             }
         };
         buf.clear();
-        buf.resize(n, 0.0);
+        buf.resize(n, T::ZERO);
         ArenaBuf { arena: Arc::clone(self), buf }
     }
 
-    /// Buffers currently pooled (diagnostic).
+    /// Buffers currently pooled across both lanes (diagnostic).
     pub fn pooled(&self) -> usize {
-        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.free_f64.lock().unwrap_or_else(|e| e.into_inner()).len()
+            + self.free_f32.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Total fresh/growing buffer allocations since construction — the
@@ -99,11 +147,11 @@ impl SolverArena {
         self.allocations.load(Ordering::Relaxed)
     }
 
-    fn give(&self, buf: Vec<f64>) {
+    fn give<T: PoolItem>(&self, buf: Vec<T>) {
         if buf.capacity() == 0 {
             return; // detached guards drop an empty shell
         }
-        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        let mut free = T::pool(self).lock().unwrap_or_else(|e| e.into_inner());
         // Keep the list sorted by capacity so `take` can best-fit search.
         let pos = free.partition_point(|b| b.capacity() <= buf.capacity());
         free.insert(pos, buf);
@@ -115,46 +163,52 @@ impl SolverArena {
         // Byte bound: evict the largest until under budget (always
         // keeping at least one buffer so a steady single-size workload
         // larger than the budget still reuses).
-        let mut total: usize = free.iter().map(Vec::capacity).sum();
-        while total > MAX_POOLED_F64S && free.len() > 1 {
-            total -= free.pop().map(|b| b.capacity()).unwrap_or(0);
+        let elem = std::mem::size_of::<T>();
+        let mut total: usize = free.iter().map(|b| b.capacity() * elem).sum();
+        while total > MAX_POOLED_BYTES && free.len() > 1 {
+            total -= free.pop().map(|b| b.capacity() * elem).unwrap_or(0);
         }
     }
 }
 
-/// A checked-out arena buffer; dereferences to its `Vec<f64>` and returns
+/// A checked-out arena buffer; dereferences to its `Vec<T>` and returns
 /// the capacity to the pool on drop.
 #[derive(Debug)]
-pub struct ArenaBuf {
+pub struct ArenaBuf<T: PoolItem = f64> {
     arena: Arc<SolverArena>,
-    buf: Vec<f64>,
+    buf: Vec<T>,
 }
 
-impl ArenaBuf {
+impl<T: PoolItem> ArenaBuf<T> {
     /// Takes the buffer out of arena management permanently — used when a
     /// solve's final score vector escapes to the caller. The pool replaces
     /// it with a fresh allocation on a later checkout (counted by
     /// [`SolverArena::allocations`]).
-    pub fn detach(mut self) -> Vec<f64> {
+    pub fn detach(mut self) -> Vec<T> {
         std::mem::take(&mut self.buf)
+    }
+
+    /// The arena this buffer returns to on drop.
+    pub(crate) fn arena(&self) -> &Arc<SolverArena> {
+        &self.arena
     }
 }
 
-impl Deref for ArenaBuf {
-    type Target = Vec<f64>;
+impl<T: PoolItem> Deref for ArenaBuf<T> {
+    type Target = Vec<T>;
 
-    fn deref(&self) -> &Vec<f64> {
+    fn deref(&self) -> &Vec<T> {
         &self.buf
     }
 }
 
-impl DerefMut for ArenaBuf {
-    fn deref_mut(&mut self) -> &mut Vec<f64> {
+impl<T: PoolItem> DerefMut for ArenaBuf<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
         &mut self.buf
     }
 }
 
-impl Drop for ArenaBuf {
+impl<T: PoolItem> Drop for ArenaBuf<T> {
     fn drop(&mut self) {
         self.arena.give(std::mem::take(&mut self.buf));
     }
@@ -267,14 +321,33 @@ mod tests {
     }
 
     #[test]
+    fn f32_pool_is_independent() {
+        let arena = Arc::new(SolverArena::new());
+        drop(arena.take(64));
+        assert_eq!(arena.allocations(), 1);
+        {
+            // The narrow lane cannot steal the pooled f64 capacity.
+            let b = arena.take_f32(64);
+            assert_eq!(b.len(), 64);
+            assert!(b.iter().all(|&v| v == 0.0));
+        }
+        assert_eq!(arena.allocations(), 2);
+        assert_eq!(arena.pooled(), 2);
+        // Each lane now reuses its own buffer.
+        drop(arena.take(32));
+        drop(arena.take_f32(32));
+        assert_eq!(arena.allocations(), 2);
+    }
+
+    #[test]
     fn pool_bytes_are_bounded() {
         let arena = Arc::new(SolverArena::new());
         // Four buffers of half the byte budget each can't all stay.
-        let big = MAX_POOLED_F64S / 2;
+        let big = MAX_POOLED_BYTES / std::mem::size_of::<f64>() / 2;
         let bufs: Vec<_> = (0..4).map(|_| arena.take(big)).collect();
         drop(bufs);
         let total: usize = (0..arena.pooled()).count() * big;
-        assert!(total <= MAX_POOLED_F64S, "pooled {} buffers of {big}", arena.pooled());
+        assert!(total * 8 <= MAX_POOLED_BYTES, "pooled {} buffers of {big}", arena.pooled());
         assert!(arena.pooled() >= 1, "at least one buffer stays for reuse");
     }
 

@@ -116,6 +116,7 @@ pub mod tworank;
 
 pub use algorithm::{AlgorithmDescriptor, ParamSpec, RelevanceAlgorithm};
 pub use arena::{with_arena, SolverArena};
+pub use builtin::execute_kernel_family;
 pub use cheirank::{cheirank, personalized_cheirank};
 pub use cyclerank::{CycleRankConfig, CycleRankOutput};
 pub use error::AlgoError;
@@ -128,6 +129,9 @@ pub use result::{RankedList, ScoreVector};
 pub use runner::run;
 pub use runner::{Algorithm, AlgorithmParams, RelevanceOutput, Solver};
 pub use scoring::ScoringFunction;
-pub use solver::{ConvergenceTrace, Scheme, SolverConfig, SweepKernel, SweepOutcome, TopKOutcome};
+pub use solver::{
+    ConvergenceTrace, Precision, Scheme, SolverConfig, SweepKernel, SweepOutcome, TopKOutcome,
+    F32_TOLERANCE_FLOOR,
+};
 pub use topk::{refresh_ppr, PprRefresh};
 pub use tworank::{personalized_two_d_rank, two_d_rank};

@@ -101,7 +101,7 @@ impl CumulativeWeights {
         offsets.push(0);
         for i in 0..n {
             let u = NodeId::from_usize(i);
-            if let Some(ws) = view.out_weights(u) {
+            if let Some((_, Some(ws))) = view.out_arrays(u) {
                 let mut running = 0.0;
                 for &w in ws {
                     running += w;
@@ -141,6 +141,11 @@ pub fn ppr_monte_carlo(
     }
     if seed.index() >= n {
         return Err(AlgoError::InvalidReference { node: seed.raw(), node_count: n });
+    }
+    // Each walk step draws a uniformly random out-neighbor, which needs
+    // O(1) indexed access into the adjacency — only the CSR tier has it.
+    if view.as_csr().is_none() {
+        return Err(AlgoError::UnsupportedTier { algorithm: "monte_carlo" });
     }
 
     let cum = CumulativeWeights::build(view);
@@ -212,7 +217,7 @@ fn simulate_chunk(
             if rng.gen::<f64>() >= cfg.damping {
                 break;
             }
-            let neighbors = view.out_neighbors(u);
+            let (neighbors, _) = view.out_arrays(u).expect("monte carlo runs on the CSR tier");
             if neighbors.is_empty() {
                 // Dangling: the surfer restarts at the seed; for endpoint
                 // counting this is equivalent to starting a fresh walk, so

@@ -207,15 +207,31 @@ fn push_core(
         }
 
         let share = alpha * ru / wsum;
-        let ws = view.out_weights(u);
-        for (j, &v) in view.out_neighbors(u).iter().enumerate() {
-            let w = ws.map(|w| w[j]).unwrap_or(1.0);
+        let mut relax = |v: NodeId, w: f64| {
             let vi = v.index();
             r[vi] += share * w;
             touched[vi] = true;
             if !in_queue[vi] && r[vi].abs() > cfg.epsilon * view.out_degree(v).max(1) as f64 {
                 in_queue[vi] = true;
                 queue.push_back(v);
+            }
+        };
+        match view.out_arrays(u) {
+            Some((nbrs, Some(ws))) => {
+                for (j, &v) in nbrs.iter().enumerate() {
+                    relax(v, ws[j]);
+                }
+            }
+            Some((nbrs, None)) => {
+                for &v in nbrs {
+                    relax(v, 1.0);
+                }
+            }
+            // Compact tier: decode the stream (weight 1.0 when unweighted).
+            None => {
+                for (v, w) in view.out_edges(u) {
+                    relax(v, w);
+                }
             }
         }
     }

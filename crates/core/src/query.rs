@@ -310,6 +310,17 @@ impl Query {
         self
     }
 
+    /// Sets the score-lane precision for the exact kernel schemes:
+    /// [`Precision::F64`](crate::solver::Precision::F64) (the default,
+    /// bitwise-reproducible) or
+    /// [`Precision::F32`](crate::solver::Precision::F32) (half the solver
+    /// memory traffic, results within the documented tolerance of f64).
+    /// Approximate solvers and CycleRank ignore it.
+    pub fn precision(mut self, precision: crate::solver::Precision) -> Self {
+        self.params.precision = precision;
+        self
+    }
+
     /// Requests a per-iteration residual trace
     /// ([`crate::solver::ConvergenceTrace`]) in the result.
     pub fn trace(mut self, yes: bool) -> Self {

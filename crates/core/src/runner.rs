@@ -15,7 +15,7 @@ use crate::error::AlgoError;
 use crate::pagerank::{Convergence, PageRankConfig};
 use crate::result::{RankedList, ScoreVector};
 use crate::scoring::ScoringFunction;
-use crate::solver::{ConvergenceTrace, Scheme, SolverConfig};
+use crate::solver::{ConvergenceTrace, Precision, Scheme, SolverConfig};
 use relgraph::{DirectedGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -74,6 +74,23 @@ impl Algorithm {
     /// produce only a ranking, as the paper notes).
     pub fn produces_scores(self) -> bool {
         !matches!(self, Algorithm::TwoDRank | Algorithm::PersonalizedTwoDRank)
+    }
+
+    /// True if the algorithm is a pure parameterization of the sweep
+    /// kernel — one [`relgraph::GraphView`] orientation plus a teleport
+    /// vector — and can therefore run on **any** graph representation
+    /// through [`crate::execute_kernel_family`] (the engine's compact-tier
+    /// serving path). The 2DRank variants combine two solves with
+    /// CSR-resident rank bookkeeping and CycleRank is a cycle enumeration;
+    /// those stay on the standard CSR.
+    pub fn is_kernel_family(self) -> bool {
+        matches!(
+            self,
+            Algorithm::PageRank
+                | Algorithm::PersonalizedPageRank
+                | Algorithm::CheiRank
+                | Algorithm::PersonalizedCheiRank
+        )
     }
 
     /// Display name matching the paper's tables.
@@ -244,6 +261,14 @@ pub struct AlgorithmParams {
     /// output.
     #[serde(default)]
     pub record_trace: bool,
+    /// Score-lane precision for the exact kernel schemes: `f64` (the
+    /// default, bitwise-reproducible) or `f32` (half the solver memory
+    /// traffic; results agree with f64 within the documented tolerance,
+    /// and the effective convergence tolerance is clamped to
+    /// [`crate::solver::F32_TOLERANCE_FLOOR`]). Approximate solvers and
+    /// CycleRank ignore it.
+    #[serde(default)]
+    pub precision: Precision,
     /// Top-k-only serving mode for the stationary-distribution family:
     /// `Some(k)` makes the run produce only the `k` best `(node, score)`
     /// pairs ([`RelevanceOutput::top`]) instead of a full score vector —
@@ -281,6 +306,7 @@ impl AlgorithmParams {
             solver: Solver::default(),
             threads: 0,
             record_trace: false,
+            precision: Precision::default(),
             top_k: None,
         }
     }
@@ -328,6 +354,13 @@ impl AlgorithmParams {
         self
     }
 
+    /// Sets the score-lane precision for the exact kernel schemes
+    /// (f64 default; f32 halves the vector footprint).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Requests top-k-only serving mode (see [`AlgorithmParams::top_k`]).
     pub fn with_top_k(mut self, k: usize) -> Self {
         self.top_k = Some(k);
@@ -365,6 +398,7 @@ impl AlgorithmParams {
             scheme: self.solver.scheme().unwrap_or_default(),
             threads: self.threads,
             record_trace: self.record_trace,
+            precision: self.precision,
         }
     }
 
@@ -559,6 +593,7 @@ mod tests {
             solver: Solver::default(),
             threads: 0,
             record_trace: false,
+            precision: Precision::default(),
             top_k: None,
         }
     }

@@ -29,7 +29,7 @@
 //! residuals, which the engine, server, and CLI surface as progress
 //! diagnostics.
 
-use crate::arena::{current_arena, ArenaBuf};
+use crate::arena::{current_arena, ArenaBuf, PoolItem};
 use crate::error::AlgoError;
 use crate::ppr::TeleportVector;
 use crate::result::{top_k_pairs, ScoreVector};
@@ -37,6 +37,7 @@ use relgraph::{GraphView, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
 
 // ------------------------------------------------------------------ scheme
 
@@ -85,6 +86,170 @@ impl FromStr for Scheme {
                 Err(format!("unknown scheme {other:?} (expected power|gauss-seidel|parallel)"))
             }
         }
+    }
+}
+
+// -------------------------------------------------------------- precision
+
+/// The smallest convergence tolerance the `f32` score lane honors.
+///
+/// A single-precision L1 residual bottoms out at the lane's rounding
+/// noise (≈ `f32::EPSILON` once per-node mass is summed over the whole
+/// vector), so tolerances below this would spin to the iteration cap
+/// without the iterate actually improving. Configured tolerances are
+/// clamped up to this floor on the `f32` lane; the `f64` lane is
+/// unaffected.
+pub const F32_TOLERANCE_FLOOR: f64 = 1e-6;
+
+/// Which score lane a solve runs in.
+///
+/// The narrow lane halves the solver's working-set bytes and memory
+/// bandwidth per sweep — the dominant cost on large graphs — at the price
+/// of single-precision arithmetic: scores match the `f64` lane to roughly
+/// `1e-6` absolute (proptested), and the effective tolerance is clamped
+/// to [`F32_TOLERANCE_FLOOR`]. Certified-error paths (forward push,
+/// certified top-k) always run in `f64` regardless of this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Precision {
+    /// Full double-precision lane (the default).
+    #[default]
+    F64,
+    /// Narrow single-precision lane.
+    F32,
+}
+
+impl Precision {
+    /// All lanes, full precision first.
+    pub const ALL: [Precision; 2] = [Precision::F64, Precision::F32];
+
+    /// Stable machine identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" | "double" | "64" => Ok(Precision::F64),
+            "f32" | "single" | "float" | "32" => Ok(Precision::F32),
+            other => Err(format!("unknown precision {other:?} (expected f64|f32)")),
+        }
+    }
+}
+
+/// A score-lane element type: the float the solver's working vectors hold.
+///
+/// Implemented for `f64` and `f32` only (sealed via [`PoolItem`]). The
+/// kernel's scheme solvers are generic over this, so both lanes share one
+/// implementation; the `f64` instantiation is the exact pre-existing code
+/// path (identical expression shapes and accumulation order — the bitwise
+/// determinism guarantees are asserted against it).
+pub trait SolveFloat:
+    PoolItem
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::AddAssign
+{
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Tolerances below this are clamped up (rounding-noise floor).
+    const TOLERANCE_FLOOR: f64;
+
+    /// Narrows (or passes through) an `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widens back to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    #[doc(hidden)]
+    fn inv_wsum<'k>(kernel: &'k SweepKernel<'_>) -> &'k [Self];
+
+    #[doc(hidden)]
+    fn widen(buf: ArenaBuf<Self>) -> ArenaBuf<f64>;
+}
+
+impl SolveFloat for f64 {
+    const ONE: f64 = 1.0;
+    const TOLERANCE_FLOOR: f64 = 0.0;
+
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+
+    fn inv_wsum<'k>(kernel: &'k SweepKernel<'_>) -> &'k [f64] {
+        &kernel.inv_wsum
+    }
+
+    fn widen(buf: ArenaBuf<f64>) -> ArenaBuf<f64> {
+        buf
+    }
+}
+
+impl SolveFloat for f32 {
+    const ONE: f32 = 1.0;
+    const TOLERANCE_FLOOR: f64 = F32_TOLERANCE_FLOOR;
+
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn abs(self) -> f32 {
+        f32::abs(self)
+    }
+
+    fn inv_wsum<'k>(kernel: &'k SweepKernel<'_>) -> &'k [f32] {
+        kernel.inv_wsum_f32.get_or_init(|| kernel.inv_wsum.iter().map(|&v| v as f32).collect())
+    }
+
+    fn widen(buf: ArenaBuf<f32>) -> ArenaBuf<f64> {
+        let arena = Arc::clone(buf.arena());
+        let mut out = arena.take(buf.len());
+        for (o, &v) in out.iter_mut().zip(buf.iter()) {
+            *o = v as f64;
+        }
+        out
+    }
+}
+
+/// Fills `out` with the dense teleport distribution, narrowed to the lane.
+fn fill_teleport<T: SolveFloat>(teleport: &TeleportVector, out: &mut [T]) {
+    out.iter_mut().for_each(|v| *v = T::ZERO);
+    teleport.for_each(|i, w| out[i] = T::from_f64(w));
+}
+
+/// Narrows a warm-start `f64` iterate into the lane (copy on `f64`).
+fn narrow_into<T: SolveFloat>(src: &[f64], out: &mut [T]) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = T::from_f64(v);
     }
 }
 
@@ -157,6 +322,10 @@ pub struct SolverConfig {
     pub threads: usize,
     /// Record a [`ConvergenceTrace`] of per-iteration residuals.
     pub record_trace: bool,
+    /// Score-lane precision (default: [`Precision::F64`]). The narrow
+    /// lane clamps `tolerance` up to [`F32_TOLERANCE_FLOOR`].
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 impl Default for SolverConfig {
@@ -168,6 +337,7 @@ impl Default for SolverConfig {
             scheme: Scheme::default(),
             threads: 0,
             record_trace: false,
+            precision: Precision::default(),
         }
     }
 }
@@ -193,6 +363,12 @@ impl SolverConfig {
     /// Enables residual tracing.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Sets the score-lane precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -297,6 +473,9 @@ pub struct SweepKernel<'a> {
     view: GraphView<'a>,
     /// `1/W(u)` per node in view orientation; `0.0` marks dangling nodes.
     inv_wsum: Vec<f64>,
+    /// Narrowed copy of `inv_wsum`, materialized on the first `f32`-lane
+    /// solve and reused for the kernel's lifetime.
+    inv_wsum_f32: OnceLock<Vec<f32>>,
 }
 
 impl<'a> SweepKernel<'a> {
@@ -316,7 +495,7 @@ impl<'a> SweepKernel<'a> {
                 }
             })
             .collect();
-        Ok(SweepKernel { view, inv_wsum })
+        Ok(SweepKernel { view, inv_wsum, inv_wsum_f32: OnceLock::new() })
     }
 
     /// The view this kernel sweeps.
@@ -438,27 +617,50 @@ impl<'a> SweepKernel<'a> {
                 });
             }
         }
+        match cfg.precision {
+            Precision::F64 => self.solve_scheme::<f64>(cfg, teleport, warm),
+            Precision::F32 => self.solve_scheme::<f32>(cfg, teleport, warm),
+        }
+    }
+
+    fn solve_scheme<T: SolveFloat>(
+        &self,
+        cfg: &SolverConfig,
+        teleport: &TeleportVector,
+        warm: Option<&[f64]>,
+    ) -> Result<SolvedBuf, AlgoError> {
         match cfg.scheme {
-            Scheme::Power => self.solve_power(cfg, teleport, warm),
-            Scheme::GaussSeidel => self.solve_gauss_seidel(cfg, teleport, warm),
-            Scheme::Parallel => self.solve_parallel(cfg, teleport, warm),
+            Scheme::Power => self.solve_power::<T>(cfg, teleport, warm),
+            Scheme::GaussSeidel => self.solve_gauss_seidel::<T>(cfg, teleport, warm),
+            Scheme::Parallel => self.solve_parallel::<T>(cfg, teleport, warm),
         }
     }
 
     /// Pulls one node's damped in-neighbor sum from `x` (shared by the
-    /// Gauss–Seidel and parallel schemes).
+    /// Gauss–Seidel and parallel schemes). The CSR arms walk raw slices;
+    /// the compact tier decodes the delta-varint stream.
     #[inline]
-    fn pull(&self, v: NodeId, x: &[f64]) -> f64 {
-        let mut pulled = 0.0;
-        match self.view.in_weights(v) {
-            Some(ws) => {
-                for (j, &u) in self.view.in_neighbors(v).iter().enumerate() {
-                    pulled += x[u.index()] * ws[j] * self.inv_wsum[u.index()];
+    fn pull<T: SolveFloat>(&self, v: NodeId, x: &[T], inv_wsum: &[T]) -> T {
+        let mut pulled = T::ZERO;
+        match self.view.in_arrays(v) {
+            Some((nbrs, Some(ws))) => {
+                for (j, &u) in nbrs.iter().enumerate() {
+                    pulled += x[u.index()] * T::from_f64(ws[j]) * inv_wsum[u.index()];
+                }
+            }
+            Some((nbrs, None)) => {
+                for &u in nbrs {
+                    pulled += x[u.index()] * inv_wsum[u.index()];
+                }
+            }
+            None if self.view.is_weighted() => {
+                for (u, w) in self.view.in_edges(v) {
+                    pulled += x[u.index()] * T::from_f64(w) * inv_wsum[u.index()];
                 }
             }
             None => {
-                for &u in self.view.in_neighbors(v) {
-                    pulled += x[u.index()] * self.inv_wsum[u.index()];
+                for u in self.view.in_neighbors(v) {
+                    pulled += x[u.index()] * inv_wsum[u.index()];
                 }
             }
         }
@@ -466,54 +668,72 @@ impl<'a> SweepKernel<'a> {
     }
 
     /// Mass currently sitting on dangling nodes.
-    fn dangling_mass(&self, x: &[f64]) -> f64 {
-        x.iter().zip(&self.inv_wsum).filter(|&(_, &inv)| inv == 0.0).map(|(&xi, _)| xi).sum()
+    fn dangling_mass<T: SolveFloat>(&self, x: &[T], inv_wsum: &[T]) -> T {
+        let mut mass = T::ZERO;
+        for (&xi, &inv) in x.iter().zip(inv_wsum) {
+            if inv == T::ZERO {
+                mass += xi;
+            }
+        }
+        mass
     }
 
     /// Sequential Jacobi (power) iteration, push formulation.
-    fn solve_power(
+    fn solve_power<T: SolveFloat>(
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
         warm: Option<&[f64]>,
     ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
-        let alpha = cfg.damping;
+        let alpha = T::from_f64(cfg.damping);
+        let tol = cfg.tolerance.max(T::TOLERANCE_FLOOR);
+        let inv_wsum = T::inv_wsum(self);
         let arena = current_arena();
-        let mut x = arena.take(n);
+        let mut x = arena.take_buf::<T>(n);
         match warm {
-            Some(prev) => x.copy_from_slice(prev),
-            None => teleport.fill_dense(&mut x),
+            Some(prev) => narrow_into(prev, &mut x),
+            None => fill_teleport(teleport, &mut x),
         }
-        let mut next = arena.take(n);
+        let mut next = arena.take_buf::<T>(n);
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut trace = cfg.record_trace.then(ConvergenceTrace::default);
 
         while iterations < cfg.max_iterations {
             iterations += 1;
-            let mut dangling = 0.0;
-            next.iter_mut().for_each(|v| *v = 0.0);
+            let mut dangling = T::ZERO;
+            next.iter_mut().for_each(|v| *v = T::ZERO);
 
             for (i, &xi) in x.iter().enumerate() {
                 let u = NodeId::from_usize(i);
-                if xi == 0.0 {
+                if xi == T::ZERO {
                     continue;
                 }
-                let inv = self.inv_wsum[i];
-                if inv == 0.0 {
+                let inv = inv_wsum[i];
+                if inv == T::ZERO {
                     dangling += xi;
                     continue;
                 }
                 let share = alpha * xi * inv;
-                match self.view.out_weights(u) {
-                    Some(ws) => {
-                        for (j, &v) in self.view.out_neighbors(u).iter().enumerate() {
-                            next[v.index()] += share * ws[j];
+                match self.view.out_arrays(u) {
+                    Some((nbrs, Some(ws))) => {
+                        for (j, &v) in nbrs.iter().enumerate() {
+                            next[v.index()] += share * T::from_f64(ws[j]);
+                        }
+                    }
+                    Some((nbrs, None)) => {
+                        for &v in nbrs {
+                            next[v.index()] += share;
+                        }
+                    }
+                    None if self.view.is_weighted() => {
+                        for (v, w) in self.view.out_edges(u) {
+                            next[v.index()] += share * T::from_f64(w);
                         }
                     }
                     None => {
-                        for &v in self.view.out_neighbors(u) {
+                        for v in self.view.out_neighbors(u) {
                             next[v.index()] += share;
                         }
                     }
@@ -521,22 +741,26 @@ impl<'a> SweepKernel<'a> {
             }
 
             // Teleport + dangling redistribution, both along `teleport`.
-            let base = 1.0 - alpha + alpha * dangling;
-            teleport.for_each(|i, t| next[i] += base * t);
+            let base = T::ONE - alpha + alpha * dangling;
+            teleport.for_each(|i, t| next[i] += base * T::from_f64(t));
 
-            residual = x.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
+            let mut delta = T::ZERO;
+            for (&a, &b) in x.iter().zip(next.iter()) {
+                delta += (a - b).abs();
+            }
+            residual = delta.to_f64();
             std::mem::swap(&mut x, &mut next);
             if let Some(t) = trace.as_mut() {
                 t.residuals.push(residual);
             }
-            if residual < cfg.tolerance {
+            if residual < tol {
                 break;
             }
         }
 
-        let converged = residual < cfg.tolerance;
+        let converged = residual < tol;
         Ok(SolvedBuf {
-            scores: x,
+            scores: T::widen(x),
             convergence: Convergence { iterations, residual, converged },
             trace,
         })
@@ -546,54 +770,62 @@ impl<'a> SweepKernel<'a> {
     /// dangling mass from the previous sweep. Converges to the same fixed
     /// point as the Jacobi schemes; normalized at the end because the
     /// lagging dangling term leaves the iterate slightly off the simplex.
-    fn solve_gauss_seidel(
+    fn solve_gauss_seidel<T: SolveFloat>(
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
         warm: Option<&[f64]>,
     ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
-        let alpha = cfg.damping;
+        let alpha = T::from_f64(cfg.damping);
+        let tol = cfg.tolerance.max(T::TOLERANCE_FLOOR);
+        let inv_wsum = T::inv_wsum(self);
         let arena = current_arena();
-        let mut teleport_dense = arena.take(n);
-        teleport.fill_dense(&mut teleport_dense);
-        let mut x = arena.take(n);
-        x.copy_from_slice(warm.unwrap_or(&teleport_dense));
+        let mut teleport_dense = arena.take_buf::<T>(n);
+        fill_teleport(teleport, &mut teleport_dense);
+        let mut x = arena.take_buf::<T>(n);
+        match warm {
+            Some(prev) => narrow_into(prev, &mut x),
+            None => x.copy_from_slice(&teleport_dense),
+        }
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut trace = cfg.record_trace.then(ConvergenceTrace::default);
 
         while iterations < cfg.max_iterations {
             iterations += 1;
-            let dangling = self.dangling_mass(&x);
+            let dangling = self.dangling_mass(&x, inv_wsum);
 
-            let mut delta = 0.0;
+            let mut delta = T::ZERO;
             for i in 0..n {
-                let pulled = self.pull(NodeId::from_usize(i), &x);
-                let new = (1.0 - alpha) * teleport_dense[i]
+                let pulled = self.pull(NodeId::from_usize(i), &x, inv_wsum);
+                let new = (T::ONE - alpha) * teleport_dense[i]
                     + alpha * (pulled + dangling * teleport_dense[i]);
                 delta += (new - x[i]).abs();
                 x[i] = new;
             }
 
-            residual = delta;
+            residual = delta.to_f64();
             if let Some(t) = trace.as_mut() {
                 t.residuals.push(residual);
             }
-            if residual < cfg.tolerance {
+            if residual < tol {
                 break;
             }
         }
 
         // Normalize in place (in the arena buffer) so both the full-rank
         // and top-k result paths see scores on the simplex.
-        let sum: f64 = x.iter().sum();
-        if sum > 0.0 {
-            x.iter_mut().for_each(|v| *v /= sum);
+        let mut sum = T::ZERO;
+        for &v in x.iter() {
+            sum += v;
         }
-        let converged = residual < cfg.tolerance;
+        if sum > T::ZERO {
+            x.iter_mut().for_each(|v| *v = *v / sum);
+        }
+        let converged = residual < tol;
         Ok(SolvedBuf {
-            scores: x,
+            scores: T::widen(x),
             convergence: Convergence { iterations, residual, converged },
             trace,
         })
@@ -611,14 +843,16 @@ impl<'a> SweepKernel<'a> {
     /// either way, so the cutover is invisible except in wall-clock time;
     /// an explicit thread count is always honored (up to the
     /// available-parallelism clamp).
-    fn solve_parallel(
+    fn solve_parallel<T: SolveFloat>(
         &self,
         cfg: &SolverConfig,
         teleport: &TeleportVector,
         warm: Option<&[f64]>,
     ) -> Result<SolvedBuf, AlgoError> {
         let n = self.node_count();
-        let alpha = cfg.damping;
+        let alpha = T::from_f64(cfg.damping);
+        let tol = cfg.tolerance.max(T::TOLERANCE_FLOOR);
+        let inv_wsum = T::inv_wsum(self);
         let work = n + self.view.edge_count();
         let threads = if cfg.threads == 0 && work < PARALLEL_MIN_WORK {
             1
@@ -626,11 +860,14 @@ impl<'a> SweepKernel<'a> {
             effective_threads(cfg.threads, n)
         };
         let arena = current_arena();
-        let mut teleport_dense = arena.take(n);
-        teleport.fill_dense(&mut teleport_dense);
-        let mut x = arena.take(n);
-        x.copy_from_slice(warm.unwrap_or(&teleport_dense));
-        let mut next = arena.take(n);
+        let mut teleport_dense = arena.take_buf::<T>(n);
+        fill_teleport(teleport, &mut teleport_dense);
+        let mut x = arena.take_buf::<T>(n);
+        match warm {
+            Some(prev) => narrow_into(prev, &mut x),
+            None => x.copy_from_slice(&teleport_dense),
+        }
+        let mut next = arena.take_buf::<T>(n);
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut trace = cfg.record_trace.then(ConvergenceTrace::default);
@@ -638,23 +875,23 @@ impl<'a> SweepKernel<'a> {
 
         while iterations < cfg.max_iterations {
             iterations += 1;
-            let dangling = self.dangling_mass(&x);
-            let base = 1.0 - alpha + alpha * dangling;
+            let dangling = self.dangling_mass(&x, inv_wsum);
+            let base = T::ONE - alpha + alpha * dangling;
 
             if threads == 1 {
-                self.pull_chunk(&x, &mut next, 0, alpha, base, &teleport_dense);
+                self.pull_chunk(&x, &mut next, 0, alpha, base, &teleport_dense, inv_wsum);
             } else {
-                let x_ref: &[f64] = &x;
-                let tel_ref: &[f64] = &teleport_dense;
+                let x_ref: &[T] = &x;
+                let tel_ref: &[T] = &teleport_dense;
                 crossbeam::thread::scope(|s| {
-                    let mut rest: &mut [f64] = &mut next;
+                    let mut rest: &mut [T] = &mut next;
                     let mut lo = 0usize;
                     while !rest.is_empty() {
                         let take = chunk.min(rest.len());
                         let (mine, tail) = rest.split_at_mut(take);
                         rest = tail;
                         s.spawn(move |_| {
-                            self.pull_chunk(x_ref, mine, lo, alpha, base, tel_ref);
+                            self.pull_chunk(x_ref, mine, lo, alpha, base, tel_ref, inv_wsum);
                         });
                         lo += take;
                     }
@@ -667,20 +904,24 @@ impl<'a> SweepKernel<'a> {
             // — is bitwise identical for every thread count (per-chunk
             // partial sums would regroup float addends at the chunk
             // boundaries and could flip a stop right at the tolerance).
-            residual = x.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
+            let mut delta = T::ZERO;
+            for (&a, &b) in x.iter().zip(next.iter()) {
+                delta += (a - b).abs();
+            }
+            residual = delta.to_f64();
 
             std::mem::swap(&mut x, &mut next);
             if let Some(t) = trace.as_mut() {
                 t.residuals.push(residual);
             }
-            if residual < cfg.tolerance {
+            if residual < tol {
                 break;
             }
         }
 
-        let converged = residual < cfg.tolerance;
+        let converged = residual < tol;
         Ok(SolvedBuf {
-            scores: x,
+            scores: T::widen(x),
             convergence: Convergence { iterations, residual, converged },
             trace,
         })
@@ -688,18 +929,20 @@ impl<'a> SweepKernel<'a> {
 
     /// Pulls new scores for the chunk `out` covering nodes
     /// `lo..lo + out.len()`.
-    fn pull_chunk(
+    #[allow(clippy::too_many_arguments)]
+    fn pull_chunk<T: SolveFloat>(
         &self,
-        x: &[f64],
-        out: &mut [f64],
+        x: &[T],
+        out: &mut [T],
         lo: usize,
-        alpha: f64,
-        base: f64,
-        teleport_dense: &[f64],
+        alpha: T,
+        base: T,
+        teleport_dense: &[T],
+        inv_wsum: &[T],
     ) {
         for (off, slot) in out.iter_mut().enumerate() {
             let i = lo + off;
-            let pulled = self.pull(NodeId::from_usize(i), x);
+            let pulled = self.pull(NodeId::from_usize(i), x, inv_wsum);
             *slot = alpha * pulled + base * teleport_dense[i];
         }
     }
@@ -744,6 +987,11 @@ impl<'a> SweepKernel<'a> {
         match (cfg.scheme, teleports.len()) {
             (_, 0) => Ok(Vec::new()),
             (Scheme::Power | Scheme::GaussSeidel, _) | (_, 1) => {
+                teleports.iter().map(|t| self.solve(cfg, t)).collect()
+            }
+            // The fused interleave is an f64 formulation; the narrow lane
+            // solves per seed (trivially identical to its single solves).
+            (Scheme::Parallel, _) if cfg.precision != Precision::F64 => {
                 teleports.iter().map(|t| self.solve(cfg, t)).collect()
             }
             (Scheme::Parallel, _) => {
@@ -847,7 +1095,7 @@ impl<'a> SweepKernel<'a> {
                     // Last live lane: the single-vector chunk pull computes
                     // the identical per-lane expressions without the
                     // interleave bookkeeping.
-                    self.pull_chunk(&x, &mut next[..n], 0, alpha, bases[0], &tel);
+                    self.pull_chunk(&x, &mut next[..n], 0, alpha, bases[0], &tel, &self.inv_wsum);
                 } else {
                     self.pull_chunk_batch(
                         &x,
@@ -974,9 +1222,9 @@ impl<'a> SweepKernel<'a> {
             // place — per-lane expression shape and accumulation order
             // match the single-vector `pull`/`pull_chunk` exactly.
             slots.iter_mut().for_each(|s| *s = 0.0);
-            match self.view.in_weights(v) {
-                Some(ws) => {
-                    for (j, &u) in self.view.in_neighbors(v).iter().enumerate() {
+            match self.view.in_arrays(v) {
+                Some((nbrs, Some(ws))) => {
+                    for (j, &u) in nbrs.iter().enumerate() {
                         let (wj, inv) = (ws[j], self.inv_wsum[u.index()]);
                         let row = &x[u.index() * lanes..u.index() * lanes + lanes];
                         for (s, &xv) in slots.iter_mut().zip(row) {
@@ -984,12 +1232,24 @@ impl<'a> SweepKernel<'a> {
                         }
                     }
                 }
-                None => {
-                    for &u in self.view.in_neighbors(v) {
+                Some((nbrs, None)) => {
+                    for &u in nbrs {
                         let inv = self.inv_wsum[u.index()];
                         let row = &x[u.index() * lanes..u.index() * lanes + lanes];
                         for (s, &xv) in slots.iter_mut().zip(row) {
                             *s += xv * inv;
+                        }
+                    }
+                }
+                // Compact tier: decode the stream once per node row; the
+                // unweighted decode yields w = 1.0, and `xv * 1.0 * inv`
+                // is bitwise `xv * inv`.
+                None => {
+                    for (u, w) in self.view.in_edges(v) {
+                        let inv = self.inv_wsum[u.index()];
+                        let row = &x[u.index() * lanes..u.index() * lanes + lanes];
+                        for (s, &xv) in slots.iter_mut().zip(row) {
+                            *s += xv * w * inv;
                         }
                     }
                 }
@@ -1111,7 +1371,7 @@ mod tests {
         let (alpha, base) = (0.85, 0.15);
 
         let mut whole = vec![0.0f64; n];
-        kernel.pull_chunk(&x, &mut whole, 0, alpha, base, &teleport);
+        kernel.pull_chunk(&x, &mut whole, 0, alpha, base, &teleport, &kernel.inv_wsum);
 
         for chunks in [2usize, 3, 4, 7] {
             let chunk = n.div_ceil(chunks);
@@ -1121,7 +1381,7 @@ mod tests {
             while !rest.is_empty() {
                 let take = chunk.min(rest.len());
                 let (mine, tail) = rest.split_at_mut(take);
-                kernel.pull_chunk(&x, mine, lo, alpha, base, &teleport);
+                kernel.pull_chunk(&x, mine, lo, alpha, base, &teleport, &kernel.inv_wsum);
                 lo += take;
                 rest = tail;
             }
@@ -1321,6 +1581,121 @@ mod tests {
         // Mismatched teleport dimension.
         let wrong = TeleportVector::uniform(5).unwrap();
         assert!(kernel.solve(&SolverConfig::default(), &wrong).is_err());
+    }
+
+    #[test]
+    fn compact_tier_solves_match_csr_bitwise() {
+        // Unweighted graphs (and f32-exact weighted ones) decode to the
+        // identical neighbor order, weight values, and weight sums, so
+        // every scheme's float sequence — and with it scores, iteration
+        // counts, and residuals — is reproduced exactly on the compact
+        // tier.
+        let g = random_graph(200, 1500, 31);
+        let c = relgraph::CompactGraph::from_csr(&g);
+        let n = g.node_count();
+        let teleport = TeleportVector::uniform(n).unwrap();
+        for scheme in Scheme::ALL {
+            let cfg = SolverConfig::default().with_scheme(scheme).with_trace();
+            let a = SweepKernel::new(g.view()).unwrap().solve(&cfg, &teleport).unwrap();
+            let b = SweepKernel::new(c.view()).unwrap().solve(&cfg, &teleport).unwrap();
+            assert_eq!(a.scores.as_slice(), b.scores.as_slice(), "{scheme}");
+            assert_eq!(a.convergence, b.convergence, "{scheme}");
+            assert_eq!(a.trace, b.trace, "{scheme}");
+        }
+        // Transposed orientation and fused batches dispatch identically.
+        let teleports: Vec<TeleportVector> =
+            (0..5).map(|s| TeleportVector::single(n, NodeId::new(s)).unwrap()).collect();
+        let cfg = SolverConfig::default().with_threads(3);
+        let ka = SweepKernel::new(g.transposed()).unwrap();
+        let kb = SweepKernel::new(c.transposed()).unwrap();
+        for (a, b) in ka
+            .solve_batch(&cfg, &teleports)
+            .unwrap()
+            .iter()
+            .zip(&kb.solve_batch(&cfg, &teleports).unwrap())
+        {
+            assert_eq!(a.scores.as_slice(), b.scores.as_slice());
+            assert_eq!(a.convergence, b.convergence);
+        }
+    }
+
+    #[test]
+    fn f32_lane_matches_f64_within_tolerance() {
+        let g = random_graph(300, 2500, 7);
+        let n = g.node_count();
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        for teleport in [
+            TeleportVector::uniform(n).unwrap(),
+            TeleportVector::single(n, NodeId::new(3)).unwrap(),
+        ] {
+            for scheme in Scheme::ALL {
+                let full =
+                    kernel.solve(&SolverConfig::default().with_scheme(scheme), &teleport).unwrap();
+                let narrow = kernel
+                    .solve(
+                        &SolverConfig::default().with_scheme(scheme).with_precision(Precision::F32),
+                        &teleport,
+                    )
+                    .unwrap();
+                assert!(narrow.convergence.converged, "{scheme}: f32 lane must converge");
+                assert!((narrow.scores.sum() - 1.0).abs() < 1e-4, "{scheme}");
+                for u in g.nodes() {
+                    assert!(
+                        (full.scores.get(u) - narrow.scores.get(u)).abs() < 1e-5,
+                        "{scheme} node {u:?}: f64 {} vs f32 {}",
+                        full.scores.get(u),
+                        narrow.scores.get(u)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_lane_clamps_tolerance_to_floor() {
+        // A tolerance below the f32 noise floor still converges (at the
+        // floor) instead of spinning to the iteration cap.
+        let g = random_graph(150, 1100, 9);
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let teleport = TeleportVector::uniform(g.node_count()).unwrap();
+        let cfg = SolverConfig {
+            tolerance: 1e-14,
+            max_iterations: 2000,
+            precision: Precision::F32,
+            ..Default::default()
+        };
+        let out = kernel.solve(&cfg, &teleport).unwrap();
+        assert!(out.convergence.converged);
+        assert!(out.convergence.residual < F32_TOLERANCE_FLOOR);
+        assert!(out.convergence.iterations < 2000);
+    }
+
+    #[test]
+    fn f32_batch_falls_back_to_sequential_solves() {
+        let g = random_graph(80, 500, 3);
+        let n = g.node_count();
+        let kernel = SweepKernel::new(g.view()).unwrap();
+        let teleports: Vec<TeleportVector> =
+            (0..4).map(|s| TeleportVector::single(n, NodeId::new(s)).unwrap()).collect();
+        let cfg = SolverConfig::default().with_precision(Precision::F32);
+        let batch = kernel.solve_batch(&cfg, &teleports).unwrap();
+        assert_eq!(batch.len(), teleports.len());
+        for (t, out) in teleports.iter().zip(&batch) {
+            let single = kernel.solve(&cfg, t).unwrap();
+            assert_eq!(single.scores.as_slice(), out.scores.as_slice());
+            assert_eq!(single.convergence, out.convergence);
+        }
+    }
+
+    #[test]
+    fn precision_parse_roundtrip() {
+        for p in Precision::ALL {
+            assert_eq!(p.id().parse::<Precision>().unwrap(), p);
+        }
+        assert_eq!("single".parse::<Precision>().unwrap(), Precision::F32);
+        assert_eq!("double".parse::<Precision>().unwrap(), Precision::F64);
+        assert!("f16".parse::<Precision>().is_err());
+        assert_eq!(Precision::default(), Precision::F64);
     }
 
     #[test]

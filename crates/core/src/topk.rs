@@ -197,14 +197,7 @@ pub fn refresh_ppr(
 
     // New out-row of the changed source, and the old row reconstructed
     // from it by undoing the event.
-    let new_row: Vec<(NodeId, f64)> = {
-        let ws = view.out_weights(u);
-        view.out_neighbors(u)
-            .iter()
-            .enumerate()
-            .map(|(j, &v)| (v, ws.map(|w| w[j]).unwrap_or(1.0)))
-            .collect()
-    };
+    let new_row: Vec<(NodeId, f64)> = view.out_edges(u).collect();
     let mut old_row = new_row.clone();
     if event.inserted {
         match old_row.iter().position(|&(v, _)| v == event.target) {

@@ -4,7 +4,7 @@
 use crate::error::EngineError;
 use crate::task::TaskSpec;
 use relcore::runner::{Algorithm, AlgorithmParams, Solver};
-use relcore::{AlgorithmRegistry, Query, Scheme, ScoringFunction};
+use relcore::{AlgorithmRegistry, Precision, Query, Scheme, ScoringFunction};
 
 /// Builds a validated [`TaskSpec`].
 ///
@@ -32,6 +32,7 @@ pub struct TaskBuilder {
     solver: Option<Solver>,
     threads: Option<usize>,
     record_trace: bool,
+    precision: Option<Precision>,
 }
 
 impl TaskBuilder {
@@ -48,6 +49,7 @@ impl TaskBuilder {
             solver: None,
             threads: None,
             record_trace: false,
+            precision: None,
         }
     }
 
@@ -98,6 +100,13 @@ impl TaskBuilder {
         self
     }
 
+    /// Selects the score-lane precision for the exact kernel schemes
+    /// (f64 default; f32 halves the vector footprint).
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = Some(p);
+        self
+    }
+
     /// Sets the source (reference) node label.
     pub fn source(mut self, label: impl Into<String>) -> Self {
         self.source = Some(label.into());
@@ -137,6 +146,9 @@ impl TaskBuilder {
         }
         if let Some(n) = self.threads {
             params = params.with_threads(n);
+        }
+        if let Some(p) = self.precision {
+            params = params.with_precision(p);
         }
         params = params.with_trace(self.record_trace);
         Ok(TaskSpec { dataset: self.dataset, params, source: self.source, top_k: self.top_k })

@@ -51,7 +51,7 @@ pub use builder::TaskBuilder;
 pub use cache::{CacheStats, ResultCache};
 pub use datastore::{Datastore, FileStore, MemoryStore};
 pub use error::EngineError;
-pub use executor::{ArenaPoolStats, Executor, TaskResult};
+pub use executor::{ArenaPoolStats, DatasetTierStats, Executor, GraphTier, TaskResult};
 pub use mutation::{EdgeOp, EdgeSpec, MutationOutcome};
 pub use persist::{GraphPersistence, RecoveredGraph};
 pub use scheduler::Scheduler;

@@ -38,6 +38,9 @@ pub struct RecoveredGraph {
     pub replayed: usize,
     /// Torn-tail bytes truncated off the journal during recovery.
     pub truncated_bytes: u64,
+    /// Whether the snapshot base loaded from the fast-load image instead
+    /// of a full edge-list decode (see [`relstore::DatasetStore::load`]).
+    pub from_image: bool,
 }
 
 /// The engine's handle on the durable graph store.
@@ -139,6 +142,7 @@ impl GraphPersistence {
             snapshot_version: loaded.snapshot_version,
             replayed,
             truncated_bytes: loaded.truncated_bytes,
+            from_image: loaded.from_image,
         }))
     }
 }

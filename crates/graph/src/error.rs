@@ -39,6 +39,9 @@ pub enum GraphError {
         /// The node count that exceeded `u32::MAX`.
         count: usize,
     },
+    /// A compact graph's raw parts failed validation (truncated or
+    /// inconsistent varint streams, out-of-range ids, bad edge counts).
+    InvalidCompact(String),
 }
 
 impl fmt::Display for GraphError {
@@ -61,6 +64,7 @@ impl fmt::Display for GraphError {
             GraphError::TooManyNodes { count } => {
                 write!(f, "{count} nodes exceed the u32 node-id space (max {})", u32::MAX)
             }
+            GraphError::InvalidCompact(msg) => write!(f, "invalid compact graph: {msg}"),
         }
     }
 }

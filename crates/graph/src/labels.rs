@@ -15,7 +15,7 @@ use std::collections::HashMap;
 /// Labels are optional: a graph loaded from a bare edge list has an empty
 /// table and falls back to stringified indices via
 /// [`LabelTable::label_or_index`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LabelTable {
     labels: Vec<Option<String>>,
     index: HashMap<String, NodeId>,

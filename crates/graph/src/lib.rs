@@ -35,6 +35,7 @@
 //! ```
 
 pub mod builder;
+pub mod compact;
 pub mod csr;
 pub mod dynamic;
 pub mod error;
@@ -49,6 +50,7 @@ pub mod view;
 pub mod wcc;
 
 pub use builder::GraphBuilder;
+pub use compact::{CompactAdjacency, CompactGraph, GraphHandle, GraphRef, OffsetIndex};
 pub use csr::DirectedGraph;
 pub use dynamic::{DynamicGraph, EdgeMutation};
 pub use error::GraphError;

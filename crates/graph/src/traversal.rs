@@ -45,7 +45,7 @@ pub fn bfs_distances_bounded_view(view: GraphView<'_>, source: NodeId, max_depth
         if du >= max_depth {
             continue;
         }
-        for &v in view.out_neighbors(u) {
+        for v in view.out_neighbors(u) {
             if dist[v.index()] == UNREACHABLE {
                 dist[v.index()] = du + 1;
                 queue.push_back(v);

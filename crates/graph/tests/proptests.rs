@@ -38,8 +38,60 @@ proptest! {
         let g = GraphBuilder::from_edge_indices(edges);
         let t = g.transposed();
         for u in g.nodes() {
-            prop_assert_eq!(t.in_neighbors(u), g.out_neighbors(u));
-            prop_assert_eq!(t.out_neighbors(u), g.in_neighbors(u));
+            prop_assert_eq!(t.in_neighbors(u).collect::<Vec<_>>(), g.out_neighbors(u));
+            prop_assert_eq!(t.out_neighbors(u).collect::<Vec<_>>(), g.in_neighbors(u));
+        }
+    }
+
+    /// The compact delta-varint representation is neighbor- and
+    /// weight-equivalent to the standard CSR for random graphs under
+    /// every node ordering, and decodes back to the identical CSR.
+    #[test]
+    fn compact_equivalent_to_csr_across_orderings(
+        edges in edge_list(40, 200),
+        weighted in any::<bool>(),
+        ordering in 0u8..4,
+    ) {
+        let base = if weighted {
+            let mut b = GraphBuilder::new();
+            for (i, (u, v)) in edges.iter().enumerate() {
+                // f32-exact weights so the narrowing tier is lossless here.
+                b.add_weighted_edge(NodeId::new(*u), NodeId::new(*v), (i % 7 + 1) as f64 * 0.5);
+            }
+            b.build()
+        } else {
+            GraphBuilder::from_edge_indices(edges)
+        };
+        let ordering = match ordering {
+            0 | 1 => relgraph::NodeOrdering::Original,
+            2 => relgraph::NodeOrdering::Bfs,
+            _ => relgraph::NodeOrdering::DegreeDescending,
+        };
+        let g = base.reordered_by(ordering).map(|(g, _)| g).unwrap_or(base);
+        let c = relgraph::CompactGraph::from_csr(&g);
+        prop_assert_eq!(c.node_count(), g.node_count());
+        prop_assert_eq!(c.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            let outs: Vec<NodeId> = c.out_edges(u).map(|(v, _)| v).collect();
+            prop_assert_eq!(outs, g.out_neighbors(u));
+            let ins: Vec<NodeId> = c.in_edges(u).map(|(v, _)| v).collect();
+            prop_assert_eq!(ins, g.in_neighbors(u));
+            if let Some(ws) = g.out_weights(u) {
+                let cw: Vec<f64> = c.out_edges(u).map(|(_, w)| w).collect();
+                let narrowed: Vec<f64> = ws.iter().map(|&w| w as f32 as f64).collect();
+                prop_assert_eq!(cw, narrowed);
+            }
+            prop_assert_eq!(c.out_degree(u), g.out_degree(u));
+            prop_assert_eq!(c.in_degree(u), g.in_degree(u));
+        }
+        // Round trip reproduces the CSR arrays (weights here are f32-exact).
+        let back = c.to_csr();
+        for u in g.nodes() {
+            prop_assert_eq!(back.out_neighbors(u), g.out_neighbors(u));
+            prop_assert_eq!(back.in_neighbors(u), g.in_neighbors(u));
+            prop_assert_eq!(back.out_weights(u), g.out_weights(u));
+            prop_assert_eq!(back.in_weights(u), g.in_weights(u));
+            prop_assert_eq!(back.out_weight_sum(u).to_bits(), g.out_weight_sum(u).to_bits());
         }
     }
 

@@ -18,13 +18,19 @@
 pub mod crc32;
 pub mod digest;
 pub mod frame;
+pub mod image;
 pub mod journal;
 pub mod snapshot;
 pub mod store;
 
 pub use digest::{graph_digest, Fnv64};
+pub use image::{
+    decode_image, encode_image, read_image_meta, weights_f32_exact, ImageMeta, IMAGE_VERSION,
+};
 pub use journal::{
     scan_journal, JournalRecord, JournalScan, JournalWriter, TailState, WireOp, OP_ADD, OP_REMOVE,
 };
-pub use snapshot::{decode_snapshot, encode_snapshot, SnapshotError, SnapshotMeta};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, SnapshotError, SnapshotMeta, SNAPSHOT_VERSION_BYTE,
+};
 pub use store::{DatasetStore, DatasetVerify, RecoveredDataset, StoreError, StoreStats};

@@ -12,6 +12,11 @@
 //! Because the endpoints are emitted in CSR order and the decoder rebuilds
 //! through the same [`GraphBuilder`] path the engine uses, decode(encode(g))
 //! reproduces the CSR arrays — including cached weight sums — bit-for-bit.
+//!
+//! The file leads with a single raw **format-version byte**
+//! ([`SNAPSHOT_VERSION_BYTE`]) ahead of the frames, so an incompatible
+//! future layout is detected before any frame parsing (and tools can
+//! sniff the version without CRC work).
 
 use crate::frame::{read_frame, write_frame, FrameRead};
 use relgraph::builder::DuplicatePolicy;
@@ -21,6 +26,10 @@ use std::io::Cursor;
 
 /// Current snapshot format tag.
 pub const SNAPSHOT_FORMAT: u32 = 1;
+
+/// Format-version byte leading every snapshot file, before the first
+/// frame. Decoders reject files whose lead byte they do not recognize.
+pub const SNAPSHOT_VERSION_BYTE: u8 = 1;
 
 /// Snapshot metadata (frame 1 of the file).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,7 +85,7 @@ pub fn encode_snapshot(dataset: &str, graph: &DirectedGraph, version: u64) -> Ve
         edges: graph.edge_count() as u64,
         weighted: graph.is_weighted(),
     };
-    let mut out = Vec::new();
+    let mut out = vec![SNAPSHOT_VERSION_BYTE];
     let meta_json = serde_json::to_vec(&meta).expect("snapshot meta serializes");
     write_frame(&mut out, &meta_json).expect("vec write");
 
@@ -107,7 +116,8 @@ pub fn encode_snapshot(dataset: &str, graph: &DirectedGraph, version: u64) -> Ve
 
 /// Decodes snapshot bytes back into metadata and a materialized graph.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<(SnapshotMeta, DirectedGraph), SnapshotError> {
-    let mut cur = Cursor::new(bytes);
+    let body = check_version_byte(bytes)?;
+    let mut cur = Cursor::new(body);
     let mut pos = 0u64;
     let mut next = |what: &str| -> Result<Vec<u8>, SnapshotError> {
         match read_frame(&mut cur, pos)? {
@@ -170,6 +180,17 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(SnapshotMeta, DirectedGraph), Sn
     Ok((meta, graph))
 }
 
+/// Validates the lead format-version byte, returning the frame region.
+pub(crate) fn check_version_byte(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
+    match bytes.first() {
+        None => Err(SnapshotError::Invalid("empty snapshot file".into())),
+        Some(&SNAPSHOT_VERSION_BYTE) => Ok(&bytes[1..]),
+        Some(&v) => Err(SnapshotError::Invalid(format!(
+            "unknown snapshot format version {v} (this build reads {SNAPSHOT_VERSION_BYTE})"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +239,27 @@ mod tests {
         let (meta, back) = decode_snapshot(&bytes).unwrap();
         assert_eq!(meta.nodes, 0);
         assert_eq!(back.node_count(), 0);
+    }
+
+    #[test]
+    fn leads_with_version_byte_and_rejects_unknown_versions() {
+        let g = sample();
+        let bytes = encode_snapshot("friends", &g, 3);
+        assert_eq!(bytes[0], SNAPSHOT_VERSION_BYTE);
+        // Round trip through the versioned layout.
+        let (meta, back) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(meta.version, 3);
+        assert_eq!(back.edge_count(), g.edge_count());
+        // A future (or garbage) version byte is refused before frame
+        // parsing, with the version in the message.
+        let mut future = bytes.clone();
+        future[0] = SNAPSHOT_VERSION_BYTE + 1;
+        match decode_snapshot(&future) {
+            Err(SnapshotError::Invalid(m)) => assert!(m.contains("format version"), "{m}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // The empty file is invalid, not a panic.
+        assert!(decode_snapshot(b"").is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::sync::Mutex;
 
 const SNAPSHOT_FILE: &str = "snapshot.bin";
 const JOURNAL_FILE: &str = "journal.log";
+const IMAGE_FILE: &str = "image.bin";
 
 /// Errors surfaced by [`DatasetStore`].
 #[derive(Debug)]
@@ -98,6 +99,8 @@ pub struct StoreStats {
     pub journal_bytes: u64,
     /// Highest durable version: last journal record, else the snapshot.
     pub last_version: u64,
+    /// Size of the fast-load dataset image, 0 when absent.
+    pub image_bytes: u64,
 }
 
 /// A dataset's recovered durable state, ready for replay.
@@ -113,6 +116,9 @@ pub struct RecoveredDataset {
     pub tail: Vec<JournalRecord>,
     /// Torn-tail bytes dropped during recovery (0 on a clean shutdown).
     pub truncated_bytes: u64,
+    /// Whether the base graph came from the fast-load image rather than a
+    /// full snapshot decode.
+    pub from_image: bool,
 }
 
 /// Integrity summary for one dataset directory (`relrank journal verify`).
@@ -181,9 +187,18 @@ impl DatasetStore {
         self.dir(id).join(JOURNAL_FILE)
     }
 
+    fn image_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join(IMAGE_FILE)
+    }
+
     /// True when `id` already has a snapshot on disk.
     pub fn has_snapshot(&self, id: &str) -> bool {
         self.snapshot_path(id).is_file()
+    }
+
+    /// True when `id` has a fast-load dataset image on disk.
+    pub fn has_image(&self, id: &str) -> bool {
+        self.image_path(id).is_file()
     }
 
     /// Dataset ids with durable state, sorted. Ids come from snapshot
@@ -206,6 +221,11 @@ impl DatasetStore {
 
     /// Writes a compacted snapshot of `graph` at `version` and truncates
     /// the journal (all its records are now `<=` the snapshot version).
+    ///
+    /// When the graph's weights are f32-exact (always true for unweighted
+    /// graphs), a fast-load image at the same version is rotated alongside
+    /// the snapshot; otherwise any existing image is dropped so a stale or
+    /// lossy one can never be preferred at load time.
     pub fn write_snapshot(
         &self,
         id: &str,
@@ -223,6 +243,11 @@ impl DatasetStore {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, self.snapshot_path(id))?;
+        if crate::image::weights_f32_exact(graph) {
+            self.write_image(id, &relgraph::CompactGraph::from_csr(graph), version)?;
+        } else {
+            self.drop_image(id)?;
+        }
         // Rotation: the journal's history is folded into the snapshot.
         writers.remove(id);
         match OpenOptions::new().write(true).open(self.journal_path(id)) {
@@ -234,6 +259,52 @@ impl DatasetStore {
             Err(e) => return Err(e),
         }
         Ok(())
+    }
+
+    /// Writes the fast-load dataset image for `id` at graph-version
+    /// `version` (temp file + fsync + atomic rename, like snapshots).
+    /// The image is an *accelerator*, not the durability root: recovery
+    /// only trusts it when its version matches the durable head.
+    pub fn write_image(
+        &self,
+        id: &str,
+        graph: &relgraph::CompactGraph,
+        version: u64,
+    ) -> std::io::Result<()> {
+        let dir = self.dir(id);
+        std::fs::create_dir_all(&dir)?;
+        let bytes = crate::image::encode_image(id, graph, version);
+        let tmp = dir.join("image.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.image_path(id))
+    }
+
+    /// Loads `id`'s dataset image, or `None` when absent. Decode failures
+    /// (damage, unknown version) are errors — callers typically fall back
+    /// to the snapshot+journal path and may [`Self::drop_image`].
+    pub fn load_image(
+        &self,
+        id: &str,
+    ) -> Result<Option<(crate::image::ImageMeta, relgraph::CompactGraph)>, StoreError> {
+        let bytes = match std::fs::read(self.image_path(id)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let (meta, graph) = crate::image::decode_image(&bytes)?;
+        Ok(Some((meta, graph)))
+    }
+
+    /// Removes `id`'s dataset image (stale or damaged); missing is fine.
+    pub fn drop_image(&self, id: &str) -> std::io::Result<()> {
+        match std::fs::remove_file(self.image_path(id)) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 
     /// Appends one committed batch to `id`'s journal (fsynced before
@@ -257,13 +328,20 @@ impl DatasetStore {
     /// Returns `Ok(None)` when the dataset has no snapshot. A torn
     /// trailing record is truncated off the journal on disk; CRC
     /// corruption anywhere in the valid region is an error.
+    ///
+    /// When a fast-load image exists **and** its dataset/version match the
+    /// snapshot's metadata frame, the base graph is materialized from the
+    /// image (one read + section slicing) instead of re-parsing and
+    /// re-sorting the snapshot's edge list; `from_image` reports which
+    /// path ran. A stale or damaged image is deleted and recovery falls
+    /// back to the snapshot — the image is an accelerator, never the
+    /// durability root.
     pub fn load(&self, id: &str) -> Result<Option<RecoveredDataset>, StoreError> {
-        let bytes = match std::fs::read(self.snapshot_path(id)) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e.into()),
+        let (meta, base, from_image) = match self.load_base(id) {
+            Ok(Some(loaded)) => loaded,
+            Ok(None) => return Ok(None),
+            Err(e) => return Err(e),
         };
-        let (meta, base) = decode_snapshot(&bytes)?;
         let journal = self.journal_path(id);
         let scan = scan_journal(&journal)?;
         let truncated_bytes = match scan.tail {
@@ -293,7 +371,40 @@ impl DatasetStore {
             snapshot_version: meta.version,
             tail,
             truncated_bytes,
+            from_image,
         }))
+    }
+
+    /// Materializes the base graph for [`Self::load`]: the image fast path
+    /// when it matches the snapshot metadata, else a full snapshot decode.
+    fn load_base(
+        &self,
+        id: &str,
+    ) -> Result<Option<(SnapshotMeta, DirectedGraph, bool)>, StoreError> {
+        let snap_path = self.snapshot_path(id);
+        let meta = match read_snapshot_meta(&snap_path) {
+            Ok(m) => m,
+            Err(SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if self.has_image(id) {
+            match self.load_image(id) {
+                Ok(Some((imeta, compact)))
+                    if imeta.version == meta.version && imeta.dataset == meta.dataset =>
+                {
+                    return Ok(Some((meta, compact.to_csr(), true)));
+                }
+                // Version/dataset mismatch or decode failure: the image is
+                // stale or damaged. Remove it and recover from the
+                // snapshot; the next rotation will re-emit a fresh one.
+                _ => self.drop_image(id)?,
+            }
+        }
+        let bytes = std::fs::read(&snap_path)?;
+        let (meta, base) = decode_snapshot(&bytes)?;
+        Ok(Some((meta, base, false)))
     }
 
     /// Durability counters for `id`, or `None` without a snapshot.
@@ -308,6 +419,7 @@ impl DatasetStore {
         };
         let snapshot_bytes = std::fs::metadata(&snap_path)?.len();
         let scan = scan_journal(&self.journal_path(id))?;
+        let image_bytes = std::fs::metadata(self.image_path(id)).map(|m| m.len()).unwrap_or(0);
         Ok(Some(StoreStats {
             dataset: meta.dataset,
             snapshot_version: meta.version,
@@ -315,6 +427,7 @@ impl DatasetStore {
             journal_records: scan.records.len() as u64,
             journal_bytes: scan.valid_bytes,
             last_version: scan.last_version().unwrap_or(meta.version).max(meta.version),
+            image_bytes,
         }))
     }
 
@@ -353,10 +466,14 @@ impl DatasetStore {
     }
 }
 
-/// Reads just the metadata frame of a snapshot file.
+/// Reads just the metadata frame of a snapshot file (after checking the
+/// lead format-version byte).
 fn read_snapshot_meta(path: &Path) -> Result<SnapshotMeta, SnapshotError> {
     let file = File::open(path).map_err(SnapshotError::Io)?;
     let mut reader = BufReader::new(file.take(1 << 20));
+    let mut lead = [0u8; 1];
+    reader.read_exact(&mut lead)?;
+    crate::snapshot::check_version_byte(&lead)?;
     match crate::frame::read_frame(&mut reader, 0)? {
         crate::frame::FrameRead::Frame(payload) => serde_json::from_slice(&payload)
             .map_err(|e| SnapshotError::Invalid(format!("meta decode: {e}"))),
@@ -472,6 +589,104 @@ mod tests {
         assert!(!bad[0].is_ok());
         assert!(matches!(bad[0].tail, TailState::Corrupt { at_record: 0, .. }));
         assert!(store.load("ds").is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn image_write_load_drop_cycle() {
+        let root = temp_root("image");
+        let store = DatasetStore::open(&root).unwrap();
+        assert!(store.load_image("ds").unwrap().is_none());
+        let g = graph();
+        store.write_snapshot("ds", &g, 7).unwrap();
+        let compact = relgraph::CompactGraph::from_csr(&g);
+        store.write_image("ds", &compact, 7).unwrap();
+        assert!(store.has_image("ds"));
+        let (meta, back) = store.load_image("ds").unwrap().unwrap();
+        assert_eq!(meta.dataset, "ds");
+        assert_eq!(meta.version, 7);
+        assert_eq!(back, compact);
+        let stats = store.stats("ds").unwrap().unwrap();
+        assert!(stats.image_bytes > 0);
+        // Damaged images surface as errors; dropping clears them.
+        let mut bytes = std::fs::read(store.image_path("ds")).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0x01;
+        std::fs::write(store.image_path("ds"), &bytes).unwrap();
+        assert!(store.load_image("ds").is_err());
+        store.drop_image("ds").unwrap();
+        assert!(!store.has_image("ds"));
+        assert!(store.load_image("ds").unwrap().is_none());
+        store.drop_image("ds").unwrap(); // idempotent
+        assert_eq!(store.stats("ds").unwrap().unwrap().image_bytes, 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn snapshot_rotation_emits_image_and_load_prefers_it() {
+        let root = temp_root("fastpath");
+        let store = DatasetStore::open(&root).unwrap();
+        let g = graph();
+        store.write_snapshot("ds", &g, 3).unwrap();
+        // f32-exact weights → the rotation emitted a matching image.
+        assert!(store.has_image("ds"));
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert!(loaded.from_image);
+        assert_eq!(loaded.snapshot_version, 3);
+        // The image-materialized base is bit-identical to snapshot decode.
+        let bytes = std::fs::read(store.snapshot_path("ds")).unwrap();
+        let (_, direct) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(
+            crate::digest::graph_digest(&loaded.base, 3),
+            crate::digest::graph_digest(&direct, 3)
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn lossy_weights_skip_the_image() {
+        let root = temp_root("lossy");
+        let store = DatasetStore::open(&root).unwrap();
+        let mut b = GraphBuilder::new();
+        let a = b.add_labeled_node("a");
+        let c = b.add_labeled_node("b");
+        b.add_weighted_edge(a, c, 0.1); // not representable in f32
+        let g = b.build();
+        assert!(!crate::image::weights_f32_exact(&g));
+        store.write_snapshot("ds", &g, 1).unwrap();
+        assert!(!store.has_image("ds"));
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert!(!loaded.from_image);
+        // A later exact snapshot re-enables the image; a lossy one after
+        // that drops it again.
+        store.write_snapshot("ds", &graph(), 2).unwrap();
+        assert!(store.has_image("ds"));
+        store.write_snapshot("ds", &g, 3).unwrap();
+        assert!(!store.has_image("ds"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stale_or_damaged_image_falls_back_to_snapshot() {
+        let root = temp_root("staleimg");
+        let store = DatasetStore::open(&root).unwrap();
+        let g = graph();
+        store.write_snapshot("ds", &g, 5).unwrap();
+        // Stale: rewrite the image at the wrong version.
+        let compact = relgraph::CompactGraph::from_csr(&g);
+        store.write_image("ds", &compact, 4).unwrap();
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert!(!loaded.from_image);
+        assert!(!store.has_image("ds"), "stale image should be deleted");
+        // Damaged: corrupt the image body; load falls back and cleans up.
+        store.write_image("ds", &compact, 5).unwrap();
+        let mut bytes = std::fs::read(store.image_path("ds")).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0x01;
+        std::fs::write(store.image_path("ds"), &bytes).unwrap();
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert!(!loaded.from_image);
+        assert!(!store.has_image("ds"), "damaged image should be deleted");
         std::fs::remove_dir_all(&root).unwrap();
     }
 
