@@ -206,6 +206,31 @@ pub enum Command {
         /// Emit JSON instead of a table.
         json: bool,
     },
+    /// `scenario run <file|dir>`: expand and execute fault-injection
+    /// scenario files against the real engine, checking every step
+    /// against the model oracle; exits non-zero when any expanded
+    /// scenario violates an invariant.
+    ScenarioRun {
+        /// Scenario file or directory of `*.json` scenario documents.
+        path: String,
+        /// Expansion seed (`--seed`): same seed, same fault variants,
+        /// same outcome.
+        seed: u64,
+        /// Fault variants derived per expanded base scenario
+        /// (`--variants`).
+        variants: usize,
+        /// Cap on expanded scenarios actually run (`--max`); absent runs
+        /// the full expansion.
+        max: Option<usize>,
+        /// Directory to dump shrunk replayable repros of failures into
+        /// (`--dump-dir`).
+        dump_dir: Option<String>,
+        /// Skip shrinking failures (`--no-shrink`): report faster,
+        /// larger repros.
+        no_shrink: bool,
+        /// Emit JSON instead of a table.
+        json: bool,
+    },
 }
 
 /// Collects `--key value` pairs and bare flags from an argument list.
@@ -225,7 +250,7 @@ impl Flags {
                 .strip_prefix("--")
                 .ok_or_else(|| format!("unexpected argument {a:?} (expected --flag)"))?;
             // Bare switches take no value.
-            if key == "json" || key == "trace" {
+            if key == "json" || key == "trace" || key == "no-shrink" {
                 switches.push(key.to_string());
                 i += 1;
                 continue;
@@ -275,10 +300,21 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             _ => return Err("journal needs a subcommand: journal verify <dir>".into()),
         }
     }
-    // `replay <dir>` / `journal verify <dir>` take a positional path; peel
-    // it off before flag parsing (which accepts only `--flag` tokens).
+    // `scenario` is a command group: fold `scenario run` into one name.
+    if cmd == "scenario" {
+        match rest.split_first() {
+            Some((sub, tail)) if sub == "run" => {
+                cmd = "scenario-run";
+                rest = tail;
+            }
+            _ => return Err("scenario needs a subcommand: scenario run <file|dir>".into()),
+        }
+    }
+    // `replay <dir>` / `journal verify <dir>` / `scenario run <path>` take
+    // a positional path; peel it off before flag parsing (which accepts
+    // only `--flag` tokens).
     let mut positional = None;
-    if matches!(cmd, "replay" | "journal-verify") {
+    if matches!(cmd, "replay" | "journal-verify" | "scenario-run") {
         if let Some((first, tail)) = rest.split_first() {
             if !first.starts_with("--") {
                 positional = Some(first.clone());
@@ -451,6 +487,29 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             flags.finish()?;
             Command::JournalVerify { dir, json }
         }
+        "scenario-run" => {
+            let path = match positional.or_else(|| flags.take("path")) {
+                Some(p) => p,
+                None => return Err("scenario run needs a path: scenario run <file|dir>".into()),
+            };
+            let seed = match flags.take("seed") {
+                Some(s) => parse_num(&s, "seed")?,
+                None => 0,
+            };
+            let variants = match flags.take("variants") {
+                Some(s) => parse_num(&s, "variants")?,
+                None => 4,
+            };
+            let max = match flags.take("max") {
+                Some(s) => Some(parse_num(&s, "max")?),
+                None => None,
+            };
+            let dump_dir = flags.take("dump-dir");
+            let no_shrink = flags.has_switch("no-shrink");
+            let json = flags.has_switch("json");
+            flags.finish()?;
+            Command::ScenarioRun { path, seed, variants, max, dump_dir, no_shrink, json }
+        }
         other => return Err(format!("unknown command {other:?}\n{}", usage())),
     };
     Ok(Cli { command })
@@ -459,7 +518,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
 /// Usage text.
 pub fn usage() -> String {
     "usage: relrank <command> [flags]\n\
-     commands: list-datasets, algorithms, stats, run, batch, mutate, compare, compare-datasets, convert, visualize, serve, replay, journal verify\n\
+     commands: list-datasets, algorithms, stats, run, batch, mutate, compare, compare-datasets, convert, visualize, serve, replay, journal verify, scenario run\n\
      see crate docs for per-command flags"
         .to_string()
 }
@@ -736,6 +795,44 @@ mod tests {
         assert!(parse("journal").is_err());
         assert!(parse("journal frobnicate /tmp/data").is_err());
         assert!(parse("journal verify").is_err());
+    }
+
+    #[test]
+    fn scenario_run_is_a_subcommand() {
+        let cli = parse("scenario run scenarios/robustness.json").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ScenarioRun {
+                path: "scenarios/robustness.json".into(),
+                seed: 0,
+                variants: 4,
+                max: None,
+                dump_dir: None,
+                no_shrink: false,
+                json: false,
+            }
+        );
+        let cli = parse(
+            "scenario run scenarios --seed 9 --variants 2 --max 240 \
+             --dump-dir /tmp/repros --no-shrink --json",
+        )
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ScenarioRun {
+                path: "scenarios".into(),
+                seed: 9,
+                variants: 2,
+                max: Some(240),
+                dump_dir: Some("/tmp/repros".into()),
+                no_shrink: true,
+                json: true,
+            }
+        );
+        assert!(parse("scenario").is_err());
+        assert!(parse("scenario walk x").is_err());
+        assert!(parse("scenario run").is_err());
+        assert!(parse("scenario run p --seed nope").is_err());
     }
 
     #[test]

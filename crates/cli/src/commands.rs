@@ -729,11 +729,26 @@ pub fn replay(dir: &str, json: bool) -> Result<String, String> {
 /// decodability, version monotonicity, torn tails) over every dataset in
 /// a durable data directory. Returns `Err` — a non-zero exit — when any
 /// dataset fails, so it works as a CI / cron guard.
-pub fn journal_verify(dir: &str, json: bool) -> Result<String, String> {
+///
+/// Exit codes distinguish the boring cases: a missing data directory is
+/// exit 3 (checked before the store opens, since opening would silently
+/// create it), while an empty (zero-length) journal is a clean exit 0
+/// with an explicit "empty journal" note — nothing was damaged, there
+/// was just nothing to verify.
+pub fn journal_verify(dir: &str, json: bool) -> Result<String, crate::CliError> {
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(crate::CliError::with_code(3, format!("data directory {dir} does not exist")));
+    }
     let store = relstore::DatasetStore::open(dir).map_err(|e| e.to_string())?;
     let reports = store.verify().map_err(|e| e.to_string())?;
     let bad: Vec<&str> =
         reports.iter().filter(|r| !r.is_ok()).map(|r| r.dataset.as_str()).collect();
+    let empty_journal = |r: &relstore::DatasetVerify| {
+        r.journal_records == 0
+            && std::fs::metadata(std::path::Path::new(dir).join(&r.dataset).join("journal.log"))
+                .map(|m| m.len() == 0)
+                .unwrap_or(false)
+    };
     let out = if json {
         let rows: Vec<serde_json::Value> = reports
             .iter()
@@ -742,6 +757,7 @@ pub fn journal_verify(dir: &str, json: bool) -> Result<String, String> {
                     "dataset": r.dataset,
                     "snapshot_ok": r.snapshot_ok,
                     "journal_records": r.journal_records,
+                    "empty_journal": empty_journal(r),
                     "monotonic": r.monotonic,
                     "tail": format!("{:?}", r.tail),
                     "ok": r.is_ok(),
@@ -762,7 +778,13 @@ pub fn journal_verify(dir: &str, json: bool) -> Result<String, String> {
                 r.journal_records,
                 if r.monotonic { "ok" } else { "BAD" },
                 format!("{:?}", r.tail),
-                if r.is_ok() { "ok" } else { "DAMAGED" },
+                if !r.is_ok() {
+                    "DAMAGED"
+                } else if empty_journal(r) {
+                    "ok (empty journal)"
+                } else {
+                    "ok"
+                },
             ));
         }
         out.push_str(&format!("{} dataset(s) checked in {dir}\n", reports.len()));
@@ -771,7 +793,89 @@ pub fn journal_verify(dir: &str, json: bool) -> Result<String, String> {
     if bad.is_empty() {
         Ok(out)
     } else {
-        Err(format!("{out}journal verify failed for: {}", bad.join(", ")))
+        Err(crate::CliError::from(format!("{out}journal verify failed for: {}", bad.join(", "))))
+    }
+}
+
+/// Knobs for `scenario run`, mirroring [`relscenario::RunOptions`] plus
+/// output format.
+pub struct ScenarioRunOptions {
+    /// Expansion seed (`--seed`).
+    pub seed: u64,
+    /// Fault variants per expanded base scenario (`--variants`).
+    pub variants: usize,
+    /// Cap on expanded scenarios run (`--max`).
+    pub max: Option<usize>,
+    /// Where to dump shrunk repros (`--dump-dir`).
+    pub dump_dir: Option<String>,
+    /// Skip shrinking failures (`--no-shrink`).
+    pub no_shrink: bool,
+    /// Emit JSON instead of a table.
+    pub json: bool,
+}
+
+/// `scenario run <file|dir>`: expand scenario documents and execute each
+/// expansion against a real engine + persistence stack in a temp dir,
+/// checking every step against the model oracle. Failures exit 1 with
+/// per-scenario diagnostics (and shrunk repro dumps when `--dump-dir` is
+/// set); a missing path exits 3.
+pub fn scenario_run(path: &str, opts: ScenarioRunOptions) -> Result<String, crate::CliError> {
+    let p = std::path::Path::new(path);
+    if !p.exists() {
+        return Err(crate::CliError::with_code(3, format!("scenario path {path} does not exist")));
+    }
+    let run_opts = relscenario::RunOptions {
+        seed: opts.seed,
+        variants: opts.variants,
+        max: opts.max,
+        dump_dir: opts.dump_dir.map(std::path::PathBuf::from),
+        shrink_failures: !opts.no_shrink,
+    };
+    let report = relscenario::run_suite(p, &run_opts).map_err(|e| e.to_string())?;
+    let out = if opts.json {
+        let failures: Vec<serde_json::Value> = report
+            .failures
+            .iter()
+            .map(|f| {
+                serde_json::json!({
+                    "scenario": f.scenario,
+                    "step": f.step,
+                    "message": f.message,
+                    "shrunk_ops": f.shrunk_ops,
+                    "dump": f.dump.as_ref().map(|p| p.display().to_string()),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "seed": opts.seed,
+            "total": report.total,
+            "passed": report.passed,
+            "failed": report.failures.len(),
+            "failures": failures,
+        });
+        format!("{}\n", serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?)
+    } else {
+        let mut out = format!("seed {}: {}\n", opts.seed, report.summary());
+        for f in &report.failures {
+            out.push_str(&format!("FAIL {} at step {}: {}\n", f.scenario, f.step, f.message));
+            if let Some(n) = f.shrunk_ops {
+                out.push_str(&format!("     shrunk to {n} op(s)"));
+                if let Some(d) = &f.dump {
+                    out.push_str(&format!(", repro dumped to {}", d.display()));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    };
+    if report.ok() {
+        Ok(out)
+    } else {
+        Err(crate::CliError::from(format!(
+            "{out}{} scenario(s) failed; reproduce with --seed {}",
+            report.failures.len(),
+            opts.seed
+        )))
     }
 }
 
@@ -1253,8 +1357,31 @@ mod tests {
         bytes[mid] ^= 0x40;
         std::fs::write(&journal, &bytes).unwrap();
         let err = journal_verify(dir.to_str().unwrap(), false).unwrap_err();
-        assert!(err.contains("journal verify failed for: cli-net"), "{err}");
-        assert!(err.contains("DAMAGED"), "{err}");
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("journal verify failed for: cli-net"), "{err}");
+        assert!(err.message.contains("DAMAGED"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_verify_distinguishes_missing_dir_and_empty_journal() {
+        // Missing data directory: exit 3, and the directory is NOT
+        // created as a side effect of the check.
+        let dir = durable_dir("verify-missing");
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = journal_verify(dir.to_str().unwrap(), false).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("does not exist"), "{err}");
+        assert!(!dir.exists(), "verify must not create the directory");
+        // Empty (zero-length) journal next to a valid snapshot: clean
+        // exit with an explicit note, distinct from damage.
+        let dir = durable_dir("verify-empty");
+        std::fs::write(dir.join("cli-net").join("journal.log"), b"").unwrap();
+        let out = journal_verify(dir.to_str().unwrap(), false).unwrap();
+        assert!(out.contains("ok (empty journal)"), "{out}");
+        let json = journal_verify(dir.to_str().unwrap(), true).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v[0]["empty_journal"], true, "{json}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

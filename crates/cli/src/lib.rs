@@ -26,37 +26,85 @@
 //!               [--max-expensive <n>] [--data-dir <dir>]
 //! relrank replay <dir> [--json]
 //! relrank journal verify <dir> [--json]
+//! relrank scenario run <file|dir> [--seed <n>] [--variants <n>] [--max <n>]
+//!                      [--dump-dir <dir>] [--no-shrink] [--json]
 //! ```
+//!
+//! ## Exit codes
+//!
+//! `0` success (including a clean data directory with empty journals),
+//! `1` command failure (damaged journal, failed scenario, engine error),
+//! `2` bad arguments, `3` a path the command needs does not exist
+//! (e.g. `journal verify` on a missing data directory).
 
 pub mod args;
 pub mod commands;
 
 pub use args::{parse_args, Cli, Command};
 
+/// A command failure with its process exit code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError {
+    /// Process exit code (`1` generic failure, `3` missing path).
+    pub code: i32,
+    /// Message printed to stderr.
+    pub message: String,
+}
+
+impl CliError {
+    /// A failure exiting with `code`.
+    pub fn with_code(code: i32, message: impl Into<String>) -> CliError {
+        CliError { code, message: message.into() }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError { code: 1, message }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 /// Runs a parsed command, writing human output to the returned string.
-pub fn run(cli: Cli) -> Result<String, String> {
+pub fn run(cli: Cli) -> Result<String, CliError> {
     match cli.command {
-        Command::ListDatasets { kind } => commands::list_datasets(kind.as_deref()),
+        Command::ListDatasets { kind } => commands::list_datasets(kind.as_deref()).map_err(into),
         Command::Algorithms => Ok(commands::algorithms()),
-        Command::Stats { dataset } => commands::stats(&dataset),
-        Command::Run(spec) => commands::run_task(spec),
-        Command::Batch(spec) => commands::batch(spec),
-        Command::Mutate(spec) => commands::mutate(spec),
-        Command::Compare(c) => commands::compare(c),
-        Command::CompareDatasets(c) => commands::compare_datasets(c),
+        Command::Stats { dataset } => commands::stats(&dataset).map_err(into),
+        Command::Run(spec) => commands::run_task(spec).map_err(into),
+        Command::Batch(spec) => commands::batch(spec).map_err(into),
+        Command::Mutate(spec) => commands::mutate(spec).map_err(into),
+        Command::Compare(c) => commands::compare(c).map_err(into),
+        Command::CompareDatasets(c) => commands::compare_datasets(c).map_err(into),
         Command::Convert { input, output, format } => {
-            commands::convert(&input, &output, format.as_deref())
+            commands::convert(&input, &output, format.as_deref()).map_err(into)
         }
         Command::Visualize { dataset, source, k, top, output } => {
-            commands::visualize(&dataset, &source, k, top, &output)
+            commands::visualize(&dataset, &source, k, top, &output).map_err(into)
         }
         Command::Serve { addr, workers, queue_depth, max_expensive, data_dir } => commands::serve(
             &addr,
             workers,
             commands::ServeLimits { queue_depth, max_expensive },
             data_dir.as_deref(),
-        ),
-        Command::Replay { dir, json } => commands::replay(&dir, json),
+        )
+        .map_err(into),
+        Command::Replay { dir, json } => commands::replay(&dir, json).map_err(into),
         Command::JournalVerify { dir, json } => commands::journal_verify(&dir, json),
+        Command::ScenarioRun { path, seed, variants, max, dump_dir, no_shrink, json } => {
+            commands::scenario_run(
+                &path,
+                commands::ScenarioRunOptions { seed, variants, max, dump_dir, no_shrink, json },
+            )
+        }
     }
+}
+
+fn into(message: String) -> CliError {
+    CliError::from(message)
 }

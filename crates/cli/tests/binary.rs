@@ -181,6 +181,80 @@ fn mutate_replay_and_journal_verify_round_trip() {
 }
 
 #[test]
+fn journal_verify_missing_dir_exits_3() {
+    let dir = std::env::temp_dir().join(format!("relrank-bin-nodir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (code, _, stderr) = relrank(&["journal", "verify", dir.to_str().unwrap()]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    assert!(!dir.exists(), "verify must not create the directory");
+}
+
+#[test]
+fn journal_verify_empty_journal_exits_0_with_note() {
+    let dir = std::env::temp_dir().join(format!("relrank-bin-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut ex = relengine::Executor::new();
+        ex.attach_persistence(std::sync::Arc::new(
+            relengine::GraphPersistence::open(&dir).unwrap(),
+        ));
+        let mut b = relgraph::GraphBuilder::new();
+        b.add_labeled_edge("a", "b");
+        ex.register_graph("empty-net", b.build()).unwrap();
+    }
+    std::fs::write(dir.join("empty-net").join("journal.log"), b"").unwrap();
+    let (code, stdout, stderr) = relrank(&["journal", "verify", dir.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("ok (empty journal)"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn scenario_run_executes_a_suite_and_reports() {
+    let dir = std::env::temp_dir().join(format!("relrank-bin-scn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc = r#"{
+      "name": "bin-smoke",
+      "ops": [
+        {"op": "upload", "dataset": "d", "edges": [
+          {"source": "x", "target": "y"}, {"source": "y", "target": "x"}
+        ]},
+        {"op": "inject_fault", "at_op": 2, "kind": "fail_sync"},
+        {"op": "mutate", "dataset": "d",
+         "add": [{"source": "x", "target": "z"}]},
+        {"op": "query", "dataset": "d", "algorithm": "pagerank"},
+        {"op": "recover"}
+      ]
+    }"#;
+    let file = dir.join("bin-smoke.json");
+    std::fs::write(&file, doc).unwrap();
+
+    let (code, stdout, stderr) = relrank(&[
+        "scenario",
+        "run",
+        file.to_str().unwrap(),
+        "--seed",
+        "7",
+        "--variants",
+        "3",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    // 1 base scenario + 3 seeded fault variants.
+    assert_eq!(v["total"].as_u64(), Some(4), "{stdout}");
+    assert_eq!(v["failed"].as_u64(), Some(0), "{stdout}");
+
+    // A missing scenario path exits 3, like a missing data directory.
+    let (code, _, stderr) = relrank(&["scenario", "run", "/no/such/scenarios"]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn compare_datasets_table3_columns() {
     let (code, stdout, _) = relrank(&[
         "compare-datasets",

@@ -125,7 +125,16 @@ fn execute_stationary(
     // a silently trace-less result.
     if let Some(r) = reference.filter(|_| !params.record_trace) {
         if let Some(push) = topk::push_top_k(view, params.damping, r, k)? {
-            return Ok(scored_top_k(id, push.top, None, None));
+            // Carry the Σ|r| certificate out as the result's residual:
+            // each served estimate is below the exact score by at most
+            // `residual_mass`, so downstream consumers (and the scenario
+            // oracle) can bound the true error without re-solving.
+            let certificate = Convergence {
+                iterations: push.rounds,
+                residual: push.residual_mass,
+                converged: true,
+            };
+            return Ok(scored_top_k(id, push.top, Some(certificate), None));
         }
         // Fall through: push could not separate rank k from k+1
         // (or k >= n) — the exact kernel always can.

@@ -33,6 +33,16 @@ pub enum EngineError {
     /// A dataset edge mutation could not be applied (unresolvable
     /// endpoint, invalid weight, out-of-range node).
     InvalidMutation(String),
+    /// The dataset's durable store is failing; mutations are rejected
+    /// until a re-probe succeeds, while reads keep serving.
+    Degraded {
+        /// The degraded dataset.
+        dataset: String,
+        /// Seconds until the engine will probe the store again.
+        retry_after_secs: u64,
+        /// The storage failure that triggered degradation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -53,6 +63,11 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::UnsupportedQuery(e) => write!(f, "unsupported query: {e}"),
             EngineError::InvalidMutation(e) => write!(f, "invalid mutation: {e}"),
+            EngineError::Degraded { dataset, retry_after_secs, reason } => write!(
+                f,
+                "dataset {dataset:?} is degraded (storage failing: {reason}); \
+                 mutations rejected, retry in {retry_after_secs}s"
+            ),
         }
     }
 }
@@ -87,6 +102,13 @@ mod tests {
         assert!(EngineError::InvalidMutation("bad endpoint".into())
             .to_string()
             .contains("bad endpoint"));
+        let degraded = EngineError::Degraded {
+            dataset: "ds".into(),
+            retry_after_secs: 4,
+            reason: "fsync failed".into(),
+        };
+        assert!(degraded.to_string().contains("degraded"));
+        assert!(degraded.to_string().contains("retry in 4s"));
     }
 
     #[test]

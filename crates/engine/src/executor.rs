@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::str::FromStr;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which in-memory representation serves a dataset's queries.
 ///
@@ -110,6 +110,38 @@ pub struct DatasetTierStats {
     pub compact_ratio: f64,
     /// Score-lane precisions the solver exposes (`precision` task param).
     pub precision_lanes: Vec<String>,
+}
+
+/// Default base of the degraded-mode exponential backoff.
+pub const DEFAULT_DEGRADED_BACKOFF: Duration = Duration::from_secs(1);
+
+/// Ceiling on the degraded-mode re-probe interval.
+const MAX_DEGRADED_BACKOFF: Duration = Duration::from_secs(60);
+
+/// Internal per-dataset degradation bookkeeping.
+#[derive(Debug, Clone)]
+struct DegradedState {
+    reason: String,
+    failures: u32,
+    since: Instant,
+    next_probe: Instant,
+}
+
+/// Externally visible degraded-mode status for one dataset (health and
+/// stats endpoints).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedDataset {
+    /// The degraded dataset.
+    pub dataset: String,
+    /// The storage failure that flipped it into degraded mode.
+    pub reason: String,
+    /// Consecutive storage failures observed.
+    pub failures: u32,
+    /// Seconds the dataset has been degraded.
+    pub degraded_for_secs: u64,
+    /// Seconds until the next mutation is allowed through as a probe
+    /// (0 = a probe is already due).
+    pub retry_after_secs: u64,
 }
 
 /// Aggregate footprint of the executor's per-dataset solver-arena pools
@@ -194,6 +226,13 @@ pub struct Executor {
     /// instead of allocating per request. Shared across worker threads
     /// and batches (the arena itself is `Sync`).
     arenas: Mutex<HashMap<String, Arc<SolverArena>>>,
+    /// Datasets whose durable store is failing: mutations fast-reject
+    /// with [`EngineError::Degraded`] until the exponential-backoff
+    /// re-probe window elapses; reads are unaffected.
+    degraded: Mutex<HashMap<String, DegradedState>>,
+    /// Base of the degraded-mode backoff (configurable so tests don't
+    /// sleep wall-clock seconds).
+    degraded_backoff: Mutex<Duration>,
 }
 
 impl Default for Executor {
@@ -219,6 +258,8 @@ impl Executor {
             results: ResultCache::new(capacity),
             persist: None,
             arenas: Mutex::new(HashMap::new()),
+            degraded: Mutex::new(HashMap::new()),
+            degraded_backoff: Mutex::new(DEFAULT_DEGRADED_BACKOFF),
         }
     }
 
@@ -257,6 +298,72 @@ impl Executor {
         }
         recovered.sort();
         Ok(recovered)
+    }
+
+    /// Overrides the degraded-mode backoff base (tests use milliseconds;
+    /// production keeps [`DEFAULT_DEGRADED_BACKOFF`]).
+    pub fn set_degraded_backoff(&self, base: Duration) {
+        *self.degraded_backoff.lock() = base;
+    }
+
+    /// Degraded-mode status of `id`, if it is currently degraded.
+    pub fn degraded_status(&self, id: &str) -> Option<DegradedDataset> {
+        let degraded = self.degraded.lock();
+        let state = degraded.get(id)?;
+        Some(describe_degraded(id, state, Instant::now()))
+    }
+
+    /// Every currently degraded dataset, sorted by id.
+    pub fn degraded_datasets(&self) -> Vec<DegradedDataset> {
+        let now = Instant::now();
+        let degraded = self.degraded.lock();
+        let mut out: Vec<DegradedDataset> =
+            degraded.iter().map(|(id, state)| describe_degraded(id, state, now)).collect();
+        out.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        out
+    }
+
+    /// Fast-rejects a mutation on a degraded dataset whose re-probe
+    /// window has not elapsed yet. Once the window passes, the next
+    /// mutation is allowed through as the probe.
+    fn check_degraded(&self, id: &str) -> Result<(), EngineError> {
+        let degraded = self.degraded.lock();
+        let Some(state) = degraded.get(id) else {
+            return Ok(());
+        };
+        let now = Instant::now();
+        if now >= state.next_probe {
+            return Ok(()); // this mutation probes the store
+        }
+        Err(EngineError::Degraded {
+            dataset: id.to_string(),
+            retry_after_secs: retry_after_secs(state.next_probe, now),
+            reason: state.reason.clone(),
+        })
+    }
+
+    /// Records a storage failure for `id`: enters (or escalates)
+    /// degraded mode with exponentially backed-off re-probes.
+    fn note_storage_failure(&self, id: &str, error: &EngineError) {
+        let base = *self.degraded_backoff.lock();
+        let now = Instant::now();
+        let mut degraded = self.degraded.lock();
+        let state = degraded.entry(id.to_string()).or_insert_with(|| DegradedState {
+            reason: error.to_string(),
+            failures: 0,
+            since: now,
+            next_probe: now,
+        });
+        state.failures = state.failures.saturating_add(1);
+        state.reason = error.to_string();
+        let exp = state.failures.saturating_sub(1).min(16);
+        let backoff = base.saturating_mul(1 << exp).min(MAX_DEGRADED_BACKOFF);
+        state.next_probe = now + backoff;
+    }
+
+    /// Clears `id`'s degraded state after a successful persist.
+    fn clear_degraded(&self, id: &str) {
+        self.degraded.lock().remove(id);
     }
 
     /// The solver arena owned by `dataset` (created on first use).
@@ -494,6 +601,10 @@ impl Executor {
     /// unlabeled nodes (the query convention); `Add` creates unresolved
     /// endpoints as fresh labeled nodes, `Remove` rejects them.
     pub fn mutate_dataset(&self, id: &str, ops: &[EdgeOp]) -> Result<MutationOutcome, EngineError> {
+        // Degraded fast-reject before any staging work: while the
+        // re-probe backoff is pending, mutations bounce immediately
+        // (reads never pass through here and keep serving).
+        self.check_degraded(id)?;
         // Ensure the dataset is loaded (generating outside the map lock).
         let _ = self.dataset_versioned(id)?;
         let slot =
@@ -520,8 +631,24 @@ impl Executor {
         let mut journal_records = 0;
         if mutated {
             if let Some(persist) = &self.persist {
-                persist.ensure_snapshot(id, &mut guard)?;
-                journal_records = persist.append(id, staged.version(), ops)?;
+                let persisted = persist
+                    .ensure_snapshot(id, &mut guard)
+                    .and_then(|()| persist.append(id, staged.version(), ops));
+                match persisted {
+                    Ok(records) => {
+                        journal_records = records;
+                        // The store works again: leave degraded mode.
+                        self.clear_degraded(id);
+                    }
+                    Err(e) => {
+                        // The batch was never acknowledged and the
+                        // in-memory graph is untouched. Flip (or keep)
+                        // the dataset degraded so further mutations
+                        // fast-reject until the backoff elapses.
+                        self.note_storage_failure(id, &e);
+                        return Err(e);
+                    }
+                }
             }
         }
         *guard = staged;
@@ -653,6 +780,25 @@ impl Executor {
             }
         }
         Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+    }
+}
+
+/// Seconds (rounded up, at least 1) until `next_probe`, or 0 when due.
+fn retry_after_secs(next_probe: Instant, now: Instant) -> u64 {
+    if now >= next_probe {
+        return 0;
+    }
+    let remaining = next_probe - now;
+    (remaining.as_secs_f64().ceil() as u64).max(1)
+}
+
+fn describe_degraded(id: &str, state: &DegradedState, now: Instant) -> DegradedDataset {
+    DegradedDataset {
+        dataset: id.to_string(),
+        reason: state.reason.clone(),
+        failures: state.failures,
+        degraded_for_secs: now.saturating_duration_since(state.since).as_secs(),
+        retry_after_secs: retry_after_secs(state.next_probe, now),
     }
 }
 

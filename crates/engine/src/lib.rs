@@ -51,7 +51,10 @@ pub use builder::TaskBuilder;
 pub use cache::{CacheStats, ResultCache};
 pub use datastore::{Datastore, FileStore, MemoryStore};
 pub use error::EngineError;
-pub use executor::{ArenaPoolStats, DatasetTierStats, Executor, GraphTier, TaskResult};
+pub use executor::{
+    ArenaPoolStats, DatasetTierStats, DegradedDataset, Executor, GraphTier, TaskResult,
+    DEFAULT_DEGRADED_BACKOFF,
+};
 pub use mutation::{EdgeOp, EdgeSpec, MutationOutcome};
 pub use persist::{GraphPersistence, RecoveredGraph};
 pub use scheduler::Scheduler;

@@ -56,6 +56,13 @@ impl GraphPersistence {
         Ok(GraphPersistence { store })
     }
 
+    /// Wraps an already-open store — how fault-injection tests and the
+    /// scenario harness hand the engine a store built over a
+    /// [`relstore::FaultInjector`] backend.
+    pub fn with_store(store: DatasetStore) -> GraphPersistence {
+        GraphPersistence { store }
+    }
+
     /// The underlying store (stats, verification, raw access).
     pub fn store(&self) -> &DatasetStore {
         &self.store

@@ -34,6 +34,7 @@ pub struct SchedulerBuilder {
     store: Arc<dyn Datastore>,
     cache_capacity: usize,
     data_dir: Option<PathBuf>,
+    persistence: Option<Arc<GraphPersistence>>,
 }
 
 impl SchedulerBuilder {
@@ -65,6 +66,15 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Attaches an already-built persistence layer — how fault-injection
+    /// tests and the scenario harness run a full scheduler over a
+    /// [`relstore::FaultInjector`]-backed store. Takes precedence over
+    /// [`SchedulerBuilder::data_dir`].
+    pub fn persistence(mut self, persist: Arc<GraphPersistence>) -> Self {
+        self.persistence = Some(persist);
+        self
+    }
+
     /// Starts the worker pool, restoring any datasets persisted in the
     /// datastore into the executor's registry.
     ///
@@ -84,7 +94,9 @@ impl SchedulerBuilder {
         reldata::connect_query_api();
         let (tx, rx) = unbounded::<Job>();
         let mut executor = Executor::with_cache_capacity(self.cache_capacity);
-        if let Some(dir) = &self.data_dir {
+        if let Some(persist) = self.persistence {
+            executor.attach_persistence(persist);
+        } else if let Some(dir) = &self.data_dir {
             executor.attach_persistence(Arc::new(GraphPersistence::open(dir)?));
         }
         let executor = Arc::new(executor);
@@ -244,6 +256,7 @@ impl Scheduler {
             store: Arc::new(MemoryStore::new()),
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
             data_dir: None,
+            persistence: None,
         }
     }
 

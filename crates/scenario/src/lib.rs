@@ -1,0 +1,42 @@
+//! # relscenario — deterministic fault-injection scenario harness
+//!
+//! Drives the real engine stack — [`relengine::Executor`] over a
+//! [`relstore::DatasetStore`] with a [`relstore::FaultInjector`] I/O
+//! backend, in a temp directory — through **declarative scenario files**,
+//! and checks every step against a model oracle:
+//!
+//! * **per-step oracle**: every query result is recomputed with a fresh,
+//!   cache-free dense solve ([`relcore::Query`]) against the current
+//!   graph and compared score-for-score — so a stale cache entry, a bad
+//!   invalidation, or a wrong warm-serving path is caught at the step
+//!   that produced it;
+//! * **certificate bound**: top-k serving results must agree with the
+//!   exact solve within the Σ|r| residual certificate they carry;
+//! * **warm = cold**: warm-started solves at a fixed point must land on
+//!   the cold solution;
+//! * **durability**: no acknowledged mutation is ever lost — after any
+//!   fault plan, two independent recoveries agree bit-for-bit
+//!   (digest-equal) and cover every acked version;
+//! * **no panics**: every step runs under `catch_unwind`; a panic is a
+//!   scenario failure, never a harness abort.
+//!
+//! Scenario files are JSON. A **plain scenario** is `{name, ops}`; a
+//! **template** is `{name, axes}` where each axis lists alternative op
+//! blocks and the harness expands the cartesian product of all axes
+//! (optionally prefixed by a shared `ops` block). On top of every
+//! expanded scenario, `variants` seeded fault-injection variants are
+//! derived deterministically — same seed, same faults, same outcome.
+//!
+//! Failures are **shrunk** to a minimal failing op sequence
+//! ([`shrink::shrink`]) and can be dumped as replayable scenario files
+//! (`relrank scenario run <file|dir> --seed N`).
+
+pub mod model;
+pub mod runner;
+pub mod shrink;
+pub mod suite;
+
+pub use model::{Axis, Choice, FaultSpec, Scenario, ScenarioDoc, ScenarioOp};
+pub use runner::{run_scenario, RunReport, StepFailure};
+pub use shrink::{shrink, shrink_by};
+pub use suite::{run_suite, FailureReport, RunOptions, SuiteReport};

@@ -1,0 +1,373 @@
+//! Scenario files: the op alphabet, templates, and combinatorial
+//! expansion.
+
+use relengine::EdgeSpec;
+use relstore::FaultKind;
+use serde::{Deserialize, Serialize};
+
+fn default_top() -> usize {
+    10
+}
+
+/// One step of a scenario — the op alphabet.
+///
+/// Engine-level *rejections* (an op answered with an error, e.g. a
+/// mutation bounced by an injected fault or a query against a crashed
+/// process) are normal outcomes, not scenario failures: the harness
+/// checks what the engine *guaranteed*, never that every op succeeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum ScenarioOp {
+    /// Register a fresh dataset built from `edges` (endpoints are
+    /// labels; registration snapshots it durably at version 0).
+    Upload { dataset: String, edges: Vec<EdgeSpec> },
+    /// Apply one atomic mutation batch: `add` inserts/updates, `remove`
+    /// deletes. On ack the new version/digest becomes the durability
+    /// baseline; on rejection the in-memory graph must be unchanged.
+    Mutate {
+        dataset: String,
+        #[serde(default)]
+        add: Vec<EdgeSpec>,
+        #[serde(default)]
+        remove: Vec<EdgeSpec>,
+    },
+    /// Execute one task through the engine (result cache included) and
+    /// check every returned score against a fresh cache-free dense solve.
+    Query {
+        dataset: String,
+        algorithm: String,
+        #[serde(default)]
+        source: Option<String>,
+        #[serde(default = "default_top")]
+        top_k: usize,
+    },
+    /// Execute a multi-seed batch (one fused solve) and oracle-check
+    /// every seed's result.
+    Batch {
+        dataset: String,
+        algorithm: String,
+        sources: Vec<String>,
+        #[serde(default = "default_top")]
+        top_k: usize,
+    },
+    /// Execute in top-k-only serving mode and require the result to
+    /// agree with the exact solve within its residual certificate.
+    TopK {
+        dataset: String,
+        algorithm: String,
+        #[serde(default)]
+        source: Option<String>,
+        #[serde(default = "default_top")]
+        k: usize,
+    },
+    /// Solve cold, then warm-start a second solve from the cold scores:
+    /// at the fixed point both must agree.
+    WarmRefresh {
+        dataset: String,
+        algorithm: String,
+        #[serde(default)]
+        source: Option<String>,
+    },
+    /// Force a snapshot rotation (compaction) at the current version.
+    CompactionTrigger { dataset: String },
+    /// Read the result-cache counters and require them to be monotonic.
+    CacheStat,
+    /// Arm the storage fault injector: the `at_op`-th write-side I/O
+    /// operation from now fails with `kind`.
+    InjectFault { at_op: u64, kind: FaultSpec },
+    /// Kill the process image: the live executor is dropped; the
+    /// directory keeps whatever the injector let through.
+    Crash,
+    /// Restart: run two independent recoveries, require them to agree
+    /// bit-for-bit and to cover every acked version, then continue on
+    /// the recovered state with a clean injector.
+    Recover,
+}
+
+impl ScenarioOp {
+    /// The dataset this op addresses, if any.
+    pub fn dataset(&self) -> Option<&str> {
+        match self {
+            ScenarioOp::Upload { dataset, .. }
+            | ScenarioOp::Mutate { dataset, .. }
+            | ScenarioOp::Query { dataset, .. }
+            | ScenarioOp::Batch { dataset, .. }
+            | ScenarioOp::TopK { dataset, .. }
+            | ScenarioOp::WarmRefresh { dataset, .. }
+            | ScenarioOp::CompactionTrigger { dataset } => Some(dataset),
+            _ => None,
+        }
+    }
+}
+
+/// Serializable fault kinds (mirror of [`relstore::FaultKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultSpec {
+    /// The write fails, nothing lands on disk.
+    FailWrite,
+    /// Half the buffer lands, then the write fails (torn frame).
+    TornWrite,
+    /// Writes land, the fsync fails.
+    FailSync,
+    /// `ENOSPC`: the device is full.
+    Enospc,
+    /// Freeze the directory image: this and every later op fails.
+    Crash,
+}
+
+impl FaultSpec {
+    /// The injector-side kind.
+    pub fn kind(self) -> FaultKind {
+        match self {
+            FaultSpec::FailWrite => FaultKind::FailWrite,
+            FaultSpec::TornWrite => FaultKind::TornWrite,
+            FaultSpec::FailSync => FaultKind::FailSync,
+            FaultSpec::Enospc => FaultKind::Enospc,
+            FaultSpec::Crash => FaultKind::Crash,
+        }
+    }
+
+    /// All kinds, in the order seeded variants cycle through.
+    pub const ALL: [FaultSpec; 5] = [
+        FaultSpec::FailWrite,
+        FaultSpec::TornWrite,
+        FaultSpec::FailSync,
+        FaultSpec::Enospc,
+        FaultSpec::Crash,
+    ];
+}
+
+/// A concrete, directly runnable scenario: a named op sequence. This is
+/// also the dump format for shrunk failure repros — a dumped scenario
+/// loads back as a [`ScenarioDoc`] with no axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display name (template name + chosen axis labels + fault variant).
+    pub name: String,
+    /// The steps, run in order.
+    pub ops: Vec<ScenarioOp>,
+}
+
+/// One alternative op block of an [`Axis`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Choice {
+    /// Short label, joined into the expanded scenario's name.
+    pub label: String,
+    /// The ops this choice contributes.
+    pub ops: Vec<ScenarioOp>,
+}
+
+/// One expansion axis of a template: exactly one choice is taken per
+/// expanded scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Axis name (documentation only).
+    pub name: String,
+    /// The alternatives.
+    pub choices: Vec<Choice>,
+}
+
+/// A scenario file: either a plain scenario (`ops` only) or a template
+/// (`axes`, with `ops` as a shared prefix).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioDoc {
+    /// Base name for every expansion.
+    pub name: String,
+    /// Shared op prefix (the whole scenario when `axes` is empty).
+    #[serde(default)]
+    pub ops: Vec<ScenarioOp>,
+    /// Expansion axes; the cartesian product over all axes' choices is
+    /// generated.
+    #[serde(default)]
+    pub axes: Vec<Axis>,
+}
+
+impl ScenarioDoc {
+    /// Expands the document into concrete scenarios: the cartesian
+    /// product over all axes (just the base scenario when there are
+    /// none), plus `variants` deterministic fault variants per expanded
+    /// scenario, derived from `seed`.
+    ///
+    /// A fault variant inserts one [`ScenarioOp::InjectFault`] at a
+    /// seeded position with a seeded op offset and kind — same seed,
+    /// same variant, bit-for-bit.
+    pub fn expand(&self, seed: u64, variants: usize) -> Vec<Scenario> {
+        let mut base = Vec::new();
+        if self.axes.is_empty() {
+            base.push(Scenario { name: self.name.clone(), ops: self.ops.clone() });
+        } else {
+            let mut picks = vec![0usize; self.axes.len()];
+            loop {
+                let mut name = self.name.clone();
+                let mut ops = self.ops.clone();
+                for (axis, &p) in self.axes.iter().zip(&picks) {
+                    let choice = &axis.choices[p];
+                    name.push('/');
+                    name.push_str(&choice.label);
+                    ops.extend(choice.ops.iter().cloned());
+                }
+                base.push(Scenario { name, ops });
+                // Odometer increment over the axes.
+                let mut i = self.axes.len();
+                loop {
+                    if i == 0 {
+                        return finish_expansion(base, seed, variants);
+                    }
+                    i -= 1;
+                    picks[i] += 1;
+                    if picks[i] < self.axes[i].choices.len() {
+                        break;
+                    }
+                    picks[i] = 0;
+                }
+            }
+        }
+        finish_expansion(base, seed, variants)
+    }
+}
+
+fn finish_expansion(base: Vec<Scenario>, seed: u64, variants: usize) -> Vec<Scenario> {
+    let mut out = base.clone();
+    for sc in &base {
+        for v in 0..variants {
+            out.push(fault_variant(sc, seed, v));
+        }
+    }
+    out
+}
+
+/// Deterministic per-scenario RNG stream: FNV-1a over the name, mixed
+/// with the run seed and variant index through splitmix64.
+fn variant_rng(name: &str, seed: u64, variant: usize) -> impl FnMut() -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut state =
+        h ^ seed.rotate_left(17) ^ ((variant as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// One seeded fault variant of `sc`: an `inject_fault` op inserted at a
+/// seeded step position (never before the first op, so setup has a
+/// chance to exist), followed by the original tail. The implicit final
+/// recovery then checks durability under that fault.
+fn fault_variant(sc: &Scenario, seed: u64, variant: usize) -> Scenario {
+    let mut rng = variant_rng(&sc.name, seed, variant);
+    let pos = if sc.ops.is_empty() { 0 } else { 1 + (rng() as usize) % sc.ops.len() };
+    let kind = FaultSpec::ALL[(rng() as usize) % FaultSpec::ALL.len()];
+    let at_op = rng() % 12;
+    let mut ops = sc.ops.clone();
+    ops.insert(pos.min(ops.len()), ScenarioOp::InjectFault { at_op, kind });
+    Scenario { name: format!("{}#fault{variant}", sc.name), ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(s: &str, t: &str) -> EdgeSpec {
+        EdgeSpec { source: s.into(), target: t.into(), weight: None }
+    }
+
+    #[test]
+    fn ops_round_trip_through_json() {
+        let ops = vec![
+            ScenarioOp::Upload { dataset: "d".into(), edges: vec![edge("a", "b")] },
+            ScenarioOp::Mutate { dataset: "d".into(), add: vec![edge("b", "c")], remove: vec![] },
+            ScenarioOp::Query {
+                dataset: "d".into(),
+                algorithm: "pagerank".into(),
+                source: None,
+                top_k: 5,
+            },
+            ScenarioOp::TopK {
+                dataset: "d".into(),
+                algorithm: "ppr".into(),
+                source: Some("a".into()),
+                k: 3,
+            },
+            ScenarioOp::InjectFault { at_op: 3, kind: FaultSpec::FailSync },
+            ScenarioOp::Crash,
+            ScenarioOp::Recover,
+        ];
+        let sc = Scenario { name: "rt".into(), ops };
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sc);
+        // Dumped scenarios load as docs with no axes.
+        let doc: ScenarioDoc = serde_json::from_str(&json).unwrap();
+        assert!(doc.axes.is_empty());
+        assert_eq!(doc.expand(0, 0)[0].ops, sc.ops);
+    }
+
+    #[test]
+    fn defaulted_fields_deserialize() {
+        let op: ScenarioOp =
+            serde_json::from_str(r#"{"op": "query", "dataset": "d", "algorithm": "pagerank"}"#)
+                .unwrap();
+        match op {
+            ScenarioOp::Query { top_k, source, .. } => {
+                assert_eq!(top_k, 10);
+                assert!(source.is_none());
+            }
+            other => panic!("wrong op {other:?}"),
+        }
+        let op: ScenarioOp = serde_json::from_str(r#"{"op": "mutate", "dataset": "d"}"#).unwrap();
+        assert!(matches!(op, ScenarioOp::Mutate { ref add, ref remove, .. }
+            if add.is_empty() && remove.is_empty()));
+    }
+
+    #[test]
+    fn template_expansion_is_the_cartesian_product() {
+        let choice = |l: &str| Choice { label: l.into(), ops: vec![ScenarioOp::CacheStat] };
+        let doc = ScenarioDoc {
+            name: "t".into(),
+            ops: vec![ScenarioOp::Upload { dataset: "d".into(), edges: vec![edge("a", "b")] }],
+            axes: vec![
+                Axis { name: "x".into(), choices: vec![choice("x0"), choice("x1"), choice("x2")] },
+                Axis { name: "y".into(), choices: vec![choice("y0"), choice("y1")] },
+            ],
+        };
+        let expanded = doc.expand(7, 0);
+        assert_eq!(expanded.len(), 6);
+        let names: Vec<&str> = expanded.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"t/x0/y0"));
+        assert!(names.contains(&"t/x2/y1"));
+        // Shared prefix + one op per axis.
+        assert!(expanded.iter().all(|s| s.ops.len() == 3));
+        // All expansions distinct.
+        let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn fault_variants_are_deterministic_and_seeded() {
+        let doc = ScenarioDoc {
+            name: "t".into(),
+            ops: vec![
+                ScenarioOp::Upload { dataset: "d".into(), edges: vec![edge("a", "b")] },
+                ScenarioOp::Recover,
+            ],
+            axes: vec![],
+        };
+        let a = doc.expand(42, 3);
+        let b = doc.expand(42, 3);
+        assert_eq!(a, b, "same seed, same expansion");
+        assert_eq!(a.len(), 4); // base + 3 variants
+        for v in &a[1..] {
+            assert_eq!(v.ops.len(), 3);
+            assert!(v.ops.iter().any(|o| matches!(o, ScenarioOp::InjectFault { .. })));
+        }
+        let c = doc.expand(43, 3);
+        assert_ne!(a, c, "different seed, different faults");
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end exercises of the scenario harness: a green smoke scenario
+//! covering the full op alphabet, fault plans over every fault kind
+//! (never panic, never lose an acked mutation), and template expansion
+//! driven through the suite runner at CI scale.
+
+use relengine::EdgeSpec;
+use relscenario::{run_scenario, FaultSpec, RunOptions, Scenario, ScenarioDoc, ScenarioOp};
+
+fn edge(s: &str, t: &str) -> EdgeSpec {
+    EdgeSpec { source: s.to_string(), target: t.to_string(), weight: None }
+}
+
+fn wedge(s: &str, t: &str, w: f64) -> EdgeSpec {
+    EdgeSpec { source: s.to_string(), target: t.to_string(), weight: Some(w) }
+}
+
+fn ring(dataset: &str) -> ScenarioOp {
+    ScenarioOp::Upload {
+        dataset: dataset.to_string(),
+        edges: vec![
+            edge("a", "b"),
+            edge("b", "c"),
+            edge("c", "a"),
+            wedge("a", "c", 2.0),
+            edge("c", "d"),
+            edge("d", "a"),
+        ],
+    }
+}
+
+fn query(dataset: &str, algorithm: &str, source: Option<&str>) -> ScenarioOp {
+    ScenarioOp::Query {
+        dataset: dataset.to_string(),
+        algorithm: algorithm.to_string(),
+        source: source.map(str::to_string),
+        top_k: 4,
+    }
+}
+
+#[test]
+fn smoke_scenario_covers_the_whole_alphabet_and_passes() {
+    let sc = Scenario {
+        name: "smoke".to_string(),
+        ops: vec![
+            ring("net"),
+            query("net", "pagerank", None),
+            query("net", "cyclerank", Some("a")),
+            ScenarioOp::Mutate {
+                dataset: "net".to_string(),
+                add: vec![edge("d", "b")],
+                remove: vec![edge("c", "d")],
+            },
+            query("net", "pagerank", None),
+            ScenarioOp::TopK {
+                dataset: "net".to_string(),
+                algorithm: "ppr".to_string(),
+                source: Some("a".to_string()),
+                k: 3,
+            },
+            ScenarioOp::Batch {
+                dataset: "net".to_string(),
+                algorithm: "ppr".to_string(),
+                sources: vec!["a".to_string(), "b".to_string()],
+                top_k: 3,
+            },
+            ScenarioOp::WarmRefresh {
+                dataset: "net".to_string(),
+                algorithm: "pagerank".to_string(),
+                source: None,
+            },
+            ScenarioOp::CacheStat,
+            ScenarioOp::CompactionTrigger { dataset: "net".to_string() },
+            ScenarioOp::CacheStat,
+            ScenarioOp::Recover,
+            query("net", "pagerank", None),
+        ],
+    };
+    let report = run_scenario(&sc, 42);
+    assert!(report.passed(), "smoke scenario failed: {:?}", report.failure);
+}
+
+#[test]
+fn every_fault_kind_survives_mutation_and_recovery() {
+    for kind in FaultSpec::ALL {
+        for at_op in [0, 1, 2, 3, 5] {
+            let sc = Scenario {
+                name: format!("fault-{kind:?}-at-{at_op}"),
+                ops: vec![
+                    ring("net"),
+                    ScenarioOp::Mutate {
+                        dataset: "net".to_string(),
+                        add: vec![edge("d", "b")],
+                        remove: vec![],
+                    },
+                    ScenarioOp::InjectFault { at_op, kind },
+                    ScenarioOp::Mutate {
+                        dataset: "net".to_string(),
+                        add: vec![edge("b", "d")],
+                        remove: vec![],
+                    },
+                    query("net", "pagerank", None),
+                    ScenarioOp::Mutate {
+                        dataset: "net".to_string(),
+                        add: vec![edge("a", "d")],
+                        remove: vec![],
+                    },
+                    ScenarioOp::Recover,
+                    query("net", "pagerank", None),
+                ],
+            };
+            let report = run_scenario(&sc, 7);
+            assert!(
+                report.passed(),
+                "fault plan {kind:?}@{at_op} violated an invariant: {:?}",
+                report.failure
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_without_recover_still_passes_final_durability_check() {
+    // The implicit final Recover runs even when the scenario ends mid-crash.
+    let sc = Scenario {
+        name: "crash-tail".to_string(),
+        ops: vec![
+            ring("net"),
+            ScenarioOp::Mutate {
+                dataset: "net".to_string(),
+                add: vec![edge("d", "c")],
+                remove: vec![],
+            },
+            ScenarioOp::Crash,
+            // Dead air: ops against a crashed process are rejected, not failures.
+            query("net", "pagerank", None),
+            ScenarioOp::Mutate {
+                dataset: "net".to_string(),
+                add: vec![edge("c", "b")],
+                remove: vec![],
+            },
+        ],
+    };
+    let report = run_scenario(&sc, 3);
+    assert!(report.passed(), "crash-tail scenario failed: {:?}", report.failure);
+}
+
+#[test]
+fn compaction_under_enospc_keeps_acked_state_recoverable() {
+    let sc = Scenario {
+        name: "enospc-compaction".to_string(),
+        ops: vec![
+            ring("net"),
+            ScenarioOp::Mutate {
+                dataset: "net".to_string(),
+                add: vec![edge("b", "d")],
+                remove: vec![],
+            },
+            ScenarioOp::InjectFault { at_op: 2, kind: FaultSpec::Enospc },
+            ScenarioOp::CompactionTrigger { dataset: "net".to_string() },
+            query("net", "pagerank", None),
+            ScenarioOp::Recover,
+        ],
+    };
+    let report = run_scenario(&sc, 11);
+    assert!(report.passed(), "ENOSPC compaction scenario failed: {:?}", report.failure);
+}
+
+#[test]
+fn template_expansion_runs_green_at_ci_scale() {
+    // A small template whose cartesian product times fault variants
+    // reaches the CI floor; run a bounded slice end-to-end here.
+    let doc: ScenarioDoc = serde_json::from_str(
+        r#"{
+          "name": "matrix",
+          "ops": [
+            {"op": "upload", "dataset": "net", "edges": [
+              {"source": "a", "target": "b"},
+              {"source": "b", "target": "c"},
+              {"source": "c", "target": "a"}
+            ]}
+          ],
+          "axes": [
+            {"name": "mutation", "choices": [
+              {"label": "add", "ops": [
+                {"op": "mutate", "dataset": "net",
+                 "add": [{"source": "c", "target": "b"}]}
+              ]},
+              {"label": "remove", "ops": [
+                {"op": "mutate", "dataset": "net",
+                 "remove": [{"source": "c", "target": "a"}]}
+              ]}
+            ]},
+            {"name": "read", "choices": [
+              {"label": "pr", "ops": [
+                {"op": "query", "dataset": "net", "algorithm": "pagerank"}
+              ]},
+              {"label": "topk", "ops": [
+                {"op": "top_k", "dataset": "net", "algorithm": "ppr",
+                 "source": "a", "k": 2}
+              ]}
+            ]}
+          ]
+        }"#,
+    )
+    .expect("template parses");
+    let scenarios = doc.expand(99, 3);
+    // 2 × 2 bases, each with 3 fault variants on top.
+    assert_eq!(scenarios.len(), 4 * 4);
+    for sc in &scenarios {
+        let report = run_scenario(sc, 99);
+        assert!(report.passed(), "{} failed: {:?}", sc.name, report.failure);
+    }
+}
+
+#[test]
+fn suite_runner_loads_a_directory_and_reports() {
+    let dir = std::env::temp_dir().join(format!(
+        "relscenario-suite-{}-{}",
+        std::process::id(),
+        rand::random::<u64>()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc = r#"{
+      "name": "tiny",
+      "ops": [
+        {"op": "upload", "dataset": "d", "edges": [
+          {"source": "x", "target": "y"}, {"source": "y", "target": "x"}
+        ]},
+        {"op": "query", "dataset": "d", "algorithm": "pagerank"},
+        {"op": "recover"}
+      ]
+    }"#;
+    std::fs::write(dir.join("tiny.json"), doc).unwrap();
+    let opts = RunOptions { seed: 5, variants: 2, max: Some(3), ..RunOptions::default() };
+    let report = relscenario::run_suite(&dir, &opts).expect("suite runs");
+    assert_eq!(report.total, 3);
+    assert!(report.ok(), "suite failures: {:?}", report.failures);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

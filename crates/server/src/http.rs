@@ -219,6 +219,8 @@ pub enum StatusCode {
     TooManyRequests,
     /// 500.
     InternalError,
+    /// 503 (storage degraded — mutations rejected, reads still serve).
+    ServiceUnavailable,
 }
 
 impl StatusCode {
@@ -232,6 +234,7 @@ impl StatusCode {
             StatusCode::PayloadTooLarge => "413 Payload Too Large",
             StatusCode::TooManyRequests => "429 Too Many Requests",
             StatusCode::InternalError => "500 Internal Server Error",
+            StatusCode::ServiceUnavailable => "503 Service Unavailable",
         }
     }
 }
@@ -286,6 +289,24 @@ impl Response {
     /// lane is full.
     pub fn overloaded(msg: impl Into<String>, retry_after_secs: u64) -> Response {
         Response::error(StatusCode::TooManyRequests, msg).header("retry-after", retry_after_secs)
+    }
+
+    /// The degraded-storage response: `503 Service Unavailable` with a
+    /// typed JSON body and a `Retry-After` hint, sent when a mutation
+    /// hits a dataset whose durable store is failing (reads keep
+    /// serving; only writes bounce).
+    pub fn unavailable(msg: impl Into<String>, retry_after_secs: u64) -> Response {
+        #[derive(serde::Serialize)]
+        struct Degraded {
+            error: String,
+            degraded: bool,
+            retry_after_secs: u64,
+        }
+        Response::json(
+            StatusCode::ServiceUnavailable,
+            &Degraded { error: msg.into(), degraded: true, retry_after_secs },
+        )
+        .header("retry-after", retry_after_secs)
     }
 
     /// Serializes onto a stream, closing the connection after (the
@@ -421,6 +442,17 @@ mod tests {
         let mut buf = Vec::new();
         Response::text(StatusCode::Ok, "x").write_conn(&mut buf, false).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn unavailable_serialization() {
+        let mut buf = Vec::new();
+        Response::unavailable("storage degraded", 8).write_conn(&mut buf, true).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable"));
+        assert!(s.contains("retry-after: 8\r\n"));
+        assert!(s.contains(r#""degraded":true"#));
+        assert!(s.contains(r#""retry_after_secs":8"#));
     }
 
     #[test]

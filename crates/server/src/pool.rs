@@ -158,6 +158,8 @@ pub struct ServingState {
     shed_queue_full: AtomicU64,
     shed_expensive: AtomicU64,
     rejected_payload: AtomicU64,
+    /// Mutations answered `503` because the dataset's storage is degraded.
+    degraded_rejections: AtomicU64,
     /// Live admission-queue length, reported by the snapshot.
     queue_len: AtomicU64,
 }
@@ -175,6 +177,7 @@ impl ServingState {
             shed_queue_full: AtomicU64::new(0),
             shed_expensive: AtomicU64::new(0),
             rejected_payload: AtomicU64::new(0),
+            degraded_rejections: AtomicU64::new(0),
             queue_len: AtomicU64::new(0),
         })
     }
@@ -208,6 +211,7 @@ impl ServingState {
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
             shed_expensive: self.shed_expensive.load(Ordering::Relaxed),
             rejected_payload: self.rejected_payload.load(Ordering::Relaxed),
+            degraded_rejections: self.degraded_rejections.load(Ordering::Relaxed),
             expensive_in_flight: self.expensive.in_flight(),
             engine: EngineSnapshot {
                 workers: engine.worker_count(),
@@ -243,6 +247,8 @@ pub struct ServingSnapshot {
     pub shed_expensive: u64,
     /// Requests refused with `413` (oversized headers or body).
     pub rejected_payload: u64,
+    /// Requests answered `503` because a dataset's storage is degraded.
+    pub degraded_rejections: u64,
     /// Expensive-lane permits currently held.
     pub expensive_in_flight: usize,
     /// The engine-side pools the serving limits are sized from.
@@ -309,10 +315,16 @@ pub fn dispatch(req: &Request, engine: &Arc<Scheduler>, state: &ServingState) ->
     if req.method == Method::Get && req.segments() == ["api", "serving", "stats"] {
         return Response::json(StatusCode::Ok, &state.snapshot(engine));
     }
+    let count_degraded = |resp: Response| {
+        if resp.status == StatusCode::ServiceUnavailable {
+            state.degraded_rejections.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    };
     match classify(req, engine) {
-        Lane::Cheap => route(req, engine),
+        Lane::Cheap => count_degraded(route(req, engine)),
         Lane::Expensive => match state.try_acquire_expensive() {
-            Some(_permit) => route(req, engine),
+            Some(_permit) => count_degraded(route(req, engine)),
             None => {
                 state.shed_expensive.fetch_add(1, Ordering::Relaxed);
                 Response::overloaded(

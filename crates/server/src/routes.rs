@@ -10,7 +10,7 @@ pub fn route(req: &Request, engine: &Arc<Scheduler>) -> Response {
     let segments = req.segments();
     match (req.method, segments.as_slice()) {
         (Method::Get, []) => index(),
-        (Method::Get, ["api", "health"]) => health(),
+        (Method::Get, ["api", "health"]) => health(engine),
         (Method::Get, ["api", "metrics"]) => Response::json(StatusCode::Ok, &engine.metrics()),
         (Method::Get, ["api", "datasets"]) => list_datasets(engine),
         (Method::Post, ["api", "datasets"]) => upload_dataset(req, engine),
@@ -71,12 +71,18 @@ fn index() -> Response {
     }
 }
 
-fn health() -> Response {
+/// Liveness plus storage health: reports `"degraded"` (still 200 — the
+/// process is alive and reads serve) with the affected datasets when any
+/// dataset's storage backend is failing.
+fn health(engine: &Arc<Scheduler>) -> Response {
     #[derive(Serialize)]
     struct Health {
         status: &'static str,
+        degraded_datasets: Vec<relengine::DegradedDataset>,
     }
-    Response::json(StatusCode::Ok, &Health { status: "ok" })
+    let degraded_datasets = engine.executor().degraded_datasets();
+    let status = if degraded_datasets.is_empty() { "ok" } else { "degraded" };
+    Response::json(StatusCode::Ok, &Health { status, degraded_datasets })
 }
 
 fn list_datasets(engine: &Arc<Scheduler>) -> Response {
@@ -227,6 +233,9 @@ fn dataset_stats(id: &str, engine: &Arc<Scheduler>) -> Response {
                 if let Some(stats) = engine.executor().persistence_stats(id) {
                     map.insert("persistence".to_string(), serde_json::to_value(&stats));
                 }
+                if let Some(degraded) = engine.executor().degraded_status(id) {
+                    map.insert("degraded".to_string(), serde_json::to_value(&degraded));
+                }
             }
             Response::json(StatusCode::Ok, &value)
         }
@@ -310,6 +319,20 @@ fn mutate_edges(id: &str, req: &Request, engine: &Arc<Scheduler>, insert: bool) 
         }
         Err(e @ relengine::EngineError::InvalidMutation(_)) => {
             Response::error(StatusCode::BadRequest, e.to_string())
+        }
+        // Storage-layer failures degrade the dataset, they don't kill the
+        // server: the mutation was rejected *before* any in-memory commit,
+        // so the client can simply retry after the hinted delay. Reads are
+        // unaffected and keep serving.
+        Err(e @ relengine::EngineError::Storage(_)) => Response::unavailable(e.to_string(), 1),
+        Err(relengine::EngineError::Degraded { dataset, retry_after_secs, reason }) => {
+            Response::unavailable(
+                format!(
+                    "dataset {dataset:?} is degraded (storage failing: {reason}); \
+                     mutations rejected, reads still serving"
+                ),
+                retry_after_secs,
+            )
         }
         Err(e) => Response::error(StatusCode::InternalError, e.to_string()),
     }
@@ -1174,6 +1197,91 @@ mod tests {
     fn rand_suffix() -> u64 {
         std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
             as u64
+    }
+
+    /// The degradation acceptance path over HTTP: an injected storage
+    /// fault turns mutation routes into typed `503 + Retry-After`
+    /// responses while reads — stats, health, queries — keep serving;
+    /// health reports the degraded dataset; recovery clears it.
+    #[test]
+    fn degraded_storage_maps_to_503_while_reads_serve() {
+        let dir = std::env::temp_dir().join(format!(
+            "relserver-degraded-{}-{}",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inj = relstore::FaultInjector::default();
+        let store = relstore::DatasetStore::open_with_vfs(&dir, Arc::new(inj.clone())).unwrap();
+        let e = Arc::new(
+            Scheduler::builder()
+                .workers(1)
+                .persistence(Arc::new(relengine::GraphPersistence::with_store(store)))
+                .build(),
+        );
+        let content = "*Vertices 3\n1 \"seed\"\n2 \"a\"\n3 \"b\"\n*Arcs\n1 2\n2 3\n3 1\n";
+        let body = serde_json::json!({"name": "frail-net", "content": content}).to_string();
+        assert_eq!(route(&post("/api/datasets", &body), &e).status, StatusCode::Ok);
+
+        // Healthy first: one mutation lands. The backoff is shortened so
+        // the recovery probe at the end of the test fires quickly, but
+        // kept long enough that the retry below still fast-rejects.
+        e.executor().set_degraded_backoff(std::time::Duration::from_millis(200));
+        let batch = r#"{"edges": [{"source": "a", "target": "b"}]}"#;
+        assert_eq!(route(&post("/api/datasets/frail-net/edges", batch), &e).status, StatusCode::Ok);
+
+        // Fail the next journal append's fsync: the mutation route answers
+        // a typed 503 with a Retry-After hint.
+        inj.arm(relstore::FaultPlan::one(3, relstore::FaultKind::FailSync));
+        let batch2 = r#"{"edges": [{"source": "b", "target": "a"}]}"#;
+        let r = route(&post("/api/datasets/frail-net/edges", batch2), &e);
+        assert_eq!(r.status, StatusCode::ServiceUnavailable, "{}", body_str(&r));
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(v["degraded"], true);
+        assert!(v["retry_after_secs"].as_u64().unwrap() >= 1, "{v}");
+        assert!(r.headers.iter().any(|(k, _)| *k == "retry-after"), "{:?}", r.headers);
+
+        // A retry inside the backoff window fast-rejects with 503 too.
+        let r = route(&post("/api/datasets/frail-net/edges", batch2), &e);
+        assert_eq!(r.status, StatusCode::ServiceUnavailable);
+
+        // Reads keep serving: stats (with the degraded object), health
+        // (flipped to "degraded" with the dataset listed), and a query.
+        let stats = route(&get("/api/datasets/frail-net/stats"), &e);
+        assert_eq!(stats.status, StatusCode::Ok);
+        let sv: serde_json::Value = serde_json::from_slice(&stats.body).unwrap();
+        assert_eq!(sv["degraded"]["dataset"], "frail-net");
+        assert!(sv["degraded"]["failures"].as_u64().unwrap() >= 1);
+        let h = route(&get("/api/health"), &e);
+        assert_eq!(h.status, StatusCode::Ok);
+        let hv: serde_json::Value = serde_json::from_slice(&h.body).unwrap();
+        assert_eq!(hv["status"], "degraded");
+        assert_eq!(hv["degraded_datasets"][0]["dataset"], "frail-net");
+        let spec = r#"{
+            "dataset": "frail-net",
+            "params": {"algorithm": "personalized_page_rank"},
+            "source": "seed",
+            "top_k": 3
+        }"#;
+        let req = Request {
+            method: Method::Post,
+            path: "/api/tasks".into(),
+            query: "sync=1".into(),
+            headers: HashMap::new(),
+            body: spec.as_bytes().to_vec(),
+        };
+        assert_eq!(route(&req, &e).status, StatusCode::Ok, "reads serve while degraded");
+
+        // After the backoff elapses the probe mutation succeeds and
+        // health recovers.
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let r = route(&post("/api/datasets/frail-net/edges", batch2), &e);
+        assert_eq!(r.status, StatusCode::Ok, "{}", body_str(&r));
+        let hv: serde_json::Value =
+            serde_json::from_slice(&route(&get("/api/health"), &e).body).unwrap();
+        assert_eq!(hv["status"], "ok");
+        assert!(hv["degraded_datasets"].as_array().unwrap().is_empty(), "{hv}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

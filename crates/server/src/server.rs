@@ -154,7 +154,8 @@ mod tests {
         let resp =
             request(h.addr(), "GET /api/health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 200"));
-        assert!(resp.contains(r#"{"status":"ok"}"#));
+        assert!(resp.contains(r#""status":"ok""#));
+        assert!(resp.contains(r#""degraded_datasets":[]"#));
         h.stop();
     }
 

@@ -11,8 +11,9 @@
 //! replayed batch reproduced the original state transition exactly.
 
 use crate::frame::{frame_len, read_frame, write_frame, FrameRead};
+use crate::vfs::{StdFs, Vfs, VfsFile};
 use serde::{Deserialize, Serialize};
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 
@@ -153,7 +154,7 @@ pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
 /// damaged records would bury them.
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     records: u64,
     bytes: u64,
@@ -163,13 +164,18 @@ pub struct JournalWriter {
 impl JournalWriter {
     /// Opens (creating if absent) the journal at `path` for appending.
     pub fn open(path: &Path) -> std::io::Result<JournalWriter> {
+        JournalWriter::open_with_vfs(path, &StdFs)
+    }
+
+    /// [`Self::open`] over an explicit write-side backend.
+    pub fn open_with_vfs(path: &Path, vfs: &dyn Vfs) -> std::io::Result<JournalWriter> {
         let scan = scan_journal(path)?;
         match scan.tail {
             TailState::Clean => {}
             TailState::Torn { .. } => {
                 // Drop the interrupted append; its batch was never
                 // acknowledged, so the valid prefix is the true history.
-                let f = OpenOptions::new().write(true).open(path)?;
+                let mut f = vfs.open_write(path)?;
                 f.set_len(scan.valid_bytes)?;
                 f.sync_data()?;
             }
@@ -180,7 +186,7 @@ impl JournalWriter {
                 )));
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let file = vfs.open_append(path)?;
         Ok(JournalWriter {
             file,
             path: path.to_path_buf(),
@@ -193,6 +199,9 @@ impl JournalWriter {
     /// Appends one record and fsyncs it (write-ahead durability point).
     ///
     /// Rejects versions that do not advance past the previous record.
+    /// On any I/O failure the file is rolled back (best-effort) to its
+    /// pre-append length, so a torn or synced-but-unacknowledged frame is
+    /// not left behind for recovery to replay as if it had been committed.
     pub fn append(&mut self, record: &JournalRecord) -> std::io::Result<()> {
         if let Some(last) = self.last_version {
             if record.version <= last {
@@ -205,8 +214,14 @@ impl JournalWriter {
         }
         let payload = serde_json::to_vec(record)
             .map_err(|e| std::io::Error::other(format!("encode journal record: {e}")))?;
-        write_frame(&mut self.file, &payload)?;
-        self.file.sync_data()?;
+        let result = write_frame(&mut self.file, &payload).and_then(|()| self.file.sync_data());
+        if let Err(e) = result {
+            // Best-effort rollback: if truncation also fails (crashed
+            // backend, dead disk), reopening repairs the torn tail and
+            // recovery truncates it — the frame was never acknowledged.
+            let _ = self.file.set_len(self.bytes);
+            return Err(e);
+        }
         self.records += 1;
         self.bytes += frame_len(payload.len());
         self.last_version = Some(record.version);
@@ -232,6 +247,7 @@ impl JournalWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn temp_path(tag: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -327,6 +343,52 @@ mod tests {
         assert_eq!(scan.tail, TailState::Corrupt { at_byte: first, at_record: 1 });
         assert_eq!(scan.records.len(), 1);
         assert!(JournalWriter::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_sync_rolls_back_the_unacked_frame() {
+        use crate::vfs::{FaultInjector, FaultKind, FaultPlan};
+        let path = temp_path("rollback");
+        let inj = FaultInjector::default();
+        let mut w = JournalWriter::open_with_vfs(&path, &inj).unwrap();
+        w.append(&rec(1, 1)).unwrap();
+        let keep = w.bytes();
+        // An append is ops [write len, write crc, write payload, fsync]:
+        // fail the fsync, after the full frame reached the file.
+        inj.arm(FaultPlan::one(3, FaultKind::FailSync));
+        assert!(w.append(&rec(2, 1)).is_err());
+        drop(w);
+        // Rollback truncated the synced-but-unacknowledged frame.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.tail, TailState::Clean);
+        assert_eq!(scan.records.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_append_under_injection_repairs_on_reopen() {
+        use crate::vfs::{FaultInjector, FaultKind, FaultPlan};
+        let path = temp_path("torninj");
+        let inj = FaultInjector::default();
+        let mut w = JournalWriter::open_with_vfs(&path, &inj).unwrap();
+        w.append(&rec(1, 1)).unwrap();
+        let keep = w.bytes();
+        // Crash on the payload write: header + half payload land on disk
+        // and the rollback truncation fails too (backend is frozen).
+        inj.arm(FaultPlan::one(2, FaultKind::Crash));
+        assert!(w.append(&rec(2, 1)).is_err());
+        drop(w);
+        assert!(std::fs::metadata(&path).unwrap().len() > keep);
+        let scan = scan_journal(&path).unwrap();
+        assert!(matches!(scan.tail, TailState::Torn { .. }));
+        // A clean reopen (the restarted process) repairs the tail.
+        let mut w = JournalWriter::open(&path).unwrap();
+        assert_eq!(w.records(), 1);
+        assert_eq!(w.last_version(), Some(1));
+        w.append(&rec(2, 1)).unwrap();
+        assert_eq!(scan_journal(&path).unwrap().records.len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -22,6 +22,7 @@ pub mod image;
 pub mod journal;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 
 pub use digest::{graph_digest, Fnv64};
 pub use image::{
@@ -34,3 +35,4 @@ pub use snapshot::{
     decode_snapshot, encode_snapshot, SnapshotError, SnapshotMeta, SNAPSHOT_VERSION_BYTE,
 };
 pub use store::{DatasetStore, DatasetVerify, RecoveredDataset, StoreError, StoreStats};
+pub use vfs::{Fault, FaultInjector, FaultKind, FaultPlan, StdFs, Vfs, VfsFile};

@@ -20,17 +20,20 @@
 
 use crate::journal::{scan_journal, JournalRecord, JournalWriter, TailState};
 use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotError, SnapshotMeta};
+use crate::vfs::{StdFs, Vfs};
 use relgraph::DirectedGraph;
 use serde::Serialize;
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::{BufReader, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 const SNAPSHOT_FILE: &str = "snapshot.bin";
 const JOURNAL_FILE: &str = "journal.log";
 const IMAGE_FILE: &str = "image.bin";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+const IMAGE_TMP: &str = "image.tmp";
 
 /// Errors surfaced by [`DatasetStore`].
 #[derive(Debug)]
@@ -159,15 +162,26 @@ fn sanitize(id: &str) -> String {
 #[derive(Debug)]
 pub struct DatasetStore {
     root: PathBuf,
+    vfs: Arc<dyn Vfs>,
     writers: Mutex<HashMap<String, JournalWriter>>,
 }
 
 impl DatasetStore {
     /// Opens (creating if needed) a store rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<DatasetStore> {
+        DatasetStore::open_with_vfs(root, Arc::new(StdFs))
+    }
+
+    /// [`Self::open`] over an explicit write-side backend — production
+    /// code uses [`StdFs`]; fault-injection tests and the scenario
+    /// harness pass a [`crate::vfs::FaultInjector`].
+    pub fn open_with_vfs(
+        root: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+    ) -> std::io::Result<DatasetStore> {
         let root = root.into();
-        std::fs::create_dir_all(&root)?;
-        Ok(DatasetStore { root, writers: Mutex::new(HashMap::new()) })
+        vfs.create_dir_all(&root)?;
+        Ok(DatasetStore { root, vfs, writers: Mutex::new(HashMap::new()) })
     }
 
     /// The store's root directory.
@@ -234,15 +248,15 @@ impl DatasetStore {
     ) -> std::io::Result<()> {
         let mut writers = self.writers.lock().expect("store writer lock");
         let dir = self.dir(id);
-        std::fs::create_dir_all(&dir)?;
+        self.vfs.create_dir_all(&dir)?;
         let bytes = encode_snapshot(id, graph, version);
-        let tmp = dir.join("snapshot.tmp");
+        let tmp = dir.join(SNAPSHOT_TMP);
         {
-            let mut f = File::create(&tmp)?;
+            let mut f = self.vfs.create(&tmp)?;
             f.write_all(&bytes)?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, self.snapshot_path(id))?;
+        self.vfs.rename(&tmp, &self.snapshot_path(id))?;
         if crate::image::weights_f32_exact(graph) {
             self.write_image(id, &relgraph::CompactGraph::from_csr(graph), version)?;
         } else {
@@ -250,8 +264,8 @@ impl DatasetStore {
         }
         // Rotation: the journal's history is folded into the snapshot.
         writers.remove(id);
-        match OpenOptions::new().write(true).open(self.journal_path(id)) {
-            Ok(f) => {
+        match self.vfs.open_write(&self.journal_path(id)) {
+            Ok(mut f) => {
                 f.set_len(0)?;
                 f.sync_data()?;
             }
@@ -272,15 +286,15 @@ impl DatasetStore {
         version: u64,
     ) -> std::io::Result<()> {
         let dir = self.dir(id);
-        std::fs::create_dir_all(&dir)?;
+        self.vfs.create_dir_all(&dir)?;
         let bytes = crate::image::encode_image(id, graph, version);
-        let tmp = dir.join("image.tmp");
+        let tmp = dir.join(IMAGE_TMP);
         {
-            let mut f = File::create(&tmp)?;
+            let mut f = self.vfs.create(&tmp)?;
             f.write_all(&bytes)?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, self.image_path(id))
+        self.vfs.rename(&tmp, &self.image_path(id))
     }
 
     /// Loads `id`'s dataset image, or `None` when absent. Decode failures
@@ -301,7 +315,7 @@ impl DatasetStore {
 
     /// Removes `id`'s dataset image (stale or damaged); missing is fine.
     pub fn drop_image(&self, id: &str) -> std::io::Result<()> {
-        match std::fs::remove_file(self.image_path(id)) {
+        match self.vfs.remove_file(&self.image_path(id)) {
             Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
             _ => Ok(()),
         }
@@ -314,13 +328,21 @@ impl DatasetStore {
     pub fn append_batch(&self, id: &str, record: &JournalRecord) -> std::io::Result<u64> {
         let mut writers = self.writers.lock().expect("store writer lock");
         if !writers.contains_key(id) {
-            std::fs::create_dir_all(self.dir(id))?;
-            let w = JournalWriter::open(&self.journal_path(id))?;
+            self.vfs.create_dir_all(&self.dir(id))?;
+            let w = JournalWriter::open_with_vfs(&self.journal_path(id), self.vfs.as_ref())?;
             writers.insert(id.to_string(), w);
         }
         let w = writers.get_mut(id).expect("writer just inserted");
-        w.append(record)?;
-        Ok(w.records())
+        match w.append(record) {
+            Ok(()) => Ok(w.records()),
+            Err(e) => {
+                // Drop the cached writer: the next append reopens the
+                // journal, which re-scans and repairs any torn tail the
+                // failed append (or its failed rollback) left behind.
+                writers.remove(id);
+                Err(e)
+            }
+        }
     }
 
     /// Recovers `id`'s durable state: snapshot plus the journal tail.
@@ -337,6 +359,10 @@ impl DatasetStore {
     /// back to the snapshot — the image is an accelerator, never the
     /// durability root.
     pub fn load(&self, id: &str) -> Result<Option<RecoveredDataset>, StoreError> {
+        // Crash hygiene first: a crash between temp-write and rename can
+        // strand `snapshot.tmp`/`image.tmp`; they are unpublished (the
+        // rename never happened) so recovery deletes them unconditionally.
+        self.remove_orphan_temps(id)?;
         let (meta, base, from_image) = match self.load_base(id) {
             Ok(Some(loaded)) => loaded,
             Ok(None) => return Ok(None),
@@ -347,7 +373,7 @@ impl DatasetStore {
         let truncated_bytes = match scan.tail {
             TailState::Clean => 0,
             TailState::Torn { truncated_bytes } => {
-                let f = OpenOptions::new().write(true).open(&journal)?;
+                let mut f = self.vfs.open_write(&journal)?;
                 f.set_len(scan.valid_bytes)?;
                 f.sync_data()?;
                 truncated_bytes
@@ -373,6 +399,19 @@ impl DatasetStore {
             truncated_bytes,
             from_image,
         }))
+    }
+
+    /// Deletes any `*.tmp` files a crash stranded in `id`'s directory.
+    fn remove_orphan_temps(&self, id: &str) -> std::io::Result<()> {
+        let dir = self.dir(id);
+        for name in [SNAPSHOT_TMP, IMAGE_TMP] {
+            match self.vfs.remove_file(&dir.join(name)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     /// Materializes the base graph for [`Self::load`]: the image fast path
@@ -485,7 +524,9 @@ fn read_snapshot_meta(path: &Path) -> Result<SnapshotMeta, SnapshotError> {
 mod tests {
     use super::*;
     use crate::journal::{WireOp, OP_ADD};
+    use crate::vfs::{FaultInjector, FaultKind, FaultPlan};
     use relgraph::GraphBuilder;
+    use std::fs::OpenOptions;
 
     fn temp_root(tag: &str) -> PathBuf {
         use std::time::{SystemTime, UNIX_EPOCH};
@@ -687,6 +728,52 @@ mod tests {
         let loaded = store.load("ds").unwrap().unwrap();
         assert!(!loaded.from_image);
         assert!(!store.has_image("ds"), "damaged image should be deleted");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn crash_at_rename_boundary_strands_tmp_and_recovery_cleans_it() {
+        let root = temp_root("renameboundary");
+        let store = DatasetStore::open(&root).unwrap();
+        store.write_snapshot("ds", &graph(), 0).unwrap();
+        store.append_batch("ds", &rec(1)).unwrap();
+        drop(store);
+        // Reopen over an injector and crash at exactly the temp-write →
+        // rename boundary of the next rotation. Rotation ops from here:
+        // 0 = create_dir_all, 1 = create tmp, 2 = write, 3 = sync_all,
+        // 4 = the publishing rename.
+        let inj = FaultInjector::default();
+        let store = DatasetStore::open_with_vfs(&root, Arc::new(inj.clone())).unwrap();
+        inj.arm(FaultPlan::one(4, FaultKind::Crash));
+        assert!(store.write_snapshot("ds", &graph(), 1).is_err());
+        drop(store);
+        let dir = root.join("ds");
+        assert!(dir.join(SNAPSHOT_TMP).exists(), "crash should strand the temp file");
+        // The restarted process opens a fresh store over the real fs.
+        let store = DatasetStore::open(&root).unwrap();
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert_eq!(loaded.snapshot_version, 0, "old snapshot stays authoritative");
+        assert_eq!(loaded.tail.len(), 1, "acknowledged batch survives");
+        assert!(!dir.join(SNAPSHOT_TMP).exists(), "recovery removes the orphan");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn enospc_append_fails_clean_and_the_next_append_recovers() {
+        let root = temp_root("enospc");
+        let inj = FaultInjector::default();
+        let store = DatasetStore::open_with_vfs(&root, Arc::new(inj.clone())).unwrap();
+        store.write_snapshot("ds", &graph(), 0).unwrap();
+        store.append_batch("ds", &rec(1)).unwrap();
+        let keep = std::fs::metadata(store.journal_path("ds")).unwrap().len();
+        inj.arm(FaultPlan::one(0, FaultKind::Enospc));
+        let err = store.append_batch("ds", &rec(2)).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "{err}");
+        assert_eq!(std::fs::metadata(store.journal_path("ds")).unwrap().len(), keep);
+        // The evicted writer reopens and appending resumes cleanly.
+        store.append_batch("ds", &rec(2)).unwrap();
+        let loaded = store.load("ds").unwrap().unwrap();
+        assert_eq!(loaded.tail.len(), 2);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -80,3 +80,10 @@ if [ "$BEFORE" != "$AFTER" ]; then
 fi
 
 echo "kill-and-recover smoke OK: [$AFTER] survived SIGKILL bit-for-bit"
+
+# Once more under an injected-ENOSPC plan: the scenario harness fills the
+# disk mid-journal-append and demands the mutation is rejected (not
+# half-acked), reads keep serving, and recovery loses nothing.
+"$BIN" scenario run scenarios/enospc-smoke.json --seed 1 --variants 0
+
+echo "injected-ENOSPC scenario OK: rejected cleanly, reads served, state recovered"
