@@ -231,6 +231,18 @@ pub enum Command {
         /// Emit JSON instead of a table.
         json: bool,
     },
+    /// `lint [root]`: run the project's static-analysis rules
+    /// (`rellint`) over the workspace; exits non-zero on any finding
+    /// outside the committed baseline.
+    Lint {
+        /// Workspace root to lint (default: current directory).
+        root: String,
+        /// Baseline file of frozen findings (`--baseline`); default:
+        /// `<root>/rellint.baseline` when that file exists.
+        baseline: Option<String>,
+        /// Emit the JSON report instead of text.
+        json: bool,
+    },
 }
 
 /// Collects `--key value` pairs and bare flags from an argument list.
@@ -314,7 +326,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     // a positional path; peel it off before flag parsing (which accepts
     // only `--flag` tokens).
     let mut positional = None;
-    if matches!(cmd, "replay" | "journal-verify" | "scenario-run") {
+    if matches!(cmd, "replay" | "journal-verify" | "scenario-run" | "lint") {
         if let Some((first, tail)) = rest.split_first() {
             if !first.starts_with("--") {
                 positional = Some(first.clone());
@@ -510,6 +522,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             flags.finish()?;
             Command::ScenarioRun { path, seed, variants, max, dump_dir, no_shrink, json }
         }
+        "lint" => {
+            let root = positional.or_else(|| flags.take("root")).unwrap_or_else(|| ".".into());
+            let baseline = flags.take("baseline");
+            let json = flags.has_switch("json");
+            flags.finish()?;
+            Command::Lint { root, baseline, json }
+        }
         other => return Err(format!("unknown command {other:?}\n{}", usage())),
     };
     Ok(Cli { command })
@@ -518,7 +537,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
 /// Usage text.
 pub fn usage() -> String {
     "usage: relrank <command> [flags]\n\
-     commands: list-datasets, algorithms, stats, run, batch, mutate, compare, compare-datasets, convert, visualize, serve, replay, journal verify, scenario run\n\
+     commands: list-datasets, algorithms, stats, run, batch, mutate, compare, compare-datasets, convert, visualize, serve, replay, journal verify, scenario run, lint\n\
      see crate docs for per-command flags"
         .to_string()
 }
@@ -845,6 +864,22 @@ mod tests {
         }
         // --top-k without the before/after query would be dead weight.
         assert!(parse("mutate --dataset d --add A->B --top-k 3").is_err());
+    }
+
+    #[test]
+    fn lint_parses_root_baseline_and_json() {
+        let cli = parse("lint").unwrap();
+        assert_eq!(cli.command, Command::Lint { root: ".".into(), baseline: None, json: false });
+        let cli = parse("lint /work/repo --baseline debt.tsv --json").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Lint {
+                root: "/work/repo".into(),
+                baseline: Some("debt.tsv".into()),
+                json: true,
+            }
+        );
+        assert!(parse("lint . --bogus v").is_err());
     }
 
     #[test]

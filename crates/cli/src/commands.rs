@@ -879,6 +879,53 @@ pub fn scenario_run(path: &str, opts: ScenarioRunOptions) -> Result<String, crat
     }
 }
 
+/// `lint [root]`: run the project's static-analysis rules over the
+/// workspace's first-party crates. A finding outside the baseline exits
+/// 1; a root without a `crates/` directory exits 3; everything clean
+/// exits 0. With `--json` the full report (findings, suppression and
+/// baseline counters) is printed for CI artifacts.
+pub fn lint(root: &str, baseline: Option<&str>, json: bool) -> Result<String, crate::CliError> {
+    let root_path = std::path::Path::new(root);
+    if !root_path.join("crates").is_dir() {
+        return Err(crate::CliError::with_code(
+            3,
+            format!("{root} has no crates/ directory to lint"),
+        ));
+    }
+    // Default baseline: <root>/rellint.baseline, when present.
+    let default_baseline = root_path.join("rellint.baseline");
+    let baseline_path = match baseline {
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => default_baseline.exists().then_some(default_baseline),
+    };
+    let baseline = match &baseline_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| {
+                crate::CliError::with_code(3, format!("cannot read baseline {}: {e}", p.display()))
+            })?;
+            rellint::parse_baseline(&text).map_err(|e| crate::CliError::with_code(2, e))?
+        }
+        None => Vec::new(),
+    };
+    let ws = rellint::Workspace::load(root_path).map_err(|e| e.to_string())?;
+    let report = ws.run(&baseline);
+    let out = if json { report.render_json() } else { report.render_text() };
+    if report.is_clean() {
+        Ok(out)
+    } else if json {
+        // The JSON report goes to stdout even on failure so CI can
+        // redirect it into an artifact; the exit code carries the verdict.
+        println!("{out}");
+        Err(crate::CliError::from(format!("lint failed: {} finding(s)", report.findings.len())))
+    } else {
+        Err(crate::CliError::from(format!(
+            "{out}lint failed; fix the findings, add a reasoned \
+             `// rellint: allow(<rule>) -- <reason>` pragma, or freeze existing debt as \
+             `rule<TAB>path<TAB>source text` lines in rellint.baseline"
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,7 @@
 //! relrank journal verify <dir> [--json]
 //! relrank scenario run <file|dir> [--seed <n>] [--variants <n>] [--max <n>]
 //!                      [--dump-dir <dir>] [--no-shrink] [--json]
+//! relrank lint [root] [--baseline <file>] [--json]
 //! ```
 //!
 //! ## Exit codes
@@ -102,6 +103,7 @@ pub fn run(cli: Cli) -> Result<String, CliError> {
                 commands::ScenarioRunOptions { seed, variants, max, dump_dir, no_shrink, json },
             )
         }
+        Command::Lint { root, baseline, json } => commands::lint(&root, baseline.as_deref(), json),
     }
 }
 

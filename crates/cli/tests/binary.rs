@@ -283,3 +283,71 @@ fn compare_datasets_table3_columns() {
     assert!(stdout.contains("Disinformazione"));
     assert!(stdout.contains("Dezinformacja"));
 }
+
+#[test]
+fn lint_fails_on_a_seeded_violation_and_passes_when_fixed() {
+    // A miniature workspace with one serving-path unwrap: the lint must
+    // exit 1 and name the rule. This is the CI-blocking contract, proven
+    // on a fixture instead of by breaking HEAD.
+    let dir = std::env::temp_dir().join(format!("relrank-bin-lint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let src_dir = dir.join("crates").join("server").join("src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("routes.rs"),
+        "pub fn handle(req: Request) -> Response { req.body().unwrap() }\n",
+    )
+    .unwrap();
+    let dir_s = dir.to_str().unwrap();
+    let (code, _, stderr) = relrank(&["lint", dir_s]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("panic-hygiene"), "{stderr}");
+
+    // JSON mode: the full report lands on stdout (the CI artifact) even
+    // though the process still fails.
+    let (code, stdout, stderr) = relrank(&["lint", dir_s, "--json"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stdout.contains("\"rule\": \"panic-hygiene\""), "{stdout}");
+    let parsed: Result<serde_json::Value, _> = serde_json::from_str(stdout.trim());
+    assert!(parsed.is_ok(), "artifact must be pure JSON: {stdout}");
+
+    // Fixing the violation turns the exit green.
+    std::fs::write(
+        src_dir.join("routes.rs"),
+        "pub fn handle(req: Request) -> Result<Response, Error> { Ok(respond(req.body()?)) }\n",
+    )
+    .unwrap();
+    let (code, stdout, stderr) = relrank(&["lint", dir_s]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lint_missing_root_exits_3_and_bad_baseline_exits_2() {
+    let dir = std::env::temp_dir().join(format!("relrank-bin-lint-nodir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (code, _, stderr) = relrank(&["lint", dir.to_str().unwrap()]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("no crates/ directory"), "{stderr}");
+
+    // A malformed baseline is a usage error, not a silent un-freeze.
+    std::fs::create_dir_all(dir.join("crates").join("x").join("src")).unwrap();
+    std::fs::write(dir.join("crates").join("x").join("src").join("lib.rs"), "pub fn f() {}\n")
+        .unwrap();
+    let bad = dir.join("bad.baseline");
+    std::fs::write(&bad, "not a baseline line\n").unwrap();
+    let (code, _, stderr) =
+        relrank(&["lint", dir.to_str().unwrap(), "--baseline", bad.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lint_on_this_workspace_is_clean() {
+    // HEAD must lint clean: zero findings outside the committed baseline.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let (code, stdout, stderr) = relrank(&["lint", root]);
+    assert_eq!(code, 0, "lint must be clean at HEAD\n{stdout}{stderr}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}

@@ -256,6 +256,7 @@ pub struct AlgorithmParams {
     /// Worker threads for the parallel kernel scheme; 0 = all available
     /// cores (clamped to available parallelism and node count).
     #[serde(default)]
+    // rellint: allow(cache-key) -- thread count changes wall time, never the result
     pub threads: usize,
     /// Record per-iteration residuals ([`ConvergenceTrace`]) in the
     /// output.

@@ -127,6 +127,7 @@ impl TaskBuilder {
     pub fn build(self) -> Result<TaskSpec, EngineError> {
         let registered = AlgorithmRegistry::global()
             .get(self.algorithm.id())
+            // rellint: allow(panic-hygiene) -- the global registry seeds every built-in id at init
             .expect("built-in algorithms are always registered");
         if registered.is_personalized() && self.source.is_none() {
             return Err(EngineError::MissingSource);

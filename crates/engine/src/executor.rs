@@ -25,7 +25,7 @@ use relcore::{
 };
 use relgraph::{CompactGraph, DirectedGraph, DynamicGraph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::str::FromStr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -225,11 +225,11 @@ pub struct Executor {
     /// steady-state traffic re-sweeps warm buffers sized for that graph
     /// instead of allocating per request. Shared across worker threads
     /// and batches (the arena itself is `Sync`).
-    arenas: Mutex<HashMap<String, Arc<SolverArena>>>,
+    arenas: Mutex<BTreeMap<String, Arc<SolverArena>>>,
     /// Datasets whose durable store is failing: mutations fast-reject
     /// with [`EngineError::Degraded`] until the exponential-backoff
     /// re-probe window elapses; reads are unaffected.
-    degraded: Mutex<HashMap<String, DegradedState>>,
+    degraded: Mutex<BTreeMap<String, DegradedState>>,
     /// Base of the degraded-mode backoff (configurable so tests don't
     /// sleep wall-clock seconds).
     degraded_backoff: Mutex<Duration>,
@@ -257,8 +257,8 @@ impl Executor {
             compacts: Mutex::new(HashMap::new()),
             results: ResultCache::new(capacity),
             persist: None,
-            arenas: Mutex::new(HashMap::new()),
-            degraded: Mutex::new(HashMap::new()),
+            arenas: Mutex::new(BTreeMap::new()),
+            degraded: Mutex::new(BTreeMap::new()),
             degraded_backoff: Mutex::new(DEFAULT_DEGRADED_BACKOFF),
         }
     }
@@ -779,7 +779,15 @@ impl Executor {
                 slots[i] = Some(r);
             }
         }
-        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+        slots
+            .into_iter()
+            .zip(ids)
+            .map(|(s, id)| {
+                s.ok_or_else(|| {
+                    EngineError::TaskFailed(format!("batch left slot for task {id} unfilled"))
+                })
+            })
+            .collect()
     }
 }
 

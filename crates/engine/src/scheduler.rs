@@ -83,6 +83,7 @@ impl SchedulerBuilder {
     /// (corrupt journal, unreadable snapshot); use
     /// [`SchedulerBuilder::try_build`] to handle that gracefully.
     pub fn build(self) -> Scheduler {
+        // rellint: allow(panic-hygiene) -- documented contract: build() panics, try_build() is the fallible twin
         self.try_build().expect("scheduler build")
     }
 

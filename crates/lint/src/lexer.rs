@@ -1,0 +1,460 @@
+//! A lightweight Rust lexer: just enough tokenization for rule scanning.
+//!
+//! The lint rules only need to see identifiers, punctuation, and literal
+//! *boundaries* — never the contents of a string or a comment (a
+//! `panic!` inside a doc comment or a raw string must not trip the panic
+//! rule). That makes the hard part of this lexer exactly the places
+//! where naive regex scanning goes wrong:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth) and their byte
+//!   variants, which contain no escapes and may contain `"`;
+//! * nested block comments (`/* /* */ */` — Rust block comments nest);
+//! * `'a` lifetimes vs `'a'` char literals;
+//! * raw identifiers (`r#type` lexes as the identifier `type`).
+//!
+//! Comments are kept as tokens (with their text) because the suppression
+//! pragma parser reads them; rule scanning runs over the comment-free
+//! token stream the scanner extracts.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are normalized: `r#type`
+    /// lexes as `type`).
+    Ident,
+    /// A lifetime (`'a`), including the quote in its text.
+    Lifetime,
+    /// Numeric literal (loosely lexed: digits plus trailing alphanumeric
+    /// suffix characters).
+    Num,
+    /// String literal of any flavor (plain, raw, byte, raw-byte). The
+    /// text is the *delimiters-stripped* content.
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` comment (text excludes the slashes).
+    LineComment,
+    /// `/* … */` comment, nesting folded in (text excludes delimiters).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for normalization).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `src` into a token stream (comments included).
+///
+/// The lexer never fails: unterminated literals and stray bytes degrade
+/// to best-effort tokens so the lint can still scan a file that `rustc`
+/// would reject — findings on such files are better than a crash.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // both slashes
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    /// Block comments nest in Rust: `/* outer /* inner */ still outer */`
+    /// is one comment. Track the depth.
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // "/*"
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Plain (escaped) string literal body.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// `'a` (lifetime) vs `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            // Escape: definitely a char literal.
+            Some('\\') => {
+                let mut text = String::new();
+                text.push(self.bump().unwrap_or('\\'));
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokenKind::Char, text, line);
+            }
+            // Identifier-ish start: lifetime unless a closing quote
+            // follows exactly one ident char ('a' is a char, 'ab is a
+            // lifetime, 'a> is a lifetime).
+            Some(c) if is_ident_start(c) => {
+                let mut name = String::new();
+                name.push(c);
+                self.bump();
+                while let Some(n) = self.peek(0) {
+                    if is_ident_continue(n) {
+                        name.push(n);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if name.chars().count() == 1 && self.peek(0) == Some('\'') {
+                    self.bump(); // closing quote
+                    self.push(TokenKind::Char, name, line);
+                } else {
+                    self.push(TokenKind::Lifetime, format!("'{name}"), line);
+                }
+            }
+            // Something like '(' — a char literal of punctuation.
+            Some(_) => {
+                let mut text = String::new();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokenKind::Char, text, line);
+            }
+            None => self.push(TokenKind::Punct, "'".into(), line),
+        }
+    }
+
+    /// Dispatches the `r` / `b` prefixes: raw strings (`r"…"`,
+    /// `r#"…"#`), byte strings (`b"…"`), raw byte strings (`br#"…"#`),
+    /// byte chars (`b'x'`), and raw identifiers (`r#type`). Returns via
+    /// having consumed input; a `false` return means "just an ordinary
+    /// identifier starting with r/b" and consumes nothing.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0).unwrap_or(' ');
+        let (skip, rest) = match c0 {
+            'r' => (1, self.peek(1)),
+            'b' if self.peek(1) == Some('r') => (2, self.peek(2)),
+            'b' => (1, self.peek(1)),
+            _ => return false,
+        };
+        match (c0, rest) {
+            // Raw string: r"…" or r#…#"…"#…# (any hash depth), br variants.
+            ('r', Some('"')) | ('r', Some('#')) | ('b', Some('"')) | ('b', Some('#'))
+                if c0 == 'r' || skip == 2 =>
+            {
+                // Count hashes after the prefix.
+                let mut hashes = 0usize;
+                while self.peek(skip + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(skip + hashes) != Some('"') {
+                    // `r#ident` (raw identifier) or bare `r#` — raw
+                    // identifier path: consume prefix + hashes, lex the
+                    // ident normally (normalizing away the prefix).
+                    if c0 == 'r' && hashes == 1 {
+                        for _ in 0..(skip + hashes) {
+                            self.bump();
+                        }
+                        self.ident(line);
+                        return true;
+                    }
+                    return false;
+                }
+                for _ in 0..(skip + hashes + 1) {
+                    self.bump();
+                }
+                let closer: String =
+                    std::iter::once('"').chain("#".repeat(hashes).chars()).collect();
+                let mut text = String::new();
+                loop {
+                    if self.pos >= self.chars.len() {
+                        break;
+                    }
+                    if self.peek(0) == Some('"') {
+                        let tail: String =
+                            (0..=hashes).filter_map(|i| self.peek(i)).collect::<String>();
+                        if tail == closer {
+                            for _ in 0..=hashes {
+                                self.bump();
+                            }
+                            break;
+                        }
+                    }
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                self.push(TokenKind::Str, text, line);
+                true
+            }
+            // Byte string b"…" — plain escaped string with a prefix.
+            ('b', Some('"')) => {
+                self.bump(); // b
+                self.string(line);
+                true
+            }
+            // Byte char b'x'.
+            ('b', Some('\'')) => {
+                self.bump(); // b
+                self.char_or_lifetime(line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Loose: covers ints, floats, hex, separators, suffixes.
+            // `1.method()` is mis-greedy only if the method starts with a
+            // digit, which identifiers cannot.
+            let continues = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if continues {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // A raw string containing what looks like a call must lex as one
+        // Str token — `unwrap` must not surface as an identifier.
+        let src = r##"let x = r#"foo.unwrap() "quoted" bar"#;"##;
+        assert!(!code_idents(src).contains(&"unwrap".to_string()));
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str
+            && t.contains("unwrap")
+            && t.contains("\"quoted\"")));
+    }
+
+    #[test]
+    fn raw_string_hash_depths() {
+        let src = r####"let a = r"x"; let b = r##"y "# z"##;"####;
+        let strs: Vec<_> =
+            lex(src).into_iter().filter(|t| t.kind == TokenKind::Str).map(|t| t.text).collect();
+        assert_eq!(strs, vec!["x".to_string(), "y \"# z".to_string()]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r###"let a = b"bytes"; let b = br#"raw "bytes""#;"###;
+        let strs: Vec<_> =
+            lex(src).into_iter().filter(|t| t.kind == TokenKind::Str).map(|t| t.text).collect();
+        assert_eq!(strs, vec!["bytes".to_string(), "raw \"bytes\"".to_string()]);
+    }
+
+    #[test]
+    fn nested_block_comments_fold_into_one_token() {
+        let src = "a /* outer /* panic!(\"no\") */ tail */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::BlockComment).count(),
+            1,
+            "{toks:?}"
+        );
+        assert!(!code_idents(src).contains(&"panic".to_string()));
+        assert_eq!(code_idents(src), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        let chars: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Char).map(|t| t.text.clone()).collect();
+        assert_eq!(chars, vec!["x".to_string(), "\\n".to_string()]);
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        assert_eq!(code_idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_identifiers() {
+        let src = "let s = \"a.unwrap() // not a comment\"; // but panic!(this) is\n";
+        let idents = code_idents(src);
+        assert!(!idents.contains(&"unwrap".to_string()));
+        assert!(!idents.contains(&"panic".to_string()));
+        assert_eq!(lex(src).iter().filter(|t| t.kind == TokenKind::LineComment).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks = lex(src);
+        let at = |text: &str| toks.iter().find(|t| t.text == text).map(|t| t.line);
+        assert_eq!(at("a"), Some(1));
+        assert_eq!(at("two\nlines"), Some(2));
+        assert_eq!(at("b"), Some(4));
+        assert_eq!(at("e"), Some(5));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        assert!(!lex("let s = \"never closed").is_empty());
+        assert!(!lex("let s = r#\"never closed").is_empty());
+        assert!(!lex("/* never closed").is_empty());
+    }
+}

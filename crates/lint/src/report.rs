@@ -1,0 +1,202 @@
+//! Findings, suppression pragmas, baselines, and rendering.
+//!
+//! The pipeline is: raw findings from the rules → subtract pragma
+//! suppressions (`// rellint: allow(<rule>) -- <reason>` on the finding
+//! line or the line above) → subtract baseline matches (committed debt,
+//! keyed by rule + path + trimmed line text so entries survive
+//! unrelated line-number drift) → whatever is left fails the build.
+//! Malformed pragmas and pragmas naming unknown rules are *errings*,
+//! not silent no-ops — an `allow` that does nothing must not look like
+//! protection.
+
+use crate::rules::RULES;
+use crate::Workspace;
+use serde::Serialize;
+
+/// One rule violation.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Finding {
+    /// Rule name (one of [`RULES`], or `pragma` for pragma errors).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Trimmed source text of the line (also the baseline match key).
+    pub excerpt: String,
+}
+
+/// The result of a lint run, after suppression and baseline filtering.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Findings that survive pragmas and the baseline.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an in-source pragma.
+    pub suppressed: usize,
+    /// Findings matched (and hidden) by the baseline file.
+    pub baseline_matched: usize,
+    /// Baseline entries that matched nothing — stale debt worth pruning.
+    pub baseline_stale: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run should fail the build.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering, one block per finding.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.rule, f.message));
+            if !f.excerpt.is_empty() {
+                out.push_str(&format!("    {}\n", f.excerpt));
+            }
+        }
+        out.push_str(&format!(
+            "rellint: {} finding(s) across {} file(s) ({} suppressed by pragma, {} matched \
+             baseline{})\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.suppressed,
+            self.baseline_matched,
+            if self.baseline_stale > 0 {
+                format!(", {} stale baseline entr(y/ies)", self.baseline_stale)
+            } else {
+                String::new()
+            },
+        ));
+        out
+    }
+
+    /// Machine-readable rendering for CI artifacts.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// One committed-debt entry: `rule \t path \t trimmed line text`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub excerpt: String,
+}
+
+/// Parses a baseline file. Blank lines and `#` comments are ignored.
+/// Malformed lines are returned as errors, not skipped: a typo in the
+/// baseline must not quietly unfreeze debt.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(excerpt)) if !rule.is_empty() && !path.is_empty() => {
+                if !RULES.contains(&rule) {
+                    return Err(format!("baseline line {}: unknown rule `{}`", n + 1, rule));
+                }
+                entries.push(BaselineEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    excerpt: excerpt.trim().to_string(),
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected `rule<TAB>path<TAB>source text`",
+                    n + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Renders findings as baseline lines (the format [`parse_baseline`]
+/// reads) — `relrank lint` prints a hint pointing here so freezing
+/// current debt is copy-paste.
+pub fn to_baseline_lines(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| format!("{}\t{}\t{}", f.rule, f.path, f.excerpt))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Applies pragmas and the baseline to raw findings, and converts
+/// pragma problems (malformed, unknown rule) into findings of their own.
+pub fn finalize(ws: &Workspace, mut raw: Vec<Finding>, baseline: &[BaselineEntry]) -> Report {
+    // Pragma errors first: they are findings regardless of anything else.
+    let mut pragma_errors = Vec::new();
+    for file in &ws.files {
+        for p in &file.pragmas {
+            if let Some(err) = &p.error {
+                pragma_errors.push(Finding {
+                    rule: "pragma".to_string(),
+                    path: file.path.clone(),
+                    line: p.line,
+                    message: format!("malformed suppression pragma: {err}"),
+                    excerpt: file.line_text(p.line).to_string(),
+                });
+            } else if !RULES.contains(&p.rule.as_str()) {
+                pragma_errors.push(Finding {
+                    rule: "pragma".to_string(),
+                    path: file.path.clone(),
+                    line: p.line,
+                    message: format!(
+                        "pragma allows unknown rule `{}` (known rules: {}); a pragma that \
+                         suppresses nothing must error, not silently pass",
+                        p.rule,
+                        RULES.join(", ")
+                    ),
+                    excerpt: file.line_text(p.line).to_string(),
+                });
+            }
+        }
+    }
+    // Pragma suppression: a well-formed pragma for the finding's rule on
+    // the finding's line or the line directly above.
+    let mut suppressed = 0usize;
+    raw.retain(|f| {
+        let hit = ws.files.iter().find(|file| file.path == f.path).is_some_and(|file| {
+            file.pragmas.iter().any(|p| {
+                p.error.is_none() && p.rule == f.rule && (p.line == f.line || p.line + 1 == f.line)
+            })
+        });
+        if hit {
+            suppressed += 1;
+        }
+        !hit
+    });
+    // Baseline matching: multiset over (rule, path, excerpt).
+    let mut budget: Vec<(BaselineEntry, bool)> =
+        baseline.iter().map(|e| (e.clone(), false)).collect();
+    let mut baseline_matched = 0usize;
+    raw.retain(|f| {
+        let slot = budget.iter_mut().find(|(e, used)| {
+            !used && e.rule == f.rule && e.path == f.path && e.excerpt == f.excerpt
+        });
+        match slot {
+            Some((_, used)) => {
+                *used = true;
+                baseline_matched += 1;
+                false
+            }
+            None => true,
+        }
+    });
+    let baseline_stale = budget.iter().filter(|(_, used)| !used).count();
+    let mut findings = pragma_errors;
+    findings.append(&mut raw);
+    findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Report { findings, suppressed, baseline_matched, baseline_stale, files_scanned: ws.files.len() }
+}

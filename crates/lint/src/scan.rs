@@ -1,0 +1,582 @@
+//! File-level structure extraction over the token stream.
+//!
+//! The scanner turns a lexed file into the shape the rules consume:
+//! code tokens (comments stripped), function bodies with their `impl`
+//! context, `#[cfg(test)]` region boundaries, struct field tables (for
+//! the cache-key and determinism rules), and parsed suppression
+//! pragmas. It is deliberately heuristic — a lexical scan, not a parse
+//! tree — but deterministic, and precise enough for the rule scopes it
+//! serves; the suppression pragma is the escape hatch for the rest.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::path::Path;
+
+/// A function item: name, context, body token range.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl` type, when inside an `impl` block.
+    pub impl_type: Option<String>,
+    /// Token index range of the body, **inclusive of both braces**.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` region or annotated `#[test]`.
+    pub is_test: bool,
+}
+
+/// One struct field, as declared.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// Attribute strings attached to the field (`serde ( skip )` style,
+    /// space-joined tokens).
+    pub attrs: Vec<String>,
+    /// The field's type, space-joined tokens.
+    pub ty: String,
+}
+
+/// A struct definition with named fields (tuple structs are skipped —
+/// no rule needs them).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Declared fields in order.
+    pub fields: Vec<Field>,
+}
+
+/// A parsed `// rellint: allow(<rule>) -- <reason>` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rule named inside `allow(…)` (unvalidated here; the report
+    /// layer rejects unknown rules).
+    pub rule: String,
+    /// The stated reason (text after `--`), trimmed.
+    pub reason: String,
+    /// Parse problem, if the pragma is malformed (missing rule or
+    /// reason). Malformed pragmas are *errors*, not silent no-ops.
+    pub error: Option<String>,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug, Clone)]
+pub struct FileIndex {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The raw source lines (baseline entries key on trimmed line text).
+    pub lines: Vec<String>,
+    /// Code tokens: comments stripped.
+    pub tokens: Vec<Token>,
+    /// Function items, in source order (nested functions appear too).
+    pub functions: Vec<Function>,
+    /// Struct definitions with named fields.
+    pub structs: Vec<StructDef>,
+    /// Suppression pragmas found in comments.
+    pub pragmas: Vec<Pragma>,
+    /// Inclusive line ranges under `#[cfg(test)]`.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl FileIndex {
+    /// Scans `src` as the file at `path` (workspace-relative).
+    pub fn scan(path: impl AsRef<Path>, src: &str) -> FileIndex {
+        let path = path.as_ref().to_string_lossy().replace('\\', "/");
+        let all = lex(src);
+        let mut pragmas = Vec::new();
+        for t in &all {
+            if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                if let Some(p) = parse_pragma(t) {
+                    pragmas.push(p);
+                }
+            }
+        }
+        let tokens: Vec<Token> = all
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        let mut index = FileIndex {
+            path,
+            lines: src.lines().map(str::to_string).collect(),
+            tokens,
+            functions: Vec::new(),
+            structs: Vec::new(),
+            pragmas,
+            test_ranges: Vec::new(),
+        };
+        index.walk_items();
+        index
+    }
+
+    /// True when `line` is inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The trimmed source text of 1-based `line` (empty when out of
+    /// range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines.get(line.saturating_sub(1) as usize).map(|s| s.trim()).unwrap_or("")
+    }
+
+    /// Walks the token stream once, extracting items.
+    fn walk_items(&mut self) {
+        let closers = match_braces(&self.tokens);
+        let mut pending_attrs: Vec<String> = Vec::new();
+        let mut impl_stack: Vec<(String, usize)> = Vec::new(); // (type, close index)
+        let mut test_until: Vec<usize> = Vec::new(); // close indices of cfg(test) scopes
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            // Leaving scopes?
+            impl_stack.retain(|&(_, close)| i <= close);
+            test_until.retain(|&close| i <= close);
+            let t = &self.tokens[i];
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "#")
+                    if self.tokens.get(i + 1).is_some_and(|n| n.is_punct('[')) =>
+                {
+                    let (attr, next) = self.capture_attr(i + 1);
+                    pending_attrs.push(attr);
+                    i = next;
+                    continue;
+                }
+                (TokenKind::Ident, "mod") => {
+                    // `mod name { … }` or `mod name;`
+                    let brace = (i + 2 < self.tokens.len()
+                        && self.tokens[i + 1].kind == TokenKind::Ident
+                        && self.tokens[i + 2].is_punct('{'))
+                    .then_some(i + 2);
+                    if let Some(open) = brace {
+                        if attrs_mark_test(&pending_attrs) {
+                            let close = closers[open].unwrap_or(self.tokens.len() - 1);
+                            let from = self.tokens[open].line;
+                            let to = self.tokens[close].line;
+                            self.test_ranges.push((from, to));
+                            test_until.push(close);
+                        }
+                    }
+                    pending_attrs.clear();
+                }
+                (TokenKind::Ident, "impl") => {
+                    if let Some((ty, open)) = self.parse_impl_header(i) {
+                        let close = closers[open].unwrap_or(self.tokens.len() - 1);
+                        impl_stack.push((ty, close));
+                        pending_attrs.clear();
+                        i = open + 1;
+                        continue;
+                    }
+                    pending_attrs.clear();
+                }
+                (TokenKind::Ident, "fn") => {
+                    let is_test = attrs_mark_test(&pending_attrs) || !test_until.is_empty();
+                    if let Some(f) = self.parse_fn(i, &impl_stack, is_test, &closers) {
+                        self.functions.push(f);
+                    }
+                    pending_attrs.clear();
+                }
+                (TokenKind::Ident, "struct") => {
+                    if let Some(s) = self.parse_struct(i, &closers) {
+                        self.structs.push(s);
+                    }
+                    pending_attrs.clear();
+                }
+                (
+                    TokenKind::Ident,
+                    "use" | "let" | "const" | "static" | "type" | "enum" | "trait",
+                ) => {
+                    pending_attrs.clear();
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Captures `[ … ]` starting at the `[` index; returns the
+    /// space-joined text and the index just past the closing `]`.
+    fn capture_attr(&self, open: usize) -> (String, usize) {
+        let mut depth = 0usize;
+        let mut parts = Vec::new();
+        let mut i = open;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            if t.is_punct('[') {
+                depth += 1;
+                if depth == 1 {
+                    i += 1;
+                    continue;
+                }
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return (parts.join(" "), i + 1);
+                }
+            }
+            parts.push(t.text.clone());
+            i += 1;
+        }
+        (parts.join(" "), i)
+    }
+
+    /// From the `impl` keyword, finds the implemented type name and the
+    /// opening brace of the block.
+    fn parse_impl_header(&self, at: usize) -> Option<(String, usize)> {
+        let mut i = at + 1;
+        // Skip generic parameters `<…>`.
+        i = skip_generics(&self.tokens, i);
+        let mut first_ident = None;
+        let mut after_for = None;
+        let mut saw_for = false;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            if t.is_punct('{') {
+                let ty = after_for.or(first_ident)?;
+                return Some((ty, i));
+            }
+            if t.is_punct(';') {
+                return None; // `impl Trait for Type;` — not a block
+            }
+            if t.is_ident("for") {
+                saw_for = true;
+            } else if t.kind == TokenKind::Ident && !t.is_ident("dyn") && !t.is_ident("where") {
+                if saw_for && after_for.is_none() {
+                    after_for = Some(t.text.clone());
+                } else if first_ident.is_none() {
+                    first_ident = Some(t.text.clone());
+                }
+                // Skip this type's own generics.
+                i = skip_generics(&self.tokens, i + 1);
+                continue;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// From the `fn` keyword, extracts name and body (if any — trait
+    /// method declarations without bodies are skipped).
+    fn parse_fn(
+        &self,
+        at: usize,
+        impl_stack: &[(String, usize)],
+        is_test: bool,
+        closers: &[Option<usize>],
+    ) -> Option<Function> {
+        let name = self.tokens.get(at + 1).filter(|t| t.kind == TokenKind::Ident)?.text.clone();
+        // Find the body `{` or a terminating `;` — whichever comes first
+        // outside parens/generics.
+        let mut i = at + 2;
+        let mut paren = 0i32;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct('{') {
+                let close = closers[i]?;
+                return Some(Function {
+                    name,
+                    impl_type: impl_stack.last().map(|(ty, _)| ty.clone()),
+                    body: (i, close),
+                    line: self.tokens[at].line,
+                    is_test: is_test || self.is_test_line(self.tokens[at].line),
+                });
+            } else if paren == 0 && t.is_punct(';') {
+                return None;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// From the `struct` keyword, extracts named fields (returns `None`
+    /// for tuple / unit structs).
+    fn parse_struct(&self, at: usize, closers: &[Option<usize>]) -> Option<StructDef> {
+        let name = self.tokens.get(at + 1).filter(|t| t.kind == TokenKind::Ident)?.text.clone();
+        let line = self.tokens[at].line;
+        // Find `{` before any `;` or `(` (those mean unit/tuple struct).
+        let mut i = at + 2;
+        i = skip_generics(&self.tokens, i);
+        let open = loop {
+            let t = self.tokens.get(i)?;
+            if t.is_punct('{') {
+                break i;
+            }
+            if t.is_punct(';') || t.is_punct('(') {
+                return None;
+            }
+            // `where` clauses may nest generics.
+            i = if t.is_punct('<') { skip_generics(&self.tokens, i) } else { i + 1 };
+        };
+        let close = closers[open]?;
+        let mut fields = Vec::new();
+        let mut attrs: Vec<String> = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            let t = &self.tokens[i];
+            if t.is_punct('#') && self.tokens.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+                let (attr, next) = self.capture_attr(i + 1);
+                attrs.push(attr);
+                i = next;
+                continue;
+            }
+            if t.is_ident("pub") {
+                // Skip visibility, including `pub(crate)`.
+                if self.tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    while i < close && !self.tokens[i].is_punct(')') {
+                        i += 1;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            if t.kind == TokenKind::Ident && self.tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            {
+                let fname = t.text.clone();
+                let fline = t.line;
+                // Type runs to the next top-level `,` or the closing `}`.
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                let mut ty = Vec::new();
+                while j < close {
+                    let tt = &self.tokens[j];
+                    if tt.is_punct('<') || tt.is_punct('(') || tt.is_punct('[') {
+                        depth += 1;
+                    } else if tt.is_punct('>') || tt.is_punct(')') || tt.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && tt.is_punct(',') {
+                        break;
+                    }
+                    ty.push(tt.text.clone());
+                    j += 1;
+                }
+                fields.push(Field {
+                    name: fname,
+                    line: fline,
+                    attrs: std::mem::take(&mut attrs),
+                    ty: ty.join(" "),
+                });
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+        Some(StructDef { name, line, fields })
+    }
+}
+
+/// For each token index, the index of the matching close brace when the
+/// token is `{`.
+fn match_braces(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut out = vec![None; tokens.len()];
+    let mut stack = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                out[open] = Some(i);
+            }
+        }
+    }
+    out
+}
+
+/// Skips a balanced `<…>` group starting at `i` (returns `i` unchanged
+/// when the token there is not `<`).
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    if !tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct('<') {
+            depth += 1;
+        } else if tokens[j].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Whether any pending attribute marks the next item as test-only:
+/// `#[test]`, `#[cfg(test)]`, or a `cfg_attr`/`cfg(all(test, …))`
+/// carrying `test`.
+fn attrs_mark_test(attrs: &[String]) -> bool {
+    attrs.iter().any(|a| {
+        a == "test"
+            || (a.starts_with("cfg")
+                && a.split(|c: char| !c.is_alphanumeric() && c != '_').any(|w| w == "test"))
+    })
+}
+
+/// Parses a comment as a suppression pragma, if it claims to be one.
+fn parse_pragma(comment: &Token) -> Option<Pragma> {
+    let text = comment.text.trim();
+    let rest = text.strip_prefix("rellint:")?.trim();
+    let mut pragma =
+        Pragma { line: comment.line, rule: String::new(), reason: String::new(), error: None };
+    let Some(inner) = rest.strip_prefix("allow") else {
+        pragma.error = Some(format!("pragma must be `allow(<rule>) -- <reason>`, got {rest:?}"));
+        return Some(pragma);
+    };
+    let inner = inner.trim_start();
+    let Some(close) = inner.strip_prefix('(').and_then(|s| s.find(')').map(|p| (s, p))) else {
+        pragma.error = Some("pragma is missing its `(<rule>)` clause".into());
+        return Some(pragma);
+    };
+    let (body, at) = close;
+    pragma.rule = body[..at].trim().to_string();
+    let tail = body[at + 1..].trim();
+    match tail.strip_prefix("--") {
+        Some(reason) if !reason.trim().is_empty() => pragma.reason = reason.trim().to_string(),
+        _ => {
+            pragma.error =
+                Some("pragma needs a reason: `rellint: allow(<rule>) -- <why this is safe>`".into())
+        }
+    }
+    if pragma.rule.is_empty() {
+        pragma.error = Some("pragma names no rule".into());
+    }
+    Some(pragma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_and_impl_context() {
+        let src = "
+            struct S;
+            impl S {
+                fn a(&self) { self.b(); }
+                pub fn b(&self) {}
+            }
+            impl Clone for S {
+                fn clone(&self) -> S { S }
+            }
+            fn free() {}
+        ";
+        let f = FileIndex::scan("x.rs", src);
+        let names: Vec<(String, Option<String>)> =
+            f.functions.iter().map(|f| (f.name.clone(), f.impl_type.clone())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a".into(), Some("S".into())),
+                ("b".into(), Some("S".into())),
+                ("clone".into(), Some("S".into())),
+                ("free".into(), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_boundary() {
+        let src = "
+            fn serving() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() {}
+            }
+            fn also_serving() {}
+        ";
+        let f = FileIndex::scan("x.rs", src);
+        let by_name = |n: &str| f.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("serving").is_test);
+        assert!(by_name("helper").is_test, "inside cfg(test) mod");
+        assert!(by_name("case").is_test);
+        assert!(!by_name("also_serving").is_test, "region must end at the mod's close brace");
+    }
+
+    #[test]
+    fn test_attr_marks_single_fn() {
+        let src = "
+            #[test]
+            fn case() {}
+            fn live() {}
+        ";
+        let f = FileIndex::scan("x.rs", src);
+        assert!(f.functions[0].is_test);
+        assert!(!f.functions[1].is_test);
+    }
+
+    #[test]
+    fn struct_fields_with_attrs_and_types() {
+        let src = "
+            pub struct TaskSpec {
+                pub dataset: String,
+                #[serde(default = \"default_top_k\")]
+                pub top_k: usize,
+                #[serde(skip)]
+                scratch: Vec<u8>,
+                map: HashMap<String, (u64, u64)>,
+            }
+        ";
+        let f = FileIndex::scan("x.rs", src);
+        let s = &f.structs[0];
+        assert_eq!(s.name, "TaskSpec");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["dataset", "top_k", "scratch", "map"]);
+        assert!(s.fields[1].attrs[0].contains("serde"));
+        assert!(s.fields[2].attrs[0].contains("skip"));
+        assert!(s.fields[3].ty.contains("HashMap"));
+    }
+
+    #[test]
+    fn pragma_parses_rule_and_reason() {
+        let src = "// rellint: allow(panic-hygiene) -- bound listener always has an address\n";
+        let f = FileIndex::scan("x.rs", src);
+        let p = &f.pragmas[0];
+        assert_eq!(p.rule, "panic-hygiene");
+        assert!(p.reason.contains("listener"));
+        assert!(p.error.is_none());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_malformed() {
+        let f = FileIndex::scan("x.rs", "// rellint: allow(panic-hygiene)\n");
+        assert!(f.pragmas[0].error.is_some());
+        let f = FileIndex::scan("x.rs", "// rellint: deny(panic-hygiene) -- nope\n");
+        assert!(f.pragmas[0].error.is_some());
+        let f = FileIndex::scan("x.rs", "// rellint: allow() -- empty\n");
+        assert!(f.pragmas[0].error.is_some());
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_pragmas() {
+        let f = FileIndex::scan("x.rs", "// nothing to see\n/* rellint is cool */\n");
+        assert!(f.pragmas.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_inside_test_mod_is_test() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                mod inner {
+                    fn deep() {}
+                }
+            }
+        ";
+        let f = FileIndex::scan("x.rs", src);
+        assert!(f.functions[0].is_test);
+    }
+}

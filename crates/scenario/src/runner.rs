@@ -27,7 +27,7 @@ use relcore::Query;
 use relengine::{BatchSpec, EdgeOp, EdgeSpec, Executor, GraphPersistence, TaskId, TaskSpec};
 use relgraph::{DirectedGraph, NodeId};
 use relstore::{DatasetStore, FaultInjector, FaultPlan};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -118,7 +118,7 @@ struct Harness {
     dir: PathBuf,
     /// Last acknowledged `(version, digest)` per dataset — the durability
     /// baseline recovery is checked against.
-    acked: HashMap<String, (u64, u64)>,
+    acked: BTreeMap<String, (u64, u64)>,
     /// Monotonicity floor for the result-cache counters
     /// `(hits, misses, evictions)`; reset on crash/recover.
     cache_floor: (u64, u64, u64),
@@ -135,7 +135,7 @@ impl Harness {
         ));
         std::fs::create_dir_all(&dir).expect("scenario temp dir");
         let inj = FaultInjector::default();
-        let mut h = Harness { ex: None, inj, dir, acked: HashMap::new(), cache_floor: (0, 0, 0) };
+        let mut h = Harness { ex: None, inj, dir, acked: BTreeMap::new(), cache_floor: (0, 0, 0) };
         h.ex = Some(h.live_executor().expect("fresh store opens cleanly"));
         h
     }
@@ -516,7 +516,7 @@ fn oracle_check(
         None => {
             // Ranking-only algorithms: served labels must exist and be
             // distinct (scores are pseudo-zeros by contract).
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for (label, _) in top {
                 resolve_label(&graph, label).ok_or_else(|| {
                     format!("served label {label:?} does not exist in the current graph")

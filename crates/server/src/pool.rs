@@ -368,6 +368,7 @@ impl ServingPool {
     /// `429` + `Retry-After` when the queue is full.
     pub fn admit(&self, mut stream: TcpStream) {
         self.state.accepted.fetch_add(1, Ordering::Relaxed);
+        // rellint: allow(panic-hygiene) -- tx is Some from construction until shutdown(), which consumes the pool
         let tx = self.tx.as_ref().expect("pool running");
         match tx.try_send(stream) {
             Ok(()) => {

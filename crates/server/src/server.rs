@@ -91,6 +91,7 @@ impl ApiServer {
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
+        // rellint: allow(panic-hygiene) -- a successfully bound listener always reports its address
         self.listener.local_addr().expect("bound listener has an address")
     }
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Shared "guard summary" step for CI regression guards.
+#
+# Both guards — the bench regression guard (bench_guard) and the static
+# analysis pass (relrank lint) — funnel their verdicts through this
+# script, so a regression of either kind surfaces in the same place: the
+# job's step summary (or stdout outside GitHub Actions). The script
+# re-raises the guard's exit code, so a failing guard still fails the job.
+#
+# usage: guard_summary.sh <guard-name> <report-file> <exit-code>
+set -u
+
+guard="$1"
+report="$2"
+code="$3"
+summary="${GITHUB_STEP_SUMMARY:-/dev/stdout}"
+
+{
+    echo "## Guard: ${guard}"
+    if [ "${code}" -eq 0 ]; then
+        echo "**PASS** — no regressions."
+    else
+        echo "**FAIL** (exit ${code}) — report tail below."
+    fi
+    echo ""
+    echo '```'
+    if [ -s "${report}" ]; then
+        tail -n 60 "${report}"
+    else
+        echo "(no report produced)"
+    fi
+    echo '```'
+} >>"${summary}"
+
+exit "${code}"
